@@ -1,0 +1,97 @@
+//! Shared pivot computation for the Type 2 and unweighted activity
+//! algorithms (Lemma 5.1).
+//!
+//! The pivot of activity `x` is the latest-*start* activity among those
+//! ending no later than `s_x`. With activities in end order, this is a
+//! prefix arg-max of start time — computed for all activities at once
+//! with one parallel inclusive scan (`O(n)` work, polylog span) instead
+//! of per-activity range queries.
+
+use super::Activity;
+use pp_parlay::monoid::FnMonoid;
+use pp_parlay::scan::scan_inclusive;
+use rayon::prelude::*;
+
+/// Sentinel for "no pivot" inside the scan monoid.
+const NONE: u32 = u32::MAX;
+
+/// For each activity (in end order): the index of its pivot, or `None`
+/// for rank-1 activities. `ends` must be the end times in order.
+pub fn latest_start_pivots(acts: &[Activity], ends: &[u64]) -> Vec<Option<u32>> {
+    let n = acts.len();
+    // Prefix arg-max of (start, index) over end order.
+    let entries: Vec<(u64, u32)> = acts
+        .par_iter()
+        .enumerate()
+        .map(|(i, a)| (a.start, i as u32))
+        .collect();
+    let m = FnMonoid::new((0u64, NONE), |a: &(u64, u32), b: &(u64, u32)| {
+        if b.1 == NONE {
+            *a
+        } else if a.1 == NONE || *b >= *a {
+            *b
+        } else {
+            *a
+        }
+    });
+    let prefix_argmax = scan_inclusive(&m, &entries);
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            // Activities ending no later than s_i form the prefix [0, cnt).
+            let cnt = ends.partition_point(|&e| e <= acts[i].start);
+            if cnt == 0 {
+                None
+            } else {
+                let (_, j) = prefix_argmax[cnt - 1];
+                debug_assert_ne!(j, NONE);
+                Some(j)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{sort_by_end, Activity};
+    use super::*;
+    use pp_parlay::rng::Rng;
+
+    #[test]
+    fn pivots_match_naive() {
+        let mut r = Rng::new(1);
+        for _ in 0..20 {
+            let n = 1 + r.range(200) as usize;
+            let acts: Vec<Activity> = (0..n)
+                .map(|_| {
+                    let s = r.range(300);
+                    Activity::new(s, s + 1 + r.range(60), 1)
+                })
+                .collect();
+            let acts = sort_by_end(acts);
+            let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+            let got = latest_start_pivots(&acts, &ends);
+            for i in 0..n {
+                let naive = (0..n)
+                    .filter(|&j| acts[j].end <= acts[i].start)
+                    .max_by_key(|&j| (acts[j].start, j as u32))
+                    .map(|j| j as u32);
+                assert_eq!(got[i], naive, "activity {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_has_no_pivot() {
+        let acts = sort_by_end(vec![
+            Activity::new(0, 10, 1),
+            Activity::new(5, 15, 1),
+            Activity::new(12, 20, 1),
+        ]);
+        let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+        let p = latest_start_pivots(&acts, &ends);
+        assert_eq!(p[0], None);
+        assert_eq!(p[1], None);
+        assert_eq!(p[2], Some(0)); // only activity 0 ends by t=12
+    }
+}

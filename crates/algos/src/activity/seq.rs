@@ -1,0 +1,63 @@
+//! Classic sequential DP for weighted activity selection (Eq. (1)),
+//! `O(n log n)` with a prefix-max Fenwick tree — the "Classic seq"
+//! baseline of Fig. 5.
+
+use super::Activity;
+use pp_ranges::FenwickMax;
+
+/// Maximum total weight of non-overlapping activities.
+/// `acts` must be sorted by end time ([`super::sort_by_end`]).
+pub fn max_weight_seq(acts: &[Activity]) -> u64 {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    let n = acts.len();
+    // Positions in end order; prefix over "activities with end <= s_i" is
+    // found by binary searching the sorted end array.
+    let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+    let mut best_dp = FenwickMax::new(n);
+    let mut answer = 0u64;
+    for (i, a) in acts.iter().enumerate() {
+        // Number of activities ending no later than a.start.
+        let cnt = ends.partition_point(|&e| e <= a.start);
+        let dp = a.weight + best_dp.prefix_max(cnt);
+        best_dp.update(i, dp);
+        answer = answer.max(dp);
+    }
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{max_weight_brute, sort_by_end, Activity};
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // CLRS-style instance.
+        let acts = sort_by_end(vec![
+            Activity::new(1, 4, 3),
+            Activity::new(3, 5, 2),
+            Activity::new(0, 6, 6),
+            Activity::new(5, 7, 2),
+            Activity::new(3, 9, 6),
+            Activity::new(5, 9, 4),
+            Activity::new(6, 10, 4),
+            Activity::new(8, 11, 3),
+        ]);
+        assert_eq!(max_weight_seq(&acts), max_weight_brute(&acts));
+    }
+
+    #[test]
+    fn nested_activities() {
+        // A long heavy activity covering many light ones.
+        let acts = sort_by_end(vec![
+            Activity::new(0, 100, 5),
+            Activity::new(1, 2, 1),
+            Activity::new(3, 4, 1),
+            Activity::new(5, 6, 1),
+            Activity::new(7, 8, 1),
+            Activity::new(9, 10, 1),
+            Activity::new(11, 12, 1),
+        ]);
+        assert_eq!(max_weight_seq(&acts), 6); // the six light ones
+    }
+}

@@ -1,0 +1,216 @@
+//! Type 1 activity selection (Algorithm 2, Theorem 4.2).
+//!
+//! Each round: find the earliest-end unprocessed activity `x` (augmented
+//! min over `T_time`), split out every unprocessed activity starting
+//! before `e_x` — by Lemma 4.1 exactly the activities of the current
+//! rank — and process them in parallel against `T_DP`.
+//!
+//! Two interchangeable implementations:
+//!
+//! * [`max_weight_type1`] — flat arrays (§6.4 engineering): the
+//!   unprocessed set in start order is always a *suffix* (each round
+//!   removes a prefix of it), so `T_time` degenerates to a cursor plus a
+//!   suffix-min sparse table, and `T_DP` is an atomic prefix-max Fenwick
+//!   tree over end order.
+//! * [`max_weight_type1_pam`] — the literal Algorithm 2 on PA-BSTs
+//!   (`pp-pam`), kept as the reference implementation and for the
+//!   flat-vs-tree ablation (DESIGN.md §5.3).
+
+use super::Activity;
+use phase_parallel::{run_type1, ExecutionStats, Type1Problem};
+use pp_pam::{AugTree, MaxAug, MinAug};
+use pp_ranges::AtomicFenwickMax;
+use rayon::prelude::*;
+
+/// Flat-array Type 1 algorithm. `acts` sorted by end time.
+/// Returns `(max weight, stats)`; `stats.rounds == rank(S)`.
+pub fn max_weight_type1(acts: &[Activity]) -> (u64, ExecutionStats) {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    let n = acts.len();
+    if n == 0 {
+        return (0, ExecutionStats::default());
+    }
+    // Activities in start order: ids into `acts`, plus their start times.
+    let mut by_start: Vec<u32> = (0..n as u32).collect();
+    pp_parlay::par_sort_by_key(&mut by_start, |&i| (acts[i as usize].start, i));
+    let starts: Vec<u64> = by_start.iter().map(|&i| acts[i as usize].start).collect();
+    // Suffix-min of end time over start order = the T_time augmentation.
+    // The unprocessed set in start order is always a suffix, so a plain
+    // O(n) suffix-minimum array answers every extraction query (the
+    // paper's §6.4 "flat arrays" engineering, one step further than a
+    // sparse table).
+    let mut suffix_min_end: Vec<u64> = by_start
+        .iter()
+        .map(|&i| acts[i as usize].end)
+        .collect();
+    for i in (0..n.saturating_sub(1)).rev() {
+        suffix_min_end[i] = suffix_min_end[i].min(suffix_min_end[i + 1]);
+    }
+    let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+
+    struct Problem<'a> {
+        acts: &'a [Activity],
+        by_start: Vec<u32>,
+        starts: Vec<u64>,
+        suffix_min_end: Vec<u64>,
+        ends: Vec<u64>,
+        head: usize,
+        dp: AtomicFenwickMax,
+        best: u64,
+    }
+
+    impl Type1Problem for Problem<'_> {
+        type Output = u64;
+
+        fn extract_frontier(&mut self) -> Vec<u32> {
+            let n = self.by_start.len();
+            if self.head >= n {
+                return Vec::new();
+            }
+            // Earliest end among unprocessed (the suffix from head).
+            let e_x = self.suffix_min_end[self.head];
+            // Frontier: unprocessed activities starting strictly before e_x.
+            let new_head = self.starts.partition_point(|&s| s < e_x);
+            debug_assert!(new_head > self.head, "frontier cannot be empty");
+            let frontier = self.by_start[self.head..new_head].to_vec();
+            self.head = new_head;
+            frontier
+        }
+
+        fn process(&mut self, frontier: &[u32]) {
+            // Query phase: all reads against the pre-round DP state.
+            let dps: Vec<(u32, u64)> = frontier
+                .par_iter()
+                .map(|&i| {
+                    let a = &self.acts[i as usize];
+                    let cnt = self.ends.partition_point(|&e| e <= a.start);
+                    (i, a.weight + self.dp.prefix_max(cnt))
+                })
+                .collect();
+            // Update phase: publish this round's DP values.
+            dps.par_iter().for_each(|&(i, dp)| {
+                self.dp.update(i as usize, dp);
+            });
+            let round_best = dps.par_iter().map(|&(_, dp)| dp).max().unwrap_or(0);
+            self.best = self.best.max(round_best);
+        }
+
+        fn finish(self) -> u64 {
+            self.best
+        }
+    }
+
+    run_type1(Problem {
+        acts,
+        by_start,
+        starts,
+        suffix_min_end,
+        ends,
+        head: 0,
+        dp: AtomicFenwickMax::new(n),
+        best: 0,
+    })
+}
+
+/// Literal Algorithm 2 on PA-BSTs. `acts` sorted by end time.
+pub fn max_weight_type1_pam(acts: &[Activity]) -> (u64, ExecutionStats) {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    let n = acts.len();
+    if n == 0 {
+        return (0, ExecutionStats::default());
+    }
+    // T_time: key (start, id) -> end, augmented on minimum end time.
+    let t_time: AugTree<(u64, u32), u64, MinAug> = AugTree::build(
+        MinAug,
+        acts.iter()
+            .enumerate()
+            .map(|(i, a)| ((a.start, i as u32), a.end))
+            .collect(),
+    );
+    // T_DP: key (end, id) -> dp, augmented on maximum DP value; dp values
+    // are inserted as activities finish.
+    let t_dp: AugTree<(u64, u32), u64, MaxAug> = AugTree::new(MaxAug);
+
+    struct Problem<'a> {
+        acts: &'a [Activity],
+        t_time: Option<AugTree<(u64, u32), u64, MinAug>>,
+        t_dp: AugTree<(u64, u32), u64, MaxAug>,
+        best: u64,
+    }
+
+    impl Type1Problem for Problem<'_> {
+        type Output = u64;
+
+        fn extract_frontier(&mut self) -> Vec<u32> {
+            let t_time = self.t_time.take().expect("tree present");
+            if t_time.is_empty() {
+                self.t_time = Some(t_time);
+                return Vec::new();
+            }
+            // Earliest end among unprocessed = root augmented value.
+            let e_x = t_time.aug();
+            // Split out all activities starting strictly before e_x.
+            let (frontier_tree, _, rest) = t_time.split_at(&(e_x, 0));
+            self.t_time = Some(rest);
+            frontier_tree
+                .flatten()
+                .into_iter()
+                .map(|((_, id), _)| id)
+                .collect()
+        }
+
+        fn process(&mut self, frontier: &[u32]) {
+            let dps: Vec<((u64, u32), u64)> = frontier
+                .par_iter()
+                .map(|&i| {
+                    let a = &self.acts[i as usize];
+                    // max dp over activities with end <= a.start.
+                    let q = self.t_dp.aug_left(&(a.start, u32::MAX));
+                    ((a.end, i), a.weight + q)
+                })
+                .collect();
+            self.best = self
+                .best
+                .max(dps.par_iter().map(|&(_, dp)| dp).max().unwrap_or(0));
+            self.t_dp.multi_insert(dps);
+        }
+
+        fn finish(self) -> u64 {
+            self.best
+        }
+    }
+
+    run_type1(Problem {
+        acts,
+        t_time: Some(t_time),
+        t_dp,
+        best: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{sort_by_end, Activity};
+    use super::*;
+
+    #[test]
+    fn chain_of_sequential_activities_has_rank_n() {
+        // n back-to-back activities: rank = n, so n rounds.
+        let acts = sort_by_end((0..50).map(|i| Activity::new(i * 10, i * 10 + 10, 1)).collect());
+        let (w, stats) = max_weight_type1(&acts);
+        assert_eq!(w, 50);
+        assert_eq!(stats.rounds, 50);
+        let (w2, stats2) = max_weight_type1_pam(&acts);
+        assert_eq!(w2, 50);
+        assert_eq!(stats2.rounds, 50);
+    }
+
+    #[test]
+    fn all_overlapping_is_one_round() {
+        let acts = sort_by_end((0..100).map(|i| Activity::new(0, 100 + i, 1 + i)).collect());
+        let (w, stats) = max_weight_type1(&acts);
+        assert_eq!(w, 100); // best single activity
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.max_frontier(), 100);
+    }
+}

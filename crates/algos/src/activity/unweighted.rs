@@ -1,0 +1,142 @@
+//! Unweighted activity selection in `O(n log n)` work and `O(log n)`
+//! span whp (Theorem 5.3).
+//!
+//! With unit weights the DP collapses to `dp[i] = dp[pivot(i)] + 1`
+//! (Lemma 5.1), so the dependence graph is a *forest*: each activity
+//! points only at its pivot. The rank of each activity is its depth in
+//! the pivot forest, computed in parallel without any rounds at all —
+//! the paper uses tree contraction; we use pointer jumping
+//! (`pp_parlay::list_rank`, substitution documented there).
+
+use super::pivots::latest_start_pivots;
+use super::Activity;
+use pp_parlay::list_rank::forest_depths;
+use rayon::prelude::*;
+
+/// The rank of every activity (depth in the pivot forest + 1), in end
+/// order. `rank(S) = max` of this vector.
+pub fn ranks(acts: &[Activity]) -> Vec<u32> {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    let n = acts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+    // Pivot forest: parent = pivot, or self for rank-1 activities.
+    let parent: Vec<u32> = latest_start_pivots(acts, &ends)
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or(i as u32))
+        .collect();
+    forest_depths(&parent)
+        .into_par_iter()
+        .map(|d| d + 1)
+        .collect()
+}
+
+/// Maximum number of non-overlapping activities (the unweighted
+/// optimum): equals the maximum rank.
+pub fn max_count_unweighted(acts: &[Activity]) -> u32 {
+    ranks(acts).into_iter().max().unwrap_or(0)
+}
+
+/// Same ranks as [`ranks`], computed with the `O(n)`-work Euler-tour tree
+/// contraction that Theorem 5.3 actually cites
+/// (`pp_parlay::tree_contract`) instead of pointer jumping. The ablation
+/// bench compares the two; results are identical by construction.
+pub fn ranks_tree_contraction(acts: &[Activity]) -> Vec<u32> {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    let n = acts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+    let parent: Vec<u32> = latest_start_pivots(acts, &ends)
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or(i as u32))
+        .collect();
+    pp_parlay::tree_contract::forest_depths_contract(&parent)
+        .into_par_iter()
+        .map(|d| d + 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{max_weight_seq, sort_by_end, Activity};
+    use super::*;
+    use pp_parlay::rng::Rng;
+
+    #[test]
+    fn matches_weighted_dp_with_unit_weights() {
+        let mut r = Rng::new(31);
+        for trial in 0..20 {
+            let n = 500;
+            let acts: Vec<Activity> = (0..n)
+                .map(|_| {
+                    let s = r.range(2000);
+                    Activity::new(s, s + 1 + r.range(100), 1)
+                })
+                .collect();
+            let acts = sort_by_end(acts);
+            let want = max_weight_seq(&acts);
+            assert_eq!(max_count_unweighted(&acts) as u64, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn greedy_earliest_end_agrees() {
+        // Classic earliest-end greedy as an independent oracle.
+        let mut r = Rng::new(77);
+        let acts: Vec<Activity> = (0..1000)
+            .map(|_| {
+                let s = r.range(5000);
+                Activity::new(s, s + 1 + r.range(200), 1)
+            })
+            .collect();
+        let acts = sort_by_end(acts);
+        let mut count = 0u32;
+        let mut cur_end = 0u64;
+        for a in &acts {
+            if a.start >= cur_end {
+                count += 1;
+                cur_end = a.end;
+            }
+        }
+        assert_eq!(max_count_unweighted(&acts), count);
+    }
+
+    #[test]
+    fn rank_vector_shape() {
+        // Three back-to-back chains of length 3 → ranks 1,2,3 each.
+        let acts = sort_by_end(vec![
+            Activity::new(0, 10, 1),
+            Activity::new(10, 20, 1),
+            Activity::new(20, 30, 1),
+        ]);
+        assert_eq!(ranks(&acts), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(max_count_unweighted(&[]), 0);
+        assert!(ranks(&[]).is_empty());
+        assert!(ranks_tree_contraction(&[]).is_empty());
+    }
+
+    #[test]
+    fn contraction_matches_pointer_jumping() {
+        let mut r = Rng::new(404);
+        for n in [1usize, 2, 50, 3000, 40_000] {
+            let acts: Vec<Activity> = (0..n)
+                .map(|_| {
+                    let s = r.range(100_000);
+                    Activity::new(s, s + 1 + r.range(500), 1)
+                })
+                .collect();
+            let acts = sort_by_end(acts);
+            assert_eq!(ranks_tree_contraction(&acts), ranks(&acts), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The §6.1 workload generator: "For each activity, we set a random start
+//! time and a length based on a truncated normal distribution. We control
+//! the mean and standard deviation of this distribution to control the
+//! rank of the input data. The weights are generated uniformly at random
+//! in [1, 2^32)."
+//!
+//! The rank of the generated instance is ≈ `time_range / mean_len`
+//! (an activity chain packs about that many non-overlapping intervals),
+//! so [`with_target_rank`] inverts that to sweep the rank axis of
+//! Fig. 5(a).
+
+use super::{sort_by_end, Activity};
+use pp_parlay::rng::{hash64, Rng};
+use rayon::prelude::*;
+
+/// Generate `n` activities with uniform starts in `[0, time_range)` and
+/// truncated-normal lengths (mean `mean_len`, std `std_len`, min 1).
+/// Weights uniform in `[1, 2^32)`. Deterministic in `seed`; output
+/// sorted by end time.
+pub fn generate(n: usize, time_range: u64, mean_len: f64, std_len: f64, seed: u64) -> Vec<Activity> {
+    let acts: Vec<Activity> = (0..n as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut r = Rng::new(hash64(seed, i));
+            let start = r.range(time_range);
+            let raw = mean_len + std_len * r.normal();
+            let len = raw.clamp(1.0, 1e15) as u64;
+            let weight = 1 + r.range((1u64 << 32) - 1);
+            Activity::new(start, start + len.max(1), weight)
+        })
+        .collect();
+    sort_by_end(acts)
+}
+
+/// Generate an instance whose rank is approximately `target_rank`
+/// (the Fig. 5(a) sweep axis). The caller should report the *measured*
+/// rank via [`super::ranks`].
+pub fn with_target_rank(n: usize, target_rank: u64, seed: u64) -> Vec<Activity> {
+    let target_rank = target_rank.max(1);
+    // Chains pack ~time_range/mean_len activities; solve for mean_len.
+    let time_range: u64 = 1 << 40;
+    let mean = (time_range as f64 / target_rank as f64).max(1.0);
+    generate(n, time_range, mean, mean * 0.25, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ranks;
+    use super::*;
+
+    #[test]
+    fn generates_valid_sorted_activities() {
+        let acts = generate(5000, 1 << 20, 1000.0, 200.0, 1);
+        assert_eq!(acts.len(), 5000);
+        assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+        assert!(acts.iter().all(|a| a.start < a.end && a.weight >= 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(1000, 1 << 20, 500.0, 100.0, 7);
+        let b = generate(1000, 1 << 20, 500.0, 100.0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_rank_is_roughly_hit() {
+        for target in [5u64, 50, 500] {
+            let acts = with_target_rank(20_000, target, 3);
+            let measured = *ranks(&acts).iter().max().unwrap() as u64;
+            // Within a factor of 4 either way is plenty for a sweep axis.
+            assert!(
+                measured >= target / 4 && measured <= target * 4,
+                "target {target} measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_monotone_in_target() {
+        let lo = with_target_rank(10_000, 10, 5);
+        let hi = with_target_rank(10_000, 1000, 5);
+        let r_lo = *ranks(&lo).iter().max().unwrap();
+        let r_hi = *ranks(&hi).iter().max().unwrap();
+        assert!(r_hi > r_lo * 5, "lo {r_lo} hi {r_hi}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Sequential unlimited knapsack: the classic `O(nW)` DP.
+
+use super::Item;
+
+/// Maximum achievable value with total weight ≤ `capacity`.
+pub fn max_value_seq(items: &[Item], capacity: u64) -> u64 {
+    let w = capacity as usize;
+    let mut dp = vec![0u64; w + 1];
+    for j in 1..=w {
+        let mut best = 0;
+        for it in items {
+            let iw = it.weight as usize;
+            if iw <= j {
+                best = best.max(dp[j - iw] + it.value);
+            }
+        }
+        dp[j] = best;
+    }
+    dp[w]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity() {
+        assert_eq!(max_value_seq(&[Item::new(1, 10)], 0), 0);
+    }
+
+    #[test]
+    fn single_item_repeats() {
+        assert_eq!(max_value_seq(&[Item::new(3, 5)], 10), 15); // 3 copies
+    }
+}

@@ -1,0 +1,50 @@
+//! # `pp-algos` — the paper's algorithm suite
+//!
+//! Every algorithm from *Many Sequential Iterative Algorithms Can Be
+//! Parallel and (Nearly) Work-efficient* (SPAA 2022), each with its
+//! sequential baseline:
+//!
+//! | Module | Problem | Paper | Type |
+//! |---|---|---|---|
+//! | [`activity`] | weighted & unweighted activity selection | §4.1, §5.1 | 1 & 2 |
+//! | [`knapsack`] | unlimited knapsack | §4.2 | 1 |
+//! | [`huffman`] | Huffman tree construction | §4.3, §6.2 | 1 (relaxed rank) |
+//! | [`sssp`] | SSSP: Dijkstra, Bellman-Ford, Δ-stepping (Δ = w*) | §4.3, §6.3 | 1 (relaxed rank) |
+//! | [`lis`] | longest increasing subsequence | §5.2, §6.4 | 2 |
+//! | [`mis`] | greedy maximal independent set via TAS trees | §5.3 | 2 |
+//! | [`coloring`] | greedy (Jones–Plassmann) coloring via TAS trees | §5.3 | 2 |
+//! | [`matching`] | greedy maximal matching | §5.3 | 2 |
+//! | [`whac`] | Whac-A-Mole DP | Appendix B | 2 |
+//! | [`chain3d`] | longest 3D-dominance chain (the appendix's 3D range-query extension) | Appendix B | 2 |
+//! | [`random_perm`] | random permutation (Knuth shuffle) via deterministic reservations | §5.3, baseline \[10, 64\] | — |
+//!
+//! All parallel implementations are deterministic given their seeds and
+//! agree exactly with their sequential counterparts (greedy algorithms
+//! produce the *same* greedy solution, DP algorithms the same values) —
+//! enforced by the test suites in each module and in `tests/`.
+//!
+//! ```
+//! use pp_algos::lis::{lis_par, lis_seq, PivotMode};
+//!
+//! // Fig. 1's example sequence: the LIS (e.g. 4 7 8) has length 3.
+//! let s: Vec<i64> = vec![4, 7, 3, 2, 8, 1, 6, 5];
+//! let res = lis_par(&s, PivotMode::Random, 42);
+//! assert_eq!(res.length, 3);
+//! assert_eq!(res.length, lis_seq(&s));
+//! // Round-efficiency: one virtual round plus one per rank.
+//! assert_eq!(res.stats.rounds, 4);
+//! ```
+
+pub mod activity;
+pub mod chain3d;
+pub mod chain4d;
+pub mod coloring;
+pub mod coloring_orders;
+pub mod huffman;
+pub mod knapsack;
+pub mod lis;
+pub mod matching;
+pub mod mis;
+pub mod random_perm;
+pub mod sssp;
+pub mod whac;

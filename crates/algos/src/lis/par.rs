@@ -1,0 +1,204 @@
+//! Algorithm 3: the parallel LIS algorithm.
+//!
+//! Objects are 2D points `(i, a_i)`; the predecessors of an object are
+//! exactly the points in its lower-left quadrant (Fig. 3). A virtual
+//! point `p[0] = (0, -∞)` with DP value 0 seeds the computation and is
+//! every object's initial pivot. Each round, the objects whose pivot
+//! just finished are *attempted*: a prefix-rectangle query on the
+//! augmented 2D range tree either certifies readiness (no unfinished
+//! predecessor — DP value = max DP in the rectangle + 1) or yields a new
+//! unfinished pivot (uniformly random, or right-most under the §6.4
+//! heuristic).
+
+use phase_parallel::{run_type2, ExecutionStats, Type2Problem, WakeResult};
+use pp_parlay::rng::{hash64, Rng};
+use pp_ranges::{PivotMode, RangeTree2d};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a parallel LIS run.
+#[derive(Clone, Debug)]
+pub struct LisResult {
+    /// LIS length of the input.
+    pub length: u32,
+    /// Engine statistics: `rounds = k + 1` (one virtual round plus one
+    /// per rank), wake-up attempt counts (Table 2's "Average # of
+    /// Wake-ups" is `stats.avg_wakeups()`).
+    pub stats: ExecutionStats,
+}
+
+/// Parallel LIS (Algorithm 3). Deterministic in `seed` for a fixed
+/// schedule; the result length is schedule-independent.
+pub fn lis_par(values: &[i64], mode: PivotMode, seed: u64) -> LisResult {
+    lis_par_with_dp(values, mode, seed).0
+}
+
+/// [`lis_par`] also returning per-element DP values (LIS length ending
+/// at each element).
+pub fn lis_par_with_dp(values: &[i64], mode: PivotMode, seed: u64) -> (LisResult, Vec<u32>) {
+    lis_engine(values, None, mode, seed)
+}
+
+/// Weighted LIS (§5.2: "our algorithm can be generalized to the
+/// weighted case"): maximize the total *weight* of a strictly
+/// increasing subsequence. The rank structure (rounds, pivots) is the
+/// unweighted one — only the DP combine changes. Weight sums must fit
+/// in `u32`.
+pub fn lis_weighted_par(
+    values: &[i64],
+    weights: &[u32],
+    mode: PivotMode,
+    seed: u64,
+) -> (LisResult, Vec<u32>) {
+    assert_eq!(values.len(), weights.len());
+    lis_engine(values, Some(weights), mode, seed)
+}
+
+fn lis_engine(
+    values: &[i64],
+    weights: Option<&[u32]>,
+    mode: PivotMode,
+    seed: u64,
+) -> (LisResult, Vec<u32>) {
+    let n = values.len();
+    if n == 0 {
+        return (
+            LisResult {
+                length: 0,
+                stats: ExecutionStats::default(),
+            },
+            Vec::new(),
+        );
+    }
+    assert!(n < u32::MAX as usize - 1);
+
+    // y-slots: virtual point gets slot 0; real point i gets
+    // 1 + its rank in (value, index) order. Ties on value are ordered by
+    // index, and the *query* bound for object i counts only values
+    // strictly below a_i, so duplicates never count as predecessors.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    pp_parlay::par_sort_by_key(&mut order, |&i| (values[i as usize], i));
+    let mut y_of_x = vec![0u32; n + 1];
+    for (slot, &i) in order.iter().enumerate() {
+        y_of_x[i as usize + 1] = slot as u32 + 1;
+    }
+    // qy[i] = 1 + #values strictly below a_i  (the +1 admits the virtual
+    // point at slot 0).
+    let sorted_vals: Vec<i64> = order.iter().map(|&i| values[i as usize]).collect();
+    let qy: Vec<u32> = (0..n)
+        .into_par_iter()
+        .map(|i| 1 + sorted_vals.partition_point(|&v| v < values[i]) as u32)
+        .collect();
+
+    struct Problem<'w> {
+        tree: RangeTree2d,
+        /// Query bound per real object (indexed by tree-x minus 1).
+        qy: Vec<u32>,
+        /// DP per tree point (0 = virtual).
+        dp: Vec<u32>,
+        /// Per-object weights (None = unit weights, the length LIS).
+        weights: Option<&'w [u32]>,
+        /// Wake-up attempt counter per tree point, for deterministic
+        /// per-attempt randomness.
+        attempts: Vec<AtomicU32>,
+        seed: u64,
+        n: usize,
+    }
+
+    impl Problem<'_> {
+        #[inline]
+        fn weight_of(&self, x: u32) -> u32 {
+            self.weights.map_or(1, |w| w[x as usize - 1])
+        }
+    }
+
+    impl Type2Problem for Problem<'_> {
+        type Info = u32;
+        type Output = (Vec<u32>, u32);
+
+        fn initial_pivots(&self) -> Vec<(u32, u32)> {
+            // Every real object initially pivots on the virtual point
+            // (Algorithm 3 line 21).
+            (1..=self.n as u32).map(|x| (0, x)).collect()
+        }
+
+        fn initial_frontier(&self) -> Vec<(u32, u32)> {
+            vec![(0, 0)] // the virtual point, DP value 0
+        }
+
+        fn try_wake(&self, x: u32) -> WakeResult<u32> {
+            let qy = self.qy[x as usize - 1];
+            let info = self.tree.query_prefix(x, qy);
+            if info.unfinished == 0 {
+                // Ready: the rectangle always contains the (finished)
+                // virtual point, so max_dp is present.
+                let base = info.max_dp.expect("virtual point in range");
+                WakeResult::Ready(base + self.weight_of(x))
+            } else {
+                let attempt = self.attempts[x as usize].fetch_add(1, Ordering::Relaxed);
+                let mut rng = Rng::new(hash64(
+                    self.seed,
+                    (attempt as u64) << 32 | x as u64,
+                ));
+                let pivot = self
+                    .tree
+                    .select_pivot(x, qy, &mut rng)
+                    .expect("unfinished predecessor exists");
+                WakeResult::Blocked { new_pivot: pivot }
+            }
+        }
+
+        fn commit(&mut self, ready: &[(u32, u32)]) {
+            for &(x, d) in ready {
+                self.dp[x as usize] = d;
+            }
+            self.tree.finish_batch(ready);
+        }
+
+        fn finish(self) -> (Vec<u32>, u32) {
+            let best = self.dp[1..].iter().copied().max().unwrap_or(0);
+            (self.dp, best)
+        }
+    }
+
+    let problem = Problem {
+        tree: RangeTree2d::new(&y_of_x, mode),
+        qy,
+        dp: vec![0; n + 1],
+        weights,
+        attempts: (0..=n).map(|_| AtomicU32::new(0)).collect(),
+        seed,
+        n,
+    };
+    let ((dp_all, length), stats) = run_type2(problem);
+    let dp_real: Vec<u32> = dp_all[1..].to_vec();
+    (LisResult { length, stats }, dp_real)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_frontiers_follow_ranks() {
+        // 1 5 2 6 3 7: dp = 1,2,2,3,3,4 → frontiers are the virtual
+        // point, then the rank classes {1}, {5,2}, {6,3}, {7}.
+        let v = vec![1, 5, 2, 6, 3, 7];
+        let (res, dp) = lis_par_with_dp(&v, PivotMode::RightMost, 0);
+        assert_eq!(dp, vec![1, 2, 2, 3, 3, 4]);
+        assert_eq!(res.length, 4);
+        assert_eq!(res.stats.rounds, 5);
+        assert_eq!(res.stats.frontier_sizes, vec![1, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn pivot_modes_same_answer_different_wakeups() {
+        let v: Vec<i64> = (0..2000).map(|i| ((i * 7919) % 4001) as i64).collect();
+        let a = lis_par(&v, PivotMode::Random, 3);
+        let b = lis_par(&v, PivotMode::RightMost, 3);
+        assert_eq!(a.length, b.length);
+        // Both should be modest; the heuristic usually needs fewer.
+        assert!(a.stats.avg_wakeups() < 16.0);
+        assert!(b.stats.avg_wakeups() < 16.0);
+    }
+}

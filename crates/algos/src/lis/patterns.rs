@@ -1,0 +1,116 @@
+//! The LIS input patterns of §6.4 / Fig. 10.
+//!
+//! * **Segment pattern**: ~`k` segments, values roughly decreasing inside
+//!   a segment and increasing across segments → LIS ≈ `k` (one element
+//!   per segment).
+//! * **Line pattern**: `a_i = t·i + b_i` with uniform noise `b_i` and a
+//!   slightly *negative* slope (see Fig. 10(c)/(d): the band decreases
+//!   from ~1.0002·10^8 to ~0.9988·10^8). Increasing subsequences must
+//!   live inside an index window of `W ≈ B/|t|` (beyond that the drop
+//!   exceeds the noise band `B`), where the values look uniform, giving
+//!   LIS ≈ 2√W — so the slope controls the output size.
+//!
+//! Both are deterministic in their seed. The harness reports the
+//! *measured* LIS length (via the sequential baseline) next to the
+//! target, exactly like the paper reports output sizes.
+
+use pp_parlay::rng::{bounded, hash64};
+use rayon::prelude::*;
+
+/// Segment pattern with ~`k` segments over `n` elements.
+pub fn segment(n: usize, k: usize, seed: u64) -> Vec<i64> {
+    assert!(k >= 1 && n >= 1);
+    let k = k.min(n);
+    let seg_len = n.div_ceil(k);
+    // Value bands: segment j occupies [j·band, (j+1)·band).
+    let band = (1i64 << 42) / k as i64;
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let j = i / seg_len;
+            let pos = i % seg_len;
+            let base = j as i64 * band;
+            // Decreasing within the segment, with noise that cannot
+            // reorder elements across the decreasing steps' scale.
+            let step = (band / (seg_len as i64 + 1)).max(2);
+            let noise = bounded(hash64(seed, i as u64), (step / 2).max(1) as u64) as i64;
+            base + (seg_len - pos) as i64 * step + noise
+        })
+        .collect()
+}
+
+/// Line pattern: `a_i = slope·i + noise_i`, `noise_i` uniform in
+/// `[0, noise)`.
+pub fn line(n: usize, slope: i64, noise: u64, seed: u64) -> Vec<i64> {
+    assert!(noise >= 1);
+    (0..n)
+        .into_par_iter()
+        .map(|i| slope * i as i64 + bounded(hash64(seed, i as u64), noise) as i64)
+        .collect()
+}
+
+/// Line pattern tuned so the LIS length is roughly `k` (harness reports
+/// the measured value): negative slope `-4B/k²` confines chains to
+/// windows of `W = k²/4` indices, where LIS ≈ 2√W = k. The achievable
+/// maximum is ≈ 2√n (slope −1); larger targets saturate there.
+pub fn line_with_target(n: usize, k: usize, seed: u64) -> Vec<i64> {
+    let noise: u64 = 1 << 30;
+    let k = k.max(2) as u128;
+    let slope = ((4 * noise as u128) / (k * k)).max(1) as i64;
+    line(n, -slope, noise, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lis_seq;
+    use super::*;
+
+    #[test]
+    fn segment_pattern_hits_target() {
+        for k in [3usize, 10, 30, 100] {
+            let v = segment(20_000, k, 1);
+            let measured = lis_seq(&v) as usize;
+            assert!(
+                measured >= k && measured <= 3 * k + 8,
+                "k={k} measured={measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_pattern_hits_target() {
+        let n = 100_000;
+        for k in [10u32, 30, 100, 300] {
+            let measured = lis_seq(&line_with_target(n, k as usize, 2));
+            assert!(
+                measured >= k / 3 && measured <= 3 * k,
+                "k={k} measured={measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_pattern_saturates_at_sqrt_n() {
+        // Targets beyond ~2√n saturate near the uniform-sequence LIS.
+        let n = 10_000;
+        let measured = lis_seq(&line_with_target(n, 100_000, 3));
+        assert!(measured <= 400, "measured {measured}"); // 2√n = 200 ± slack
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(segment(1000, 10, 5), segment(1000, 10, 5));
+        assert_eq!(line(1000, 3, 100, 5), line(1000, 3, 100, 5));
+        assert_ne!(segment(1000, 10, 5), segment(1000, 10, 6));
+    }
+
+    #[test]
+    fn segment_edge_cases() {
+        // k >= n degenerates to increasing-ish data.
+        let v = segment(10, 100, 0);
+        assert_eq!(v.len(), 10);
+        let v = segment(5, 1, 0);
+        // One decreasing segment → LIS 1.
+        assert_eq!(lis_seq(&v), 1);
+    }
+}

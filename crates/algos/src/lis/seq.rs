@@ -1,0 +1,60 @@
+//! The classic `O(n log n)` sequential LIS — the "Classic seq" baseline
+//! of Figs. 8/9 and Table 2 (DP of Eq. (3) with a prefix-max structure
+//! over value ranks).
+
+use pp_ranges::FenwickMax;
+
+/// LIS length of `values`.
+pub fn lis_seq(values: &[i64]) -> u32 {
+    lis_seq_with_dp(values).0
+}
+
+/// LIS length plus the per-element DP values (`dp[i]` = LIS length
+/// ending at `i`).
+pub fn lis_seq_with_dp(values: &[i64]) -> (u32, Vec<u32>) {
+    let n = values.len();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    // Coordinate-compress the values.
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let rank = |v: i64| sorted.partition_point(|&x| x < v);
+    let mut fw = FenwickMax::new(sorted.len());
+    let mut dp = vec![0u32; n];
+    let mut best = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        let r = rank(v);
+        // Max dp among strictly smaller values = prefix [0, r).
+        let d = fw.prefix_max(r) as u32 + 1;
+        dp[i] = d;
+        fw.update(r, d as u64);
+        best = best.max(d);
+    }
+    (best, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        assert_eq!(lis_seq(&[10, 9, 2, 5, 3, 7, 101, 18]), 4); // 2 3 7 18
+        assert_eq!(lis_seq(&[0, 1, 0, 3, 2, 3]), 4);
+        assert_eq!(lis_seq(&[7, 7, 7, 7, 7]), 1);
+    }
+
+    #[test]
+    fn dp_values_shape() {
+        let (k, dp) = lis_seq_with_dp(&[1, 3, 2, 4]);
+        assert_eq!(k, 3);
+        assert_eq!(dp, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn negative_values() {
+        assert_eq!(lis_seq(&[-5, -3, -4, -1]), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Weighted LIS: sequential baseline and tests for the §5.2
+//! generalization (the parallel engine lives in [`super::par`]).
+//!
+//! `dp[i] = w_i + max{0, max_{j<i, a_j<a_i} dp[j]}`; answer = max dp.
+//! Rounds of the parallel algorithm still follow the *unweighted* rank
+//! (chain length), because readiness depends only on the dependence
+//! structure, not the objective.
+
+use pp_ranges::FenwickMax;
+
+/// Maximum total weight of a strictly increasing subsequence,
+/// sequentially (`O(n log n)`).
+pub fn lis_weighted_seq(values: &[i64], weights: &[u32]) -> u32 {
+    assert_eq!(values.len(), weights.len());
+    let n = values.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut fw = FenwickMax::new(sorted.len());
+    let mut best = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        let r = sorted.partition_point(|&x| x < v);
+        let d = fw.prefix_max(r) + weights[i] as u64;
+        fw.update(r, d);
+        best = best.max(d);
+    }
+    u32::try_from(best).expect("weight sums must fit in u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lis_weighted_par, PivotMode};
+    use super::*;
+    use pp_parlay::rng::Rng;
+
+    fn brute(values: &[i64], weights: &[u32]) -> u32 {
+        let n = values.len();
+        let mut dp = vec![0u32; n];
+        let mut best = 0;
+        for i in 0..n {
+            dp[i] = weights[i];
+            for j in 0..i {
+                if values[j] < values[i] {
+                    dp[i] = dp[i].max(dp[j] + weights[i]);
+                }
+            }
+            best = best.max(dp[i]);
+        }
+        best
+    }
+
+    #[test]
+    fn weighted_matches_brute() {
+        let mut r = Rng::new(1);
+        for trial in 0..20 {
+            let n = 1 + r.range(200) as usize;
+            let values: Vec<i64> = (0..n).map(|_| r.range(60) as i64).collect();
+            let weights: Vec<u32> = (0..n).map(|_| 1 + r.range(50) as u32).collect();
+            let want = brute(&values, &weights);
+            assert_eq!(lis_weighted_seq(&values, &weights), want, "seq trial {trial}");
+            let (res, dp) = lis_weighted_par(&values, &weights, PivotMode::Random, trial);
+            assert_eq!(res.length, want, "par trial {trial}");
+            // Per-element DP values agree with the quadratic oracle's max.
+            assert_eq!(*dp.iter().max().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_plain_lis() {
+        let mut r = Rng::new(2);
+        let values: Vec<i64> = (0..500).map(|_| r.range(100) as i64).collect();
+        let ones = vec![1u32; values.len()];
+        assert_eq!(
+            lis_weighted_seq(&values, &ones),
+            super::super::lis_seq(&values)
+        );
+        let (res, _) = lis_weighted_par(&values, &ones, PivotMode::RightMost, 3);
+        assert_eq!(res.length, super::super::lis_seq(&values));
+    }
+
+    #[test]
+    fn heavy_single_element_beats_long_chain() {
+        // A chain of 5 unit weights vs one element of weight 100.
+        let values = vec![1i64, 2, 3, 4, 5, 0];
+        let weights = vec![1u32, 1, 1, 1, 1, 100];
+        assert_eq!(lis_weighted_seq(&values, &weights), 100);
+        let (res, _) = lis_weighted_par(&values, &weights, PivotMode::Random, 4);
+        assert_eq!(res.length, 100);
+        // Rounds still follow the unweighted rank (5 + virtual + ...).
+        assert_eq!(res.stats.rounds, 6);
+    }
+
+    #[test]
+    fn empty_weighted() {
+        assert_eq!(lis_weighted_seq(&[], &[]), 0);
+        let (res, _) = lis_weighted_par(&[], &[], PivotMode::Random, 0);
+        assert_eq!(res.length, 0);
+    }
+}

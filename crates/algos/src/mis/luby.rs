@@ -1,0 +1,126 @@
+//! Luby's classic parallel MIS — the paper's reference point \[57\].
+//!
+//! §5.3 opens with the line of parallel MIS work that starts at Luby's
+//! algorithm: rounds of fresh random values, select every vertex that is
+//! a local minimum among its live neighbors, remove the selected and
+//! their neighborhoods. `O(m)` work per round, `O(log n)` rounds whp —
+//! but the output is *not* the greedy MIS: the random values are redrawn
+//! each round, so there is no fixed priority order a sequential greedy
+//! could follow. The paper's point (via Blelloch et al. \[13\] and
+//! Fischer–Noever \[42\]) is that committing to *one* random priority
+//! order gives the same round bound *and* a sequential-equivalent
+//! output; this module exists so the benches can show both sides.
+
+use pp_graph::Graph;
+use pp_parlay::rng::hash64;
+use rayon::prelude::*;
+
+/// Counters for a [`mis_luby`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LubyStats {
+    /// Rounds executed (`O(log n)` whp).
+    pub rounds: usize,
+    /// Total live-vertex edge scans (work proxy).
+    pub edge_checks: u64,
+}
+
+/// Luby's MIS. Returns the selection mask and counters. The result is a
+/// maximal independent set, deterministic for a fixed `seed`, but *not*
+/// the greedy MIS of any single priority vector.
+pub fn mis_luby(g: &Graph, seed: u64) -> (Vec<bool>, LubyStats) {
+    let n = g.num_vertices();
+    let mut in_mis = vec![false; n];
+    let mut removed = vec![false; n];
+    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut stats = LubyStats::default();
+    let mut round: u64 = 0;
+    while !live.is_empty() {
+        stats.rounds += 1;
+        // Fresh random value per (round, vertex); ties broken by id so
+        // the local-minimum rule never deadlocks.
+        let val = |v: u32| (hash64(seed ^ round, u64::from(v)), v);
+        let checks: u64 = live.par_iter().map(|&v| g.degree(v) as u64).sum();
+        stats.edge_checks += checks;
+        let winners: Vec<u32> = live
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .all(|&u| removed[u as usize] || val(v) < val(u))
+            })
+            .collect();
+        debug_assert!(!winners.is_empty(), "a global minimum always wins");
+        for &v in &winners {
+            in_mis[v as usize] = true;
+            removed[v as usize] = true;
+        }
+        for &v in &winners {
+            for &u in g.neighbors(v) {
+                removed[u as usize] = true;
+            }
+        }
+        live.retain(|&v| !removed[v as usize]);
+        round += 1;
+    }
+    (in_mis, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::is_maximal_independent;
+    use super::*;
+    use pp_graph::gen;
+
+    #[test]
+    fn maximal_on_many_graphs() {
+        for (g, seed) in [
+            (gen::uniform(500, 2000, 1), 10u64),
+            (gen::cycle(101), 11),
+            (gen::star(64), 12),
+            (gen::grid2d(20, 25), 13),
+            (gen::rmat(9, 4096, 14), 14),
+        ] {
+            let (set, stats) = mis_luby(&g, seed);
+            assert!(is_maximal_independent(&g, &set));
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn rounds_logarithmic() {
+        let g = gen::uniform(20_000, 80_000, 2);
+        let (set, stats) = mis_luby(&g, 3);
+        assert!(is_maximal_independent(&g, &set));
+        assert!(stats.rounds <= 30, "rounds {}", stats.rounds);
+    }
+
+    #[test]
+    fn complete_graph_one_vertex() {
+        let n = 40usize;
+        let mut b = pp_graph::GraphBuilder::new(n).symmetric();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                b.add(u, v);
+            }
+        }
+        let g = b.build();
+        let (set, stats) = mis_luby(&g, 4);
+        assert_eq!(set.iter().filter(|&&x| x).count(), 1);
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn empty_graph_selects_everything() {
+        let g = pp_graph::GraphBuilder::new(50).build();
+        let (set, stats) = mis_luby(&g, 5);
+        assert!(set.iter().all(|&x| x));
+        assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::uniform(300, 1200, 6);
+        assert_eq!(mis_luby(&g, 7).0, mis_luby(&g, 7).0);
+    }
+}

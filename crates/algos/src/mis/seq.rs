@@ -1,0 +1,43 @@
+//! Sequential greedy MIS: the iterative algorithm being parallelized.
+
+use pp_graph::Graph;
+
+/// Greedy MIS by priority: vertices are processed from highest to lowest
+/// priority; a vertex joins the set iff none of its neighbors has.
+/// Returns the selection mask.
+pub fn mis_seq(g: &Graph, priority: &[u32]) -> Vec<bool> {
+    let n = g.num_vertices();
+    assert_eq!(priority.len(), n);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(priority[v as usize]));
+    let mut selected = vec![false; n];
+    let mut removed = vec![false; n];
+    for &v in &order {
+        if removed[v as usize] {
+            continue;
+        }
+        selected[v as usize] = true;
+        for &u in g.neighbors(v) {
+            removed[u as usize] = true;
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_greedy() {
+        // Path 0-1-2 with priorities [3,1,2]: select 0, remove 1, select 2.
+        let mut b = GraphBuilder::new(3).symmetric();
+        b.add(0, 1);
+        b.add(1, 2);
+        let g = b.build();
+        assert_eq!(mis_seq(&g, &[3, 1, 2]), vec![true, false, true]);
+        // Priorities [1,3,2]: select 1, remove 0 and 2.
+        assert_eq!(mis_seq(&g, &[1, 3, 2]), vec![false, true, false]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Algorithm 4: the asynchronous TAS-tree MIS.
+//!
+//! Each vertex `v` owns a TAS tree with one leaf per *blocking neighbor*
+//! (neighbor with higher priority). A vertex with an empty tree is
+//! immediately ready. Waking `v` selects it and removes each undecided
+//! neighbor `u`; every removal is propagated into the TAS trees of `u`'s
+//! lower-priority neighbors, and whichever propagation completes a tree
+//! wakes that vertex — no rounds, no synchronization barriers
+//! (Theorem 5.7: `O(m)` work, `O(log n log d_max)` span whp).
+//!
+//! Status transitions are protected by CAS so that selection and removal
+//! can never both claim a vertex (the TAS-tree semantics already make
+//! that impossible — see the argument in the module tests — but the CAS
+//! keeps the code robust under any interleaving).
+
+use phase_parallel::TasForest;
+use pp_graph::Graph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNDECIDED: u8 = 0;
+const SELECTED: u8 = 1;
+const REMOVED: u8 = 2;
+
+struct State<'g> {
+    g: &'g Graph,
+    priority: &'g [u32],
+    status: Vec<AtomicU8>,
+    forest: TasForest,
+    /// Per-arc: slot of the reverse arc in the target's adjacency list.
+    rev_slot: Vec<u32>,
+    /// Per-arc `(v → u)`: the number of *blocking* neighbors of `v`
+    /// strictly before this slot — i.e. `u`'s leaf index in `v`'s TAS
+    /// tree when `u` blocks `v`.
+    blocking_rank: Vec<u32>,
+    /// Arc-offset base per vertex (mirror of the CSR offsets).
+    offsets: Vec<usize>,
+}
+
+/// Asynchronous greedy MIS via TAS trees. Returns the same set as
+/// [`super::mis_seq`] for the same priorities.
+pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
+    let n = g.num_vertices();
+    assert_eq!(priority.len(), n);
+    // CSR mirrors: offsets, reverse-arc slots, blocking ranks.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n as u32 {
+        offsets.push(offsets[v as usize] + g.degree(v));
+    }
+    let m = offsets[n];
+    let mut rev_slot = vec![0u32; m];
+    let mut blocking_rank = vec![0u32; m];
+    let mut counts = vec![0u32; n];
+    // blocking_rank and counts: sequential per vertex, parallel over vertices.
+    counts
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(v, c)| {
+            let v = v as u32;
+            let mut k = 0u32;
+            for &u in g.neighbors(v) {
+                if priority[u as usize] > priority[v as usize] {
+                    k += 1;
+                }
+            }
+            *c = k;
+        });
+    {
+        // Fill blocking_rank (prefix counts) and rev_slot.
+        let br = SyncSlice(blocking_rank.as_mut_ptr());
+        let rs = SyncSlice(rev_slot.as_mut_ptr());
+        (0..n as u32).into_par_iter().for_each(|v| {
+            let base = offsets[v as usize];
+            let mut k = 0u32;
+            for (s, &u) in g.neighbors(v).iter().enumerate() {
+                // SAFETY: arc slots are disjoint across vertices.
+                unsafe { br.get().add(base + s).write(k) };
+                if priority[u as usize] > priority[v as usize] {
+                    k += 1;
+                }
+                // Reverse slot: position of v within u's sorted adjacency.
+                let pos = g.neighbors(u).partition_point(|&w| w < v);
+                debug_assert_eq!(g.neighbors(u)[pos], v);
+                unsafe { rs.get().add(base + s).write((offsets[u as usize] + pos) as u32) };
+            }
+        });
+    }
+
+    let state = State {
+        g,
+        priority,
+        status: (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect(),
+        forest: TasForest::new(&counts),
+        rev_slot,
+        blocking_rank,
+        offsets,
+    };
+
+    // Kick off every vertex with no blocking neighbor, in parallel.
+    (0..n as u32).into_par_iter().for_each(|v| {
+        if state.forest.leaves_of(v as usize) == 0 {
+            wake_cascade(&state, v);
+        }
+    });
+
+    state
+        .status
+        .into_iter()
+        .map(|s| s.into_inner() == SELECTED)
+        .collect()
+}
+
+/// Select `v` and run the whole wake cascade it triggers (Algorithm 4's
+/// `WakeUp`, iterated). The cascade advances level by level within this
+/// call — a loop rather than recursion so that a priority chain of depth
+/// `Θ(n)` (the worst case) cannot overflow the stack; the breadth at
+/// each level still fans out through `rayon`. Many cascades started from
+/// different roots run concurrently.
+fn wake_cascade(state: &State<'_>, v0: u32) {
+    let mut frontier = vec![v0];
+    while !frontier.is_empty() {
+        // Select this level. Vertices arriving here are never adjacent:
+        // a TAS-tree only completes when all higher-priority neighbors
+        // are removed, and a vertex being selected is not removed.
+        for &v in &frontier {
+            let ok = state.status[v as usize]
+                .compare_exchange(UNDECIDED, SELECTED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+            debug_assert!(ok, "TAS-tree completion implies undecided");
+        }
+        // Remove neighbors and collect the vertices whose TAS trees the
+        // removals complete — the next level of this cascade.
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&v| state.g.neighbors(v).iter().copied())
+            .filter(|&u| {
+                // First claim of the removal processes it exactly once.
+                state.status[u as usize]
+                    .compare_exchange(UNDECIDED, REMOVED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .collect::<Vec<u32>>()
+            .par_iter()
+            .flat_map_iter(|&u| removed(state, u))
+            .collect();
+    }
+}
+
+/// `u` just became unavailable: notify the TAS trees of all vertices `w`
+/// that `u` blocks (i.e. `pri[w] < pri[u]`). Returns the vertices whose
+/// trees completed (now ready to wake).
+fn removed(state: &State<'_>, u: u32) -> Vec<u32> {
+    let base = state.offsets[u as usize];
+    state
+        .g
+        .neighbors(u)
+        .iter()
+        .enumerate()
+        .filter_map(|(s, &w)| {
+            if state.priority[w as usize] < state.priority[u as usize]
+                && state.status[w as usize].load(Ordering::Relaxed) != REMOVED
+            {
+                // Leaf of u in w's tree = number of blocking neighbors of
+                // w before the (w → u) arc.
+                let leaf = state.blocking_rank[state.rev_slot[base + s] as usize];
+                if state.forest.mark(w as usize, leaf as usize) {
+                    return Some(w);
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// Disjoint-slot parallel writes (each arc slot written once).
+struct SyncSlice<T>(*mut T);
+unsafe impl<T: Send> Send for SyncSlice<T> {}
+unsafe impl<T: Send> Sync for SyncSlice<T> {}
+impl<T> SyncSlice<T> {
+    /// Accessor (not field access) so closures capture the `Sync`
+    /// wrapper, not the raw pointer.
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+    use pp_parlay::shuffle::random_priorities;
+
+    #[test]
+    fn triangle_selects_highest() {
+        let mut b = pp_graph::GraphBuilder::new(3).symmetric();
+        b.add(0, 1);
+        b.add(1, 2);
+        b.add(0, 2);
+        let g = b.build();
+        let set = mis_tas(&g, &[5, 9, 1]);
+        assert_eq!(set, vec![false, true, false]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // The greedy MIS is a function of priorities alone; repeated runs
+        // (different schedules) must agree.
+        let g = gen::rmat(10, 8192, 3);
+        let pri = random_priorities(g.num_vertices(), 42);
+        let first = mis_tas(&g, &pri);
+        for _ in 0..5 {
+            assert_eq!(mis_tas(&g, &pri), first);
+        }
+    }
+
+    #[test]
+    fn high_degree_stress() {
+        // Star-of-stars: deep wake chains through high-degree hubs.
+        let g = gen::star(5000);
+        let pri = random_priorities(5000, 7);
+        let set = mis_tas(&g, &pri);
+        assert!(super::super::is_maximal_independent(&g, &set));
+    }
+}

@@ -1,0 +1,60 @@
+//! Frontier-based parallel Bellman-Ford: the maximal-parallelism,
+//! work-inefficient end of the SSSP spectrum (§6.3 background) — every
+//! round relaxes all out-edges of every improved vertex.
+
+use super::INF;
+use pp_graph::Graph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shortest distances from `source` by round-synchronous relaxation.
+pub fn bellman_ford(g: &Graph, source: u32) -> Vec<u64> {
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        // Relax all frontier edges; collect vertices whose distance
+        // improved (dedup below).
+        let dist = &dist;
+        let mut improved: Vec<u32> = frontier
+            .par_iter()
+            .flat_map_iter(move |&v| {
+                let d = dist[v as usize].load(Ordering::Relaxed);
+                let ws = g.edge_weights(v);
+                g.neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, &u)| {
+                        let nd = d + ws[i];
+                        if nd < dist[u as usize].fetch_min(nd, Ordering::Relaxed) {
+                            Some(u)
+                        } else {
+                            None
+                        }
+                    })
+            })
+            .collect();
+        pp_parlay::par_sort(&mut improved);
+        improved.dedup();
+        frontier = improved;
+    }
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::GraphBuilder;
+
+    #[test]
+    fn matches_hand_computed() {
+        let mut b = GraphBuilder::new(4).symmetric().weighted();
+        b.add_weighted(0, 1, 1);
+        b.add_weighted(1, 2, 1);
+        b.add_weighted(2, 3, 1);
+        b.add_weighted(0, 3, 10);
+        let g = b.build();
+        assert_eq!(bellman_ford(&g, 0), vec![0, 1, 2, 3]);
+    }
+}

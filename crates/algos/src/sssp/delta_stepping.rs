@@ -1,0 +1,160 @@
+//! Δ-stepping (Meyer & Sanders), the §6.3 experimental vehicle.
+//!
+//! Distances are settled in increments of Δ: bucket `i` holds vertices
+//! with tentative distance in `[iΔ, (i+1)Δ)`; the bucket is drained by
+//! inner Bellman-Ford substeps until no vertex in it improves, then the
+//! algorithm advances to the next non-empty bucket. **Δ = w\*** makes
+//! every substep settle only vertices that cannot depend on each other —
+//! the paper's phase-parallel relaxed rank (`rank(v) = ⌈d(v)/w*⌉`,
+//! Theorem 4.5) — at the cost of smaller frontiers; the Fig. 6 sweep
+//! explores exactly this tradeoff.
+
+use super::INF;
+use pp_graph::Graph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Execution counters for one Δ-stepping run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeltaStats {
+    /// Non-empty buckets drained (≈ relaxed rank of the instance when
+    /// Δ = w*).
+    pub buckets_processed: usize,
+    /// Inner Bellman-Ford substeps across all buckets (the span driver).
+    pub substeps: usize,
+    /// Total edge relaxations performed (the work driver; compare with
+    /// `m` for work-efficiency).
+    pub relaxations: usize,
+}
+
+/// Δ-stepping from `source` with bucket width `delta`.
+/// Panics on unweighted graphs or `delta == 0`.
+pub fn delta_stepping(g: &Graph, source: u32, delta: u64) -> (Vec<u64>, DeltaStats) {
+    assert!(delta >= 1);
+    assert!(g.is_weighted() || g.num_edges() == 0);
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    // Distance at which each vertex was last relaxed (INF = never):
+    // avoids re-relaxing a vertex whose distance hasn't improved since.
+    let last_relaxed: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let mut buckets: Vec<Vec<u32>> = vec![vec![source]];
+    let mut stats = DeltaStats::default();
+    let relax_count = AtomicU64::new(0);
+
+    let bucket_of = |d: u64| (d / delta) as usize;
+    let mut i = 0usize;
+    while i < buckets.len() {
+        let mut processed_any = false;
+        loop {
+            // Candidates still belonging to bucket i whose distance
+            // improved since their last relaxation.
+            let mut cand = std::mem::take(&mut buckets[i]);
+            pp_parlay::par_sort(&mut cand);
+            cand.dedup();
+            let frontier: Vec<u32> = cand
+                .into_par_iter()
+                .filter(|&v| {
+                    let d = dist[v as usize].load(Ordering::Relaxed);
+                    d != INF
+                        && bucket_of(d) == i
+                        && d < last_relaxed[v as usize].load(Ordering::Relaxed)
+                })
+                .collect();
+            if frontier.is_empty() {
+                break;
+            }
+            processed_any = true;
+            stats.substeps += 1;
+            // Mark relaxation distances, then relax all edges.
+            frontier.par_iter().for_each(|&v| {
+                let d = dist[v as usize].load(Ordering::Relaxed);
+                last_relaxed[v as usize].store(d, Ordering::Relaxed);
+            });
+            let dist_ref = &dist;
+            let last_ref = &last_relaxed;
+            let relax_ref = &relax_count;
+            let updated: Vec<(usize, u32)> = frontier
+                .par_iter()
+                .flat_map_iter(move |&v| {
+                    let d = last_ref[v as usize].load(Ordering::Relaxed);
+                    let ws = g.edge_weights(v);
+                    relax_ref.fetch_add(ws.len() as u64, Ordering::Relaxed);
+                    g.neighbors(v)
+                        .iter()
+                        .enumerate()
+                        .filter_map(move |(e, &u)| {
+                            let nd = d + ws[e];
+                            if nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) {
+                                Some((bucket_of(nd), u))
+                            } else {
+                                None
+                            }
+                        })
+                })
+                .collect();
+            for (b, u) in updated {
+                if b >= buckets.len() {
+                    buckets.resize_with(b + 1, Vec::new);
+                }
+                buckets[b].push(u);
+            }
+        }
+        if processed_any {
+            stats.buckets_processed += 1;
+        }
+        i += 1;
+    }
+    stats.relaxations = relax_count.into_inner() as usize;
+    (
+        dist.into_iter().map(AtomicU64::into_inner).collect(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{gen, GraphBuilder};
+
+    #[test]
+    fn large_delta_behaves_like_bellman_ford() {
+        // Δ ≥ max distance → a single bucket.
+        let g = gen::grid2d(10, 10);
+        let wg = gen::with_uniform_weights(&g, 1, 10, 1);
+        let (d, stats) = delta_stepping(&wg, 0, 1 << 40);
+        assert_eq!(stats.buckets_processed, 1);
+        assert_eq!(d[99], super::super::dijkstra(&wg, 0)[99]);
+    }
+
+    #[test]
+    fn small_delta_many_buckets_fewer_relaxations() {
+        let g = gen::uniform(500, 4000, 2);
+        let wg = gen::with_uniform_weights(&g, 100, 200, 3);
+        // Δ = w*: work-efficient — relaxation count close to m.
+        let (_, tight) = delta_stepping(&wg, 0, 100);
+        // Huge Δ: Bellman-Ford-ish — strictly more relaxations.
+        let (_, loose) = delta_stepping(&wg, 0, 1 << 40);
+        assert!(
+            tight.relaxations <= loose.relaxations,
+            "tight {} loose {}",
+            tight.relaxations,
+            loose.relaxations
+        );
+        assert!(tight.buckets_processed > loose.buckets_processed);
+    }
+
+    #[test]
+    fn triangle_inequality_violating_buckets() {
+        // A vertex first reached in a far bucket, later improved into a
+        // nearer one: 0→2 direct (weight 100) vs 0→1→2 (30 + 30).
+        let mut b = GraphBuilder::new(3).symmetric().weighted();
+        b.add_weighted(0, 2, 100);
+        b.add_weighted(0, 1, 30);
+        b.add_weighted(1, 2, 30);
+        let g = b.build();
+        let (d, _) = delta_stepping(&g, 0, 10);
+        assert_eq!(d, vec![0, 30, 60]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Sequential Dijkstra with a binary heap: the work-efficient baseline
+//! (`O(m log n)`), processing vertices in distance order — the
+//! sequential iterative algorithm the phase-parallel version
+//! parallelizes.
+
+use super::INF;
+use pp_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Shortest distances from `source`. Unreachable vertices get [`INF`].
+pub fn dijkstra(g: &Graph, source: u32) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        let ws = g.edge_weights(v);
+        for (i, &u) in g.neighbors(v).iter().enumerate() {
+            let nd = d + ws[i];
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::GraphBuilder;
+
+    #[test]
+    fn small_known_graph() {
+        // 0 -5- 1 -2- 2, 0 -9- 2: shortest 0→2 is 7.
+        let mut b = GraphBuilder::new(3).symmetric().weighted();
+        b.add_weighted(0, 1, 5);
+        b.add_weighted(1, 2, 2);
+        b.add_weighted(0, 2, 9);
+        let g = b.build();
+        assert_eq!(dijkstra(&g, 0), vec![0, 5, 7]);
+        assert_eq!(dijkstra(&g, 2), vec![7, 2, 0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Single-source shortest paths (§4.3 relaxed rank; experiments §6.3).
+//!
+//! The phase-parallel view: the relaxed rank of a vertex is
+//! `⌈d(v) / w*⌉` (distances within a `w*` window cannot depend on each
+//! other, since every relaxation adds at least the minimum edge weight
+//! `w*`), so settling one `w*`-wide distance window per round is
+//! round-efficient — and is *conceptually the same as Δ-stepping with
+//! Δ = w\** (the paper's observation, tested in Fig. 6).
+//!
+//! * [`dijkstra`] — the sequential work-efficient baseline.
+//! * [`bellman_ford`] — the parallel work-inefficient baseline.
+//! * [`delta_stepping`] — bucketed Δ-stepping; `delta = w*` gives the
+//!   phase-parallel algorithm of Theorem 4.5.
+//! * [`sssp_phase_parallel`] — the Δ = w* instantiation.
+//! * [`rho_stepping`] — the count-based stepping of the paper's \[39\],
+//!   the implementation family Fig. 6 is measured with.
+//! * [`crauser_out`] — Crauser et al.'s OUT-criterion \[31\], the
+//!   alternative relaxed rank §4.3 points at.
+
+mod bellman_ford;
+mod crauser;
+mod delta_stepping;
+mod dijkstra;
+mod pam_dijkstra;
+mod rho_stepping;
+
+pub use bellman_ford::bellman_ford;
+pub use crauser::{crauser_out, CrauserStats};
+pub use delta_stepping::{delta_stepping, DeltaStats};
+pub use dijkstra::dijkstra;
+pub use pam_dijkstra::sssp_pam;
+pub use rho_stepping::{rho_stepping, RhoStats};
+
+use pp_graph::Graph;
+
+/// Unreachable-distance sentinel.
+pub const INF: u64 = u64::MAX;
+
+/// The paper's phase-parallel SSSP: Δ-stepping with Δ = w*
+/// (Theorem 4.5). Panics on unweighted or edgeless graphs.
+pub fn sssp_phase_parallel(g: &Graph, source: u32) -> (Vec<u64>, DeltaStats) {
+    let w_star = g.min_weight().expect("weighted graph required").max(1);
+    delta_stepping(g, source, w_star)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::gen;
+
+    fn check_all_agree(g: &Graph, source: u32) {
+        let d1 = dijkstra(g, source);
+        let d2 = bellman_ford(g, source);
+        assert_eq!(d1, d2, "dijkstra vs bellman-ford");
+        for delta in [1u64, 7, 1 << 10, 1 << 20] {
+            let (d3, _) = delta_stepping(g, source, delta);
+            assert_eq!(d1, d3, "dijkstra vs delta={delta}");
+        }
+        let (d4, _) = sssp_phase_parallel(g, source);
+        assert_eq!(d1, d4);
+    }
+
+    #[test]
+    fn agree_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::uniform(300, 1200, seed);
+            let wg = gen::with_uniform_weights(&g, 1, 1000, seed + 100);
+            check_all_agree(&wg, 0);
+        }
+    }
+
+    #[test]
+    fn agree_on_grid() {
+        let g = gen::grid2d(20, 30);
+        let wg = gen::with_uniform_weights(&g, 5, 50, 3);
+        check_all_agree(&wg, 0);
+        check_all_agree(&wg, 599);
+    }
+
+    #[test]
+    fn agree_on_rmat() {
+        let g = gen::rmat(9, 4096, 17);
+        let wg = gen::with_uniform_weights(&g, 1 << 17, 1 << 23, 18);
+        check_all_agree(&wg, 0);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreachable() {
+        // Two components: SSSP from one leaves the other at INF.
+        let mut b = pp_graph::GraphBuilder::new(4).symmetric().weighted();
+        b.add_weighted(0, 1, 5);
+        b.add_weighted(2, 3, 7);
+        let g = b.build();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![0, 5, INF, INF]);
+        let (d2, _) = delta_stepping(&g, 0, 5);
+        assert_eq!(d2, d);
+        assert_eq!(bellman_ford(&g, 0), d);
+    }
+
+    #[test]
+    fn rounds_track_relaxed_rank() {
+        // A weighted path: distance to the far end = sum of weights; with
+        // Δ = w*, the number of buckets processed ≈ dist / w*.
+        let n = 50usize;
+        let mut b = pp_graph::GraphBuilder::new(n).symmetric().weighted();
+        for i in 0..n - 1 {
+            b.add_weighted(i as u32, i as u32 + 1, 10);
+        }
+        let g = b.build();
+        let (d, stats) = delta_stepping(&g, 0, 10);
+        assert_eq!(d[n - 1], 10 * (n as u64 - 1));
+        // Relaxed rank = d_max / w* = 49.
+        assert_eq!(stats.buckets_processed, 49 + 1); // bucket 0 included
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = pp_graph::GraphBuilder::new(1).weighted().build();
+        assert_eq!(dijkstra(&g, 0), vec![0]);
+        let (d, _) = delta_stepping(&g, 0, 1);
+        assert_eq!(d, vec![0]);
+    }
+}

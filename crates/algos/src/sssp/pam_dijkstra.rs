@@ -1,0 +1,127 @@
+//! The literal Theorem 4.5 algorithm: phase-parallel Dijkstra with a
+//! PA-BST maintaining tentative distances.
+//!
+//! "Using PA-BST to maintain the distances of all vertices" — the tree
+//! holds `(tentative distance, vertex)` for every reached-but-unsettled
+//! vertex, augmented implicitly by its minimum key. Each round settles
+//! the window `[d_0, ⌈d_0/w*+1⌉·w*)` (a split), relaxes the frontier's
+//! edges in parallel, and applies the distance improvements as batch
+//! delete+insert — `O(|E| log |V|)` work and `O(rank(V) log |V|)` span,
+//! with `rank(V) = d_max / w*`.
+//!
+//! The array-backed [`super::delta_stepping`] with Δ = w* is the
+//! practical equivalent (§6.3 footnote: "almost none of the parallel
+//! SSSP implementations uses tree-based structures ... due to their
+//! worse cache locality than flat arrays"); both are kept so the
+//! flat-vs-tree contrast is measurable here too.
+
+use super::INF;
+use pp_graph::Graph;
+use pp_pam::{AugTree, NoAug};
+use rayon::prelude::*;
+
+/// Phase-parallel Dijkstra on a PA-BST. Returns `(distances, rounds)`.
+/// Panics on unweighted graphs with edges.
+pub fn sssp_pam(g: &Graph, source: u32) -> (Vec<u64>, usize) {
+    let n = g.num_vertices();
+    let w_star = g.min_weight().unwrap_or(1).max(1);
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    let mut tree: AugTree<(u64, u32), (), NoAug> = AugTree::new(NoAug);
+    tree.insert((0, source), ());
+    let mut rounds = 0usize;
+    while !tree.is_empty() {
+        rounds += 1;
+        let &(d0, _) = tree.first().expect("non-empty").0;
+        let hi = (d0 / w_star + 1) * w_star;
+        // Settle every vertex with tentative distance < hi: relaxations
+        // out of the window land at >= d0 + w* >= hi, so nothing inside
+        // the window can improve (the relaxed-rank argument of §4.3).
+        let (frontier_tree, _, rest) = tree.split_at(&(hi, 0));
+        tree = rest;
+        let frontier: Vec<(u64, u32)> = frontier_tree
+            .flatten()
+            .into_iter()
+            .map(|(k, ())| k)
+            .collect();
+        // Relax all frontier edges in parallel; collect improvements.
+        let dist_ref = &dist;
+        let mut cands: Vec<(u32, u64)> = frontier
+            .par_iter()
+            .flat_map_iter(move |&(d, v)| {
+                let ws = g.edge_weights(v);
+                g.neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(e, &u)| {
+                        let nd = d + ws[e];
+                        (nd < dist_ref[u as usize]).then_some((u, nd))
+                    })
+            })
+            .collect();
+        // Keep the best improvement per vertex.
+        pp_parlay::par_sort(&mut cands);
+        cands.dedup_by_key(|&mut (u, _)| u);
+        let improved: Vec<(u32, u64, u64)> = cands
+            .into_iter()
+            .filter(|&(u, nd)| nd < dist[u as usize])
+            .map(|(u, nd)| (u, dist[u as usize], nd))
+            .collect();
+        // Batch-update the tree: delete stale entries, insert new ones.
+        let stale: Vec<(u64, u32)> = improved
+            .iter()
+            .filter(|&&(_, old, _)| old != INF)
+            .map(|&(u, old, _)| (old, u))
+            .collect();
+        tree.multi_delete(stale);
+        tree.multi_insert(
+            improved
+                .iter()
+                .map(|&(u, _, nd)| ((nd, u), ()))
+                .collect(),
+        );
+        for &(u, _, nd) in &improved {
+            dist[u as usize] = nd;
+        }
+    }
+    (dist, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{delta_stepping, dijkstra};
+    use super::*;
+    use pp_graph::gen;
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::uniform(400, 1600, seed);
+            let wg = gen::with_uniform_weights(&g, 10, 500, seed + 9);
+            let (d, _) = sssp_pam(&wg, 0);
+            assert_eq!(d, dijkstra(&wg, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rounds_match_delta_stepping_buckets() {
+        // Same windowing: rounds ≈ Δ-stepping's bucket count at Δ = w*.
+        let g = gen::grid2d(20, 20);
+        let wg = gen::with_uniform_weights(&g, 100, 150, 1);
+        let (d, rounds) = sssp_pam(&wg, 0);
+        let (d2, stats) = delta_stepping(&wg, 0, 100);
+        assert_eq!(d, d2);
+        // Both settle w*-wide windows; counts agree up to empty windows.
+        assert!(rounds >= stats.buckets_processed);
+        let d_max = *d.iter().filter(|&&x| x != INF).max().unwrap();
+        assert!(rounds as u64 <= d_max / 100 + 2);
+    }
+
+    #[test]
+    fn single_vertex_and_disconnected() {
+        let g = pp_graph::GraphBuilder::new(3).weighted().build();
+        let (d, rounds) = sssp_pam(&g, 1);
+        assert_eq!(d, vec![INF, 0, INF]);
+        assert_eq!(rounds, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! ρ-stepping: settle the ρ closest unsettled vertices per step.
+//!
+//! The paper's §4.3/§6.3 discussion places Δ-stepping and ρ-stepping
+//! (Dong, Gu, Sun & Zhang, SPAA 2021 — the paper's \[39\], whose
+//! implementation the authors use for Fig. 6) on the same
+//! work-vs-parallelism tradeoff curve that the relaxed rank formalizes:
+//! Δ-stepping widens each round by *distance*, ρ-stepping widens it by
+//! *count*. We implement ρ-stepping so the tradeoff can be benchmarked
+//! against `delta_stepping` with Δ = w* (the phase-parallel choice).
+//!
+//! Algorithm: keep a pool of *active* vertices (tentative distance
+//! improved since last processed). Each step extracts the ρ active
+//! vertices with the smallest tentative distances (all of them if the
+//! pool is small), relaxes their out-edges in parallel, and re-activates
+//! any vertex whose distance improves — including ones processed before
+//! (`ρ = 1` degenerates to Dijkstra without a decrease-key, `ρ = ∞` to
+//! Bellman-Ford). Like Δ-stepping, extra work appears only when a batch
+//! member's distance later improves.
+
+use super::INF;
+use pp_graph::Graph;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Counters for a [`rho_stepping`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RhoStats {
+    /// Steps executed (each processes ≤ ρ vertices plus ties).
+    pub steps: u64,
+    /// Total edge relaxations attempted — the work proxy; `/ m` measures
+    /// the work overhead vs Dijkstra's exactly-once relaxation.
+    pub relaxations: u64,
+    /// Total vertices processed across steps (re-processing counts).
+    pub processed: u64,
+}
+
+/// Shortest distances from `source` by ρ-stepping. Unreachable vertices
+/// get [`INF`]. Requires a weighted graph; `rho == 0` is rejected.
+pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) {
+    assert!(rho > 0, "rho must be positive");
+    let n = g.num_vertices();
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    let in_pool: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    in_pool[source as usize].store(true, Ordering::Relaxed);
+    let mut pool: Vec<u32> = vec![source];
+    let mut stats = RhoStats::default();
+
+    while !pool.is_empty() {
+        stats.steps += 1;
+        // Pick the batch: the ρ smallest tentative distances in the pool
+        // (with ties at the threshold included, so the batch is a
+        // deterministic function of the distances).
+        let batch: Vec<u32> = if pool.len() <= rho {
+            std::mem::take(&mut pool)
+        } else {
+            let mut ds: Vec<u64> = pool
+                .iter()
+                .map(|&v| dist[v as usize].load(Ordering::Relaxed))
+                .collect();
+            let (_, thr, _) = ds.select_nth_unstable(rho - 1);
+            let thr = *thr;
+            let (batch, rest): (Vec<u32>, Vec<u32>) = pool
+                .par_iter()
+                .partition(|&&v| dist[v as usize].load(Ordering::Relaxed) <= thr);
+            pool = rest;
+            batch
+        };
+        stats.processed += batch.len() as u64;
+        batch
+            .iter()
+            .for_each(|&v| in_pool[v as usize].store(false, Ordering::Relaxed));
+
+        // Relax the batch in parallel; re-activate improved vertices.
+        let relaxed: u64 = batch
+            .par_iter()
+            .map(|&v| {
+                let dv = dist[v as usize].load(Ordering::Relaxed);
+                let ws = g.edge_weights(v);
+                let mut count = 0u64;
+                for (i, &u) in g.neighbors(v).iter().enumerate() {
+                    count += 1;
+                    let nd = dv + ws[i];
+                    if dist[u as usize].fetch_min(nd, Ordering::Relaxed) > nd {
+                        in_pool[u as usize].store(true, Ordering::Relaxed);
+                    }
+                }
+                count
+            })
+            .sum();
+        stats.relaxations += relaxed;
+
+        // Rebuild the pool without duplicates: each phase *steals* the
+        // activation flag (swap to false), so a vertex reachable from
+        // several sources — a pool survivor that also improved, a vertex
+        // adjacent to two batch members, a batch member re-activated by an
+        // in-batch cycle — is collected exactly once. Flags are restored
+        // afterwards, re-establishing the invariant "pool = flagged set".
+        let mut next: Vec<u32> = pool
+            .iter()
+            .copied()
+            .filter(|&v| in_pool[v as usize].swap(false, Ordering::Relaxed))
+            .collect();
+        let fresh: Vec<u32> = batch
+            .par_iter()
+            .flat_map_iter(|&v| g.neighbors(v).iter().copied())
+            .filter(|&u| {
+                in_pool[u as usize].load(Ordering::Relaxed)
+                    && in_pool[u as usize].swap(false, Ordering::Relaxed)
+            })
+            .collect();
+        next.extend_from_slice(&fresh);
+        next.extend(
+            batch
+                .iter()
+                .copied()
+                .filter(|&v| in_pool[v as usize].swap(false, Ordering::Relaxed)),
+        );
+        next.iter()
+            .for_each(|&v| in_pool[v as usize].store(true, Ordering::Relaxed));
+        pool = next;
+    }
+
+    (
+        dist.into_iter().map(AtomicU64::into_inner).collect(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dijkstra;
+    use super::*;
+    use pp_graph::{gen, GraphBuilder};
+
+    fn check(g: &Graph, source: u32) {
+        let want = dijkstra(g, source);
+        for rho in [1usize, 2, 16, 1 << 20] {
+            let (got, _) = rho_stepping(g, source, rho);
+            assert_eq!(got, want, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dijkstra() {
+        for seed in 0..4 {
+            let g = gen::uniform(250, 1000, seed);
+            let wg = gen::with_uniform_weights(&g, 1, 1000, seed + 50);
+            check(&wg, 0);
+        }
+        let g = gen::grid2d(15, 20);
+        check(&gen::with_uniform_weights(&g, 5, 50, 9), 7);
+    }
+
+    #[test]
+    fn disconnected() {
+        let mut b = GraphBuilder::new(4).symmetric().weighted();
+        b.add_weighted(0, 1, 5);
+        b.add_weighted(2, 3, 7);
+        let g = b.build();
+        let (d, _) = rho_stepping(&g, 0, 4);
+        assert_eq!(d, vec![0, 5, INF, INF]);
+    }
+
+    #[test]
+    fn rho_one_is_work_efficient() {
+        // ρ = 1 processes vertices in exact distance order → every vertex
+        // processed once (Dijkstra), m relaxations total.
+        let g = gen::uniform(400, 1600, 3);
+        let wg = gen::with_uniform_weights(&g, 1, 1_000_000, 4);
+        let (d, stats) = rho_stepping(&wg, 0, 1);
+        assert_eq!(d, dijkstra(&wg, 0));
+        let reachable_edges: u64 = (0..wg.num_vertices() as u32)
+            .filter(|&v| d[v as usize] != INF)
+            .map(|v| wg.degree(v) as u64)
+            .sum();
+        assert_eq!(stats.relaxations, reachable_edges);
+    }
+
+    #[test]
+    fn large_rho_fewer_steps() {
+        let g = gen::uniform(2000, 8000, 5);
+        let wg = gen::with_uniform_weights(&g, 1, 100, 6);
+        let (_, s_small) = rho_stepping(&wg, 0, 4);
+        let (_, s_big) = rho_stepping(&wg, 0, 512);
+        assert!(s_big.steps < s_small.steps);
+        // And more steps ⇒ less re-relaxation (work-parallelism tradeoff).
+        assert!(s_big.relaxations >= s_small.relaxations);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = GraphBuilder::new(1).weighted().build();
+        let (d, _) = rho_stepping(&g, 0, 8);
+        assert_eq!(d, vec![0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks for Fig. 5: activity selection at two
+//! ranks, sequential vs Type 1 vs Type 2 (plus the PA-BST reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_algos::activity::{self, workload};
+
+fn bench_activity(c: &mut Criterion) {
+    let n = 200_000;
+    let mut group = c.benchmark_group("fig5_activity");
+    group.sample_size(10);
+    for rank in [100u64, 10_000] {
+        let acts = workload::with_target_rank(n, rank, 1);
+        group.bench_with_input(BenchmarkId::new("classic_seq", rank), &acts, |b, a| {
+            b.iter(|| activity::max_weight_seq(a))
+        });
+        group.bench_with_input(BenchmarkId::new("type1_flat", rank), &acts, |b, a| {
+            b.iter(|| activity::max_weight_type1(a))
+        });
+        group.bench_with_input(BenchmarkId::new("type1_pam", rank), &acts, |b, a| {
+            b.iter(|| activity::max_weight_type1_pam(a))
+        });
+        group.bench_with_input(BenchmarkId::new("type2", rank), &acts, |b, a| {
+            b.iter(|| activity::max_weight_type2(a))
+        });
+        group.bench_with_input(BenchmarkId::new("unweighted_logn_span", rank), &acts, |b, a| {
+            b.iter(|| activity::max_count_unweighted(a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activity);
+criterion_main!(benches);

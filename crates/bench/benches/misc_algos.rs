@@ -1,0 +1,104 @@
+//! Criterion microbenchmarks for the remaining algorithms: unlimited
+//! knapsack (§4.2), Whac-A-Mole (Appendix B), weighted LIS (§5.2
+//! generalization), and the multimap substrates (flat vs nested).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_algos::chain3d::{chain3d_par, chain3d_seq, Point3};
+use pp_algos::knapsack::{max_value_par, max_value_seq, Item};
+use pp_algos::lis::{lis_weighted_par, lis_weighted_seq, patterns, PivotMode};
+use pp_algos::random_perm::random_permutation_reservations;
+use pp_algos::whac::{whac2d_par, whac2d_seq, whac_par, whac_seq, Mole, Mole2d};
+use pp_pam::{Multimap, NestedMultimap};
+use pp_parlay::rng::{bounded, hash64};
+
+fn bench_misc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("misc_algos");
+    group.sample_size(10);
+
+    // Knapsack: 60 items, W = 100k, w* = 25.
+    let items: Vec<Item> = (0..60u64)
+        .map(|i| Item::new(25 + hash64(1, i) % 200, 1 + hash64(2, i) % 1000))
+        .collect();
+    group.bench_function("knapsack_par", |b| b.iter(|| max_value_par(&items, 100_000)));
+    group.bench_function("knapsack_seq", |b| b.iter(|| max_value_seq(&items, 100_000)));
+
+    // Whac-A-Mole: 100k moles.
+    let moles: Vec<Mole> = (0..100_000u64)
+        .map(|i| Mole {
+            t: (hash64(3, i) % 1_000_000) as i64,
+            p: (hash64(4, i) % 10_000) as i64 - 5_000,
+        })
+        .collect();
+    group.bench_function("whac_par", |b| {
+        b.iter(|| whac_par(&moles, PivotMode::RightMost, 5))
+    });
+    group.bench_function("whac_seq", |b| b.iter(|| whac_seq(&moles)));
+
+    // Weighted LIS: 100k elements, k ≈ 100.
+    let values = patterns::segment(100_000, 100, 6);
+    let weights: Vec<u32> = (0..values.len() as u64)
+        .map(|i| 1 + (hash64(7, i) % 50) as u32)
+        .collect();
+    group.bench_function("lis_weighted_par", |b| {
+        b.iter(|| lis_weighted_par(&values, &weights, PivotMode::RightMost, 8))
+    });
+    group.bench_function("lis_weighted_seq", |b| {
+        b.iter(|| lis_weighted_seq(&values, &weights))
+    });
+
+    // 3D dominance chain (Appendix B's 3D range-query extension).
+    let pts: Vec<Point3> = (0..20_000u64)
+        .map(|i| Point3 {
+            a: (hash64(11, i) % 100_000) as i64,
+            b: (hash64(12, i) % 100_000) as i64,
+            c: (hash64(13, i) % 100_000) as i64,
+        })
+        .collect();
+    group.bench_function("chain3d_par", |b| {
+        b.iter(|| chain3d_par(&pts, PivotMode::RightMost, 14))
+    });
+    group.bench_function("chain3d_seq", |b| b.iter(|| chain3d_seq(&pts)));
+
+    // 2D-grid Whac-A-Mole (4D dominance, one more tree level).
+    let moles2d: Vec<Mole2d> = (0..10_000u64)
+        .map(|i| Mole2d {
+            t: (hash64(15, i) % 60_000) as i64,
+            x: (hash64(16, i) % 200) as i64 - 100,
+            y: (hash64(17, i) % 200) as i64 - 100,
+        })
+        .collect();
+    group.bench_function("whac2d_par", |b| {
+        b.iter(|| whac2d_par(&moles2d, PivotMode::RightMost, 18))
+    });
+    group.bench_function("whac2d_seq", |b| b.iter(|| whac2d_seq(&moles2d)));
+
+    // Random permutation via deterministic reservations vs sort-based.
+    group.bench_function("random_perm_reservations", |b| {
+        b.iter(|| random_permutation_reservations(200_000, 19))
+    });
+    group.bench_function("random_perm_sortbased", |b| {
+        b.iter(|| pp_parlay::random_permutation(200_000, 19))
+    });
+
+    // Multimap substrates: build + multi_find, flat vs nested (App. A).
+    let pairs: Vec<(u32, u32)> = (0..100_000u64)
+        .map(|i| ((hash64(9, i) % 1000) as u32, bounded(hash64(10, i), 1 << 30) as u32))
+        .collect();
+    let keys: Vec<u32> = (0..1000).collect();
+    group.bench_function("multimap_flat_build_find", |b| {
+        b.iter(|| {
+            let m = Multimap::build(pairs.clone());
+            m.multi_find(&keys).len()
+        })
+    });
+    group.bench_function("multimap_nested_build_find", |b| {
+        b.iter(|| {
+            let m = NestedMultimap::build(pairs.clone());
+            m.multi_find(&keys).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_misc);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 10: sample the LIS input patterns as CSV for plotting.
+//!
+//! Emits (index, value) samples of the segment pattern (output sizes 10
+//! and 300) and the line pattern (1000 and 3000), mirroring the four
+//! panels of Fig. 10.
+//!
+//! `cargo run --release -p pp-bench --bin fig10 > fig10.csv`
+
+use pp_algos::lis::{lis_seq, patterns};
+
+fn emit(panel: &str, data: &[i64]) {
+    let k = lis_seq(data);
+    let step = (data.len() / 2000).max(1);
+    for (i, &v) in data.iter().enumerate().step_by(step) {
+        println!("{panel},{k},{i},{v}");
+    }
+}
+
+fn main() {
+    let n = 1_000_000;
+    println!("panel,measured_lis,i,a_i");
+    emit("a_segment_10", &patterns::segment(n, 10, 1));
+    emit("b_segment_300", &patterns::segment(n, 300, 1));
+    emit("c_line_1000", &patterns::line_with_target(n, 1000, 2));
+    emit("d_line_3000", &patterns::line_with_target(n, 3000, 2));
+}

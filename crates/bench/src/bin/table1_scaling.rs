@@ -1,0 +1,115 @@
+//! Table 1 empirical check: work scaling and round-efficiency of every
+//! algorithm.
+//!
+//! Table 1 states the work/span bounds; absolute constants don't
+//! transfer across machines, but two *shapes* are checkable:
+//!
+//! 1. **Near-linear work**: time per element stays ~flat as n doubles
+//!    (work-efficiency; the LIS algorithm is allowed its polylog factor).
+//! 2. **Round-efficiency**: rounds executed equals the rank (± the
+//!    documented slack for the relaxed-rank algorithms).
+//!
+//! `cargo run --release -p pp-bench --bin table1_scaling`
+
+use pp_algos::activity::{self, workload};
+use pp_algos::huffman;
+use pp_algos::knapsack::{max_value_par, Item};
+use pp_algos::lis::{self, PivotMode};
+use pp_algos::mis;
+use pp_algos::sssp;
+use pp_bench::{scale, secs, time_best, Table};
+use pp_graph::gen;
+use pp_parlay::shuffle::random_priorities;
+
+fn main() {
+    let s = scale();
+    println!("Table 1 empirical scaling: per-element time across doubling n\n");
+    let table = Table::new(&["algorithm", "n", "time_s", "ns_per_elem", "rounds", "rank"]);
+
+    for base in [250_000usize, 500_000, 1_000_000] {
+        let n = base * s;
+        // Activity selection (Type 1), rank fixed.
+        let acts = workload::with_target_rank(n, 1000, 1);
+        let rank = *activity::ranks(&acts).iter().max().unwrap();
+        let t = time_best(1, || {
+            std::hint::black_box(activity::max_weight_type1(&acts));
+        });
+        let (_, st) = activity::max_weight_type1(&acts);
+        table.row(&[
+            "activity_t1".into(),
+            n.to_string(),
+            secs(t),
+            format!("{:.1}", t.as_nanos() as f64 / n as f64),
+            st.rounds.to_string(),
+            rank.to_string(),
+        ]);
+
+        // LIS (Type 2), output fixed.
+        let series = lis::patterns::segment(n, 100, 2);
+        let t = time_best(1, || {
+            std::hint::black_box(lis::lis_par(&series, PivotMode::RightMost, 3));
+        });
+        let res = lis::lis_par(&series, PivotMode::RightMost, 3);
+        table.row(&[
+            "lis_par".into(),
+            n.to_string(),
+            secs(t),
+            format!("{:.1}", t.as_nanos() as f64 / n as f64),
+            res.stats.rounds.to_string(),
+            (res.length + 1).to_string(),
+        ]);
+
+        // Huffman.
+        let freqs: Vec<u64> = (0..n as u64)
+            .map(|i| 1 + pp_parlay::hash64(4, i) % 1000)
+            .collect();
+        let t = time_best(1, || {
+            std::hint::black_box(huffman::build_par(&freqs));
+        });
+        let (tree, st) = huffman::build_par_with_stats(&freqs);
+        table.row(&[
+            "huffman_par".into(),
+            n.to_string(),
+            secs(t),
+            format!("{:.1}", t.as_nanos() as f64 / n as f64),
+            st.rounds.to_string(),
+            tree.height().to_string(),
+        ]);
+
+        // MIS on uniform graph, m = 5n.
+        let g = gen::uniform(n, 5 * n, 5);
+        let pri = random_priorities(n, 6);
+        let t = time_best(1, || {
+            std::hint::black_box(mis::mis_tas(&g, &pri));
+        });
+        table.row(&[
+            "mis_tas".into(),
+            n.to_string(),
+            secs(t),
+            format!("{:.1}", t.as_nanos() as f64 / g.num_edges() as f64),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    // Knapsack: work O(nW); rounds = W/w*.
+    println!("\nKnapsack (Type 1): rounds = W / w* exactly\n");
+    let items: Vec<Item> = (0..50)
+        .map(|i| Item::new(20 + (i * 13) % 80, 1 + i))
+        .collect();
+    let w = 200_000u64;
+    let (_, st) = max_value_par(&items, w);
+    println!("  W = {w}, w* = 20 → rounds = {} (expected {})", st.rounds, w / 20);
+
+    // SSSP: buckets = relaxed rank.
+    println!("\nSSSP (relaxed rank): Δ = w* buckets ≈ d_max / w*\n");
+    let g = gen::rmat(14, 1 << 17, 7);
+    let g = gen::with_uniform_weights(&g, 1 << 20, 1 << 23, 8);
+    let (d, st) = sssp::sssp_phase_parallel(&g, 0);
+    let d_max = d.iter().filter(|&&x| x != sssp::INF).max().unwrap();
+    println!(
+        "  d_max = {d_max}, w* = 2^20 → buckets processed = {} (d_max/w* = {})",
+        st.buckets_processed,
+        d_max >> 20
+    );
+}

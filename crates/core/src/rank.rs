@@ -1,0 +1,176 @@
+//! The independence-system vocabulary of §3.
+//!
+//! An independence system `(S, F)` is a ground set with a downward-closed
+//! family of *feasible* sets. A sequential iterative algorithm over it is
+//! **phase-parallel** (Definition 3.1) when object `x` depends on an
+//! earlier object `y` iff every feasible set ending at `y` remains
+//! feasible with `x` appended. The **rank** of `x` is `|MFS(x)|`, the
+//! size of the largest feasible set within `x↓` ending at `x`; Theorem
+//! 3.4 shows rank equals depth in the dependence graph, which is what
+//! Algorithm 1 exploits.
+//!
+//! This module gives the abstraction a *checkable* form: concrete
+//! problems implement [`IndependenceSystem`] over small instances, and
+//! the framework-conformance tests verify Theorem 3.2 / Corollary 3.3
+//! (equal ranks never depend on each other) and Theorem 3.4 (rank =
+//! DG depth) by brute force.
+
+/// A finite independence system with the objects in sequential order
+/// `0..len()`. Implementations define pairwise *compatibility*; the
+/// provided methods derive feasibility, MFS sizes (ranks) and the
+/// dependence relation by brute force — intended for specification and
+/// testing, not for production (the per-problem algorithms never
+/// materialize this).
+pub trait IndependenceSystem {
+    /// Number of objects.
+    fn len(&self) -> usize;
+
+    /// True iff there are no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the *ordered* set `set` (ascending indices) is feasible.
+    fn is_feasible(&self, set: &[usize]) -> bool;
+
+    /// Definition 3.1 condition (2): `x` relies on earlier `y` iff every
+    /// feasible `E ⊆ y↓` ending at `y` satisfies `E ∪ {x} ∈ F`.
+    /// Default: brute force over subsets (only viable for tiny `n`).
+    fn relies_on(&self, x: usize, y: usize) -> bool {
+        assert!(y < x, "dependence requires I(y) < I(x)");
+        let mut any = false;
+        for set in feasible_sets_ending_at(self, y) {
+            any = true;
+            let mut with_x = set.clone();
+            with_x.push(x);
+            if !self.is_feasible(&with_x) {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// `rank(x) = |MFS(x)|`: the largest feasible set within `x↓` ending
+    /// at `x`. Brute force.
+    fn rank_of(&self, x: usize) -> usize {
+        feasible_sets_ending_at(self, x)
+            .into_iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `rank(S) = |MFS(S)|`: the largest feasible subset of the whole
+    /// system. Equals `max_x rank(x)` — every feasible set ends (in
+    /// index order) at some `x`. Brute force.
+    fn rank_of_set(&self) -> usize {
+        (0..self.len()).map(|x| self.rank_of(x)).max().unwrap_or(0)
+    }
+
+    /// Depth of `x` in the dependence graph (1 + max depth of
+    /// predecessors; 1 if none). Brute force.
+    fn dg_depth(&self, x: usize) -> usize {
+        let mut best = 0;
+        for y in 0..x {
+            if self.relies_on(x, y) {
+                best = best.max(self.dg_depth(y));
+            }
+        }
+        best + 1
+    }
+}
+
+/// All feasible sets (ascending index order) whose last element is `x`.
+fn feasible_sets_ending_at<S: IndependenceSystem + ?Sized>(s: &S, x: usize) -> Vec<Vec<usize>> {
+    // Enumerate subsets of 0..x, append x; keep feasible ones.
+    let mut out = Vec::new();
+    let n = x;
+    assert!(n < 20, "brute-force enumeration limited to tiny instances");
+    for mask in 0..(1u32 << n) {
+        let mut set: Vec<usize> = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+        set.push(x);
+        if s.is_feasible(&set) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+/// A rank function computed by a concrete algorithm, checkable against
+/// the brute-force specification.
+pub trait RankFn {
+    /// `rank(x)` for every object, in input order.
+    fn ranks(&self) -> Vec<usize>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// LIS as an independence system: feasible = strictly increasing
+    /// subsequence (§3's running example).
+    struct Lis(Vec<i64>);
+
+    impl IndependenceSystem for Lis {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn is_feasible(&self, set: &[usize]) -> bool {
+            set.windows(2).all(|w| self.0[w[0]] < self.0[w[1]])
+        }
+    }
+
+    #[test]
+    fn lis_rank_is_lis_length_ending_at_x() {
+        // Fig. 1(b)'s example sequence (indices of the illustration).
+        let s = Lis(vec![4, 7, 3, 2, 8, 1, 6, 5]);
+        // Classic DP for LIS-ending-at.
+        let mut dp = [1usize; 8];
+        for i in 0..8 {
+            for j in 0..i {
+                if s.0[j] < s.0[i] {
+                    dp[i] = dp[i].max(dp[j] + 1);
+                }
+            }
+        }
+        for (x, &d) in dp.iter().enumerate() {
+            assert_eq!(s.rank_of(x), d, "object {x}");
+        }
+    }
+
+    #[test]
+    fn theorem_3_2_equal_ranks_independent() {
+        let s = Lis(vec![5, 2, 8, 6, 3, 9, 1, 7]);
+        let n = s.len();
+        for x in 0..n {
+            for y in 0..x {
+                if s.rank_of(x) == s.rank_of(y) {
+                    assert!(
+                        !s.relies_on(x, y),
+                        "equal-rank objects {y},{x} must not depend"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_4_rank_equals_dg_depth() {
+        let s = Lis(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        for x in 0..s.len() {
+            assert_eq!(s.rank_of(x), s.dg_depth(x), "object {x}");
+        }
+    }
+
+    #[test]
+    fn corollary_3_3_dependence_increases_rank() {
+        let s = Lis(vec![2, 7, 1, 8, 2, 8, 1, 8]);
+        for x in 0..s.len() {
+            for y in 0..x {
+                if s.relies_on(x, y) {
+                    assert!(s.rank_of(x) > s.rank_of(y));
+                }
+            }
+        }
+    }
+}

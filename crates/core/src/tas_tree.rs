@@ -1,0 +1,251 @@
+//! The TAS tree (§5.3): a tournament of `test_and_set` flags that
+//! detects, asynchronously and in `O(log k)` steps per participant, the
+//! moment the *last* of `k` events has fired.
+//!
+//! Each vertex `v` of the MIS algorithm owns a TAS tree with one leaf per
+//! *blocking neighbor* (higher-priority neighbor). When a neighbor
+//! becomes unavailable it marks its leaf and walks rootward performing
+//! `test_and_set` on each internal flag: a **successful** TAS means the
+//! sibling subtree is not finished yet, so the walker quits; a **failed**
+//! TAS means the sibling finished first, so the walker continues — and a
+//! failed TAS *at the root* means the whole tree just completed, i.e.
+//! the marker was the last event, and `v` is ready (Fig. 4).
+//!
+//! Exactly one marker observes completion (the TAS at the root fails for
+//! exactly one of the two last-arriving walkers), so the wake-up fires
+//! exactly once with no synchronization rounds — the key to the
+//! `O(log n log d_max)` span of Theorem 5.7. At most two TAS operations
+//! touch each internal node, so the total work over a tree with `k`
+//! leaves is `O(k)`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A single TAS tree over `k` leaves.
+///
+/// Layout: heap numbering with `k - 1` internal flag nodes `0..k-1`;
+/// leaf `i` is implicit at heap position `k - 1 + i` (its flag is never
+/// read, so it is not stored). Each leaf must be marked at most once.
+pub struct TasTree {
+    /// Internal flags; empty when `k <= 1`.
+    flags: Box<[AtomicBool]>,
+    leaves: usize,
+}
+
+impl TasTree {
+    /// A tree expecting `leaves` events.
+    pub fn new(leaves: usize) -> Self {
+        let internal = leaves.saturating_sub(1);
+        Self {
+            flags: (0..internal).map(|_| AtomicBool::new(false)).collect(),
+            leaves,
+        }
+    }
+
+    /// Number of leaves (events) the tree waits for.
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// True iff the tree waits for no events (vertex immediately ready).
+    pub fn is_trivial(&self) -> bool {
+        self.leaves == 0
+    }
+
+    /// Mark leaf `i` (this event fired). Returns `true` iff this call
+    /// completed the tree — i.e. every leaf has now been marked and the
+    /// caller is the unique observer of that fact.
+    ///
+    /// Each leaf may be marked at most once; marking is safe to call
+    /// concurrently from many threads.
+    pub fn mark(&self, i: usize) -> bool {
+        debug_assert!(i < self.leaves);
+        if self.leaves == 1 {
+            // Single event: its arrival is completion.
+            return true;
+        }
+        let mut pos = self.leaves - 1 + i;
+        loop {
+            let parent = (pos - 1) / 2;
+            // test_and_set: returns the previous value.
+            let was_set = self.flags[parent].swap(true, Ordering::AcqRel);
+            if !was_set {
+                // Successful TAS: sibling subtree unfinished; stop here.
+                return false;
+            }
+            if parent == 0 {
+                // Failed TAS at the root: the whole tree is complete.
+                return true;
+            }
+            pos = parent;
+        }
+    }
+}
+
+/// A forest of TAS trees in flat storage: one tree per vertex, sized by
+/// a degree-like count. Avoids per-vertex allocation for graph-scale use.
+pub struct TasForest {
+    /// `flag_offsets[v]..flag_offsets[v+1]` are `v`'s internal flags.
+    flag_offsets: Vec<usize>,
+    flags: Vec<AtomicBool>,
+    leaves: Vec<u32>,
+}
+
+impl TasForest {
+    /// Build a forest where tree `v` has `counts[v]` leaves.
+    pub fn new(counts: &[u32]) -> Self {
+        let mut flag_offsets = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        flag_offsets.push(0);
+        for &c in counts {
+            acc += (c as usize).saturating_sub(1);
+            flag_offsets.push(acc);
+        }
+        Self {
+            flag_offsets,
+            flags: (0..acc).map(|_| AtomicBool::new(false)).collect(),
+            leaves: counts.to_vec(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// True iff the forest has no trees.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Leaves of tree `v`.
+    pub fn leaves_of(&self, v: usize) -> usize {
+        self.leaves[v] as usize
+    }
+
+    /// Mark leaf `i` of tree `v`; returns `true` iff tree `v` completed.
+    /// See [`TasTree::mark`].
+    pub fn mark(&self, v: usize, i: usize) -> bool {
+        let k = self.leaves[v] as usize;
+        debug_assert!(i < k);
+        if k == 1 {
+            return true;
+        }
+        let base = self.flag_offsets[v];
+        let flags = &self.flags[base..self.flag_offsets[v + 1]];
+        let mut pos = k - 1 + i;
+        loop {
+            let parent = (pos - 1) / 2;
+            let was_set = flags[parent].swap(true, Ordering::AcqRel);
+            if !was_set {
+                return false;
+            }
+            if parent == 0 {
+                return true;
+            }
+            pos = parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_parlay::shuffle::random_permutation;
+    use rayon::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_leaf_completes_immediately() {
+        let t = TasTree::new(1);
+        assert!(t.mark(0));
+    }
+
+    #[test]
+    fn two_leaves_second_completes() {
+        let t = TasTree::new(2);
+        assert!(!t.mark(0));
+        assert!(t.mark(1));
+        let t = TasTree::new(2);
+        assert!(!t.mark(1));
+        assert!(t.mark(0));
+    }
+
+    #[test]
+    fn exactly_one_completion_any_order() {
+        for k in [2usize, 3, 4, 5, 7, 8, 15, 16, 33] {
+            for seed in 0..10u64 {
+                let t = TasTree::new(k);
+                let order = random_permutation(k, seed);
+                let mut completions = 0;
+                for (step, &leaf) in order.iter().enumerate() {
+                    let done = t.mark(leaf as usize);
+                    if done {
+                        completions += 1;
+                        assert_eq!(step, k - 1, "completed before all marks (k={k})");
+                    }
+                }
+                assert_eq!(completions, 1, "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_one_completion_concurrent() {
+        for k in [8usize, 64, 1000] {
+            let t = TasTree::new(k);
+            let completions = AtomicUsize::new(0);
+            (0..k).into_par_iter().for_each(|i| {
+                if t.mark(i) {
+                    completions.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(completions.load(Ordering::Relaxed), 1, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fig4_trace() {
+        // Fig. 4(b): vertex 14's tree over blocking neighbors
+        // [7, 11, 12, 13] (leaves 0..4).
+        let t = TasTree::new(4);
+        // Round 1 marks 7 and 13: both TAS their parents successfully.
+        assert!(!t.mark(0)); // 7
+        assert!(!t.mark(3)); // 13
+        // Round 2 marks 12: parent TAS fails (13 set it), root TAS succeeds.
+        assert!(!t.mark(2)); // 12
+        // Round 3 marks 11: parent fails, root fails => tree complete.
+        assert!(t.mark(1)); // 11 — wakes vertex 14
+    }
+
+    #[test]
+    fn forest_flat_storage() {
+        let f = TasForest::new(&[0, 1, 2, 5]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.leaves_of(0), 0);
+        assert!(f.mark(1, 0));
+        assert!(!f.mark(2, 1));
+        assert!(f.mark(2, 0));
+        let mut done = 0;
+        for i in 0..5 {
+            if f.mark(3, i) {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn forest_concurrent_many_trees() {
+        let counts: Vec<u32> = (1..200u32).collect();
+        let f = TasForest::new(&counts);
+        let completions = AtomicUsize::new(0);
+        counts.par_iter().enumerate().for_each(|(v, &k)| {
+            (0..k as usize).into_par_iter().for_each(|i| {
+                if f.mark(v, i) {
+                    completions.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(completions.load(Ordering::Relaxed), counts.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Compressed sparse row (CSR) graphs.
+
+/// A graph in CSR form. Directed in general; undirected graphs store both
+/// arc directions (built via [`crate::builder::GraphBuilder::symmetric`]).
+/// Weights are optional: `weights` is either empty or parallel to
+/// `targets`.
+pub struct Graph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<u64>,
+}
+
+impl Graph {
+    /// Construct from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent.
+    pub fn from_csr(offsets: Vec<usize>, targets: Vec<u32>, weights: Vec<u64>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
+        assert_eq!(*offsets.last().unwrap(), targets.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(weights.is_empty() || weights.len() == targets.len());
+        let n = offsets.len() - 1;
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "edge target out of range"
+        );
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs (an undirected edge counts twice).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether edge weights are present.
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Graph::neighbors`].
+    ///
+    /// # Panics
+    /// Panics if the graph has edges but no weights.
+    pub fn edge_weights(&self, v: u32) -> &[u64] {
+        if self.targets.is_empty() {
+            return &[];
+        }
+        assert!(self.is_weighted());
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Smallest edge weight `w*` (`None` if unweighted or edgeless).
+    pub fn min_weight(&self) -> Option<u64> {
+        self.weights.iter().copied().min()
+    }
+
+    /// Largest edge weight (`None` if unweighted or edgeless).
+    pub fn max_weight(&self) -> Option<u64> {
+        self.weights.iter().copied().max()
+    }
+
+    /// Check structural symmetry (every arc has its reverse): true for
+    /// well-formed undirected graphs. `O(m log m)`; for tests.
+    pub fn is_symmetric(&self) -> bool {
+        let mut arcs: Vec<(u32, u32)> = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_vertices() as u32 {
+            for &v in self.neighbors(u) {
+                arcs.push((u, v));
+            }
+        }
+        let mut rev: Vec<(u32, u32)> = arcs.iter().map(|&(u, v)| (v, u)).collect();
+        arcs.sort_unstable();
+        rev.sort_unstable();
+        arcs == rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        // 0-1, 1-2, 0-2 undirected.
+        Graph::from_csr(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], vec![])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.is_weighted());
+        assert!(g.is_symmetric());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn weighted_graph() {
+        let g = Graph::from_csr(vec![0, 1, 2], vec![1, 0], vec![5, 7]);
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weights(0), &[5]);
+        assert_eq!(g.min_weight(), Some(5));
+        assert_eq!(g.max_weight(), Some(7));
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let g = Graph::from_csr(vec![0, 1, 1], vec![1], vec![]);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "edge target out of range")]
+    fn rejects_bad_target() {
+        Graph::from_csr(vec![0, 1], vec![5], vec![]);
+    }
+}

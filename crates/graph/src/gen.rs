@@ -1,0 +1,201 @@
+//! Synthetic graph generators — the stand-ins for the paper's datasets
+//! (see DESIGN.md §2 for the substitution table).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use pp_parlay::rng::{bounded, hash64, Rng};
+use rayon::prelude::*;
+
+/// Uniformly random undirected graph: `m` edges sampled uniformly from
+/// all pairs (duplicates collapse, so the result has ≤ m edges).
+pub fn uniform(n: usize, m: usize, seed: u64) -> Graph {
+    let edges: Vec<(u32, u32, u64)> = (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            let u = bounded(hash64(seed, 2 * i), n as u64) as u32;
+            let v = bounded(hash64(seed, 2 * i + 1), n as u64) as u32;
+            (u, v, 1)
+        })
+        .collect();
+    let mut b = GraphBuilder::new(n).symmetric();
+    b.extend(edges);
+    b.build()
+}
+
+/// RMAT power-law graph (Chakrabarti–Zhan–Faloutsos) over `2^scale`
+/// vertices with ~`m` edges: the "social network" substitute for the
+/// Twitter / Friendster graphs of §6.3. Default skew (0.57, 0.19, 0.19)
+/// gives low diameter and heavy-tailed degrees.
+pub fn rmat(scale: u32, m: usize, seed: u64) -> Graph {
+    rmat_with(scale, m, 0.57, 0.19, 0.19, seed)
+}
+
+/// RMAT with explicit quadrant probabilities `(a, b, c)`; `d = 1-a-b-c`.
+pub fn rmat_with(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(scale <= 31);
+    assert!(a + b + c < 1.0 + 1e-9);
+    let n = 1usize << scale;
+    let edges: Vec<(u32, u32, u64)> = (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            let (mut u, mut v) = (0u32, 0u32);
+            let mut r = Rng::new(hash64(seed, i));
+            for _ in 0..scale {
+                u <<= 1;
+                v <<= 1;
+                // Slightly perturb quadrant probabilities per level, the
+                // standard trick to avoid artificial degree spikes.
+                let noise = 0.05 * (r.f64() - 0.5);
+                let (pa, pb, pc) = (a + noise, b - noise / 2.0, c - noise / 2.0);
+                let x = r.f64();
+                if x < pa {
+                    // top-left: no bits set
+                } else if x < pa + pb {
+                    v |= 1;
+                } else if x < pa + pb + pc {
+                    u |= 1;
+                } else {
+                    u |= 1;
+                    v |= 1;
+                }
+            }
+            (u, v, 1)
+        })
+        .collect();
+    let mut bld = GraphBuilder::new(n).symmetric();
+    bld.extend(edges);
+    bld.build()
+}
+
+/// 2D grid graph (`rows × cols` vertices, 4-neighborhood): the
+/// high-diameter "road graph" substitute (§6.3 remark).
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(n).symmetric();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Simple cycle over `n` vertices (diameter `n/2` — worst-case rank).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric();
+    for i in 0..n {
+        b.add(i as u32, ((i + 1) % n) as u32);
+    }
+    b.build()
+}
+
+/// Star: vertex 0 adjacent to all others (`d_max = n - 1`).
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n).symmetric();
+    for i in 1..n {
+        b.add(0, i as u32);
+    }
+    b.build()
+}
+
+/// Attach weights drawn uniformly from `[w_min, w_max]` to an existing
+/// graph, assigning each undirected edge one weight (both arc directions
+/// agree) — the §6.3 weighting scheme.
+pub fn with_uniform_weights(g: &Graph, w_min: u64, w_max: u64, seed: u64) -> Graph {
+    assert!(w_min >= 1 && w_min <= w_max);
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n).weighted();
+    let mut edges = Vec::with_capacity(g.num_edges());
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            // Weight keyed on the canonical arc so (u,v) and (v,u) match.
+            let (a, bb) = if u <= v { (u, v) } else { (v, u) };
+            let key = (a as u64) << 32 | bb as u64;
+            let w = w_min + bounded(hash64(seed, key), w_max - w_min + 1);
+            edges.push((u, v, w));
+        }
+    }
+    b.extend(edges);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let g = uniform(100, 400, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() <= 800);
+        assert!(g.num_edges() > 400); // few collisions expected
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn rmat_skewed_degrees() {
+        let g = rmat(10, 8 * 1024, 7);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.is_symmetric());
+        // Power-law-ish: max degree far above average degree.
+        let avg = g.num_edges() / g.num_vertices();
+        assert!(
+            g.max_degree() > 4 * avg,
+            "max {} vs avg {avg}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(10, 15);
+        assert_eq!(g.num_vertices(), 150);
+        assert!(g.is_symmetric());
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.max_degree(), 4);
+        // Interior vertex.
+        assert_eq!(g.degree((5 * 15 + 7) as u32), 4);
+    }
+
+    #[test]
+    fn cycle_and_star() {
+        let g = cycle(10);
+        assert!((0..10u32).all(|v| g.degree(v) == 2));
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn weights_in_range_and_symmetric() {
+        let g = uniform(50, 200, 3);
+        let wg = with_uniform_weights(&g, 1 << 17, 1 << 23, 11);
+        assert!(wg.is_weighted());
+        assert!(wg.min_weight().unwrap() >= 1 << 17);
+        assert!(wg.max_weight().unwrap() <= 1 << 23);
+        // Both directions of each undirected edge carry the same weight.
+        for u in 0..wg.num_vertices() as u32 {
+            for (i, &v) in wg.neighbors(u).iter().enumerate() {
+                let w = wg.edge_weights(u)[i];
+                let j = wg.neighbors(v).iter().position(|&x| x == u).unwrap();
+                assert_eq!(wg.edge_weights(v)[j], w);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generators() {
+        let a = uniform(64, 128, 5);
+        let b = uniform(64, 128, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..64u32 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

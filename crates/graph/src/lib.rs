@@ -1,0 +1,26 @@
+//! # `pp-graph` — graph substrate for the phase-parallel experiments
+//!
+//! A compact CSR (compressed sparse row) graph representation plus the
+//! synthetic generators that stand in for the paper's datasets:
+//!
+//! * **RMAT power-law graphs** replace the Twitter / Friendster social
+//!   networks of §6.3 (low diameter, skewed degrees — the two properties
+//!   the SSSP experiment exercises).
+//! * **2D grid graphs** replace the OpenStreetMap road graphs mentioned
+//!   in §6.3 (high diameter, small frontiers).
+//! * **Uniform (Erdős–Rényi-style) graphs** for MIS / coloring / matching
+//!   experiments and tests.
+//!
+//! Edge weights are drawn uniformly from `[w*, w_max]` exactly as in the
+//! paper's SSSP setup ("we fix the largest edge weight as 2^23, vary w*
+//! ... and set the weight uniformly at random in this range").
+//!
+//! See DESIGN.md §2 for the substitution rationale.
+
+pub mod bfs;
+pub mod builder;
+pub mod csr;
+pub mod gen;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;

@@ -1,0 +1,216 @@
+//! # `pp-model` — an executable binary-forking cost model
+//!
+//! §2 of the paper analyzes every algorithm in the *work-span model on
+//! the binary-forking model (with `test_and_set`)*: threads fork two
+//! children and suspend until both finish; work is the instruction
+//! count, span the longest chain of dependent instructions; a parallel
+//! for-loop costs `O(log n)` span because it is a balanced fork tree.
+//!
+//! `rayon` *schedules* that model but cannot *measure* it — wall-clock
+//! time conflates span with core count, caches and the scheduler. This
+//! crate is the model itself, executable: computations run single-
+//! threaded under a [`Sim`] context whose `fork2` combinator charges
+//!
+//! ```text
+//! work(a ∥ b) = work(a) + work(b) + O(1)
+//! span(a ∥ b) = max(span(a), span(b)) + O(1)
+//! ```
+//!
+//! exactly as the model defines, so the measured span of an algorithm
+//! *is* its theoretical span for that input — no asymptotic hand-waving,
+//! no constants hidden by the machine. The test suites use it to check
+//! the paper's bounds the way a proof reader would:
+//!
+//! * [`primitives`] — parallel for / reduce / scan / pack cost what §2
+//!   claims (`Θ(n)` work, `Θ(log n)` span).
+//! * [`phase`] — Algorithm 1's round skeleton: span tracks
+//!   `rounds × per-round span`, rounds = max rank (Thm 3.4 / Cor 3.3).
+//! * [`mis_sim`] — Algorithm 4 (TAS trees) executed in the model:
+//!   measured span is `O(log n · log d_max)` on random priorities
+//!   (Theorem 5.7) and degrades to `Θ(n)` on an adversarial chain.
+//!
+//! The simulator is sequential by construction (its point is exact
+//! accounting, not speed); algorithms are expressed against [`Sim`]
+//! mirrors of the real implementations.
+
+pub mod mis_sim;
+pub mod phase;
+pub mod primitives;
+
+/// Cost charged by a `fork` instruction (spawn two children).
+pub const FORK_COST: u64 = 1;
+/// Cost charged by the implicit join when both children finish.
+pub const JOIN_COST: u64 = 1;
+
+/// Work and span of a (sub)computation, in model instructions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cost {
+    /// Total instructions executed.
+    pub work: u64,
+    /// Longest chain of dependent instructions.
+    pub span: u64,
+}
+
+/// A simulated binary-forking thread. All instructions of the current
+/// thread are charged with [`tick`](Sim::tick); parallelism enters only
+/// through [`fork2`](Sim::fork2) (and the loops built on it), which is
+/// exactly the model's restriction.
+#[derive(Debug, Default)]
+pub struct Sim {
+    work: u64,
+    span: u64,
+}
+
+impl Sim {
+    /// A fresh root thread.
+    pub fn new() -> Self {
+        Sim::default()
+    }
+
+    /// The cost accumulated so far.
+    pub fn cost(&self) -> Cost {
+        Cost {
+            work: self.work,
+            span: self.span,
+        }
+    }
+
+    /// Execute `units` sequential instructions on this thread.
+    #[inline]
+    pub fn tick(&mut self, units: u64) {
+        self.work += units;
+        self.span += units;
+    }
+
+    /// Fork two child threads, run both, join. Work adds; span takes the
+    /// max; the fork and join instructions are charged to the parent.
+    pub fn fork2<A, B>(
+        &mut self,
+        a: impl FnOnce(&mut Sim) -> A,
+        b: impl FnOnce(&mut Sim) -> B,
+    ) -> (A, B) {
+        self.tick(FORK_COST);
+        let mut sa = Sim::new();
+        let mut sb = Sim::new();
+        let ra = a(&mut sa);
+        let rb = b(&mut sb);
+        self.work += sa.work + sb.work + JOIN_COST;
+        self.span += sa.span.max(sb.span) + JOIN_COST;
+        (ra, rb)
+    }
+
+    /// A binary-forking parallel for over `lo..hi`: balanced fork tree,
+    /// one `body` call per index. Span = `O(log(hi-lo)) + max body span`,
+    /// matching §2's "a parallel for-loop incurs O(log n) span".
+    pub fn par_for(&mut self, lo: usize, hi: usize, body: &mut impl FnMut(&mut Sim, usize)) {
+        match hi.saturating_sub(lo) {
+            0 => {}
+            1 => body(self, lo),
+            _ => {
+                let mid = lo + (hi - lo) / 2;
+                // `body` is shared sequentially (the simulator is
+                // single-threaded), but the *charging* is parallel.
+                let mut sa = Sim::new();
+                let mut sb = Sim::new();
+                self.tick(FORK_COST);
+                sa.par_for(lo, mid, body);
+                sb.par_for(mid, hi, body);
+                self.work += sa.work + sb.work + JOIN_COST;
+                self.span += sa.span.max(sb.span) + JOIN_COST;
+            }
+        }
+    }
+
+    /// An atomic `test_and_set` (§2): one instruction; returns the old
+    /// value and sets the flag.
+    pub fn test_and_set(&mut self, flag: &mut bool) -> bool {
+        self.tick(1);
+        std::mem::replace(flag, true)
+    }
+}
+
+/// Ceil of log2 (0 for n ≤ 1) — the span shape of balanced fork trees.
+pub fn log2_ceil(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        u64::from(usize::BITS - (n - 1).leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ticks_add_to_both() {
+        let mut s = Sim::new();
+        s.tick(5);
+        s.tick(3);
+        assert_eq!(s.cost(), Cost { work: 8, span: 8 });
+    }
+
+    #[test]
+    fn fork_takes_max_span() {
+        let mut s = Sim::new();
+        s.fork2(|a| a.tick(10), |b| b.tick(4));
+        let c = s.cost();
+        assert_eq!(c.work, 14 + FORK_COST + JOIN_COST);
+        assert_eq!(c.span, 10 + FORK_COST + JOIN_COST);
+    }
+
+    #[test]
+    fn par_for_span_is_logarithmic() {
+        // Unit-work bodies: span must be Θ(log n), work Θ(n).
+        for n in [1usize, 2, 3, 64, 1000, 1 << 16] {
+            let mut s = Sim::new();
+            s.par_for(0, n, &mut |sim, _| sim.tick(1));
+            let c = s.cost();
+            assert!(c.work >= n as u64, "n={n}");
+            assert!(c.work <= 4 * n as u64 + 2, "n={n} work={}", c.work);
+            let lg = log2_ceil(n);
+            assert!(
+                c.span <= 2 * lg + 3,
+                "n={n}: span {} exceeds 2⌈lg n⌉+3 = {}",
+                c.span,
+                2 * lg + 3
+            );
+            assert!(c.span >= lg, "n={n}: span {} below ⌈lg n⌉", c.span);
+        }
+    }
+
+    #[test]
+    fn par_for_span_dominated_by_slowest_body() {
+        let mut s = Sim::new();
+        s.par_for(0, 1000, &mut |sim, i| sim.tick(if i == 500 { 1000 } else { 1 }));
+        let c = s.cost();
+        // One heavy leaf: span ≈ 1000 + O(log n), not 1000 + n.
+        assert!(c.span >= 1000);
+        assert!(c.span <= 1000 + 2 * log2_ceil(1000) + 3);
+    }
+
+    #[test]
+    fn nested_forks_compose() {
+        // ((1 ∥ 2) ; 3) ∥ 4 — span = max(max(1,2)+2 + 3, 4) + 2.
+        let mut s = Sim::new();
+        s.fork2(
+            |a| {
+                a.fork2(|x| x.tick(1), |y| y.tick(2));
+                a.tick(3);
+            },
+            |b| b.tick(4),
+        );
+        let c = s.cost();
+        assert_eq!(c.span, (2 + FORK_COST + JOIN_COST + 3) + FORK_COST + JOIN_COST);
+        assert_eq!(c.work, (1 + 2 + FORK_COST + JOIN_COST + 3) + 4 + FORK_COST + JOIN_COST);
+    }
+
+    #[test]
+    fn test_and_set_semantics() {
+        let mut s = Sim::new();
+        let mut flag = false;
+        assert!(!s.test_and_set(&mut flag)); // successful TAS
+        assert!(s.test_and_set(&mut flag)); // unsuccessful
+        assert_eq!(s.cost().work, 2);
+    }
+}

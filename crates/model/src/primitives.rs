@@ -1,0 +1,182 @@
+//! §2's primitive costs, executed in the model.
+//!
+//! The paper's algorithms assume: parallel for-loops with `O(log n)`
+//! span; reduce and scan with `O(n)` work and `O(log n)` span; pack
+//! (filter) with the same bounds. These are the model-mirrors of the
+//! real implementations in `pp-parlay`, with tests asserting the §2
+//! bounds with *explicit constants* — which only an executable model can
+//! do.
+
+use crate::Sim;
+
+/// Sum-reduce by a balanced fork tree: `Θ(n)` work, `Θ(log n)` span.
+pub fn reduce_sim(sim: &mut Sim, v: &[u64]) -> u64 {
+    match v.len() {
+        0 => {
+            sim.tick(1);
+            0
+        }
+        1 => {
+            sim.tick(1);
+            v[0]
+        }
+        n => {
+            let (l, r) = v.split_at(n / 2);
+            let (a, b) = sim.fork2(|s| reduce_sim(s, l), |s| reduce_sim(s, r));
+            sim.tick(1); // the combine instruction
+            a + b
+        }
+    }
+}
+
+/// Blelloch's two-sweep exclusive scan: `Θ(n)` work, `Θ(log n)` span.
+/// Returns the exclusive prefix sums and the total.
+pub fn scan_sim(sim: &mut Sim, v: &[u64]) -> (Vec<u64>, u64) {
+    /// The up-sweep's per-node partial sums.
+    enum SumTree {
+        Leaf(u64),
+        Node(u64, Box<SumTree>, Box<SumTree>),
+    }
+    impl SumTree {
+        fn total(&self) -> u64 {
+            match self {
+                SumTree::Leaf(s) | SumTree::Node(s, _, _) => *s,
+            }
+        }
+    }
+    // Up sweep: build the sum tree bottom-up.
+    fn up(sim: &mut Sim, v: &[u64]) -> SumTree {
+        if v.len() == 1 {
+            sim.tick(1);
+            return SumTree::Leaf(v[0]);
+        }
+        let mid = v.len() / 2;
+        let (l, r) = sim.fork2(|s| up(s, &v[..mid]), |s| up(s, &v[mid..]));
+        sim.tick(1);
+        SumTree::Node(l.total() + r.total(), Box::new(l), Box::new(r))
+    }
+    // Down sweep: distribute left-exclusive prefixes.
+    fn down(sim: &mut Sim, t: &SumTree, acc: u64, out: &mut [u64]) {
+        match t {
+            SumTree::Leaf(_) => {
+                sim.tick(1);
+                out[0] = acc;
+            }
+            SumTree::Node(_, l, r) => {
+                sim.tick(1);
+                let left_sum = l.total();
+                let (o_l, o_r) = out.split_at_mut(out.len() / 2);
+                sim.fork2(|s| down(s, l, acc, o_l), |s| down(s, r, acc + left_sum, o_r));
+            }
+        }
+    }
+
+    let n = v.len();
+    if n == 0 {
+        sim.tick(1);
+        return (Vec::new(), 0);
+    }
+    let tree = up(sim, v);
+    let total = tree.total();
+    let mut out = vec![0u64; n];
+    down(sim, &tree, 0, &mut out);
+    (out, total)
+}
+
+/// Pack (filter by flags): scan for offsets + parallel scatter —
+/// `Θ(n)` work, `Θ(log n)` span.
+pub fn pack_sim(sim: &mut Sim, v: &[u64], flags: &[bool]) -> Vec<u64> {
+    assert_eq!(v.len(), flags.len());
+    let bits: Vec<u64> = flags.iter().map(|&f| u64::from(f)).collect();
+    let (offsets, total) = scan_sim(sim, &bits);
+    let mut out = vec![0u64; total as usize];
+    sim.par_for(0, v.len(), &mut |s, i| {
+        s.tick(1);
+        if flags[i] {
+            out[offsets[i] as usize] = v[i];
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log2_ceil;
+
+    #[test]
+    fn reduce_is_correct_and_logarithmic() {
+        for n in [1usize, 2, 7, 1000, 1 << 15] {
+            let v: Vec<u64> = (0..n as u64).collect();
+            let mut s = Sim::new();
+            let got = reduce_sim(&mut s, &v);
+            assert_eq!(got, (n as u64 * (n as u64 - 1)) / 2, "n={n}");
+            let c = s.cost();
+            assert!(c.work <= 5 * n as u64 + 2, "n={n} work={}", c.work);
+            assert!(
+                c.span <= 3 * log2_ceil(n) + 3,
+                "n={n} span={} > 3lg+3",
+                c.span
+            );
+        }
+    }
+
+    #[test]
+    fn scan_is_correct_and_logarithmic() {
+        for n in [1usize, 2, 9, 500, 1 << 14] {
+            let v: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+            let mut s = Sim::new();
+            let (scan, total) = scan_sim(&mut s, &v);
+            let mut acc = 0u64;
+            for i in 0..n {
+                assert_eq!(scan[i], acc);
+                acc += v[i];
+            }
+            assert_eq!(total, acc);
+            let c = s.cost();
+            assert!(c.work <= 12 * n as u64 + 4, "n={n} work={}", c.work);
+            assert!(
+                c.span <= 7 * log2_ceil(n) + 8,
+                "n={n} span={} not O(log n)",
+                c.span
+            );
+        }
+    }
+
+    #[test]
+    fn pack_matches_filter_with_linear_work() {
+        let n = 4096usize;
+        let v: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let mut s = Sim::new();
+        let got = pack_sim(&mut s, &v, &flags);
+        let want: Vec<u64> = v
+            .iter()
+            .zip(&flags)
+            .filter(|&(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+        assert_eq!(got, want);
+        let c = s.cost();
+        assert!(c.work <= 20 * n as u64);
+        assert!(c.span <= 10 * log2_ceil(n) + 12, "span={}", c.span);
+    }
+
+    #[test]
+    fn work_span_scaling_slopes() {
+        // Doubling n roughly doubles work and adds a constant to span —
+        // the defining signature of (Θ(n) work, Θ(log n) span).
+        let cost_at = |n: usize| {
+            let v: Vec<u64> = vec![1; n];
+            let mut s = Sim::new();
+            reduce_sim(&mut s, &v);
+            s.cost()
+        };
+        let c1 = cost_at(1 << 10);
+        let c2 = cost_at(1 << 11);
+        let ratio = c2.work as f64 / c1.work as f64;
+        assert!((1.8..=2.2).contains(&ratio), "work ratio {ratio}");
+        let delta = c2.span as i64 - c1.span as i64;
+        assert!((1..=4).contains(&delta), "span delta {delta}");
+    }
+}

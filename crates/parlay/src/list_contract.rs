@@ -1,0 +1,279 @@
+//! Work-efficient list ranking by random-mate list contraction.
+//!
+//! The paper's §5.3 names *list ranking* (with random permutation and tree
+//! contraction) among the sequential iterative algorithms whose dependence
+//! graphs have constant in-degree and therefore parallelize with the Type 2
+//! wake-up machinery of \[12, 64\]. This module implements the classic
+//! work-efficient scheme those papers build on: repeatedly splice out a
+//! constant expected fraction of list nodes chosen by independent per-round
+//! coin flips, rank the contracted list directly, then re-insert the spliced
+//! nodes in reverse order of removal.
+//!
+//! Cost: `O(n)` expected work and `O(log^2 n)` span whp (each of the
+//! `O(log n)` whp contraction rounds packs the survivors with an
+//! `O(log n)`-span scan). The pointer-jumping alternative in
+//! [`crate::list_rank`] is `O(n log n)` work — this module removes that
+//! log factor, matching the bound the paper cites.
+//!
+//! A *list* is given by successor pointers: `next[i] == i` marks a tail.
+//! Several disjoint lists may share one array; ranking is per list, from
+//! each list's head (the unique node no other node points at).
+
+use crate::pack::pack;
+use crate::rng::hash64;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, Ordering};
+
+/// Contracted lists shorter than this are ranked by direct traversal.
+const BASE: usize = 2048;
+
+/// A splice event: `node` (the spliced-out element) followed `pred` at the
+/// time of removal, at edge distance `w_at` from it.
+struct Splice {
+    pred: u32,
+    node: u32,
+    w_at: i64,
+}
+
+/// Weighted list ranking: `dist[i]` is the sum of edge weights on the path
+/// from the head of `i`'s list to `i` (heads get 0).
+///
+/// `next[i] == i` marks a tail; `weight[i]` is the weight of the edge
+/// `i -> next[i]` (ignored for tails). Every node must lie on exactly one
+/// simple list — cycles are rejected in debug builds and produce
+/// unspecified (memory-safe) output otherwise.
+///
+/// Deterministic for a fixed `seed` regardless of thread count: coin flips
+/// are per-(round, node) hashes, and all concurrent writes go to disjoint
+/// slots.
+pub fn list_rank_contract(next: &[u32], weight: &[i64], seed: u64) -> Vec<i64> {
+    let n = next.len();
+    assert_eq!(n, weight.len(), "next/weight length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    debug_assert!(next.iter().all(|&s| (s as usize) < n));
+
+    // Mutable successor / edge-weight state, written concurrently but at
+    // disjoint indices (see the splice-safety argument below).
+    let nxt: Vec<AtomicU32> = next.iter().map(|&s| AtomicU32::new(s)).collect();
+    let wgt: Vec<AtomicI64> = weight.iter().map(|&w| AtomicI64::new(w)).collect();
+    let removed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+
+    // Heads never get spliced out (no predecessor splices them), so the
+    // irreducible residue is exactly one head per list.
+    let has_pred: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    next.par_iter().enumerate().for_each(|(i, &s)| {
+        if s as usize != i {
+            has_pred[s as usize].store(true, Ordering::Relaxed);
+        }
+    });
+    let num_heads = has_pred
+        .par_iter()
+        .filter(|h| !h.load(Ordering::Relaxed))
+        .count();
+
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    let mut rounds: Vec<Vec<Splice>> = Vec::new();
+    let mut round: u64 = 0;
+
+    while active.len() > BASE.max(num_heads) {
+        // A node x with a heads coin splices out its successor y if y's
+        // coin is tails. Safety: y cannot splice (tails coin), and y's
+        // only possible splicer is its unique predecessor x, so every
+        // written slot (nxt[x], wgt[x], removed[y]) has one writer, and
+        // the slots read (nxt[y], wgt[y]) are not written this round.
+        let heads = |x: u32| hash64(seed ^ round.wrapping_mul(0x9e37_79b9), u64::from(x)) & 1 == 1;
+        let splices: Vec<Splice> = active
+            .par_iter()
+            .filter_map(|&x| {
+                if !heads(x) {
+                    return None;
+                }
+                let y = nxt[x as usize].load(Ordering::Relaxed);
+                if y == x || heads(y) {
+                    return None;
+                }
+                let w_at = wgt[x as usize].load(Ordering::Relaxed);
+                let y_next = nxt[y as usize].load(Ordering::Relaxed);
+                if y_next == y {
+                    // y was the tail: x becomes the new tail.
+                    nxt[x as usize].store(x, Ordering::Relaxed);
+                } else {
+                    nxt[x as usize].store(y_next, Ordering::Relaxed);
+                    wgt[x as usize]
+                        .store(w_at + wgt[y as usize].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                removed[y as usize].store(true, Ordering::Relaxed);
+                Some(Splice { pred: x, node: y, w_at })
+            })
+            .collect();
+        let alive_flags: Vec<bool> = active
+            .par_iter()
+            .map(|&x| !removed[x as usize].load(Ordering::Relaxed))
+            .collect();
+        active = pack(&active, &alive_flags);
+        rounds.push(splices);
+        round += 1;
+        debug_assert!(round <= 64 * (n as u64 + 2), "cycle in input list");
+    }
+
+    // Base case: rank every surviving list by direct traversal from its
+    // head. Total surviving nodes <= max(BASE, #lists).
+    let dist: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+    let survivors_heads: Vec<u32> = active
+        .iter()
+        .copied()
+        .filter(|&x| !has_pred[x as usize].load(Ordering::Relaxed))
+        .collect();
+    survivors_heads.par_iter().for_each(|&h| {
+        let mut cur = h as usize;
+        let mut d = 0i64;
+        dist[cur].store(0, Ordering::Relaxed);
+        loop {
+            let s = nxt[cur].load(Ordering::Relaxed) as usize;
+            if s == cur {
+                break;
+            }
+            d += wgt[cur].load(Ordering::Relaxed);
+            dist[s].store(d, Ordering::Relaxed);
+            cur = s;
+        }
+    });
+
+    // Expansion: undo the rounds last-first. A node spliced in round k had
+    // a predecessor that survived round k, so by induction the
+    // predecessor's distance is final when round k is undone.
+    for splices in rounds.iter().rev() {
+        splices.par_iter().for_each(|s| {
+            let base = dist[s.pred as usize].load(Ordering::Relaxed);
+            dist[s.node as usize].store(base + s.w_at, Ordering::Relaxed);
+        });
+    }
+
+    dist.into_iter().map(AtomicI64::into_inner).collect()
+}
+
+/// Sequential reference: rank every list by walking from its head.
+pub fn list_rank_seq(next: &[u32], weight: &[i64]) -> Vec<i64> {
+    let n = next.len();
+    let mut has_pred = vec![false; n];
+    for (i, &s) in next.iter().enumerate() {
+        if s as usize != i {
+            has_pred[s as usize] = true;
+        }
+    }
+    let mut dist = vec![0i64; n];
+    for h in 0..n {
+        if has_pred[h] {
+            continue;
+        }
+        let mut cur = h;
+        let mut d = 0i64;
+        loop {
+            dist[cur] = d;
+            let s = next[cur] as usize;
+            if s == cur {
+                break;
+            }
+            d += weight[cur];
+            cur = s;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::shuffle::random_permutation;
+
+    /// Build a single list over a random permutation of `0..n`; returns
+    /// `(next, weight)`.
+    fn random_list(n: usize, seed: u64) -> (Vec<u32>, Vec<i64>) {
+        let order = random_permutation(n, seed);
+        let mut r = Rng::new(seed ^ 0xabcd);
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        for w in order.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        let weight: Vec<i64> = (0..n).map(|_| r.range(1000) as i64 - 500).collect();
+        (next, weight)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(list_rank_contract(&[], &[], 1).is_empty());
+        assert_eq!(list_rank_contract(&[0], &[7], 1), vec![0]);
+    }
+
+    #[test]
+    fn two_elements() {
+        // 0 -> 1 with weight 5.
+        assert_eq!(list_rank_contract(&[1, 1], &[5, 0], 1), vec![0, 5]);
+    }
+
+    #[test]
+    fn identity_order_unit_weights() {
+        let n = 10_000;
+        let next: Vec<u32> = (0..n as u32).map(|i| (i + 1).min(n as u32 - 1)).collect();
+        let weight = vec![1i64; n];
+        let d = list_rank_contract(&next, &weight, 3);
+        for (i, &di) in d.iter().enumerate() {
+            assert_eq!(di, i as i64);
+        }
+    }
+
+    #[test]
+    fn random_lists_match_seq() {
+        for n in [2usize, 3, 17, 100, 5000, 60_000] {
+            for seed in [1u64, 2, 3] {
+                let (next, weight) = random_list(n, seed * 31 + n as u64);
+                let got = list_rank_contract(&next, &weight, seed);
+                let want = list_rank_seq(&next, &weight);
+                assert_eq!(got, want, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn many_disjoint_lists() {
+        // n/4 lists of length 4 each: i -> i+1 within each block of 4.
+        let n = 40_000;
+        let next: Vec<u32> = (0..n as u32)
+            .map(|i| if i % 4 == 3 { i } else { i + 1 })
+            .collect();
+        let weight = vec![2i64; n];
+        let d = list_rank_contract(&next, &weight, 9);
+        for i in 0..n {
+            assert_eq!(d[i], 2 * (i % 4) as i64);
+        }
+    }
+
+    #[test]
+    fn all_tails() {
+        let n = 5000;
+        let next: Vec<u32> = (0..n as u32).collect();
+        let weight = vec![1i64; n];
+        assert_eq!(list_rank_contract(&next, &weight, 4), vec![0i64; n]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (next, weight) = random_list(30_000, 77);
+        let a = list_rank_contract(&next, &weight, 5);
+        let b = list_rank_contract(&next, &weight, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_weights() {
+        let (next, _) = random_list(1000, 13);
+        let weight: Vec<i64> = (0..1000).map(|i| -(i as i64)).collect();
+        assert_eq!(
+            list_rank_contract(&next, &weight, 2),
+            list_rank_seq(&next, &weight)
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Parallel merge of two sorted sequences.
+//!
+//! The classic divide-and-conquer merge: split the larger input at its
+//! median, binary-search the split key in the other input, recurse on the
+//! two halves in parallel. Work `O(n + m)`, span `O(log^2 (n + m))` in the
+//! binary-forking model — the merge primitive assumed by the paper's
+//! parallel sort and by the Huffman-tree algorithm's "merge new objects
+//! with the old unused ones" step (§4.3).
+
+use crate::GRAIN;
+
+/// Merge sorted `a` and `b` into `out` using `less` as the strict order.
+///
+/// Stable: on ties, elements of `a` precede elements of `b`.
+///
+/// # Panics
+/// Panics if `out.len() != a.len() + b.len()`.
+pub fn par_merge_by<T, F>(a: &[T], b: &[T], out: &mut [T], less: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    assert_eq!(out.len(), a.len() + b.len());
+    if a.len() + b.len() <= GRAIN {
+        seq_merge_by(a, b, out, less);
+        return;
+    }
+    // Recurse on the larger side's midpoint.
+    if a.len() >= b.len() {
+        let am = a.len() / 2;
+        // First index in b that is strictly greater than a[am]
+        // (i.e. count of b-elements that go before a[am] for stability:
+        // b elements equal to a[am] come *after* it).
+        let bm = lower_bound_by(b, &a[am], &|x, y| less(x, y));
+        let (a_lo, a_hi) = a.split_at(am);
+        let (b_lo, b_hi) = b.split_at(bm);
+        let (out_lo, out_hi) = out.split_at_mut(am + bm);
+        rayon::join(
+            || par_merge_by(a_lo, b_lo, out_lo, less),
+            || par_merge_by(a_hi, b_hi, out_hi, less),
+        );
+    } else {
+        let bm = b.len() / 2;
+        // For stability, a-elements equal to b[bm] go *before* it:
+        // take all a with !less(b[bm], a), i.e. a <= b[bm].
+        let am = upper_bound_by(a, &b[bm], &|x, y| less(x, y));
+        let (a_lo, a_hi) = a.split_at(am);
+        let (b_lo, b_hi) = b.split_at(bm);
+        let (out_lo, out_hi) = out.split_at_mut(am + bm);
+        rayon::join(
+            || par_merge_by(a_lo, b_lo, out_lo, less),
+            || par_merge_by(a_hi, b_hi, out_hi, less),
+        );
+    }
+}
+
+/// Allocate-and-merge convenience wrapper over [`par_merge_by`].
+pub fn par_merge<T: Clone + Send + Sync + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    let Some(seed) = a.first().or(b.first()) else {
+        return Vec::new();
+    };
+    let mut out = vec![seed.clone(); a.len() + b.len()];
+    par_merge_by(a, b, &mut out, &|x, y| x < y);
+    out
+}
+
+fn seq_merge_by<T, F>(a: &[T], b: &[T], out: &mut [T], less: &F)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> bool,
+{
+    let (mut i, mut j) = (0, 0);
+    for o in out.iter_mut() {
+        if i < a.len() && (j >= b.len() || !less(&b[j], &a[i])) {
+            *o = a[i].clone();
+            i += 1;
+        } else {
+            *o = b[j].clone();
+            j += 1;
+        }
+    }
+}
+
+/// First index `i` in sorted `v` with `!less(v[i], key)` — `v[i] >= key`.
+pub fn lower_bound_by<T, F>(v: &[T], key: &T, less: &F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let (mut lo, mut hi) = (0, v.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if less(&v[mid], key) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// First index `i` in sorted `v` with `less(key, v[i])` — `v[i] > key`.
+pub fn upper_bound_by<T, F>(v: &[T], key: &T, less: &F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let (mut lo, mut hi) = (0, v.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if less(key, &v[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds() {
+        let v = [1, 3, 3, 5, 9];
+        let less = |a: &i32, b: &i32| a < b;
+        assert_eq!(lower_bound_by(&v, &3, &less), 1);
+        assert_eq!(upper_bound_by(&v, &3, &less), 3);
+        assert_eq!(lower_bound_by(&v, &0, &less), 0);
+        assert_eq!(upper_bound_by(&v, &10, &less), 5);
+        assert_eq!(lower_bound_by(&v, &4, &less), 3);
+    }
+
+    #[test]
+    fn merge_small() {
+        assert_eq!(
+            par_merge(&[1, 4, 6], &[2, 3, 5, 7]),
+            vec![1, 2, 3, 4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn merge_empty_sides() {
+        assert_eq!(par_merge::<i32>(&[], &[]), Vec::<i32>::new());
+        assert_eq!(par_merge(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(par_merge(&[], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_large_matches_std() {
+        let n = 40_000;
+        let a: Vec<u64> = (0..n).map(|i| (i * 3) % 10_007).collect();
+        let b: Vec<u64> = (0..n + 13).map(|i| (i * 7) % 10_007).collect();
+        let mut a = a;
+        let mut b = b;
+        a.sort_unstable();
+        b.sort_unstable();
+        let got = par_merge(&a, &b);
+        let mut want = [a.clone(), b.clone()].concat();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_is_stable() {
+        // Pair (key, source); equal keys must keep a-before-b order.
+        let a: Vec<(u32, u8)> = (0..9000).map(|i| (i / 3, 0u8)).collect();
+        let b: Vec<(u32, u8)> = (0..9000).map(|i| (i / 3, 1u8)).collect();
+        let mut out = vec![(0u32, 0u8); a.len() + b.len()];
+        par_merge_by(&a, &b, &mut out, &|x, y| x.0 < y.0);
+        for w in out.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 <= w[1].1, "stability violated at key {}", w[0].0);
+            }
+        }
+    }
+}

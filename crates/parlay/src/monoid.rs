@@ -1,0 +1,170 @@
+//! The monoid abstraction: an associative combine with an identity.
+//!
+//! Section 2 of the paper defines augmented values by a triple
+//! `(A, f, I_A)` — a type, an associative combine function, and its
+//! identity. Every scan, reduction, segment tree, Fenwick tree and
+//! augmented BST in this workspace is parameterized by this trait.
+//!
+//! The trait is *instance-based* (methods take `&self`) rather than purely
+//! type-based so that monoids can carry runtime parameters (e.g. the
+//! random-pivot monoid of the LIS range tree carries a seed).
+
+/// An associative combine operation with identity over values of type `Self::T`.
+///
+/// Laws (checked by property tests in this crate and users):
+/// * `combine(identity(), x) == x == combine(x, identity())`
+/// * `combine(a, combine(b, c)) == combine(combine(a, b), c)`
+pub trait Monoid: Send + Sync {
+    /// The value type being combined.
+    type T: Clone + Send + Sync;
+
+    /// The identity element.
+    fn identity(&self) -> Self::T;
+
+    /// Associative combine ("abstract sum") of two values.
+    fn combine(&self, a: &Self::T, b: &Self::T) -> Self::T;
+
+    /// Combine a value into an accumulator in place. Override for speed.
+    #[inline]
+    fn combine_into(&self, acc: &mut Self::T, rhs: &Self::T) {
+        *acc = self.combine(acc, rhs);
+    }
+}
+
+/// Addition monoid over any numeric type implementing `core::ops::Add`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SumMonoid;
+
+macro_rules! impl_sum {
+    ($($t:ty),*) => {$(
+        impl Monoid for ($crate::monoid::SumMonoid, core::marker::PhantomData<$t>) {
+            type T = $t;
+            #[inline]
+            fn identity(&self) -> $t { 0 as $t }
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { a.wrapping_add(*b) }
+        }
+    )*};
+}
+
+/// A sum monoid instance for `u64` / `i64` / `usize` etc.
+/// Use as `sum_monoid::<u64>()`.
+pub fn sum_monoid<T>() -> (SumMonoid, core::marker::PhantomData<T>) {
+    (SumMonoid, core::marker::PhantomData)
+}
+
+impl_sum!(u32, u64, usize, i32, i64, isize);
+
+/// Max monoid with an explicit identity (the "minus infinity" of the type).
+#[derive(Clone, Copy, Debug)]
+pub struct MaxMonoid<T>(pub T);
+
+impl<T: Ord + Clone + Send + Sync> Monoid for MaxMonoid<T> {
+    type T = T;
+    #[inline]
+    fn identity(&self) -> T {
+        self.0.clone()
+    }
+    #[inline]
+    fn combine(&self, a: &T, b: &T) -> T {
+        if a >= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+/// Min monoid with an explicit identity (the "plus infinity" of the type).
+#[derive(Clone, Copy, Debug)]
+pub struct MinMonoid<T>(pub T);
+
+impl<T: Ord + Clone + Send + Sync> Monoid for MinMonoid<T> {
+    type T = T;
+    #[inline]
+    fn identity(&self) -> T {
+        self.0.clone()
+    }
+    #[inline]
+    fn combine(&self, a: &T, b: &T) -> T {
+        if a <= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+/// A monoid defined by a pair of closures; handy for tests and one-off uses.
+pub struct FnMonoid<T, F> {
+    identity: T,
+    combine: F,
+}
+
+impl<T, F> FnMonoid<T, F>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    /// Build a monoid from an identity element and a combine closure.
+    /// The caller is responsible for associativity.
+    pub fn new(identity: T, combine: F) -> Self {
+        Self { identity, combine }
+    }
+}
+
+impl<T, F> Monoid for FnMonoid<T, F>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    type T = T;
+    #[inline]
+    fn identity(&self) -> T {
+        self.identity.clone()
+    }
+    #[inline]
+    fn combine(&self, a: &T, b: &T) -> T {
+        (self.combine)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_monoid_laws() {
+        let m = sum_monoid::<u64>();
+        assert_eq!(m.identity(), 0);
+        assert_eq!(m.combine(&3, &4), 7);
+        assert_eq!(m.combine(&m.identity(), &9), 9);
+    }
+
+    #[test]
+    fn max_monoid_laws() {
+        let m = MaxMonoid(i64::MIN);
+        assert_eq!(m.combine(&3, &-4), 3);
+        assert_eq!(m.combine(&m.identity(), &-4), -4);
+        // associativity on a triple
+        let (a, b, c) = (5i64, -2, 9);
+        assert_eq!(
+            m.combine(&a, &m.combine(&b, &c)),
+            m.combine(&m.combine(&a, &b), &c)
+        );
+    }
+
+    #[test]
+    fn min_monoid_laws() {
+        let m = MinMonoid(u64::MAX);
+        assert_eq!(m.combine(&3, &4), 3);
+        assert_eq!(m.combine(&m.identity(), &4), 4);
+    }
+
+    #[test]
+    fn fn_monoid() {
+        let m = FnMonoid::new(1u64, |a: &u64, b: &u64| a * b);
+        assert_eq!(m.combine(&6, &7), 42);
+        assert_eq!(m.combine(&m.identity(), &7), 7);
+    }
+}

@@ -1,0 +1,160 @@
+//! Parallel pack (filter by flags) and index packing.
+//!
+//! `pack` is the workhorse of every round-based algorithm in the paper:
+//! "Pack points marked as next_frontier into frontier*" (Algorithm 3,
+//! line 34) is exactly [`pack`]. Implementation: a scan over 0/1 flags
+//! gives each surviving element its output slot; a second parallel pass
+//! writes them. Work `O(n)`, polylogarithmic span.
+
+use crate::monoid::sum_monoid;
+use crate::scan::scan_exclusive;
+use crate::GRAIN;
+use rayon::prelude::*;
+
+/// Keep `items[i]` where `flags[i]` is true, preserving order.
+///
+/// # Panics
+/// Panics if `items.len() != flags.len()`.
+pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len());
+    let n = items.len();
+    if n <= GRAIN {
+        return items
+            .iter()
+            .zip(flags)
+            .filter(|(_, &f)| f)
+            .map(|(x, _)| x.clone())
+            .collect();
+    }
+    let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
+    let m = sum_monoid::<usize>();
+    let (offsets, total) = scan_exclusive(&m, &ones);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..n).into_par_iter().for_each(|i| {
+        if flags[i] {
+            // SAFETY: each true flag maps to a unique slot `offsets[i] < total`
+            // (exclusive scan of the flags), and `out` has capacity `total`.
+            unsafe {
+                out_ptr.get().add(offsets[i]).write(items[i].clone());
+            }
+        }
+    });
+    // SAFETY: all `total` slots were written exactly once above.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Indices `i` with `flags[i]` true, in increasing order.
+pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    let n = flags.len();
+    if n <= GRAIN {
+        return flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+    }
+    let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
+    let m = sum_monoid::<usize>();
+    let (offsets, total) = scan_exclusive(&m, &ones);
+    let mut out: Vec<usize> = Vec::with_capacity(total);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    (0..n).into_par_iter().for_each(|i| {
+        if flags[i] {
+            // SAFETY: unique slot per true flag, capacity `total` (see `pack`).
+            unsafe {
+                out_ptr.get().add(offsets[i]).write(i);
+            }
+        }
+    });
+    // SAFETY: all `total` slots written exactly once.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Parallel filter: `items` where `pred` holds, preserving order.
+pub fn filter<T, F>(items: &[T], pred: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let flags: Vec<bool> = items.par_iter().map(pred).collect();
+    pack(items, &flags)
+}
+
+/// A raw pointer wrapper asserting cross-thread use is safe because every
+/// thread writes a disjoint slot (guaranteed by the exclusive scan).
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessor method (rather than field access) so closures capture the
+    /// whole `Sync` wrapper instead of the raw pointer field.
+    #[inline]
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_small() {
+        let items = vec![10, 20, 30, 40];
+        let flags = vec![true, false, true, false];
+        assert_eq!(pack(&items, &flags), vec![10, 30]);
+    }
+
+    #[test]
+    fn pack_large_matches_sequential() {
+        let n = 50_000;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let got = pack(&items, &flags);
+        let want: Vec<u64> = items
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_index_large() {
+        let n = 30_000;
+        let flags: Vec<bool> = (0..n).map(|i| i % 7 == 2).collect();
+        let got = pack_index(&flags);
+        let want: Vec<usize> = (0..n).filter(|i| i % 7 == 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let all = vec![true; items.len()];
+        let none = vec![false; items.len()];
+        assert_eq!(pack(&items, &all), items);
+        assert!(pack(&items, &none).is_empty());
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let items: Vec<i32> = (0..20_000).map(|i| (i * 7919) % 1000).collect();
+        let got = filter(&items, |&x| x < 100);
+        let want: Vec<i32> = items.iter().copied().filter(|&x| x < 100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_empty() {
+        let items: Vec<u8> = vec![];
+        let flags: Vec<bool> = vec![];
+        assert!(pack(&items, &flags).is_empty());
+        assert!(pack_index(&flags).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic, splittable randomness for parallel algorithms.
+//!
+//! Parallel algorithms in the paper need randomness that is *independent of
+//! scheduling order*: MIS assigns each vertex a random priority, LIS picks
+//! a uniformly random unfinished pivot, and the shuffle assigns each index
+//! a random sort key. The standard trick (used by ParlayLib) is a strong
+//! 64-bit mixing function applied to `(seed, index)` so every index gets an
+//! i.i.d.-looking value with no shared state and no synchronization.
+//!
+//! We use the SplitMix64 finalizer, which passes BigCrush when used as a
+//! mixer, plus a small stateful [`Rng`] for sequential call sites.
+
+/// SplitMix64 mixing step: a bijective 64-bit finalizer.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a `(seed, index)` pair to a pseudo-random 64-bit value.
+///
+/// Distinct `(seed, i)` pairs give independent-looking outputs; the same
+/// pair always gives the same output, so parallel algorithms using this are
+/// deterministic regardless of the scheduler.
+#[inline]
+pub fn hash64(seed: u64, i: u64) -> u64 {
+    mix64(seed ^ mix64(i.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// Map a 64-bit random value to `[0, bound)` without modulo bias
+/// (Lemire's multiply-shift reduction; the bias is < 2^-32 for bounds
+/// below 2^32, negligible for our use).
+#[inline]
+pub fn bounded(r: u64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((r as u128 * bound as u128) >> 64) as u64
+}
+
+/// A small, fast sequential PRNG (SplitMix64 stream).
+///
+/// Use [`hash64`] instead inside parallel loops.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: mix64(seed ^ 0xD1B5_4A32_D192_ED03),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be positive.
+    #[inline]
+    pub fn range(&mut self, bound: u64) -> u64 {
+        bounded(self.next_u64(), bound)
+    }
+
+    /// Uniform value in `[lo, hi)`. `lo < hi` required.
+    #[inline]
+    pub fn range_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.range(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Sample from a standard normal distribution (Box–Muller transform).
+    ///
+    /// Used by the activity-selection workload generator, which draws
+    /// activity lengths from a truncated normal distribution (§6.1).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid log(0) by shifting u1 away from zero.
+        let u1 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u1 = u1.max(1e-300);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Sample from an exponential distribution with rate `lambda`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        let u = self.f64().max(1e-300);
+        -u.ln() / lambda
+    }
+
+    /// Fork an independent generator (for handing to a subtask).
+    pub fn split(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn hash64_deterministic_and_spread() {
+        assert_eq!(hash64(1, 2), hash64(1, 2));
+        assert_ne!(hash64(1, 2), hash64(1, 3));
+        assert_ne!(hash64(1, 2), hash64(2, 2));
+        // Crude avalanche check: flipping one input bit flips ~half the output bits.
+        let a = hash64(7, 100);
+        let b = hash64(7, 101);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn bounded_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.range(10);
+            assert!(v < 10);
+        }
+        for _ in 0..1000 {
+            let v = r.range_in(5, 8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_roughly_uniform() {
+        let mut r = Rng::new(3);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.range(8) as usize] += 1;
+        }
+        for &c in &counts {
+            // expectation 10_000; allow ±5%
+            assert!((9500..=10500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = Rng::new(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = r.normal();
+            s += v;
+            s2 += v * v;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng::new(17);
+        let n = 50_000;
+        let lambda = 2.0;
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += r.exponential(lambda);
+        }
+        let mean = s / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn split_streams_differ() {
+        let mut a = Rng::new(1);
+        let mut b = a.split();
+        let mut c = a.split();
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

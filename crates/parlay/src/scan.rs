@@ -1,0 +1,148 @@
+//! Parallel reduce and prefix sums (scans) over slices.
+//!
+//! The classic two-pass blocked algorithm: split the input into `O(P)`
+//! blocks, reduce each block in parallel, sequentially scan the per-block
+//! sums, then expand each block in parallel. Work `O(n)`, span
+//! `O(n / P + P)` which is `O(log n)`-ish for the block counts we pick —
+//! faithful in spirit to the binary-forking model of §2.
+
+use crate::monoid::Monoid;
+use crate::{div_ceil, GRAIN};
+use rayon::prelude::*;
+
+/// Parallel reduction of `input` under monoid `m`.
+pub fn reduce<M: Monoid>(m: &M, input: &[M::T]) -> M::T {
+    if input.len() <= GRAIN {
+        return reduce_seq(m, input);
+    }
+    let nblocks = (rayon::current_num_threads() * 8).min(div_ceil(input.len(), GRAIN));
+    let block = div_ceil(input.len(), nblocks);
+    input
+        .par_chunks(block)
+        .map(|c| reduce_seq(m, c))
+        .reduce(|| m.identity(), |a, b| m.combine(&a, &b))
+}
+
+fn reduce_seq<M: Monoid>(m: &M, input: &[M::T]) -> M::T {
+    let mut acc = m.identity();
+    for x in input {
+        m.combine_into(&mut acc, x);
+    }
+    acc
+}
+
+/// Parallel *exclusive* scan. Returns `(prefix, total)` where
+/// `prefix[i] = combine(input[0..i])` and `total = combine(input[0..n])`.
+pub fn scan_exclusive<M: Monoid>(m: &M, input: &[M::T]) -> (Vec<M::T>, M::T) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), m.identity());
+    }
+    if n <= GRAIN {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = m.identity();
+        for x in input {
+            out.push(acc.clone());
+            m.combine_into(&mut acc, x);
+        }
+        return (out, acc);
+    }
+    let nblocks = (rayon::current_num_threads() * 8).min(div_ceil(n, GRAIN));
+    let block = div_ceil(n, nblocks);
+
+    // Pass 1: per-block sums.
+    let sums: Vec<M::T> = input.par_chunks(block).map(|c| reduce_seq(m, c)).collect();
+
+    // Sequential scan over the (small) block sums.
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut acc = m.identity();
+    for s in &sums {
+        offsets.push(acc.clone());
+        m.combine_into(&mut acc, s);
+    }
+    let total = acc;
+
+    // Pass 2: expand each block.
+    let mut out: Vec<M::T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    {
+        // Write every element below; chunks exactly cover 0..n.
+        out.resize(n, m.identity());
+    }
+    out.par_chunks_mut(block)
+        .zip(input.par_chunks(block))
+        .zip(offsets.into_par_iter())
+        .for_each(|((ochunk, ichunk), off)| {
+            let mut acc = off;
+            for (o, x) in ochunk.iter_mut().zip(ichunk) {
+                *o = acc.clone();
+                m.combine_into(&mut acc, x);
+            }
+        });
+    (out, total)
+}
+
+/// Parallel *inclusive* scan: `out[i] = combine(input[0..=i])`.
+pub fn scan_inclusive<M: Monoid>(m: &M, input: &[M::T]) -> Vec<M::T> {
+    let (mut out, _) = scan_exclusive(m, input);
+    out.par_iter_mut()
+        .zip(input.par_iter())
+        .for_each(|(o, x)| *o = m.combine(o, x));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{sum_monoid, MaxMonoid};
+
+    #[test]
+    fn reduce_small_and_large() {
+        let m = sum_monoid::<u64>();
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(reduce(&m, &v), 5050);
+        let big: Vec<u64> = (0..100_000).collect();
+        assert_eq!(reduce(&m, &big), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn reduce_empty() {
+        let m = sum_monoid::<u64>();
+        assert_eq!(reduce(&m, &[]), 0);
+    }
+
+    #[test]
+    fn scan_exclusive_matches_sequential() {
+        let m = sum_monoid::<u64>();
+        for n in [0usize, 1, 2, 100, 4096, 4097, 50_000] {
+            let v: Vec<u64> = (0..n as u64).map(|i| i % 17).collect();
+            let (scan, total) = scan_exclusive(&m, &v);
+            let mut acc = 0u64;
+            for i in 0..n {
+                assert_eq!(scan[i], acc, "n={n} i={i}");
+                acc += v[i];
+            }
+            assert_eq!(total, acc, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_inclusive_matches() {
+        let m = sum_monoid::<u64>();
+        let v: Vec<u64> = (0..30_000).map(|i| i % 7).collect();
+        let inc = scan_inclusive(&m, &v);
+        let mut acc = 0;
+        for i in 0..v.len() {
+            acc += v[i];
+            assert_eq!(inc[i], acc);
+        }
+    }
+
+    #[test]
+    fn scan_max_monoid() {
+        let m = MaxMonoid(i64::MIN);
+        let v: Vec<i64> = vec![3, -1, 7, 2, 7, 100, -5];
+        let inc = scan_inclusive(&m, &v);
+        assert_eq!(inc, vec![3, 3, 7, 7, 7, 100, 100]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Parallel semisort: group equal keys without fully ordering the keys.
+//!
+//! §5.3's MIS analysis notes: "If not [stored with correspondence], we
+//! can use semisort or hash table, but that makes the work bound O(m)
+//! in expectation" — semisort is the standard primitive for building
+//! the arc-correspondence tables. Our implementation hashes the keys
+//! and sorts by hash (Gu–Shun–Sun–Blelloch's top-down semisort reduced
+//! to its sort-based core): equal keys become adjacent, but the groups
+//! appear in pseudo-random (hash) order, which is all a grouping
+//! consumer may rely on.
+
+use crate::rng::hash64;
+use crate::sort::par_sort_by_key;
+use rayon::prelude::*;
+use std::hash::Hash;
+
+/// Reorder `items` so equal keys are adjacent; returns `(items, group
+/// boundaries)` where group `g` is `items[bounds[g]..bounds[g+1]]`.
+/// Groups appear in hash order (not key order).
+pub fn semisort_by<T, K, F>(items: Vec<T>, key: F, seed: u64) -> (Vec<T>, Vec<usize>)
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return (items, vec![0]);
+    }
+    // Hash each key (64-bit; collisions between *different* keys are
+    // possible with probability ~n²/2^64, resolved by a secondary
+    // discriminator hash).
+    let mut tagged: Vec<(u64, u64, T)> = items
+        .into_par_iter()
+        .map(|x| {
+            let k = key(&x);
+            let h = hash_key(&k, seed);
+            let h2 = hash_key(&k, seed ^ 0x9E37_79B9_97F4_A7C5);
+            (h, h2, x)
+        })
+        .collect();
+    par_sort_by_key(&mut tagged, |&(h, h2, _)| (h, h2));
+    let mut bounds = vec![0usize];
+    for i in 1..n {
+        if (tagged[i].0, tagged[i].1) != (tagged[i - 1].0, tagged[i - 1].1) {
+            bounds.push(i);
+        }
+    }
+    bounds.push(n);
+    let items: Vec<T> = tagged.into_par_iter().map(|(_, _, x)| x).collect();
+    (items, bounds)
+}
+
+fn hash_key<K: Hash>(k: &K, seed: u64) -> u64 {
+    // FNV-style fold of std's Hasher output through our mixer.
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    hash64(seed, h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn groups_are_complete_and_disjoint() {
+        let mut r = Rng::new(1);
+        let items: Vec<(u32, u32)> = (0..20_000)
+            .map(|i| (r.range(100) as u32, i as u32))
+            .collect();
+        let mut want: HashMap<u32, usize> = HashMap::new();
+        for &(k, _) in &items {
+            *want.entry(k).or_default() += 1;
+        }
+        let (sorted, bounds) = semisort_by(items, |&(k, _)| k, 7);
+        assert_eq!(bounds.len() - 1, want.len(), "one group per key");
+        for g in 0..bounds.len() - 1 {
+            let group = &sorted[bounds[g]..bounds[g + 1]];
+            let k = group[0].0;
+            assert!(group.iter().all(|&(x, _)| x == k), "mixed group");
+            assert_eq!(group.len(), want[&k], "wrong group size for {k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (v, b) = semisort_by(Vec::<u32>::new(), |&x| x, 1);
+        assert!(v.is_empty());
+        assert_eq!(b, vec![0]);
+        let (v, b) = semisort_by(vec![42u32], |&x| x, 1);
+        assert_eq!(v, vec![42]);
+        assert_eq!(b, vec![0, 1]);
+    }
+
+    #[test]
+    fn all_equal_is_one_group() {
+        let (v, b) = semisort_by(vec![7u8; 5000], |&x| x, 3);
+        assert_eq!(v.len(), 5000);
+        assert_eq!(b, vec![0, 5000]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let items: Vec<u32> = (0..1000).map(|i| i % 37).collect();
+        let a = semisort_by(items.clone(), |&x| x, 5);
+        let b = semisort_by(items, |&x| x, 5);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

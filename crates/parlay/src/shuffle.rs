@@ -1,0 +1,95 @@
+//! Parallel random permutations.
+//!
+//! Used to assign the random priorities of the greedy MIS algorithm (§5.3:
+//! "assigning each vertex a random priority") and by workload generators.
+//!
+//! Implementation: assign each index a deterministic random 64-bit key via
+//! [`crate::rng::hash64`] and sort the `(key, index)` pairs in parallel.
+//! `O(n log n)` work, polylog span, and — crucially for reproducibility —
+//! the output depends only on the seed, never on the schedule. (The paper
+//! cites the `O(n)`-work sequential-random-permutation parallelization of
+//! Shun et al. \[64\]; sort-by-random-key preserves the uniform-permutation
+//! distribution, which is the only property the algorithms rely on.)
+
+use crate::rng::hash64;
+use crate::sort::par_sort_by_key;
+use rayon::prelude::*;
+
+/// A uniformly random permutation of `0..n`, deterministic in `seed`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "permutation indices must fit in u32");
+    let mut pairs: Vec<(u64, u32)> = (0..n as u32)
+        .into_par_iter()
+        // The index is the tiebreaker, so duplicate keys (probability
+        // ~n^2/2^64) still yield a valid permutation.
+        .map(|i| (hash64(seed, i as u64), i))
+        .collect();
+    par_sort_by_key(&mut pairs, |&(k, i)| (k, i));
+    pairs.into_par_iter().map(|(_, i)| i).collect()
+}
+
+/// Random priorities: `priority[v]` is the rank of `v` in a uniformly
+/// random permutation. Higher value = higher priority.
+pub fn random_priorities(n: usize, seed: u64) -> Vec<u32> {
+    let perm = random_permutation(n, seed);
+    let mut pri = vec![0u32; n];
+    // Inverse permutation, written in parallel via unique slots.
+    let ptr = crate::pack::SendPtr(pri.as_mut_ptr());
+    (0..n).into_par_iter().for_each(|i| {
+        // SAFETY: `perm` is a permutation, so each slot written once.
+        unsafe { ptr.get().add(perm[i] as usize).write(i as u32) }
+    });
+    pri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_permutation() {
+        for n in [0usize, 1, 10, 10_000] {
+            let p = random_permutation(n, 42);
+            let mut seen = vec![false; n];
+            for &x in &p {
+                assert!(!seen[x as usize]);
+                seen[x as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_permutation(1000, 7), random_permutation(1000, 7));
+        assert_ne!(random_permutation(1000, 7), random_permutation(1000, 8));
+    }
+
+    #[test]
+    fn roughly_uniform_first_element() {
+        // First element should be roughly uniform over 0..n across seeds.
+        let n = 16;
+        let trials = 8000;
+        let mut counts = vec![0usize; n];
+        for s in 0..trials {
+            counts[random_permutation(n, s as u64)[0] as usize] += 1;
+        }
+        let expected = trials / n;
+        for &c in &counts {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "count {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn priorities_are_permutation_ranks() {
+        let n = 5000;
+        let pri = random_priorities(n, 3);
+        let mut sorted = pri.clone();
+        sorted.sort_unstable();
+        let want: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(sorted, want);
+    }
+}

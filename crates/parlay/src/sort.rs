@@ -1,0 +1,167 @@
+//! Parallel stable merge sort.
+//!
+//! `O(n log n)` work, polylogarithmic span, built on [`crate::merge`].
+//! This is the sort assumed throughout the paper (e.g. Huffman tree
+//! preprocessing "is dominated by sorting all input frequencies", §4.3,
+//! and the PA-BST construction theorem, Thm 2.1).
+
+use crate::merge::par_merge_by;
+use crate::GRAIN;
+
+/// Sort a slice in parallel under `Ord`, stably.
+pub fn par_sort<T: Clone + Send + Sync + Ord>(v: &mut [T]) {
+    par_sort_by(v, |a, b| a < b);
+}
+
+/// Sort a slice in parallel by a strict-less comparison, stably.
+pub fn par_sort_by<T, F>(v: &mut [T], less: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    let n = v.len();
+    if n <= GRAIN {
+        v.sort_by(|a, b| {
+            if less(a, b) {
+                std::cmp::Ordering::Less
+            } else if less(b, a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        return;
+    }
+    let mut buf = v.to_vec();
+    // After sort_rec, the sorted result is in `v` (copy_back = true).
+    sort_rec(v, &mut buf[..], &less, true);
+}
+
+/// Sort by a key-extraction function, stably.
+pub fn par_sort_by_key<T, K, F>(v: &mut [T], key: F)
+where
+    T: Clone + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    par_sort_by(v, move |a, b| key(a) < key(b));
+}
+
+/// Recursive merge sort: sorts `data`; `into_data` says whether the result
+/// must land in `data` (true) or in `buf` (false). Alternating the target
+/// halves the number of copies.
+fn sort_rec<T, F>(data: &mut [T], buf: &mut [T], less: &F, into_data: bool)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    let n = data.len();
+    if n <= GRAIN {
+        data.sort_by(|a, b| {
+            if less(a, b) {
+                std::cmp::Ordering::Less
+            } else if less(b, a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        if !into_data {
+            buf.clone_from_slice(data);
+        }
+        return;
+    }
+    let mid = n / 2;
+    let (d_lo, d_hi) = data.split_at_mut(mid);
+    let (b_lo, b_hi) = buf.split_at_mut(mid);
+    rayon::join(
+        || sort_rec(d_lo, b_lo, less, !into_data),
+        || sort_rec(d_hi, b_hi, less, !into_data),
+    );
+    // The sorted halves now live in buf (if into_data) or data (if not);
+    // merge them into the requested target.
+    if into_data {
+        par_merge_by(b_lo, b_hi, data, less);
+    } else {
+        par_merge_by(d_lo, d_hi, buf, less);
+    }
+}
+
+/// Check whether `v` is sorted under `less` (no inversion `less(v[i+1], v[i])`).
+pub fn is_sorted_by<T, F: Fn(&T, &T) -> bool>(v: &[T], less: F) -> bool {
+    v.windows(2).all(|w| !less(&w[1], &w[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn sorts_small() {
+        let mut v = vec![5, 3, 8, 1, 9, 2];
+        par_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random() {
+        let mut r = Rng::new(99);
+        for n in [4097usize, 20_000, 123_456] {
+            let mut v: Vec<u64> = (0..n).map(|_| r.range(1_000_000)).collect();
+            let mut want = v.clone();
+            want.sort();
+            par_sort(&mut v);
+            assert_eq!(v, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse() {
+        let mut v: Vec<u32> = (0..50_000).collect();
+        par_sort(&mut v);
+        assert!(is_sorted_by(&v, |a, b| a < b));
+        let mut v: Vec<u32> = (0..50_000).rev().collect();
+        par_sort(&mut v);
+        assert!(is_sorted_by(&v, |a, b| a < b));
+        assert_eq!(v[0], 0);
+        assert_eq!(v[49_999], 49_999);
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // (key, original index): equal keys must preserve index order.
+        let n = 30_000usize;
+        let mut v: Vec<(u32, usize)> = (0..n).map(|i| ((i % 10) as u32, i)).collect();
+        par_sort_by(&mut v, |a, b| a.0 < b.0);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "instability at key {}", w[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn sort_by_key() {
+        let mut v: Vec<(u64, &str)> = vec![(3, "c"), (1, "a"), (2, "b")];
+        par_sort_by_key(&mut v, |x| x.0);
+        assert_eq!(v.iter().map(|x| x.1).collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn sorts_all_equal() {
+        let mut v = vec![7u8; 20_000];
+        par_sort(&mut v);
+        assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn sorts_empty_and_single() {
+        let mut v: Vec<i32> = vec![];
+        par_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![42];
+        par_sort(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Forest depths by Euler-tour tree contraction.
+//!
+//! Theorem 5.3 of the paper computes the rank of every activity as its
+//! depth in the pivot forest "using a standard tree contraction \[18\] in
+//! `O(n)` work and `O(log n)` span whp". This module provides that
+//! substrate: it reduces forest-depth computation to weighted list ranking
+//! on the Euler tour of each tree (+1 entering a vertex, −1 leaving), and
+//! ranks the tour with the work-efficient contraction in
+//! [`crate::list_contract`].
+//!
+//! Compared to the pointer-jumping [`crate::list_rank::forest_depths`]
+//! (`O(n log d)` work for forest depth `d`), this is `O(n)` expected work —
+//! the bound the paper cites — at the price of building the tour. The
+//! ablation bench (`pp-bench --bin ablations`) compares the two.
+
+use crate::histogram::group_by_key;
+use crate::list_contract::list_rank_contract;
+use crate::pack::pack_index;
+use rayon::prelude::*;
+
+/// Depth of every node in a forest given parent pointers, via Euler-tour
+/// contraction. `parent[i] == i` marks a root (depth 0).
+///
+/// Produces exactly the same output as
+/// [`crate::list_rank::forest_depths`] and
+/// [`crate::list_rank::forest_depths_seq`].
+///
+/// # Panics
+/// Panics (in debug builds) on out-of-range parents. A parent *cycle*
+/// (invalid forest) gives unspecified but memory-safe output.
+pub fn forest_depths_contract(parent: &[u32]) -> Vec<u32> {
+    let n = parent.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    debug_assert!(parent.iter().all(|&p| (p as usize) < n));
+
+    // Non-root vertices, in id order; vertex non_roots[q] owns Euler edges
+    // `q` (the down edge into it) and `m + q` (the up edge out of it).
+    let is_non_root: Vec<bool> = parent
+        .par_iter()
+        .enumerate()
+        .map(|(i, &p)| p as usize != i)
+        .collect();
+    let non_roots: Vec<usize> = pack_index(&is_non_root);
+    let m = non_roots.len();
+    if m == 0 {
+        return vec![0; n];
+    }
+
+    // Stable child lists: children of v are
+    // non_roots[perm[offsets[v]..offsets[v+1]]], in id order.
+    let keys: Vec<usize> = non_roots.par_iter().map(|&v| parent[v] as usize).collect();
+    let (offsets, perm) = group_by_key(&keys, n);
+
+    // down_id[v] = q for non-root v.
+    let mut down_id = vec![u32::MAX; n];
+    for (q, &v) in non_roots.iter().enumerate() {
+        down_id[v] = q as u32;
+    }
+
+    // Euler-tour successor pointers over 2m edges; `next[e] == e` = tail.
+    // Tour of a tree rooted at r: down(first child of r), ... , up(last
+    // child of r).
+    let first_child_down = |v: usize| -> Option<u32> {
+        if offsets[v] < offsets[v + 1] {
+            Some(down_id[non_roots[perm[offsets[v]] as usize]])
+        } else {
+            None
+        }
+    };
+    let mut next = vec![0u32; 2 * m];
+    let mut weight = vec![0i64; 2 * m];
+    // The grouped order gives each child its sibling position for free:
+    // child at grouped slot j has successor-of-up = down(sibling at j+1).
+    next.par_iter_mut()
+        .zip(weight.par_iter_mut())
+        .enumerate()
+        .for_each(|(e, (nx, w))| {
+            if e < m {
+                // Down edge into v: continue to v's first child, or bounce
+                // back up out of v.
+                let v = non_roots[e];
+                *w = 1;
+                *nx = first_child_down(v).unwrap_or(m as u32 + e as u32);
+            } else {
+                // Up edge out of v: continue to the next sibling, else up
+                // out of the parent, else (parent is the root) end.
+                let q = e - m;
+                let v = non_roots[q];
+                let p = parent[v] as usize;
+                *w = -1;
+                // Position of v in p's child list: the grouped slots hold
+                // increasing positions into `non_roots`, and v sits at
+                // position q there.
+                let j = offsets[p]
+                    + perm[offsets[p]..offsets[p + 1]]
+                        .binary_search(&(q as u32))
+                        .expect("child missing from its parent's child list");
+                if j + 1 < offsets[p + 1] {
+                    *nx = down_id[non_roots[perm[j + 1] as usize]];
+                } else if parent[p] as usize != p {
+                    *nx = m as u32 + down_id[p];
+                } else {
+                    *nx = e as u32; // tail: last child of a root
+                }
+            }
+        });
+
+    // Rank the tour: dist(down(v)) = depth(v) - 1.
+    let dist = list_rank_contract(&next, &weight, 0x7ee5_c0de);
+    let mut depth = vec![0u32; n];
+    depth
+        .par_iter_mut()
+        .enumerate()
+        .for_each(|(v, d)| {
+            if is_non_root[v] {
+                *d = (dist[down_id[v] as usize] + 1) as u32;
+            }
+        });
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list_rank::{forest_depths, forest_depths_seq};
+    use crate::rng::Rng;
+
+    #[test]
+    fn empty() {
+        assert!(forest_depths_contract(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_root() {
+        assert_eq!(forest_depths_contract(&[0]), vec![0]);
+    }
+
+    #[test]
+    fn all_roots() {
+        let parent: Vec<u32> = (0..1000).collect();
+        assert_eq!(forest_depths_contract(&parent), vec![0u32; 1000]);
+    }
+
+    #[test]
+    fn chain() {
+        let parent = vec![0, 0, 1, 2];
+        assert_eq!(forest_depths_contract(&parent), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn star() {
+        let mut parent = vec![0u32; 1000];
+        parent[0] = 0;
+        let d = forest_depths_contract(&parent);
+        assert_eq!(d[0], 0);
+        assert!(d[1..].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn long_chain() {
+        let n = 50_000u32;
+        let parent: Vec<u32> = (0..n).map(|i| i.saturating_sub(1)).collect();
+        let d = forest_depths_contract(&parent);
+        for i in 0..n {
+            assert_eq!(d[i as usize], i);
+        }
+    }
+
+    #[test]
+    fn multiple_roots() {
+        let parent = vec![0, 0, 2, 2, 3];
+        assert_eq!(forest_depths_contract(&parent), vec![0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_forests_match_both_references() {
+        let mut r = Rng::new(17);
+        for n in [1usize, 2, 5, 64, 1000, 30_000] {
+            let parent: Vec<u32> = (0..n)
+                .map(|i| {
+                    if i == 0 || r.range(5) == 0 {
+                        i as u32
+                    } else {
+                        r.range(i as u64) as u32
+                    }
+                })
+                .collect();
+            let want = forest_depths_seq(&parent);
+            assert_eq!(forest_depths_contract(&parent), want, "n={n} vs seq");
+            assert_eq!(forest_depths(&parent), want, "n={n} jump vs seq");
+        }
+    }
+
+    #[test]
+    fn caterpillar() {
+        // Spine 0 <- 2 <- 4 <- ... with a leaf hanging off every spine node.
+        let n = 20_000;
+        let parent: Vec<u32> = (0..n as u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    i.saturating_sub(2)
+                } else {
+                    i - 1 // leaf -> its spine node
+                }
+            })
+            .collect();
+        let d = forest_depths_contract(&parent);
+        for i in (0..n as u32).step_by(2) {
+            assert_eq!(d[i as usize], i / 2);
+            if i + 1 < n as u32 {
+                assert_eq!(d[i as usize + 1], i / 2 + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! A 4D dominance range tree: the exact structure for the 2D-grid
+//! Whac-A-Mole extension.
+//!
+//! Appendix B's closing remark moves the moles onto a 2D grid; the
+//! hammer's L1 reachability cone `|dx| + |dy| ≤ dt` decomposes into
+//! **four** rotated halfspace constraints `t±(x+y)` / `t±(x−y)` (whose
+//! coordinates satisfy one linear dependency, so the points have three
+//! degrees of freedom but still four dominance constraints — one more
+//! tree level than pure 3D dominance, which is the "extra `O(log n)`
+//! factor in work and span" the appendix states).
+//!
+//! Points carry four coordinates, each pre-compressed by the caller to a
+//! distinct slot in `0..n`. The tree answers prefix-box queries
+//! `[0, qa) × [0, qb) × [0, qc) × [0, qd)` with the same aggregate as
+//! [`crate::range2d`] / [`crate::range3d`] — (#unfinished, max finished
+//! DP, pivot among unfinished) — and supports batch finishes.
+//!
+//! Layout: a static outer tree over the `a`-coordinate; every internal
+//! node owns a full [`RangeTree3d`] over its points keyed by their local
+//! `(b, c, d)` ranks. Queries decompose the `a`-prefix into `O(log n)`
+//! nodes and run a 3D query in each — `O(log^4 n)` per operation,
+//! `O(n log^3 n)` space. Small outer leaves are answered by scanning.
+
+use crate::range2d::{PivotMode, PrefixInfo};
+use crate::range3d::RangeTree3d;
+use pp_parlay::rng::Rng;
+
+/// Outer bucket size; leaves are scanned directly.
+const LEAF_SIZE: usize = 64;
+
+struct Node {
+    /// a-slot range `[lo, hi)` of points under this node.
+    lo: u32,
+    hi: u32,
+    /// Left subtree node count (0 = leaf bucket).
+    lsize: u32,
+    /// Internal: point ids in local b order (the inner tree's id space).
+    ids_by_b: Vec<u32>,
+    /// Internal: sorted global b-slots (parallel to `ids_by_b`).
+    bs: Vec<u32>,
+    /// Internal: sorted global c-slots of the node's points.
+    cs: Vec<u32>,
+    /// Internal: sorted global d-slots of the node's points.
+    ds: Vec<u32>,
+    /// Internal: 3D tree over (local b position, local c rank, local d
+    /// rank).
+    tree: Option<RangeTree3d>,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.lsize == 0
+    }
+}
+
+/// The 4D dominance range tree. Coordinates per point id:
+/// `(a[i], b[i], c[i], d[i])`, each a permutation of `0..n`.
+pub struct RangeTree4d {
+    n: usize,
+    nodes: Vec<Node>,
+    /// Point id at each a-slot (inverse of `a`).
+    id_of_a: Vec<u32>,
+    a_of_id: Vec<u32>,
+    b_of_id: Vec<u32>,
+    c_of_id: Vec<u32>,
+    d_of_id: Vec<u32>,
+    finished: Vec<bool>,
+    dp: Vec<u32>,
+    mode: PivotMode,
+}
+
+impl RangeTree4d {
+    /// Build over `n` points with slot coordinates
+    /// `(a[i], b[i], c[i], d[i])`. Each array must be a permutation of
+    /// `0..n`.
+    pub fn new(a: &[u32], b: &[u32], c: &[u32], d: &[u32], mode: PivotMode) -> Self {
+        let n = a.len();
+        assert_eq!(b.len(), n);
+        assert_eq!(c.len(), n);
+        assert_eq!(d.len(), n);
+        let mut id_of_a = vec![u32::MAX; n];
+        for (i, &s) in a.iter().enumerate() {
+            assert!((s as usize) < n && id_of_a[s as usize] == u32::MAX);
+            id_of_a[s as usize] = i as u32;
+        }
+        let mut nodes = Vec::new();
+        if n > 0 {
+            build(0, n as u32, &id_of_a, b, c, d, mode, &mut nodes);
+        }
+        Self {
+            n,
+            nodes,
+            id_of_a,
+            a_of_id: a.to_vec(),
+            b_of_id: b.to_vec(),
+            c_of_id: c.to_vec(),
+            d_of_id: d.to_vec(),
+            finished: vec![false; n],
+            dp: vec![0; n],
+            mode,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True iff the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Aggregate over the prefix box `[0, qa) × [0, qb) × [0, qc) × [0, qd)`.
+    pub fn query_prefix(&self, qa: u32, qb: u32, qc: u32, qd: u32) -> PrefixInfo {
+        let mut acc = Acc::default();
+        if self.n > 0 && qa > 0 && qb > 0 && qc > 0 && qd > 0 {
+            self.query_rec(0, qa, qb, qc, qd, &mut acc);
+        }
+        PrefixInfo {
+            unfinished: acc.unfinished,
+            max_dp: acc.max_dp,
+            maxx_unfinished: acc.rep_unfinished,
+        }
+    }
+
+    /// Pick a pivot point id among the unfinished points of the box.
+    /// `Random` draws uniformly; `RightMost` returns a deterministic
+    /// heuristic representative — sufficient for the wake-up framework,
+    /// which only requires *some* unfinished predecessor.
+    pub fn select_pivot(&self, qa: u32, qb: u32, qc: u32, qd: u32, rng: &mut Rng) -> Option<u32> {
+        if self.n == 0 || qa == 0 || qb == 0 || qc == 0 || qd == 0 {
+            return None;
+        }
+        match self.mode {
+            PivotMode::RightMost => self.query_prefix(qa, qb, qc, qd).maxx_unfinished,
+            PivotMode::Random => {
+                let mut pieces: Vec<Piece> = Vec::new();
+                self.decompose(0, qa, qb, qc, qd, &mut pieces);
+                let total: u64 = pieces.iter().map(|p| p.cnt as u64).sum();
+                if total == 0 {
+                    return None;
+                }
+                let mut t = rng.range(total);
+                for p in &pieces {
+                    if t < p.cnt as u64 {
+                        return Some(match p.kind {
+                            PieceKind::LeafPoint(id) => id,
+                            PieceKind::NodeBox { node, qx, qy, qz } => {
+                                let nd = &self.nodes[node as usize];
+                                let x3d = nd
+                                    .tree
+                                    .as_ref()
+                                    .expect("internal node")
+                                    .select_pivot(qx, qy, qz, rng)
+                                    .expect("counted unfinished");
+                                nd.ids_by_b[x3d as usize]
+                            }
+                        });
+                    }
+                    t -= p.cnt as u64;
+                }
+                unreachable!("weighted draw out of range")
+            }
+        }
+    }
+
+    /// Mark a batch of point ids finished with their DP values.
+    pub fn finish_batch(&mut self, items: &[(u32, u32)]) {
+        for &(id, dp) in items {
+            debug_assert!(!self.finished[id as usize]);
+            self.finished[id as usize] = true;
+            self.dp[id as usize] = dp;
+        }
+        if self.nodes.is_empty() {
+            return;
+        }
+        // Per point: walk its outer path, updating each node's 3D tree.
+        for &(id, dp) in items {
+            let a = self.a_of_id[id as usize];
+            let b = self.b_of_id[id as usize];
+            let mut idx = 0usize;
+            loop {
+                let (lo, hi, lsize) = {
+                    let nd = &self.nodes[idx];
+                    (nd.lo, nd.hi, nd.lsize)
+                };
+                debug_assert!(lo <= a && a < hi);
+                if lsize == 0 {
+                    break; // leaf buckets scan live state
+                }
+                {
+                    let nd = &mut self.nodes[idx];
+                    let pos = nd.bs.partition_point(|&x| x < b);
+                    debug_assert_eq!(nd.bs[pos], b);
+                    nd.tree
+                        .as_mut()
+                        .expect("internal node")
+                        .finish_batch(&[(pos as u32, dp)]);
+                }
+                let mid = (lo + hi) / 2;
+                idx = if a < mid { idx + 1 } else { idx + 1 + lsize as usize };
+            }
+        }
+    }
+
+    fn query_rec(&self, idx: usize, qa: u32, qb: u32, qc: u32, qd: u32, acc: &mut Acc) {
+        let nd = &self.nodes[idx];
+        if qa <= nd.lo {
+            return;
+        }
+        if nd.is_leaf() {
+            for s in nd.lo..nd.hi.min(qa) {
+                let id = self.id_of_a[s as usize];
+                if self.b_of_id[id as usize] < qb
+                    && self.c_of_id[id as usize] < qc
+                    && self.d_of_id[id as usize] < qd
+                {
+                    acc.add_point(id, self.finished[id as usize], self.dp[id as usize]);
+                }
+            }
+            return;
+        }
+        if qa >= nd.hi {
+            let qx = nd.bs.partition_point(|&x| x < qb) as u32;
+            let qy = nd.cs.partition_point(|&x| x < qc) as u32;
+            let qz = nd.ds.partition_point(|&x| x < qd) as u32;
+            if qx > 0 && qy > 0 && qz > 0 {
+                let info = nd
+                    .tree
+                    .as_ref()
+                    .expect("internal")
+                    .query_prefix(qx, qy, qz);
+                acc.unfinished += info.unfinished;
+                if let Some(d) = info.max_dp {
+                    acc.max_dp = Some(acc.max_dp.map_or(d, |m| m.max(d)));
+                }
+                if let Some(x3d) = info.maxx_unfinished {
+                    acc.note_unfinished_candidate(nd.ids_by_b[x3d as usize]);
+                }
+            }
+            return;
+        }
+        let mid = (nd.lo + nd.hi) / 2;
+        self.query_rec(idx + 1, qa, qb, qc, qd, acc);
+        if qa > mid {
+            self.query_rec(idx + 1 + nd.lsize as usize, qa, qb, qc, qd, acc);
+        }
+    }
+
+    fn decompose(
+        &self,
+        idx: usize,
+        qa: u32,
+        qb: u32,
+        qc: u32,
+        qd: u32,
+        pieces: &mut Vec<Piece>,
+    ) {
+        let nd = &self.nodes[idx];
+        if qa <= nd.lo {
+            return;
+        }
+        if nd.is_leaf() {
+            for s in nd.lo..nd.hi.min(qa) {
+                let id = self.id_of_a[s as usize];
+                if self.b_of_id[id as usize] < qb
+                    && self.c_of_id[id as usize] < qc
+                    && self.d_of_id[id as usize] < qd
+                    && !self.finished[id as usize]
+                {
+                    pieces.push(Piece {
+                        cnt: 1,
+                        kind: PieceKind::LeafPoint(id),
+                    });
+                }
+            }
+            return;
+        }
+        if qa >= nd.hi {
+            let qx = nd.bs.partition_point(|&x| x < qb) as u32;
+            let qy = nd.cs.partition_point(|&x| x < qc) as u32;
+            let qz = nd.ds.partition_point(|&x| x < qd) as u32;
+            if qx > 0 && qy > 0 && qz > 0 {
+                let info = nd
+                    .tree
+                    .as_ref()
+                    .expect("internal")
+                    .query_prefix(qx, qy, qz);
+                if info.unfinished > 0 {
+                    pieces.push(Piece {
+                        cnt: info.unfinished,
+                        kind: PieceKind::NodeBox {
+                            node: idx as u32,
+                            qx,
+                            qy,
+                            qz,
+                        },
+                    });
+                }
+            }
+            return;
+        }
+        let mid = (nd.lo + nd.hi) / 2;
+        self.decompose(idx + 1, qa, qb, qc, qd, pieces);
+        if qa > mid {
+            self.decompose(idx + 1 + nd.lsize as usize, qa, qb, qc, qd, pieces);
+        }
+    }
+}
+
+/// Query accumulator; `rep_unfinished` is a representative unfinished
+/// point (existence witness / heuristic pivot).
+#[derive(Default)]
+struct Acc {
+    unfinished: u32,
+    max_dp: Option<u32>,
+    rep_unfinished: Option<u32>,
+}
+
+impl Acc {
+    fn add_point(&mut self, id: u32, finished: bool, dp: u32) {
+        if finished {
+            self.max_dp = Some(self.max_dp.map_or(dp, |m| m.max(dp)));
+        } else {
+            self.unfinished += 1;
+            self.note_unfinished_candidate(id);
+        }
+    }
+    fn note_unfinished_candidate(&mut self, id: u32) {
+        self.rep_unfinished = Some(self.rep_unfinished.map_or(id, |m| m.max(id)));
+    }
+}
+
+struct Piece {
+    cnt: u32,
+    kind: PieceKind,
+}
+
+enum PieceKind {
+    LeafPoint(u32),
+    NodeBox { node: u32, qx: u32, qy: u32, qz: u32 },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    lo: u32,
+    hi: u32,
+    id_of_a: &[u32],
+    b_of_id: &[u32],
+    c_of_id: &[u32],
+    d_of_id: &[u32],
+    mode: PivotMode,
+    out: &mut Vec<Node>,
+) {
+    let size = (hi - lo) as usize;
+    if size <= LEAF_SIZE {
+        out.push(Node {
+            lo,
+            hi,
+            lsize: 0,
+            ids_by_b: Vec::new(),
+            bs: Vec::new(),
+            cs: Vec::new(),
+            ds: Vec::new(),
+            tree: None,
+        });
+        return;
+    }
+    // Points of this node, ordered by b; local ranks for c and d.
+    let mut ids: Vec<u32> = (lo..hi).map(|s| id_of_a[s as usize]).collect();
+    ids.sort_unstable_by_key(|&id| b_of_id[id as usize]);
+    let bs: Vec<u32> = ids.iter().map(|&id| b_of_id[id as usize]).collect();
+    let mut cs: Vec<u32> = ids.iter().map(|&id| c_of_id[id as usize]).collect();
+    cs.sort_unstable();
+    let mut ds: Vec<u32> = ids.iter().map(|&id| d_of_id[id as usize]).collect();
+    ds.sort_unstable();
+    // 3D tree keyed by (local b position, local c rank, local d rank).
+    let local_b: Vec<u32> = (0..size as u32).collect();
+    let local_c: Vec<u32> = ids
+        .iter()
+        .map(|&id| cs.partition_point(|&x| x < c_of_id[id as usize]) as u32)
+        .collect();
+    let local_d: Vec<u32> = ids
+        .iter()
+        .map(|&id| ds.partition_point(|&x| x < d_of_id[id as usize]) as u32)
+        .collect();
+    let tree = RangeTree3d::new(&local_b, &local_c, &local_d, mode);
+    let my_idx = out.len();
+    out.push(Node {
+        lo,
+        hi,
+        lsize: 0,
+        ids_by_b: ids,
+        bs,
+        cs,
+        ds,
+        tree: Some(tree),
+    });
+    let mid = (lo + hi) / 2;
+    build(lo, mid, id_of_a, b_of_id, c_of_id, d_of_id, mode, out);
+    let lsize = (out.len() - my_idx - 1) as u32;
+    out[my_idx].lsize = lsize;
+    build(mid, hi, id_of_a, b_of_id, c_of_id, d_of_id, mode, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_parlay::shuffle::random_permutation;
+
+    struct Oracle {
+        a: Vec<u32>,
+        b: Vec<u32>,
+        c: Vec<u32>,
+        d: Vec<u32>,
+        finished: Vec<bool>,
+        dp: Vec<u32>,
+    }
+
+    impl Oracle {
+        fn query(&self, qa: u32, qb: u32, qc: u32, qd: u32) -> (u32, Option<u32>, Vec<u32>) {
+            let mut unfin = Vec::new();
+            let mut max_dp = None;
+            for i in 0..self.a.len() {
+                if self.a[i] < qa && self.b[i] < qb && self.c[i] < qc && self.d[i] < qd {
+                    if self.finished[i] {
+                        max_dp = Some(max_dp.map_or(self.dp[i], |m: u32| m.max(self.dp[i])));
+                    } else {
+                        unfin.push(i as u32);
+                    }
+                }
+            }
+            (unfin.len() as u32, max_dp, unfin)
+        }
+    }
+
+    fn check(n: usize, seed: u64, mode: PivotMode) {
+        let a = random_permutation(n, seed);
+        let b = random_permutation(n, seed + 1);
+        let c = random_permutation(n, seed + 2);
+        let d = random_permutation(n, seed + 3);
+        let mut tree = RangeTree4d::new(&a, &b, &c, &d, mode);
+        let mut oracle = Oracle {
+            a: a.clone(),
+            b,
+            c,
+            d,
+            finished: vec![false; n],
+            dp: vec![0; n],
+        };
+        let mut rng = Rng::new(seed ^ 99);
+        let mut remaining: Vec<u32> = (0..n as u32).collect();
+        while !remaining.is_empty() {
+            for _ in 0..12 {
+                let qa = rng.range(n as u64 + 1) as u32;
+                let qb = rng.range(n as u64 + 1) as u32;
+                let qc = rng.range(n as u64 + 1) as u32;
+                let qd = rng.range(n as u64 + 1) as u32;
+                let info = tree.query_prefix(qa, qb, qc, qd);
+                let (cnt, max_dp, unfin) = oracle.query(qa, qb, qc, qd);
+                assert_eq!(info.unfinished, cnt);
+                assert_eq!(info.max_dp, max_dp);
+                let pivot = tree.select_pivot(qa, qb, qc, qd, &mut rng);
+                match pivot {
+                    None => assert!(unfin.is_empty()),
+                    Some(p) => assert!(unfin.contains(&p), "pivot {p} not in region"),
+                }
+            }
+            let take = (rng.range(remaining.len() as u64) + 1) as usize;
+            let batch: Vec<(u32, u32)> = remaining
+                .drain(..take.min(remaining.len()))
+                .map(|id| (id, id % 13))
+                .collect();
+            for &(id, dd) in &batch {
+                oracle.finished[id as usize] = true;
+                oracle.dp[id as usize] = dd;
+            }
+            tree.finish_batch(&batch);
+        }
+    }
+
+    #[test]
+    fn matches_oracle_small() {
+        check(25, 1, PivotMode::Random);
+        check(25, 2, PivotMode::RightMost);
+    }
+
+    #[test]
+    fn matches_oracle_spanning_leaves() {
+        check(LEAF_SIZE + 5, 3, PivotMode::Random);
+        check(3 * LEAF_SIZE + 7, 4, PivotMode::Random);
+        check(250, 5, PivotMode::RightMost);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RangeTree4d::new(&[], &[], &[], &[], PivotMode::Random);
+        assert!(t.is_empty());
+        assert_eq!(t.query_prefix(0, 0, 0, 0).unfinished, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Sparse table for static idempotent range queries (range min / max).
+//!
+//! `O(n log n)` construction (parallel over levels), `O(1)` queries.
+//! Used by the Type 2 activity-selection algorithm to find each
+//! activity's pivot (the latest-start compatible activity, Lemma 5.1)
+//! without mutating state.
+
+use rayon::prelude::*;
+
+/// Which extremum the table answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Extremum {
+    /// Range minimum (returns index of the minimum value).
+    Min,
+    /// Range maximum (returns index of the maximum value).
+    Max,
+}
+
+/// Sparse table answering `arg min` / `arg max` over `u64` values.
+pub struct SparseTable {
+    values: Vec<u64>,
+    /// `table[k][i]` = index of extremum in `[i, i + 2^k)`.
+    table: Vec<Vec<u32>>,
+    kind: Extremum,
+}
+
+impl SparseTable {
+    /// Build a table over `values`. `O(n log n)` work.
+    pub fn new(values: Vec<u64>, kind: Extremum) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+        };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..n as u32).collect());
+        let better = |a: u32, b: u32| -> u32 {
+            let (va, vb) = (values[a as usize], values[b as usize]);
+            let a_wins = match kind {
+                Extremum::Min => va <= vb,
+                Extremum::Max => va >= vb,
+            };
+            if a_wins {
+                a
+            } else {
+                b
+            }
+        };
+        for k in 1..levels {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            if n < 2 * half {
+                break;
+            }
+            let row: Vec<u32> = (0..=(n - 2 * half))
+                .into_par_iter()
+                .map(|i| better(prev[i], prev[i + half]))
+                .collect();
+            table.push(row);
+        }
+        Self {
+            values,
+            table,
+            kind,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff the table is over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at index `i`.
+    pub fn value(&self, i: usize) -> u64 {
+        self.values[i]
+    }
+
+    /// Index of the extremum in `[l, r)`; `None` if the range is empty.
+    /// Ties resolve to the leftmost index.
+    pub fn query(&self, l: usize, r: usize) -> Option<usize> {
+        if l >= r || r > self.values.len() {
+            return None;
+        }
+        let len = r - l;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.table[k][l];
+        let b = self.table[k][r - (1 << k)];
+        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        let a_wins = match self.kind {
+            Extremum::Min => va <= vb || (va == vb && a <= b),
+            Extremum::Max => va > vb || (va == vb && a <= b),
+        };
+        Some(if a_wins { a as usize } else { b as usize })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_parlay::rng::Rng;
+
+    #[test]
+    fn min_queries_match_naive() {
+        let mut r = Rng::new(4);
+        let n = 777;
+        let v: Vec<u64> = (0..n).map(|_| r.range(100)).collect();
+        let t = SparseTable::new(v.clone(), Extremum::Min);
+        for _ in 0..2000 {
+            let a = r.range(n + 1) as usize;
+            let b = r.range(n + 1) as usize;
+            let (l, rr) = (a.min(b), a.max(b));
+            let got = t.query(l, rr);
+            if l == rr {
+                assert!(got.is_none());
+            } else {
+                let idx = got.unwrap();
+                let want = v[l..rr].iter().min().unwrap();
+                assert_eq!(v[idx], *want);
+                assert!((l..rr).contains(&idx));
+            }
+        }
+    }
+
+    #[test]
+    fn max_queries_match_naive() {
+        let mut r = Rng::new(5);
+        let n = 512;
+        let v: Vec<u64> = (0..n).map(|_| r.range(1000)).collect();
+        let t = SparseTable::new(v.clone(), Extremum::Max);
+        for _ in 0..2000 {
+            let a = r.range(n + 1) as usize;
+            let b = r.range(n + 1) as usize;
+            let (l, rr) = (a.min(b), a.max(b));
+            if l < rr {
+                let idx = t.query(l, rr).unwrap();
+                assert_eq!(v[idx], *v[l..rr].iter().max().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn single_and_empty() {
+        let t = SparseTable::new(vec![7], Extremum::Min);
+        assert_eq!(t.query(0, 1), Some(0));
+        assert_eq!(t.query(0, 0), None);
+        let t = SparseTable::new(vec![], Extremum::Max);
+        assert_eq!(t.query(0, 0), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn leftmost_tie_break_min() {
+        let t = SparseTable::new(vec![3, 1, 1, 1, 5], Extremum::Min);
+        assert_eq!(t.query(0, 5), Some(1));
+        assert_eq!(t.query(2, 5), Some(2));
+    }
+}

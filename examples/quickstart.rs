@@ -1,0 +1,47 @@
+//! Quickstart: a 60-second tour of the phase-parallel API.
+//!
+//! Run with: `cargo run --release -p pp-algos --example quickstart`
+
+use pp_algos::activity::{self, Activity};
+use pp_algos::lis::{self, PivotMode};
+use pp_algos::mis;
+use pp_graph::gen;
+use pp_parlay::shuffle::random_priorities;
+
+fn main() {
+    // --- LIS: the paper's headline Type 2 algorithm (Algorithm 3) ---
+    let series = lis::patterns::segment(100_000, 50, 42);
+    let result = lis::lis_par(&series, PivotMode::RightMost, 7);
+    println!(
+        "LIS of 100k-element segment pattern: length={} ({} rounds, {:.2} avg wake-ups)",
+        result.length,
+        result.stats.rounds,
+        result.stats.avg_wakeups()
+    );
+    assert_eq!(result.length, lis::lis_seq(&series));
+
+    // --- Activity selection: Type 1 vs Type 2 (Algorithm 2, §5.1) ---
+    let acts: Vec<Activity> = activity::workload::with_target_rank(100_000, 100, 1);
+    let (w1, s1) = activity::max_weight_type1(&acts);
+    let (w2, s2) = activity::max_weight_type2(&acts);
+    assert_eq!(w1, w2);
+    println!(
+        "Activity selection on 100k activities: best weight {w1} \
+         (type1 {} rounds, type2 {} rounds, rank {})",
+        s1.rounds,
+        s2.rounds,
+        activity::ranks(&acts).iter().max().unwrap()
+    );
+
+    // --- Greedy MIS via TAS trees (Algorithm 4) ---
+    let g = gen::rmat(14, 1 << 17, 3);
+    let pri = random_priorities(g.num_vertices(), 4);
+    let set = mis::mis_tas(&g, &pri);
+    let size = set.iter().filter(|&&x| x).count();
+    assert!(mis::is_maximal_independent(&g, &set));
+    println!(
+        "Greedy MIS on an RMAT graph ({} vertices, {} arcs): |MIS| = {size}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+}

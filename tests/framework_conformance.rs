@@ -1,0 +1,150 @@
+//! Framework-conformance tests: the concrete algorithms' ranks match
+//! the brute-force independence-system specification of §3
+//! (Definitions 3.1, Theorems 3.2/3.4), tying the implementations back
+//! to the paper's formalism.
+
+use phase_parallel::rank::IndependenceSystem;
+use pp_algos::activity::{self, Activity};
+use pp_algos::lis;
+use pp_parlay::rng::Rng;
+
+/// LIS as an independence system (the §3 running example).
+struct LisSystem(Vec<i64>);
+
+impl IndependenceSystem for LisSystem {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn is_feasible(&self, set: &[usize]) -> bool {
+        set.windows(2).all(|w| self.0[w[0]] < self.0[w[1]])
+    }
+}
+
+/// Activity selection as an independence system: feasible = pairwise
+/// non-overlapping, objects ordered by end time.
+struct ActivitySystem(Vec<Activity>);
+
+impl IndependenceSystem for ActivitySystem {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn is_feasible(&self, set: &[usize]) -> bool {
+        set.iter().all(|&i| {
+            set.iter().all(|&j| {
+                i == j || {
+                    let (a, b) = (&self.0[i], &self.0[j]);
+                    a.end <= b.start || b.end <= a.start
+                }
+            })
+        })
+    }
+}
+
+#[test]
+fn lis_dp_values_are_ranks() {
+    // dp[i] from the algorithms == rank(i) == DG depth (Thm 3.4).
+    let mut r = Rng::new(1);
+    for _ in 0..10 {
+        let n = 3 + r.range(8) as usize;
+        let v: Vec<i64> = (0..n).map(|_| r.range(10) as i64).collect();
+        let sys = LisSystem(v.clone());
+        let (_, dp) = lis::lis_seq_with_dp(&v);
+        for (x, &d) in dp.iter().enumerate() {
+            assert_eq!(d as usize, sys.rank_of(x), "rank mismatch at {x} in {v:?}");
+            assert_eq!(sys.rank_of(x), sys.dg_depth(x), "Thm 3.4 violated at {x}");
+        }
+    }
+}
+
+#[test]
+fn activity_ranks_match_specification() {
+    let mut r = Rng::new(2);
+    for _ in 0..10 {
+        let n = 3 + r.range(7) as usize;
+        let acts: Vec<Activity> = (0..n)
+            .map(|_| {
+                let s = r.range(20);
+                Activity::new(s, s + 1 + r.range(10), 1)
+            })
+            .collect();
+        let acts = activity::sort_by_end(acts);
+        let sys = ActivitySystem(acts.clone());
+        let ranks = activity::ranks(&acts);
+        for (x, &rk) in ranks.iter().enumerate() {
+            assert_eq!(rk as usize, sys.rank_of(x), "activity rank mismatch at {x}");
+        }
+    }
+}
+
+#[test]
+fn theorem_3_2_holds_for_both_systems() {
+    // Objects of equal rank never rely on each other.
+    let v = vec![3i64, 1, 4, 1, 5, 9, 2, 6];
+    let sys = LisSystem(v);
+    for x in 0..sys.len() {
+        for y in 0..x {
+            if sys.rank_of(x) == sys.rank_of(y) {
+                assert!(!sys.relies_on(x, y));
+            }
+        }
+    }
+}
+
+/// The 2D-grid Whac-A-Mole as an independence system: feasible = a set
+/// of moles that one hammer can hit in time order (pairwise L1
+/// reachability in both rotated directions — strict, per Eq. (5)/(6)).
+struct Whac2dSystem(Vec<pp_algos::whac::Mole2d>);
+
+impl IndependenceSystem for Whac2dSystem {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn is_feasible(&self, set: &[usize]) -> bool {
+        // Sort set members by time; every consecutive (hence every)
+        // pair must satisfy the four strict rotated constraints.
+        let mut s: Vec<&pp_algos::whac::Mole2d> = set.iter().map(|&i| &self.0[i]).collect();
+        s.sort_by_key(|m| (m.t, m.x, m.y));
+        s.windows(2).all(|w| {
+            let (a, b) = (w[0], w[1]);
+            a.t + a.x + a.y < b.t + b.x + b.y
+                && a.t + a.x - a.y < b.t + b.x - b.y
+                && a.t - a.x + a.y < b.t - b.x + b.y
+                && a.t - a.x - a.y < b.t - b.x - b.y
+        })
+    }
+}
+
+#[test]
+fn whac2d_rank_is_max_feasible_set() {
+    // rank(S) from the solver == |MFS| from the brute-force system spec.
+    let mut r = Rng::new(3);
+    for _ in 0..8 {
+        let n = 3 + r.range(7) as usize;
+        let moles: Vec<pp_algos::whac::Mole2d> = (0..n)
+            .map(|_| pp_algos::whac::Mole2d {
+                t: r.range(12) as i64,
+                x: r.range(6) as i64 - 3,
+                y: r.range(6) as i64 - 3,
+            })
+            .collect();
+        let sys = Whac2dSystem(moles.clone());
+        let want = sys.rank_of_set();
+        assert_eq!(
+            pp_algos::whac::whac2d_seq(&moles) as usize,
+            want,
+            "whac2d MFS mismatch on {moles:?}"
+        );
+    }
+}
+
+#[test]
+fn hereditary_property_sanity() {
+    // Subsets of feasible sets are feasible (checked on LIS instances).
+    let v = vec![2i64, 5, 3, 7];
+    let sys = LisSystem(v);
+    let feasible = vec![0usize, 2, 3]; // 2 < 3 < 7
+    assert!(sys.is_feasible(&feasible));
+    assert!(sys.is_feasible(&[0, 2]));
+    assert!(sys.is_feasible(&[2, 3]));
+    assert!(sys.is_feasible(&[]));
+}

@@ -1,0 +1,474 @@
+//! Property-based tests (proptest) on the substrates and algorithms:
+//! tree invariants, structure-vs-model equivalence, and parallel-vs-
+//! sequential agreement under arbitrary inputs.
+
+use pp_algos::activity::{self, Activity};
+use pp_algos::huffman;
+use pp_algos::knapsack::{max_value_par, max_value_seq, Item};
+use pp_algos::lis::{self, PivotMode};
+use pp_pam::{AugTree, MaxAug, NoAug};
+use pp_parlay::monoid::{sum_monoid, MaxMonoid};
+use pp_ranges::{FenwickMax, RangeTree2d, SegTree};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- pp-parlay ----
+
+    #[test]
+    fn scan_matches_sequential(v in prop::collection::vec(0u64..1000, 0..500)) {
+        let m = sum_monoid::<u64>();
+        let (scan, total) = pp_parlay::scan_exclusive(&m, &v);
+        let mut acc = 0u64;
+        for i in 0..v.len() {
+            prop_assert_eq!(scan[i], acc);
+            acc += v[i];
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn sort_matches_std(mut v in prop::collection::vec(any::<i64>(), 0..600)) {
+        let mut want = v.clone();
+        want.sort();
+        pp_parlay::par_sort(&mut v);
+        prop_assert_eq!(v, want);
+    }
+
+    #[test]
+    fn pack_matches_filter(v in prop::collection::vec((any::<u32>(), any::<bool>()), 0..500)) {
+        let items: Vec<u32> = v.iter().map(|&(x, _)| x).collect();
+        let flags: Vec<bool> = v.iter().map(|&(_, f)| f).collect();
+        let got = pp_parlay::pack(&items, &flags);
+        let want: Vec<u32> = v.iter().filter(|&&(_, f)| f).map(|&(x, _)| x).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_of_sorted_is_sorted_union(mut a in prop::collection::vec(0u32..100, 0..200),
+                                       mut b in prop::collection::vec(0u32..100, 0..200)) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let got = pp_parlay::merge::par_merge(&a, &b);
+        let mut want = [a, b].concat();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn forest_depths_match_seq(parents in prop::collection::vec(0usize..50, 1..50)) {
+        // Clamp to a valid forest: parent[i] <= i (self = root).
+        let parent: Vec<u32> = parents.iter().enumerate()
+            .map(|(i, &p)| p.min(i) as u32)
+            .collect();
+        prop_assert_eq!(
+            pp_parlay::list_rank::forest_depths(&parent),
+            pp_parlay::list_rank::forest_depths_seq(&parent)
+        );
+    }
+
+    // ---- pp-ranges ----
+
+    #[test]
+    fn segtree_matches_naive(v in prop::collection::vec(0i64..1000, 1..300),
+                             queries in prop::collection::vec((0usize..300, 0usize..300), 1..50)) {
+        let t = SegTree::new(MaxMonoid(i64::MIN), &v);
+        for (a, b) in queries {
+            let (l, r) = (a.min(b).min(v.len()), a.max(b).min(v.len()));
+            let want = v[l..r].iter().copied().max().unwrap_or(i64::MIN);
+            prop_assert_eq!(t.query(l, r), want);
+        }
+    }
+
+    #[test]
+    fn fenwick_max_monotone(updates in prop::collection::vec((0usize..100, 0u64..10_000), 0..300)) {
+        let mut naive = vec![0u64; 100];
+        let mut fw = FenwickMax::new(100);
+        for (i, v) in updates {
+            naive[i] = naive[i].max(v);
+            fw.update(i, v);
+        }
+        for q in 0..=100 {
+            prop_assert_eq!(fw.prefix_max(q), naive[..q].iter().copied().max().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn range2d_matches_bruteforce(n in 1usize..200, seed in any::<u64>(),
+                                  finish_frac in 0u32..100) {
+        let ys = pp_parlay::shuffle::random_permutation(n, seed);
+        let mut tree = RangeTree2d::new(&ys, PivotMode::RightMost);
+        // Finish a pseudo-random subset.
+        let batch: Vec<(u32, u32)> = (0..n as u32)
+            .filter(|&x| pp_parlay::hash64(seed, x as u64) % 100 < finish_frac as u64)
+            .map(|x| (x, x % 17))
+            .collect();
+        tree.finish_batch(&batch);
+        let finished: Vec<bool> = (0..n as u32)
+            .map(|x| batch.iter().any(|&(b, _)| b == x)).collect();
+        // Check a handful of rectangles.
+        for k in 0..10u64 {
+            let qx = (pp_parlay::hash64(seed ^ 1, k) % (n as u64 + 1)) as u32;
+            let qy = (pp_parlay::hash64(seed ^ 2, k) % (n as u64 + 1)) as u32;
+            let info = tree.query_prefix(qx, qy);
+            let mut unfin = 0u32;
+            let mut maxdp: Option<u32> = None;
+            for x in 0..qx.min(n as u32) {
+                if ys[x as usize] < qy {
+                    if finished[x as usize] {
+                        let d = x % 17;
+                        maxdp = Some(maxdp.map_or(d, |m| m.max(d)));
+                    } else {
+                        unfin += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(info.unfinished, unfin);
+            prop_assert_eq!(info.max_dp, maxdp);
+        }
+    }
+
+    // ---- pp-pam ----
+
+    #[test]
+    fn augtree_behaves_like_btreemap(ops in prop::collection::vec(
+        (0u8..3, 0u64..200, 0u64..1000), 0..400)) {
+        let mut t = AugTree::new(MaxAug);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => { t.insert(k, v); model.insert(k, v); }
+                1 => { prop_assert_eq!(t.remove(&k), model.remove(&k)); }
+                _ => { prop_assert_eq!(t.find(&k), model.get(&k)); }
+            }
+        }
+        prop_assert_eq!(t.len(), model.len());
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(t.flatten(), want);
+        let aug_want = model.values().copied().max().unwrap_or(0);
+        prop_assert_eq!(t.aug(), aug_want);
+    }
+
+    #[test]
+    fn augtree_union_equals_model_union(a in prop::collection::vec((0u64..300, 0u64..100), 0..200),
+                                        b in prop::collection::vec((0u64..300, 0u64..100), 0..200)) {
+        let ta = AugTree::build(NoAug, a.clone());
+        let tb = AugTree::build(NoAug, b.clone());
+        let t = ta.union(tb);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, v) in a { model.insert(k, v); }
+        for (k, v) in b { model.insert(k, v); }
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(t.flatten(), want);
+        t.check_invariants();
+    }
+
+    // ---- algorithms ----
+
+    #[test]
+    fn lis_par_equals_seq(v in prop::collection::vec(-100i64..100, 0..300), seed in any::<u64>()) {
+        let want = lis::lis_seq(&v);
+        prop_assert_eq!(lis::lis_par(&v, PivotMode::Random, seed).length, want);
+        prop_assert_eq!(lis::lis_par(&v, PivotMode::RightMost, seed).length, want);
+    }
+
+    #[test]
+    fn activity_par_equals_seq(raw in prop::collection::vec((0u64..1000, 1u64..200, 1u64..50), 0..300)) {
+        let acts: Vec<Activity> = raw.into_iter()
+            .map(|(s, len, w)| Activity::new(s, s + len, w))
+            .collect();
+        let acts = activity::sort_by_end(acts);
+        let want = activity::max_weight_seq(&acts);
+        prop_assert_eq!(activity::max_weight_type1(&acts).0, want);
+        prop_assert_eq!(activity::max_weight_type2(&acts).0, want);
+    }
+
+    #[test]
+    fn knapsack_par_equals_seq(raw in prop::collection::vec((1u64..30, 0u64..100), 1..15),
+                               w in 0u64..400) {
+        let items: Vec<Item> = raw.into_iter().map(|(wt, v)| Item::new(wt, v)).collect();
+        prop_assert_eq!(max_value_par(&items, w).0, max_value_seq(&items, w));
+    }
+
+    #[test]
+    fn huffman_par_wpl_is_optimal(freqs in prop::collection::vec(1u64..10_000, 1..200)) {
+        let seq = huffman::build_seq(&freqs);
+        let par = huffman::build_par(&freqs);
+        prop_assert_eq!(seq.weighted_path_length(&freqs), par.weighted_path_length(&freqs));
+        prop_assert!(par.kraft_holds());
+    }
+
+    #[test]
+    fn huffman_canonical_roundtrip(freqs in prop::collection::vec(1u64..500, 2..100),
+                                   msg_seed in any::<u64>()) {
+        let tree = huffman::build_par(&freqs);
+        let code = huffman::CanonicalCode::from_tree(&tree);
+        let n = freqs.len();
+        let msg: Vec<usize> = (0..300)
+            .map(|i| (pp_parlay::hash64(msg_seed, i) % n as u64) as usize)
+            .collect();
+        let bits = code.encode(&msg);
+        prop_assert_eq!(code.decode(&bits, msg.len()), msg);
+    }
+
+    #[test]
+    fn weighted_lis_matches_quadratic(raw in prop::collection::vec((-50i64..50, 1u32..30), 0..150),
+                                      seed in any::<u64>()) {
+        let values: Vec<i64> = raw.iter().map(|&(v, _)| v).collect();
+        let weights: Vec<u32> = raw.iter().map(|&(_, w)| w).collect();
+        let mut dp = vec![0u32; values.len()];
+        let mut want = 0;
+        for i in 0..values.len() {
+            dp[i] = weights[i];
+            for j in 0..i {
+                if values[j] < values[i] {
+                    dp[i] = dp[i].max(dp[j] + weights[i]);
+                }
+            }
+            want = want.max(dp[i]);
+        }
+        prop_assert_eq!(lis::lis_weighted_seq(&values, &weights), want);
+        let (res, _) = lis::lis_weighted_par(&values, &weights, PivotMode::Random, seed);
+        prop_assert_eq!(res.length, want);
+    }
+
+    #[test]
+    fn pam_intersection_difference_model(a in prop::collection::vec((0u64..100, 0u64..10), 0..150),
+                                         b in prop::collection::vec((0u64..100, 0u64..10), 0..150)) {
+        let (ma, mb): (BTreeMap<u64, u64>, BTreeMap<u64, u64>) =
+            (a.iter().copied().collect(), b.iter().copied().collect());
+        let ta = AugTree::build(NoAug, a.clone());
+        let tb = AugTree::build(NoAug, b.clone());
+        let ti = ta.intersect_with(tb, &|x, _| *x);
+        let want: Vec<(u64, u64)> = ma.iter()
+            .filter(|(k, _)| mb.contains_key(k))
+            .map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(ti.flatten(), want);
+        let ta = AugTree::build(NoAug, a.clone());
+        let tb = AugTree::build(NoAug, b.clone());
+        let td = ta.difference(tb);
+        let want: Vec<(u64, u64)> = ma.iter()
+            .filter(|(k, _)| !mb.contains_key(k))
+            .map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(td.flatten(), want);
+    }
+
+    #[test]
+    fn nested_multimap_matches_flat(pairs in prop::collection::vec((0u32..30, 0u32..50), 0..200)) {
+        let nested = pp_pam::NestedMultimap::build(pairs.clone());
+        let flat = pp_pam::Multimap::build(pairs);
+        prop_assert_eq!(nested.len(), flat.len());
+        let keys: Vec<u32> = (0..30).collect();
+        prop_assert_eq!(nested.multi_find(&keys), flat.multi_find(&keys));
+    }
+
+    #[test]
+    fn sssp_variants_agree(seed in 0u64..500, w_min in 1u64..100) {
+        let g = pp_graph::gen::uniform(120, 500, seed);
+        let wg = pp_graph::gen::with_uniform_weights(&g, w_min, w_min + 200, seed + 1);
+        let base = pp_algos::sssp::dijkstra(&wg, 0);
+        let (d, _) = pp_algos::sssp::delta_stepping(&wg, 0, w_min);
+        prop_assert_eq!(&d, &base);
+        let (d, _) = pp_algos::sssp::sssp_pam(&wg, 0);
+        prop_assert_eq!(&d, &base);
+    }
+
+    #[test]
+    fn graph_greedy_trio_agree(seed in 0u64..500) {
+        let g = pp_graph::gen::uniform(150, 600, seed);
+        let pri = pp_parlay::shuffle::random_priorities(150, seed + 7);
+        let set = pp_algos::mis::mis_seq(&g, &pri);
+        prop_assert_eq!(&pp_algos::mis::mis_tas(&g, &pri), &set);
+        prop_assert!(pp_algos::mis::is_maximal_independent(&g, &set));
+        let col = pp_algos::coloring::coloring_seq(&g, &pri);
+        prop_assert_eq!(&pp_algos::coloring::coloring_par(&g, &pri), &col);
+        let epri = pp_algos::matching::random_edge_priorities(&g, seed + 9);
+        let m = pp_algos::matching::matching_seq(&g, &epri);
+        prop_assert_eq!(&pp_algos::matching::matching_par(&g, &epri).0, &m);
+    }
+
+    #[test]
+    fn whac_matches_brute(raw in prop::collection::vec((0i64..120, -40i64..40), 0..120),
+                          seed in any::<u64>()) {
+        let moles: Vec<pp_algos::whac::Mole> = raw.into_iter()
+            .map(|(t, p)| pp_algos::whac::Mole { t, p }).collect();
+        let want = pp_algos::whac::whac_brute(&moles);
+        prop_assert_eq!(pp_algos::whac::whac_seq(&moles), want);
+        prop_assert_eq!(pp_algos::whac::whac_par(&moles, PivotMode::Random, seed).0, want);
+    }
+
+    #[test]
+    fn chain3d_matches_brute(raw in prop::collection::vec((0i64..40, 0i64..40, 0i64..40), 0..100),
+                             seed in any::<u64>()) {
+        let pts: Vec<pp_algos::chain3d::Point3> = raw.into_iter()
+            .map(|(a, b, c)| pp_algos::chain3d::Point3 { a, b, c }).collect();
+        let want = pp_algos::chain3d::chain3d_brute(&pts);
+        prop_assert_eq!(pp_algos::chain3d::chain3d_seq(&pts), want);
+        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, PivotMode::Random, seed).0, want);
+        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, PivotMode::RightMost, seed).0, want);
+    }
+
+    #[test]
+    fn semisort_groups_completely(keys in prop::collection::vec(0u32..40, 0..400), seed in any::<u64>()) {
+        let n = keys.len();
+        let items: Vec<(u32, usize)> = keys.iter().copied().zip(0..n).collect();
+        let (sorted, bounds) = pp_parlay::semisort::semisort_by(items.clone(), |&(k, _)| k, seed);
+        // Every group is key-homogeneous; all elements survive.
+        prop_assert_eq!(*bounds.last().unwrap(), n);
+        let mut seen: Vec<(u32, usize)> = sorted.clone();
+        seen.sort_unstable();
+        let mut want = items;
+        want.sort_unstable();
+        prop_assert_eq!(seen, want);
+        for g in 0..bounds.len() - 1 {
+            let group = &sorted[bounds[g]..bounds[g + 1]];
+            prop_assert!(group.iter().all(|&(k, _)| k == group[0].0));
+            // Groups are maximal: adjacent groups have different keys.
+            if g > 0 {
+                prop_assert!(sorted[bounds[g] - 1].0 != group[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn range3d_matches_bruteforce(n in 1usize..150, seed in any::<u64>()) {
+        use pp_ranges::RangeTree3d;
+        let a = pp_parlay::shuffle::random_permutation(n, seed);
+        let b = pp_parlay::shuffle::random_permutation(n, seed + 1);
+        let c = pp_parlay::shuffle::random_permutation(n, seed + 2);
+        let mut tree = RangeTree3d::new(&a, &b, &c, PivotMode::Random);
+        let batch: Vec<(u32, u32)> = (0..n as u32)
+            .filter(|&i| pp_parlay::hash64(seed, i as u64) % 3 == 0)
+            .map(|i| (i, i % 11))
+            .collect();
+        tree.finish_batch(&batch);
+        for q in 0..8u64 {
+            let qa = (pp_parlay::hash64(seed ^ 3, q) % (n as u64 + 1)) as u32;
+            let qb = (pp_parlay::hash64(seed ^ 4, q) % (n as u64 + 1)) as u32;
+            let qc = (pp_parlay::hash64(seed ^ 5, q) % (n as u64 + 1)) as u32;
+            let info = tree.query_prefix(qa, qb, qc);
+            let mut cnt = 0u32;
+            let mut maxdp: Option<u32> = None;
+            for i in 0..n as u32 {
+                if a[i as usize] < qa && b[i as usize] < qb && c[i as usize] < qc {
+                    if let Some(&(_, d)) = batch.iter().find(|&&(x, _)| x == i) {
+                        maxdp = Some(maxdp.map_or(d, |m| m.max(d)));
+                    } else {
+                        cnt += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(info.unfinished, cnt);
+            prop_assert_eq!(info.max_dp, maxdp);
+        }
+    }
+
+    // ---- newer substrates and algorithms ----
+
+    #[test]
+    fn radix_sort_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..800)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        pp_parlay::radix_sort_u64(&mut v);
+        prop_assert_eq!(v, want);
+    }
+
+    #[test]
+    fn radix_sort_i64_matches_std(mut v in prop::collection::vec(any::<i64>(), 0..800)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        pp_parlay::radix_sort_i64(&mut v);
+        prop_assert_eq!(v, want);
+    }
+
+    #[test]
+    fn list_contract_matches_walk(n in 1usize..400, seed in any::<u64>()) {
+        // A random set of disjoint lists: successor = next index within
+        // random-length blocks.
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        for i in 0..n - 1 {
+            if pp_parlay::hash64(seed, i as u64) % 4 != 0 {
+                next[i] = i as u32 + 1;
+            }
+        }
+        let weight: Vec<i64> = (0..n as u64)
+            .map(|i| (pp_parlay::hash64(seed ^ 1, i) % 100) as i64 - 50)
+            .collect();
+        let got = pp_parlay::list_contract::list_rank_contract(&next, &weight, seed);
+        let want = pp_parlay::list_contract::list_rank_seq(&next, &weight);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tree_contract_matches_pointer_jumping(n in 1usize..400, seed in any::<u64>()) {
+        let parent: Vec<u32> = (0..n)
+            .map(|i| {
+                if i == 0 || pp_parlay::hash64(seed, i as u64) % 5 == 0 {
+                    i as u32
+                } else {
+                    (pp_parlay::hash64(seed ^ 2, i as u64) % i as u64) as u32
+                }
+            })
+            .collect();
+        prop_assert_eq!(
+            pp_parlay::tree_contract::forest_depths_contract(&parent),
+            pp_parlay::list_rank::forest_depths_seq(&parent)
+        );
+    }
+
+    #[test]
+    fn random_perm_reservations_equals_knuth(n in 0usize..300, seed in any::<u64>()) {
+        use pp_algos::random_perm::{knuth_shuffle_seq, random_permutation_reservations, swap_targets};
+        let targets = swap_targets(n, seed);
+        let (got, _) = random_permutation_reservations(n, seed);
+        prop_assert_eq!(got, knuth_shuffle_seq(n, &targets));
+    }
+
+    #[test]
+    fn whac2d_par_matches_brute(moles in prop::collection::vec((0i64..100, -30i64..30, -30i64..30), 1..60),
+                                seed in any::<u64>()) {
+        use pp_algos::whac::{whac2d_brute, whac2d_par, whac2d_seq, Mole2d};
+        let moles: Vec<Mole2d> = moles.into_iter().map(|(t, x, y)| Mole2d { t, x, y }).collect();
+        let want = whac2d_brute(&moles);
+        prop_assert_eq!(whac2d_seq(&moles), want);
+        prop_assert_eq!(whac2d_par(&moles, PivotMode::Random, seed).0, want);
+    }
+
+    #[test]
+    fn sssp_new_relaxed_ranks_agree(n in 2usize..120, m in 1usize..500, seed in any::<u64>()) {
+        let g = pp_graph::gen::uniform(n, m, seed);
+        let wg = pp_graph::gen::with_uniform_weights(&g, 1, 1000, seed ^ 7);
+        let want = pp_algos::sssp::dijkstra(&wg, 0);
+        let (rho, _) = pp_algos::sssp::rho_stepping(&wg, 0, 8);
+        prop_assert_eq!(&rho, &want);
+        let (cr, _) = pp_algos::sssp::crauser_out(&wg, 0);
+        prop_assert_eq!(&cr, &want);
+    }
+
+    #[test]
+    fn matching_reservations_equals_greedy(n in 2usize..100, m in 1usize..400, seed in any::<u64>()) {
+        use pp_algos::matching;
+        let g = pp_graph::gen::uniform(n, m, seed);
+        let pri = matching::random_edge_priorities(&g, seed ^ 3);
+        let want = matching::matching_seq(&g, &pri);
+        let (got, _) = matching::matching_reservations(&g, &pri);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unweighted_activity_contraction_agrees(n in 1usize..300, seed in any::<u64>()) {
+        let acts: Vec<Activity> = (0..n as u64)
+            .map(|i| {
+                let s = pp_parlay::hash64(seed, i) % 5000;
+                Activity::new(s, s + 1 + pp_parlay::hash64(seed ^ 1, i) % 300, 1)
+            })
+            .collect();
+        let acts = activity::sort_by_end(acts);
+        prop_assert_eq!(
+            activity::ranks_tree_contraction(&acts),
+            activity::ranks(&acts)
+        );
+    }
+}
