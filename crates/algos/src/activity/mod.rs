@@ -61,7 +61,10 @@ pub fn max_weight_brute(acts: &[Activity]) -> u64 {
     let n = acts.len();
     let mut best = 0u64;
     'outer: for mask in 0..(1u32 << n) {
-        let chosen: Vec<&Activity> = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| &acts[i]).collect();
+        let chosen: Vec<&Activity> = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| &acts[i])
+            .collect();
         for i in 0..chosen.len() {
             for j in i + 1..chosen.len() {
                 let (a, b) = (chosen[i], chosen[j]);
@@ -81,7 +84,12 @@ mod tests {
     use super::*;
     use pp_parlay::rng::Rng;
 
-    pub(crate) fn random_activities(n: usize, time_range: u64, max_len: u64, seed: u64) -> Vec<Activity> {
+    pub(crate) fn random_activities(
+        n: usize,
+        time_range: u64,
+        max_len: u64,
+        seed: u64,
+    ) -> Vec<Activity> {
         let mut r = Rng::new(seed);
         (0..n)
             .map(|_| {
@@ -98,20 +106,28 @@ mod tests {
             let acts = sort_by_end(random_activities(12, 50, 10, seed));
             let want = max_weight_brute(&acts);
             assert_eq!(max_weight_seq(&acts), want, "seq seed={seed}");
-            assert_eq!(max_weight_type1(&acts).0, want, "type1 seed={seed}");
-            assert_eq!(max_weight_type1_pam(&acts).0, want, "type1_pam seed={seed}");
-            assert_eq!(max_weight_type2(&acts).0, want, "type2 seed={seed}");
+            assert_eq!(max_weight_type1(&acts).output, want, "type1 seed={seed}");
+            assert_eq!(
+                max_weight_type1_pam(&acts).output,
+                want,
+                "type1_pam seed={seed}"
+            );
+            assert_eq!(max_weight_type2(&acts).output, want, "type2 seed={seed}");
         }
     }
 
     #[test]
     fn all_algorithms_agree_large() {
-        for (n, range, len) in [(5000usize, 10_000u64, 100u64), (5000, 500, 400), (3000, 1_000_000, 3)] {
+        for (n, range, len) in [
+            (5000usize, 10_000u64, 100u64),
+            (5000, 500, 400),
+            (3000, 1_000_000, 3),
+        ] {
             let acts = sort_by_end(random_activities(n, range, len, 99));
             let want = max_weight_seq(&acts);
-            assert_eq!(max_weight_type1(&acts).0, want, "type1 n={n}");
-            assert_eq!(max_weight_type1_pam(&acts).0, want, "type1_pam n={n}");
-            assert_eq!(max_weight_type2(&acts).0, want, "type2 n={n}");
+            assert_eq!(max_weight_type1(&acts).output, want, "type1 n={n}");
+            assert_eq!(max_weight_type1_pam(&acts).output, want, "type1_pam n={n}");
+            assert_eq!(max_weight_type2(&acts).output, want, "type2 n={n}");
         }
     }
 
@@ -120,8 +136,8 @@ mod tests {
         // The engines should run exactly rank(S) rounds (round-efficiency).
         let acts = sort_by_end(random_activities(2000, 1000, 50, 5));
         let rank = *ranks(&acts).iter().max().unwrap() as usize;
-        let (_, s1) = max_weight_type1(&acts);
-        let (_, s2) = max_weight_type2(&acts);
+        let s1 = max_weight_type1(&acts).stats;
+        let s2 = max_weight_type2(&acts).stats;
         assert_eq!(s1.rounds, rank);
         assert_eq!(s2.rounds, rank);
     }
@@ -129,13 +145,13 @@ mod tests {
     #[test]
     fn single_and_empty() {
         assert_eq!(max_weight_seq(&[]), 0);
-        assert_eq!(max_weight_type1(&[]).0, 0);
-        assert_eq!(max_weight_type2(&[]).0, 0);
+        assert_eq!(max_weight_type1(&[]).output, 0);
+        assert_eq!(max_weight_type2(&[]).output, 0);
         let one = vec![Activity::new(0, 5, 7)];
         assert_eq!(max_weight_seq(&one), 7);
-        assert_eq!(max_weight_type1(&one).0, 7);
-        assert_eq!(max_weight_type1_pam(&one).0, 7);
-        assert_eq!(max_weight_type2(&one).0, 7);
+        assert_eq!(max_weight_type1(&one).output, 7);
+        assert_eq!(max_weight_type1_pam(&one).output, 7);
+        assert_eq!(max_weight_type2(&one).output, 7);
     }
 
     #[test]
@@ -147,8 +163,8 @@ mod tests {
             Activity::new(10, 15, 30),
         ]);
         assert_eq!(max_weight_seq(&acts), 60);
-        assert_eq!(max_weight_type1(&acts).0, 60);
-        assert_eq!(max_weight_type2(&acts).0, 60);
+        assert_eq!(max_weight_type1(&acts).output, 60);
+        assert_eq!(max_weight_type2(&acts).output, 60);
     }
 
     #[test]

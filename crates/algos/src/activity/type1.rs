@@ -17,18 +17,18 @@
 //!   flat-vs-tree ablation (DESIGN.md §5.3).
 
 use super::Activity;
-use phase_parallel::{run_type1, ExecutionStats, Type1Problem};
+use phase_parallel::{run_type1, Report, Type1Problem};
 use pp_pam::{AugTree, MaxAug, MinAug};
 use pp_ranges::AtomicFenwickMax;
 use rayon::prelude::*;
 
 /// Flat-array Type 1 algorithm. `acts` sorted by end time.
-/// Returns `(max weight, stats)`; `stats.rounds == rank(S)`.
-pub fn max_weight_type1(acts: &[Activity]) -> (u64, ExecutionStats) {
+/// The report's `stats.rounds == rank(S)`.
+pub fn max_weight_type1(acts: &[Activity]) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
-        return (0, ExecutionStats::default());
+        return Report::plain(0);
     }
     // Activities in start order: ids into `acts`, plus their start times.
     let mut by_start: Vec<u32> = (0..n as u32).collect();
@@ -39,10 +39,7 @@ pub fn max_weight_type1(acts: &[Activity]) -> (u64, ExecutionStats) {
     // O(n) suffix-minimum array answers every extraction query (the
     // paper's §6.4 "flat arrays" engineering, one step further than a
     // sparse table).
-    let mut suffix_min_end: Vec<u64> = by_start
-        .iter()
-        .map(|&i| acts[i as usize].end)
-        .collect();
+    let mut suffix_min_end: Vec<u64> = by_start.iter().map(|&i| acts[i as usize].end).collect();
     for i in (0..n.saturating_sub(1)).rev() {
         suffix_min_end[i] = suffix_min_end[i].min(suffix_min_end[i + 1]);
     }
@@ -100,7 +97,7 @@ pub fn max_weight_type1(acts: &[Activity]) -> (u64, ExecutionStats) {
         }
     }
 
-    run_type1(Problem {
+    let (best, stats) = run_type1(Problem {
         acts,
         by_start,
         starts,
@@ -109,15 +106,16 @@ pub fn max_weight_type1(acts: &[Activity]) -> (u64, ExecutionStats) {
         head: 0,
         dp: AtomicFenwickMax::new(n),
         best: 0,
-    })
+    });
+    Report::new(best, stats)
 }
 
 /// Literal Algorithm 2 on PA-BSTs. `acts` sorted by end time.
-pub fn max_weight_type1_pam(acts: &[Activity]) -> (u64, ExecutionStats) {
+pub fn max_weight_type1_pam(acts: &[Activity]) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
-        return (0, ExecutionStats::default());
+        return Report::plain(0);
     }
     // T_time: key (start, id) -> end, augmented on minimum end time.
     let t_time: AugTree<(u64, u32), u64, MinAug> = AugTree::build(
@@ -180,12 +178,13 @@ pub fn max_weight_type1_pam(acts: &[Activity]) -> (u64, ExecutionStats) {
         }
     }
 
-    run_type1(Problem {
+    let (best, stats) = run_type1(Problem {
         acts,
         t_time: Some(t_time),
         t_dp,
         best: 0,
-    })
+    });
+    Report::new(best, stats)
 }
 
 #[cfg(test)]
@@ -196,21 +195,25 @@ mod tests {
     #[test]
     fn chain_of_sequential_activities_has_rank_n() {
         // n back-to-back activities: rank = n, so n rounds.
-        let acts = sort_by_end((0..50).map(|i| Activity::new(i * 10, i * 10 + 10, 1)).collect());
-        let (w, stats) = max_weight_type1(&acts);
-        assert_eq!(w, 50);
-        assert_eq!(stats.rounds, 50);
-        let (w2, stats2) = max_weight_type1_pam(&acts);
-        assert_eq!(w2, 50);
-        assert_eq!(stats2.rounds, 50);
+        let acts = sort_by_end(
+            (0..50)
+                .map(|i| Activity::new(i * 10, i * 10 + 10, 1))
+                .collect(),
+        );
+        let report = max_weight_type1(&acts);
+        assert_eq!(report.output, 50);
+        assert_eq!(report.stats.rounds, 50);
+        let report2 = max_weight_type1_pam(&acts);
+        assert_eq!(report2.output, 50);
+        assert_eq!(report2.stats.rounds, 50);
     }
 
     #[test]
     fn all_overlapping_is_one_round() {
         let acts = sort_by_end((0..100).map(|i| Activity::new(0, 100 + i, 1 + i)).collect());
-        let (w, stats) = max_weight_type1(&acts);
-        assert_eq!(w, 100); // best single activity
-        assert_eq!(stats.rounds, 1);
-        assert_eq!(stats.max_frontier(), 100);
+        let report = max_weight_type1(&acts);
+        assert_eq!(report.output, 100); // best single activity
+        assert_eq!(report.stats.rounds, 1);
+        assert_eq!(report.stats.max_frontier(), 100);
     }
 }

@@ -9,17 +9,17 @@
 
 use super::pivots::latest_start_pivots;
 use super::Activity;
-use phase_parallel::{run_type2, ExecutionStats, Type2Problem, WakeResult};
+use phase_parallel::{run_type2, Report, Type2Problem, WakeResult};
 use pp_ranges::AtomicFenwickMax;
 
 /// Type 2 algorithm. `acts` sorted by end time.
-/// Returns `(max weight, stats)`; `stats.failed_wakeups == 0` by
-/// Lemma 5.1 and `stats.rounds == rank(S)`.
-pub fn max_weight_type2(acts: &[Activity]) -> (u64, ExecutionStats) {
+/// The report's `stats.failed_wakeups == 0` by Lemma 5.1 and
+/// `stats.rounds == rank(S)`.
+pub fn max_weight_type2(acts: &[Activity]) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
-        return (0, ExecutionStats::default());
+        return Report::plain(0);
     }
     let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
     // pivot[i] = latest-start activity among ends <= s_i (Lemma 5.1),
@@ -75,13 +75,14 @@ pub fn max_weight_type2(acts: &[Activity]) -> (u64, ExecutionStats) {
         }
     }
 
-    run_type2(Problem {
+    let (best, stats) = run_type2(Problem {
         acts,
         ends: &ends,
         pivots,
         dp: AtomicFenwickMax::new(n),
         best: 0,
-    })
+    });
+    Report::new(best, stats)
 }
 
 #[cfg(test)]
@@ -100,7 +101,7 @@ mod tests {
                 })
                 .collect(),
         );
-        let (_, stats) = max_weight_type2(&acts);
+        let stats = max_weight_type2(&acts).stats;
         assert_eq!(stats.failed_wakeups, 0);
         // Every non-rank-1 activity is attempted exactly once.
         assert!(stats.wakeup_attempts <= acts.len());
@@ -121,9 +122,9 @@ mod tests {
             Activity::new(23, 32, 1), // 7: rank 3
         ];
         let acts = sort_by_end(acts);
-        let (w, stats) = max_weight_type2(&acts);
-        assert_eq!(w, 3);
-        assert_eq!(stats.rounds, 3);
-        assert_eq!(stats.frontier_sizes, vec![3, 2, 2]);
+        let report = max_weight_type2(&acts);
+        assert_eq!(report.output, 3);
+        assert_eq!(report.stats.rounds, 3);
+        assert_eq!(report.stats.frontier_sizes, vec![3, 2, 2]);
     }
 }

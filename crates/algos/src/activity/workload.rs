@@ -17,7 +17,13 @@ use rayon::prelude::*;
 /// truncated-normal lengths (mean `mean_len`, std `std_len`, min 1).
 /// Weights uniform in `[1, 2^32)`. Deterministic in `seed`; output
 /// sorted by end time.
-pub fn generate(n: usize, time_range: u64, mean_len: f64, std_len: f64, seed: u64) -> Vec<Activity> {
+pub fn generate(
+    n: usize,
+    time_range: u64,
+    mean_len: f64,
+    std_len: f64,
+    seed: u64,
+) -> Vec<Activity> {
     let acts: Vec<Activity> = (0..n as u64)
         .into_par_iter()
         .map(|i| {

@@ -1,0 +1,515 @@
+//! Typed [`PhaseAlgorithm`] implementations for every algorithm family.
+//!
+//! Each unit struct binds a family's sequential baseline and
+//! phase-parallel execution to the unified trait, so any family can be
+//! driven through a [`phase_parallel::Solver`] or type-erased behind the
+//! string-keyed [`crate::registry`]. Multi-part instances get small
+//! input structs ([`SsspInstance`], [`GraphPriorityInstance`]) instead
+//! of anonymous tuples where field names carry meaning.
+//!
+//! Luby's MIS is deliberately absent: it is *not* sequential-equivalent
+//! (values are redrawn every round), so it cannot satisfy the trait's
+//! `solve_par == solve_seq` contract; call [`crate::mis::mis_luby`]
+//! directly.
+//!
+//! ```
+//! use phase_parallel::{RunConfig, Solver};
+//! use pp_algos::api::Lis;
+//!
+//! let solver = Solver::new(Lis).with_config(RunConfig::seeded(7));
+//! let report = solver.solve_checked(&[4i64, 7, 3, 2, 8, 1, 6, 5]);
+//! assert_eq!(report.output, 3);
+//! ```
+
+use crate::activity::{self, Activity};
+use crate::chain3d::{chain3d_par, chain3d_seq, Point3};
+use crate::chain4d::{chain4d_par, chain4d_seq, Point4};
+use crate::coloring::{coloring_par, coloring_seq};
+use crate::huffman;
+use crate::knapsack::{self, Item};
+use crate::lis;
+use crate::matching;
+use crate::mis;
+use crate::random_perm;
+use crate::sssp;
+use crate::whac::{whac2d_par, whac2d_seq, whac_par, whac_seq, Mole, Mole2d};
+use phase_parallel::{PhaseAlgorithm, Report, RunConfig};
+use pp_graph::Graph;
+
+/// An SSSP instance: a weighted graph and a source vertex.
+pub struct SsspInstance {
+    pub graph: Graph,
+    pub source: u32,
+}
+
+impl SsspInstance {
+    pub fn new(graph: Graph, source: u32) -> Self {
+        Self { graph, source }
+    }
+}
+
+/// A greedy-graph-algorithm instance: a graph plus one priority per
+/// vertex (MIS, coloring) or per [`matching::edge_list`] edge
+/// (matching).
+pub struct GraphPriorityInstance {
+    pub graph: Graph,
+    pub priority: Vec<u32>,
+}
+
+impl GraphPriorityInstance {
+    pub fn new(graph: Graph, priority: Vec<u32>) -> Self {
+        Self { graph, priority }
+    }
+}
+
+/// Longest increasing subsequence (Algorithm 3, Type 2).
+pub struct Lis;
+
+impl PhaseAlgorithm for Lis {
+    type Input = [i64];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "lis"
+    }
+    fn solve_seq(&self, input: &[i64]) -> u32 {
+        lis::lis_seq(input)
+    }
+    fn solve_par(&self, input: &[i64], cfg: &RunConfig) -> Report<u32> {
+        lis::lis_par(input, cfg)
+    }
+}
+
+/// Weighted LIS (§5.2 generalization): input `(values, weights)`,
+/// output the maximum total weight.
+pub struct WeightedLis;
+
+impl PhaseAlgorithm for WeightedLis {
+    type Input = (Vec<i64>, Vec<u32>);
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "lis/weighted"
+    }
+    fn solve_seq(&self, (values, weights): &Self::Input) -> u32 {
+        lis::lis_weighted_seq(values, weights)
+    }
+    fn solve_par(&self, (values, weights): &Self::Input, cfg: &RunConfig) -> Report<u32> {
+        lis::lis_weighted_par(values, weights, cfg).map(|(best, _)| best)
+    }
+}
+
+/// Weighted activity selection via Type 1 frontier extraction
+/// (Algorithm 2, flat arrays). Input must be sorted by end time
+/// ([`activity::sort_by_end`]).
+pub struct ActivityType1;
+
+impl PhaseAlgorithm for ActivityType1 {
+    type Input = [Activity];
+    type Output = u64;
+    fn name(&self) -> &'static str {
+        "activity/type1"
+    }
+    fn solve_seq(&self, input: &[Activity]) -> u64 {
+        activity::max_weight_seq(input)
+    }
+    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type1(input)
+    }
+}
+
+/// Weighted activity selection on the literal PA-BST Algorithm 2.
+pub struct ActivityType1Pam;
+
+impl PhaseAlgorithm for ActivityType1Pam {
+    type Input = [Activity];
+    type Output = u64;
+    fn name(&self) -> &'static str {
+        "activity/type1-pam"
+    }
+    fn solve_seq(&self, input: &[Activity]) -> u64 {
+        activity::max_weight_seq(input)
+    }
+    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type1_pam(input)
+    }
+}
+
+/// Weighted activity selection via Type 2 pivot wake-up (§5.1).
+pub struct ActivityType2;
+
+impl PhaseAlgorithm for ActivityType2 {
+    type Input = [Activity];
+    type Output = u64;
+    fn name(&self) -> &'static str {
+        "activity/type2"
+    }
+    fn solve_seq(&self, input: &[Activity]) -> u64 {
+        activity::max_weight_seq(input)
+    }
+    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type2(input)
+    }
+}
+
+/// Unweighted activity selection (Theorem 5.3): maximum *count* of
+/// non-overlapping activities.
+pub struct UnweightedActivity;
+
+impl PhaseAlgorithm for UnweightedActivity {
+    type Input = [Activity];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "activity/unweighted"
+    }
+    fn solve_seq(&self, input: &[Activity]) -> u32 {
+        // The classic earliest-end greedy over end-sorted activities.
+        let mut count = 0u32;
+        let mut free_from = 0u64;
+        for a in input {
+            if a.start >= free_from {
+                count += 1;
+                free_from = a.end;
+            }
+        }
+        count
+    }
+    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u32> {
+        Report::plain(activity::max_count_unweighted(input))
+    }
+}
+
+/// Unlimited knapsack (§4.2): input `(items, capacity)`.
+pub struct Knapsack;
+
+impl PhaseAlgorithm for Knapsack {
+    type Input = (Vec<Item>, u64);
+    type Output = u64;
+    fn name(&self) -> &'static str {
+        "knapsack"
+    }
+    fn solve_seq(&self, (items, capacity): &Self::Input) -> u64 {
+        knapsack::max_value_seq(items, *capacity)
+    }
+    fn solve_par(&self, (items, capacity): &Self::Input, _cfg: &RunConfig) -> Report<u64> {
+        knapsack::max_value_par(items, *capacity)
+    }
+}
+
+/// Huffman tree construction (§4.3). The output is the weighted path
+/// length: tie-breaking may legally produce different tree *shapes*,
+/// but every optimal prefix code has the same WPL.
+pub struct Huffman;
+
+impl PhaseAlgorithm for Huffman {
+    type Input = [u64];
+    type Output = u64;
+    fn name(&self) -> &'static str {
+        "huffman"
+    }
+    fn solve_seq(&self, freqs: &[u64]) -> u64 {
+        huffman::build_seq(freqs).weighted_path_length(freqs)
+    }
+    fn solve_par(&self, freqs: &[u64], _cfg: &RunConfig) -> Report<u64> {
+        huffman::build_par_with_stats(freqs).map(|t| t.weighted_path_length(freqs))
+    }
+}
+
+/// SSSP by Δ-stepping; Δ from [`RunConfig::delta`], default w*
+/// (the paper's phase-parallel choice, Theorem 4.5).
+pub struct DeltaSssp;
+
+impl PhaseAlgorithm for DeltaSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "sssp/delta"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::delta_stepping(&input.graph, input.source, cfg)
+    }
+}
+
+/// SSSP by ρ-stepping; ρ from [`RunConfig::rho`].
+pub struct RhoSssp;
+
+impl PhaseAlgorithm for RhoSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "sssp/rho"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::rho_stepping(&input.graph, input.source, cfg)
+    }
+}
+
+/// SSSP by Crauser et al.'s OUT-criterion relaxed rank.
+pub struct CrauserSssp;
+
+impl PhaseAlgorithm for CrauserSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "sssp/crauser"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::crauser_out(&input.graph, input.source)
+    }
+}
+
+/// SSSP on the literal Theorem 4.5 PA-BST algorithm.
+pub struct PamSssp;
+
+impl PhaseAlgorithm for PamSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "sssp/pam"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::sssp_pam(&input.graph, input.source)
+    }
+}
+
+/// SSSP by parallel Bellman-Ford — the work-inefficient baseline.
+pub struct BellmanFordSssp;
+
+impl PhaseAlgorithm for BellmanFordSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    fn name(&self) -> &'static str {
+        "sssp/bellman-ford"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
+        Report::plain(sssp::bellman_ford(&input.graph, input.source))
+    }
+}
+
+/// Greedy MIS via asynchronous TAS trees (Algorithm 4).
+pub struct GreedyMis;
+
+impl PhaseAlgorithm for GreedyMis {
+    type Input = GraphPriorityInstance;
+    type Output = Vec<bool>;
+    fn name(&self) -> &'static str {
+        "mis/tas"
+    }
+    fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
+        mis::mis_seq(&input.graph, &input.priority)
+    }
+    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
+        Report::plain(mis::mis_tas(&input.graph, &input.priority))
+    }
+}
+
+/// Greedy MIS via round-synchronous deterministic reservations (the
+/// prior-work baseline the paper improves on).
+pub struct RoundsMis;
+
+impl PhaseAlgorithm for RoundsMis {
+    type Input = GraphPriorityInstance;
+    type Output = Vec<bool>;
+    fn name(&self) -> &'static str {
+        "mis/rounds"
+    }
+    fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
+        mis::mis_seq(&input.graph, &input.priority)
+    }
+    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
+        mis::mis_rounds(&input.graph, &input.priority)
+    }
+}
+
+/// Greedy (Jones–Plassmann) coloring via TAS trees (§5.3).
+pub struct Coloring;
+
+impl PhaseAlgorithm for Coloring {
+    type Input = GraphPriorityInstance;
+    type Output = Vec<u32>;
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+    fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<u32> {
+        coloring_seq(&input.graph, &input.priority)
+    }
+    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<u32>> {
+        Report::plain(coloring_par(&input.graph, &input.priority))
+    }
+}
+
+/// Greedy maximal matching, round-synchronous (§5.3). Priorities rank
+/// the edges of [`matching::edge_list`].
+pub struct Matching;
+
+impl PhaseAlgorithm for Matching {
+    type Input = GraphPriorityInstance;
+    type Output = Vec<bool>;
+    fn name(&self) -> &'static str {
+        "matching"
+    }
+    fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
+        matching::matching_seq(&input.graph, &input.priority)
+    }
+    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
+        matching::matching_par(&input.graph, &input.priority)
+    }
+}
+
+/// Greedy maximal matching via deterministic reservations (ablation
+/// baseline).
+pub struct MatchingReservations;
+
+impl PhaseAlgorithm for MatchingReservations {
+    type Input = GraphPriorityInstance;
+    type Output = Vec<bool>;
+    fn name(&self) -> &'static str {
+        "matching/reservations"
+    }
+    fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
+        matching::matching_seq(&input.graph, &input.priority)
+    }
+    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
+        matching::matching_reservations(&input.graph, &input.priority)
+    }
+}
+
+/// 1D Whac-A-Mole (Appendix B): reduction to LIS.
+pub struct Whac;
+
+impl PhaseAlgorithm for Whac {
+    type Input = [Mole];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "whac"
+    }
+    fn solve_seq(&self, moles: &[Mole]) -> u32 {
+        whac_seq(moles)
+    }
+    fn solve_par(&self, moles: &[Mole], cfg: &RunConfig) -> Report<u32> {
+        whac_par(moles, cfg)
+    }
+}
+
+/// 2D-grid Whac-A-Mole (Appendix B closing remark): 4D dominance.
+pub struct Whac2d;
+
+impl PhaseAlgorithm for Whac2d {
+    type Input = [Mole2d];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "whac/2d"
+    }
+    fn solve_seq(&self, moles: &[Mole2d]) -> u32 {
+        whac2d_seq(moles)
+    }
+    fn solve_par(&self, moles: &[Mole2d], cfg: &RunConfig) -> Report<u32> {
+        whac2d_par(moles, cfg)
+    }
+}
+
+/// Longest 3D-dominance chain (the appendix's range-query extension).
+pub struct Chain3d;
+
+impl PhaseAlgorithm for Chain3d {
+    type Input = [Point3];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "chain3d"
+    }
+    fn solve_seq(&self, pts: &[Point3]) -> u32 {
+        chain3d_seq(pts)
+    }
+    fn solve_par(&self, pts: &[Point3], cfg: &RunConfig) -> Report<u32> {
+        chain3d_par(pts, cfg)
+    }
+}
+
+/// Longest 4D-dominance chain (the 2D-grid Whac-A-Mole substrate).
+pub struct Chain4d;
+
+impl PhaseAlgorithm for Chain4d {
+    type Input = [Point4];
+    type Output = u32;
+    fn name(&self) -> &'static str {
+        "chain4d"
+    }
+    fn solve_seq(&self, pts: &[Point4]) -> u32 {
+        chain4d_seq(pts)
+    }
+    fn solve_par(&self, pts: &[Point4], cfg: &RunConfig) -> Report<u32> {
+        chain4d_par(pts, cfg)
+    }
+}
+
+/// Random permutation via deterministic reservations (§5.3 baseline
+/// \[10, 64\]): input `(n, target_seed)`; bit-for-bit equal to the
+/// sequential Knuth shuffle with the same swap targets.
+pub struct RandomPerm;
+
+impl PhaseAlgorithm for RandomPerm {
+    type Input = (usize, u64);
+    type Output = Vec<u32>;
+    fn name(&self) -> &'static str {
+        "random-perm"
+    }
+    fn solve_seq(&self, &(n, seed): &Self::Input) -> Vec<u32> {
+        random_perm::knuth_shuffle_seq(n, &random_perm::swap_targets(n, seed))
+    }
+    fn solve_par(&self, &(n, seed): &Self::Input, _cfg: &RunConfig) -> Report<Vec<u32>> {
+        random_perm::random_permutation_reservations(n, &RunConfig::seeded(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phase_parallel::Solver;
+    use pp_graph::gen;
+    use pp_parlay::shuffle::random_priorities;
+
+    #[test]
+    fn solver_drives_lis_family() {
+        let solver = Solver::new(Lis).with_config(RunConfig::seeded(3));
+        let report = solver.solve_checked(&[4i64, 7, 3, 2, 8, 1, 6, 5]);
+        assert_eq!(report.output, 3);
+        assert_eq!(solver.algorithm().name(), "lis");
+    }
+
+    #[test]
+    fn solver_drives_graph_families() {
+        let g = gen::uniform(200, 800, 1);
+        let pri = random_priorities(200, 2);
+        let input = GraphPriorityInstance::new(g, pri);
+        Solver::new(GreedyMis).solve_checked(&input);
+        Solver::new(RoundsMis).solve_checked(&input);
+        Solver::new(Coloring).solve_checked(&input);
+    }
+
+    #[test]
+    fn solver_drives_sssp_with_knobs() {
+        let g = gen::uniform(150, 700, 5);
+        let wg = gen::with_uniform_weights(&g, 1, 500, 6);
+        let input = SsspInstance::new(wg, 0);
+        let base = Solver::new(DeltaSssp)
+            .with_config(RunConfig::new().with_delta(64))
+            .solve_checked(&input);
+        let rho = Solver::new(RhoSssp)
+            .with_config(RunConfig::new().with_rho(16))
+            .solve_checked(&input);
+        assert_eq!(base.output, rho.output);
+    }
+}

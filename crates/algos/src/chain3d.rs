@@ -16,9 +16,9 @@
 //! [`pp_ranges::RangeTree3d`] — one `log` above Algorithm 3 in each
 //! bound, matching the appendix's claim.
 
-use phase_parallel::{run_type2, ExecutionStats, Type2Problem, WakeResult};
+use phase_parallel::{run_type2, PivotMode, Report, RunConfig, Type2Problem, WakeResult};
 use pp_parlay::rng::{hash64, Rng};
-use pp_ranges::{PivotMode, RangeTree3d};
+use pp_ranges::RangeTree3d;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -36,10 +36,7 @@ pub struct Point3 {
 /// Slot assignment for one coordinate: returns `(slot_of_point,
 /// strict_prefix_bound_of_point)` — slots break ties by id, bounds count
 /// strictly smaller values only.
-pub(crate) fn slots(
-    values: impl Fn(usize) -> i64 + Send + Sync,
-    n: usize,
-) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn slots(values: impl Fn(usize) -> i64 + Send + Sync, n: usize) -> (Vec<u32>, Vec<u32>) {
     let mut order: Vec<u32> = (0..n as u32).collect();
     pp_parlay::par_sort_by_key(&mut order, |&i| (values(i as usize), i));
     let mut slot = vec![0u32; n];
@@ -108,8 +105,7 @@ pub fn chain3d_seq(pts: &[Point3]) -> u32 {
         let batch: Vec<(u32, u32)> = order[i0..i1]
             .iter()
             .map(|&i| {
-                let info =
-                    tree.query_prefix(b_bound[i as usize], c_bound[i as usize]);
+                let info = tree.query_prefix(b_bound[i as usize], c_bound[i as usize]);
                 let dp = info.max_dp.map_or(1, |d| d + 1);
                 (b_slot[i as usize], dp)
             })
@@ -124,12 +120,13 @@ pub fn chain3d_seq(pts: &[Point3]) -> u32 {
 }
 
 /// Phase-parallel longest 3D dominance chain (Type 2 over a 3D range
-/// tree). Returns `(chain length, stats)`; `stats.rounds` equals the
-/// chain length (round-efficiency, one rank per round).
-pub fn chain3d_par(pts: &[Point3], mode: PivotMode, seed: u64) -> (u32, ExecutionStats) {
+/// tree). The report's `stats.rounds` equals the chain length
+/// (round-efficiency, one rank per round).
+pub fn chain3d_par(pts: &[Point3], cfg: &RunConfig) -> Report<u32> {
+    let (mode, seed) = (cfg.pivot_mode, cfg.seed);
     let n = pts.len();
     if n == 0 {
-        return (0, ExecutionStats::default());
+        return Report::plain(0);
     }
     let (a_slot, a_bound) = slots(|i| pts[i].a, n);
     let (b_slot, b_bound) = slots(|i| pts[i].b, n);
@@ -159,8 +156,7 @@ pub fn chain3d_par(pts: &[Point3], mode: PivotMode, seed: u64) -> (u32, Executio
                 WakeResult::Ready(info.max_dp.map_or(1, |d| d + 1))
             } else {
                 let attempt = self.attempts[x as usize].fetch_add(1, Ordering::Relaxed);
-                let mut rng =
-                    Rng::new(hash64(self.seed, (attempt as u64) << 32 | x as u64));
+                let mut rng = Rng::new(hash64(self.seed, (attempt as u64) << 32 | x as u64));
                 let pivot = self
                     .tree
                     .select_pivot(qa, qb, qc, &mut rng)
@@ -223,13 +219,17 @@ pub fn chain3d_par(pts: &[Point3], mode: PivotMode, seed: u64) -> (u32, Executio
         seed,
         n,
     });
-    (best, stats)
+    Report::new(best, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pp_parlay::rng::Rng as TRng;
+
+    fn cfg(mode: PivotMode, seed: u64) -> RunConfig {
+        RunConfig::seeded(seed).with_pivot_mode(mode)
+    }
 
     fn random_points(n: usize, range: u64, seed: u64) -> Vec<Point3> {
         let mut r = TRng::new(seed);
@@ -249,12 +249,12 @@ mod tests {
             let want = chain3d_brute(&pts);
             assert_eq!(chain3d_seq(&pts), want, "seq seed={seed}");
             assert_eq!(
-                chain3d_par(&pts, PivotMode::Random, seed).0,
+                chain3d_par(&pts, &cfg(PivotMode::Random, seed)).output,
                 want,
                 "par/random seed={seed}"
             );
             assert_eq!(
-                chain3d_par(&pts, PivotMode::RightMost, seed).0,
+                chain3d_par(&pts, &cfg(PivotMode::RightMost, seed)).output,
                 want,
                 "par/rightmost seed={seed}"
             );
@@ -265,7 +265,8 @@ mod tests {
     fn agree_larger() {
         let pts = random_points(3000, 1000, 7);
         let want = chain3d_seq(&pts);
-        let (got, stats) = chain3d_par(&pts, PivotMode::Random, 8);
+        let report = chain3d_par(&pts, &cfg(PivotMode::Random, 8));
+        let (got, stats) = (report.output, &report.stats);
         assert_eq!(got, want);
         // Round-efficiency: exactly one round per rank.
         assert_eq!(stats.rounds as u32, want);
@@ -281,7 +282,8 @@ mod tests {
             })
             .collect();
         assert_eq!(chain3d_seq(&pts), 200);
-        let (got, stats) = chain3d_par(&pts, PivotMode::RightMost, 1);
+        let report = chain3d_par(&pts, &cfg(PivotMode::RightMost, 1));
+        let (got, stats) = (report.output, &report.stats);
         assert_eq!(got, 200);
         assert_eq!(stats.rounds, 200);
     }
@@ -289,15 +291,10 @@ mod tests {
     #[test]
     fn antichain_is_one_round() {
         // All points share a coordinate: no dominations.
-        let pts: Vec<Point3> = (0..100)
-            .map(|i| Point3 {
-                a: 5,
-                b: i,
-                c: -i,
-            })
-            .collect();
+        let pts: Vec<Point3> = (0..100).map(|i| Point3 { a: 5, b: i, c: -i }).collect();
         assert_eq!(chain3d_seq(&pts), 1);
-        let (got, stats) = chain3d_par(&pts, PivotMode::Random, 2);
+        let report = chain3d_par(&pts, &cfg(PivotMode::Random, 2));
+        let (got, stats) = (report.output, &report.stats);
         assert_eq!(got, 1);
         assert_eq!(stats.rounds, 1);
     }
@@ -311,7 +308,7 @@ mod tests {
         ];
         assert_eq!(chain3d_brute(&pts), 2);
         assert_eq!(chain3d_seq(&pts), 2);
-        assert_eq!(chain3d_par(&pts, PivotMode::Random, 3).0, 2);
+        assert_eq!(chain3d_par(&pts, &cfg(PivotMode::Random, 3)).output, 2);
     }
 
     #[test]
@@ -330,7 +327,7 @@ mod tests {
             .collect();
         assert_eq!(chain3d_seq(&pts), crate::lis::lis_seq(&vals));
         assert_eq!(
-            chain3d_par(&pts, PivotMode::Random, 5).0,
+            chain3d_par(&pts, &cfg(PivotMode::Random, 5)).output,
             crate::lis::lis_seq(&vals)
         );
     }
@@ -338,6 +335,6 @@ mod tests {
     #[test]
     fn empty() {
         assert_eq!(chain3d_seq(&[]), 0);
-        assert_eq!(chain3d_par(&[], PivotMode::Random, 0).0, 0);
+        assert_eq!(chain3d_par(&[], &cfg(PivotMode::Random, 0)).output, 0);
     }
 }

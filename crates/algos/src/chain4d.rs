@@ -13,9 +13,9 @@
 //! test for the 4D tree; [`crate::whac::whac2d_par`] maps moles onto it.
 
 use crate::chain3d::slots;
-use phase_parallel::{run_type2, ExecutionStats, Type2Problem, WakeResult};
+use phase_parallel::{run_type2, PivotMode, Report, RunConfig, Type2Problem, WakeResult};
 use pp_parlay::rng::{hash64, Rng};
-use pp_ranges::{PivotMode, RangeTree3d, RangeTree4d};
+use pp_ranges::{RangeTree3d, RangeTree4d};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -101,12 +101,13 @@ pub fn chain4d_seq(pts: &[Point4]) -> u32 {
 }
 
 /// Phase-parallel longest 4D dominance chain (Type 2 over a 4D range
-/// tree). Returns `(chain length, stats)`; `stats.rounds` equals the
-/// chain length (round-efficiency, one rank per round).
-pub fn chain4d_par(pts: &[Point4], mode: PivotMode, seed: u64) -> (u32, ExecutionStats) {
+/// tree). The report's `stats.rounds` equals the chain length
+/// (round-efficiency, one rank per round).
+pub fn chain4d_par(pts: &[Point4], cfg: &RunConfig) -> Report<u32> {
+    let (mode, seed) = (cfg.pivot_mode, cfg.seed);
     let n = pts.len();
     if n == 0 {
-        return (0, ExecutionStats::default());
+        return Report::plain(0);
     }
     let (a_slot, a_bound) = slots(|i| pts[i].a, n);
     let (b_slot, b_bound) = slots(|i| pts[i].b, n);
@@ -197,13 +198,17 @@ pub fn chain4d_par(pts: &[Point4], mode: PivotMode, seed: u64) -> (u32, Executio
         seed,
         n,
     });
-    (best, stats)
+    Report::new(best, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pp_parlay::rng::Rng as TRng;
+
+    fn cfg(mode: PivotMode, seed: u64) -> RunConfig {
+        RunConfig::seeded(seed).with_pivot_mode(mode)
+    }
 
     fn random_points(n: usize, range: u64, seed: u64) -> Vec<Point4> {
         let mut r = TRng::new(seed);
@@ -224,12 +229,12 @@ mod tests {
             let want = chain4d_brute(&pts);
             assert_eq!(chain4d_seq(&pts), want, "seq seed={seed}");
             assert_eq!(
-                chain4d_par(&pts, PivotMode::Random, seed).0,
+                chain4d_par(&pts, &cfg(PivotMode::Random, seed)).output,
                 want,
                 "par/random seed={seed}"
             );
             assert_eq!(
-                chain4d_par(&pts, PivotMode::RightMost, seed).0,
+                chain4d_par(&pts, &cfg(PivotMode::RightMost, seed)).output,
                 want,
                 "par/rightmost seed={seed}"
             );
@@ -240,7 +245,8 @@ mod tests {
     fn agree_larger_and_round_efficient() {
         let pts = random_points(1500, 400, 7);
         let want = chain4d_seq(&pts);
-        let (got, stats) = chain4d_par(&pts, PivotMode::Random, 8);
+        let report = chain4d_par(&pts, &cfg(PivotMode::Random, 8));
+        let (got, stats) = (report.output, &report.stats);
         assert_eq!(got, want);
         assert_eq!(stats.rounds as u32, want);
     }
@@ -256,7 +262,7 @@ mod tests {
             })
             .collect();
         assert_eq!(chain4d_seq(&pts), 150);
-        assert_eq!(chain4d_par(&pts, PivotMode::RightMost, 1).0, 150);
+        assert_eq!(chain4d_par(&pts, &cfg(PivotMode::RightMost, 1)).output, 150);
     }
 
     #[test]
@@ -270,7 +276,8 @@ mod tests {
             })
             .collect();
         assert_eq!(chain4d_seq(&pts), 1);
-        let (got, stats) = chain4d_par(&pts, PivotMode::Random, 2);
+        let report = chain4d_par(&pts, &cfg(PivotMode::Random, 2));
+        let (got, stats) = (report.output, &report.stats);
         assert_eq!(got, 1);
         assert_eq!(stats.rounds, 1);
     }
@@ -297,7 +304,7 @@ mod tests {
             .collect();
         assert_eq!(chain4d_seq(&pts4), crate::chain3d::chain3d_seq(&pts3));
         assert_eq!(
-            chain4d_par(&pts4, PivotMode::Random, 5).0,
+            chain4d_par(&pts4, &cfg(PivotMode::Random, 5)).output,
             crate::chain3d::chain3d_seq(&pts3)
         );
     }
@@ -305,6 +312,6 @@ mod tests {
     #[test]
     fn empty() {
         assert_eq!(chain4d_seq(&[]), 0);
-        assert_eq!(chain4d_par(&[], PivotMode::Random, 0).0, 0);
+        assert_eq!(chain4d_par(&[], &cfg(PivotMode::Random, 0)).output, 0);
     }
 }

@@ -17,9 +17,23 @@
 //! ([`crate::coloring::coloring_par`]) — the paper's point is precisely
 //! that the wake-up mechanism is orthogonal to the order.
 
+use phase_parallel::{PrioritySource, RunConfig};
 use pp_graph::Graph;
 use pp_parlay::shuffle::random_permutation;
 use rayon::prelude::*;
+
+/// Vertex priorities for `g` according to the configuration's
+/// [`RunConfig::priority_source`] (seeded by `cfg.seed`) — how driver
+/// layers (the registry, benches, services) turn the typed knob into
+/// the priority vector the greedy graph algorithms take as input.
+pub fn priorities_from_config(g: &Graph, cfg: &RunConfig) -> Vec<u32> {
+    match cfg.priority_source {
+        PrioritySource::Random => order_random(g, cfg.seed),
+        PrioritySource::LargestDegreeFirst => order_largest_degree_first(g, cfg.seed),
+        PrioritySource::LargestLogDegreeFirst => order_largest_log_degree_first(g, cfg.seed),
+        PrioritySource::SmallestDegreeLast => order_smallest_degree_last(g, cfg.seed),
+    }
+}
 
 /// Random priorities (R).
 pub fn order_random(g: &Graph, seed: u64) -> Vec<u32> {

@@ -215,9 +215,8 @@ mod tests {
         let freqs: Vec<u64> = (0..n).map(|_| 1 + r.range(100)).collect();
         let c_seq = CanonicalCode::from_tree(&build_seq(&freqs));
         let c_par = CanonicalCode::from_tree(&build_par(&freqs));
-        let cost = |c: &CanonicalCode| -> u64 {
-            (0..n).map(|s| c.code(s).0 as u64 * freqs[s]).sum()
-        };
+        let cost =
+            |c: &CanonicalCode| -> u64 { (0..n).map(|s| c.code(s).0 as u64 * freqs[s]).sum() };
         assert_eq!(cost(&c_seq), cost(&c_par));
     }
 

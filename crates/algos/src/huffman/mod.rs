@@ -33,7 +33,10 @@ impl HuffmanTree {
     /// Construct from a parent array (root self-parented).
     pub fn new(parent: Vec<u32>, n_leaves: usize) -> Self {
         assert!(n_leaves >= 1);
-        assert_eq!(parent.len(), if n_leaves == 1 { 1 } else { 2 * n_leaves - 1 });
+        assert_eq!(
+            parent.len(),
+            if n_leaves == 1 { 1 } else { 2 * n_leaves - 1 }
+        );
         Self { parent, n_leaves }
     }
 
@@ -169,7 +172,8 @@ mod tests {
     fn rounds_bounded_by_height() {
         let mut r = Rng::new(9);
         let freqs: Vec<u64> = (0..10_000).map(|_| 1 + r.range(1000)).collect();
-        let (t, stats) = build_par_with_stats(&freqs);
+        let report = build_par_with_stats(&freqs);
+        let (t, stats) = (report.output, report.stats);
         // Round-efficient: O(H) rounds (odd-frontier postponement can
         // cost a few extra rounds beyond H itself, §4.3 remark).
         assert!(

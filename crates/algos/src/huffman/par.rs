@@ -10,22 +10,22 @@
 //! least leaf, so the round count stays ≤ the tree height `H`).
 
 use super::HuffmanTree;
-use phase_parallel::{run_type1, ExecutionStats, Type1Problem};
+use phase_parallel::{run_type1, Report, Type1Problem};
 use pp_parlay::merge::par_merge_by;
 use rayon::prelude::*;
 
 /// Build a Huffman tree in parallel. Frequencies must be ≥ 1.
 pub fn build_par(freqs: &[u64]) -> HuffmanTree {
-    build_par_with_stats(freqs).0
+    build_par_with_stats(freqs).output
 }
 
 /// [`build_par`] plus round statistics (`stats.rounds ≤ height`).
-pub fn build_par_with_stats(freqs: &[u64]) -> (HuffmanTree, ExecutionStats) {
+pub fn build_par_with_stats(freqs: &[u64]) -> Report<HuffmanTree> {
     let n = freqs.len();
     assert!(n >= 1);
     assert!(freqs.iter().all(|&f| f >= 1), "frequencies must be >= 1");
     if n == 1 {
-        return (HuffmanTree::new(vec![0], 1), ExecutionStats::default());
+        return Report::plain(HuffmanTree::new(vec![0], 1));
     }
     // Objects sorted by (frequency, id).
     let mut items: Vec<(u64, u32)> = freqs
@@ -99,7 +99,7 @@ pub fn build_par_with_stats(freqs: &[u64]) -> (HuffmanTree, ExecutionStats) {
     debug_assert_eq!(next_id as usize, 2 * n - 1);
     let root = next_id - 1;
     parent[root as usize] = root;
-    (HuffmanTree::new(parent, n), stats)
+    Report::new(HuffmanTree::new(parent, n), stats)
 }
 
 #[cfg(test)]
@@ -110,7 +110,7 @@ mod tests {
     fn frontier_pairing_round_trace() {
         // freqs 1,1,1,1: f_m = 2, all four in the frontier, one round of
         // two pairs, then 2,2 → one more round, then 4 alone.
-        let (_, stats) = build_par_with_stats(&[1, 1, 1, 1]);
+        let stats = build_par_with_stats(&[1, 1, 1, 1]).stats;
         assert_eq!(stats.rounds, 2);
         assert_eq!(stats.frontier_sizes, vec![4, 2]);
     }
@@ -119,7 +119,8 @@ mod tests {
     fn odd_frontier_postpones_largest() {
         // freqs 1,1,2: f_m = 2, frontier = {1,1} (2 not < 2) → pair →
         // items {2,2} → round 2.
-        let (t, stats) = build_par_with_stats(&[1, 1, 2]);
+        let report = build_par_with_stats(&[1, 1, 2]);
+        let (t, stats) = (report.output, report.stats);
         assert_eq!(stats.rounds, 2);
         // Depths: leaves 1,1 at depth 2; leaf 2 at depth 1 → WPL = 6.
         assert_eq!(t.weighted_path_length(&[1, 1, 2]), 6);

@@ -15,31 +15,28 @@ pub fn build_seq(freqs: &[u64]) -> HuffmanTree {
     // Sort leaf ids by frequency.
     let mut leaves: Vec<u32> = (0..n as u32).collect();
     leaves.sort_by_key(|&i| (freqs[i as usize], i));
-    let mut leaf_q: VecDeque<(u64, u32)> = leaves
-        .into_iter()
-        .map(|i| (freqs[i as usize], i))
-        .collect();
+    let mut leaf_q: VecDeque<(u64, u32)> =
+        leaves.into_iter().map(|i| (freqs[i as usize], i)).collect();
     // Internal nodes are produced in nondecreasing frequency order.
     let mut internal_q: VecDeque<(u64, u32)> = VecDeque::with_capacity(n - 1);
     let mut parent = vec![0u32; 2 * n - 1];
     let mut next_id = n as u32;
 
-    let pop_min = |leaf_q: &mut VecDeque<(u64, u32)>,
-                       internal_q: &mut VecDeque<(u64, u32)>|
-     -> (u64, u32) {
-        match (leaf_q.front(), internal_q.front()) {
-            (Some(&l), Some(&i)) => {
-                if l.0 <= i.0 {
-                    leaf_q.pop_front().unwrap()
-                } else {
-                    internal_q.pop_front().unwrap()
+    let pop_min =
+        |leaf_q: &mut VecDeque<(u64, u32)>, internal_q: &mut VecDeque<(u64, u32)>| -> (u64, u32) {
+            match (leaf_q.front(), internal_q.front()) {
+                (Some(&l), Some(&i)) => {
+                    if l.0 <= i.0 {
+                        leaf_q.pop_front().unwrap()
+                    } else {
+                        internal_q.pop_front().unwrap()
+                    }
                 }
+                (Some(_), None) => leaf_q.pop_front().unwrap(),
+                (None, Some(_)) => internal_q.pop_front().unwrap(),
+                (None, None) => unreachable!("queues exhausted early"),
             }
-            (Some(_), None) => leaf_q.pop_front().unwrap(),
-            (None, Some(_)) => internal_q.pop_front().unwrap(),
-            (None, None) => unreachable!("queues exhausted early"),
-        }
-    };
+        };
 
     for _ in 0..n - 1 {
         let (fa, a) = pop_min(&mut leaf_q, &mut internal_q);

@@ -88,7 +88,7 @@ mod tests {
             let w = r.range(200);
             let want = oracle(&items, w);
             assert_eq!(max_value_seq(&items, w), want, "seq trial {trial}");
-            assert_eq!(max_value_par(&items, w).0, want, "par trial {trial}");
+            assert_eq!(max_value_par(&items, w).output, want, "par trial {trial}");
         }
     }
 
@@ -97,20 +97,20 @@ mod tests {
         // Coins {1,5,11} with values equal to weights fill W exactly.
         let items = vec![Item::new(1, 1), Item::new(5, 5), Item::new(11, 11)];
         assert_eq!(max_value_seq(&items, 100), 100);
-        assert_eq!(max_value_par(&items, 100).0, 100);
+        assert_eq!(max_value_par(&items, 100).output, 100);
         // Value-dense small item dominates: three copies of (3, 7).
         let items = vec![Item::new(3, 7), Item::new(5, 9)];
         assert_eq!(max_value_seq(&items, 10), 21);
-        assert_eq!(max_value_par(&items, 10).0, 21);
+        assert_eq!(max_value_par(&items, 10).output, 21);
     }
 
     #[test]
     fn rounds_equal_relaxed_rank() {
         // rank(W) = W / w* (Theorem 4.3).
         let items = vec![Item::new(4, 10), Item::new(7, 15)];
-        let (v, stats) = max_value_par(&items, 100);
-        assert_eq!(v, max_value_seq(&items, 100));
-        assert_eq!(stats.rounds as u64, 100 / 4); // w*-wide windows covering 1..=100
+        let report = max_value_par(&items, 100);
+        assert_eq!(report.output, max_value_seq(&items, 100));
+        assert_eq!(report.stats.rounds as u64, 100 / 4); // w*-wide windows covering 1..=100
     }
 
     #[test]
@@ -122,7 +122,7 @@ mod tests {
                 .map(|_| Item::new(1 + r.range(15), r.range(60)))
                 .collect();
             let w = 10 + r.range(150);
-            let (best, dp, _) = max_value_par_with_dp(&items, w);
+            let (best, dp) = max_value_par_with_dp(&items, w).output;
             let chosen = reconstruct(&items, &dp, w);
             let total_w: u64 = chosen.iter().map(|&i| items[i].weight).sum();
             let total_v: u64 = chosen.iter().map(|&i| items[i].value).sum();
@@ -134,11 +134,11 @@ mod tests {
     #[test]
     fn empty_and_unreachable() {
         assert_eq!(max_value_seq(&[], 50), 0);
-        assert_eq!(max_value_par(&[], 50).0, 0);
+        assert_eq!(max_value_par(&[], 50).output, 0);
         // All items heavier than W.
         let items = vec![Item::new(100, 5)];
         assert_eq!(max_value_seq(&items, 50), 0);
-        assert_eq!(max_value_par(&items, 50).0, 0);
+        assert_eq!(max_value_par(&items, 50).output, 0);
     }
 
     #[test]

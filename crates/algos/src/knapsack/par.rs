@@ -7,25 +7,20 @@
 //! parallel.
 
 use super::Item;
-use phase_parallel::{run_type1, ExecutionStats, Type1Problem};
+use phase_parallel::{run_type1, Report, Type1Problem};
 use rayon::prelude::*;
 
-/// Parallel unlimited knapsack. Returns `(max value, stats)`;
-/// `stats.rounds == ⌈W / w*⌉` = the relaxed rank of the instance.
-pub fn max_value_par(items: &[Item], capacity: u64) -> (u64, ExecutionStats) {
-    let (v, _, stats) = max_value_par_with_dp(items, capacity);
-    (v, stats)
+/// Parallel unlimited knapsack. The report's `stats.rounds ==
+/// ⌈W / w*⌉` = the relaxed rank of the instance.
+pub fn max_value_par(items: &[Item], capacity: u64) -> Report<u64> {
+    max_value_par_with_dp(items, capacity).map(|(v, _)| v)
 }
 
 /// [`max_value_par`] also returning the full DP table (for
-/// [`super::reconstruct`]).
-pub fn max_value_par_with_dp(items: &[Item], capacity: u64) -> (u64, Vec<u64>, ExecutionStats) {
+/// [`super::reconstruct`]): the output is `(max value, dp)`.
+pub fn max_value_par_with_dp(items: &[Item], capacity: u64) -> Report<(u64, Vec<u64>)> {
     if items.is_empty() || capacity == 0 {
-        return (
-            0,
-            vec![0; capacity as usize + 1],
-            ExecutionStats::default(),
-        );
+        return Report::plain((0, vec![0; capacity as usize + 1]));
     }
     let w_star = items.iter().map(|i| i.weight).min().expect("non-empty") as usize;
     let w = capacity as usize;
@@ -88,7 +83,7 @@ pub fn max_value_par_with_dp(items: &[Item], capacity: u64) -> (u64, Vec<u64>, E
         // first frontier is [1, w*).
         next: 1,
     });
-    (dp[w], dp, stats)
+    Report::new((dp[w], dp), stats)
 }
 
 #[cfg(test)]
@@ -99,7 +94,7 @@ mod tests {
     fn window_boundaries_exact() {
         // w* = 3, W = 9: windows [1,4), [4,7), [7,10) → 3 rounds.
         let items = vec![Item::new(3, 4), Item::new(5, 7)];
-        let (_, stats) = max_value_par(&items, 9);
+        let stats = max_value_par(&items, 9).stats;
         assert_eq!(stats.rounds, 3);
         assert_eq!(stats.frontier_sizes, vec![3, 3, 3]);
     }
@@ -108,8 +103,8 @@ mod tests {
     fn w_star_one_is_sequential_rank() {
         // w* = 1 → every state is its own round: rank = W.
         let items = vec![Item::new(1, 1)];
-        let (v, stats) = max_value_par(&items, 20);
-        assert_eq!(v, 20);
-        assert_eq!(stats.rounds, 20);
+        let report = max_value_par(&items, 20);
+        assert_eq!(report.output, 20);
+        assert_eq!(report.stats.rounds, 20);
     }
 }

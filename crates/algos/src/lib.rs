@@ -23,19 +23,40 @@
 //! produce the *same* greedy solution, DP algorithms the same values) —
 //! enforced by the test suites in each module and in `tests/`.
 //!
+//! # The unified API
+//!
+//! Every family speaks the same calling convention
+//! ([`phase_parallel::solver`]): a [`RunConfig`] of knobs in, a
+//! [`Report`] (output + unified [`ExecutionStats`]) out.
+//!
 //! ```
-//! use pp_algos::lis::{lis_par, lis_seq, PivotMode};
+//! use pp_algos::lis::{lis_par, lis_seq};
+//! use pp_algos::RunConfig;
 //!
 //! // Fig. 1's example sequence: the LIS (e.g. 4 7 8) has length 3.
 //! let s: Vec<i64> = vec![4, 7, 3, 2, 8, 1, 6, 5];
-//! let res = lis_par(&s, PivotMode::Random, 42);
-//! assert_eq!(res.length, 3);
-//! assert_eq!(res.length, lis_seq(&s));
+//! let report = lis_par(&s, &RunConfig::seeded(42));
+//! assert_eq!(report.output, 3);
+//! assert_eq!(report.output, lis_seq(&s));
 //! // Round-efficiency: one virtual round plus one per rank.
-//! assert_eq!(res.stats.rounds, 4);
+//! assert_eq!(report.stats.rounds, 4);
+//! ```
+//!
+//! The [`registry`] exposes every family behind a single string key for
+//! generic dispatch (benches, CLIs, conformance suites), and [`api`]
+//! defines the typed [`PhaseAlgorithm`] implementations behind it:
+//!
+//! ```
+//! use phase_parallel::RunConfig;
+//! use pp_algos::registry::{self, CaseSpec};
+//!
+//! let entry = registry::lookup("lis").expect("registered");
+//! let outcome = entry.run_case(&CaseSpec::new(500, 7), &RunConfig::seeded(7));
+//! assert_eq!(outcome.seq_digest, outcome.par_digest); // sequential-equivalent
 //! ```
 
 pub mod activity;
+pub mod api;
 pub mod chain3d;
 pub mod chain4d;
 pub mod coloring;
@@ -46,5 +67,10 @@ pub mod lis;
 pub mod matching;
 pub mod mis;
 pub mod random_perm;
+pub mod registry;
 pub mod sssp;
 pub mod whac;
+
+pub use phase_parallel::{
+    ExecutionStats, PhaseAlgorithm, PivotMode, PrioritySource, Report, RunConfig, Solver,
+};

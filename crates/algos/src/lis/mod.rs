@@ -11,13 +11,13 @@
 //! * [`patterns`] — the segment / line input generators of Fig. 10.
 //! * [`reconstruct`] — recover one optimal subsequence from DP values.
 
-pub mod patterns;
 mod par;
+pub mod patterns;
 mod seq;
 mod weighted;
 
-pub use par::{lis_par, lis_par_with_dp, lis_weighted_par, LisResult};
-pub use pp_ranges::PivotMode;
+pub use par::{lis_par, lis_par_with_dp, lis_weighted_par};
+pub use phase_parallel::PivotMode;
 pub use seq::{lis_seq, lis_seq_with_dp};
 pub use weighted::lis_weighted_seq;
 
@@ -65,14 +65,18 @@ mod tests {
     use super::*;
     use pp_parlay::rng::Rng;
 
+    fn cfg(mode: PivotMode, seed: u64) -> phase_parallel::RunConfig {
+        phase_parallel::RunConfig::seeded(seed).with_pivot_mode(mode)
+    }
+
     #[test]
     fn fig1_example() {
         // Fig. 1(b): sequence 4 7 3 2 8 1 6 5 — LIS length 3 (e.g. 4 7 8).
         let v = vec![4, 7, 3, 2, 8, 1, 6, 5];
         assert_eq!(lis_brute(&v), 3);
         assert_eq!(lis_seq(&v), 3);
-        assert_eq!(lis_par(&v, PivotMode::Random, 1).length, 3);
-        assert_eq!(lis_par(&v, PivotMode::RightMost, 1).length, 3);
+        assert_eq!(lis_par(&v, &cfg(PivotMode::Random, 1)).output, 3);
+        assert_eq!(lis_par(&v, &cfg(PivotMode::RightMost, 1)).output, 3);
     }
 
     #[test]
@@ -84,12 +88,12 @@ mod tests {
             let want = lis_brute(&vals);
             assert_eq!(lis_seq(&vals), want, "seq trial {trial}");
             assert_eq!(
-                lis_par(&vals, PivotMode::Random, trial).length,
+                lis_par(&vals, &cfg(PivotMode::Random, trial)).output,
                 want,
                 "par/random trial {trial}"
             );
             assert_eq!(
-                lis_par(&vals, PivotMode::RightMost, trial).length,
+                lis_par(&vals, &cfg(PivotMode::RightMost, trial)).output,
                 want,
                 "par/rightmost trial {trial}"
             );
@@ -100,23 +104,23 @@ mod tests {
     fn duplicates_are_not_increasing() {
         let v = vec![3, 3, 3, 3];
         assert_eq!(lis_seq(&v), 1);
-        assert_eq!(lis_par(&v, PivotMode::Random, 0).length, 1);
+        assert_eq!(lis_par(&v, &cfg(PivotMode::Random, 0)).output, 1);
         let v = vec![1, 2, 2, 3];
         assert_eq!(lis_seq(&v), 3);
-        assert_eq!(lis_par(&v, PivotMode::RightMost, 0).length, 3);
+        assert_eq!(lis_par(&v, &cfg(PivotMode::RightMost, 0)).output, 3);
     }
 
     #[test]
     fn sorted_and_reverse() {
         let v: Vec<i64> = (0..500).collect();
         assert_eq!(lis_seq(&v), 500);
-        let res = lis_par(&v, PivotMode::RightMost, 0);
-        assert_eq!(res.length, 500);
+        let res = lis_par(&v, &cfg(PivotMode::RightMost, 0));
+        assert_eq!(res.output, 500);
         assert_eq!(res.stats.rounds, 501); // virtual round + k rounds
         let v: Vec<i64> = (0..500).rev().collect();
         assert_eq!(lis_seq(&v), 1);
-        let res = lis_par(&v, PivotMode::Random, 0);
-        assert_eq!(res.length, 1);
+        let res = lis_par(&v, &cfg(PivotMode::Random, 0));
+        assert_eq!(res.output, 1);
         assert_eq!(res.stats.rounds, 2); // virtual round + one frontier
     }
 
@@ -125,9 +129,10 @@ mod tests {
         let mut r = Rng::new(12);
         let vals: Vec<i64> = (0..1000).map(|_| r.range(500) as i64).collect();
         let (_, dp_seq) = lis_seq_with_dp(&vals);
-        let (res, dp_par) = lis_par_with_dp(&vals, PivotMode::Random, 5);
+        let report = lis_par_with_dp(&vals, &cfg(PivotMode::Random, 5));
+        let (length, dp_par) = report.output;
         assert_eq!(dp_seq, dp_par);
-        assert_eq!(res.length, *dp_seq.iter().max().unwrap());
+        assert_eq!(length, *dp_seq.iter().max().unwrap());
     }
 
     #[test]
@@ -144,9 +149,9 @@ mod tests {
     #[test]
     fn empty_and_single() {
         assert_eq!(lis_seq(&[]), 0);
-        assert_eq!(lis_par(&[], PivotMode::Random, 0).length, 0);
+        assert_eq!(lis_par(&[], &cfg(PivotMode::Random, 0)).output, 0);
         assert_eq!(lis_seq(&[42]), 1);
-        assert_eq!(lis_par(&[42], PivotMode::RightMost, 0).length, 1);
+        assert_eq!(lis_par(&[42], &cfg(PivotMode::RightMost, 0)).output, 1);
     }
 
     #[test]
@@ -155,7 +160,7 @@ mod tests {
         let mut r = Rng::new(14);
         let n = 5000;
         let vals: Vec<i64> = (0..n).map(|_| r.range(1 << 30) as i64).collect();
-        let res = lis_par(&vals, PivotMode::Random, 9);
+        let res = lis_par(&vals, &cfg(PivotMode::Random, 9));
         let avg = res.stats.avg_wakeups();
         assert!(avg < 14.0, "avg wake-ups {avg} too high (log2 n ≈ 12)");
     }

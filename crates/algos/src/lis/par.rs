@@ -10,65 +10,45 @@
 //! unfinished pivot (uniformly random, or right-most under the §6.4
 //! heuristic).
 
-use phase_parallel::{run_type2, ExecutionStats, Type2Problem, WakeResult};
+use phase_parallel::{run_type2, Report, RunConfig, Type2Problem, WakeResult};
 use pp_parlay::rng::{hash64, Rng};
-use pp_ranges::{PivotMode, RangeTree2d};
+use pp_ranges::RangeTree2d;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Result of a parallel LIS run.
-#[derive(Clone, Debug)]
-pub struct LisResult {
-    /// LIS length of the input.
-    pub length: u32,
-    /// Engine statistics: `rounds = k + 1` (one virtual round plus one
-    /// per rank), wake-up attempt counts (Table 2's "Average # of
-    /// Wake-ups" is `stats.avg_wakeups()`).
-    pub stats: ExecutionStats,
+/// Parallel LIS (Algorithm 3). Deterministic in `cfg.seed` for a fixed
+/// schedule; the resulting length is schedule-independent. The report's
+/// `stats.rounds` is `k + 1` (one virtual round plus one per rank);
+/// Table 2's "Average # of Wake-ups" is `stats.avg_wakeups()`.
+pub fn lis_par(values: &[i64], cfg: &RunConfig) -> Report<u32> {
+    lis_par_with_dp(values, cfg).map(|(length, _)| length)
 }
 
-/// Parallel LIS (Algorithm 3). Deterministic in `seed` for a fixed
-/// schedule; the result length is schedule-independent.
-pub fn lis_par(values: &[i64], mode: PivotMode, seed: u64) -> LisResult {
-    lis_par_with_dp(values, mode, seed).0
-}
-
-/// [`lis_par`] also returning per-element DP values (LIS length ending
-/// at each element).
-pub fn lis_par_with_dp(values: &[i64], mode: PivotMode, seed: u64) -> (LisResult, Vec<u32>) {
-    lis_engine(values, None, mode, seed)
+/// [`lis_par`] also returning per-element DP values: the output is
+/// `(length, dp)` where `dp[i]` is the LIS length ending at element `i`.
+pub fn lis_par_with_dp(values: &[i64], cfg: &RunConfig) -> Report<(u32, Vec<u32>)> {
+    lis_engine(values, None, cfg)
 }
 
 /// Weighted LIS (§5.2: "our algorithm can be generalized to the
 /// weighted case"): maximize the total *weight* of a strictly
 /// increasing subsequence. The rank structure (rounds, pivots) is the
 /// unweighted one — only the DP combine changes. Weight sums must fit
-/// in `u32`.
+/// in `u32`. The output is `(best_weight, dp)`.
 pub fn lis_weighted_par(
     values: &[i64],
     weights: &[u32],
-    mode: PivotMode,
-    seed: u64,
-) -> (LisResult, Vec<u32>) {
+    cfg: &RunConfig,
+) -> Report<(u32, Vec<u32>)> {
     assert_eq!(values.len(), weights.len());
-    lis_engine(values, Some(weights), mode, seed)
+    lis_engine(values, Some(weights), cfg)
 }
 
-fn lis_engine(
-    values: &[i64],
-    weights: Option<&[u32]>,
-    mode: PivotMode,
-    seed: u64,
-) -> (LisResult, Vec<u32>) {
+fn lis_engine(values: &[i64], weights: Option<&[u32]>, cfg: &RunConfig) -> Report<(u32, Vec<u32>)> {
+    let (mode, seed) = (cfg.pivot_mode, cfg.seed);
     let n = values.len();
     if n == 0 {
-        return (
-            LisResult {
-                length: 0,
-                stats: ExecutionStats::default(),
-            },
-            Vec::new(),
-        );
+        return Report::plain((0, Vec::new()));
     }
     assert!(n < u32::MAX as usize - 1);
 
@@ -136,10 +116,7 @@ fn lis_engine(
                 WakeResult::Ready(base + self.weight_of(x))
             } else {
                 let attempt = self.attempts[x as usize].fetch_add(1, Ordering::Relaxed);
-                let mut rng = Rng::new(hash64(
-                    self.seed,
-                    (attempt as u64) << 32 | x as u64,
-                ));
+                let mut rng = Rng::new(hash64(self.seed, (attempt as u64) << 32 | x as u64));
                 let pivot = self
                     .tree
                     .select_pivot(x, qy, &mut rng)
@@ -172,31 +149,38 @@ fn lis_engine(
     };
     let ((dp_all, length), stats) = run_type2(problem);
     let dp_real: Vec<u32> = dp_all[1..].to_vec();
-    (LisResult { length, stats }, dp_real)
+    Report::new((length, dp_real), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use phase_parallel::PivotMode;
+
     #[test]
     fn round_frontiers_follow_ranks() {
         // 1 5 2 6 3 7: dp = 1,2,2,3,3,4 → frontiers are the virtual
         // point, then the rank classes {1}, {5,2}, {6,3}, {7}.
         let v = vec![1, 5, 2, 6, 3, 7];
-        let (res, dp) = lis_par_with_dp(&v, PivotMode::RightMost, 0);
-        assert_eq!(dp, vec![1, 2, 2, 3, 3, 4]);
-        assert_eq!(res.length, 4);
-        assert_eq!(res.stats.rounds, 5);
-        assert_eq!(res.stats.frontier_sizes, vec![1, 1, 2, 2, 1]);
+        let cfg = RunConfig::seeded(0).with_pivot_mode(PivotMode::RightMost);
+        let report = lis_par_with_dp(&v, &cfg);
+        let (length, dp) = &report.output;
+        assert_eq!(*dp, vec![1, 2, 2, 3, 3, 4]);
+        assert_eq!(*length, 4);
+        assert_eq!(report.stats.rounds, 5);
+        assert_eq!(report.stats.frontier_sizes, vec![1, 1, 2, 2, 1]);
     }
 
     #[test]
     fn pivot_modes_same_answer_different_wakeups() {
         let v: Vec<i64> = (0..2000).map(|i| ((i * 7919) % 4001) as i64).collect();
-        let a = lis_par(&v, PivotMode::Random, 3);
-        let b = lis_par(&v, PivotMode::RightMost, 3);
-        assert_eq!(a.length, b.length);
+        let a = lis_par(&v, &RunConfig::seeded(3));
+        let b = lis_par(
+            &v,
+            &RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost),
+        );
+        assert_eq!(a.output, b.output);
         // Both should be modest; the heuristic usually needs fewer.
         assert!(a.stats.avg_wakeups() < 16.0);
         assert!(b.stats.avg_wakeups() < 16.0);

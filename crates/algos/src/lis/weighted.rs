@@ -60,9 +60,14 @@ mod tests {
             let values: Vec<i64> = (0..n).map(|_| r.range(60) as i64).collect();
             let weights: Vec<u32> = (0..n).map(|_| 1 + r.range(50) as u32).collect();
             let want = brute(&values, &weights);
-            assert_eq!(lis_weighted_seq(&values, &weights), want, "seq trial {trial}");
-            let (res, dp) = lis_weighted_par(&values, &weights, PivotMode::Random, trial);
-            assert_eq!(res.length, want, "par trial {trial}");
+            assert_eq!(
+                lis_weighted_seq(&values, &weights),
+                want,
+                "seq trial {trial}"
+            );
+            let cfg = phase_parallel::RunConfig::seeded(trial);
+            let (best, dp) = lis_weighted_par(&values, &weights, &cfg).output;
+            assert_eq!(best, want, "par trial {trial}");
             // Per-element DP values agree with the quadratic oracle's max.
             assert_eq!(*dp.iter().max().unwrap(), want);
         }
@@ -77,8 +82,9 @@ mod tests {
             lis_weighted_seq(&values, &ones),
             super::super::lis_seq(&values)
         );
-        let (res, _) = lis_weighted_par(&values, &ones, PivotMode::RightMost, 3);
-        assert_eq!(res.length, super::super::lis_seq(&values));
+        let cfg = phase_parallel::RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost);
+        let (best, _) = lis_weighted_par(&values, &ones, &cfg).output;
+        assert_eq!(best, super::super::lis_seq(&values));
     }
 
     #[test]
@@ -87,16 +93,16 @@ mod tests {
         let values = vec![1i64, 2, 3, 4, 5, 0];
         let weights = vec![1u32, 1, 1, 1, 1, 100];
         assert_eq!(lis_weighted_seq(&values, &weights), 100);
-        let (res, _) = lis_weighted_par(&values, &weights, PivotMode::Random, 4);
-        assert_eq!(res.length, 100);
+        let report = lis_weighted_par(&values, &weights, &phase_parallel::RunConfig::seeded(4));
+        assert_eq!(report.output.0, 100);
         // Rounds still follow the unweighted rank (5 + virtual + ...).
-        assert_eq!(res.stats.rounds, 6);
+        assert_eq!(report.stats.rounds, 6);
     }
 
     #[test]
     fn empty_weighted() {
         assert_eq!(lis_weighted_seq(&[], &[]), 0);
-        let (res, _) = lis_weighted_par(&[], &[], PivotMode::Random, 0);
-        assert_eq!(res.length, 0);
+        let (best, _) = lis_weighted_par(&[], &[], &phase_parallel::RunConfig::seeded(0)).output;
+        assert_eq!(best, 0);
     }
 }

@@ -11,18 +11,11 @@
 //! mutually non-adjacent by construction — then discards edges with a
 //! newly matched endpoint.
 
+use phase_parallel::{ExecutionStats, Report};
 use pp_graph::Graph;
 use pp_parlay::shuffle::random_permutation;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
-
-/// Counters for a matching run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MatchingStats {
-    /// Synchronous rounds (= greedy dependence depth; `O(log n)` whp for
-    /// random priorities by Fischer–Noever).
-    pub rounds: usize,
-}
 
 /// Undirected edge list of `g` (each edge once, `u < v`), in a canonical
 /// order.
@@ -60,19 +53,21 @@ pub fn matching_seq(g: &Graph, priority: &[u32]) -> Vec<bool> {
 }
 
 /// Round-synchronous parallel greedy matching. Same output as
-/// [`matching_seq`].
-pub fn matching_par(g: &Graph, priority: &[u32]) -> (Vec<bool>, MatchingStats) {
+/// [`matching_seq`]. The report's `stats.rounds` equals the greedy
+/// dependence depth (`O(log n)` whp for random priorities by
+/// Fischer–Noever), with per-round matched-edge counts in
+/// `frontier_sizes`.
+pub fn matching_par(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     let edges = edge_list(g);
     assert_eq!(priority.len(), edges.len());
     let n = g.num_vertices();
     let mut in_matching = vec![false; edges.len()];
     let mut vertex_matched = vec![false; n];
     let mut live: Vec<u32> = (0..edges.len() as u32).collect();
-    let mut stats = MatchingStats::default();
+    let mut stats = ExecutionStats::default();
     const NONE: u32 = u32::MAX;
     let min_pri: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
     while !live.is_empty() {
-        stats.rounds += 1;
         // Each endpoint learns its minimum live incident edge priority.
         live.par_iter().for_each(|&e| {
             let (u, v) = edges[e as usize];
@@ -92,6 +87,7 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> (Vec<bool>, MatchingStats) {
             })
             .collect();
         debug_assert!(!ready.is_empty(), "the global minimum edge is ready");
+        stats.record_round(ready.len());
         for &e in &ready {
             let (u, v) = edges[e as usize];
             in_matching[e as usize] = true;
@@ -109,7 +105,7 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> (Vec<bool>, MatchingStats) {
             !vertex_matched[u as usize] && !vertex_matched[v as usize]
         });
     }
-    (in_matching, stats)
+    Report::new(in_matching, stats)
 }
 
 /// Greedy maximal matching via deterministic reservations (the paper's
@@ -119,12 +115,10 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> (Vec<bool>, MatchingStats) {
 /// Each edge, in priority order, reserves both endpoints and commits iff
 /// it wins both — the textbook speculative-for instance from \[10\]. The
 /// framework re-examines every live edge each round, which is the
-/// `O(D·m)` work pattern the SPAA 2022 paper removes; the stats expose
-/// the re-examination factor.
-pub fn matching_reservations(
-    g: &Graph,
-    priority: &[u32],
-) -> (Vec<bool>, phase_parallel::SpecForStats) {
+/// `O(D·m)` work pattern the SPAA 2022 paper removes; the report's
+/// `"attempts"` counter exposes the re-examination factor
+/// (`attempts / m`).
+pub fn matching_reservations(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     use phase_parallel::{speculative_for, ReservationProblem, ReservationTable};
     use std::sync::atomic::AtomicBool;
 
@@ -175,17 +169,19 @@ pub fn matching_reservations(
     let p = P {
         edges: &edges,
         order: &order,
-        vertex_matched: (0..g.num_vertices()).map(|_| AtomicBool::new(false)).collect(),
+        vertex_matched: (0..g.num_vertices())
+            .map(|_| AtomicBool::new(false))
+            .collect(),
         in_matching: (0..edges.len()).map(|_| AtomicBool::new(false)).collect(),
     };
     let table = ReservationTable::new(g.num_vertices());
-    let stats = speculative_for(&p, &table, 0);
+    let spec = speculative_for(&p, &table, 0);
     let mask = p
         .in_matching
         .into_iter()
         .map(AtomicBool::into_inner)
         .collect();
-    (mask, stats)
+    Report::new(mask, spec.into())
 }
 
 /// Check that `mask` is a *maximal* matching of `g`'s [`edge_list`].
@@ -222,10 +218,10 @@ mod tests {
     fn check(g: &Graph, seed: u64) {
         let pri = random_edge_priorities(g, seed);
         let a = matching_seq(g, &pri);
-        let (b, _) = matching_par(g, &pri);
+        let b = matching_par(g, &pri).output;
         assert!(is_maximal_matching(g, &a), "seq not maximal");
         assert_eq!(a, b, "par differs from greedy");
-        let (c, _) = matching_reservations(g, &pri);
+        let c = matching_reservations(g, &pri).output;
         assert_eq!(a, c, "reservations baseline differs from greedy");
     }
 
@@ -243,16 +239,16 @@ mod tests {
     fn rounds_logarithmic_on_random() {
         let g = gen::uniform(4000, 16_000, 2);
         let pri = random_edge_priorities(&g, 3);
-        let (m, stats) = matching_par(&g, &pri);
-        assert!(is_maximal_matching(&g, &m));
-        assert!(stats.rounds <= 40, "rounds {}", stats.rounds);
+        let report = matching_par(&g, &pri);
+        assert!(is_maximal_matching(&g, &report.output));
+        assert!(report.stats.rounds <= 40, "rounds {}", report.stats.rounds);
     }
 
     #[test]
     fn star_matches_exactly_one_edge() {
         let g = gen::star(64);
         let pri = random_edge_priorities(&g, 4);
-        let (m, _) = matching_par(&g, &pri);
+        let m = matching_par(&g, &pri).output;
         assert_eq!(m.iter().filter(|&&x| x).count(), 1);
     }
 
@@ -260,13 +256,13 @@ mod tests {
     fn reservations_rounds_match_dependence_depth() {
         let g = gen::uniform(4000, 16_000, 2);
         let pri = random_edge_priorities(&g, 3);
-        let (m, stats) = matching_reservations(&g, &pri);
-        assert!(is_maximal_matching(&g, &m));
-        assert!(stats.rounds <= 60, "rounds {}", stats.rounds);
+        let report = matching_reservations(&g, &pri);
+        assert!(is_maximal_matching(&g, &report.output));
+        assert!(report.stats.rounds <= 60, "rounds {}", report.stats.rounds);
         // The re-examination factor is the baseline's work overhead the
         // paper's Type 2 machinery removes; it is > 1 whenever any round
         // retries.
-        assert!(stats.attempts >= edge_list(&g).len() as u64);
+        assert!(report.stats.counter("attempts").unwrap() >= edge_list(&g).len() as u64);
     }
 
     #[test]
@@ -283,7 +279,7 @@ mod tests {
         let m_edges = edge_list(&g).len();
         let pri: Vec<u32> = (0..m_edges as u32).collect();
         let a = matching_seq(&g, &pri);
-        let (b2, _) = matching_par(&g, &pri);
+        let b2 = matching_par(&g, &pri).output;
         assert_eq!(a, b2);
         assert_eq!(a.iter().filter(|&&x| x).count(), n / 2);
     }

@@ -11,36 +11,32 @@
 //! order gives the same round bound *and* a sequential-equivalent
 //! output; this module exists so the benches can show both sides.
 
+use phase_parallel::{ExecutionStats, Report, RunConfig};
 use pp_graph::Graph;
 use pp_parlay::rng::hash64;
 use rayon::prelude::*;
 
-/// Counters for a [`mis_luby`] run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LubyStats {
-    /// Rounds executed (`O(log n)` whp).
-    pub rounds: usize,
-    /// Total live-vertex edge scans (work proxy).
-    pub edge_checks: u64,
-}
-
-/// Luby's MIS. Returns the selection mask and counters. The result is a
-/// maximal independent set, deterministic for a fixed `seed`, but *not*
-/// the greedy MIS of any single priority vector.
-pub fn mis_luby(g: &Graph, seed: u64) -> (Vec<bool>, LubyStats) {
+/// Luby's MIS, randomized by `cfg.seed`. The result is a maximal
+/// independent set, deterministic for a fixed seed, but *not* the
+/// greedy MIS of any single priority vector. The report's
+/// `stats.rounds` is `O(log n)` whp with per-round winner counts in
+/// `frontier_sizes`; the `"edge_checks"` counter totals live-vertex
+/// edge scans (work proxy).
+pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
+    let seed = cfg.seed;
     let n = g.num_vertices();
     let mut in_mis = vec![false; n];
     let mut removed = vec![false; n];
     let mut live: Vec<u32> = (0..n as u32).collect();
-    let mut stats = LubyStats::default();
+    let mut stats = ExecutionStats::default();
+    let mut edge_checks = 0u64;
     let mut round: u64 = 0;
     while !live.is_empty() {
-        stats.rounds += 1;
         // Fresh random value per (round, vertex); ties broken by id so
         // the local-minimum rule never deadlocks.
         let val = |v: u32| (hash64(seed ^ round, u64::from(v)), v);
         let checks: u64 = live.par_iter().map(|&v| g.degree(v) as u64).sum();
-        stats.edge_checks += checks;
+        edge_checks += checks;
         let winners: Vec<u32> = live
             .par_iter()
             .copied()
@@ -51,6 +47,7 @@ pub fn mis_luby(g: &Graph, seed: u64) -> (Vec<bool>, LubyStats) {
             })
             .collect();
         debug_assert!(!winners.is_empty(), "a global minimum always wins");
+        stats.record_round(winners.len());
         for &v in &winners {
             in_mis[v as usize] = true;
             removed[v as usize] = true;
@@ -63,7 +60,8 @@ pub fn mis_luby(g: &Graph, seed: u64) -> (Vec<bool>, LubyStats) {
         live.retain(|&v| !removed[v as usize]);
         round += 1;
     }
-    (in_mis, stats)
+    stats.set_counter("edge_checks", edge_checks);
+    Report::new(in_mis, stats)
 }
 
 #[cfg(test)]
@@ -81,18 +79,18 @@ mod tests {
             (gen::grid2d(20, 25), 13),
             (gen::rmat(9, 4096, 14), 14),
         ] {
-            let (set, stats) = mis_luby(&g, seed);
-            assert!(is_maximal_independent(&g, &set));
-            assert!(stats.rounds >= 1);
+            let report = mis_luby(&g, &RunConfig::seeded(seed));
+            assert!(is_maximal_independent(&g, &report.output));
+            assert!(report.stats.rounds >= 1);
         }
     }
 
     #[test]
     fn rounds_logarithmic() {
         let g = gen::uniform(20_000, 80_000, 2);
-        let (set, stats) = mis_luby(&g, 3);
-        assert!(is_maximal_independent(&g, &set));
-        assert!(stats.rounds <= 30, "rounds {}", stats.rounds);
+        let report = mis_luby(&g, &RunConfig::seeded(3));
+        assert!(is_maximal_independent(&g, &report.output));
+        assert!(report.stats.rounds <= 30, "rounds {}", report.stats.rounds);
     }
 
     #[test]
@@ -105,22 +103,23 @@ mod tests {
             }
         }
         let g = b.build();
-        let (set, stats) = mis_luby(&g, 4);
-        assert_eq!(set.iter().filter(|&&x| x).count(), 1);
-        assert_eq!(stats.rounds, 1);
+        let report = mis_luby(&g, &RunConfig::seeded(4));
+        assert_eq!(report.output.iter().filter(|&&x| x).count(), 1);
+        assert_eq!(report.stats.rounds, 1);
     }
 
     #[test]
     fn empty_graph_selects_everything() {
         let g = pp_graph::GraphBuilder::new(50).build();
-        let (set, stats) = mis_luby(&g, 5);
-        assert!(set.iter().all(|&x| x));
-        assert_eq!(stats.rounds, 1);
+        let report = mis_luby(&g, &RunConfig::seeded(5));
+        assert!(report.output.iter().all(|&x| x));
+        assert_eq!(report.stats.rounds, 1);
     }
 
     #[test]
     fn deterministic_per_seed() {
         let g = gen::uniform(300, 1200, 6);
-        assert_eq!(mis_luby(&g, 7).0, mis_luby(&g, 7).0);
+        let cfg = RunConfig::seeded(7);
+        assert_eq!(mis_luby(&g, &cfg).output, mis_luby(&g, &cfg).output);
     }
 }

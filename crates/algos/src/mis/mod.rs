@@ -22,8 +22,8 @@ mod rounds;
 mod seq;
 mod tas;
 
-pub use luby::{mis_luby, LubyStats};
-pub use rounds::{mis_rounds, RoundsStats};
+pub use luby::mis_luby;
+pub use rounds::mis_rounds;
 pub use seq::mis_seq;
 pub use tas::mis_tas;
 
@@ -66,7 +66,7 @@ mod tests {
         let pri = random_priorities(g.num_vertices(), seed);
         let a = mis_seq(g, &pri);
         let b = mis_tas(g, &pri);
-        let (c, _) = mis_rounds(g, &pri);
+        let c = mis_rounds(g, &pri).output;
         assert!(is_maximal_independent(g, &a), "seq not an MIS");
         assert_eq!(a, b, "tas differs from greedy");
         assert_eq!(a, c, "rounds differs from greedy");

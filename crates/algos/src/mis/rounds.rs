@@ -4,21 +4,15 @@
 //! TAS-tree algorithm removes exactly this re-checking; the ablation
 //! bench compares the two.
 
+use phase_parallel::{ExecutionStats, Report};
 use pp_graph::Graph;
 use rayon::prelude::*;
 
-/// Counters for the rounds baseline.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RoundsStats {
-    /// Synchronous rounds executed (= dependence-graph depth).
-    pub rounds: usize,
-    /// Total readiness checks (edge inspections) — the work-inefficiency
-    /// indicator; compare with `m`.
-    pub edge_checks: usize,
-}
-
-/// Round-synchronous greedy MIS. Same output as [`super::mis_seq`].
-pub fn mis_rounds(g: &Graph, priority: &[u32]) -> (Vec<bool>, RoundsStats) {
+/// Round-synchronous greedy MIS. Same output as [`super::mis_seq`]. The
+/// report's `stats.rounds` equals the dependence-graph depth; the
+/// `"edge_checks"` counter totals readiness checks (edge inspections) —
+/// the work-inefficiency indicator, compare with `m`.
+pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     const UNDECIDED: u8 = 0;
     const SELECTED: u8 = 1;
     const REMOVED: u8 = 2;
@@ -26,25 +20,22 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> (Vec<bool>, RoundsStats) {
     assert_eq!(priority.len(), n);
     let mut status = vec![UNDECIDED; n];
     let mut undecided: Vec<u32> = (0..n as u32).collect();
-    let mut stats = RoundsStats::default();
+    let mut stats = ExecutionStats::default();
+    let mut edge_checks = 0u64;
     while !undecided.is_empty() {
-        stats.rounds += 1;
-        stats.edge_checks += undecided
-            .iter()
-            .map(|&v| g.degree(v))
-            .sum::<usize>();
+        edge_checks += undecided.iter().map(|&v| g.degree(v) as u64).sum::<u64>();
         // Ready: every higher-priority neighbor is removed.
         let ready: Vec<u32> = undecided
             .par_iter()
             .copied()
             .filter(|&v| {
                 g.neighbors(v).iter().all(|&u| {
-                    priority[u as usize] < priority[v as usize]
-                        || status[u as usize] == REMOVED
+                    priority[u as usize] < priority[v as usize] || status[u as usize] == REMOVED
                 })
             })
             .collect();
         debug_assert!(!ready.is_empty(), "progress every round");
+        stats.record_round(ready.len());
         for &v in &ready {
             status[v as usize] = SELECTED;
         }
@@ -57,10 +48,8 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> (Vec<bool>, RoundsStats) {
         }
         undecided.retain(|&v| status[v as usize] == UNDECIDED);
     }
-    (
-        status.into_iter().map(|s| s == SELECTED).collect(),
-        stats,
-    )
+    stats.set_counter("edge_checks", edge_checks);
+    Report::new(status.into_iter().map(|s| s == SELECTED).collect(), stats)
 }
 
 #[cfg(test)]
@@ -75,7 +64,7 @@ mod tests {
         // whp, so the round count stays small.
         let g = gen::uniform(5000, 25_000, 1);
         let pri = random_priorities(5000, 2);
-        let (_, stats) = mis_rounds(&g, &pri);
+        let stats = mis_rounds(&g, &pri).stats;
         assert!(stats.rounds <= 40, "rounds {}", stats.rounds);
     }
 
@@ -91,9 +80,13 @@ mod tests {
         let g = b.build();
         // Monotone priorities force a depth-n dependence chain.
         let pri: Vec<u32> = (0..n as u32).rev().collect();
-        let (set, stats) = mis_rounds(&g, &pri);
-        assert!(set[0]);
-        assert!(stats.rounds >= n / 2 - 1, "rounds {}", stats.rounds);
-        assert!(stats.edge_checks > 10 * g.num_edges());
+        let report = mis_rounds(&g, &pri);
+        assert!(report.output[0]);
+        assert!(
+            report.stats.rounds >= n / 2 - 1,
+            "rounds {}",
+            report.stats.rounds
+        );
+        assert!(report.stats.counter("edge_checks").unwrap() > 10 * g.num_edges() as u64);
     }
 }

@@ -53,19 +53,16 @@ pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
     let mut blocking_rank = vec![0u32; m];
     let mut counts = vec![0u32; n];
     // blocking_rank and counts: sequential per vertex, parallel over vertices.
-    counts
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(v, c)| {
-            let v = v as u32;
-            let mut k = 0u32;
-            for &u in g.neighbors(v) {
-                if priority[u as usize] > priority[v as usize] {
-                    k += 1;
-                }
+    counts.par_iter_mut().enumerate().for_each(|(v, c)| {
+        let v = v as u32;
+        let mut k = 0u32;
+        for &u in g.neighbors(v) {
+            if priority[u as usize] > priority[v as usize] {
+                k += 1;
             }
-            *c = k;
-        });
+        }
+        *c = k;
+    });
     {
         // Fill blocking_rank (prefix counts) and rev_slot.
         let br = SyncSlice(blocking_rank.as_mut_ptr());
@@ -82,7 +79,11 @@ pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
                 // Reverse slot: position of v within u's sorted adjacency.
                 let pos = g.neighbors(u).partition_point(|&w| w < v);
                 debug_assert_eq!(g.neighbors(u)[pos], v);
-                unsafe { rs.get().add(base + s).write((offsets[u as usize] + pos) as u32) };
+                unsafe {
+                    rs.get()
+                        .add(base + s)
+                        .write((offsets[u as usize] + pos) as u32)
+                };
             }
         });
     }

@@ -23,9 +23,8 @@
 //! "sequential iterative algorithm" reproduction, exercised by tests and
 //! the conformance suite.
 
-use phase_parallel::reservations::{
-    speculative_for, ReservationProblem, ReservationTable, SpecForStats,
-};
+use phase_parallel::reservations::{speculative_for, ReservationProblem, ReservationTable};
+use phase_parallel::{Report, RunConfig};
 use pp_parlay::rng::{bounded, hash64};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -95,24 +94,26 @@ impl ReservationProblem for ShuffleProblem<'_> {
     }
 }
 
-/// Parallel random permutation that equals [`knuth_shuffle_seq`] exactly.
+/// Parallel random permutation that equals [`knuth_shuffle_seq`] exactly,
+/// randomized by `cfg.seed`.
 ///
-/// Returns the permutation and the framework counters (rounds ≈ dependence
-/// depth = `Θ(log n)` whp).
-pub fn random_permutation_reservations(n: usize, seed: u64) -> (Vec<u32>, SpecForStats) {
-    let targets = swap_targets(n, seed);
+/// The report's `stats.rounds` ≈ the dependence depth (`Θ(log n)` whp);
+/// the `"attempts"` counter totals reserve+commit attempts across
+/// rounds (the framework's work proxy).
+pub fn random_permutation_reservations(n: usize, cfg: &RunConfig) -> Report<Vec<u32>> {
+    let targets = swap_targets(n, cfg.seed);
     let problem = ShuffleProblem {
         targets: &targets,
         data: (0..n as u32).map(AtomicU32::new).collect(),
     };
     let table = ReservationTable::new(n);
-    let stats = speculative_for(&problem, &table, 0);
+    let spec = speculative_for(&problem, &table, 0);
     let out = problem
         .data
         .into_iter()
         .map(AtomicU32::into_inner)
         .collect();
-    (out, stats)
+    Report::new(out, spec.into())
 }
 
 #[cfg(test)]
@@ -129,9 +130,10 @@ mod tests {
 
     #[test]
     fn empty_and_tiny() {
-        assert!(random_permutation_reservations(0, 1).0.is_empty());
-        assert_eq!(random_permutation_reservations(1, 1).0, vec![0]);
-        let (p2, _) = random_permutation_reservations(2, 1);
+        let cfg = RunConfig::seeded(1);
+        assert!(random_permutation_reservations(0, &cfg).output.is_empty());
+        assert_eq!(random_permutation_reservations(1, &cfg).output, vec![0]);
+        let p2 = random_permutation_reservations(2, &cfg).output;
         assert!(is_permutation(&p2));
     }
 
@@ -141,7 +143,7 @@ mod tests {
             for seed in [0u64, 7, 42] {
                 let targets = swap_targets(n, seed);
                 let want = knuth_shuffle_seq(n, &targets);
-                let (got, _) = random_permutation_reservations(n, seed);
+                let got = random_permutation_reservations(n, &RunConfig::seeded(seed)).output;
                 assert_eq!(got, want, "n={n} seed={seed}");
             }
         }
@@ -152,32 +154,29 @@ mod tests {
         // [64]: dependence depth is Θ(log n) whp. Allow a generous
         // constant; the point is rounds ≪ n.
         let n = 200_000;
-        let (_, stats) = random_permutation_reservations(n, 3);
+        let stats = random_permutation_reservations(n, &RunConfig::seeded(3)).stats;
         assert!(
-            stats.rounds as usize <= 8 * (usize::BITS - n.leading_zeros()) as usize,
+            stats.rounds <= 8 * (usize::BITS - n.leading_zeros()) as usize,
             "rounds = {} too deep for n = {n}",
             stats.rounds
         );
         // Near-work-efficiency: total attempts stay O(n).
-        assert!(
-            stats.attempts < 8 * n as u64,
-            "attempts = {} blow up",
-            stats.attempts
-        );
+        let attempts = stats.counter("attempts").unwrap();
+        assert!(attempts < 8 * n as u64, "attempts = {attempts} blow up");
     }
 
     #[test]
     fn different_seeds_differ() {
-        let (a, _) = random_permutation_reservations(1000, 1);
-        let (b, _) = random_permutation_reservations(1000, 2);
+        let a = random_permutation_reservations(1000, &RunConfig::seeded(1)).output;
+        let b = random_permutation_reservations(1000, &RunConfig::seeded(2)).output;
         assert!(is_permutation(&a) && is_permutation(&b));
         assert_ne!(a, b);
     }
 
     #[test]
     fn deterministic_across_runs() {
-        let (a, _) = random_permutation_reservations(30_000, 9);
-        let (b, _) = random_permutation_reservations(30_000, 9);
+        let a = random_permutation_reservations(30_000, &RunConfig::seeded(9)).output;
+        let b = random_permutation_reservations(30_000, &RunConfig::seeded(9)).output;
         assert_eq!(a, b);
     }
 }

@@ -1,0 +1,417 @@
+//! The string-keyed algorithm registry: every [`PhaseAlgorithm`] family
+//! reachable behind one uniform, type-erased interface.
+//!
+//! Bench binaries, CLIs, conformance suites and future service layers
+//! dispatch any algorithm by name without knowing its input type: each
+//! [`AlgorithmEntry`] pairs a deterministic instance generator (driven
+//! by a [`CaseSpec`]) with the family's typed [`crate::api`]
+//! implementation, and reports results as output digests (FNV-1a over
+//! the canonical output encoding — order-sensitive, so outputs must be
+//! deterministic) plus the unified [`ExecutionStats`].
+//!
+//! ```
+//! use phase_parallel::RunConfig;
+//! use pp_algos::registry::{self, CaseSpec};
+//!
+//! for entry in registry::registry() {
+//!     let outcome = entry.run_case(&CaseSpec::new(80, 3), &RunConfig::seeded(3));
+//!     assert_eq!(outcome.seq_digest, outcome.par_digest, "{}", entry.name());
+//! }
+//! ```
+
+use crate::activity::{self, Activity};
+use crate::api::*;
+use crate::chain3d::Point3;
+use crate::chain4d::Point4;
+use crate::knapsack::Item;
+use crate::matching;
+use crate::whac::{Mole, Mole2d};
+use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig};
+use pp_graph::{gen, Graph};
+use pp_parlay::rng::Rng;
+
+/// A deterministic test-case specification: instance size and
+/// generation seed. The same spec always generates the same instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Nominal instance size (elements, vertices, or capacity units;
+    /// size 0 produces the family's empty instance).
+    pub size: usize,
+    /// Seed for instance generation (independent of the run seed).
+    pub seed: u64,
+}
+
+impl CaseSpec {
+    pub fn new(size: usize, seed: u64) -> Self {
+        Self { size, seed }
+    }
+}
+
+/// The outcome of one registry case: digests of both executions'
+/// outputs (equal iff the outputs are identical) and the parallel run's
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// FNV-1a digest of the sequential baseline's output.
+    pub seq_digest: u64,
+    /// FNV-1a digest of the phase-parallel output.
+    pub par_digest: u64,
+    /// Unified statistics from the parallel run.
+    pub stats: ExecutionStats,
+}
+
+impl CaseOutcome {
+    /// Did the parallel execution reproduce the sequential output?
+    pub fn agrees(&self) -> bool {
+        self.seq_digest == self.par_digest
+    }
+}
+
+/// Which engine family (paper section) an entry belongs to — useful for
+/// grouping in benches and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// §4 frontier extraction.
+    Type1,
+    /// §5 pivot wake-up (including TAS trees).
+    Type2,
+    /// §4.3 relaxed-rank SSSP family.
+    RelaxedRank,
+    /// Prior-work deterministic-reservation baselines.
+    Reservations,
+    /// Parallel but not phase-parallel (comparison baselines).
+    Baseline,
+}
+
+/// One registered algorithm: a stable name, its engine class, and a
+/// type-erased case runner.
+pub struct AlgorithmEntry {
+    name: &'static str,
+    engine: Engine,
+    runner: fn(&CaseSpec, &RunConfig) -> CaseOutcome,
+}
+
+impl AlgorithmEntry {
+    /// The registry key (also the typed implementation's
+    /// [`PhaseAlgorithm::name`]).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Generate the instance for `case`, run both executions under
+    /// `cfg`, and digest the outputs.
+    pub fn run_case(&self, case: &CaseSpec, cfg: &RunConfig) -> CaseOutcome {
+        (self.runner)(case, cfg)
+    }
+}
+
+/// Every registered algorithm. Names are stable; new families append.
+pub fn registry() -> &'static [AlgorithmEntry] {
+    macro_rules! entry {
+        ($name:literal, $engine:ident, $algo:expr, $gen:expr) => {
+            AlgorithmEntry {
+                name: $name,
+                engine: Engine::$engine,
+                runner: |case, cfg| {
+                    let input = $gen(case, cfg);
+                    run_typed(&$algo, &input, cfg)
+                },
+            }
+        };
+    }
+    static ENTRIES: &[AlgorithmEntry] = &[
+        entry!("lis", Type2, Lis, gen_series),
+        entry!("lis/weighted", Type2, WeightedLis, gen_weighted_series),
+        entry!("activity/type1", Type1, ActivityType1, gen_activities),
+        entry!(
+            "activity/type1-pam",
+            Type1,
+            ActivityType1Pam,
+            gen_activities
+        ),
+        entry!("activity/type2", Type2, ActivityType2, gen_activities),
+        entry!(
+            "activity/unweighted",
+            Type2,
+            UnweightedActivity,
+            gen_activities
+        ),
+        entry!("knapsack", Type1, Knapsack, gen_knapsack),
+        entry!("huffman", Type1, Huffman, gen_freqs),
+        entry!("sssp/delta", RelaxedRank, DeltaSssp, gen_sssp),
+        entry!("sssp/rho", RelaxedRank, RhoSssp, gen_sssp),
+        entry!("sssp/crauser", RelaxedRank, CrauserSssp, gen_sssp),
+        entry!("sssp/pam", RelaxedRank, PamSssp, gen_sssp),
+        entry!("sssp/bellman-ford", Baseline, BellmanFordSssp, gen_sssp),
+        entry!("mis/tas", Type2, GreedyMis, gen_vertex_priorities),
+        entry!("mis/rounds", Baseline, RoundsMis, gen_vertex_priorities),
+        entry!("coloring", Type2, Coloring, gen_vertex_priorities),
+        entry!("matching", Type2, Matching, gen_edge_priorities),
+        entry!(
+            "matching/reservations",
+            Reservations,
+            MatchingReservations,
+            gen_edge_priorities
+        ),
+        entry!("whac", Type2, Whac, gen_moles),
+        entry!("whac/2d", Type2, Whac2d, gen_moles_2d),
+        entry!("chain3d", Type2, Chain3d, gen_points3),
+        entry!("chain4d", Type2, Chain4d, gen_points4),
+        entry!(
+            "random-perm",
+            Reservations,
+            RandomPerm,
+            |c: &CaseSpec, _: &RunConfig| (c.size, c.seed)
+        ),
+    ];
+    ENTRIES
+}
+
+/// Look up an entry by its registry key.
+pub fn lookup(name: &str) -> Option<&'static AlgorithmEntry> {
+    registry().iter().find(|e| e.name == name)
+}
+
+/// All registry keys, in registration order.
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|e| e.name).collect()
+}
+
+/// Run one typed algorithm on one instance (honoring the config's
+/// thread budget) and digest both outputs.
+fn run_typed<A>(algo: &A, input: &A::Input, cfg: &RunConfig) -> CaseOutcome
+where
+    A: PhaseAlgorithm + Sync,
+    A::Input: Sync,
+    A::Output: Digest + Send,
+{
+    let seq = algo.solve_seq(input);
+    let report = cfg.install(|| algo.solve_par(input, cfg));
+    CaseOutcome {
+        seq_digest: seq.digest(),
+        par_digest: report.output.digest(),
+        stats: report.stats,
+    }
+}
+
+/// FNV-1a output digest — enough to compare two executions' outputs
+/// without holding both in a type-erased box.
+pub trait Digest {
+    fn digest(&self) -> u64;
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_step(h: u64, byte: u8) -> u64 {
+    (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = fnv_step(h, b);
+    }
+    h
+}
+
+impl Digest for u32 {
+    fn digest(&self) -> u64 {
+        fnv_u64(FNV_OFFSET, u64::from(*self))
+    }
+}
+
+impl Digest for u64 {
+    fn digest(&self) -> u64 {
+        fnv_u64(FNV_OFFSET, *self)
+    }
+}
+
+impl Digest for Vec<u32> {
+    fn digest(&self) -> u64 {
+        self.iter()
+            .fold(fnv_u64(FNV_OFFSET, self.len() as u64), |h, &v| {
+                fnv_u64(h, u64::from(v))
+            })
+    }
+}
+
+impl Digest for Vec<u64> {
+    fn digest(&self) -> u64 {
+        self.iter()
+            .fold(fnv_u64(FNV_OFFSET, self.len() as u64), |h, &v| {
+                fnv_u64(h, v)
+            })
+    }
+}
+
+impl Digest for Vec<bool> {
+    fn digest(&self) -> u64 {
+        self.iter()
+            .fold(fnv_u64(FNV_OFFSET, self.len() as u64), |h, &v| {
+                fnv_u64(h, u64::from(v))
+            })
+    }
+}
+
+// ---- deterministic instance generators ----
+//
+// All driven by (case.size, case.seed) alone. Size 0 is the empty
+// instance for sequence families; graph families floor at one vertex
+// (an SSSP source must exist, and a 0-vertex graph has no instance to
+// speak of).
+
+fn gen_series(case: &CaseSpec, _cfg: &RunConfig) -> Vec<i64> {
+    let mut r = Rng::new(case.seed ^ 0x5e71e5);
+    (0..case.size)
+        .map(|_| r.range(3 * case.size as u64 + 10) as i64 - case.size as i64)
+        .collect()
+}
+
+fn gen_weighted_series(case: &CaseSpec, _cfg: &RunConfig) -> (Vec<i64>, Vec<u32>) {
+    let mut r = Rng::new(case.seed ^ 0x3e16);
+    let values = gen_series(case, _cfg);
+    let weights = (0..case.size).map(|_| 1 + r.range(40) as u32).collect();
+    (values, weights)
+}
+
+fn gen_activities(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Activity> {
+    let mut r = Rng::new(case.seed ^ 0xac7);
+    let span = 4 * case.size as u64 + 20;
+    activity::sort_by_end(
+        (0..case.size)
+            .map(|_| {
+                let s = r.range(span);
+                Activity::new(s, s + 1 + r.range(span / 8 + 4), 1 + r.range(100))
+            })
+            .collect(),
+    )
+}
+
+fn gen_knapsack(case: &CaseSpec, _cfg: &RunConfig) -> (Vec<Item>, u64) {
+    let mut r = Rng::new(case.seed ^ 0x14a9);
+    // Item count grows slowly; capacity tracks `size` so rank ≈ size / w*.
+    let n_items = (case.size / 8).clamp(usize::from(case.size > 0), 40);
+    let items = (0..n_items)
+        .map(|_| Item::new(2 + r.range(30), r.range(500)))
+        .collect();
+    (items, case.size as u64)
+}
+
+fn gen_freqs(case: &CaseSpec, _cfg: &RunConfig) -> Vec<u64> {
+    let mut r = Rng::new(case.seed ^ 0x1f);
+    // Huffman needs at least one symbol.
+    (0..case.size.max(1)).map(|_| 1 + r.range(1000)).collect()
+}
+
+fn gen_graph(case: &CaseSpec) -> Graph {
+    let n = case.size.max(1);
+    gen::uniform(n, 4 * n, case.seed ^ 0x9a4)
+}
+
+fn gen_sssp(case: &CaseSpec, _cfg: &RunConfig) -> SsspInstance {
+    let g = gen_graph(case);
+    let wg = gen::with_uniform_weights(&g, 1, 1000, case.seed ^ 0x55);
+    SsspInstance::new(wg, 0)
+}
+
+fn gen_vertex_priorities(case: &CaseSpec, cfg: &RunConfig) -> GraphPriorityInstance {
+    let g = gen_graph(case);
+    // The priority_source knob picks the ordering heuristic; the
+    // instance seed keeps generation independent of the run seed.
+    let ordering_cfg =
+        RunConfig::seeded(case.seed ^ 0x7a11).with_priority_source(cfg.priority_source);
+    let pri = crate::coloring_orders::priorities_from_config(&g, &ordering_cfg);
+    GraphPriorityInstance::new(g, pri)
+}
+
+fn gen_edge_priorities(case: &CaseSpec, _cfg: &RunConfig) -> GraphPriorityInstance {
+    let g = gen_graph(case);
+    let pri = matching::random_edge_priorities(&g, case.seed ^ 0xed6e);
+    GraphPriorityInstance::new(g, pri)
+}
+
+fn gen_moles(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Mole> {
+    let mut r = Rng::new(case.seed ^ 0x301e);
+    (0..case.size)
+        .map(|_| Mole {
+            t: r.range(6 * case.size as u64 + 12) as i64,
+            p: r.range(case.size as u64 + 6) as i64 - (case.size / 2) as i64,
+        })
+        .collect()
+}
+
+fn gen_moles_2d(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Mole2d> {
+    let mut r = Rng::new(case.seed ^ 0x3d2);
+    let side = (case.size as u64 / 4).max(4);
+    (0..case.size)
+        .map(|_| Mole2d {
+            t: r.range(8 * case.size as u64 + 16) as i64,
+            x: r.range(side) as i64 - (side / 2) as i64,
+            y: r.range(side) as i64 - (side / 2) as i64,
+        })
+        .collect()
+}
+
+fn gen_points3(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point3> {
+    let mut r = Rng::new(case.seed ^ 0x9d3);
+    let range = 2 * case.size as u64 + 8;
+    (0..case.size)
+        .map(|_| Point3 {
+            a: r.range(range) as i64,
+            b: r.range(range) as i64,
+            c: r.range(range) as i64,
+        })
+        .collect()
+}
+
+fn gen_points4(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point4> {
+    let mut r = Rng::new(case.seed ^ 0x9d4);
+    let range = 2 * case.size as u64 + 8;
+    (0..case.size)
+        .map(|_| Point4 {
+            a: r.range(range) as i64,
+            b: r.range(range) as i64,
+            c: r.range(range) as i64,
+            d: r.range(range) as i64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_names() {
+        assert!(lookup("lis").is_some());
+        assert!(lookup("sssp/delta").is_some());
+        assert!(lookup("nope").is_none());
+        let names = names();
+        assert!(names.len() >= 20);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "registry names must be unique");
+    }
+
+    #[test]
+    fn entries_agree_on_a_small_case() {
+        let case = CaseSpec::new(60, 5);
+        let cfg = RunConfig::seeded(5);
+        for entry in registry() {
+            let outcome = entry.run_case(&case, &cfg);
+            assert!(outcome.agrees(), "{} diverged", entry.name());
+        }
+    }
+
+    #[test]
+    fn digests_are_order_sensitive() {
+        assert_ne!(vec![1u32, 2].digest(), vec![2u32, 1].digest());
+        assert_ne!(vec![0u64].digest(), vec![0u64, 0].digest());
+        assert_ne!(vec![true, false].digest(), vec![false, true].digest());
+    }
+}

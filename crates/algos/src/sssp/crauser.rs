@@ -25,26 +25,20 @@
 //! relaxed exactly once (plus an `O(active)` scan per round).
 
 use super::INF;
+use phase_parallel::{ExecutionStats, Report};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters for a [`crauser_out`] run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CrauserStats {
-    /// Rounds executed = the maximum OUT-criterion relaxed rank.
-    pub rounds: u64,
-    /// Vertices settled in the largest round (parallelism indicator).
-    pub max_frontier: usize,
-    /// Total edge relaxations (work-efficiency check: equals the number
-    /// of edges out of reachable vertices).
-    pub relaxations: u64,
-}
-
 /// Shortest distances from `source` using the OUT-criterion relaxed rank.
 /// Unreachable vertices get [`INF`]. Requires a weighted graph with
 /// positive weights.
-pub fn crauser_out(g: &Graph, source: u32) -> (Vec<u64>, CrauserStats) {
+///
+/// The report's `stats.rounds` equals the maximum OUT-criterion relaxed
+/// rank, `stats.max_frontier()` the largest settled batch, and the
+/// `"relaxations"` counter the total edge relaxations (work-efficiency
+/// check: equals the number of edges out of reachable vertices).
+pub fn crauser_out(g: &Graph, source: u32) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     // mow[v]: minimum out-edge weight (INF for sinks — they constrain
     // nothing, since no path continues through them).
@@ -59,10 +53,10 @@ pub fn crauser_out(g: &Graph, source: u32) -> (Vec<u64>, CrauserStats) {
     // the top of each round: active holds exactly the finite unsettled
     // vertices, each once.
     let mut active: Vec<u32> = vec![source];
-    let mut stats = CrauserStats::default();
+    let mut stats = ExecutionStats::default();
+    let mut relaxations = 0u64;
 
     while !active.is_empty() {
-        stats.rounds += 1;
         // The settling threshold L. Positive weights make the global
         // minimum-distance vertex always pass (dist_min < dist_min + mow),
         // so every round settles at least one vertex.
@@ -78,7 +72,7 @@ pub fn crauser_out(g: &Graph, source: u32) -> (Vec<u64>, CrauserStats) {
             .par_iter()
             .partition(|&&v| dist[v as usize].load(Ordering::Relaxed) <= threshold);
         debug_assert!(!frontier.is_empty(), "OUT-criterion must make progress");
-        stats.max_frontier = stats.max_frontier.max(frontier.len());
+        stats.record_round(frontier.len());
 
         // Settle the frontier: relax each settled vertex's edges once.
         // Frontier members are final (no cheaper path exists), so no
@@ -102,16 +96,14 @@ pub fn crauser_out(g: &Graph, source: u32) -> (Vec<u64>, CrauserStats) {
             .collect();
         let mut next = rest;
         for (count, news) in per_vertex {
-            stats.relaxations += count;
+            relaxations += count;
             next.extend_from_slice(&news);
         }
         active = next;
     }
 
-    (
-        dist.into_iter().map(AtomicU64::into_inner).collect(),
-        stats,
-    )
+    stats.set_counter("relaxations", relaxations);
+    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
 }
 
 #[cfg(test)]
@@ -125,8 +117,7 @@ mod tests {
         for seed in 0..5 {
             let g = gen::uniform(300, 1200, seed);
             let wg = gen::with_uniform_weights(&g, 1, 1000, seed + 10);
-            let (got, _) = crauser_out(&wg, 0);
-            assert_eq!(got, dijkstra(&wg, 0), "seed={seed}");
+            assert_eq!(crauser_out(&wg, 0).output, dijkstra(&wg, 0), "seed={seed}");
         }
     }
 
@@ -134,13 +125,11 @@ mod tests {
     fn agrees_on_grid_and_rmat() {
         let g = gen::grid2d(18, 22);
         let wg = gen::with_uniform_weights(&g, 3, 60, 2);
-        let (got, _) = crauser_out(&wg, 5);
-        assert_eq!(got, dijkstra(&wg, 5));
+        assert_eq!(crauser_out(&wg, 5).output, dijkstra(&wg, 5));
 
         let g = gen::rmat(9, 4096, 11);
         let wg = gen::with_uniform_weights(&g, 1 << 17, 1 << 23, 12);
-        let (got, _) = crauser_out(&wg, 0);
-        assert_eq!(got, dijkstra(&wg, 0));
+        assert_eq!(crauser_out(&wg, 0).output, dijkstra(&wg, 0));
     }
 
     #[test]
@@ -148,12 +137,13 @@ mod tests {
         // Each reachable vertex's edges are relaxed exactly once.
         let g = gen::uniform(500, 2000, 7);
         let wg = gen::with_uniform_weights(&g, 1, 100, 8);
-        let (d, stats) = crauser_out(&wg, 0);
+        let report = crauser_out(&wg, 0);
+        let d = &report.output;
         let want: u64 = (0..wg.num_vertices() as u32)
             .filter(|&v| d[v as usize] != INF)
             .map(|v| wg.degree(v) as u64)
             .sum();
-        assert_eq!(stats.relaxations, want);
+        assert_eq!(report.stats.counter("relaxations"), Some(want));
     }
 
     #[test]
@@ -163,22 +153,22 @@ mod tests {
         // but more interestingly, on a star all leaves settle in round 2.
         let g = gen::star(100);
         let wg = gen::with_uniform_weights(&g, 10, 10, 1);
-        let (d, stats) = crauser_out(&wg, 0);
-        assert!(d[1..].iter().all(|&x| x == 10));
-        assert_eq!(stats.rounds, 2);
-        assert_eq!(stats.max_frontier, 99);
+        let report = crauser_out(&wg, 0);
+        assert!(report.output[1..].iter().all(|&x| x == 10));
+        assert_eq!(report.stats.rounds, 2);
+        assert_eq!(report.stats.max_frontier(), 99);
     }
 
     #[test]
     fn rounds_never_exceed_settled_vertices() {
         let g = gen::uniform(400, 1600, 3);
         let wg = gen::with_uniform_weights(&g, 1, 1 << 20, 4);
-        let (d, stats) = crauser_out(&wg, 0);
-        let reachable = d.iter().filter(|&&x| x != INF).count() as u64;
-        assert!(stats.rounds <= reachable);
+        let report = crauser_out(&wg, 0);
+        let d = report.output;
+        let reachable = d.iter().filter(|&&x| x != INF).count();
+        assert!(report.stats.rounds <= reachable);
         // And agrees with the phase-parallel Δ = w* algorithm.
-        let (d2, _) = sssp_phase_parallel(&wg, 0);
-        assert_eq!(d, d2);
+        assert_eq!(d, sssp_phase_parallel(&wg, 0).output);
     }
 
     #[test]
@@ -187,11 +177,9 @@ mod tests {
         b.add_weighted(0, 1, 5);
         b.add_weighted(2, 3, 7);
         let g = b.build();
-        let (d, _) = crauser_out(&g, 0);
-        assert_eq!(d, vec![0, 5, INF, INF]);
+        assert_eq!(crauser_out(&g, 0).output, vec![0, 5, INF, INF]);
 
         let g1 = GraphBuilder::new(1).weighted().build();
-        let (d1, _) = crauser_out(&g1, 0);
-        assert_eq!(d1, vec![0]);
+        assert_eq!(crauser_out(&g1, 0).output, vec![0]);
     }
 }

@@ -10,26 +10,26 @@
 //! explores exactly this tradeoff.
 
 use super::INF;
+use phase_parallel::{Report, RunConfig};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Execution counters for one Δ-stepping run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct DeltaStats {
-    /// Non-empty buckets drained (≈ relaxed rank of the instance when
-    /// Δ = w*).
-    pub buckets_processed: usize,
-    /// Inner Bellman-Ford substeps across all buckets (the span driver).
-    pub substeps: usize,
-    /// Total edge relaxations performed (the work driver; compare with
-    /// `m` for work-efficiency).
-    pub relaxations: usize,
-}
-
-/// Δ-stepping from `source` with bucket width `delta`.
-/// Panics on unweighted graphs or `delta == 0`.
-pub fn delta_stepping(g: &Graph, source: u32, delta: u64) -> (Vec<u64>, DeltaStats) {
+/// Δ-stepping from `source` with bucket width `cfg.delta`; when unset,
+/// Δ defaults to w* — the paper's phase-parallel relaxed rank
+/// (Theorem 4.5). Panics on unweighted graphs with edges.
+///
+/// The report's `stats.rounds` counts non-empty buckets drained
+/// (≈ the relaxed rank of the instance when Δ = w*), with per-bucket
+/// vertex-relaxation counts in `frontier_sizes`; named counters:
+/// `"substeps"` (inner Bellman-Ford iterations, the span driver) and
+/// `"relaxations"` (total edge relaxations, the work driver — compare
+/// with `m` for work-efficiency).
+pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
+    // Default Δ = w*; an edgeless graph has no w*, and any Δ ≥ 1 works.
+    let delta = cfg
+        .delta
+        .unwrap_or_else(|| g.min_weight().unwrap_or(1).max(1));
     assert!(delta >= 1);
     assert!(g.is_weighted() || g.num_edges() == 0);
     let n = g.num_vertices();
@@ -40,13 +40,14 @@ pub fn delta_stepping(g: &Graph, source: u32, delta: u64) -> (Vec<u64>, DeltaSta
     dist[source as usize].store(0, Ordering::Relaxed);
 
     let mut buckets: Vec<Vec<u32>> = vec![vec![source]];
-    let mut stats = DeltaStats::default();
+    let mut stats = phase_parallel::ExecutionStats::default();
+    let mut substeps = 0u64;
     let relax_count = AtomicU64::new(0);
 
     let bucket_of = |d: u64| (d / delta) as usize;
     let mut i = 0usize;
     while i < buckets.len() {
-        let mut processed_any = false;
+        let mut bucket_processed = 0usize;
         loop {
             // Candidates still belonging to bucket i whose distance
             // improved since their last relaxation.
@@ -65,8 +66,8 @@ pub fn delta_stepping(g: &Graph, source: u32, delta: u64) -> (Vec<u64>, DeltaSta
             if frontier.is_empty() {
                 break;
             }
-            processed_any = true;
-            stats.substeps += 1;
+            bucket_processed += frontier.len();
+            substeps += 1;
             // Mark relaxation distances, then relax all edges.
             frontier.par_iter().for_each(|&v| {
                 let d = dist[v as usize].load(Ordering::Relaxed);
@@ -101,16 +102,16 @@ pub fn delta_stepping(g: &Graph, source: u32, delta: u64) -> (Vec<u64>, DeltaSta
                 buckets[b].push(u);
             }
         }
-        if processed_any {
-            stats.buckets_processed += 1;
+        if bucket_processed > 0 {
+            // One round per non-empty bucket; the frontier size counts
+            // every vertex relaxation the bucket's substeps performed.
+            stats.record_round(bucket_processed);
         }
         i += 1;
     }
-    stats.relaxations = relax_count.into_inner() as usize;
-    (
-        dist.into_iter().map(AtomicU64::into_inner).collect(),
-        stats,
-    )
+    stats.set_counter("substeps", substeps);
+    stats.set_counter("relaxations", relax_count.into_inner());
+    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
 }
 
 #[cfg(test)]
@@ -118,14 +119,18 @@ mod tests {
     use super::*;
     use pp_graph::{gen, GraphBuilder};
 
+    fn with_delta(delta: u64) -> RunConfig {
+        RunConfig::new().with_delta(delta)
+    }
+
     #[test]
     fn large_delta_behaves_like_bellman_ford() {
         // Δ ≥ max distance → a single bucket.
         let g = gen::grid2d(10, 10);
         let wg = gen::with_uniform_weights(&g, 1, 10, 1);
-        let (d, stats) = delta_stepping(&wg, 0, 1 << 40);
-        assert_eq!(stats.buckets_processed, 1);
-        assert_eq!(d[99], super::super::dijkstra(&wg, 0)[99]);
+        let report = delta_stepping(&wg, 0, &with_delta(1 << 40));
+        assert_eq!(report.stats.rounds, 1);
+        assert_eq!(report.output[99], super::super::dijkstra(&wg, 0)[99]);
     }
 
     #[test]
@@ -133,16 +138,26 @@ mod tests {
         let g = gen::uniform(500, 4000, 2);
         let wg = gen::with_uniform_weights(&g, 100, 200, 3);
         // Δ = w*: work-efficient — relaxation count close to m.
-        let (_, tight) = delta_stepping(&wg, 0, 100);
+        let tight = delta_stepping(&wg, 0, &with_delta(100)).stats;
         // Huge Δ: Bellman-Ford-ish — strictly more relaxations.
-        let (_, loose) = delta_stepping(&wg, 0, 1 << 40);
+        let loose = delta_stepping(&wg, 0, &with_delta(1 << 40)).stats;
         assert!(
-            tight.relaxations <= loose.relaxations,
-            "tight {} loose {}",
-            tight.relaxations,
-            loose.relaxations
+            tight.counter("relaxations") <= loose.counter("relaxations"),
+            "tight {:?} loose {:?}",
+            tight.counter("relaxations"),
+            loose.counter("relaxations")
         );
-        assert!(tight.buckets_processed > loose.buckets_processed);
+        assert!(tight.rounds > loose.rounds);
+    }
+
+    #[test]
+    fn default_delta_is_w_star() {
+        let g = gen::uniform(200, 900, 5);
+        let wg = gen::with_uniform_weights(&g, 7, 60, 6);
+        let explicit = delta_stepping(&wg, 0, &with_delta(7));
+        let default = delta_stepping(&wg, 0, &RunConfig::new());
+        assert_eq!(default.output, explicit.output);
+        assert_eq!(default.stats.rounds, explicit.stats.rounds);
     }
 
     #[test]
@@ -154,7 +169,7 @@ mod tests {
         b.add_weighted(0, 1, 30);
         b.add_weighted(1, 2, 30);
         let g = b.build();
-        let (d, _) = delta_stepping(&g, 0, 10);
+        let d = delta_stepping(&g, 0, &with_delta(10)).output;
         assert_eq!(d, vec![0, 30, 60]);
     }
 }

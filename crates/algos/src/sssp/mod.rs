@@ -25,12 +25,13 @@ mod pam_dijkstra;
 mod rho_stepping;
 
 pub use bellman_ford::bellman_ford;
-pub use crauser::{crauser_out, CrauserStats};
-pub use delta_stepping::{delta_stepping, DeltaStats};
+pub use crauser::crauser_out;
+pub use delta_stepping::delta_stepping;
 pub use dijkstra::dijkstra;
 pub use pam_dijkstra::sssp_pam;
-pub use rho_stepping::{rho_stepping, RhoStats};
+pub use rho_stepping::{rho_stepping, DEFAULT_RHO};
 
+use phase_parallel::{Report, RunConfig};
 use pp_graph::Graph;
 
 /// Unreachable-distance sentinel.
@@ -38,9 +39,9 @@ pub const INF: u64 = u64::MAX;
 
 /// The paper's phase-parallel SSSP: Δ-stepping with Δ = w*
 /// (Theorem 4.5). Panics on unweighted or edgeless graphs.
-pub fn sssp_phase_parallel(g: &Graph, source: u32) -> (Vec<u64>, DeltaStats) {
+pub fn sssp_phase_parallel(g: &Graph, source: u32) -> Report<Vec<u64>> {
     let w_star = g.min_weight().expect("weighted graph required").max(1);
-    delta_stepping(g, source, w_star)
+    delta_stepping(g, source, &RunConfig::new().with_delta(w_star))
 }
 
 #[cfg(test)]
@@ -53,11 +54,10 @@ mod tests {
         let d2 = bellman_ford(g, source);
         assert_eq!(d1, d2, "dijkstra vs bellman-ford");
         for delta in [1u64, 7, 1 << 10, 1 << 20] {
-            let (d3, _) = delta_stepping(g, source, delta);
+            let d3 = delta_stepping(g, source, &RunConfig::new().with_delta(delta)).output;
             assert_eq!(d1, d3, "dijkstra vs delta={delta}");
         }
-        let (d4, _) = sssp_phase_parallel(g, source);
-        assert_eq!(d1, d4);
+        assert_eq!(d1, sssp_phase_parallel(g, source).output);
     }
 
     #[test]
@@ -93,7 +93,7 @@ mod tests {
         let g = b.build();
         let d = dijkstra(&g, 0);
         assert_eq!(d, vec![0, 5, INF, INF]);
-        let (d2, _) = delta_stepping(&g, 0, 5);
+        let d2 = delta_stepping(&g, 0, &RunConfig::new().with_delta(5)).output;
         assert_eq!(d2, d);
         assert_eq!(bellman_ford(&g, 0), d);
     }
@@ -108,17 +108,17 @@ mod tests {
             b.add_weighted(i as u32, i as u32 + 1, 10);
         }
         let g = b.build();
-        let (d, stats) = delta_stepping(&g, 0, 10);
-        assert_eq!(d[n - 1], 10 * (n as u64 - 1));
+        let report = delta_stepping(&g, 0, &RunConfig::new().with_delta(10));
+        assert_eq!(report.output[n - 1], 10 * (n as u64 - 1));
         // Relaxed rank = d_max / w* = 49.
-        assert_eq!(stats.buckets_processed, 49 + 1); // bucket 0 included
+        assert_eq!(report.stats.rounds, 49 + 1); // bucket 0 included
     }
 
     #[test]
     fn single_vertex() {
         let g = pp_graph::GraphBuilder::new(1).weighted().build();
         assert_eq!(dijkstra(&g, 0), vec![0]);
-        let (d, _) = delta_stepping(&g, 0, 1);
+        let d = delta_stepping(&g, 0, &RunConfig::new().with_delta(1)).output;
         assert_eq!(d, vec![0]);
     }
 }

@@ -16,22 +16,23 @@
 //! flat-vs-tree contrast is measurable here too.
 
 use super::INF;
+use phase_parallel::{ExecutionStats, Report};
 use pp_graph::Graph;
 use pp_pam::{AugTree, NoAug};
 use rayon::prelude::*;
 
-/// Phase-parallel Dijkstra on a PA-BST. Returns `(distances, rounds)`.
-/// Panics on unweighted graphs with edges.
-pub fn sssp_pam(g: &Graph, source: u32) -> (Vec<u64>, usize) {
+/// Phase-parallel Dijkstra on a PA-BST. The report's `stats.rounds`
+/// counts settled `w*`-wide windows, with per-window frontier sizes in
+/// `frontier_sizes`. Panics on unweighted graphs with edges.
+pub fn sssp_pam(g: &Graph, source: u32) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     let w_star = g.min_weight().unwrap_or(1).max(1);
     let mut dist = vec![INF; n];
     dist[source as usize] = 0;
     let mut tree: AugTree<(u64, u32), (), NoAug> = AugTree::new(NoAug);
     tree.insert((0, source), ());
-    let mut rounds = 0usize;
+    let mut stats = ExecutionStats::default();
     while !tree.is_empty() {
-        rounds += 1;
         let &(d0, _) = tree.first().expect("non-empty").0;
         let hi = (d0 / w_star + 1) * w_star;
         // Settle every vertex with tentative distance < hi: relaxations
@@ -44,6 +45,7 @@ pub fn sssp_pam(g: &Graph, source: u32) -> (Vec<u64>, usize) {
             .into_iter()
             .map(|(k, ())| k)
             .collect();
+        stats.record_round(frontier.len());
         // Relax all frontier edges in parallel; collect improvements.
         let dist_ref = &dist;
         let mut cands: Vec<(u32, u64)> = frontier
@@ -74,17 +76,12 @@ pub fn sssp_pam(g: &Graph, source: u32) -> (Vec<u64>, usize) {
             .map(|&(u, old, _)| (old, u))
             .collect();
         tree.multi_delete(stale);
-        tree.multi_insert(
-            improved
-                .iter()
-                .map(|&(u, _, nd)| ((nd, u), ()))
-                .collect(),
-        );
+        tree.multi_insert(improved.iter().map(|&(u, _, nd)| ((nd, u), ())).collect());
         for &(u, _, nd) in &improved {
             dist[u as usize] = nd;
         }
     }
-    (dist, rounds)
+    Report::new(dist, stats)
 }
 
 #[cfg(test)]
@@ -98,8 +95,7 @@ mod tests {
         for seed in 0..4 {
             let g = gen::uniform(400, 1600, seed);
             let wg = gen::with_uniform_weights(&g, 10, 500, seed + 9);
-            let (d, _) = sssp_pam(&wg, 0);
-            assert_eq!(d, dijkstra(&wg, 0), "seed {seed}");
+            assert_eq!(sssp_pam(&wg, 0).output, dijkstra(&wg, 0), "seed {seed}");
         }
     }
 
@@ -108,20 +104,21 @@ mod tests {
         // Same windowing: rounds ≈ Δ-stepping's bucket count at Δ = w*.
         let g = gen::grid2d(20, 20);
         let wg = gen::with_uniform_weights(&g, 100, 150, 1);
-        let (d, rounds) = sssp_pam(&wg, 0);
-        let (d2, stats) = delta_stepping(&wg, 0, 100);
-        assert_eq!(d, d2);
+        let pam = sssp_pam(&wg, 0);
+        let delta = delta_stepping(&wg, 0, &phase_parallel::RunConfig::new().with_delta(100));
+        assert_eq!(pam.output, delta.output);
         // Both settle w*-wide windows; counts agree up to empty windows.
-        assert!(rounds >= stats.buckets_processed);
-        let d_max = *d.iter().filter(|&&x| x != INF).max().unwrap();
+        let rounds = pam.stats.rounds;
+        assert!(rounds >= delta.stats.rounds);
+        let d_max = *pam.output.iter().filter(|&&x| x != INF).max().unwrap();
         assert!(rounds as u64 <= d_max / 100 + 2);
     }
 
     #[test]
     fn single_vertex_and_disconnected() {
         let g = pp_graph::GraphBuilder::new(3).weighted().build();
-        let (d, rounds) = sssp_pam(&g, 1);
-        assert_eq!(d, vec![INF, 0, INF]);
-        assert_eq!(rounds, 1);
+        let report = sssp_pam(&g, 1);
+        assert_eq!(report.output, vec![INF, 0, INF]);
+        assert_eq!(report.stats.rounds, 1);
     }
 }

@@ -18,25 +18,26 @@
 //! member's distance later improves.
 
 use super::INF;
+use phase_parallel::{ExecutionStats, Report, RunConfig};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Counters for a [`rho_stepping`] run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct RhoStats {
-    /// Steps executed (each processes ≤ ρ vertices plus ties).
-    pub steps: u64,
-    /// Total edge relaxations attempted — the work proxy; `/ m` measures
-    /// the work overhead vs Dijkstra's exactly-once relaxation.
-    pub relaxations: u64,
-    /// Total vertices processed across steps (re-processing counts).
-    pub processed: u64,
-}
+/// Default batch size when [`RunConfig::rho`] is unset — large enough
+/// for real parallelism, small enough to stay near distance order.
+pub const DEFAULT_RHO: usize = 4096;
 
-/// Shortest distances from `source` by ρ-stepping. Unreachable vertices
-/// get [`INF`]. Requires a weighted graph; `rho == 0` is rejected.
-pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) {
+/// Shortest distances from `source` by ρ-stepping with batch size
+/// `cfg.rho` (default [`DEFAULT_RHO`]). Unreachable vertices get
+/// [`INF`]. Requires a weighted graph; `rho == 0` is rejected.
+///
+/// The report's `stats.rounds` counts steps (each processes ≤ ρ
+/// vertices plus ties) with per-step batch sizes in `frontier_sizes`
+/// (so `stats.processed()` totals vertex processings, re-processing
+/// included); the `"relaxations"` counter is the work proxy (`/ m`
+/// measures the overhead vs Dijkstra's exactly-once relaxation).
+pub fn rho_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
+    let rho = cfg.rho.unwrap_or(DEFAULT_RHO);
     assert!(rho > 0, "rho must be positive");
     let n = g.num_vertices();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
@@ -44,10 +45,10 @@ pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) 
     dist[source as usize].store(0, Ordering::Relaxed);
     in_pool[source as usize].store(true, Ordering::Relaxed);
     let mut pool: Vec<u32> = vec![source];
-    let mut stats = RhoStats::default();
+    let mut stats = ExecutionStats::default();
+    let mut relaxations = 0u64;
 
     while !pool.is_empty() {
-        stats.steps += 1;
         // Pick the batch: the ρ smallest tentative distances in the pool
         // (with ties at the threshold included, so the batch is a
         // deterministic function of the distances).
@@ -66,7 +67,7 @@ pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) 
             pool = rest;
             batch
         };
-        stats.processed += batch.len() as u64;
+        stats.record_round(batch.len());
         batch
             .iter()
             .for_each(|&v| in_pool[v as usize].store(false, Ordering::Relaxed));
@@ -88,7 +89,7 @@ pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) 
                 count
             })
             .sum();
-        stats.relaxations += relaxed;
+        relaxations += relaxed;
 
         // Rebuild the pool without duplicates: each phase *steals* the
         // activation flag (swap to false), so a vertex reachable from
@@ -121,10 +122,8 @@ pub fn rho_stepping(g: &Graph, source: u32, rho: usize) -> (Vec<u64>, RhoStats) 
         pool = next;
     }
 
-    (
-        dist.into_iter().map(AtomicU64::into_inner).collect(),
-        stats,
-    )
+    stats.set_counter("relaxations", relaxations);
+    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
 }
 
 #[cfg(test)]
@@ -133,10 +132,14 @@ mod tests {
     use super::*;
     use pp_graph::{gen, GraphBuilder};
 
+    fn with_rho(rho: usize) -> RunConfig {
+        RunConfig::new().with_rho(rho)
+    }
+
     fn check(g: &Graph, source: u32) {
         let want = dijkstra(g, source);
         for rho in [1usize, 2, 16, 1 << 20] {
-            let (got, _) = rho_stepping(g, source, rho);
+            let got = rho_stepping(g, source, &with_rho(rho)).output;
             assert_eq!(got, want, "rho={rho}");
         }
     }
@@ -158,7 +161,7 @@ mod tests {
         b.add_weighted(0, 1, 5);
         b.add_weighted(2, 3, 7);
         let g = b.build();
-        let (d, _) = rho_stepping(&g, 0, 4);
+        let d = rho_stepping(&g, 0, &with_rho(4)).output;
         assert_eq!(d, vec![0, 5, INF, INF]);
     }
 
@@ -168,30 +171,30 @@ mod tests {
         // processed once (Dijkstra), m relaxations total.
         let g = gen::uniform(400, 1600, 3);
         let wg = gen::with_uniform_weights(&g, 1, 1_000_000, 4);
-        let (d, stats) = rho_stepping(&wg, 0, 1);
-        assert_eq!(d, dijkstra(&wg, 0));
+        let report = rho_stepping(&wg, 0, &with_rho(1));
+        let d = &report.output;
+        assert_eq!(*d, dijkstra(&wg, 0));
         let reachable_edges: u64 = (0..wg.num_vertices() as u32)
             .filter(|&v| d[v as usize] != INF)
             .map(|v| wg.degree(v) as u64)
             .sum();
-        assert_eq!(stats.relaxations, reachable_edges);
+        assert_eq!(report.stats.counter("relaxations"), Some(reachable_edges));
     }
 
     #[test]
     fn large_rho_fewer_steps() {
         let g = gen::uniform(2000, 8000, 5);
         let wg = gen::with_uniform_weights(&g, 1, 100, 6);
-        let (_, s_small) = rho_stepping(&wg, 0, 4);
-        let (_, s_big) = rho_stepping(&wg, 0, 512);
-        assert!(s_big.steps < s_small.steps);
+        let s_small = rho_stepping(&wg, 0, &with_rho(4)).stats;
+        let s_big = rho_stepping(&wg, 0, &with_rho(512)).stats;
+        assert!(s_big.rounds < s_small.rounds);
         // And more steps ⇒ less re-relaxation (work-parallelism tradeoff).
-        assert!(s_big.relaxations >= s_small.relaxations);
+        assert!(s_big.counter("relaxations") >= s_small.counter("relaxations"));
     }
 
     #[test]
     fn single_vertex() {
         let g = GraphBuilder::new(1).weighted().build();
-        let (d, _) = rho_stepping(&g, 0, 8);
-        assert_eq!(d, vec![0]);
+        assert_eq!(rho_stepping(&g, 0, &with_rho(8)).output, vec![0]);
     }
 }

@@ -26,8 +26,8 @@
 //! query" (the fourth constraint handled by processing order).
 
 use crate::chain4d::{chain4d_brute, chain4d_par, chain4d_seq, Point4};
-use crate::lis::{lis_par, lis_seq, PivotMode};
-use phase_parallel::ExecutionStats;
+use crate::lis::{lis_par, lis_seq};
+use phase_parallel::{Report, RunConfig};
 
 /// One mole: appears at position `p` at time `t`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,7 +43,9 @@ pub struct Mole {
 /// chains (equal `u`: descending `v`, so no two tie-mates chain).
 fn rotated_v_sequence(moles: &[Mole]) -> Vec<i64> {
     let mut uv: Vec<(i64, i64)> = moles.iter().map(|m| (m.t + m.p, m.t - m.p)).collect();
-    pp_parlay::par_sort_by(&mut uv, |a, b| (a.0, std::cmp::Reverse(a.1)) < (b.0, std::cmp::Reverse(b.1)));
+    pp_parlay::par_sort_by(&mut uv, |a, b| {
+        (a.0, std::cmp::Reverse(a.1)) < (b.0, std::cmp::Reverse(b.1))
+    });
     uv.into_iter().map(|(_, v)| v).collect()
 }
 
@@ -54,9 +56,8 @@ pub fn whac_seq(moles: &[Mole]) -> u32 {
 
 /// Maximum number of moles hittable — phase-parallel (Appendix B:
 /// `O(n log^3 n)` work, `O(rank(S) log^2 n)` span).
-pub fn whac_par(moles: &[Mole], mode: PivotMode, seed: u64) -> (u32, ExecutionStats) {
-    let res = lis_par(&rotated_v_sequence(moles), mode, seed);
-    (res.length, res.stats)
+pub fn whac_par(moles: &[Mole], cfg: &RunConfig) -> Report<u32> {
+    lis_par(&rotated_v_sequence(moles), cfg)
 }
 
 /// Brute-force quadratic DP straight from Eq. (5)/(6) (tests only):
@@ -120,30 +121,39 @@ pub fn whac2d_seq(moles: &[Mole2d]) -> u32 {
 
 /// Maximum number of 2D-grid moles hittable — phase-parallel Type 2 over
 /// the 4D dominance tree: `O(n log^5 n)` work, `O(rank(S) log^4 n)` span.
-pub fn whac2d_par(moles: &[Mole2d], mode: PivotMode, seed: u64) -> (u32, ExecutionStats) {
+pub fn whac2d_par(moles: &[Mole2d], cfg: &RunConfig) -> Report<u32> {
     let pts: Vec<Point4> = moles.iter().map(rotate2d).collect();
-    chain4d_par(&pts, mode, seed)
+    chain4d_par(&pts, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phase_parallel::PivotMode;
     use pp_parlay::rng::Rng;
+
+    fn cfg(mode: PivotMode, seed: u64) -> RunConfig {
+        RunConfig::seeded(seed).with_pivot_mode(mode)
+    }
 
     #[test]
     fn simple_chain() {
         // Moles along a reachable diagonal: each +2 time, +1 position.
         let moles: Vec<Mole> = (0..10).map(|i| Mole { t: 2 * i, p: i }).collect();
         assert_eq!(whac_seq(&moles), 10);
-        assert_eq!(whac_par(&moles, PivotMode::Random, 1).0, 10);
+        assert_eq!(whac_par(&moles, &cfg(PivotMode::Random, 1)).output, 10);
     }
 
     #[test]
     fn unreachable_moles() {
         // Same time, different positions: can hit only one.
-        let moles = vec![Mole { t: 5, p: 0 }, Mole { t: 5, p: 3 }, Mole { t: 5, p: -2 }];
+        let moles = vec![
+            Mole { t: 5, p: 0 },
+            Mole { t: 5, p: 3 },
+            Mole { t: 5, p: -2 },
+        ];
         assert_eq!(whac_seq(&moles), 1);
-        assert_eq!(whac_par(&moles, PivotMode::RightMost, 0).0, 1);
+        assert_eq!(whac_par(&moles, &cfg(PivotMode::RightMost, 0)).output, 1);
     }
 
     #[test]
@@ -160,7 +170,7 @@ mod tests {
             let want = whac_brute(&moles);
             assert_eq!(whac_seq(&moles), want, "seq trial {trial}");
             assert_eq!(
-                whac_par(&moles, PivotMode::Random, trial).0,
+                whac_par(&moles, &cfg(PivotMode::Random, trial)).output,
                 want,
                 "par trial {trial}"
             );
@@ -170,9 +180,9 @@ mod tests {
     #[test]
     fn empty() {
         assert_eq!(whac_seq(&[]), 0);
-        assert_eq!(whac_par(&[], PivotMode::Random, 0).0, 0);
+        assert_eq!(whac_par(&[], &cfg(PivotMode::Random, 0)).output, 0);
         assert_eq!(whac2d_seq(&[]), 0);
-        assert_eq!(whac2d_par(&[], PivotMode::Random, 0).0, 0);
+        assert_eq!(whac2d_par(&[], &cfg(PivotMode::Random, 0)).output, 0);
     }
 
     #[test]
@@ -180,11 +190,15 @@ mod tests {
         // Moles spaced so each is comfortably reachable from the last:
         // +4 time, +1 in each grid direction (L1 distance 2 < 4).
         let moles: Vec<Mole2d> = (0..12)
-            .map(|i| Mole2d { t: 4 * i, x: i, y: i })
+            .map(|i| Mole2d {
+                t: 4 * i,
+                x: i,
+                y: i,
+            })
             .collect();
         assert_eq!(whac2d_brute(&moles), 12);
         assert_eq!(whac2d_seq(&moles), 12);
-        assert_eq!(whac2d_par(&moles, PivotMode::Random, 1).0, 12);
+        assert_eq!(whac2d_par(&moles, &cfg(PivotMode::Random, 1)).output, 12);
     }
 
     #[test]
@@ -197,7 +211,7 @@ mod tests {
         ];
         assert_eq!(whac2d_brute(&moles), 1);
         assert_eq!(whac2d_seq(&moles), 1);
-        assert_eq!(whac2d_par(&moles, PivotMode::RightMost, 0).0, 1);
+        assert_eq!(whac2d_par(&moles, &cfg(PivotMode::RightMost, 0)).output, 1);
     }
 
     #[test]
@@ -211,7 +225,7 @@ mod tests {
         let moles = vec![Mole2d { t: 0, x: 0, y: 0 }, Mole2d { t: 4, x: 2, y: 1 }];
         assert_eq!(whac2d_brute(&moles), 2);
         assert_eq!(whac2d_seq(&moles), 2);
-        assert_eq!(whac2d_par(&moles, PivotMode::Random, 2).0, 2);
+        assert_eq!(whac2d_par(&moles, &cfg(PivotMode::Random, 2)).output, 2);
     }
 
     #[test]
@@ -229,7 +243,7 @@ mod tests {
             let want = whac2d_brute(&moles);
             assert_eq!(whac2d_seq(&moles), want, "seq trial {trial}");
             assert_eq!(
-                whac2d_par(&moles, PivotMode::Random, trial).0,
+                whac2d_par(&moles, &cfg(PivotMode::Random, trial)).output,
                 want,
                 "par trial {trial}"
             );
@@ -250,7 +264,14 @@ mod tests {
                     p: r.range(60) as i64 - 30,
                 })
                 .collect();
-            let grid: Vec<Mole2d> = line.iter().map(|m| Mole2d { t: m.t, x: m.p, y: 0 }).collect();
+            let grid: Vec<Mole2d> = line
+                .iter()
+                .map(|m| Mole2d {
+                    t: m.t,
+                    x: m.p,
+                    y: 0,
+                })
+                .collect();
             assert_eq!(whac2d_seq(&grid), whac_seq(&line), "trial {trial}");
         }
     }

@@ -22,9 +22,11 @@ fn bench_activity(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("type2", rank), &acts, |b, a| {
             b.iter(|| activity::max_weight_type2(a))
         });
-        group.bench_with_input(BenchmarkId::new("unweighted_logn_span", rank), &acts, |b, a| {
-            b.iter(|| activity::max_count_unweighted(a))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unweighted_logn_span", rank),
+            &acts,
+            |b, a| b.iter(|| activity::max_count_unweighted(a)),
+        );
     }
     group.finish();
 }

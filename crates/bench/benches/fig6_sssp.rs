@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_algos::sssp;
+use pp_algos::RunConfig;
 use pp_graph::gen;
 
 fn bench_sssp(c: &mut Criterion) {
@@ -14,10 +15,11 @@ fn bench_sssp(c: &mut Criterion) {
     group.bench_function("dijkstra_seq", |b| b.iter(|| sssp::dijkstra(&g, 0)));
     group.bench_function("bellman_ford", |b| b.iter(|| sssp::bellman_ford(&g, 0)));
     for dlog in [18u32, 20, 22, 26] {
+        let cfg = RunConfig::new().with_delta(1 << dlog);
         group.bench_with_input(
             BenchmarkId::new("delta_stepping", format!("2^{dlog}")),
             &g,
-            |b, g| b.iter(|| sssp::delta_stepping(g, 0, 1 << dlog)),
+            |b, g| b.iter(|| sssp::delta_stepping(g, 0, &cfg)),
         );
     }
     group.bench_function("phase_parallel_w_star", |b| {

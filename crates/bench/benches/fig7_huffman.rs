@@ -7,7 +7,9 @@ use pp_parlay::rng::{bounded, hash64};
 
 fn bench_huffman(c: &mut Criterion) {
     let n = 500_000usize;
-    let uniform: Vec<u64> = (0..n as u64).map(|i| 1 + bounded(hash64(1, i), 1000)).collect();
+    let uniform: Vec<u64> = (0..n as u64)
+        .map(|i| 1 + bounded(hash64(1, i), 1000))
+        .collect();
     let zipf: Vec<u64> = (0..n).map(|i| (n / (i + 1)) as u64 + 1).collect();
     let expo: Vec<u64> = (0..n as u64)
         .map(|i| {

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_algos::lis::{lis_par, lis_seq, patterns, PivotMode};
+use pp_algos::RunConfig;
 
 fn bench_lis(c: &mut Criterion) {
     let n = 200_000;
@@ -17,11 +18,13 @@ fn bench_lis(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new("classic_seq", &id), &series, |b, s| {
                 b.iter(|| lis_seq(s))
             });
+            let rightmost = RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost);
             group.bench_with_input(BenchmarkId::new("par_rightmost", &id), &series, |b, s| {
-                b.iter(|| lis_par(s, PivotMode::RightMost, 3))
+                b.iter(|| lis_par(s, &rightmost))
             });
+            let random = RunConfig::seeded(3).with_pivot_mode(PivotMode::Random);
             group.bench_with_input(BenchmarkId::new("par_random", &id), &series, |b, s| {
-                b.iter(|| lis_par(s, PivotMode::Random, 3))
+                b.iter(|| lis_par(s, &random))
             });
         }
     }

@@ -2,6 +2,7 @@
 //! sequential), Jones–Plassmann coloring, and greedy matching.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_algos::RunConfig;
 use pp_algos::{coloring, matching, mis};
 use pp_graph::gen;
 use pp_parlay::shuffle::random_priorities;
@@ -23,8 +24,9 @@ fn bench_graph_greedy(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mis_rounds", name), &g, |b, g| {
             b.iter(|| mis::mis_rounds(g, &pri))
         });
+        let luby_cfg = RunConfig::seeded(5);
         group.bench_with_input(BenchmarkId::new("mis_luby", name), &g, |b, g| {
-            b.iter(|| mis::mis_luby(g, 5))
+            b.iter(|| mis::mis_luby(g, &luby_cfg))
         });
         group.bench_with_input(BenchmarkId::new("coloring_seq", name), &g, |b, g| {
             b.iter(|| coloring::coloring_seq(g, &pri))

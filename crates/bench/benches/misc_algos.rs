@@ -8,6 +8,7 @@ use pp_algos::knapsack::{max_value_par, max_value_seq, Item};
 use pp_algos::lis::{lis_weighted_par, lis_weighted_seq, patterns, PivotMode};
 use pp_algos::random_perm::random_permutation_reservations;
 use pp_algos::whac::{whac2d_par, whac2d_seq, whac_par, whac_seq, Mole, Mole2d};
+use pp_algos::RunConfig;
 use pp_pam::{Multimap, NestedMultimap};
 use pp_parlay::rng::{bounded, hash64};
 
@@ -19,8 +20,12 @@ fn bench_misc(c: &mut Criterion) {
     let items: Vec<Item> = (0..60u64)
         .map(|i| Item::new(25 + hash64(1, i) % 200, 1 + hash64(2, i) % 1000))
         .collect();
-    group.bench_function("knapsack_par", |b| b.iter(|| max_value_par(&items, 100_000)));
-    group.bench_function("knapsack_seq", |b| b.iter(|| max_value_seq(&items, 100_000)));
+    group.bench_function("knapsack_par", |b| {
+        b.iter(|| max_value_par(&items, 100_000))
+    });
+    group.bench_function("knapsack_seq", |b| {
+        b.iter(|| max_value_seq(&items, 100_000))
+    });
 
     // Whac-A-Mole: 100k moles.
     let moles: Vec<Mole> = (0..100_000u64)
@@ -29,9 +34,8 @@ fn bench_misc(c: &mut Criterion) {
             p: (hash64(4, i) % 10_000) as i64 - 5_000,
         })
         .collect();
-    group.bench_function("whac_par", |b| {
-        b.iter(|| whac_par(&moles, PivotMode::RightMost, 5))
-    });
+    let rm5 = RunConfig::seeded(5).with_pivot_mode(PivotMode::RightMost);
+    group.bench_function("whac_par", |b| b.iter(|| whac_par(&moles, &rm5)));
     group.bench_function("whac_seq", |b| b.iter(|| whac_seq(&moles)));
 
     // Weighted LIS: 100k elements, k ≈ 100.
@@ -39,8 +43,9 @@ fn bench_misc(c: &mut Criterion) {
     let weights: Vec<u32> = (0..values.len() as u64)
         .map(|i| 1 + (hash64(7, i) % 50) as u32)
         .collect();
+    let rm8 = RunConfig::seeded(8).with_pivot_mode(PivotMode::RightMost);
     group.bench_function("lis_weighted_par", |b| {
-        b.iter(|| lis_weighted_par(&values, &weights, PivotMode::RightMost, 8))
+        b.iter(|| lis_weighted_par(&values, &weights, &rm8))
     });
     group.bench_function("lis_weighted_seq", |b| {
         b.iter(|| lis_weighted_seq(&values, &weights))
@@ -54,9 +59,8 @@ fn bench_misc(c: &mut Criterion) {
             c: (hash64(13, i) % 100_000) as i64,
         })
         .collect();
-    group.bench_function("chain3d_par", |b| {
-        b.iter(|| chain3d_par(&pts, PivotMode::RightMost, 14))
-    });
+    let rm14 = RunConfig::seeded(14).with_pivot_mode(PivotMode::RightMost);
+    group.bench_function("chain3d_par", |b| b.iter(|| chain3d_par(&pts, &rm14)));
     group.bench_function("chain3d_seq", |b| b.iter(|| chain3d_seq(&pts)));
 
     // 2D-grid Whac-A-Mole (4D dominance, one more tree level).
@@ -67,14 +71,14 @@ fn bench_misc(c: &mut Criterion) {
             y: (hash64(17, i) % 200) as i64 - 100,
         })
         .collect();
-    group.bench_function("whac2d_par", |b| {
-        b.iter(|| whac2d_par(&moles2d, PivotMode::RightMost, 18))
-    });
+    let rm18 = RunConfig::seeded(18).with_pivot_mode(PivotMode::RightMost);
+    group.bench_function("whac2d_par", |b| b.iter(|| whac2d_par(&moles2d, &rm18)));
     group.bench_function("whac2d_seq", |b| b.iter(|| whac2d_seq(&moles2d)));
 
     // Random permutation via deterministic reservations vs sort-based.
+    let cfg19 = RunConfig::seeded(19);
     group.bench_function("random_perm_reservations", |b| {
-        b.iter(|| random_permutation_reservations(200_000, 19))
+        b.iter(|| random_permutation_reservations(200_000, &cfg19))
     });
     group.bench_function("random_perm_sortbased", |b| {
         b.iter(|| pp_parlay::random_permutation(200_000, 19))
@@ -82,7 +86,12 @@ fn bench_misc(c: &mut Criterion) {
 
     // Multimap substrates: build + multi_find, flat vs nested (App. A).
     let pairs: Vec<(u32, u32)> = (0..100_000u64)
-        .map(|i| ((hash64(9, i) % 1000) as u32, bounded(hash64(10, i), 1 << 30) as u32))
+        .map(|i| {
+            (
+                (hash64(9, i) % 1000) as u32,
+                bounded(hash64(10, i), 1 << 30) as u32,
+            )
+        })
         .collect();
     let keys: Vec<u32> = (0..1000).collect();
     group.bench_function("multimap_flat_build_find", |b| {

@@ -43,7 +43,13 @@ fn bench_substrates(c: &mut Criterion) {
     });
     group.bench_function("parlay_tree_contract_depths", |b| {
         let parent: Vec<u32> = (0..n as u32)
-            .map(|i| if i == 0 { 0 } else { pp_parlay::hash64(8, u64::from(i)) as u32 % i })
+            .map(|i| {
+                if i == 0 {
+                    0
+                } else {
+                    pp_parlay::hash64(8, u64::from(i)) as u32 % i
+                }
+            })
             .collect();
         b.iter(|| pp_parlay::tree_contract::forest_depths_contract(&parent))
     });

@@ -12,6 +12,7 @@
 use pp_algos::activity::{self, workload};
 use pp_algos::lis::{lis_par, patterns, PivotMode};
 use pp_algos::mis;
+use pp_algos::RunConfig;
 use pp_bench::{scale, secs, time_best, Table};
 use pp_graph::gen;
 use pp_parlay::shuffle::random_priorities;
@@ -19,18 +20,29 @@ use pp_parlay::shuffle::random_priorities;
 fn main() {
     let s = scale();
 
-    println!("Ablation 1: LIS pivot strategy (n = {}, segment pattern)\n", 1_000_000 * s);
-    let table = Table::new(&["output_k", "random_wakeups", "rightmost_wakeups", "random_s", "rightmost_s"]);
+    println!(
+        "Ablation 1: LIS pivot strategy (n = {}, segment pattern)\n",
+        1_000_000 * s
+    );
+    let table = Table::new(&[
+        "output_k",
+        "random_wakeups",
+        "rightmost_wakeups",
+        "random_s",
+        "rightmost_s",
+    ]);
     for k in [10usize, 100, 1000] {
         let series = patterns::segment(1_000_000 * s, k, 1);
-        let ra = lis_par(&series, PivotMode::Random, 2);
-        let rm = lis_par(&series, PivotMode::RightMost, 2);
-        assert_eq!(ra.length, rm.length);
+        let cfg_ra = RunConfig::seeded(2).with_pivot_mode(PivotMode::Random);
+        let cfg_rm = RunConfig::seeded(2).with_pivot_mode(PivotMode::RightMost);
+        let ra = lis_par(&series, &cfg_ra);
+        let rm = lis_par(&series, &cfg_rm);
+        assert_eq!(ra.output, rm.output);
         let t_ra = time_best(1, || {
-            std::hint::black_box(lis_par(&series, PivotMode::Random, 2));
+            std::hint::black_box(lis_par(&series, &cfg_ra));
         });
         let t_rm = time_best(1, || {
-            std::hint::black_box(lis_par(&series, PivotMode::RightMost, 2));
+            std::hint::black_box(lis_par(&series, &cfg_rm));
         });
         table.row(&[
             k.to_string(),
@@ -67,7 +79,11 @@ fn main() {
             gen::rmat(18, (1usize << 21) * s, 4),
             None,
         ),
-        ("path 50k (monotone pri, depth n/2)", deep_path, Some(deep_pri)),
+        (
+            "path 50k (monotone pri, depth n/2)",
+            deep_path,
+            Some(deep_pri),
+        ),
     ] {
         let pri = pri.unwrap_or_else(|| random_priorities(g.num_vertices(), 5));
         let t_tas = time_best(1, || {
@@ -76,12 +92,15 @@ fn main() {
         let t_rounds = time_best(1, || {
             std::hint::black_box(mis::mis_rounds(&g, &pri));
         });
-        let (_, rs) = mis::mis_rounds(&g, &pri);
+        let rs = mis::mis_rounds(&g, &pri).stats;
         table.row(&[
             name.to_string(),
             secs(t_tas),
             secs(t_rounds),
-            format!("{:.2}", rs.edge_checks as f64 / g.num_edges() as f64),
+            format!(
+                "{:.2}",
+                rs.counter("edge_checks").unwrap_or(0) as f64 / g.num_edges() as f64
+            ),
         ]);
     }
     println!(
@@ -110,15 +129,21 @@ fn main() {
     println!("Expected: flat arrays win (§6.4: nested arrays for locality), same answers.\n");
 
     println!("Ablation 4: SSSP — flat Δ-stepping (Δ = w*) vs the PA-BST Dijkstra (Thm 4.5)\n");
-    let table = Table::new(&["graph", "flat_Δ=w*_s", "pam_tree_s", "rounds_flat", "rounds_pam"]);
+    let table = Table::new(&[
+        "graph",
+        "flat_Δ=w*_s",
+        "pam_tree_s",
+        "rounds_flat",
+        "rounds_pam",
+    ]);
     for (name, g) in [
         ("rmat 2^15", gen::rmat(15, (1 << 18) * s, 7)),
         ("grid 300x300", pp_graph::gen::grid2d(300, 300)),
     ] {
         let wg = gen::with_uniform_weights(&g, 1 << 21, 1 << 23, 8);
-        let (d_flat, st_flat) = pp_algos::sssp::sssp_phase_parallel(&wg, 0);
-        let (d_pam, rounds_pam) = pp_algos::sssp::sssp_pam(&wg, 0);
-        assert_eq!(d_flat, d_pam);
+        let flat = pp_algos::sssp::sssp_phase_parallel(&wg, 0);
+        let pam = pp_algos::sssp::sssp_pam(&wg, 0);
+        assert_eq!(flat.output, pam.output);
         let t_flat = time_best(1, || {
             std::hint::black_box(pp_algos::sssp::sssp_phase_parallel(&wg, 0));
         });
@@ -129,8 +154,8 @@ fn main() {
             name.to_string(),
             secs(t_flat),
             secs(t_pam),
-            st_flat.buckets_processed.to_string(),
-            rounds_pam.to_string(),
+            flat.stats.rounds.to_string(),
+            pam.stats.rounds.to_string(),
         ]);
     }
     println!("Expected: same distances & round counts; flat arrays faster (§6.3 footnote 5).\n");
@@ -164,7 +189,7 @@ fn main() {
     let table = Table::new(&[
         "graph",
         "Δ=w*_s",
-        "ρ=4096_s",
+        "ρ=default_s",
         "crauser_s",
         "Δ_rounds",
         "ρ_steps",
@@ -172,19 +197,23 @@ fn main() {
     ]);
     for (name, g) in [
         ("rmat 2^15 (low diameter)", gen::rmat(15, (1 << 18) * s, 7)),
-        ("grid 300x300 (high diameter)", pp_graph::gen::grid2d(300, 300)),
+        (
+            "grid 300x300 (high diameter)",
+            pp_graph::gen::grid2d(300, 300),
+        ),
     ] {
         let wg = gen::with_uniform_weights(&g, 1 << 21, 1 << 23, 8);
-        let (d_delta, st_delta) = pp_algos::sssp::sssp_phase_parallel(&wg, 0);
-        let (d_rho, st_rho) = pp_algos::sssp::rho_stepping(&wg, 0, 4096);
-        let (d_cr, st_cr) = pp_algos::sssp::crauser_out(&wg, 0);
-        assert_eq!(d_delta, d_rho);
-        assert_eq!(d_delta, d_cr);
+        let rho_cfg = RunConfig::new().with_rho(pp_algos::sssp::DEFAULT_RHO);
+        let delta = pp_algos::sssp::sssp_phase_parallel(&wg, 0);
+        let rho = pp_algos::sssp::rho_stepping(&wg, 0, &rho_cfg);
+        let cr = pp_algos::sssp::crauser_out(&wg, 0);
+        assert_eq!(delta.output, rho.output);
+        assert_eq!(delta.output, cr.output);
         let t_delta = time_best(1, || {
             std::hint::black_box(pp_algos::sssp::sssp_phase_parallel(&wg, 0));
         });
         let t_rho = time_best(1, || {
-            std::hint::black_box(pp_algos::sssp::rho_stepping(&wg, 0, 4096));
+            std::hint::black_box(pp_algos::sssp::rho_stepping(&wg, 0, &rho_cfg));
         });
         let t_cr = time_best(1, || {
             std::hint::black_box(pp_algos::sssp::crauser_out(&wg, 0));
@@ -194,9 +223,9 @@ fn main() {
             secs(t_delta),
             secs(t_rho),
             secs(t_cr),
-            st_delta.buckets_processed.to_string(),
-            st_rho.steps.to_string(),
-            st_cr.rounds.to_string(),
+            delta.stats.rounds.to_string(),
+            rho.stats.rounds.to_string(),
+            cr.stats.rounds.to_string(),
         ]);
     }
     println!(

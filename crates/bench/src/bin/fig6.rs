@@ -14,6 +14,7 @@
 //! `cargo run --release -p pp-bench --bin fig6`
 
 use pp_algos::sssp::delta_stepping;
+use pp_algos::RunConfig;
 use pp_bench::{scale, secs, time_best};
 use pp_graph::gen;
 
@@ -39,8 +40,9 @@ fn main() {
             let mut cells = Vec::new();
             let mut best = (f64::MAX, 0u32);
             for &dlog in &deltas {
+                let cfg = RunConfig::new().with_delta(1 << dlog);
                 let t = time_best(1, || {
-                    std::hint::black_box(delta_stepping(&g, 0, 1 << dlog));
+                    std::hint::black_box(delta_stepping(&g, 0, &cfg));
                 });
                 let s = t.as_secs_f64();
                 if s < best.0 {

@@ -47,17 +47,15 @@ fn main() {
 
     println!("Fig 7(a): Huffman, n = {n}, time vs rounds (max frequency controls height)\n");
     let table = Table::new(&["dist", "max_freq", "rounds", "height", "par_time_s"]);
-    for (dist, freqs_of) in [
-        ("uniform", true),
-        ("exponential", false),
-    ] {
+    for (dist, freqs_of) in [("uniform", true), ("exponential", false)] {
         for flog in [10u32, 16, 22, 28, 31] {
             let freqs = if freqs_of {
                 uniform_freqs(n, 1 << flog, 3)
             } else {
                 expo_freqs(n, 1.0 / (1u64 << (flog / 2)) as f64, 3)
             };
-            let (tree, stats) = build_par_with_stats(&freqs);
+            let report = build_par_with_stats(&freqs);
+            let (tree, stats) = (report.output, report.stats);
             let t = time_best(1, || {
                 std::hint::black_box(build_par_with_stats(&freqs));
             });

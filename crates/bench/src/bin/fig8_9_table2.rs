@@ -11,6 +11,7 @@
 //! Usage: `cargo run --release -p pp-bench --bin fig8_9_table2 -- [segment|line|both]`
 
 use pp_algos::lis::{lis_par, lis_seq, patterns, PivotMode};
+use pp_algos::RunConfig;
 use pp_bench::{run_single_threaded, scale, secs, time_best, Table};
 
 fn run_pattern(name: &str, gen: impl Fn(usize, usize) -> Vec<i64>) {
@@ -32,16 +33,17 @@ fn run_pattern(name: &str, gen: impl Fn(usize, usize) -> Vec<i64>) {
         let t_classic = time_best(1, || {
             std::hint::black_box(lis_seq(&series));
         });
+        let cfg = RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost);
         let t_par = time_best(1, || {
-            std::hint::black_box(lis_par(&series, PivotMode::RightMost, 3));
+            std::hint::black_box(lis_par(&series, &cfg));
         });
         let t_ours_seq = run_single_threaded(|| {
             time_best(1, || {
-                std::hint::black_box(lis_par(&series, PivotMode::RightMost, 3));
+                std::hint::black_box(lis_par(&series, &cfg));
             })
         });
-        let res = lis_par(&series, PivotMode::RightMost, 3);
-        assert_eq!(res.length, k);
+        let res = lis_par(&series, &cfg);
+        assert_eq!(res.output, k);
         table.row(&[
             k.to_string(),
             secs(t_classic),
@@ -53,7 +55,9 @@ fn run_pattern(name: &str, gen: impl Fn(usize, usize) -> Vec<i64>) {
             res.stats.rounds.to_string(),
         ]);
     }
-    println!("\nShape check: vs_classic decreases as k grows (crossover), avg_wakeups stays small.");
+    println!(
+        "\nShape check: vs_classic decreases as k grows (crossover), avg_wakeups stays small."
+    );
 }
 
 fn main() {

@@ -17,6 +17,7 @@ use pp_algos::knapsack::{max_value_par, Item};
 use pp_algos::lis::{self, PivotMode};
 use pp_algos::mis;
 use pp_algos::sssp;
+use pp_algos::RunConfig;
 use pp_bench::{scale, secs, time_best, Table};
 use pp_graph::gen;
 use pp_parlay::shuffle::random_priorities;
@@ -34,7 +35,7 @@ fn main() {
         let t = time_best(1, || {
             std::hint::black_box(activity::max_weight_type1(&acts));
         });
-        let (_, st) = activity::max_weight_type1(&acts);
+        let st = activity::max_weight_type1(&acts).stats;
         table.row(&[
             "activity_t1".into(),
             n.to_string(),
@@ -46,17 +47,18 @@ fn main() {
 
         // LIS (Type 2), output fixed.
         let series = lis::patterns::segment(n, 100, 2);
+        let lis_cfg = RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost);
         let t = time_best(1, || {
-            std::hint::black_box(lis::lis_par(&series, PivotMode::RightMost, 3));
+            std::hint::black_box(lis::lis_par(&series, &lis_cfg));
         });
-        let res = lis::lis_par(&series, PivotMode::RightMost, 3);
+        let res = lis::lis_par(&series, &lis_cfg);
         table.row(&[
             "lis_par".into(),
             n.to_string(),
             secs(t),
             format!("{:.1}", t.as_nanos() as f64 / n as f64),
             res.stats.rounds.to_string(),
-            (res.length + 1).to_string(),
+            (res.output + 1).to_string(),
         ]);
 
         // Huffman.
@@ -66,7 +68,8 @@ fn main() {
         let t = time_best(1, || {
             std::hint::black_box(huffman::build_par(&freqs));
         });
-        let (tree, st) = huffman::build_par_with_stats(&freqs);
+        let report = huffman::build_par_with_stats(&freqs);
+        let (tree, st) = (report.output, report.stats);
         table.row(&[
             "huffman_par".into(),
             n.to_string(),
@@ -98,18 +101,27 @@ fn main() {
         .map(|i| Item::new(20 + (i * 13) % 80, 1 + i))
         .collect();
     let w = 200_000u64;
-    let (_, st) = max_value_par(&items, w);
-    println!("  W = {w}, w* = 20 → rounds = {} (expected {})", st.rounds, w / 20);
+    let st = max_value_par(&items, w).stats;
+    println!(
+        "  W = {w}, w* = 20 → rounds = {} (expected {})",
+        st.rounds,
+        w / 20
+    );
 
     // SSSP: buckets = relaxed rank.
     println!("\nSSSP (relaxed rank): Δ = w* buckets ≈ d_max / w*\n");
     let g = gen::rmat(14, 1 << 17, 7);
     let g = gen::with_uniform_weights(&g, 1 << 20, 1 << 23, 8);
-    let (d, st) = sssp::sssp_phase_parallel(&g, 0);
-    let d_max = d.iter().filter(|&&x| x != sssp::INF).max().unwrap();
+    let report = sssp::sssp_phase_parallel(&g, 0);
+    let d_max = report
+        .output
+        .iter()
+        .filter(|&&x| x != sssp::INF)
+        .max()
+        .unwrap();
     println!(
         "  d_max = {d_max}, w* = 2^20 → buckets processed = {} (d_max/w* = {})",
-        st.buckets_processed,
+        report.stats.rounds,
         d_max >> 20
     );
 }

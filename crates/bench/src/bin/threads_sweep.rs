@@ -13,6 +13,7 @@
 use pp_algos::activity::{self, workload};
 use pp_algos::lis::{lis_par, patterns, PivotMode};
 use pp_algos::mis;
+use pp_algos::RunConfig;
 use pp_bench::{scale, secs, time_best, Table};
 use pp_graph::gen;
 use pp_parlay::shuffle::random_priorities;
@@ -43,9 +44,10 @@ fn main() {
     let table = Table::new(&["threads", "lis_par_s", "activity_t1_s", "mis_tas_s"]);
     let mut base: Option<(Duration, Duration, Duration)> = None;
     for &t in &threads {
+        let lis_cfg = RunConfig::seeded(5).with_pivot_mode(PivotMode::RightMost);
         let t_lis = with_threads(t, || {
             time_best(1, || {
-                std::hint::black_box(lis_par(&series, PivotMode::RightMost, 5));
+                std::hint::black_box(lis_par(&series, &lis_cfg));
             })
         });
         let t_act = with_threads(t, || {
@@ -62,9 +64,21 @@ fn main() {
         let (b_lis, b_act, b_mis) = base.unwrap();
         table.row(&[
             t.to_string(),
-            format!("{} ({:.2}x)", secs(t_lis), b_lis.as_secs_f64() / t_lis.as_secs_f64()),
-            format!("{} ({:.2}x)", secs(t_act), b_act.as_secs_f64() / t_act.as_secs_f64()),
-            format!("{} ({:.2}x)", secs(t_mis), b_mis.as_secs_f64() / t_mis.as_secs_f64()),
+            format!(
+                "{} ({:.2}x)",
+                secs(t_lis),
+                b_lis.as_secs_f64() / t_lis.as_secs_f64()
+            ),
+            format!(
+                "{} ({:.2}x)",
+                secs(t_act),
+                b_act.as_secs_f64() / t_act.as_secs_f64()
+            ),
+            format!(
+                "{} ({:.2}x)",
+                secs(t_mis),
+                b_mis.as_secs_f64() / t_mis.as_secs_f64()
+            ),
         ]);
     }
 }

@@ -21,7 +21,11 @@
 //! The [`rank`] module holds the independence-system vocabulary
 //! (Definition 3.1) with a checkable specification used by the
 //! conformance tests; [`stats`] carries the execution counters the
-//! paper's experiments report (rounds, frontier sizes, wake-up attempts).
+//! paper's experiments report (rounds, frontier sizes, wake-up
+//! attempts, and named per-algorithm counters); [`solver`] is the
+//! unified calling convention every algorithm family exposes:
+//! [`RunConfig`] in, [`Report`] out, via the [`PhaseAlgorithm`] trait
+//! and the [`Solver`] handle.
 //!
 //! ```
 //! use phase_parallel::TasTree;
@@ -36,6 +40,7 @@
 
 pub mod rank;
 pub mod reservations;
+pub mod solver;
 pub mod stats;
 pub mod tas_tree;
 pub mod type1;
@@ -43,6 +48,7 @@ pub mod type2;
 
 pub use rank::{IndependenceSystem, RankFn};
 pub use reservations::{speculative_for, ReservationProblem, ReservationTable, SpecForStats};
+pub use solver::{PhaseAlgorithm, PivotMode, PrioritySource, Report, RunConfig, Solver};
 pub use stats::ExecutionStats;
 pub use tas_tree::{TasForest, TasTree};
 pub use type1::{run_type1, Type1Problem};

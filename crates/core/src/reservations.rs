@@ -140,6 +140,17 @@ pub struct SpecForStats {
     pub attempts: u64,
 }
 
+impl From<SpecForStats> for crate::ExecutionStats {
+    /// Fold the framework counters into the unified stats: `rounds`
+    /// carries over, `attempts` becomes the `"attempts"` named counter.
+    fn from(spec: SpecForStats) -> Self {
+        let mut stats = Self::default();
+        stats.rounds = spec.rounds as usize;
+        stats.set_counter("attempts", spec.attempts);
+        stats
+    }
+}
+
 /// Run `problem` to completion with deterministic reservations.
 ///
 /// `granularity` caps how many of the earliest unfinished iterates are

@@ -1,0 +1,408 @@
+//! The unified solver API: [`RunConfig`] / [`Report`] /
+//! [`PhaseAlgorithm`] / [`Solver`].
+//!
+//! The paper presents *one* framework — rank-based phase-parallel
+//! execution with Type 1 (frontier extraction) and Type 2 (pivot
+//! wake-up) engines — so the workspace exposes *one* calling
+//! convention for every algorithm family built on it:
+//!
+//! * [`RunConfig`] collects every execution knob (seed, pivot strategy,
+//!   thread count, and the typed per-algorithm parameters like `delta`,
+//!   `rho`, or the coloring priority source) behind a builder, replacing
+//!   per-function positional argument lists.
+//! * [`Report<T>`] pairs an algorithm's output with the unified
+//!   [`ExecutionStats`], whose named-counter extension map absorbs what
+//!   used to be a zoo of per-algorithm stats structs.
+//! * [`PhaseAlgorithm`] is the trait every family implements:
+//!   `solve_seq` is the sequential baseline the parallel execution must
+//!   agree with (the paper's correctness yardstick), `solve_par` the
+//!   phase-parallel run.
+//! * [`Solver`] binds an algorithm to a configuration, for callers that
+//!   want a reusable handle (benches, services, the conformance suite).
+//!
+//! ```
+//! use phase_parallel::{PivotMode, RunConfig};
+//!
+//! let cfg = RunConfig::new().with_seed(7).with_pivot_mode(PivotMode::RightMost);
+//! assert_eq!(cfg.seed, 7);
+//! assert_eq!(cfg.pivot_mode, PivotMode::RightMost);
+//! ```
+
+use crate::stats::ExecutionStats;
+
+/// How a Type 2 engine selects a pivot among unfinished predecessors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PivotMode {
+    /// Uniformly random unfinished point (the strategy analyzed in
+    /// Lemma 5.5: `O(log n)` wake-ups per object whp).
+    #[default]
+    Random,
+    /// The unfinished point with the largest index — §6.4's heuristic:
+    /// "points to the right are more likely to be processed in later
+    /// rounds", so the right-most blocker is almost always the last.
+    RightMost,
+}
+
+/// Priority source for the greedy graph algorithms (MIS, coloring,
+/// matching): which ordering heuristic generates the per-vertex
+/// priorities — Hasenplaugh et al.'s orderings for coloring, uniformly
+/// random for the analyzed bounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PrioritySource {
+    /// Uniformly random priorities (the analyzed setting: `O(log n)`
+    /// dependence depth whp).
+    #[default]
+    Random,
+    /// Largest-degree-first (LF).
+    LargestDegreeFirst,
+    /// Largest-log-degree-first (LLF).
+    LargestLogDegreeFirst,
+    /// Smallest-degree-last (SL).
+    SmallestDegreeLast,
+}
+
+/// Execution configuration for a phase-parallel run: one struct carries
+/// every knob any algorithm family reads, so call sites never pass bare
+/// positional `(mode, seed)` pairs and adding a knob never breaks a
+/// signature.
+///
+/// Build with chained setters:
+///
+/// ```
+/// use phase_parallel::{PivotMode, RunConfig};
+/// let cfg = RunConfig::new()
+///     .with_seed(3)
+///     .with_pivot_mode(PivotMode::Random)
+///     .with_delta(1 << 20);
+/// assert_eq!(cfg.delta, Some(1 << 20));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunConfig {
+    /// Seed for every random choice the run makes (pivot sampling,
+    /// generated priorities). Runs are deterministic in the seed.
+    pub seed: u64,
+    /// Pivot selection strategy for Type 2 engines.
+    pub pivot_mode: PivotMode,
+    /// Worker threads. `None` uses the ambient pool (all cores under
+    /// real rayon); `Some(t)` asks for a dedicated `t`-thread pool.
+    /// Applied by [`Solver::solve`] and the registry's `run_case` (via
+    /// [`RunConfig::install`]); a family's free `*_par` function called
+    /// directly runs on the ambient pool regardless.
+    pub threads: Option<usize>,
+    /// Δ-stepping bucket width. `None` lets SSSP default to Δ = w* (the
+    /// paper's phase-parallel choice, Theorem 4.5).
+    pub delta: Option<u64>,
+    /// ρ-stepping batch size. `None` lets ρ-stepping use its default.
+    pub rho: Option<usize>,
+    /// Priority source for the greedy graph algorithms. The algorithms
+    /// themselves take an explicit priority vector as input; driver
+    /// layers (the registry's instance generators, benches, services)
+    /// use this knob to pick the heuristic that derives it.
+    pub priority_source: PrioritySource,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            pivot_mode: PivotMode::default(),
+            threads: None,
+            delta: None,
+            rho: None,
+            priority_source: PrioritySource::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// A default configuration: seed 1, random pivots, ambient pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A default configuration with the given seed — the most common
+    /// construction.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new().with_seed(seed)
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_pivot_mode(mut self, mode: PivotMode) -> Self {
+        self.pivot_mode = mode;
+        self
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    pub fn with_rho(mut self, rho: usize) -> Self {
+        self.rho = Some(rho);
+        self
+    }
+
+    pub fn with_priority_source(mut self, source: PrioritySource) -> Self {
+        self.priority_source = source;
+        self
+    }
+
+    /// Build the dedicated pool this configuration asks for, if any.
+    fn build_pool(&self) -> Option<rayon::ThreadPool> {
+        self.threads.map(|t| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("thread pool")
+        })
+    }
+
+    /// Run `f` under this configuration's thread budget: inside a
+    /// dedicated pool when [`RunConfig::threads`] is set, directly
+    /// otherwise. Builds a fresh pool per call — for repeated solves,
+    /// hold a [`Solver`], which caches the pool.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match self.build_pool() {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+}
+
+/// The result of a phase-parallel run: the algorithm's output plus the
+/// unified execution statistics.
+#[derive(Clone, Debug)]
+pub struct Report<T> {
+    /// The algorithm's answer (identical to its sequential baseline's).
+    pub output: T,
+    /// Rounds, frontier sizes, wake-ups, and named per-algorithm
+    /// counters.
+    pub stats: ExecutionStats,
+}
+
+impl<T> Report<T> {
+    pub fn new(output: T, stats: ExecutionStats) -> Self {
+        Self { output, stats }
+    }
+
+    /// A report with empty statistics, for algorithms (or sequential
+    /// baselines) that do not meter their execution.
+    pub fn plain(output: T) -> Self {
+        Self {
+            output,
+            stats: ExecutionStats::default(),
+        }
+    }
+
+    /// Transform the output, keeping the statistics.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Report<U> {
+        Report {
+            output: f(self.output),
+            stats: self.stats,
+        }
+    }
+
+    pub fn into_parts(self) -> (T, ExecutionStats) {
+        (self.output, self.stats)
+    }
+}
+
+/// One phase-parallelized algorithm family: a sequential baseline and a
+/// phase-parallel execution that must produce the same output.
+///
+/// `solve_par(input, cfg).output == solve_seq(input)` is the paper's
+/// sequential-equivalence contract; the workspace conformance suite
+/// checks it for every registered implementation.
+pub trait PhaseAlgorithm {
+    /// Problem instance. `?Sized` so slice inputs (`[i64]`) work.
+    type Input: ?Sized;
+    /// Solution type (shared by both executions).
+    type Output;
+
+    /// Stable, human-readable name (`"lis"`, `"sssp/delta"`, …) — the
+    /// key used by string-keyed registries.
+    fn name(&self) -> &'static str;
+
+    /// The sequential iterative baseline.
+    fn solve_seq(&self, input: &Self::Input) -> Self::Output;
+
+    /// The phase-parallel execution under `cfg`.
+    fn solve_par(&self, input: &Self::Input, cfg: &RunConfig) -> Report<Self::Output>;
+}
+
+/// An algorithm bound to a configuration: the reusable handle that
+/// benches, CLIs and service layers drive.
+///
+/// ```
+/// use phase_parallel::{PhaseAlgorithm, Report, RunConfig, Solver};
+///
+/// struct Doubler;
+/// impl PhaseAlgorithm for Doubler {
+///     type Input = [u64];
+///     type Output = Vec<u64>;
+///     fn name(&self) -> &'static str { "doubler" }
+///     fn solve_seq(&self, input: &[u64]) -> Vec<u64> {
+///         input.iter().map(|x| x * 2).collect()
+///     }
+///     fn solve_par(&self, input: &[u64], _cfg: &RunConfig) -> Report<Vec<u64>> {
+///         Report::plain(self.solve_seq(input))
+///     }
+/// }
+///
+/// let solver = Solver::new(Doubler).with_config(RunConfig::seeded(9));
+/// let report = solver.solve(&[1, 2, 3]);
+/// assert_eq!(report.output, vec![2, 4, 6]);
+/// assert_eq!(solver.solve_seq(&[5]), vec![10]);
+/// ```
+pub struct Solver<A: PhaseAlgorithm> {
+    algo: A,
+    cfg: RunConfig,
+    /// Built once from `cfg.threads` so repeated solves reuse it.
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl<A: PhaseAlgorithm> Solver<A> {
+    /// Bind `algo` to the default configuration.
+    pub fn new(algo: A) -> Self {
+        Self {
+            algo,
+            cfg: RunConfig::default(),
+            pool: None,
+        }
+    }
+
+    /// Replace the configuration.
+    pub fn with_config(mut self, cfg: RunConfig) -> Self {
+        self.cfg = cfg;
+        self.pool = self.cfg.build_pool();
+        self
+    }
+
+    /// Edit the configuration in place via the builder methods.
+    pub fn configure(mut self, f: impl FnOnce(RunConfig) -> RunConfig) -> Self {
+        self.cfg = f(self.cfg);
+        self.pool = self.cfg.build_pool();
+        self
+    }
+
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    pub fn algorithm(&self) -> &A {
+        &self.algo
+    }
+
+    /// Phase-parallel run under the bound configuration (inside the
+    /// cached dedicated pool when `threads` is set).
+    pub fn solve(&self, input: &A::Input) -> Report<A::Output>
+    where
+        A: Sync,
+        A::Input: Sync,
+        A::Output: Send,
+    {
+        let (algo, cfg) = (&self.algo, &self.cfg);
+        match &self.pool {
+            Some(pool) => pool.install(|| algo.solve_par(input, cfg)),
+            None => algo.solve_par(input, cfg),
+        }
+    }
+
+    /// The sequential baseline.
+    pub fn solve_seq(&self, input: &A::Input) -> A::Output {
+        self.algo.solve_seq(input)
+    }
+
+    /// Run both executions and assert sequential equivalence; returns
+    /// the parallel report. Used by tests and sanity harnesses.
+    pub fn solve_checked(&self, input: &A::Input) -> Report<A::Output>
+    where
+        A: Sync,
+        A::Input: Sync,
+        A::Output: Send + PartialEq + std::fmt::Debug,
+    {
+        let report = self.solve(input);
+        let baseline = self.solve_seq(input);
+        assert_eq!(
+            report.output,
+            baseline,
+            "{}: parallel output diverged from the sequential baseline",
+            self.algo.name()
+        );
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountUp;
+
+    impl PhaseAlgorithm for CountUp {
+        type Input = [u32];
+        type Output = u64;
+        fn name(&self) -> &'static str {
+            "count-up"
+        }
+        fn solve_seq(&self, input: &[u32]) -> u64 {
+            input.iter().map(|&x| u64::from(x)).sum()
+        }
+        fn solve_par(&self, input: &[u32], cfg: &RunConfig) -> Report<u64> {
+            let mut stats = ExecutionStats::default();
+            stats.record_round(input.len());
+            stats.set_counter("seed_echo", cfg.seed);
+            Report::new(self.solve_seq(input), stats)
+        }
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RunConfig::seeded(5)
+            .with_pivot_mode(PivotMode::RightMost)
+            .with_delta(64)
+            .with_rho(128)
+            .with_threads(2)
+            .with_priority_source(PrioritySource::LargestDegreeFirst);
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.pivot_mode, PivotMode::RightMost);
+        assert_eq!(cfg.delta, Some(64));
+        assert_eq!(cfg.rho, Some(128));
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.priority_source, PrioritySource::LargestDegreeFirst);
+    }
+
+    #[test]
+    fn solver_runs_and_checks() {
+        let solver = Solver::new(CountUp).with_config(RunConfig::seeded(9));
+        let report = solver.solve_checked(&[1, 2, 3, 4]);
+        assert_eq!(report.output, 10);
+        assert_eq!(report.stats.counter("seed_echo"), Some(9));
+        assert_eq!(report.stats.rounds, 1);
+    }
+
+    #[test]
+    fn threads_config_installs_pool() {
+        let solver = Solver::new(CountUp).configure(|c| c.with_threads(1));
+        assert_eq!(solver.solve(&[7, 8]).output, 15);
+    }
+
+    #[test]
+    fn report_map_keeps_stats() {
+        let mut stats = ExecutionStats::default();
+        stats.record_round(3);
+        let r = Report::new(21u32, stats).map(|x| x * 2);
+        assert_eq!(r.output, 42);
+        assert_eq!(r.stats.rounds, 1);
+    }
+}

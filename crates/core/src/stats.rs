@@ -1,8 +1,13 @@
 //! Execution statistics: the counters §6 reports (rounds, frontier
-//! sizes, wake-up attempts), plus coarse work counters for the
-//! Table 1 scaling checks.
+//! sizes, wake-up attempts), plus a named-counter extension map for
+//! algorithm-specific metrics (relaxations, bucket counts, edge
+//! checks, …) so every algorithm family reports through this one type.
 
-/// Counters accumulated by the Type 1 / Type 2 engines.
+/// Counters accumulated by a phase-parallel execution. The fixed fields
+/// are the framework-level metrics every engine shares; algorithm
+/// families attach their own metrics as named counters
+/// ([`ExecutionStats::set_counter`]) instead of defining bespoke stats
+/// structs.
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionStats {
     /// Number of parallel rounds executed (should be ≈ `rank(S)` for a
@@ -16,9 +21,41 @@ pub struct ExecutionStats {
     /// Wake-up attempts that found the object not yet ready and had to
     /// re-pivot (Type 2).
     pub failed_wakeups: usize,
+    /// Algorithm-specific named counters, e.g. `"relaxations"` for the
+    /// SSSP family or `"edge_checks"` for the round-synchronous MIS
+    /// baseline. Insertion-ordered; names are `snake_case`.
+    counters: Vec<(&'static str, u64)>,
 }
 
 impl ExecutionStats {
+    /// Set (or overwrite) a named counter.
+    pub fn set_counter(&mut self, name: &'static str, value: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.counters.push((name, value)),
+        }
+    }
+
+    /// Add to a named counter, creating it at 0 first if absent.
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    /// Read a named counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// All named counters, in insertion order.
+    pub fn counters(&self) -> &[(&'static str, u64)] {
+        &self.counters
+    }
     /// Total number of objects processed.
     pub fn processed(&self) -> usize {
         self.frontier_sizes.iter().sum()
@@ -59,7 +96,11 @@ impl std::fmt::Display for ExecutionStats {
             self.wakeup_attempts,
             self.failed_wakeups,
             self.avg_wakeups()
-        )
+        )?;
+        for (name, value) in &self.counters {
+            write!(f, " {name}={value}")?;
+        }
+        Ok(())
     }
 }
 
@@ -80,6 +121,21 @@ mod tests {
         assert!((s.avg_wakeups() - 2.0).abs() < 1e-12);
         let text = s.to_string();
         assert!(text.contains("rounds=2"));
+    }
+
+    #[test]
+    fn named_counters() {
+        let mut s = ExecutionStats::default();
+        assert_eq!(s.counter("relaxations"), None);
+        s.set_counter("relaxations", 10);
+        s.add_counter("relaxations", 5);
+        s.add_counter("buckets", 2);
+        assert_eq!(s.counter("relaxations"), Some(15));
+        assert_eq!(s.counter("buckets"), Some(2));
+        s.set_counter("buckets", 7);
+        assert_eq!(s.counters(), &[("relaxations", 15), ("buckets", 7)]);
+        assert!(s.to_string().contains("relaxations=15"));
+        assert!(s.to_string().contains("buckets=7"));
     }
 
     #[test]

@@ -211,9 +211,9 @@ mod tests {
         // Round 1 marks 7 and 13: both TAS their parents successfully.
         assert!(!t.mark(0)); // 7
         assert!(!t.mark(3)); // 13
-        // Round 2 marks 12: parent TAS fails (13 set it), root TAS succeeds.
+                             // Round 2 marks 12: parent TAS fails (13 set it), root TAS succeeds.
         assert!(!t.mark(2)); // 12
-        // Round 3 marks 11: parent fails, root fails => tree complete.
+                             // Round 3 marks 11: parent fails, root fails => tree complete.
         assert!(t.mark(1)); // 11 — wakes vertex 14
     }
 

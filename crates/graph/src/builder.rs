@@ -66,8 +66,7 @@ impl GraphBuilder {
             weighted,
         } = self;
         if symmetric {
-            let rev: Vec<(u32, u32, u64)> =
-                edges.par_iter().map(|&(u, v, w)| (v, u, w)).collect();
+            let rev: Vec<(u32, u32, u64)> = edges.par_iter().map(|&(u, v, w)| (v, u, w)).collect();
             edges.extend(rev);
         }
         // Drop self-loops.

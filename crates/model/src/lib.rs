@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn par_for_span_dominated_by_slowest_body() {
         let mut s = Sim::new();
-        s.par_for(0, 1000, &mut |sim, i| sim.tick(if i == 500 { 1000 } else { 1 }));
+        s.par_for(0, 1000, &mut |sim, i| {
+            sim.tick(if i == 500 { 1000 } else { 1 })
+        });
         let c = s.cost();
         // One heavy leaf: span ≈ 1000 + O(log n), not 1000 + n.
         assert!(c.span >= 1000);
@@ -201,8 +203,14 @@ mod tests {
             |b| b.tick(4),
         );
         let c = s.cost();
-        assert_eq!(c.span, (2 + FORK_COST + JOIN_COST + 3) + FORK_COST + JOIN_COST);
-        assert_eq!(c.work, (1 + 2 + FORK_COST + JOIN_COST + 3) + 4 + FORK_COST + JOIN_COST);
+        assert_eq!(
+            c.span,
+            (2 + FORK_COST + JOIN_COST + 3) + FORK_COST + JOIN_COST
+        );
+        assert_eq!(
+            c.work,
+            (1 + 2 + FORK_COST + JOIN_COST + 3) + 4 + FORK_COST + JOIN_COST
+        );
     }
 
     #[test]

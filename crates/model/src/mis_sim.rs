@@ -141,7 +141,13 @@ pub fn mis_tas_sim(g: &Graph, priority: &[u32]) -> (Vec<bool>, MisSimStats) {
     }
     // Tree construction is a parallel for over vertices: charge it as a
     // balanced fork tree (work adds, span maxes per level).
-    fn build_trees(sim: &mut Sim, blockers: &[Vec<u32>], lo: usize, hi: usize, out: &mut Vec<Option<TasTreeSim>>) {
+    fn build_trees(
+        sim: &mut Sim,
+        blockers: &[Vec<u32>],
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<Option<TasTreeSim>>,
+    ) {
         match hi - lo {
             0 => {}
             1 => out.push(TasTreeSim::new(sim, blockers[lo].len())),
@@ -197,11 +203,7 @@ pub fn mis_tas_sim(g: &Graph, priority: &[u32]) -> (Vec<bool>, MisSimStats) {
     // Binary-forking for-each that allows recursive &mut access: the
     // simulator is single-threaded, so a plain recursive splitter with
     // parallel *charging* is faithful.
-    fn sim_par_for_each<T>(
-        sim: &mut Sim,
-        items: &[T],
-        body: &mut impl FnMut(&mut Sim, &T),
-    ) {
+    fn sim_par_for_each<T>(sim: &mut Sim, items: &[T], body: &mut impl FnMut(&mut Sim, &T)) {
         match items.len() {
             0 => {}
             1 => body(sim, &items[0]),

@@ -87,8 +87,7 @@ mod tests {
         let ranks = lis_ranks(&values);
         let (q, p) = (16u64, 4u64);
         let st = phase_parallel_sim(&ranks, q, p);
-        let bound = u64::from(st.rounds)
-            * (q + p + 2 * log2_ceil(st.max_frontier) + 4);
+        let bound = u64::from(st.rounds) * (q + p + 2 * log2_ceil(st.max_frontier) + 4);
         assert!(
             st.cost.span <= bound,
             "span {} exceeds modeled bound {bound}",

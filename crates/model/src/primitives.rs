@@ -66,7 +66,10 @@ pub fn scan_sim(sim: &mut Sim, v: &[u64]) -> (Vec<u64>, u64) {
                 sim.tick(1);
                 let left_sum = l.total();
                 let (o_l, o_r) = out.split_at_mut(out.len() / 2);
-                sim.fork2(|s| down(s, l, acc, o_l), |s| down(s, r, acc + left_sum, o_r));
+                sim.fork2(
+                    |s| down(s, l, acc, o_l),
+                    |s| down(s, r, acc + left_sum, o_r),
+                );
             }
         }
     }

@@ -125,7 +125,10 @@ where
 
     /// Insert one pair. `O(log n)`.
     pub fn insert(&mut self, key: K, val: V) {
-        let mut inner = self.primary.remove(&key).unwrap_or_else(|| Inner::new(NoAug));
+        let mut inner = self
+            .primary
+            .remove(&key)
+            .unwrap_or_else(|| Inner::new(NoAug));
         inner.insert(val, ());
         self.primary.insert(key, inner);
     }
@@ -151,9 +154,9 @@ where
     pub fn multi_insert(&mut self, pairs: Vec<(K, V)>) {
         let batch = Self::build(pairs);
         let me = std::mem::take(self);
-        self.primary = me.primary.union_with(batch.primary, &|a, b| {
-            a.clone().union(b.clone())
-        });
+        self.primary = me
+            .primary
+            .union_with(batch.primary, &|a, b| a.clone().union(b.clone()));
     }
 
     /// Remove a key and all its values; returns how many were removed.
@@ -183,8 +186,10 @@ mod tests {
                     model.entry(k).or_default().insert(v);
                 }
                 2 => {
-                    let want: Vec<u32> =
-                        model.get(&k).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                    let want: Vec<u32> = model
+                        .get(&k)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
                     assert_eq!(nested.find_all(&k), want);
                 }
                 _ => {
@@ -213,9 +218,8 @@ mod tests {
 
     #[test]
     fn multi_insert_merges_inner_trees() {
-        let mut m: NestedMultimap<u32, u32> = NestedMultimap::build(
-            (0..100).map(|i| (i % 5, i)).collect(),
-        );
+        let mut m: NestedMultimap<u32, u32> =
+            NestedMultimap::build((0..100).map(|i| (i % 5, i)).collect());
         assert_eq!(m.num_keys(), 5);
         assert_eq!(m.len(), 100);
         m.multi_insert((0..50).map(|i| (i % 10, 1000 + i)).collect());

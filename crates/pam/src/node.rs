@@ -267,11 +267,7 @@ where
     let hr = validate(g, &n.right, Some(&n.key), hi);
     assert!(hl.abs_diff(hr) <= 1, "AVL invariant violated: {hl} vs {hr}");
     assert_eq!(n.height, hl.max(hr) + 1, "stale height");
-    assert_eq!(
-        n.size,
-        size(&n.left) + size(&n.right) + 1,
-        "stale size"
-    );
+    assert_eq!(n.size, size(&n.left) + size(&n.right) + 1, "stale size");
     let mut a = g.base(&n.key, &n.val);
     if let Some(l) = &n.left {
         a = g.combine(&l.aug, &a);

@@ -173,10 +173,7 @@ where
                 g: self.g.clone(),
             },
             found,
-            Self {
-                root: r,
-                g: self.g,
-            },
+            Self { root: r, g: self.g },
         )
     }
 
@@ -493,10 +490,7 @@ where
     let (l, _, r) = split(g, Some(t), key);
     let (lk, rk) = (&keys[..mid], &keys[mid + 1..]);
     let (l, r) = if size(&l) + size(&r) > PAR_CUTOFF {
-        rayon::join(
-            || multi_delete_rec(g, l, lk),
-            || multi_delete_rec(g, r, rk),
-        )
+        rayon::join(|| multi_delete_rec(g, l, lk), || multi_delete_rec(g, r, rk))
     } else {
         (multi_delete_rec(g, l, lk), multi_delete_rec(g, r, rk))
     };
@@ -718,12 +712,8 @@ mod tests {
         use std::collections::BTreeMap;
         let mut r = Rng::new(55);
         for trial in 0..10 {
-            let a: Vec<(u64, u64)> = (0..500)
-                .map(|_| (r.range(300), r.range(50)))
-                .collect();
-            let b: Vec<(u64, u64)> = (0..500)
-                .map(|_| (r.range(300), r.range(50)))
-                .collect();
+            let a: Vec<(u64, u64)> = (0..500).map(|_| (r.range(300), r.range(50))).collect();
+            let b: Vec<(u64, u64)> = (0..500).map(|_| (r.range(300), r.range(50))).collect();
             let (ma, mb): (BTreeMap<u64, u64>, BTreeMap<u64, u64>) =
                 (a.iter().copied().collect(), b.iter().copied().collect());
             let ta = AugTree::build(SumAug, a.clone());

@@ -44,10 +44,10 @@ pub mod tree_contract;
 
 pub use monoid::{MaxMonoid, MinMonoid, Monoid, SumMonoid};
 pub use pack::{filter, pack, pack_index};
+pub use radix_sort::{radix_sort_by_key, radix_sort_i64, radix_sort_u32, radix_sort_u64};
 pub use rng::{hash64, Rng};
 pub use scan::{reduce, scan_exclusive, scan_inclusive};
 pub use shuffle::random_permutation;
-pub use radix_sort::{radix_sort_by_key, radix_sort_i64, radix_sort_u32, radix_sort_u64};
 pub use sort::{par_sort, par_sort_by, par_sort_by_key};
 
 /// Grain size below which parallel primitives run sequentially.

@@ -101,11 +101,17 @@ pub fn list_rank_contract(next: &[u32], weight: &[i64], seed: u64) -> Vec<i64> {
                     nxt[x as usize].store(x, Ordering::Relaxed);
                 } else {
                     nxt[x as usize].store(y_next, Ordering::Relaxed);
-                    wgt[x as usize]
-                        .store(w_at + wgt[y as usize].load(Ordering::Relaxed), Ordering::Relaxed);
+                    wgt[x as usize].store(
+                        w_at + wgt[y as usize].load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
                 }
                 removed[y as usize].store(true, Ordering::Relaxed);
-                Some(Splice { pred: x, node: y, w_at })
+                Some(Splice {
+                    pred: x,
+                    node: y,
+                    w_at,
+                })
             })
             .collect();
         let alive_flags: Vec<bool> = active
@@ -164,6 +170,7 @@ pub fn list_rank_seq(next: &[u32], weight: &[i64]) -> Vec<i64> {
         }
     }
     let mut dist = vec![0i64; n];
+    #[allow(clippy::needless_range_loop)] // h is a list head, not an index walk
     for h in 0..n {
         if has_pred[h] {
             continue;
@@ -246,8 +253,8 @@ mod tests {
             .collect();
         let weight = vec![2i64; n];
         let d = list_rank_contract(&next, &weight, 9);
-        for i in 0..n {
-            assert_eq!(d[i], 2 * (i % 4) as i64);
+        for (i, &di) in d.iter().enumerate() {
+            assert_eq!(di, 2 * (i % 4) as i64);
         }
     }
 

@@ -108,7 +108,9 @@ where
     }
     if !src_is_v {
         // Result currently lives in `buf`.
-        v.par_iter_mut().zip(buf.par_iter()).for_each(|(d, s)| *d = *s);
+        v.par_iter_mut()
+            .zip(buf.par_iter())
+            .for_each(|(d, s)| *d = *s);
     }
 }
 

@@ -17,7 +17,10 @@ use rayon::prelude::*;
 
 /// A uniformly random permutation of `0..n`, deterministic in `seed`.
 pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
-    assert!(n <= u32::MAX as usize, "permutation indices must fit in u32");
+    assert!(
+        n <= u32::MAX as usize,
+        "permutation indices must fit in u32"
+    );
     let mut pairs: Vec<(u64, u32)> = (0..n as u32)
         .into_par_iter()
         // The index is the tiebreaker, so duplicate keys (probability

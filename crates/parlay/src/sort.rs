@@ -145,7 +145,10 @@ mod tests {
     fn sort_by_key() {
         let mut v: Vec<(u64, &str)> = vec![(3, "c"), (1, "a"), (2, "b")];
         par_sort_by_key(&mut v, |x| x.0);
-        assert_eq!(v.iter().map(|x| x.1).collect::<Vec<_>>(), vec!["a", "b", "c"]);
+        assert_eq!(
+            v.iter().map(|x| x.1).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
     }
 
     #[test]

@@ -110,14 +110,11 @@ pub fn forest_depths_contract(parent: &[u32]) -> Vec<u32> {
     // Rank the tour: dist(down(v)) = depth(v) - 1.
     let dist = list_rank_contract(&next, &weight, 0x7ee5_c0de);
     let mut depth = vec![0u32; n];
-    depth
-        .par_iter_mut()
-        .enumerate()
-        .for_each(|(v, d)| {
-            if is_non_root[v] {
-                *d = (dist[down_id[v] as usize] + 1) as u32;
-            }
-        });
+    depth.par_iter_mut().enumerate().for_each(|(v, d)| {
+        if is_non_root[v] {
+            *d = (dist[down_id[v] as usize] + 1) as u32;
+        }
+    });
     depth
 }
 

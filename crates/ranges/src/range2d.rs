@@ -38,17 +38,10 @@ pub const LEAF_SIZE: usize = 64;
 /// Sentinel for "no unfinished point".
 const NONE_X: u32 = u32::MAX;
 
-/// How the tree selects a pivot among unfinished points in a query range.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum PivotMode {
-    /// Uniformly random unfinished point (the strategy analyzed in
-    /// Lemma 5.5: `O(log n)` wake-ups per object whp).
-    Random,
-    /// The unfinished point with the largest index — §6.4's heuristic:
-    /// "points to the right are more likely to be processed in later
-    /// rounds", so the right-most blocker is almost always the last.
-    RightMost,
-}
+// The pivot-strategy enum lives with the rest of the unified solver
+// vocabulary in the framework crate; re-exported here because the range
+// trees consume it.
+pub use phase_parallel::PivotMode;
 
 /// Aggregate over a set of points: unfinished count, max finished DP
 /// value, and max index among unfinished points.

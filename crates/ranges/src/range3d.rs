@@ -190,7 +190,11 @@ impl RangeTree3d {
                         .finish_batch(&[(pos as u32, dp)]);
                 }
                 let mid = (lo + hi) / 2;
-                idx = if a < mid { idx + 1 } else { idx + 1 + lsize as usize };
+                idx = if a < mid {
+                    idx + 1
+                } else {
+                    idx + 1 + lsize as usize
+                };
             }
         }
     }

@@ -199,7 +199,11 @@ impl RangeTree4d {
                         .finish_batch(&[(pos as u32, dp)]);
                 }
                 let mid = (lo + hi) / 2;
-                idx = if a < mid { idx + 1 } else { idx + 1 + lsize as usize };
+                idx = if a < mid {
+                    idx + 1
+                } else {
+                    idx + 1 + lsize as usize
+                };
             }
         }
     }
@@ -226,11 +230,7 @@ impl RangeTree4d {
             let qy = nd.cs.partition_point(|&x| x < qc) as u32;
             let qz = nd.ds.partition_point(|&x| x < qd) as u32;
             if qx > 0 && qy > 0 && qz > 0 {
-                let info = nd
-                    .tree
-                    .as_ref()
-                    .expect("internal")
-                    .query_prefix(qx, qy, qz);
+                let info = nd.tree.as_ref().expect("internal").query_prefix(qx, qy, qz);
                 acc.unfinished += info.unfinished;
                 if let Some(d) = info.max_dp {
                     acc.max_dp = Some(acc.max_dp.map_or(d, |m| m.max(d)));
@@ -248,15 +248,7 @@ impl RangeTree4d {
         }
     }
 
-    fn decompose(
-        &self,
-        idx: usize,
-        qa: u32,
-        qb: u32,
-        qc: u32,
-        qd: u32,
-        pieces: &mut Vec<Piece>,
-    ) {
+    fn decompose(&self, idx: usize, qa: u32, qb: u32, qc: u32, qd: u32, pieces: &mut Vec<Piece>) {
         let nd = &self.nodes[idx];
         if qa <= nd.lo {
             return;
@@ -282,11 +274,7 @@ impl RangeTree4d {
             let qy = nd.cs.partition_point(|&x| x < qc) as u32;
             let qz = nd.ds.partition_point(|&x| x < qd) as u32;
             if qx > 0 && qy > 0 && qz > 0 {
-                let info = nd
-                    .tree
-                    .as_ref()
-                    .expect("internal")
-                    .query_prefix(qx, qy, qz);
+                let info = nd.tree.as_ref().expect("internal").query_prefix(qx, qy, qz);
                 if info.unfinished > 0 {
                     pieces.push(Piece {
                         cnt: info.unfinished,
@@ -339,7 +327,12 @@ struct Piece {
 
 enum PieceKind {
     LeafPoint(u32),
-    NodeBox { node: u32, qx: u32, qy: u32, qz: u32 },
+    NodeBox {
+        node: u32,
+        qx: u32,
+        qy: u32,
+        qz: u32,
+    },
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -23,7 +23,8 @@ fn main() {
     let t_seq = t.elapsed();
 
     let t = Instant::now();
-    let (par_tree, stats) = build_par_with_stats(&freqs);
+    let report = build_par_with_stats(&freqs);
+    let (par_tree, stats) = (report.output, report.stats);
     let t_par = t.elapsed();
 
     let wpl_seq = seq_tree.weighted_path_length(&freqs);

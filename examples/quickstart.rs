@@ -1,47 +1,73 @@
-//! Quickstart: a 60-second tour of the phase-parallel API.
+//! Quickstart: a 60-second tour of the unified phase-parallel API.
+//!
+//! One calling convention for every algorithm family: build a
+//! `RunConfig`, hand it to a `Solver` (or a family's free function),
+//! get a `Report` back — output plus unified execution statistics.
 //!
 //! Run with: `cargo run --release -p pp-algos --example quickstart`
 
-use pp_algos::activity::{self, Activity};
-use pp_algos::lis::{self, PivotMode};
-use pp_algos::mis;
+use phase_parallel::{PivotMode, RunConfig, Solver};
+use pp_algos::api::{ActivityType1, ActivityType2, GraphPriorityInstance, GreedyMis, Lis};
+use pp_algos::registry::{self, CaseSpec};
+use pp_algos::{activity, lis};
 use pp_graph::gen;
 use pp_parlay::shuffle::random_priorities;
 
 fn main() {
-    // --- LIS: the paper's headline Type 2 algorithm (Algorithm 3) ---
+    // --- The Solver handle: algorithm + configuration, reusable ---
+    let cfg = RunConfig::seeded(7).with_pivot_mode(PivotMode::RightMost);
+    let solver = Solver::new(Lis).with_config(cfg);
+
+    // LIS: the paper's headline Type 2 algorithm (Algorithm 3).
     let series = lis::patterns::segment(100_000, 50, 42);
-    let result = lis::lis_par(&series, PivotMode::RightMost, 7);
+    let report = solver.solve(&series);
     println!(
         "LIS of 100k-element segment pattern: length={} ({} rounds, {:.2} avg wake-ups)",
-        result.length,
-        result.stats.rounds,
-        result.stats.avg_wakeups()
+        report.output,
+        report.stats.rounds,
+        report.stats.avg_wakeups()
     );
-    assert_eq!(result.length, lis::lis_seq(&series));
+    assert_eq!(report.output, solver.solve_seq(&series));
 
     // --- Activity selection: Type 1 vs Type 2 (Algorithm 2, §5.1) ---
-    let acts: Vec<Activity> = activity::workload::with_target_rank(100_000, 100, 1);
-    let (w1, s1) = activity::max_weight_type1(&acts);
-    let (w2, s2) = activity::max_weight_type2(&acts);
-    assert_eq!(w1, w2);
+    let acts = activity::workload::with_target_rank(100_000, 100, 1);
+    let r1 = Solver::new(ActivityType1).solve_checked(&acts);
+    let r2 = Solver::new(ActivityType2).solve_checked(&acts);
+    assert_eq!(r1.output, r2.output);
     println!(
-        "Activity selection on 100k activities: best weight {w1} \
+        "Activity selection on 100k activities: best weight {} \
          (type1 {} rounds, type2 {} rounds, rank {})",
-        s1.rounds,
-        s2.rounds,
+        r1.output,
+        r1.stats.rounds,
+        r2.stats.rounds,
         activity::ranks(&acts).iter().max().unwrap()
     );
 
     // --- Greedy MIS via TAS trees (Algorithm 4) ---
     let g = gen::rmat(14, 1 << 17, 3);
     let pri = random_priorities(g.num_vertices(), 4);
-    let set = mis::mis_tas(&g, &pri);
-    let size = set.iter().filter(|&&x| x).count();
-    assert!(mis::is_maximal_independent(&g, &set));
+    let input = GraphPriorityInstance::new(g, pri);
+    let report = Solver::new(GreedyMis).solve_checked(&input);
+    let size = report.output.iter().filter(|&&x| x).count();
     println!(
         "Greedy MIS on an RMAT graph ({} vertices, {} arcs): |MIS| = {size}",
-        g.num_vertices(),
-        g.num_edges()
+        input.graph.num_vertices(),
+        input.graph.num_edges()
     );
+
+    // --- Generic dispatch: any algorithm by name, via the registry ---
+    println!("\nRegistry sweep (size 2000, every family, par == seq):");
+    let case = CaseSpec::new(2000, 9);
+    let cfg = RunConfig::seeded(9);
+    for entry in registry::registry() {
+        let outcome = entry.run_case(&case, &cfg);
+        assert!(outcome.agrees(), "{} diverged", entry.name());
+        println!(
+            "  {:<24} {:>5} rounds  [{:?}]",
+            entry.name(),
+            outcome.stats.rounds,
+            entry.engine()
+        );
+    }
+    println!("All registered algorithms reproduced their sequential baselines. ✓");
 }

@@ -112,8 +112,14 @@ fn main() {
 
     for (name, priority) in [
         ("random (R)", order_random(&g, 7)),
-        ("largest-degree-first (LF)", order_largest_degree_first(&g, 7)),
-        ("largest-log-degree-first (LLF)", order_largest_log_degree_first(&g, 7)),
+        (
+            "largest-degree-first (LF)",
+            order_largest_degree_first(&g, 7),
+        ),
+        (
+            "largest-log-degree-first (LLF)",
+            order_largest_log_degree_first(&g, 7),
+        ),
     ] {
         let colors = coloring_par(&g, &priority);
         assert!(is_proper_coloring(&g, &colors), "{name}: improper coloring");

@@ -9,6 +9,7 @@
 //! Run with: `cargo run --release -p pp-algos --example routing`
 
 use pp_algos::sssp::{delta_stepping, dijkstra};
+use pp_algos::RunConfig;
 use pp_graph::gen;
 use std::time::Instant;
 
@@ -30,14 +31,14 @@ fn run(name: &str, g: &pp_graph::Graph) {
         ("Δ = w_max (≈ Bellman-Ford)", w_max * 1024),
     ] {
         let t = Instant::now();
-        let (d, stats) = delta_stepping(g, 0, delta);
-        assert_eq!(d, base);
+        let report = delta_stepping(g, 0, &RunConfig::new().with_delta(delta));
+        assert_eq!(report.output, base);
         println!(
             "  {label:28}: {:>10?}  buckets={:<6} substeps={:<6} relaxations={}",
             t.elapsed(),
-            stats.buckets_processed,
-            stats.substeps,
-            stats.relaxations
+            report.stats.rounds,
+            report.stats.counter("substeps").unwrap_or(0),
+            report.stats.counter("relaxations").unwrap_or(0)
         );
     }
 }

@@ -25,7 +25,8 @@ fn main() {
         println!("  classic sequential DP: {best_seq:>20}  in {t_seq:?}");
 
         let t = Instant::now();
-        let (best_t1, s1) = activity::max_weight_type1(&acts);
+        let r1 = activity::max_weight_type1(&acts);
+        let (best_t1, s1) = (r1.output, r1.stats);
         let t_t1 = t.elapsed();
         println!(
             "  phase-parallel Type 1: {best_t1:>20}  in {t_t1:?}  ({} rounds)",
@@ -33,7 +34,8 @@ fn main() {
         );
 
         let t = Instant::now();
-        let (best_t2, s2) = activity::max_weight_type2(&acts);
+        let r2 = activity::max_weight_type2(&acts);
+        let (best_t2, s2) = (r2.output, r2.stats);
         let t_t2 = t.elapsed();
         println!(
             "  phase-parallel Type 2: {best_t2:>20}  in {t_t2:?}  ({} rounds, {} wake-ups)",

@@ -7,6 +7,7 @@
 //! Run with: `cargo run --release -p pp-algos --example stock_lis`
 
 use pp_algos::lis::{lis_par, lis_seq, patterns, PivotMode};
+use pp_algos::RunConfig;
 use std::time::Instant;
 
 fn main() {
@@ -14,8 +15,14 @@ fn main() {
 
     for (name, series) in [
         ("segment pattern, ~30 regimes", patterns::segment(n, 30, 1)),
-        ("segment pattern, ~1000 regimes", patterns::segment(n, 1000, 2)),
-        ("line pattern (drift + noise)", patterns::line_with_target(n, 300, 3)),
+        (
+            "segment pattern, ~1000 regimes",
+            patterns::segment(n, 1000, 2),
+        ),
+        (
+            "line pattern (drift + noise)",
+            patterns::line_with_target(n, 300, 3),
+        ),
     ] {
         println!("\n== {name} ({n} ticks) ==");
         let t = Instant::now();
@@ -25,12 +32,12 @@ fn main() {
 
         for mode in [PivotMode::RightMost, PivotMode::Random] {
             let t = Instant::now();
-            let res = lis_par(&series, mode, 4);
+            let res = lis_par(&series, &RunConfig::seeded(4).with_pivot_mode(mode));
             let dt = t.elapsed();
-            assert_eq!(res.length, k_seq);
+            assert_eq!(res.output, k_seq);
             println!(
                 "  parallel {mode:?}: k={} in {dt:?} ({} rounds, avg wake-ups {:.2})",
-                res.length,
+                res.output,
                 res.stats.rounds,
                 res.stats.avg_wakeups()
             );

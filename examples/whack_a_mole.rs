@@ -15,6 +15,7 @@
 
 use pp_algos::lis::PivotMode;
 use pp_algos::whac::{whac2d_par, whac2d_seq, whac_par, whac_seq, Mole, Mole2d};
+use pp_algos::RunConfig;
 use pp_parlay::rng::Rng;
 use std::time::Instant;
 
@@ -54,7 +55,9 @@ fn main() {
         let want = whac_seq(&moles);
         let t_seq = t0.elapsed();
         let t0 = Instant::now();
-        let (got, stats) = whac_par(&moles, PivotMode::RightMost, 5);
+        let cfg = RunConfig::seeded(5).with_pivot_mode(PivotMode::RightMost);
+        let report = whac_par(&moles, &cfg);
+        let (got, stats) = (report.output, report.stats);
         let t_par = t0.elapsed();
         assert_eq!(got, want);
         println!(
@@ -66,13 +69,18 @@ fn main() {
     }
 
     println!("\n— 2D grid (Appendix B closing remark, 4D dominance) —");
-    for (label, side) in [("small grid (dense play)", 8u64), ("large grid (sparse)", 1000)] {
+    for (label, side) in [
+        ("small grid (dense play)", 8u64),
+        ("large grid (sparse)", 1000),
+    ] {
         let moles = session_2d(20_000, side, 10);
         let t0 = Instant::now();
         let want = whac2d_seq(&moles);
         let t_seq = t0.elapsed();
         let t0 = Instant::now();
-        let (got, stats) = whac2d_par(&moles, PivotMode::RightMost, 6);
+        let cfg = RunConfig::seeded(6).with_pivot_mode(PivotMode::RightMost);
+        let report = whac2d_par(&moles, &cfg);
+        let (got, stats) = (report.output, report.stats);
         let t_par = t0.elapsed();
         assert_eq!(got, want);
         println!(

@@ -1,0 +1,598 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this crate vendors the *subset* of rayon's API the workspace uses,
+//! with sequential execution semantics. Every `par_*` entry point is a
+//! drop-in signature match for the real rayon (including the
+//! rayon-specific `reduce(identity, op)` shape and `Send + Sync`
+//! bounds), so the codebase compiles unchanged against either; pointing
+//! the workspace `rayon` dependency at crates.io restores real
+//! work-stealing parallelism with no source edits.
+//!
+//! Sequential execution is semantically safe here by design: every
+//! parallel algorithm in the workspace is deterministic and
+//! sequential-equivalent (the paper's central claim), so the shim
+//! changes wall-clock behavior only.
+
+use std::marker::PhantomData;
+
+/// The rayon prelude: parallel-iterator traits and slice extensions.
+pub mod prelude {
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results — rayon's fork-join primitive.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+/// Number of worker threads in the current pool. The sequential shim
+/// always has exactly one.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (unreachable in the shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]. Thread-count hints are accepted and
+/// ignored (the shim runs everything on the calling thread).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _private: (),
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { _private: () })
+    }
+}
+
+/// A "pool" that installs closures by calling them on the current thread.
+pub struct ThreadPool {
+    _private: (),
+}
+
+impl ThreadPool {
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        f()
+    }
+}
+
+pub mod iter {
+    //! Sequential implementations of the parallel-iterator traits.
+    //!
+    //! [`Par`] wraps an ordinary [`Iterator`]; the adaptor and consumer
+    //! methods mirror rayon's names and signatures (notably
+    //! `reduce(identity, op)`), delegating to the wrapped iterator.
+
+    /// A "parallel" iterator: a thin wrapper over a sequential iterator
+    /// carrying rayon's method surface.
+    pub struct Par<I>(pub(crate) I);
+
+    /// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// `&c.par_iter()` sugar for collections with a parallel ref iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `&mut c.par_iter_mut()` sugar.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoParallelIterator,
+    {
+        type Item = <&'data C as IntoParallelIterator>::Item;
+        type Iter = <&'data C as IntoParallelIterator>::Iter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoParallelIterator,
+    {
+        type Item = <&'data mut C as IntoParallelIterator>::Item;
+        type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// The core parallel-iterator trait: rayon's method names with
+    /// sequential delegation. Implemented once, for [`Par`].
+    pub trait ParallelIterator: Sized {
+        type Item;
+        type Inner: Iterator<Item = Self::Item>;
+
+        fn into_seq(self) -> Self::Inner;
+
+        fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> Par<std::iter::Map<Self::Inner, F>> {
+            Par(self.into_seq().map(f))
+        }
+
+        fn filter<F: FnMut(&Self::Item) -> bool>(
+            self,
+            f: F,
+        ) -> Par<std::iter::Filter<Self::Inner, F>> {
+            Par(self.into_seq().filter(f))
+        }
+
+        fn filter_map<R, F: FnMut(Self::Item) -> Option<R>>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FilterMap<Self::Inner, F>> {
+            Par(self.into_seq().filter_map(f))
+        }
+
+        fn flat_map<U: IntoIterator, F: FnMut(Self::Item) -> U>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<Self::Inner, U, F>> {
+            Par(self.into_seq().flat_map(f))
+        }
+
+        /// Rayon's `flat_map_iter`: like `flat_map`, but the produced
+        /// sub-iterators run sequentially — which is all the shim does
+        /// anyway.
+        fn flat_map_iter<U: IntoIterator, F: FnMut(Self::Item) -> U>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<Self::Inner, U, F>> {
+            Par(self.into_seq().flat_map(f))
+        }
+
+        fn flatten(self) -> Par<std::iter::Flatten<Self::Inner>>
+        where
+            Self::Item: IntoIterator,
+        {
+            Par(self.into_seq().flatten())
+        }
+
+        fn inspect<F: FnMut(&Self::Item)>(self, f: F) -> Par<std::iter::Inspect<Self::Inner, F>> {
+            Par(self.into_seq().inspect(f))
+        }
+
+        #[allow(clippy::type_complexity)]
+        fn update<F: FnMut(&mut Self::Item)>(
+            self,
+            f: F,
+        ) -> Par<std::iter::Map<Self::Inner, impl FnMut(Self::Item) -> Self::Item>> {
+            let mut f = f;
+            Par(self.into_seq().map(move |mut x| {
+                f(&mut x);
+                x
+            }))
+        }
+
+        fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
+            Par(self.into_seq().enumerate())
+        }
+
+        fn zip<Z: IntoParallelIterator>(
+            self,
+            other: Z,
+        ) -> Par<std::iter::Zip<Self::Inner, <Z::Iter as ParallelIterator>::Inner>> {
+            Par(self.into_seq().zip(other.into_par_iter().into_seq()))
+        }
+
+        fn chain<C: IntoParallelIterator<Item = Self::Item>>(
+            self,
+            other: C,
+        ) -> Par<std::iter::Chain<Self::Inner, <C::Iter as ParallelIterator>::Inner>> {
+            Par(self.into_seq().chain(other.into_par_iter().into_seq()))
+        }
+
+        fn take(self, n: usize) -> Par<std::iter::Take<Self::Inner>> {
+            Par(self.into_seq().take(n))
+        }
+
+        fn skip(self, n: usize) -> Par<std::iter::Skip<Self::Inner>> {
+            Par(self.into_seq().skip(n))
+        }
+
+        fn step_by(self, n: usize) -> Par<std::iter::StepBy<Self::Inner>> {
+            Par(self.into_seq().step_by(n))
+        }
+
+        fn rev(self) -> Par<std::iter::Rev<Self::Inner>>
+        where
+            Self::Inner: DoubleEndedIterator,
+        {
+            Par(self.into_seq().rev())
+        }
+
+        fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<Self::Inner>>
+        where
+            Self: ParallelIterator<Item = &'a T>,
+        {
+            Par(self.into_seq().copied())
+        }
+
+        fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<Self::Inner>>
+        where
+            Self: ParallelIterator<Item = &'a T>,
+        {
+            Par(self.into_seq().cloned())
+        }
+
+        fn with_min_len(self, _n: usize) -> Self {
+            self
+        }
+
+        fn with_max_len(self, _n: usize) -> Self {
+            self
+        }
+
+        fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+            self.into_seq().for_each(f)
+        }
+
+        fn for_each_with<T, F: FnMut(&mut T, Self::Item)>(self, mut init: T, mut f: F) {
+            self.into_seq().for_each(|x| f(&mut init, x))
+        }
+
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.into_seq().collect()
+        }
+
+        fn count(self) -> usize {
+            self.into_seq().count()
+        }
+
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.into_seq().sum()
+        }
+
+        fn min(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.into_seq().min()
+        }
+
+        fn max(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.into_seq().max()
+        }
+
+        fn min_by_key<K: Ord, F: FnMut(&Self::Item) -> K>(self, f: F) -> Option<Self::Item> {
+            self.into_seq().min_by_key(f)
+        }
+
+        fn max_by_key<K: Ord, F: FnMut(&Self::Item) -> K>(self, f: F) -> Option<Self::Item> {
+            self.into_seq().max_by_key(f)
+        }
+
+        fn all<F: FnMut(Self::Item) -> bool>(self, f: F) -> bool {
+            self.into_seq().all(f)
+        }
+
+        fn any<F: FnMut(Self::Item) -> bool>(self, f: F) -> bool {
+            self.into_seq().any(f)
+        }
+
+        /// Rayon's `find_first`: the first item (in iterator order)
+        /// matching the predicate.
+        fn find_first<F: FnMut(&Self::Item) -> bool>(self, f: F) -> Option<Self::Item> {
+            self.into_seq().find(f)
+        }
+
+        fn find_any<F: FnMut(&Self::Item) -> bool>(self, f: F) -> Option<Self::Item> {
+            self.into_seq().find(f)
+        }
+
+        fn position_first<F: FnMut(Self::Item) -> bool>(self, f: F) -> Option<usize> {
+            self.into_seq().position(f)
+        }
+
+        fn position_any<F: FnMut(Self::Item) -> bool>(self, f: F) -> Option<usize> {
+            self.into_seq().position(f)
+        }
+
+        fn partition<A, B, P>(self, predicate: P) -> (A, B)
+        where
+            A: Default + Extend<Self::Item>,
+            B: Default + Extend<Self::Item>,
+            P: FnMut(&Self::Item) -> bool,
+        {
+            let mut predicate = predicate;
+            let (mut left, mut right) = (A::default(), B::default());
+            for item in self.into_seq() {
+                if predicate(&item) {
+                    left.extend(std::iter::once(item));
+                } else {
+                    right.extend(std::iter::once(item));
+                }
+            }
+            (left, right)
+        }
+
+        /// Rayon's `reduce(identity, op)` — note the identity-producing
+        /// closure, unlike `Iterator::reduce`.
+        fn reduce<ID: Fn() -> Self::Item, OP: Fn(Self::Item, Self::Item) -> Self::Item>(
+            self,
+            identity: ID,
+            op: OP,
+        ) -> Self::Item {
+            self.into_seq().fold(identity(), op)
+        }
+
+        /// Rayon's `fold(identity, op)`: per-"thread" accumulators — the
+        /// sequential shim produces exactly one.
+        fn fold<T, ID: Fn() -> T, F: Fn(T, Self::Item) -> T>(
+            self,
+            identity: ID,
+            fold_op: F,
+        ) -> Par<std::iter::Once<T>> {
+            Par(std::iter::once(self.into_seq().fold(identity(), fold_op)))
+        }
+    }
+
+    /// Rayon's indexed refinement; the shim needs no extra methods, but
+    /// the trait exists so `use` sites and bounds compile unchanged.
+    pub trait IndexedParallelIterator: ParallelIterator {}
+    impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+
+    impl<I: Iterator> ParallelIterator for Par<I> {
+        type Item = I::Item;
+        type Inner = I;
+        fn into_seq(self) -> I {
+            self.0
+        }
+    }
+
+    // Every Par is itself IntoParallelIterator (rayon does the same),
+    // which is what makes `zip(other_par_iter)` typecheck.
+    impl<I: Iterator> IntoParallelIterator for Par<I> {
+        type Item = I::Item;
+        type Iter = Par<I>;
+        fn into_par_iter(self) -> Par<I> {
+            self
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = Par<std::vec::IntoIter<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.into_iter())
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = Par<std::slice::Iter<'a, T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.iter())
+        }
+    }
+
+    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = Par<std::slice::Iter<'a, T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.iter())
+        }
+    }
+
+    impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+        type Item = &'a mut T;
+        type Iter = Par<std::slice::IterMut<'a, T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.iter_mut())
+        }
+    }
+
+    impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+        type Item = &'a mut T;
+        type Iter = Par<std::slice::IterMut<'a, T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.iter_mut())
+        }
+    }
+
+    macro_rules! impl_range {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = Par<std::ops::Range<$t>>;
+                fn into_par_iter(self) -> Self::Iter {
+                    Par(self)
+                }
+            }
+            impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+                type Item = $t;
+                type Iter = Par<std::ops::RangeInclusive<$t>>;
+                fn into_par_iter(self) -> Self::Iter {
+                    Par(self)
+                }
+            }
+        )*};
+    }
+    impl_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod slice {
+    //! Parallel slice extensions: `par_chunks`, `par_sort_*`, …
+
+    use super::iter::Par;
+    use super::PhantomData;
+
+    /// Shared-slice extension methods.
+    pub trait ParallelSlice<T: Sync> {
+        fn as_parallel_slice(&self) -> &[T];
+
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.as_parallel_slice().chunks(chunk_size))
+        }
+
+        fn par_chunks_exact(&self, chunk_size: usize) -> Par<std::slice::ChunksExact<'_, T>> {
+            Par(self.as_parallel_slice().chunks_exact(chunk_size))
+        }
+
+        fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
+            Par(self.as_parallel_slice().windows(window_size))
+        }
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn as_parallel_slice(&self) -> &[T] {
+            self
+        }
+    }
+
+    /// Mutable-slice extension methods, including the parallel sorts.
+    pub trait ParallelSliceMut<T: Send> {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.as_parallel_slice_mut().chunks_mut(chunk_size))
+        }
+
+        fn par_chunks_exact_mut(
+            &mut self,
+            chunk_size: usize,
+        ) -> Par<std::slice::ChunksExactMut<'_, T>> {
+            Par(self.as_parallel_slice_mut().chunks_exact_mut(chunk_size))
+        }
+
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_parallel_slice_mut().sort();
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_parallel_slice_mut().sort_unstable();
+        }
+
+        fn par_sort_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
+            self.as_parallel_slice_mut().sort_by(compare);
+        }
+
+        fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
+            self.as_parallel_slice_mut().sort_unstable_by(compare);
+        }
+
+        fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
+            self.as_parallel_slice_mut().sort_by_key(key);
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
+            self.as_parallel_slice_mut().sort_unstable_by_key(key);
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    // Suppress an unused-import lint path for PhantomData while keeping
+    // the module self-contained if methods are trimmed later.
+    #[allow(dead_code)]
+    fn _phantom_anchor(_: PhantomData<()>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_filter_collect() {
+        let v: Vec<u32> = (0u32..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+        let odd: Vec<u32> = v.par_iter().copied().filter(|x| x % 4 == 2).collect();
+        assert_eq!(odd, vec![2, 6, 10, 14, 18]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let s = (1u64..=100).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn zip_chunks_and_mutation() {
+        let a = [1u32, 2, 3, 4, 5, 6];
+        let mut out = vec![0u32; 6];
+        out.par_chunks_mut(2)
+            .zip(a.par_chunks(2))
+            .for_each(|(o, i)| {
+                for (x, y) in o.iter_mut().zip(i) {
+                    *x = y * 10;
+                }
+            });
+        assert_eq!(out, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn join_and_pool() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!((a, b.as_str()), (2, "xy"));
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 1);
+    }
+
+    #[test]
+    fn find_first_and_sorts() {
+        let v = vec![5i64, 3, 8, 1];
+        assert_eq!(v.par_iter().find_first(|&&x| x > 4), Some(&5));
+        let mut w = v.clone();
+        w.par_sort_unstable_by_key(|&x| x);
+        assert_eq!(w, vec![1, 3, 5, 8]);
+    }
+}

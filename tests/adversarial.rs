@@ -7,6 +7,7 @@ use pp_algos::knapsack::{max_value_par, max_value_seq, Item};
 use pp_algos::lis::{self, PivotMode};
 use pp_algos::mis;
 use pp_algos::sssp;
+use pp_algos::RunConfig;
 use pp_graph::{gen, GraphBuilder};
 use pp_parlay::shuffle::random_priorities;
 
@@ -17,19 +18,20 @@ fn lis_rank_equals_n_chain() {
     // Strictly increasing input: rank = n, the worst case for span —
     // but still correct and exactly n+1 rounds.
     let v: Vec<i64> = (0..2000).collect();
-    let res = lis::lis_par(&v, PivotMode::RightMost, 1);
-    assert_eq!(res.length, 2000);
+    let res = lis::lis_par(
+        &v,
+        &RunConfig::seeded(1).with_pivot_mode(PivotMode::RightMost),
+    );
+    assert_eq!(res.output, 2000);
     assert_eq!(res.stats.rounds, 2001);
 }
 
 #[test]
 fn activity_rank_equals_n_chain() {
-    let acts = activity::sort_by_end(
-        (0..1500u64).map(|i| Activity::new(i, i + 1, 1)).collect(),
-    );
-    let (w, stats) = activity::max_weight_type2(&acts);
-    assert_eq!(w, 1500);
-    assert_eq!(stats.rounds, 1500);
+    let acts = activity::sort_by_end((0..1500u64).map(|i| Activity::new(i, i + 1, 1)).collect());
+    let report = activity::max_weight_type2(&acts);
+    assert_eq!(report.output, 1500);
+    assert_eq!(report.stats.rounds, 1500);
 }
 
 #[test]
@@ -55,7 +57,7 @@ fn mis_priority_chain_worst_case() {
 #[test]
 fn lis_all_equal_and_all_distinct_duplicated() {
     let v = vec![7i64; 3000];
-    assert_eq!(lis::lis_par(&v, PivotMode::Random, 0).length, 1);
+    assert_eq!(lis::lis_par(&v, &RunConfig::seeded(0)).output, 1);
     // Two interleaved copies of 0..1500: LIS length is 1500.
     let mut v: Vec<i64> = Vec::new();
     for i in 0..1500 {
@@ -63,25 +65,25 @@ fn lis_all_equal_and_all_distinct_duplicated() {
         v.push(i);
     }
     assert_eq!(lis::lis_seq(&v), 1500);
-    assert_eq!(lis::lis_par(&v, PivotMode::RightMost, 0).length, 1500);
+    let cfg = RunConfig::seeded(0).with_pivot_mode(PivotMode::RightMost);
+    assert_eq!(lis::lis_par(&v, &cfg).output, 1500);
 }
 
 #[test]
 fn activity_identical_intervals() {
     // n copies of the same interval: rank 1, pick the heaviest.
-    let acts = activity::sort_by_end(
-        (0..1000u64).map(|w| Activity::new(10, 20, w + 1)).collect(),
-    );
-    let (w, stats) = activity::max_weight_type1(&acts);
-    assert_eq!(w, 1000);
-    assert_eq!(stats.rounds, 1);
+    let acts = activity::sort_by_end((0..1000u64).map(|w| Activity::new(10, 20, w + 1)).collect());
+    let report = activity::max_weight_type1(&acts);
+    assert_eq!(report.output, 1000);
+    assert_eq!(report.stats.rounds, 1);
 }
 
 #[test]
 fn huffman_extreme_skew_and_two_symbols() {
     // Powers of two force a path-shaped tree (max rank).
     let freqs: Vec<u64> = (0..40).map(|i| 1u64 << i).collect();
-    let (t, stats) = huffman::build_par_with_stats(&freqs);
+    let report = huffman::build_par_with_stats(&freqs);
+    let (t, stats) = (report.output, report.stats);
     assert_eq!(t.height(), 39);
     assert!(stats.rounds <= 39);
     assert_eq!(
@@ -95,9 +97,9 @@ fn knapsack_boundary_weights() {
     // Item exactly equal to W, and items summing to just over W.
     let items = vec![Item::new(100, 7), Item::new(51, 4)];
     assert_eq!(max_value_seq(&items, 100), 7);
-    assert_eq!(max_value_par(&items, 100).0, 7);
-    assert_eq!(max_value_par(&items, 99).0, 4);
-    assert_eq!(max_value_par(&items, 50).0, 0);
+    assert_eq!(max_value_par(&items, 100).output, 7);
+    assert_eq!(max_value_par(&items, 99).output, 4);
+    assert_eq!(max_value_par(&items, 50).output, 0);
 }
 
 // ---- graph edge cases ----
@@ -121,7 +123,7 @@ fn sssp_parallel_heavy_multi_edges_collapse() {
     b.add_weighted(0, 1, 50);
     let g = b.build();
     assert_eq!(sssp::dijkstra(&g, 0), vec![0, 3]);
-    let (d, _) = sssp::delta_stepping(&g, 0, 1);
+    let d = sssp::delta_stepping(&g, 0, &RunConfig::new().with_delta(1)).output;
     assert_eq!(d, vec![0, 3]);
 }
 
@@ -168,8 +170,10 @@ fn activity_huge_weights_no_overflow() {
             .map(|i| Activity::new(i * 10, i * 10 + 10, u32::MAX as u64))
             .collect(),
     );
-    let (w, _) = activity::max_weight_type1(&acts);
-    assert_eq!(w, 1000 * (u32::MAX as u64));
+    assert_eq!(
+        activity::max_weight_type1(&acts).output,
+        1000 * (u32::MAX as u64)
+    );
 }
 
 #[test]
@@ -216,7 +220,9 @@ fn tree_contract_star_and_binary() {
     let d = pp_parlay::tree_contract::forest_depths_contract(&star);
     assert!(d[1..].iter().all(|&x| x == 1));
 
-    let parent: Vec<u32> = (0..n).map(|i| if i == 0 { 0 } else { (i - 1) / 2 }).collect();
+    let parent: Vec<u32> = (0..n)
+        .map(|i| if i == 0 { 0 } else { (i - 1) / 2 })
+        .collect();
     let d = pp_parlay::tree_contract::forest_depths_contract(&parent);
     for i in [0u32, 1, 2, 3, 6, 7, 62, 63, n - 1] {
         assert_eq!(d[i as usize], (u32::BITS - 1) - (i + 1).leading_zeros());
@@ -234,7 +240,7 @@ fn rho_stepping_path_graph_worst_case() {
     }
     let g = b.build();
     for rho in [1usize, 3, 1000] {
-        let (d, _) = sssp::rho_stepping(&g, 0, rho);
+        let d = sssp::rho_stepping(&g, 0, &RunConfig::new().with_rho(rho)).output;
         assert_eq!(d[n - 1], 7 * (n as u64 - 1), "rho={rho}");
     }
 }
@@ -245,16 +251,20 @@ fn crauser_uniform_weights_settle_bfs_layers() {
     // so rounds = eccentricity of the source.
     let g = gen::grid2d(40, 40);
     let wg = gen::with_uniform_weights(&g, 9, 9, 1);
-    let (d, stats) = sssp::crauser_out(&wg, 0);
-    assert_eq!(d, sssp::dijkstra(&wg, 0));
-    assert_eq!(stats.rounds, 78 + 1, "grid corner eccentricity + source round");
+    let report = sssp::crauser_out(&wg, 0);
+    assert_eq!(report.output, sssp::dijkstra(&wg, 0));
+    assert_eq!(
+        report.stats.rounds,
+        78 + 1,
+        "grid corner eccentricity + source round"
+    );
 }
 
 #[test]
 fn random_perm_reservations_tiny_and_duplicate_free() {
     use pp_algos::random_perm::random_permutation_reservations;
     for n in [0usize, 1, 2, 3] {
-        let (p, _) = random_permutation_reservations(n, 5);
+        let p = random_permutation_reservations(n, &RunConfig::seeded(5)).output;
         let mut q = p.clone();
         q.sort_unstable();
         assert_eq!(q, (0..n as u32).collect::<Vec<_>>());
@@ -267,11 +277,12 @@ fn whac2d_everything_at_origin() {
     // Same cell, increasing time: all hittable (pure waiting).
     let moles: Vec<Mole2d> = (0..500).map(|i| Mole2d { t: i, x: 0, y: 0 }).collect();
     assert_eq!(whac2d_seq(&moles), 500);
-    assert_eq!(whac2d_par(&moles, PivotMode::RightMost, 0).0, 500);
+    let rm = RunConfig::seeded(0).with_pivot_mode(PivotMode::RightMost);
+    assert_eq!(whac2d_par(&moles, &rm).output, 500);
     // Same cell, same time (duplicates): only one.
     let moles = vec![Mole2d { t: 1, x: 2, y: 3 }; 40];
     assert_eq!(whac2d_seq(&moles), 1);
-    assert_eq!(whac2d_par(&moles, PivotMode::Random, 1).0, 1);
+    assert_eq!(whac2d_par(&moles, &RunConfig::seeded(1)).output, 1);
 }
 
 #[test]

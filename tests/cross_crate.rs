@@ -12,6 +12,7 @@ use pp_algos::matching;
 use pp_algos::mis;
 use pp_algos::sssp;
 use pp_algos::whac::{whac_par, whac_seq, Mole};
+use pp_algos::RunConfig;
 use pp_graph::gen;
 use pp_parlay::rng::Rng;
 use pp_parlay::shuffle::random_priorities;
@@ -21,17 +22,17 @@ fn activity_pipeline_end_to_end() {
     for target in [1u64, 30, 3_000] {
         let acts = activity::workload::with_target_rank(30_000, target, target);
         let want = activity::max_weight_seq(&acts);
-        let (w1, s1) = activity::max_weight_type1(&acts);
-        let (w1p, _) = activity::max_weight_type1_pam(&acts);
-        let (w2, s2) = activity::max_weight_type2(&acts);
-        assert_eq!(w1, want);
-        assert_eq!(w1p, want);
-        assert_eq!(w2, want);
+        let r1 = activity::max_weight_type1(&acts);
+        let r1p = activity::max_weight_type1_pam(&acts);
+        let r2 = activity::max_weight_type2(&acts);
+        assert_eq!(r1.output, want);
+        assert_eq!(r1p.output, want);
+        assert_eq!(r2.output, want);
         // Round-efficiency: both engines run exactly rank(S) rounds.
         let rank = *activity::ranks(&acts).iter().max().unwrap() as usize;
-        assert_eq!(s1.rounds, rank);
-        assert_eq!(s2.rounds, rank);
-        assert_eq!(s2.failed_wakeups, 0, "Lemma 5.1: pivots are exact");
+        assert_eq!(r1.stats.rounds, rank);
+        assert_eq!(r2.stats.rounds, rank);
+        assert_eq!(r2.stats.failed_wakeups, 0, "Lemma 5.1: pivots are exact");
     }
 }
 
@@ -44,8 +45,8 @@ fn lis_pipeline_on_both_patterns() {
     ] {
         let want = lis::lis_seq(&series);
         for mode in [PivotMode::Random, PivotMode::RightMost] {
-            let res = lis::lis_par(&series, mode, 3);
-            assert_eq!(res.length, want, "{label} {mode:?}");
+            let res = lis::lis_par(&series, &RunConfig::seeded(3).with_pivot_mode(mode));
+            assert_eq!(res.output, want, "{label} {mode:?}");
             // Round-efficiency: rounds == LIS length + 1 (virtual round).
             assert_eq!(res.stats.rounds, want as usize + 1, "{label} {mode:?}");
         }
@@ -59,10 +60,10 @@ fn knapsack_par_matches_seq_large() {
         .map(|_| Item::new(5 + r.range(50), 1 + r.range(1000)))
         .collect();
     let w = 20_000;
-    let (v, stats) = max_value_par(&items, w);
-    assert_eq!(v, max_value_seq(&items, w));
+    let report = max_value_par(&items, w);
+    assert_eq!(report.output, max_value_seq(&items, w));
     let w_star = items.iter().map(|i| i.weight).min().unwrap();
-    assert_eq!(stats.rounds as u64, (w).div_ceil(w_star));
+    assert_eq!(report.stats.rounds as u64, (w).div_ceil(w_star));
 }
 
 #[test]
@@ -72,10 +73,13 @@ fn huffman_par_optimal_on_all_distributions() {
     // Uniform, Zipfian, exponential — the §6.2 distributions.
     let uniform: Vec<u64> = (0..n).map(|_| 1 + r.range(1000)).collect();
     let zipf: Vec<u64> = (0..n).map(|i| (1_000_000 / (i + 1)) as u64 + 1).collect();
-    let expo: Vec<u64> = (0..n).map(|_| (r.exponential(0.002) as u64).max(1)).collect();
+    let expo: Vec<u64> = (0..n)
+        .map(|_| (r.exponential(0.002) as u64).max(1))
+        .collect();
     for (freqs, label) in [(uniform, "uniform"), (zipf, "zipf"), (expo, "exponential")] {
         let seq = huffman::build_seq(&freqs);
-        let (par, stats) = huffman::build_par_with_stats(&freqs);
+        let report = huffman::build_par_with_stats(&freqs);
+        let (par, stats) = (report.output, report.stats);
         assert_eq!(
             seq.weighted_path_length(&freqs),
             par.weighted_path_length(&freqs),
@@ -105,10 +109,10 @@ fn sssp_all_algorithms_on_all_graph_shapes() {
         let wg = gen::with_uniform_weights(&g, 1 << 10, 1 << 16, 3);
         let base = sssp::dijkstra(&wg, 0);
         assert_eq!(sssp::bellman_ford(&wg, 0), base, "{label} bellman-ford");
-        let (d, _) = sssp::sssp_phase_parallel(&wg, 0);
+        let d = sssp::sssp_phase_parallel(&wg, 0).output;
         assert_eq!(d, base, "{label} phase-parallel");
         for delta in [1u64 << 8, 1 << 14, 1 << 20] {
-            let (d, _) = sssp::delta_stepping(&wg, 0, delta);
+            let d = sssp::delta_stepping(&wg, 0, &RunConfig::new().with_delta(delta)).output;
             assert_eq!(d, base, "{label} delta={delta}");
         }
     }
@@ -123,7 +127,7 @@ fn graph_greedy_trio_agree_everywhere() {
         // MIS.
         let set = mis::mis_seq(&g, &pri);
         assert_eq!(mis::mis_tas(&g, &pri), set);
-        assert_eq!(mis::mis_rounds(&g, &pri).0, set);
+        assert_eq!(mis::mis_rounds(&g, &pri).output, set);
         assert!(mis::is_maximal_independent(&g, &set));
         // Coloring.
         let col = coloring_seq(&g, &pri);
@@ -132,7 +136,7 @@ fn graph_greedy_trio_agree_everywhere() {
         // Matching.
         let epri = matching::random_edge_priorities(&g, seed + 20);
         let m = matching::matching_seq(&g, &epri);
-        assert_eq!(matching::matching_par(&g, &epri).0, m);
+        assert_eq!(matching::matching_par(&g, &epri).output, m);
         assert!(matching::is_maximal_matching(&g, &m));
     }
 }
@@ -146,13 +150,14 @@ fn results_identical_across_thread_counts() {
     let g = gen::rmat(9, 4096, 2);
     let pri = random_priorities(g.num_vertices(), 3);
     let acts = activity::workload::with_target_rank(20_000, 100, 4);
+    let lis_cfg = RunConfig::seeded(5).with_pivot_mode(PivotMode::RightMost);
     let run_all = || {
         (
-            lis::lis_par(&series, PivotMode::RightMost, 5).length,
+            lis::lis_par(&series, &lis_cfg).output,
             mis::mis_tas(&g, &pri),
             coloring_par(&g, &pri),
-            activity::max_weight_type1(&acts).0,
-            sssp::sssp_pam(&gen::with_uniform_weights(&g, 10, 100, 6), 0).0,
+            activity::max_weight_type1(&acts).output,
+            sssp::sssp_pam(&gen::with_uniform_weights(&g, 10, 100, 6), 0).output,
         )
     };
     let reference = run_all();
@@ -178,8 +183,9 @@ fn weighted_lis_and_coloring_orders_end_to_end() {
         .map(|i| 1 + (pp_parlay::hash64(2, i) % 100) as u32)
         .collect();
     let want = lis::lis_weighted_seq(&values, &weights);
-    let (res, _) = lis::lis_weighted_par(&values, &weights, PivotMode::RightMost, 3);
-    assert_eq!(res.length, want);
+    let cfg = RunConfig::seeded(3).with_pivot_mode(PivotMode::RightMost);
+    let (best, _) = lis::lis_weighted_par(&values, &weights, &cfg).output;
+    assert_eq!(best, want);
 
     // Coloring heuristics through the TAS engine.
     use pp_algos::coloring_orders::{
@@ -208,9 +214,12 @@ fn whac_a_mole_reuses_lis_machinery() {
         })
         .collect();
     let want = whac_seq(&moles);
-    let (got, stats) = whac_par(&moles, PivotMode::RightMost, 7);
-    assert_eq!(got, want);
-    assert_eq!(stats.rounds, want as usize + 1);
+    let report = whac_par(
+        &moles,
+        &RunConfig::seeded(7).with_pivot_mode(PivotMode::RightMost),
+    );
+    assert_eq!(report.output, want);
+    assert_eq!(report.stats.rounds, want as usize + 1);
 }
 
 #[test]
@@ -227,9 +236,13 @@ fn grid_whac_exercises_the_full_4d_stack() {
         .collect();
     let want = pp_algos::whac::whac2d_seq(&moles);
     for mode in [PivotMode::Random, PivotMode::RightMost] {
-        let (got, stats) = pp_algos::whac::whac2d_par(&moles, mode, 9);
-        assert_eq!(got, want);
-        assert_eq!(stats.rounds, want as usize, "round-efficiency: one per rank");
+        let cfg = RunConfig::seeded(9).with_pivot_mode(mode);
+        let report = pp_algos::whac::whac2d_par(&moles, &cfg);
+        assert_eq!(report.output, want);
+        assert_eq!(
+            report.stats.rounds, want as usize,
+            "round-efficiency: one per rank"
+        );
     }
 }
 
@@ -239,13 +252,13 @@ fn reservations_framework_end_to_end() {
     // with the sequential algorithms exactly.
     use pp_algos::random_perm::{knuth_shuffle_seq, random_permutation_reservations, swap_targets};
     let n = 40_000;
-    let (perm, stats) = random_permutation_reservations(n, 11);
-    assert_eq!(perm, knuth_shuffle_seq(n, &swap_targets(n, 11)));
-    assert!(stats.rounds < 100);
+    let report = random_permutation_reservations(n, &RunConfig::seeded(11));
+    assert_eq!(report.output, knuth_shuffle_seq(n, &swap_targets(n, 11)));
+    assert!(report.stats.rounds < 100);
 
     let g = gen::rmat(10, 8192, 12);
     let pri = matching::random_edge_priorities(&g, 13);
-    let (mask, _) = matching::matching_reservations(&g, &pri);
+    let mask = matching::matching_reservations(&g, &pri).output;
     assert_eq!(mask, matching::matching_seq(&g, &pri));
     assert!(matching::is_maximal_matching(&g, &mask));
 }
@@ -260,9 +273,12 @@ fn sssp_relaxed_rank_family_agrees_on_all_shapes() {
     ] {
         let wg = gen::with_uniform_weights(&g, 1, 10_000, 16);
         let want = sssp::dijkstra(&wg, src);
-        assert_eq!(sssp::rho_stepping(&wg, src, 64).0, want);
-        assert_eq!(sssp::crauser_out(&wg, src).0, want);
-        assert_eq!(sssp::sssp_phase_parallel(&wg, src).0, want);
+        assert_eq!(
+            sssp::rho_stepping(&wg, src, &RunConfig::new().with_rho(64)).output,
+            want
+        );
+        assert_eq!(sssp::crauser_out(&wg, src).output, want);
+        assert_eq!(sssp::sssp_phase_parallel(&wg, src).output, want);
     }
 }
 
@@ -272,9 +288,9 @@ fn mis_family_maximality_and_greedy_equality() {
     let pri = random_priorities(g.num_vertices(), 18);
     let greedy = mis::mis_seq(&g, &pri);
     assert_eq!(mis::mis_tas(&g, &pri), greedy);
-    assert_eq!(mis::mis_rounds(&g, &pri).0, greedy);
+    assert_eq!(mis::mis_rounds(&g, &pri).output, greedy);
     // Luby: maximal but a different (non-greedy) set is allowed.
-    let (luby, _) = mis::mis_luby(&g, 19);
+    let luby = mis::mis_luby(&g, &RunConfig::seeded(19)).output;
     assert!(mis::is_maximal_independent(&g, &luby));
     assert!(mis::is_maximal_independent(&g, &greedy));
 }

@@ -1,12 +1,115 @@
-//! Framework-conformance tests: the concrete algorithms' ranks match
-//! the brute-force independence-system specification of §3
-//! (Definitions 3.1, Theorems 3.2/3.4), tying the implementations back
-//! to the paper's formalism.
+//! Framework-conformance tests.
+//!
+//! Two layers:
+//!
+//! 1. **Registry conformance** — one generic suite that iterates the
+//!    string-keyed algorithm registry and asserts `solve_par ==
+//!    solve_seq` for *every* registered family on empty, singleton, and
+//!    random instances across seeds and pivot modes. Adding a family to
+//!    the registry automatically enrolls it here.
+//! 2. **Rank specification** — the concrete algorithms' ranks match the
+//!    brute-force independence-system specification of §3 (Definitions
+//!    3.1, Theorems 3.2/3.4), tying the implementations back to the
+//!    paper's formalism.
 
 use phase_parallel::rank::IndependenceSystem;
+use phase_parallel::{PivotMode, PrioritySource, RunConfig};
 use pp_algos::activity::{self, Activity};
 use pp_algos::lis;
+use pp_algos::registry::{self, CaseSpec};
 use pp_parlay::rng::Rng;
+
+// ---- layer 1: every registered algorithm is sequential-equivalent ----
+
+/// Run every registry entry on one case and assert agreement.
+fn assert_all_agree(case: CaseSpec, cfg: &RunConfig) {
+    for entry in registry::registry() {
+        let outcome = entry.run_case(&case, cfg);
+        assert!(
+            outcome.agrees(),
+            "{}: parallel output diverged from sequential on size={} seed={} cfg={cfg:?}",
+            entry.name(),
+            case.size,
+            case.seed,
+        );
+    }
+}
+
+#[test]
+fn registry_covers_every_family() {
+    // Guards against families silently dropping out of the registry.
+    let names = registry::names();
+    for family in [
+        "lis",
+        "lis/weighted",
+        "activity/type1",
+        "activity/type1-pam",
+        "activity/type2",
+        "activity/unweighted",
+        "knapsack",
+        "huffman",
+        "sssp/delta",
+        "sssp/rho",
+        "sssp/crauser",
+        "sssp/pam",
+        "sssp/bellman-ford",
+        "mis/tas",
+        "mis/rounds",
+        "coloring",
+        "matching",
+        "matching/reservations",
+        "whac",
+        "whac/2d",
+        "chain3d",
+        "chain4d",
+        "random-perm",
+    ] {
+        assert!(names.contains(&family), "{family} missing from registry");
+    }
+}
+
+#[test]
+fn conformance_on_empty_instances() {
+    assert_all_agree(CaseSpec::new(0, 1), &RunConfig::seeded(1));
+}
+
+#[test]
+fn conformance_on_singleton_instances() {
+    assert_all_agree(CaseSpec::new(1, 2), &RunConfig::seeded(2));
+    assert_all_agree(CaseSpec::new(1, 3), &RunConfig::seeded(9));
+}
+
+#[test]
+fn conformance_on_random_instances() {
+    let mut r = Rng::new(77);
+    for trial in 0..6 {
+        let size = 2 + r.range(250) as usize;
+        let cfg = RunConfig::seeded(trial).with_pivot_mode(if trial % 2 == 0 {
+            PivotMode::Random
+        } else {
+            PivotMode::RightMost
+        });
+        assert_all_agree(CaseSpec::new(size, trial + 10), &cfg);
+    }
+}
+
+#[test]
+fn conformance_with_per_algorithm_knobs() {
+    // The typed knobs must not break sequential equivalence.
+    let case = CaseSpec::new(150, 4);
+    for cfg in [
+        RunConfig::seeded(4).with_delta(3),
+        RunConfig::seeded(4).with_delta(1 << 18),
+        RunConfig::seeded(4).with_rho(1),
+        RunConfig::seeded(4).with_rho(64),
+        RunConfig::seeded(4).with_priority_source(PrioritySource::LargestDegreeFirst),
+        RunConfig::seeded(4).with_priority_source(PrioritySource::SmallestDegreeLast),
+    ] {
+        assert_all_agree(case, &cfg);
+    }
+}
+
+// ---- layer 2: rank specification (§3) ----
 
 /// LIS as an independence system (the §3 running example).
 struct LisSystem(Vec<i64>);

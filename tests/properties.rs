@@ -6,6 +6,7 @@ use pp_algos::activity::{self, Activity};
 use pp_algos::huffman;
 use pp_algos::knapsack::{max_value_par, max_value_seq, Item};
 use pp_algos::lis::{self, PivotMode};
+use pp_algos::RunConfig;
 use pp_pam::{AugTree, MaxAug, NoAug};
 use pp_parlay::monoid::{sum_monoid, MaxMonoid};
 use pp_ranges::{FenwickMax, RangeTree2d, SegTree};
@@ -170,8 +171,10 @@ proptest! {
     #[test]
     fn lis_par_equals_seq(v in prop::collection::vec(-100i64..100, 0..300), seed in any::<u64>()) {
         let want = lis::lis_seq(&v);
-        prop_assert_eq!(lis::lis_par(&v, PivotMode::Random, seed).length, want);
-        prop_assert_eq!(lis::lis_par(&v, PivotMode::RightMost, seed).length, want);
+        let cfg = RunConfig::seeded(seed);
+        prop_assert_eq!(lis::lis_par(&v, &cfg).output, want);
+        let cfg = cfg.with_pivot_mode(PivotMode::RightMost);
+        prop_assert_eq!(lis::lis_par(&v, &cfg).output, want);
     }
 
     #[test]
@@ -181,15 +184,15 @@ proptest! {
             .collect();
         let acts = activity::sort_by_end(acts);
         let want = activity::max_weight_seq(&acts);
-        prop_assert_eq!(activity::max_weight_type1(&acts).0, want);
-        prop_assert_eq!(activity::max_weight_type2(&acts).0, want);
+        prop_assert_eq!(activity::max_weight_type1(&acts).output, want);
+        prop_assert_eq!(activity::max_weight_type2(&acts).output, want);
     }
 
     #[test]
     fn knapsack_par_equals_seq(raw in prop::collection::vec((1u64..30, 0u64..100), 1..15),
                                w in 0u64..400) {
         let items: Vec<Item> = raw.into_iter().map(|(wt, v)| Item::new(wt, v)).collect();
-        prop_assert_eq!(max_value_par(&items, w).0, max_value_seq(&items, w));
+        prop_assert_eq!(max_value_par(&items, w).output, max_value_seq(&items, w));
     }
 
     #[test]
@@ -230,8 +233,8 @@ proptest! {
             want = want.max(dp[i]);
         }
         prop_assert_eq!(lis::lis_weighted_seq(&values, &weights), want);
-        let (res, _) = lis::lis_weighted_par(&values, &weights, PivotMode::Random, seed);
-        prop_assert_eq!(res.length, want);
+        let report = lis::lis_weighted_par(&values, &weights, &RunConfig::seeded(seed));
+        prop_assert_eq!(report.output.0, want);
     }
 
     #[test]
@@ -269,9 +272,9 @@ proptest! {
         let g = pp_graph::gen::uniform(120, 500, seed);
         let wg = pp_graph::gen::with_uniform_weights(&g, w_min, w_min + 200, seed + 1);
         let base = pp_algos::sssp::dijkstra(&wg, 0);
-        let (d, _) = pp_algos::sssp::delta_stepping(&wg, 0, w_min);
+        let d = pp_algos::sssp::delta_stepping(&wg, 0, &RunConfig::new().with_delta(w_min)).output;
         prop_assert_eq!(&d, &base);
-        let (d, _) = pp_algos::sssp::sssp_pam(&wg, 0);
+        let d = pp_algos::sssp::sssp_pam(&wg, 0).output;
         prop_assert_eq!(&d, &base);
     }
 
@@ -286,7 +289,7 @@ proptest! {
         prop_assert_eq!(&pp_algos::coloring::coloring_par(&g, &pri), &col);
         let epri = pp_algos::matching::random_edge_priorities(&g, seed + 9);
         let m = pp_algos::matching::matching_seq(&g, &epri);
-        prop_assert_eq!(&pp_algos::matching::matching_par(&g, &epri).0, &m);
+        prop_assert_eq!(&pp_algos::matching::matching_par(&g, &epri).output, &m);
     }
 
     #[test]
@@ -296,7 +299,7 @@ proptest! {
             .map(|(t, p)| pp_algos::whac::Mole { t, p }).collect();
         let want = pp_algos::whac::whac_brute(&moles);
         prop_assert_eq!(pp_algos::whac::whac_seq(&moles), want);
-        prop_assert_eq!(pp_algos::whac::whac_par(&moles, PivotMode::Random, seed).0, want);
+        prop_assert_eq!(pp_algos::whac::whac_par(&moles, &RunConfig::seeded(seed)).output, want);
     }
 
     #[test]
@@ -306,8 +309,10 @@ proptest! {
             .map(|(a, b, c)| pp_algos::chain3d::Point3 { a, b, c }).collect();
         let want = pp_algos::chain3d::chain3d_brute(&pts);
         prop_assert_eq!(pp_algos::chain3d::chain3d_seq(&pts), want);
-        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, PivotMode::Random, seed).0, want);
-        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, PivotMode::RightMost, seed).0, want);
+        let cfg = RunConfig::seeded(seed);
+        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, &cfg).output, want);
+        let cfg = cfg.with_pivot_mode(PivotMode::RightMost);
+        prop_assert_eq!(pp_algos::chain3d::chain3d_par(&pts, &cfg).output, want);
     }
 
     #[test]
@@ -340,7 +345,7 @@ proptest! {
         let c = pp_parlay::shuffle::random_permutation(n, seed + 2);
         let mut tree = RangeTree3d::new(&a, &b, &c, PivotMode::Random);
         let batch: Vec<(u32, u32)> = (0..n as u32)
-            .filter(|&i| pp_parlay::hash64(seed, i as u64) % 3 == 0)
+            .filter(|&i| pp_parlay::hash64(seed, i as u64).is_multiple_of(3))
             .map(|i| (i, i % 11))
             .collect();
         tree.finish_batch(&batch);
@@ -388,8 +393,9 @@ proptest! {
         // A random set of disjoint lists: successor = next index within
         // random-length blocks.
         let mut next: Vec<u32> = (0..n as u32).collect();
+        #[allow(clippy::needless_range_loop)] // the last index must stay a tail
         for i in 0..n - 1 {
-            if pp_parlay::hash64(seed, i as u64) % 4 != 0 {
+            if !pp_parlay::hash64(seed, i as u64).is_multiple_of(4) {
                 next[i] = i as u32 + 1;
             }
         }
@@ -405,7 +411,7 @@ proptest! {
     fn tree_contract_matches_pointer_jumping(n in 1usize..400, seed in any::<u64>()) {
         let parent: Vec<u32> = (0..n)
             .map(|i| {
-                if i == 0 || pp_parlay::hash64(seed, i as u64) % 5 == 0 {
+                if i == 0 || pp_parlay::hash64(seed, i as u64).is_multiple_of(5) {
                     i as u32
                 } else {
                     (pp_parlay::hash64(seed ^ 2, i as u64) % i as u64) as u32
@@ -422,7 +428,7 @@ proptest! {
     fn random_perm_reservations_equals_knuth(n in 0usize..300, seed in any::<u64>()) {
         use pp_algos::random_perm::{knuth_shuffle_seq, random_permutation_reservations, swap_targets};
         let targets = swap_targets(n, seed);
-        let (got, _) = random_permutation_reservations(n, seed);
+        let got = random_permutation_reservations(n, &RunConfig::seeded(seed)).output;
         prop_assert_eq!(got, knuth_shuffle_seq(n, &targets));
     }
 
@@ -433,7 +439,7 @@ proptest! {
         let moles: Vec<Mole2d> = moles.into_iter().map(|(t, x, y)| Mole2d { t, x, y }).collect();
         let want = whac2d_brute(&moles);
         prop_assert_eq!(whac2d_seq(&moles), want);
-        prop_assert_eq!(whac2d_par(&moles, PivotMode::Random, seed).0, want);
+        prop_assert_eq!(whac2d_par(&moles, &RunConfig::seeded(seed)).output, want);
     }
 
     #[test]
@@ -441,9 +447,9 @@ proptest! {
         let g = pp_graph::gen::uniform(n, m, seed);
         let wg = pp_graph::gen::with_uniform_weights(&g, 1, 1000, seed ^ 7);
         let want = pp_algos::sssp::dijkstra(&wg, 0);
-        let (rho, _) = pp_algos::sssp::rho_stepping(&wg, 0, 8);
+        let rho = pp_algos::sssp::rho_stepping(&wg, 0, &RunConfig::new().with_rho(8)).output;
         prop_assert_eq!(&rho, &want);
-        let (cr, _) = pp_algos::sssp::crauser_out(&wg, 0);
+        let cr = pp_algos::sssp::crauser_out(&wg, 0).output;
         prop_assert_eq!(&cr, &want);
     }
 
@@ -453,7 +459,7 @@ proptest! {
         let g = pp_graph::gen::uniform(n, m, seed);
         let pri = matching::random_edge_priorities(&g, seed ^ 3);
         let want = matching::matching_seq(&g, &pri);
-        let (got, _) = matching::matching_reservations(&g, &pri);
+        let got = matching::matching_reservations(&g, &pri).output;
         prop_assert_eq!(got, want);
     }
 
