@@ -33,10 +33,11 @@ use crate::mis;
 use crate::random_perm;
 use crate::sssp;
 use crate::whac::{whac2d_par, whac2d_seq, whac_par, whac_seq, Mole, Mole2d};
-use phase_parallel::{PhaseAlgorithm, Report, RunConfig};
+use phase_parallel::{PhaseAlgorithm, Report, RunConfig, Scratch};
 use pp_graph::Graph;
 
-/// An SSSP instance: a weighted graph and a source vertex.
+/// An SSSP instance: a weighted graph and a default source vertex
+/// (per-query overrides come from [`RunConfig::source`]).
 pub struct SsspInstance {
     pub graph: Graph,
     pub source: u32,
@@ -46,6 +47,61 @@ impl SsspInstance {
     pub fn new(graph: Graph, source: u32) -> Self {
         Self { graph, source }
     }
+
+    /// The source a given query runs from: the query's override or
+    /// this instance's default.
+    pub fn source_for(&self, cfg: &RunConfig) -> u32 {
+        cfg.source.unwrap_or(self.source)
+    }
+}
+
+/// Shared prepare/query boilerplate for the SSSP family: every member
+/// amortizes the same [`sssp::PreparedSssp`] (w*, per-vertex minimum
+/// out-weights) and differs only in how a query runs against it.
+macro_rules! impl_sssp_prepare {
+    () => {
+        type Prepared<'i>
+            = sssp::PreparedSssp<'i>
+        where
+            Self: 'i,
+            Self::Input: 'i;
+
+        fn prepare<'i>(&self, input: &'i SsspInstance) -> sssp::PreparedSssp<'i> {
+            sssp::PreparedSssp::new(&input.graph, input.source)
+        }
+    };
+}
+
+/// A prepared greedy-MIS instance: the borrowed input plus the CSR
+/// mirrors (reverse-arc slots, blocking ranks, TAS-tree leaf counts)
+/// that Algorithm 4 walks — built once, queried per run.
+pub struct PreparedMis<'i> {
+    pub instance: &'i GraphPriorityInstance,
+    pub mirrors: mis::BlockingMirrors,
+}
+
+/// A prepared coloring instance: the borrowed input plus the TAS-tree
+/// leaf counts (blocking-neighbor counts).
+pub struct PreparedColoring<'i> {
+    pub instance: &'i GraphPriorityInstance,
+    pub counts: Vec<u32>,
+}
+
+/// A prepared matching instance: the borrowed input plus the canonical
+/// undirected edge list.
+pub struct PreparedMatching<'i> {
+    pub instance: &'i GraphPriorityInstance,
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// A prepared reservations-matching instance: additionally carries the
+/// priority-sorted iterate order the speculative-for baseline consumes
+/// (the round-synchronous [`Matching`] never needs it, so it lives in a
+/// separate type rather than being computed and thrown away).
+pub struct PreparedMatchingReservations<'i> {
+    pub instance: &'i GraphPriorityInstance,
+    pub edges: Vec<(u32, u32)>,
+    pub order: Vec<u32>,
 }
 
 /// A greedy-graph-algorithm instance: a graph plus one priority per
@@ -68,6 +124,7 @@ pub struct Lis;
 impl PhaseAlgorithm for Lis {
     type Input = [i64];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "lis"
     }
@@ -86,6 +143,7 @@ pub struct WeightedLis;
 impl PhaseAlgorithm for WeightedLis {
     type Input = (Vec<i64>, Vec<u32>);
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "lis/weighted"
     }
@@ -105,6 +163,7 @@ pub struct ActivityType1;
 impl PhaseAlgorithm for ActivityType1 {
     type Input = [Activity];
     type Output = u64;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "activity/type1"
     }
@@ -122,6 +181,7 @@ pub struct ActivityType1Pam;
 impl PhaseAlgorithm for ActivityType1Pam {
     type Input = [Activity];
     type Output = u64;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "activity/type1-pam"
     }
@@ -139,6 +199,7 @@ pub struct ActivityType2;
 impl PhaseAlgorithm for ActivityType2 {
     type Input = [Activity];
     type Output = u64;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "activity/type2"
     }
@@ -157,6 +218,7 @@ pub struct UnweightedActivity;
 impl PhaseAlgorithm for UnweightedActivity {
     type Input = [Activity];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "activity/unweighted"
     }
@@ -183,6 +245,7 @@ pub struct Knapsack;
 impl PhaseAlgorithm for Knapsack {
     type Input = (Vec<Item>, u64);
     type Output = u64;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "knapsack"
     }
@@ -202,6 +265,7 @@ pub struct Huffman;
 impl PhaseAlgorithm for Huffman {
     type Input = [u64];
     type Output = u64;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "huffman"
     }
@@ -220,6 +284,7 @@ pub struct DeltaSssp;
 impl PhaseAlgorithm for DeltaSssp {
     type Input = SsspInstance;
     type Output = Vec<u64>;
+    impl_sssp_prepare!();
     fn name(&self) -> &'static str {
         "sssp/delta"
     }
@@ -227,7 +292,15 @@ impl PhaseAlgorithm for DeltaSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::delta_stepping(&input.graph, input.source, cfg)
+        sssp::delta_stepping(&input.graph, input.source_for(cfg), cfg)
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        sssp::delta_stepping_prepared(prepared, scratch, cfg)
     }
 }
 
@@ -237,6 +310,7 @@ pub struct RhoSssp;
 impl PhaseAlgorithm for RhoSssp {
     type Input = SsspInstance;
     type Output = Vec<u64>;
+    impl_sssp_prepare!();
     fn name(&self) -> &'static str {
         "sssp/rho"
     }
@@ -244,7 +318,15 @@ impl PhaseAlgorithm for RhoSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::rho_stepping(&input.graph, input.source, cfg)
+        sssp::rho_stepping(&input.graph, input.source_for(cfg), cfg)
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        sssp::rho_stepping_prepared(prepared, scratch, cfg)
     }
 }
 
@@ -254,14 +336,23 @@ pub struct CrauserSssp;
 impl PhaseAlgorithm for CrauserSssp {
     type Input = SsspInstance;
     type Output = Vec<u64>;
+    impl_sssp_prepare!();
     fn name(&self) -> &'static str {
         "sssp/crauser"
     }
     fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
         sssp::dijkstra(&input.graph, input.source)
     }
-    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::crauser_out(&input.graph, input.source)
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::crauser_out(&input.graph, input.source_for(cfg))
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        sssp::crauser_out_prepared(prepared, scratch, cfg)
     }
 }
 
@@ -271,14 +362,23 @@ pub struct PamSssp;
 impl PhaseAlgorithm for PamSssp {
     type Input = SsspInstance;
     type Output = Vec<u64>;
+    impl_sssp_prepare!();
     fn name(&self) -> &'static str {
         "sssp/pam"
     }
     fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
         sssp::dijkstra(&input.graph, input.source)
     }
-    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::sssp_pam(&input.graph, input.source)
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        sssp::sssp_pam(&input.graph, input.source_for(cfg))
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        sssp::sssp_pam_prepared(prepared, scratch, cfg)
     }
 }
 
@@ -288,14 +388,51 @@ pub struct BellmanFordSssp;
 impl PhaseAlgorithm for BellmanFordSssp {
     type Input = SsspInstance;
     type Output = Vec<u64>;
+    impl_sssp_prepare!();
     fn name(&self) -> &'static str {
         "sssp/bellman-ford"
     }
     fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
         sssp::dijkstra(&input.graph, input.source)
     }
-    fn solve_par(&self, input: &SsspInstance, _cfg: &RunConfig) -> Report<Vec<u64>> {
-        Report::plain(sssp::bellman_ford(&input.graph, input.source))
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        Report::plain(sssp::bellman_ford(&input.graph, input.source_for(cfg)))
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        Report::plain(sssp::bellman_ford_prepared(prepared, scratch, cfg))
+    }
+}
+
+/// SSSP by sequential Dijkstra behind the unified interface: the engine
+/// for serving *point* queries from a prepared instance (a batched
+/// solve parallelizes across queries rather than within one).
+pub struct DijkstraSssp;
+
+impl PhaseAlgorithm for DijkstraSssp {
+    type Input = SsspInstance;
+    type Output = Vec<u64>;
+    impl_sssp_prepare!();
+    fn name(&self) -> &'static str {
+        "sssp/dijkstra"
+    }
+    fn solve_seq(&self, input: &SsspInstance) -> Vec<u64> {
+        sssp::dijkstra(&input.graph, input.source)
+    }
+    fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
+        Report::plain(sssp::dijkstra(&input.graph, input.source_for(cfg)))
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &sssp::PreparedSssp<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Vec<u64>> {
+        Report::plain(sssp::dijkstra_prepared(prepared, scratch, cfg))
     }
 }
 
@@ -305,6 +442,12 @@ pub struct GreedyMis;
 impl PhaseAlgorithm for GreedyMis {
     type Input = GraphPriorityInstance;
     type Output = Vec<bool>;
+    type Prepared<'i>
+        = PreparedMis<'i>
+    where
+        Self: 'i,
+        Self::Input: 'i;
+
     fn name(&self) -> &'static str {
         "mis/tas"
     }
@@ -313,6 +456,26 @@ impl PhaseAlgorithm for GreedyMis {
     }
     fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
         Report::plain(mis::mis_tas(&input.graph, &input.priority))
+    }
+    fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMis<'i> {
+        PreparedMis {
+            instance: input,
+            mirrors: mis::blocking_mirrors(&input.graph, &input.priority),
+        }
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &PreparedMis<'_>,
+        scratch: &mut Scratch,
+        _cfg: &RunConfig,
+    ) -> Report<Vec<bool>> {
+        let inst = prepared.instance;
+        Report::plain(mis::mis_tas_prepared(
+            &inst.graph,
+            &inst.priority,
+            &prepared.mirrors,
+            scratch,
+        ))
     }
 }
 
@@ -323,6 +486,7 @@ pub struct RoundsMis;
 impl PhaseAlgorithm for RoundsMis {
     type Input = GraphPriorityInstance;
     type Output = Vec<bool>;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "mis/rounds"
     }
@@ -340,6 +504,12 @@ pub struct Coloring;
 impl PhaseAlgorithm for Coloring {
     type Input = GraphPriorityInstance;
     type Output = Vec<u32>;
+    type Prepared<'i>
+        = PreparedColoring<'i>
+    where
+        Self: 'i,
+        Self::Input: 'i;
+
     fn name(&self) -> &'static str {
         "coloring"
     }
@@ -348,6 +518,26 @@ impl PhaseAlgorithm for Coloring {
     }
     fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<u32>> {
         Report::plain(coloring_par(&input.graph, &input.priority))
+    }
+    fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedColoring<'i> {
+        PreparedColoring {
+            instance: input,
+            counts: crate::coloring::blocking_counts(&input.graph, &input.priority),
+        }
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &PreparedColoring<'_>,
+        scratch: &mut Scratch,
+        _cfg: &RunConfig,
+    ) -> Report<Vec<u32>> {
+        let inst = prepared.instance;
+        Report::plain(crate::coloring::coloring_par_prepared(
+            &inst.graph,
+            &inst.priority,
+            &prepared.counts,
+            scratch,
+        ))
     }
 }
 
@@ -358,6 +548,12 @@ pub struct Matching;
 impl PhaseAlgorithm for Matching {
     type Input = GraphPriorityInstance;
     type Output = Vec<bool>;
+    type Prepared<'i>
+        = PreparedMatching<'i>
+    where
+        Self: 'i,
+        Self::Input: 'i;
+
     fn name(&self) -> &'static str {
         "matching"
     }
@@ -366,6 +562,21 @@ impl PhaseAlgorithm for Matching {
     }
     fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
         matching::matching_par(&input.graph, &input.priority)
+    }
+    fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMatching<'i> {
+        PreparedMatching {
+            instance: input,
+            edges: matching::edge_list(&input.graph),
+        }
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &PreparedMatching<'_>,
+        scratch: &mut Scratch,
+        _cfg: &RunConfig,
+    ) -> Report<Vec<bool>> {
+        let inst = prepared.instance;
+        matching::matching_par_prepared(&inst.graph, &inst.priority, &prepared.edges, scratch)
     }
 }
 
@@ -376,6 +587,12 @@ pub struct MatchingReservations;
 impl PhaseAlgorithm for MatchingReservations {
     type Input = GraphPriorityInstance;
     type Output = Vec<bool>;
+    type Prepared<'i>
+        = PreparedMatchingReservations<'i>
+    where
+        Self: 'i,
+        Self::Input: 'i;
+
     fn name(&self) -> &'static str {
         "matching/reservations"
     }
@@ -385,6 +602,27 @@ impl PhaseAlgorithm for MatchingReservations {
     fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
         matching::matching_reservations(&input.graph, &input.priority)
     }
+    fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMatchingReservations<'i> {
+        PreparedMatchingReservations {
+            instance: input,
+            edges: matching::edge_list(&input.graph),
+            order: matching::priority_order(&input.priority),
+        }
+    }
+    fn solve_prepared(
+        &self,
+        prepared: &PreparedMatchingReservations<'_>,
+        _scratch: &mut Scratch,
+        _cfg: &RunConfig,
+    ) -> Report<Vec<bool>> {
+        let inst = prepared.instance;
+        matching::matching_reservations_prepared(
+            &inst.graph,
+            &inst.priority,
+            &prepared.edges,
+            &prepared.order,
+        )
+    }
 }
 
 /// 1D Whac-A-Mole (Appendix B): reduction to LIS.
@@ -393,6 +631,7 @@ pub struct Whac;
 impl PhaseAlgorithm for Whac {
     type Input = [Mole];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "whac"
     }
@@ -410,6 +649,7 @@ pub struct Whac2d;
 impl PhaseAlgorithm for Whac2d {
     type Input = [Mole2d];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "whac/2d"
     }
@@ -427,6 +667,7 @@ pub struct Chain3d;
 impl PhaseAlgorithm for Chain3d {
     type Input = [Point3];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "chain3d"
     }
@@ -444,6 +685,7 @@ pub struct Chain4d;
 impl PhaseAlgorithm for Chain4d {
     type Input = [Point4];
     type Output = u32;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "chain4d"
     }
@@ -463,6 +705,7 @@ pub struct RandomPerm;
 impl PhaseAlgorithm for RandomPerm {
     type Input = (usize, u64);
     type Output = Vec<u32>;
+    phase_parallel::impl_prepared_by_borrow!();
     fn name(&self) -> &'static str {
         "random-perm"
     }

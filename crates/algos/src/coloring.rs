@@ -11,13 +11,31 @@
 //! Both implementations produce the *identical* coloring (a function of
 //! the priorities alone).
 
-use phase_parallel::TasForest;
+use phase_parallel::{Scratch, TasForest};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Color sentinel for "not yet colored".
 const UNCOLORED: u32 = u32::MAX;
+
+/// Per-vertex count of blocking (higher-priority) neighbors — the
+/// TAS-tree leaf counts [`coloring_par`] builds its forest from. A pure
+/// function of graph + priorities: the preprocessing half of the
+/// prepared coloring query.
+pub fn blocking_counts(g: &Graph, priority: &[u32]) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert_eq!(priority.len(), n);
+    (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&u| priority[u as usize] > priority[v as usize])
+                .count() as u32
+        })
+        .collect()
+}
 
 /// Sequential greedy coloring in decreasing priority order.
 pub fn coloring_seq(g: &Graph, priority: &[u32]) -> Vec<u32> {
@@ -44,30 +62,39 @@ pub fn coloring_seq(g: &Graph, priority: &[u32]) -> Vec<u32> {
 /// Asynchronous Jones–Plassmann coloring via TAS trees. Same output as
 /// [`coloring_seq`].
 pub fn coloring_par(g: &Graph, priority: &[u32]) -> Vec<u32> {
+    coloring_par_prepared(
+        g,
+        priority,
+        &blocking_counts(g, priority),
+        &mut Scratch::new(),
+    )
+}
+
+/// The query half of [`coloring_par`]: run the coloring cascades
+/// against prebuilt [`blocking_counts`], drawing the color array from
+/// `scratch`. Same output as [`coloring_par`] (and [`coloring_seq`]).
+pub fn coloring_par_prepared(
+    g: &Graph,
+    priority: &[u32],
+    counts: &[u32],
+    scratch: &mut Scratch,
+) -> Vec<u32> {
     let n = g.num_vertices();
     assert_eq!(priority.len(), n);
-    // Blocking counts (higher-priority neighbors).
-    let counts: Vec<u32> = (0..n as u32)
-        .into_par_iter()
-        .map(|v| {
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| priority[u as usize] > priority[v as usize])
-                .count() as u32
-        })
-        .collect();
+    assert_eq!(counts.len(), n, "counts built for another graph");
     // Leaf index of arc (v → u) in v's tree when u blocks v: the count
     // of blocking neighbors before that slot — recomputable locally, so
     // here we just recompute it at mark time (degree scan is amortized
     // against the mark's O(log) path on sparse graphs; kept simple).
-    let forest = TasForest::new(&counts);
-    let color: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    let forest = TasForest::new(counts);
+    let mut color = scratch.take_vec::<AtomicU32>("coloring_color");
+    color.resize_with(n, || AtomicU32::new(UNCOLORED));
 
     struct Ctx<'a> {
         g: &'a Graph,
         priority: &'a [u32],
         forest: TasForest,
-        color: Vec<AtomicU32>,
+        color: &'a [AtomicU32],
     }
 
     /// Color `v` (all its blocking neighbors are colored) and return the
@@ -126,14 +153,16 @@ pub fn coloring_par(g: &Graph, priority: &[u32]) -> Vec<u32> {
         g,
         priority,
         forest,
-        color,
+        color: &color,
     };
     (0..n as u32).into_par_iter().for_each(|v| {
         if ctx.forest.leaves_of(v as usize) == 0 {
             cascade(&ctx, v);
         }
     });
-    ctx.color.into_iter().map(AtomicU32::into_inner).collect()
+    let out = color.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    scratch.put_vec("coloring_color", color);
+    out
 }
 
 /// Check that `color` is a proper coloring of `g`.

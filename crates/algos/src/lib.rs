@@ -27,7 +27,13 @@
 //!
 //! Every family speaks the same calling convention
 //! ([`phase_parallel::solver`]): a [`RunConfig`] of knobs in, a
-//! [`Report`] (output + unified [`ExecutionStats`]) out.
+//! [`Report`] (output + unified [`ExecutionStats`]) out — and, for
+//! repeated traffic, the prepare/query split: `prepare` builds the
+//! family's amortizable instance structure (the SSSP family's w* and
+//! minimum out-weights, the graph families' CSR mirrors, TAS-tree leaf
+//! counts and edge lists) once, and `solve_prepared` answers each
+//! query against it with buffers recycled through a
+//! [`phase_parallel::Scratch`] workspace.
 //!
 //! ```
 //! use pp_algos::lis::{lis_par, lis_seq};
@@ -52,7 +58,7 @@
 //!
 //! let entry = registry::lookup("lis").expect("registered");
 //! let outcome = entry.run_case(&CaseSpec::new(500, 7), &RunConfig::seeded(7));
-//! assert_eq!(outcome.seq_digest, outcome.par_digest); // sequential-equivalent
+//! assert_eq!(outcome.expected_digest, outcome.observed_digest); // sequential-equivalent
 //! ```
 
 pub mod activity;

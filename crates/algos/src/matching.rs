@@ -11,7 +11,7 @@
 //! mutually non-adjacent by construction — then discards edges with a
 //! newly matched endpoint.
 
-use phase_parallel::{ExecutionStats, Report};
+use phase_parallel::{ExecutionStats, Report, Scratch};
 use pp_graph::Graph;
 use pp_parlay::shuffle::random_permutation;
 use rayon::prelude::*;
@@ -58,15 +58,30 @@ pub fn matching_seq(g: &Graph, priority: &[u32]) -> Vec<bool> {
 /// Fischer–Noever), with per-round matched-edge counts in
 /// `frontier_sizes`.
 pub fn matching_par(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
-    let edges = edge_list(g);
+    matching_par_prepared(g, priority, &edge_list(g), &mut Scratch::new())
+}
+
+/// The query half of [`matching_par`]: run the rounds against a
+/// prebuilt [`edge_list`] (the prepare step), drawing the per-query
+/// endpoint tables and live set from `scratch`. Same output as
+/// [`matching_par`] (and [`matching_seq`]).
+pub fn matching_par_prepared(
+    g: &Graph,
+    priority: &[u32],
+    edges: &[(u32, u32)],
+    scratch: &mut Scratch,
+) -> Report<Vec<bool>> {
     assert_eq!(priority.len(), edges.len());
     let n = g.num_vertices();
     let mut in_matching = vec![false; edges.len()];
-    let mut vertex_matched = vec![false; n];
-    let mut live: Vec<u32> = (0..edges.len() as u32).collect();
+    let mut vertex_matched = scratch.take_vec::<bool>("matching_vertex_matched");
+    vertex_matched.resize(n, false);
+    let mut live = scratch.take_vec::<u32>("matching_live");
+    live.extend(0..edges.len() as u32);
     let mut stats = ExecutionStats::default();
     const NONE: u32 = u32::MAX;
-    let min_pri: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let mut min_pri = scratch.take_vec::<AtomicU32>("matching_min_pri");
+    min_pri.resize_with(n, || AtomicU32::new(NONE));
     while !live.is_empty() {
         // Each endpoint learns its minimum live incident edge priority.
         live.par_iter().for_each(|&e| {
@@ -105,6 +120,9 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
             !vertex_matched[u as usize] && !vertex_matched[v as usize]
         });
     }
+    scratch.put_vec("matching_vertex_matched", vertex_matched);
+    scratch.put_vec("matching_live", live);
+    scratch.put_vec("matching_min_pri", min_pri);
     Report::new(in_matching, stats)
 }
 
@@ -119,14 +137,33 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
 /// `"attempts"` counter exposes the re-examination factor
 /// (`attempts / m`).
 pub fn matching_reservations(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
+    let edges = edge_list(g);
+    matching_reservations_prepared(g, priority, &edges, &priority_order(priority))
+}
+
+/// Edge indices sorted by priority — the iterate order of the
+/// reservations baseline, a pure function of the priorities (the
+/// prepare half of [`matching_reservations_prepared`]).
+pub fn priority_order(priority: &[u32]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..priority.len() as u32).collect();
+    order.par_sort_unstable_by_key(|&e| priority[e as usize]);
+    order
+}
+
+/// The query half of [`matching_reservations`]: speculative-for over a
+/// prebuilt [`edge_list`] and [`priority_order`]. Same output as
+/// [`matching_seq`].
+pub fn matching_reservations_prepared(
+    g: &Graph,
+    priority: &[u32],
+    edges: &[(u32, u32)],
+    order: &[u32],
+) -> Report<Vec<bool>> {
     use phase_parallel::{speculative_for, ReservationProblem, ReservationTable};
     use std::sync::atomic::AtomicBool;
 
-    let edges = edge_list(g);
     assert_eq!(priority.len(), edges.len());
-    // Iterate order = sequential (priority) order.
-    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
-    order.par_sort_unstable_by_key(|&e| priority[e as usize]);
+    assert_eq!(order.len(), edges.len());
 
     struct P<'a> {
         edges: &'a [(u32, u32)],
@@ -167,8 +204,8 @@ pub fn matching_reservations(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     }
 
     let p = P {
-        edges: &edges,
-        order: &order,
+        edges,
+        order,
         vertex_matched: (0..g.num_vertices())
             .map(|_| AtomicBool::new(false))
             .collect(),

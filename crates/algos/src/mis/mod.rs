@@ -25,7 +25,7 @@ mod tas;
 pub use luby::mis_luby;
 pub use rounds::mis_rounds;
 pub use seq::mis_seq;
-pub use tas::mis_tas;
+pub use tas::{blocking_mirrors, mis_tas, mis_tas_prepared, BlockingMirrors};
 
 use pp_graph::Graph;
 

@@ -13,7 +13,7 @@
 //! that impossible — see the argument in the module tests — but the CAS
 //! keeps the code robust under any interleaving).
 
-use phase_parallel::TasForest;
+use phase_parallel::{Scratch, TasForest};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -22,27 +22,37 @@ const UNDECIDED: u8 = 0;
 const SELECTED: u8 = 1;
 const REMOVED: u8 = 2;
 
-struct State<'g> {
-    g: &'g Graph,
-    priority: &'g [u32],
-    status: Vec<AtomicU8>,
-    forest: TasForest,
+/// The CSR mirrors Algorithm 4 walks: a pure function of the graph and
+/// the priorities, so a prepared instance builds them **once** and
+/// every query skips the per-arc binary searches (`O(m log d̄)` work)
+/// they cost. Build with [`blocking_mirrors`].
+pub struct BlockingMirrors {
+    /// Arc-offset base per vertex (mirror of the CSR offsets).
+    offsets: Vec<usize>,
     /// Per-arc: slot of the reverse arc in the target's adjacency list.
     rev_slot: Vec<u32>,
     /// Per-arc `(v → u)`: the number of *blocking* neighbors of `v`
     /// strictly before this slot — i.e. `u`'s leaf index in `v`'s TAS
     /// tree when `u` blocks `v`.
     blocking_rank: Vec<u32>,
-    /// Arc-offset base per vertex (mirror of the CSR offsets).
-    offsets: Vec<usize>,
+    /// Per-vertex count of blocking (higher-priority) neighbors — the
+    /// TAS-tree leaf counts.
+    counts: Vec<u32>,
 }
 
-/// Asynchronous greedy MIS via TAS trees. Returns the same set as
-/// [`super::mis_seq`] for the same priorities.
-pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
+impl BlockingMirrors {
+    /// Per-vertex blocking-neighbor counts (TAS-tree leaf counts).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+/// Build the CSR mirrors (offsets, reverse-arc slots, blocking ranks,
+/// blocking counts) for `g` under `priority` — the preprocessing half
+/// of [`mis_tas`].
+pub fn blocking_mirrors(g: &Graph, priority: &[u32]) -> BlockingMirrors {
     let n = g.num_vertices();
     assert_eq!(priority.len(), n);
-    // CSR mirrors: offsets, reverse-arc slots, blocking ranks.
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0usize);
     for v in 0..n as u32 {
@@ -87,15 +97,54 @@ pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
             }
         });
     }
+    BlockingMirrors {
+        offsets,
+        rev_slot,
+        blocking_rank,
+        counts,
+    }
+}
+
+struct State<'g> {
+    g: &'g Graph,
+    priority: &'g [u32],
+    status: &'g [AtomicU8],
+    forest: TasForest,
+    mirrors: &'g BlockingMirrors,
+}
+
+/// Asynchronous greedy MIS via TAS trees. Returns the same set as
+/// [`super::mis_seq`] for the same priorities.
+pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
+    mis_tas_prepared(
+        g,
+        priority,
+        &blocking_mirrors(g, priority),
+        &mut Scratch::new(),
+    )
+}
+
+/// The query half of [`mis_tas`]: run the wake cascades against
+/// prebuilt [`BlockingMirrors`], drawing the status array from
+/// `scratch`. Same output as [`mis_tas`] (and [`super::mis_seq`]).
+pub fn mis_tas_prepared(
+    g: &Graph,
+    priority: &[u32],
+    mirrors: &BlockingMirrors,
+    scratch: &mut Scratch,
+) -> Vec<bool> {
+    let n = g.num_vertices();
+    assert_eq!(priority.len(), n);
+    assert_eq!(mirrors.counts.len(), n, "mirrors built for another graph");
+    let mut status = scratch.take_vec::<AtomicU8>("mis_status");
+    status.resize_with(n, || AtomicU8::new(UNDECIDED));
 
     let state = State {
         g,
         priority,
-        status: (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect(),
-        forest: TasForest::new(&counts),
-        rev_slot,
-        blocking_rank,
-        offsets,
+        status: &status,
+        forest: TasForest::new(&mirrors.counts),
+        mirrors,
     };
 
     // Kick off every vertex with no blocking neighbor, in parallel.
@@ -105,11 +154,12 @@ pub fn mis_tas(g: &Graph, priority: &[u32]) -> Vec<bool> {
         }
     });
 
-    state
-        .status
-        .into_iter()
-        .map(|s| s.into_inner() == SELECTED)
-        .collect()
+    let out = status
+        .iter()
+        .map(|s| s.load(Ordering::Relaxed) == SELECTED)
+        .collect();
+    scratch.put_vec("mis_status", status);
+    out
 }
 
 /// Select `v` and run the whole wake cascade it triggers (Algorithm 4's
@@ -152,7 +202,8 @@ fn wake_cascade(state: &State<'_>, v0: u32) {
 /// that `u` blocks (i.e. `pri[w] < pri[u]`). Returns the vertices whose
 /// trees completed (now ready to wake).
 fn removed(state: &State<'_>, u: u32) -> Vec<u32> {
-    let base = state.offsets[u as usize];
+    let m = state.mirrors;
+    let base = m.offsets[u as usize];
     state
         .g
         .neighbors(u)
@@ -164,7 +215,7 @@ fn removed(state: &State<'_>, u: u32) -> Vec<u32> {
             {
                 // Leaf of u in w's tree = number of blocking neighbors of
                 // w before the (w → u) arc.
-                let leaf = state.blocking_rank[state.rev_slot[base + s] as usize];
+                let leaf = m.blocking_rank[m.rev_slot[base + s] as usize];
                 if state.forest.mark(w as usize, leaf as usize) {
                     return Some(w);
                 }

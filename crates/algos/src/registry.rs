@@ -9,13 +9,22 @@
 //! the canonical output encoding — order-sensitive, so outputs must be
 //! deterministic) plus the unified [`ExecutionStats`].
 //!
+//! Two type-erased execution shapes:
+//!
+//! * [`AlgorithmEntry::run_case`] — one-shot: generate the instance,
+//!   run `solve_seq` and `solve_par`, digest both.
+//! * [`AlgorithmEntry::run_batch`] — prepare/query: generate the
+//!   instance, `prepare` it **once**, then answer each query config via
+//!   `solve_prepared` on a shared scratch workspace, digesting each
+//!   against a fresh one-shot `solve_par` reference.
+//!
 //! ```
 //! use phase_parallel::RunConfig;
 //! use pp_algos::registry::{self, CaseSpec};
 //!
 //! for entry in registry::registry() {
 //!     let outcome = entry.run_case(&CaseSpec::new(80, 3), &RunConfig::seeded(3));
-//!     assert_eq!(outcome.seq_digest, outcome.par_digest, "{}", entry.name());
+//!     assert_eq!(outcome.expected_digest, outcome.observed_digest, "{}", entry.name());
 //! }
 //! ```
 
@@ -26,7 +35,7 @@ use crate::chain4d::Point4;
 use crate::knapsack::Item;
 use crate::matching;
 use crate::whac::{Mole, Mole2d};
-use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig};
+use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig, Scratch};
 use pp_graph::{gen, Graph};
 use pp_parlay::rng::Rng;
 
@@ -47,23 +56,30 @@ impl CaseSpec {
     }
 }
 
-/// The outcome of one registry case: digests of both executions'
-/// outputs (equal iff the outputs are identical) and the parallel run's
-/// statistics.
+/// The outcome of one registry case: digests of the reference and
+/// tested executions (equal iff the outputs are identical) and the
+/// tested run's statistics.
+///
+/// For [`AlgorithmEntry::run_case`] the reference is `solve_seq` and
+/// the tested execution `solve_par`; for [`AlgorithmEntry::run_batch`]
+/// the reference is a fresh one-shot `solve_par` and the tested
+/// execution `solve_prepared` (one-shot-vs-sequential agreement is
+/// already covered by `run_case`, and per-query knobs like
+/// [`RunConfig::source`] are invisible to config-less `solve_seq`).
 #[derive(Clone, Debug)]
 pub struct CaseOutcome {
-    /// FNV-1a digest of the sequential baseline's output.
-    pub seq_digest: u64,
-    /// FNV-1a digest of the phase-parallel output.
-    pub par_digest: u64,
-    /// Unified statistics from the parallel run.
+    /// FNV-1a digest of the reference execution's output.
+    pub expected_digest: u64,
+    /// FNV-1a digest of the tested execution's output.
+    pub observed_digest: u64,
+    /// Unified statistics from the tested run.
     pub stats: ExecutionStats,
 }
 
 impl CaseOutcome {
-    /// Did the parallel execution reproduce the sequential output?
+    /// Did the tested execution reproduce the reference output?
     pub fn agrees(&self) -> bool {
-        self.seq_digest == self.par_digest
+        self.expected_digest == self.observed_digest
     }
 }
 
@@ -83,12 +99,13 @@ pub enum Engine {
     Baseline,
 }
 
-/// One registered algorithm: a stable name, its engine class, and a
-/// type-erased case runner.
+/// One registered algorithm: a stable name, its engine class, and
+/// type-erased one-shot and prepared-batch runners.
 pub struct AlgorithmEntry {
     name: &'static str,
     engine: Engine,
     runner: fn(&CaseSpec, &RunConfig) -> CaseOutcome,
+    batch_runner: fn(&CaseSpec, &[RunConfig], &RunConfig) -> Vec<CaseOutcome>,
 }
 
 impl AlgorithmEntry {
@@ -107,6 +124,20 @@ impl AlgorithmEntry {
     pub fn run_case(&self, case: &CaseSpec, cfg: &RunConfig) -> CaseOutcome {
         (self.runner)(case, cfg)
     }
+
+    /// Generate the instance for `case` once, `prepare` it once, and
+    /// answer every query in `queries` via `solve_prepared` on a shared
+    /// scratch workspace — each digested against a fresh one-shot
+    /// `solve_par` under the same query config. `cfg` drives instance
+    /// generation (e.g. the priority source) and the thread budget.
+    pub fn run_batch(
+        &self,
+        case: &CaseSpec,
+        queries: &[RunConfig],
+        cfg: &RunConfig,
+    ) -> Vec<CaseOutcome> {
+        (self.batch_runner)(case, queries, cfg)
+    }
 }
 
 /// Every registered algorithm. Names are stable; new families append.
@@ -119,6 +150,10 @@ pub fn registry() -> &'static [AlgorithmEntry] {
                 runner: |case, cfg| {
                     let input = $gen(case, cfg);
                     run_typed(&$algo, &input, cfg)
+                },
+                batch_runner: |case, queries, cfg| {
+                    let input = $gen(case, cfg);
+                    run_typed_batch(&$algo, &input, queries, cfg)
                 },
             }
         };
@@ -143,6 +178,7 @@ pub fn registry() -> &'static [AlgorithmEntry] {
         entry!("knapsack", Type1, Knapsack, gen_knapsack),
         entry!("huffman", Type1, Huffman, gen_freqs),
         entry!("sssp/delta", RelaxedRank, DeltaSssp, gen_sssp),
+        entry!("sssp/dijkstra", Baseline, DijkstraSssp, gen_sssp),
         entry!("sssp/rho", RelaxedRank, RhoSssp, gen_sssp),
         entry!("sssp/crauser", RelaxedRank, CrauserSssp, gen_sssp),
         entry!("sssp/pam", RelaxedRank, PamSssp, gen_sssp),
@@ -192,10 +228,42 @@ where
     let seq = algo.solve_seq(input);
     let report = cfg.install(|| algo.solve_par(input, cfg));
     CaseOutcome {
-        seq_digest: seq.digest(),
-        par_digest: report.output.digest(),
+        expected_digest: seq.digest(),
+        observed_digest: report.output.digest(),
         stats: report.stats,
     }
+}
+
+/// Prepare one typed instance once and run every query against it on a
+/// shared scratch workspace, digesting each against a fresh one-shot
+/// `solve_par` under the same query config.
+fn run_typed_batch<A>(
+    algo: &A,
+    input: &A::Input,
+    queries: &[RunConfig],
+    cfg: &RunConfig,
+) -> Vec<CaseOutcome>
+where
+    A: PhaseAlgorithm + Sync,
+    A::Input: Sync,
+    A::Output: Digest + Send,
+{
+    cfg.install(|| {
+        let prepared = algo.prepare(input);
+        let mut scratch = Scratch::new();
+        queries
+            .iter()
+            .map(|query| {
+                let one_shot = algo.solve_par(input, query);
+                let report = algo.solve_prepared(&prepared, &mut scratch, query);
+                CaseOutcome {
+                    expected_digest: one_shot.output.digest(),
+                    observed_digest: report.output.digest(),
+                    stats: report.stats,
+                }
+            })
+            .collect()
+    })
 }
 
 /// FNV-1a output digest — enough to compare two executions' outputs
@@ -405,6 +473,24 @@ mod tests {
         for entry in registry() {
             let outcome = entry.run_case(&case, &cfg);
             assert!(outcome.agrees(), "{} diverged", entry.name());
+        }
+    }
+
+    #[test]
+    fn batch_entries_agree_with_one_shot() {
+        let case = CaseSpec::new(80, 9);
+        let queries: Vec<RunConfig> = vec![
+            RunConfig::seeded(1),
+            RunConfig::seeded(2).with_delta(5),
+            RunConfig::seeded(3).with_rho(4),
+            RunConfig::seeded(4).with_source(7),
+        ];
+        for entry in registry() {
+            let outcomes = entry.run_batch(&case, &queries, &RunConfig::seeded(9));
+            assert_eq!(outcomes.len(), queries.len());
+            for (i, o) in outcomes.iter().enumerate() {
+                assert!(o.agrees(), "{} diverged on query {i}", entry.name());
+            }
         }
     }
 

@@ -2,15 +2,32 @@
 //! work-inefficient end of the SSSP spectrum (§6.3 background) — every
 //! round relaxes all out-edges of every improved vertex.
 
-use super::INF;
+use super::{PreparedSssp, INF};
+use phase_parallel::{RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shortest distances from `source` by round-synchronous relaxation.
 pub fn bellman_ford(g: &Graph, source: u32) -> Vec<u64> {
+    bellman_ford_core(g, source, &mut Scratch::new())
+}
+
+/// Per-query prepared Bellman-Ford: source from [`RunConfig::source`],
+/// distance array recycled through `scratch`. Output is identical to
+/// [`bellman_ford`].
+pub fn bellman_ford_prepared(
+    prepared: &PreparedSssp<'_>,
+    scratch: &mut Scratch,
+    cfg: &RunConfig,
+) -> Vec<u64> {
+    bellman_ford_core(prepared.graph, prepared.source_for(cfg), scratch)
+}
+
+fn bellman_ford_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
     let n = g.num_vertices();
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
+    dist.resize_with(n, || AtomicU64::new(INF));
     dist[source as usize].store(0, Ordering::Relaxed);
     let mut frontier = vec![source];
     while !frontier.is_empty() {
@@ -39,7 +56,9 @@ pub fn bellman_ford(g: &Graph, source: u32) -> Vec<u64> {
         improved.dedup();
         frontier = improved;
     }
-    dist.into_iter().map(AtomicU64::into_inner).collect()
+    let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    scratch.put_vec("sssp_dist", dist);
+    out
 }
 
 #[cfg(test)]

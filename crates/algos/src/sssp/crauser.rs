@@ -24,8 +24,8 @@
 //! sense as Dijkstra: each vertex settles exactly once and each edge is
 //! relaxed exactly once (plus an `O(active)` scan per round).
 
-use super::INF;
-use phase_parallel::{ExecutionStats, Report};
+use super::{PreparedSssp, INF};
+use phase_parallel::{ExecutionStats, Report, RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,15 +39,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `"relaxations"` counter the total edge relaxations (work-efficiency
 /// check: equals the number of edges out of reachable vertices).
 pub fn crauser_out(g: &Graph, source: u32) -> Report<Vec<u64>> {
-    let n = g.num_vertices();
     // mow[v]: minimum out-edge weight (INF for sinks — they constrain
     // nothing, since no path continues through them).
-    let mow: Vec<u64> = (0..n as u32)
+    let mow: Vec<u64> = (0..g.num_vertices() as u32)
         .into_par_iter()
         .map(|v| g.edge_weights(v).iter().copied().min().unwrap_or(INF))
         .collect();
+    crauser_out_core(g, source, &mow, &mut Scratch::new())
+}
 
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+/// Per-query prepared OUT-criterion SSSP: the per-vertex minimum
+/// out-edge weights come precomputed from [`PreparedSssp::mow`]
+/// (skipping the one-shot version's `O(m)` rescan), the source from
+/// [`RunConfig::source`], and the distance array is recycled through
+/// `scratch`. Output is identical to [`crauser_out`].
+pub fn crauser_out_prepared(
+    prepared: &PreparedSssp<'_>,
+    scratch: &mut Scratch,
+    cfg: &RunConfig,
+) -> Report<Vec<u64>> {
+    crauser_out_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        &prepared.mow,
+        scratch,
+    )
+}
+
+fn crauser_out_core(
+    g: &Graph,
+    source: u32,
+    mow: &[u64],
+    scratch: &mut Scratch,
+) -> Report<Vec<u64>> {
+    let n = g.num_vertices();
+    debug_assert_eq!(mow.len(), n);
+    let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
+    dist.resize_with(n, || AtomicU64::new(INF));
     dist[source as usize].store(0, Ordering::Relaxed);
     // Active = unsettled with a finite tentative distance. Invariant at
     // the top of each round: active holds exactly the finite unsettled
@@ -103,7 +131,9 @@ pub fn crauser_out(g: &Graph, source: u32) -> Report<Vec<u64>> {
     }
 
     stats.set_counter("relaxations", relaxations);
-    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
+    let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    scratch.put_vec("sssp_dist", dist);
+    Report::new(out, stats)
 }
 
 #[cfg(test)]

@@ -9,8 +9,8 @@
 //! Theorem 4.5) — at the cost of smaller frontiers; the Fig. 6 sweep
 //! explores exactly this tradeoff.
 
-use super::INF;
-use phase_parallel::{Report, RunConfig};
+use super::{PreparedSssp, INF};
+use phase_parallel::{Report, RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,39 +30,79 @@ pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64
     let delta = cfg
         .delta
         .unwrap_or_else(|| g.min_weight().unwrap_or(1).max(1));
+    delta_stepping_core(g, source, delta, &mut Scratch::new())
+}
+
+/// The per-query half of prepared Δ-stepping: Δ defaults to the
+/// precomputed `w_star` (no weight rescan), the source comes from
+/// [`RunConfig::source`], and the distance arrays and bucket queue are
+/// recycled through `scratch`. Output is identical to
+/// [`delta_stepping`] under the same configuration.
+pub fn delta_stepping_prepared(
+    prepared: &PreparedSssp<'_>,
+    scratch: &mut Scratch,
+    cfg: &RunConfig,
+) -> Report<Vec<u64>> {
+    let delta = cfg.delta.unwrap_or(prepared.w_star);
+    delta_stepping_core(prepared.graph, prepared.source_for(cfg), delta, scratch)
+}
+
+fn delta_stepping_core(
+    g: &Graph,
+    source: u32,
+    delta: u64,
+    scratch: &mut Scratch,
+) -> Report<Vec<u64>> {
     assert!(delta >= 1);
     assert!(g.is_weighted() || g.num_edges() == 0);
     let n = g.num_vertices();
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
+    dist.resize_with(n, || AtomicU64::new(INF));
     // Distance at which each vertex was last relaxed (INF = never):
     // avoids re-relaxing a vertex whose distance hasn't improved since.
-    let last_relaxed: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    let mut last_relaxed = scratch.take_vec::<AtomicU64>("sssp_last_relaxed");
+    last_relaxed.resize_with(n, || AtomicU64::new(INF));
     dist[source as usize].store(0, Ordering::Relaxed);
 
-    let mut buckets: Vec<Vec<u32>> = vec![vec![source]];
+    // Bucket queue: the spine and every bucket's capacity persist in
+    // the workspace across queries. `live` tracks the occupied prefix
+    // (the spine may be longer, left over from an earlier query).
+    let mut buckets = scratch.take_nested::<u32>("delta_buckets");
+    if buckets.is_empty() {
+        buckets.push(Vec::new());
+    }
+    buckets[0].push(source);
+    let mut live = 1usize;
     let mut stats = phase_parallel::ExecutionStats::default();
     let mut substeps = 0u64;
     let relax_count = AtomicU64::new(0);
 
+    // Per-substep buffers, recycled across substeps *and* (through the
+    // workspace) across queries — the bucket loop allocates nothing in
+    // steady state.
+    let mut frontier = scratch.take_vec::<u32>("delta_frontier");
+    let mut updated = scratch.take_vec::<(usize, u32)>("delta_updated");
+
     let bucket_of = |d: u64| (d / delta) as usize;
     let mut i = 0usize;
-    while i < buckets.len() {
+    while i < live {
         let mut bucket_processed = 0usize;
         loop {
             // Candidates still belonging to bucket i whose distance
             // improved since their last relaxation.
-            let mut cand = std::mem::take(&mut buckets[i]);
-            pp_parlay::par_sort(&mut cand);
-            cand.dedup();
-            let frontier: Vec<u32> = cand
-                .into_par_iter()
-                .filter(|&v| {
-                    let d = dist[v as usize].load(Ordering::Relaxed);
-                    d != INF
-                        && bucket_of(d) == i
-                        && d < last_relaxed[v as usize].load(Ordering::Relaxed)
-                })
-                .collect();
+            {
+                let cand = &mut buckets[i];
+                pp_parlay::par_sort(cand);
+                cand.dedup();
+            }
+            frontier.clear();
+            frontier.par_extend(buckets[i].par_iter().copied().filter(|&v| {
+                let d = dist[v as usize].load(Ordering::Relaxed);
+                d != INF
+                    && bucket_of(d) == i
+                    && d < last_relaxed[v as usize].load(Ordering::Relaxed)
+            }));
+            buckets[i].clear();
             if frontier.is_empty() {
                 break;
             }
@@ -76,28 +116,29 @@ pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64
             let dist_ref = &dist;
             let last_ref = &last_relaxed;
             let relax_ref = &relax_count;
-            let updated: Vec<(usize, u32)> = frontier
-                .par_iter()
-                .flat_map_iter(move |&v| {
-                    let d = last_ref[v as usize].load(Ordering::Relaxed);
-                    let ws = g.edge_weights(v);
-                    relax_ref.fetch_add(ws.len() as u64, Ordering::Relaxed);
-                    g.neighbors(v)
-                        .iter()
-                        .enumerate()
-                        .filter_map(move |(e, &u)| {
-                            let nd = d + ws[e];
-                            if nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) {
-                                Some((bucket_of(nd), u))
-                            } else {
-                                None
-                            }
-                        })
-                })
-                .collect();
-            for (b, u) in updated {
+            updated.clear();
+            updated.par_extend(frontier.par_iter().flat_map_iter(move |&v| {
+                let d = last_ref[v as usize].load(Ordering::Relaxed);
+                let ws = g.edge_weights(v);
+                relax_ref.fetch_add(ws.len() as u64, Ordering::Relaxed);
+                g.neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(e, &u)| {
+                        let nd = d + ws[e];
+                        if nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) {
+                            Some((bucket_of(nd), u))
+                        } else {
+                            None
+                        }
+                    })
+            }));
+            for &(b, u) in &updated {
                 if b >= buckets.len() {
                     buckets.resize_with(b + 1, Vec::new);
+                }
+                if b >= live {
+                    live = b + 1;
                 }
                 buckets[b].push(u);
             }
@@ -111,7 +152,13 @@ pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64
     }
     stats.set_counter("substeps", substeps);
     stats.set_counter("relaxations", relax_count.into_inner());
-    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
+    let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    scratch.put_vec("sssp_dist", dist);
+    scratch.put_vec("sssp_last_relaxed", last_relaxed);
+    scratch.put_nested("delta_buckets", buckets);
+    scratch.put_vec("delta_frontier", frontier);
+    scratch.put_vec("delta_updated", updated);
+    Report::new(out, stats)
 }
 
 #[cfg(test)]
@@ -158,6 +205,25 @@ mod tests {
         let default = delta_stepping(&wg, 0, &RunConfig::new());
         assert_eq!(default.output, explicit.output);
         assert_eq!(default.stats.rounds, explicit.stats.rounds);
+    }
+
+    #[test]
+    fn prepared_matches_one_shot_and_reuses_buffers() {
+        let g = gen::uniform(300, 1200, 8);
+        let wg = gen::with_uniform_weights(&g, 1, 500, 9);
+        let prepared = PreparedSssp::new(&wg, 0);
+        let mut scratch = Scratch::new();
+        for (i, &src) in [0u32, 5, 123].iter().enumerate() {
+            let cfg = RunConfig::seeded(1).with_source(src);
+            let from_prepared = delta_stepping_prepared(&prepared, &mut scratch, &cfg);
+            let one_shot = delta_stepping(&wg, src, &RunConfig::seeded(1));
+            assert_eq!(from_prepared.output, one_shot.output, "source {src}");
+            assert_eq!(from_prepared.stats.rounds, one_shot.stats.rounds);
+            if i > 0 {
+                // Distance arrays and bucket queue came back recycled.
+                assert!(scratch.reuses() >= 3, "reuses {}", scratch.reuses());
+            }
+        }
     }
 
     #[test]

@@ -3,16 +3,43 @@
 //! sequential iterative algorithm the phase-parallel version
 //! parallelizes.
 
-use super::INF;
+use super::{PreparedSssp, INF};
+use phase_parallel::{RunConfig, Scratch};
 use pp_graph::Graph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Shortest distances from `source`. Unreachable vertices get [`INF`].
 pub fn dijkstra(g: &Graph, source: u32) -> Vec<u64> {
+    // One-shot: the distance array is moved out, not cloned-and-parked.
+    dijkstra_core(g, source, &mut Scratch::new())
+}
+
+/// Per-query prepared Dijkstra — the sequential engine for serving
+/// point queries from a prepared instance: source from
+/// [`RunConfig::source`], distance array and heap storage recycled
+/// through `scratch`. Output is identical to [`dijkstra`].
+pub fn dijkstra_prepared(
+    prepared: &PreparedSssp<'_>,
+    scratch: &mut Scratch,
+    cfg: &RunConfig,
+) -> Vec<u64> {
+    let dist = dijkstra_core(prepared.graph, prepared.source_for(cfg), scratch);
+    let out = dist.clone();
+    scratch.put_vec("dijkstra_dist", dist);
+    out
+}
+
+/// Runs Dijkstra drawing buffers from `scratch`; the heap storage is
+/// parked back, the filled distance array is *returned by move* so the
+/// one-shot path pays no copy (the prepared wrapper clones and parks).
+fn dijkstra_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
     let n = g.num_vertices();
-    let mut dist = vec![INF; n];
-    let mut heap = BinaryHeap::new();
+    let mut dist = scratch.take_vec::<u64>("dijkstra_dist");
+    dist.resize(n, INF);
+    // The heap's backing storage round-trips through the workspace
+    // (`BinaryHeap::from` on an empty vector is free).
+    let mut heap = BinaryHeap::from(scratch.take_vec::<Reverse<(u64, u32)>>("dijkstra_heap"));
     dist[source as usize] = 0;
     heap.push(Reverse((0u64, source)));
     while let Some(Reverse((d, v))) = heap.pop() {
@@ -28,6 +55,7 @@ pub fn dijkstra(g: &Graph, source: u32) -> Vec<u64> {
             }
         }
     }
+    scratch.put_vec("dijkstra_heap", heap.into_vec());
     dist
 }
 

@@ -24,15 +24,16 @@ mod dijkstra;
 mod pam_dijkstra;
 mod rho_stepping;
 
-pub use bellman_ford::bellman_ford;
-pub use crauser::crauser_out;
-pub use delta_stepping::delta_stepping;
-pub use dijkstra::dijkstra;
-pub use pam_dijkstra::sssp_pam;
-pub use rho_stepping::{rho_stepping, DEFAULT_RHO};
+pub use bellman_ford::{bellman_ford, bellman_ford_prepared};
+pub use crauser::{crauser_out, crauser_out_prepared};
+pub use delta_stepping::{delta_stepping, delta_stepping_prepared};
+pub use dijkstra::{dijkstra, dijkstra_prepared};
+pub use pam_dijkstra::{sssp_pam, sssp_pam_prepared};
+pub use rho_stepping::{rho_stepping, rho_stepping_prepared, DEFAULT_RHO};
 
 use phase_parallel::{Report, RunConfig};
 use pp_graph::Graph;
+use rayon::prelude::*;
 
 /// Unreachable-distance sentinel.
 pub const INF: u64 = u64::MAX;
@@ -42,6 +43,59 @@ pub const INF: u64 = u64::MAX;
 pub fn sssp_phase_parallel(g: &Graph, source: u32) -> Report<Vec<u64>> {
     let w_star = g.min_weight().expect("weighted graph required").max(1);
     delta_stepping(g, source, &RunConfig::new().with_delta(w_star))
+}
+
+/// The amortized SSSP instance shared by the whole family: everything
+/// that depends on the *graph* alone is computed here once, so each
+/// per-source query (`*_prepared`) starts straight at the rounds.
+///
+/// * `w_star` — the minimum edge weight, Δ-stepping's default bucket
+///   width (Theorem 4.5) and the PA-BST algorithm's window width; a
+///   one-shot solve rescans all `m` weights for it on every call.
+/// * `mow` — per-vertex minimum out-edge weight, the OUT-criterion's
+///   settling threshold input (Crauser et al.); again an `O(m)` scan a
+///   one-shot [`crauser_out`] repeats per call.
+///
+/// The query-time source comes from [`RunConfig::source`], falling back
+/// to the instance's own `source`.
+pub struct PreparedSssp<'g> {
+    /// The (borrowed) CSR graph queries run against.
+    pub graph: &'g Graph,
+    /// Default source when a query does not override it.
+    pub source: u32,
+    /// Minimum edge weight (1 on edgeless graphs): the phase-parallel
+    /// Δ default.
+    pub w_star: u64,
+    /// Per-vertex minimum out-edge weight ([`INF`] for sinks).
+    pub mow: Vec<u64>,
+}
+
+impl<'g> PreparedSssp<'g> {
+    /// Precompute the family's shared instance structure for `graph`.
+    pub fn new(graph: &'g Graph, source: u32) -> Self {
+        let n = graph.num_vertices();
+        assert!((source as usize) < n, "source {source} out of range ({n})");
+        let w_star = graph.min_weight().unwrap_or(1).max(1);
+        let mow: Vec<u64> = (0..n as u32)
+            .into_par_iter()
+            .map(|v| graph.edge_weights(v).iter().copied().min().unwrap_or(INF))
+            .collect();
+        Self {
+            graph,
+            source,
+            w_star,
+            mow,
+        }
+    }
+
+    /// The source this query runs from: the query's
+    /// [`RunConfig::source`] override, or the instance default.
+    pub fn source_for(&self, cfg: &RunConfig) -> u32 {
+        let s = cfg.source.unwrap_or(self.source);
+        let n = self.graph.num_vertices();
+        assert!((s as usize) < n, "query source {s} out of range ({n})");
+        s
+    }
 }
 
 #[cfg(test)]

@@ -17,8 +17,8 @@
 //! Bellman-Ford). Like Δ-stepping, extra work appears only when a batch
 //! member's distance later improves.
 
-use super::INF;
-use phase_parallel::{ExecutionStats, Report, RunConfig};
+use super::{PreparedSssp, INF};
+use phase_parallel::{ExecutionStats, Report, RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,11 +37,43 @@ pub const DEFAULT_RHO: usize = 4096;
 /// included); the `"relaxations"` counter is the work proxy (`/ m`
 /// measures the overhead vs Dijkstra's exactly-once relaxation).
 pub fn rho_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
-    let rho = cfg.rho.unwrap_or(DEFAULT_RHO);
+    rho_stepping_core(
+        g,
+        source,
+        cfg.rho.unwrap_or(DEFAULT_RHO),
+        &mut Scratch::new(),
+    )
+}
+
+/// Per-query prepared ρ-stepping: source from [`RunConfig::source`],
+/// distance and pool-membership arrays recycled through `scratch`.
+/// Output is identical to [`rho_stepping`] under the same
+/// configuration.
+pub fn rho_stepping_prepared(
+    prepared: &PreparedSssp<'_>,
+    scratch: &mut Scratch,
+    cfg: &RunConfig,
+) -> Report<Vec<u64>> {
+    rho_stepping_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        cfg.rho.unwrap_or(DEFAULT_RHO),
+        scratch,
+    )
+}
+
+fn rho_stepping_core(
+    g: &Graph,
+    source: u32,
+    rho: usize,
+    scratch: &mut Scratch,
+) -> Report<Vec<u64>> {
     assert!(rho > 0, "rho must be positive");
     let n = g.num_vertices();
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    let in_pool: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
+    dist.resize_with(n, || AtomicU64::new(INF));
+    let mut in_pool = scratch.take_vec::<AtomicBool>("rho_in_pool");
+    in_pool.resize_with(n, || AtomicBool::new(false));
     dist[source as usize].store(0, Ordering::Relaxed);
     in_pool[source as usize].store(true, Ordering::Relaxed);
     let mut pool: Vec<u32> = vec![source];
@@ -123,7 +155,10 @@ pub fn rho_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>>
     }
 
     stats.set_counter("relaxations", relaxations);
-    Report::new(dist.into_iter().map(AtomicU64::into_inner).collect(), stats)
+    let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
+    scratch.put_vec("sssp_dist", dist);
+    scratch.put_vec("rho_in_pool", in_pool);
+    Report::new(out, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,162 @@
+//! Throughput bench: queries/sec for **prepared** vs **unprepared**
+//! SSSP serving repeated per-source queries against one fixed road
+//! network — the ROADMAP's heavy-traffic scenario (millions of SSSP
+//! queries against one graph).
+//!
+//! Three service tiers, worst to best:
+//!
+//! * *unprepared* — the pre-redesign calling convention: a stateless
+//!   service holds the weighted edge list and each `solve_par` query
+//!   rebuilds the instance's dependence structure (CSR construction,
+//!   w\* scan) and reallocates every hot buffer.
+//! * *reused instance* — the CSR is kept across queries but each query
+//!   is still a one-shot `solve_par` (fresh buffers, per-call w\* scan).
+//! * *prepared* — `Solver::prepare` builds the instance structure once;
+//!   queries run through `PreparedSolver::solve_batch`, recycling
+//!   distance arrays and bucket queues through a `Scratch` workspace.
+//!
+//! Prints a JSON summary (one object per thread count per family) with
+//! all three rates and the prepared speedups. `PP_SCALE` scales the
+//! graph; thread counts are requested via `RunConfig::threads` (under
+//! the sequential rayon shim they all execute on one core, so the
+//! speedups shown there are pure amortization, not parallelism).
+//!
+//! Run with: `cargo run --release -p pp-bench --bin throughput`
+
+use phase_parallel::{PhaseAlgorithm, RunConfig, Solver};
+use pp_algos::api::{DeltaSssp, DijkstraSssp, SsspInstance};
+use pp_graph::{gen, Graph, GraphBuilder};
+use std::time::Instant;
+
+/// Queries per second, measured over one pass of `queries`.
+fn qps(elapsed_secs: f64, queries: usize) -> f64 {
+    queries as f64 / elapsed_secs.max(1e-12)
+}
+
+/// The service's stored form: the raw weighted edge list (`u < v`).
+fn edge_triples(g: &Graph) -> Vec<(u32, u32, u64)> {
+    let mut edges = Vec::with_capacity(g.num_edges() / 2);
+    for u in 0..g.num_vertices() as u32 {
+        let ws = g.edge_weights(u);
+        for (i, &v) in g.neighbors(u).iter().enumerate() {
+            if u < v {
+                edges.push((u, v, ws[i]));
+            }
+        }
+    }
+    edges
+}
+
+fn build_instance(n: usize, edges: &[(u32, u32, u64)]) -> SsspInstance {
+    let mut b = GraphBuilder::new(n).symmetric().weighted();
+    b.extend(edges.iter().copied());
+    SsspInstance::new(b.build(), 0)
+}
+
+struct Tier {
+    unprepared: f64,
+    reused: f64,
+    prepared: f64,
+}
+
+fn bench_family<A>(
+    algo: A,
+    n: usize,
+    edges: &[(u32, u32, u64)],
+    queries: &[RunConfig],
+    threads: usize,
+) -> Tier
+where
+    A: PhaseAlgorithm<Input = SsspInstance, Output = Vec<u64>> + Sync,
+    for<'q> A::Prepared<'q>: Sync,
+{
+    let solver = Solver::new(algo).configure(|c| c.with_threads(threads));
+    let checksum = |d: &Vec<u64>| d.iter().copied().fold(0u64, u64::wrapping_add);
+
+    // Tier 1 — unprepared: rebuild the instance per query (the old
+    // one-shot calling convention for a stateless service).
+    let t = Instant::now();
+    let mut sum_unprepared = 0u64;
+    for q in queries {
+        let instance = build_instance(n, edges);
+        sum_unprepared =
+            sum_unprepared.wrapping_add(checksum(&solver.solve_with(&instance, q).output));
+    }
+    let unprepared = qps(t.elapsed().as_secs_f64(), queries.len());
+
+    // Tier 2 — instance kept, but every query still a one-shot solve.
+    let instance = build_instance(n, edges);
+    let t = Instant::now();
+    let mut sum_reused = 0u64;
+    for q in queries {
+        sum_reused = sum_reused.wrapping_add(checksum(&solver.solve_with(&instance, q).output));
+    }
+    let reused = qps(t.elapsed().as_secs_f64(), queries.len());
+
+    // Tier 3 — prepared once, queried as a batch with recycled scratch.
+    let prepared_solver = solver.prepare(&instance);
+    let t = Instant::now();
+    let batch = prepared_solver.solve_batch(queries);
+    let prepared = qps(t.elapsed().as_secs_f64(), queries.len());
+
+    // All three tiers must serve identical answers.
+    let sum_prepared = batch.outputs().map(checksum).fold(0u64, u64::wrapping_add);
+    assert_eq!(sum_unprepared, sum_reused, "tier outputs diverged");
+    assert_eq!(sum_reused, sum_prepared, "prepared outputs diverged");
+
+    Tier {
+        unprepared,
+        reused,
+        prepared,
+    }
+}
+
+fn main() {
+    let scale = pp_bench::scale();
+    let n = 6000 * scale;
+    let g = gen::uniform(n, 4 * n, 1);
+    let wg = gen::with_uniform_weights(&g, 1, 256, 2);
+    let edges = edge_triples(&wg);
+
+    let n_queries = 48usize;
+    let queries: Vec<RunConfig> = (0..n_queries as u64)
+        .map(|i| RunConfig::seeded(i).with_source((pp_parlay::hash64(7, i) % n as u64) as u32))
+        .collect();
+
+    println!("{{");
+    println!("  \"bench\": \"throughput\",");
+    println!("  \"vertices\": {n},");
+    println!("  \"edges\": {},", edges.len());
+    println!("  \"queries\": {n_queries},");
+    println!("  \"results\": [");
+    let mut rows = Vec::new();
+    for (family, runner) in [
+        (
+            "sssp/delta",
+            Box::new(|t| bench_family(DeltaSssp, n, &edges, &queries, t))
+                as Box<dyn Fn(usize) -> Tier>,
+        ),
+        (
+            "sssp/dijkstra",
+            Box::new(|t| bench_family(DijkstraSssp, n, &edges, &queries, t)),
+        ),
+    ] {
+        for threads in [1usize, 4, 8] {
+            let tier = runner(threads);
+            rows.push(format!(
+                "    {{\"family\": \"{family}\", \"threads\": {threads}, \
+                 \"unprepared_qps\": {:.2}, \"reused_instance_qps\": {:.2}, \
+                 \"prepared_qps\": {:.2}, \"speedup_vs_unprepared\": {:.3}, \
+                 \"speedup_vs_reused\": {:.3}}}",
+                tier.unprepared,
+                tier.reused,
+                tier.prepared,
+                tier.prepared / tier.unprepared,
+                tier.prepared / tier.reused,
+            ));
+        }
+    }
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -40,6 +40,7 @@
 
 pub mod rank;
 pub mod reservations;
+pub mod scratch;
 pub mod solver;
 pub mod stats;
 pub mod tas_tree;
@@ -48,7 +49,11 @@ pub mod type2;
 
 pub use rank::{IndependenceSystem, RankFn};
 pub use reservations::{speculative_for, ReservationProblem, ReservationTable, SpecForStats};
-pub use solver::{PhaseAlgorithm, PivotMode, PrioritySource, Report, RunConfig, Solver};
+pub use scratch::Scratch;
+pub use solver::{
+    BatchReport, PhaseAlgorithm, PivotMode, PreparedSolver, PrioritySource, Report, RunConfig,
+    Solver,
+};
 pub use stats::ExecutionStats;
 pub use tas_tree::{TasForest, TasTree};
 pub use type1::{run_type1, Type1Problem};

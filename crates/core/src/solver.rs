@@ -16,9 +16,21 @@
 //! * [`PhaseAlgorithm`] is the trait every family implements:
 //!   `solve_seq` is the sequential baseline the parallel execution must
 //!   agree with (the paper's correctness yardstick), `solve_par` the
-//!   phase-parallel run.
+//!   one-shot phase-parallel run — and, for repeated traffic, `prepare`
+//!   builds the family's amortizable instance structure once so that
+//!   `solve_prepared` can serve many queries against it.
 //! * [`Solver`] binds an algorithm to a configuration, for callers that
-//!   want a reusable handle (benches, services, the conformance suite).
+//!   want a reusable handle (benches, services, the conformance suite);
+//!   [`Solver::prepare`] upgrades it to a [`PreparedSolver`] that
+//!   answers point queries and whole batches ([`PreparedSolver::solve_batch`])
+//!   against one prepared instance, recycling per-query buffers through
+//!   a [`Scratch`] workspace.
+//!
+//! The prepare/query split is the paper's cost structure made explicit:
+//! building the dependence structure (CSR mirrors, tournament trees,
+//! range structures) is preprocessing; running rounds is the query. A
+//! service answering millions of SSSP queries against one road network
+//! pays the former once.
 //!
 //! ```
 //! use phase_parallel::{PivotMode, RunConfig};
@@ -28,6 +40,7 @@
 //! assert_eq!(cfg.pivot_mode, PivotMode::RightMost);
 //! ```
 
+use crate::scratch::Scratch;
 use crate::stats::ExecutionStats;
 
 /// How a Type 2 engine selects a pivot among unfinished predecessors.
@@ -100,6 +113,14 @@ pub struct RunConfig {
     /// layers (the registry's instance generators, benches, services)
     /// use this knob to pick the heuristic that derives it.
     pub priority_source: PrioritySource,
+    /// Per-query source-vertex override for SSSP-style families: a
+    /// prepared road network answers queries from many sources, so the
+    /// source is a *query* parameter, not an instance parameter. `None`
+    /// uses the instance's own source. Honored by `solve_par` and
+    /// `solve_prepared`; the sequential baseline `solve_seq` takes no
+    /// config and always uses the instance's source, so leave this
+    /// unset when checking parallel-vs-sequential conformance.
+    pub source: Option<u32>,
 }
 
 impl Default for RunConfig {
@@ -111,6 +132,7 @@ impl Default for RunConfig {
             delta: None,
             rho: None,
             priority_source: PrioritySource::default(),
+            source: None,
         }
     }
 }
@@ -154,6 +176,13 @@ impl RunConfig {
 
     pub fn with_priority_source(mut self, source: PrioritySource) -> Self {
         self.priority_source = source;
+        self
+    }
+
+    /// Override the source vertex for this query (see
+    /// [`RunConfig::source`]).
+    pub fn with_source(mut self, source: u32) -> Self {
+        self.source = Some(source);
         self
     }
 
@@ -223,11 +252,35 @@ impl<T> Report<T> {
 /// `solve_par(input, cfg).output == solve_seq(input)` is the paper's
 /// sequential-equivalence contract; the workspace conformance suite
 /// checks it for every registered implementation.
+///
+/// # Prepare/query
+///
+/// Families additionally split their execution into an amortizable
+/// *prepare* step ([`PhaseAlgorithm::prepare`], building the instance's
+/// dependence structure: CSR mirrors, precomputed weights, edge lists)
+/// and a repeatable *query* step ([`PhaseAlgorithm::solve_prepared`],
+/// running rounds against the prepared structure, drawing hot per-query
+/// buffers from a [`Scratch`] workspace). The contract extends to:
+/// `solve_prepared(&prepare(input), scratch, cfg).output ==
+/// solve_par(input, cfg).output` for every `cfg` and any workspace
+/// state — checked per registry entry by the conformance suite.
+///
+/// Simple families whose instances need no preprocessing opt in with
+/// one line via [`impl_prepared_by_borrow!`](crate::impl_prepared_by_borrow),
+/// which sets `Prepared<'i> = &'i Input` and routes queries to the
+/// family's `solve_par`.
 pub trait PhaseAlgorithm {
     /// Problem instance. `?Sized` so slice inputs (`[i64]`) work.
     type Input: ?Sized;
     /// Solution type (shared by both executions).
     type Output;
+    /// The amortized form of an instance: everything `solve_prepared`
+    /// needs that does not change between queries. Borrows the input
+    /// (`'i`), so preparation never copies the instance's bulk data.
+    type Prepared<'i>
+    where
+        Self: 'i,
+        Self::Input: 'i;
 
     /// Stable, human-readable name (`"lis"`, `"sssp/delta"`, …) — the
     /// key used by string-keyed registries.
@@ -236,8 +289,79 @@ pub trait PhaseAlgorithm {
     /// The sequential iterative baseline.
     fn solve_seq(&self, input: &Self::Input) -> Self::Output;
 
-    /// The phase-parallel execution under `cfg`.
+    /// Build the amortized instance once; queries run against it via
+    /// [`PhaseAlgorithm::solve_prepared`].
+    fn prepare<'i>(&self, input: &'i Self::Input) -> Self::Prepared<'i>;
+
+    /// One query against a prepared instance. Hot per-query buffers
+    /// come from (and return to) `scratch`, so repeated queries on the
+    /// same workspace run allocation-free in steady state. Output must
+    /// equal `solve_par(input, cfg).output`.
+    fn solve_prepared(
+        &self,
+        prepared: &Self::Prepared<'_>,
+        scratch: &mut Scratch,
+        cfg: &RunConfig,
+    ) -> Report<Self::Output>;
+
+    /// The one-shot phase-parallel execution under `cfg`. Kept a
+    /// required method (not defaulted to `prepare` + `solve_prepared`)
+    /// so that [`impl_prepared_by_borrow!`](crate::impl_prepared_by_borrow) —
+    /// whose `solve_prepared` delegates here — can never silently form
+    /// a mutual recursion with a defaulted body; forgetting `solve_par`
+    /// is a compile error, not a runtime stack overflow.
     fn solve_par(&self, input: &Self::Input, cfg: &RunConfig) -> Report<Self::Output>;
+}
+
+/// Implements the prepare/query half of [`PhaseAlgorithm`] for a family
+/// whose instances need no preprocessing: `Prepared<'i>` is just a
+/// borrow of the input and `solve_prepared` delegates to `solve_par`.
+///
+/// Use inside the `impl PhaseAlgorithm for …` block.
+///
+/// ```
+/// use phase_parallel::{PhaseAlgorithm, Report, RunConfig, Solver};
+///
+/// struct Doubler;
+/// impl PhaseAlgorithm for Doubler {
+///     type Input = [u64];
+///     type Output = Vec<u64>;
+///     phase_parallel::impl_prepared_by_borrow!();
+///     fn name(&self) -> &'static str { "doubler" }
+///     fn solve_seq(&self, input: &[u64]) -> Vec<u64> {
+///         input.iter().map(|x| x * 2).collect()
+///     }
+///     fn solve_par(&self, input: &[u64], _cfg: &RunConfig) -> Report<Vec<u64>> {
+///         Report::plain(self.solve_seq(input))
+///     }
+/// }
+///
+/// let solver = Solver::new(Doubler);
+/// let mut prepared = solver.prepare(&[1, 2, 3]);
+/// assert_eq!(prepared.solve().output, vec![2, 4, 6]);
+/// ```
+#[macro_export]
+macro_rules! impl_prepared_by_borrow {
+    () => {
+        type Prepared<'i>
+            = &'i Self::Input
+        where
+            Self: 'i,
+            Self::Input: 'i;
+
+        fn prepare<'i>(&self, input: &'i Self::Input) -> Self::Prepared<'i> {
+            input
+        }
+
+        fn solve_prepared(
+            &self,
+            prepared: &Self::Prepared<'_>,
+            _scratch: &mut $crate::Scratch,
+            cfg: &$crate::RunConfig,
+        ) -> $crate::Report<Self::Output> {
+            self.solve_par(prepared, cfg)
+        }
+    };
 }
 
 /// An algorithm bound to a configuration: the reusable handle that
@@ -250,6 +374,7 @@ pub trait PhaseAlgorithm {
 /// impl PhaseAlgorithm for Doubler {
 ///     type Input = [u64];
 ///     type Output = Vec<u64>;
+///     phase_parallel::impl_prepared_by_borrow!();
 ///     fn name(&self) -> &'static str { "doubler" }
 ///     fn solve_seq(&self, input: &[u64]) -> Vec<u64> {
 ///         input.iter().map(|x| x * 2).collect()
@@ -267,8 +392,13 @@ pub trait PhaseAlgorithm {
 pub struct Solver<A: PhaseAlgorithm> {
     algo: A,
     cfg: RunConfig,
-    /// Built once from `cfg.threads` so repeated solves reuse it.
+    /// Built once from `cfg.threads` so repeated solves reuse it;
+    /// rebuilt only when the thread count actually changes.
     pool: Option<rayon::ThreadPool>,
+    /// Number of dedicated pools built over this solver's lifetime
+    /// (diagnostics; lets tests pin down that reconfiguration without a
+    /// thread-count change does not thrash the pool).
+    pool_builds: u32,
 }
 
 impl<A: PhaseAlgorithm> Solver<A> {
@@ -278,25 +408,34 @@ impl<A: PhaseAlgorithm> Solver<A> {
             algo,
             cfg: RunConfig::default(),
             pool: None,
+            pool_builds: 0,
         }
     }
 
-    /// Replace the configuration.
+    /// Replace the configuration. The dedicated thread pool is rebuilt
+    /// only if [`RunConfig::threads`] actually changed.
     pub fn with_config(mut self, cfg: RunConfig) -> Self {
+        if cfg.threads != self.cfg.threads {
+            self.pool = cfg.build_pool();
+            self.pool_builds += u32::from(self.pool.is_some());
+        }
         self.cfg = cfg;
-        self.pool = self.cfg.build_pool();
         self
     }
 
     /// Edit the configuration in place via the builder methods.
-    pub fn configure(mut self, f: impl FnOnce(RunConfig) -> RunConfig) -> Self {
-        self.cfg = f(self.cfg);
-        self.pool = self.cfg.build_pool();
-        self
+    pub fn configure(self, f: impl FnOnce(RunConfig) -> RunConfig) -> Self {
+        let cfg = f(self.cfg.clone());
+        self.with_config(cfg)
     }
 
     pub fn config(&self) -> &RunConfig {
         &self.cfg
+    }
+
+    /// How many dedicated pools this solver has built (diagnostics).
+    pub fn pool_builds(&self) -> u32 {
+        self.pool_builds
     }
 
     pub fn algorithm(&self) -> &A {
@@ -311,10 +450,38 @@ impl<A: PhaseAlgorithm> Solver<A> {
         A::Input: Sync,
         A::Output: Send,
     {
-        let (algo, cfg) = (&self.algo, &self.cfg);
+        self.solve_with(input, &self.cfg)
+    }
+
+    /// Phase-parallel run under a per-call configuration, still inside
+    /// this solver's cached pool — the one-shot counterpart of
+    /// [`PreparedSolver::solve_with`] (the per-call config's `threads`
+    /// field does not re-pool; set threads on the solver).
+    pub fn solve_with(&self, input: &A::Input, cfg: &RunConfig) -> Report<A::Output>
+    where
+        A: Sync,
+        A::Input: Sync,
+        A::Output: Send,
+    {
+        let algo = &self.algo;
         match &self.pool {
             Some(pool) => pool.install(|| algo.solve_par(input, cfg)),
             None => algo.solve_par(input, cfg),
+        }
+    }
+
+    /// Build the amortized instance for `input` and return a handle
+    /// that serves repeated queries against it. The handle borrows this
+    /// solver (configuration + cached pool) and the input.
+    pub fn prepare<'s, 'i>(&'s self, input: &'i A::Input) -> PreparedSolver<'s, 'i, A>
+    where
+        A: 'i,
+    {
+        PreparedSolver {
+            solver: self,
+            prepared: self.algo.prepare(input),
+            scratch: Scratch::new(),
+            batch_scratch: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -343,6 +510,201 @@ impl<A: PhaseAlgorithm> Solver<A> {
     }
 }
 
+/// A [`Solver`] bound to one prepared instance: the handle a service
+/// holds to answer repeated queries against a fixed input. Created by
+/// [`Solver::prepare`].
+///
+/// Point queries ([`PreparedSolver::solve`], [`PreparedSolver::solve_with`])
+/// reuse one internal [`Scratch`] workspace, so their hot buffers are
+/// allocated once across the handle's lifetime. Batches
+/// ([`PreparedSolver::solve_batch`]) fan out across the solver's cached
+/// thread pool with one workspace per worker, drawn from (and returned
+/// to) a pool that persists across batches.
+pub struct PreparedSolver<'s, 'i, A>
+where
+    A: PhaseAlgorithm + 'i,
+    A::Input: 'i,
+{
+    solver: &'s Solver<A>,
+    prepared: A::Prepared<'i>,
+    scratch: Scratch,
+    /// Worker workspaces parked between `solve_batch` calls, so batch
+    /// buffer reuse spans the handle's whole lifetime, not one batch.
+    batch_scratch: std::sync::Mutex<Vec<Scratch>>,
+}
+
+/// Hands a pooled [`Scratch`] to one batch worker and returns it to the
+/// pool when the worker's state is dropped (rayon drops `map_init`
+/// states at the end of the batch).
+struct PooledScratch<'p> {
+    scratch: Option<Scratch>,
+    pool: &'p std::sync::Mutex<Vec<Scratch>>,
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let (Some(scratch), Ok(mut pool)) = (self.scratch.take(), self.pool.lock()) {
+            pool.push(scratch);
+        }
+    }
+}
+
+impl<'s, 'i, A> PreparedSolver<'s, 'i, A>
+where
+    A: PhaseAlgorithm + 'i,
+    A::Input: 'i,
+{
+    /// The configuration queries run under by default.
+    pub fn config(&self) -> &RunConfig {
+        self.solver.config()
+    }
+
+    /// The prepared instance (for callers that drive
+    /// [`PhaseAlgorithm::solve_prepared`] themselves).
+    pub fn prepared(&self) -> &A::Prepared<'i> {
+        &self.prepared
+    }
+
+    /// The internal workspace (diagnostics: buffer-reuse counters).
+    pub fn scratch(&self) -> &Scratch {
+        &self.scratch
+    }
+
+    /// One query under the solver's bound configuration.
+    pub fn solve(&mut self) -> Report<A::Output>
+    where
+        A: Sync,
+        for<'q> A::Prepared<'q>: Sync,
+        A::Output: Send,
+    {
+        let solver = self.solver;
+        self.solve_with(&solver.cfg)
+    }
+
+    /// One query under a per-query configuration (seed, knobs, and —
+    /// for SSSP-style families — [`RunConfig::source`]). The query runs
+    /// inside the solver's cached pool; the per-query `threads` field
+    /// does not re-pool.
+    pub fn solve_with(&mut self, cfg: &RunConfig) -> Report<A::Output>
+    where
+        A: Sync,
+        for<'q> A::Prepared<'q>: Sync,
+        A::Output: Send,
+    {
+        let solver = self.solver;
+        let algo = &solver.algo;
+        let (prepared, scratch) = (&self.prepared, &mut self.scratch);
+        match &solver.pool {
+            Some(pool) => pool.install(move || algo.solve_prepared(prepared, scratch, cfg)),
+            None => algo.solve_prepared(prepared, scratch, cfg),
+        }
+    }
+
+    /// Answer a whole batch of queries against the prepared instance:
+    /// queries fan out across the solver's cached thread pool (one
+    /// [`Scratch`] per worker, so buffer reuse needs no locking on the
+    /// hot path) and the per-query reports come back with an aggregated
+    /// batch summary. Worker workspaces come from a pool that persists
+    /// across `solve_batch` calls, so repeated batches on one handle
+    /// stay allocation-free in steady state.
+    pub fn solve_batch(&self, queries: &[RunConfig]) -> BatchReport<A::Output>
+    where
+        A: Sync,
+        for<'q> A::Prepared<'q>: Sync,
+        A::Output: Send,
+    {
+        use rayon::prelude::*;
+        let solver = self.solver;
+        let algo = &solver.algo;
+        let prepared = &self.prepared;
+        let pool = &self.batch_scratch;
+        let run = move || {
+            queries
+                .par_iter()
+                .map_init(
+                    || PooledScratch {
+                        scratch: Some(
+                            pool.lock()
+                                .map(|mut p| p.pop())
+                                .ok()
+                                .flatten()
+                                .unwrap_or_default(),
+                        ),
+                        pool,
+                    },
+                    |pooled, q| {
+                        let scratch = pooled.scratch.as_mut().expect("present until drop");
+                        algo.solve_prepared(prepared, scratch, q)
+                    },
+                )
+                .collect::<Vec<Report<A::Output>>>()
+        };
+        let reports = match &solver.pool {
+            Some(thread_pool) => thread_pool.install(run),
+            None => run(),
+        };
+        BatchReport::from_reports(reports)
+    }
+
+    /// Number of worker workspaces currently parked between batches
+    /// (diagnostics).
+    pub fn pooled_scratches(&self) -> usize {
+        self.batch_scratch.lock().map(|p| p.len()).unwrap_or(0)
+    }
+}
+
+/// The result of a batched solve: every per-query [`Report`] plus one
+/// aggregated [`ExecutionStats`] (rounds and named counters summed,
+/// frontier sizes concatenated — see [`ExecutionStats::merge`]).
+#[derive(Clone, Debug)]
+pub struct BatchReport<T> {
+    /// Per-query reports, in query order.
+    pub reports: Vec<Report<T>>,
+    /// Batch-level summary statistics.
+    pub stats: ExecutionStats,
+}
+
+impl<T> BatchReport<T> {
+    /// Aggregate a batch from its per-query reports.
+    pub fn from_reports(reports: Vec<Report<T>>) -> Self {
+        let mut stats = ExecutionStats::default();
+        for r in &reports {
+            stats.merge(&r.stats);
+        }
+        Self { reports, stats }
+    }
+
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True iff the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Per-query outputs, in query order.
+    pub fn outputs(&self) -> impl Iterator<Item = &T> {
+        self.reports.iter().map(|r| &r.output)
+    }
+
+    /// Consume the batch into its outputs.
+    pub fn into_outputs(self) -> Vec<T> {
+        self.reports.into_iter().map(|r| r.output).collect()
+    }
+
+    /// Total rounds executed across the batch.
+    pub fn total_rounds(&self) -> usize {
+        self.stats.rounds
+    }
+
+    /// Largest frontier any query saw.
+    pub fn max_frontier(&self) -> usize {
+        self.stats.max_frontier()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +714,7 @@ mod tests {
     impl PhaseAlgorithm for CountUp {
         type Input = [u32];
         type Output = u64;
+        crate::impl_prepared_by_borrow!();
         fn name(&self) -> &'static str {
             "count-up"
         }
@@ -395,6 +758,55 @@ mod tests {
     fn threads_config_installs_pool() {
         let solver = Solver::new(CountUp).configure(|c| c.with_threads(1));
         assert_eq!(solver.solve(&[7, 8]).output, 15);
+    }
+
+    #[test]
+    fn pool_rebuilt_only_on_thread_change() {
+        let solver = Solver::new(CountUp);
+        assert_eq!(solver.pool_builds(), 0);
+        let solver = solver.configure(|c| c.with_threads(2));
+        assert_eq!(solver.pool_builds(), 1);
+        // Reconfiguring without touching `threads` must not re-pool.
+        let solver = solver.configure(|c| c.with_seed(9));
+        let cfg = solver.config().clone().with_delta(4);
+        let solver = solver.with_config(cfg);
+        assert_eq!(solver.pool_builds(), 1);
+        // Same thread count again: still cached.
+        let solver = solver.configure(|c| c.with_threads(2));
+        assert_eq!(solver.pool_builds(), 1);
+        // A real change rebuilds.
+        let solver = solver.configure(|c| c.with_threads(3));
+        assert_eq!(solver.pool_builds(), 2);
+        assert_eq!(solver.solve(&[1, 2]).output, 3);
+    }
+
+    #[test]
+    fn prepared_solver_point_and_batch() {
+        let solver = Solver::new(CountUp).with_config(RunConfig::seeded(4));
+        let input = [1u32, 2, 3];
+        let mut prepared = solver.prepare(&input);
+        let r = prepared.solve();
+        assert_eq!(r.output, 6);
+        assert_eq!(r.stats.counter("seed_echo"), Some(4));
+        let r = prepared.solve_with(&RunConfig::seeded(11));
+        assert_eq!(r.stats.counter("seed_echo"), Some(11));
+
+        let queries: Vec<RunConfig> = (0..5).map(RunConfig::seeded).collect();
+        let batch = prepared.solve_batch(&queries);
+        assert_eq!(batch.len(), 5);
+        assert!(batch.outputs().all(|&o| o == 6));
+        // Merged stats: one round of size 3 per query.
+        assert_eq!(batch.total_rounds(), 5);
+        assert_eq!(batch.max_frontier(), 3);
+        assert_eq!(batch.stats.processed(), 15);
+        assert_eq!(batch.clone().into_outputs(), vec![6; 5]);
+
+        // Worker workspaces return to the pool and survive into the
+        // next batch (cross-batch buffer amortization).
+        assert!(prepared.pooled_scratches() >= 1);
+        let again = prepared.solve_batch(&queries);
+        assert_eq!(again.len(), 5);
+        assert!(prepared.pooled_scratches() >= 1, "workspaces must return");
     }
 
     #[test]

@@ -83,6 +83,21 @@ impl ExecutionStats {
         self.rounds += 1;
         self.frontier_sizes.push(frontier);
     }
+
+    /// Fold another execution's statistics into this one: rounds,
+    /// wake-up totals and named counters are summed, frontier sizes
+    /// concatenated (so `max_frontier`/`processed` aggregate naturally).
+    /// This is how batched solves reduce per-query statistics into one
+    /// batch-level summary.
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.rounds += other.rounds;
+        self.frontier_sizes.extend_from_slice(&other.frontier_sizes);
+        self.wakeup_attempts += other.wakeup_attempts;
+        self.failed_wakeups += other.failed_wakeups;
+        for &(name, value) in other.counters() {
+            self.add_counter(name, value);
+        }
+    }
 }
 
 impl std::fmt::Display for ExecutionStats {
@@ -136,6 +151,29 @@ mod tests {
         assert_eq!(s.counters(), &[("relaxations", 15), ("buckets", 7)]);
         assert!(s.to_string().contains("relaxations=15"));
         assert!(s.to_string().contains("buckets=7"));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ExecutionStats::default();
+        a.record_round(4);
+        a.wakeup_attempts = 10;
+        a.failed_wakeups = 3;
+        a.set_counter("relaxations", 7);
+        let mut b = ExecutionStats::default();
+        b.record_round(9);
+        b.record_round(2);
+        b.wakeup_attempts = 5;
+        b.set_counter("relaxations", 13);
+        b.set_counter("substeps", 2);
+        a.merge(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.frontier_sizes, vec![4, 9, 2]);
+        assert_eq!(a.wakeup_attempts, 15);
+        assert_eq!(a.failed_wakeups, 3);
+        assert_eq!(a.counter("relaxations"), Some(20));
+        assert_eq!(a.counter("substeps"), Some(2));
+        assert_eq!(a.max_frontier(), 9);
     }
 
     #[test]

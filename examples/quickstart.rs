@@ -7,7 +7,9 @@
 //! Run with: `cargo run --release -p pp-algos --example quickstart`
 
 use phase_parallel::{PivotMode, RunConfig, Solver};
-use pp_algos::api::{ActivityType1, ActivityType2, GraphPriorityInstance, GreedyMis, Lis};
+use pp_algos::api::{
+    ActivityType1, ActivityType2, DeltaSssp, GraphPriorityInstance, GreedyMis, Lis, SsspInstance,
+};
 use pp_algos::registry::{self, CaseSpec};
 use pp_algos::{activity, lis};
 use pp_graph::gen;
@@ -53,6 +55,26 @@ fn main() {
         "Greedy MIS on an RMAT graph ({} vertices, {} arcs): |MIS| = {size}",
         input.graph.num_vertices(),
         input.graph.num_edges()
+    );
+
+    // --- Prepare once, query many: the engine calling convention ---
+    let g = gen::uniform(20_000, 80_000, 5);
+    let wg = gen::with_uniform_weights(&g, 1, 1000, 6);
+    let instance = SsspInstance::new(wg, 0);
+    let solver = Solver::new(DeltaSssp);
+    // `prepare` builds the amortizable instance structure (w*, minimum
+    // out-weights); `solve_batch` serves per-source queries against it
+    // with recycled scratch buffers.
+    let prepared = solver.prepare(&instance);
+    let queries: Vec<RunConfig> = (0..8)
+        .map(|s| RunConfig::seeded(s).with_source(s as u32 * 100))
+        .collect();
+    let batch = prepared.solve_batch(&queries);
+    println!(
+        "\nPrepared SSSP served {} per-source queries ({} total rounds, max frontier {})",
+        batch.len(),
+        batch.total_rounds(),
+        batch.max_frontier()
     );
 
     // --- Generic dispatch: any algorithm by name, via the registry ---

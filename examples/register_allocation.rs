@@ -129,9 +129,9 @@ fn main() {
             "{name}: parallel differs from sequential greedy"
         );
         println!(
-            "  {name:<28} → {} physical registers ({}x optimal)",
+            "  {name:<28} → {} physical registers ({:.2}x optimal)",
             num_colors(&colors),
-            format!("{:.2}", f64::from(num_colors(&colors)) / clique as f64),
+            f64::from(num_colors(&colors)) / clique as f64,
         );
     }
     println!("All colorings proper and identical to the sequential greedy. ✓");

@@ -20,7 +20,7 @@ use std::marker::PhantomData;
 pub mod prelude {
     pub use crate::iter::{
         IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
-        IntoParallelRefMutIterator, ParallelIterator,
+        IntoParallelRefMutIterator, ParallelExtend, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -207,6 +207,25 @@ pub mod iter {
             }))
         }
 
+        /// Rayon's `map_init`: like `map`, but the mapper borrows a
+        /// per-thread value produced by `init`. The sequential shim has
+        /// exactly one "thread", so `init` runs once and every item
+        /// reuses that value — which is precisely what makes
+        /// scratch-reusing batched solves fast under the shim.
+        #[allow(clippy::type_complexity)]
+        fn map_init<T, R, INIT, F>(
+            self,
+            init: INIT,
+            map_op: F,
+        ) -> Par<std::iter::Map<Self::Inner, impl FnMut(Self::Item) -> R>>
+        where
+            INIT: Fn() -> T + Sync + Send,
+            F: Fn(&mut T, Self::Item) -> R + Sync + Send,
+        {
+            let mut state = init();
+            Par(self.into_seq().map(move |x| map_op(&mut state, x)))
+        }
+
         fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
             Par(self.into_seq().enumerate())
         }
@@ -377,6 +396,24 @@ pub mod iter {
     /// the trait exists so `use` sites and bounds compile unchanged.
     pub trait IndexedParallelIterator: ParallelIterator {}
     impl<I: Iterator> IndexedParallelIterator for Par<I> {}
+
+    /// Rayon's `ParallelExtend`: extend a collection from a parallel
+    /// iterator, reusing the collection's existing capacity — the
+    /// allocation-free alternative to `collect` for hot loops.
+    pub trait ParallelExtend<T: Send> {
+        fn par_extend<I>(&mut self, par_iter: I)
+        where
+            I: IntoParallelIterator<Item = T>;
+    }
+
+    impl<T: Send> ParallelExtend<T> for Vec<T> {
+        fn par_extend<I>(&mut self, par_iter: I)
+        where
+            I: IntoParallelIterator<Item = T>,
+        {
+            self.extend(par_iter.into_par_iter().into_seq());
+        }
+    }
 
     impl<I: Iterator> ParallelIterator for Par<I> {
         type Item = I::Item;

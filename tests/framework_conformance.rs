@@ -1,13 +1,18 @@
 //! Framework-conformance tests.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! 1. **Registry conformance** — one generic suite that iterates the
 //!    string-keyed algorithm registry and asserts `solve_par ==
 //!    solve_seq` for *every* registered family on empty, singleton, and
 //!    random instances across seeds and pivot modes. Adding a family to
 //!    the registry automatically enrolls it here.
-//! 2. **Rank specification** — the concrete algorithms' ranks match the
+//! 2. **Prepared conformance** — for every registered family,
+//!    `solve_prepared` against a once-built prepared instance (with a
+//!    shared, buffer-recycling scratch workspace) must equal a fresh
+//!    one-shot `solve_par` for each query config, including per-query
+//!    source overrides for the SSSP family.
+//! 3. **Rank specification** — the concrete algorithms' ranks match the
 //!    brute-force independence-system specification of §3 (Definitions
 //!    3.1, Theorems 3.2/3.4), tying the implementations back to the
 //!    paper's formalism.
@@ -49,6 +54,7 @@ fn registry_covers_every_family() {
         "knapsack",
         "huffman",
         "sssp/delta",
+        "sssp/dijkstra",
         "sssp/rho",
         "sssp/crauser",
         "sssp/pam",
@@ -109,7 +115,61 @@ fn conformance_with_per_algorithm_knobs() {
     }
 }
 
-// ---- layer 2: rank specification (§3) ----
+// ---- layer 2: prepared queries equal one-shot solves ----
+
+/// Run every registry entry through the batched prepared path and
+/// assert each query agrees with its fresh one-shot reference.
+fn assert_all_prepared_agree(case: CaseSpec, queries: &[RunConfig]) {
+    for entry in registry::registry() {
+        let outcomes = entry.run_batch(&case, queries, &RunConfig::seeded(case.seed));
+        assert_eq!(outcomes.len(), queries.len());
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert!(
+                outcome.agrees(),
+                "{}: prepared query {i} diverged from one-shot on size={} seed={} cfg={:?}",
+                entry.name(),
+                case.size,
+                case.seed,
+                queries[i],
+            );
+        }
+    }
+}
+
+#[test]
+fn prepared_conformance_on_edge_instances() {
+    let queries = [RunConfig::seeded(1), RunConfig::seeded(2)];
+    assert_all_prepared_agree(CaseSpec::new(0, 3), &queries);
+    assert_all_prepared_agree(CaseSpec::new(1, 4), &queries);
+}
+
+#[test]
+fn prepared_conformance_across_query_knobs() {
+    // One prepared instance, queried under every per-algorithm knob the
+    // config carries — each query must match its own one-shot run.
+    let queries = [
+        RunConfig::seeded(5),
+        RunConfig::seeded(6).with_pivot_mode(PivotMode::RightMost),
+        RunConfig::seeded(7).with_delta(2),
+        RunConfig::seeded(8).with_delta(1 << 16),
+        RunConfig::seeded(9).with_rho(1),
+        RunConfig::seeded(10).with_rho(128),
+    ];
+    assert_all_prepared_agree(CaseSpec::new(140, 11), &queries);
+}
+
+#[test]
+fn prepared_conformance_across_sources() {
+    // The SSSP family serves per-source queries from one prepared
+    // instance; non-SSSP families ignore the override. Instance size
+    // 120 floors the graph at 120 vertices, so sources < 120 are valid.
+    let queries: Vec<RunConfig> = (0..6)
+        .map(|i| RunConfig::seeded(i).with_source((i as u32 * 19) % 120))
+        .collect();
+    assert_all_prepared_agree(CaseSpec::new(120, 13), &queries);
+}
+
+// ---- layer 3: rank specification (§3) ----
 
 /// LIS as an independence system (the §3 running example).
 struct LisSystem(Vec<i64>);

@@ -478,3 +478,51 @@ proptest! {
         );
     }
 }
+
+// The prepare/query contract, checked exhaustively: the full registry ×
+// a scratch-sharing query sequence is expensive per case, so this suite
+// runs fewer cases than the block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // N repeated `solve_prepared` calls against one prepared instance
+    // (sharing one scratch workspace, so later queries run on recycled
+    // buffers) each equal a fresh one-shot `solve_par` under the same
+    // per-query config — for every registry entry.
+    #[test]
+    fn prepared_queries_equal_one_shot_for_every_entry(
+        size in 0usize..120,
+        seed in any::<u64>(),
+        n_queries in 1usize..5,
+    ) {
+        use pp_algos::registry::{self, CaseSpec};
+
+        let n_vertices = size.max(1) as u32; // graph families floor at 1
+        let queries: Vec<RunConfig> = (0..n_queries as u64)
+            .map(|i| {
+                let mut cfg = RunConfig::seeded(seed.wrapping_add(i))
+                    .with_source((pp_parlay::hash64(seed, i) % u64::from(n_vertices)) as u32);
+                match i % 4 {
+                    0 => cfg = cfg.with_delta(1 + pp_parlay::hash64(seed ^ 2, i) % 4096),
+                    1 => cfg = cfg.with_rho(1 + (pp_parlay::hash64(seed ^ 3, i) % 256) as usize),
+                    2 => cfg = cfg.with_pivot_mode(PivotMode::RightMost),
+                    _ => {}
+                }
+                cfg
+            })
+            .collect();
+        let case = CaseSpec::new(size, seed);
+        let gen_cfg = RunConfig::seeded(seed);
+        for entry in registry::registry() {
+            let outcomes = entry.run_batch(&case, &queries, &gen_cfg);
+            prop_assert_eq!(outcomes.len(), queries.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                prop_assert!(
+                    outcome.agrees(),
+                    "{}: prepared query {} diverged (size={}, seed={})",
+                    entry.name(), i, size, seed
+                );
+            }
+        }
+    }
+}
