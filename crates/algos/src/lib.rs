@@ -50,7 +50,10 @@
 //!
 //! The [`registry`] exposes every family behind a single string key for
 //! generic dispatch (benches, CLIs, conformance suites), and [`api`]
-//! defines the typed [`PhaseAlgorithm`] implementations behind it:
+//! defines the typed [`PhaseAlgorithm`] implementations behind it.
+//! Registry cases optionally draw their instances from the string-keyed
+//! workload scenarios of `pp-workloads` (power-law graphs, grids,
+//! meshes, hub skew, sorted / adversarial-chain / zipf sequences):
 //!
 //! ```
 //! use phase_parallel::RunConfig;
@@ -59,6 +62,10 @@
 //! let entry = registry::lookup("lis").expect("registered");
 //! let outcome = entry.run_case(&CaseSpec::new(500, 7), &RunConfig::seeded(7));
 //! assert_eq!(outcome.expected_digest, outcome.observed_digest); // sequential-equivalent
+//!
+//! // The same entry on an adversarial workload, fully string-keyed:
+//! let case = CaseSpec::new(500, 7).with_scenario_key("seq/adversarial-chain").unwrap();
+//! assert!(registry::run_named("lis", &case, &RunConfig::seeded(7)).unwrap().agrees());
 //! ```
 
 pub mod activity;

@@ -18,6 +18,20 @@
 //!   `solve_prepared` on a shared scratch workspace, digesting each
 //!   against a fresh one-shot `solve_par` reference.
 //!
+//! # Scenarios
+//!
+//! A [`CaseSpec`] optionally names a [`ScenarioSpec`] — a string-keyed
+//! workload family from `pp-workloads` (`graph/rmat`, `graph/grid2d`,
+//! `seq/adversarial-chain`, …). Each entry consumes scenarios of one
+//! [`ScenarioKind`]: graph entries (SSSP, MIS, coloring, matching)
+//! materialize the scenario's graph, sequence entries map the
+//! scenario's structured draws into their own value space. Without a
+//! scenario (or via the infallible `run_case`/`run_batch`, which ignore
+//! a scenario of the wrong kind) the entry's default uniform generator
+//! runs; the fallible [`AlgorithmEntry::try_run_case`] /
+//! [`registry::run_named`](run_named) paths report unknown keys and
+//! kind mismatches as [`RegistryError`]s.
+//!
 //! ```
 //! use phase_parallel::RunConfig;
 //! use pp_algos::registry::{self, CaseSpec};
@@ -25,6 +39,11 @@
 //! for entry in registry::registry() {
 //!     let outcome = entry.run_case(&CaseSpec::new(80, 3), &RunConfig::seeded(3));
 //!     assert_eq!(outcome.expected_digest, outcome.observed_digest, "{}", entry.name());
+//!     // The same entry, on every workload family applicable to it:
+//!     for scenario in entry.scenarios() {
+//!         let case = CaseSpec::new(40, 3).with_scenario(scenario);
+//!         assert!(entry.try_run_case(&case, &RunConfig::seeded(3)).unwrap().agrees());
+//!     }
 //! }
 //! ```
 
@@ -38,9 +57,11 @@ use crate::whac::{Mole, Mole2d};
 use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig, Scratch};
 use pp_graph::{gen, Graph};
 use pp_parlay::rng::Rng;
+pub use pp_workloads::{ScenarioError, ScenarioKind, ScenarioSpec};
 
-/// A deterministic test-case specification: instance size and
-/// generation seed. The same spec always generates the same instance.
+/// A deterministic test-case specification: instance size, generation
+/// seed, and an optional workload scenario. The same spec always
+/// generates the same instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CaseSpec {
     /// Nominal instance size (elements, vertices, or capacity units;
@@ -48,11 +69,88 @@ pub struct CaseSpec {
     pub size: usize,
     /// Seed for instance generation (independent of the run seed).
     pub seed: u64,
+    /// Workload scenario the instance is drawn from; `None` uses the
+    /// entry's default (uniform) generator.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl CaseSpec {
     pub fn new(size: usize, seed: u64) -> Self {
-        Self { size, seed }
+        Self {
+            size,
+            seed,
+            scenario: None,
+        }
+    }
+
+    /// Draw the instance from `scenario` instead of the entry default.
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Draw the instance from the scenario named by `key` (e.g.
+    /// `"graph/rmat+w/exp"`); unknown or malformed keys surface as
+    /// [`RegistryError::Scenario`].
+    pub fn with_scenario_key(self, key: &str) -> Result<Self, RegistryError> {
+        Ok(self.with_scenario(ScenarioSpec::parse(key)?))
+    }
+}
+
+/// Why a registry-level run could not start: every string-keyed lookup
+/// failure is a typed error, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No entry with the given key (see [`names`]).
+    UnknownEntry(String),
+    /// The scenario key failed to parse or materialize.
+    Scenario(ScenarioError),
+    /// The case names a scenario of a kind the entry cannot consume
+    /// (e.g. a `seq/…` scenario on an SSSP entry).
+    IncompatibleScenario {
+        /// The registry key of the entry that was asked.
+        entry: &'static str,
+        /// The canonical key of the offending scenario.
+        scenario: String,
+        /// The kind the entry consumes.
+        expected: ScenarioKind,
+        /// The kind the scenario materializes.
+        got: ScenarioKind,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownEntry(name) => {
+                write!(f, "unknown registry entry {name:?} (see registry::names())")
+            }
+            RegistryError::Scenario(e) => write!(f, "scenario error: {e}"),
+            RegistryError::IncompatibleScenario {
+                entry,
+                scenario,
+                expected,
+                got,
+            } => write!(
+                f,
+                "entry {entry:?} consumes {expected:?} scenarios but {scenario:?} is {got:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for RegistryError {
+    fn from(e: ScenarioError) -> Self {
+        RegistryError::Scenario(e)
     }
 }
 
@@ -99,11 +197,13 @@ pub enum Engine {
     Baseline,
 }
 
-/// One registered algorithm: a stable name, its engine class, and
-/// type-erased one-shot and prepared-batch runners.
+/// One registered algorithm: a stable name, its engine class, the
+/// scenario kind its instances are drawn from, and type-erased one-shot
+/// and prepared-batch runners.
 pub struct AlgorithmEntry {
     name: &'static str,
     engine: Engine,
+    kind: ScenarioKind,
     runner: fn(&CaseSpec, &RunConfig) -> CaseOutcome,
     batch_runner: fn(&CaseSpec, &[RunConfig], &RunConfig) -> Vec<CaseOutcome>,
 }
@@ -119,17 +219,61 @@ impl AlgorithmEntry {
         self.engine
     }
 
+    /// The scenario kind this entry's instance generator consumes.
+    pub fn scenario_kind(&self) -> ScenarioKind {
+        self.kind
+    }
+
+    /// Can this entry draw its instance from `scenario`?
+    pub fn supports(&self, scenario: &ScenarioSpec) -> bool {
+        scenario.kind() == self.kind
+    }
+
+    /// Every default-knob scenario applicable to this entry — the row
+    /// set the conformance matrix sweeps (always ≥ 3 families).
+    pub fn scenarios(&self) -> Vec<ScenarioSpec> {
+        pp_workloads::scenarios_of_kind(self.kind)
+    }
+
+    fn check_case(&self, case: &CaseSpec) -> Result<(), RegistryError> {
+        match &case.scenario {
+            Some(s) if !self.supports(s) => Err(RegistryError::IncompatibleScenario {
+                entry: self.name,
+                scenario: s.key(),
+                expected: self.kind,
+                got: s.kind(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Generate the instance for `case`, run both executions under
-    /// `cfg`, and digest the outputs.
+    /// `cfg`, and digest the outputs. A scenario of the wrong kind is
+    /// ignored (the default generator runs); use
+    /// [`AlgorithmEntry::try_run_case`] to surface that as an error.
     pub fn run_case(&self, case: &CaseSpec, cfg: &RunConfig) -> CaseOutcome {
         (self.runner)(case, cfg)
+    }
+
+    /// [`AlgorithmEntry::run_case`], but a case whose scenario this
+    /// entry cannot consume is a [`RegistryError::IncompatibleScenario`]
+    /// instead of a silent fallback.
+    pub fn try_run_case(
+        &self,
+        case: &CaseSpec,
+        cfg: &RunConfig,
+    ) -> Result<CaseOutcome, RegistryError> {
+        self.check_case(case)?;
+        Ok((self.runner)(case, cfg))
     }
 
     /// Generate the instance for `case` once, `prepare` it once, and
     /// answer every query in `queries` via `solve_prepared` on a shared
     /// scratch workspace — each digested against a fresh one-shot
     /// `solve_par` under the same query config. `cfg` drives instance
-    /// generation (e.g. the priority source) and the thread budget.
+    /// generation (e.g. the priority source) and the thread budget. As
+    /// with [`AlgorithmEntry::run_case`], a wrong-kind scenario falls
+    /// back to the default generator.
     pub fn run_batch(
         &self,
         case: &CaseSpec,
@@ -138,15 +282,55 @@ impl AlgorithmEntry {
     ) -> Vec<CaseOutcome> {
         (self.batch_runner)(case, queries, cfg)
     }
+
+    /// [`AlgorithmEntry::run_batch`] with scenario-compatibility
+    /// checking.
+    pub fn try_run_batch(
+        &self,
+        case: &CaseSpec,
+        queries: &[RunConfig],
+        cfg: &RunConfig,
+    ) -> Result<Vec<CaseOutcome>, RegistryError> {
+        self.check_case(case)?;
+        Ok((self.batch_runner)(case, queries, cfg))
+    }
+}
+
+/// Run one case through the entry named `name` — the fully string-keyed
+/// entry point (entry key + optional scenario key via
+/// [`CaseSpec::with_scenario_key`]). Unknown entries, unknown scenario
+/// keys, and entry/scenario mismatches all come back as
+/// [`RegistryError`]s.
+pub fn run_named(
+    name: &str,
+    case: &CaseSpec,
+    cfg: &RunConfig,
+) -> Result<CaseOutcome, RegistryError> {
+    lookup(name)
+        .ok_or_else(|| RegistryError::UnknownEntry(name.to_string()))?
+        .try_run_case(case, cfg)
+}
+
+/// Batched counterpart of [`run_named`].
+pub fn run_named_batch(
+    name: &str,
+    case: &CaseSpec,
+    queries: &[RunConfig],
+    cfg: &RunConfig,
+) -> Result<Vec<CaseOutcome>, RegistryError> {
+    lookup(name)
+        .ok_or_else(|| RegistryError::UnknownEntry(name.to_string()))?
+        .try_run_batch(case, queries, cfg)
 }
 
 /// Every registered algorithm. Names are stable; new families append.
 pub fn registry() -> &'static [AlgorithmEntry] {
     macro_rules! entry {
-        ($name:literal, $engine:ident, $algo:expr, $gen:expr) => {
+        ($name:literal, $engine:ident, $kind:ident, $algo:expr, $gen:expr) => {
             AlgorithmEntry {
                 name: $name,
                 engine: Engine::$engine,
+                kind: ScenarioKind::$kind,
                 runner: |case, cfg| {
                     let input = $gen(case, cfg);
                     run_typed(&$algo, &input, cfg)
@@ -159,50 +343,60 @@ pub fn registry() -> &'static [AlgorithmEntry] {
         };
     }
     static ENTRIES: &[AlgorithmEntry] = &[
-        entry!("lis", Type2, Lis, gen_series),
-        entry!("lis/weighted", Type2, WeightedLis, gen_weighted_series),
-        entry!("activity/type1", Type1, ActivityType1, gen_activities),
+        entry!("lis", Type2, Seq, Lis, gen_series),
+        entry!("lis/weighted", Type2, Seq, WeightedLis, gen_weighted_series),
+        entry!("activity/type1", Type1, Seq, ActivityType1, gen_activities),
         entry!(
             "activity/type1-pam",
             Type1,
+            Seq,
             ActivityType1Pam,
             gen_activities
         ),
-        entry!("activity/type2", Type2, ActivityType2, gen_activities),
+        entry!("activity/type2", Type2, Seq, ActivityType2, gen_activities),
         entry!(
             "activity/unweighted",
             Type2,
+            Seq,
             UnweightedActivity,
             gen_activities
         ),
-        entry!("knapsack", Type1, Knapsack, gen_knapsack),
-        entry!("huffman", Type1, Huffman, gen_freqs),
-        entry!("sssp/delta", RelaxedRank, DeltaSssp, gen_sssp),
-        entry!("sssp/dijkstra", Baseline, DijkstraSssp, gen_sssp),
-        entry!("sssp/rho", RelaxedRank, RhoSssp, gen_sssp),
-        entry!("sssp/crauser", RelaxedRank, CrauserSssp, gen_sssp),
-        entry!("sssp/pam", RelaxedRank, PamSssp, gen_sssp),
-        entry!("sssp/bellman-ford", Baseline, BellmanFordSssp, gen_sssp),
-        entry!("mis/tas", Type2, GreedyMis, gen_vertex_priorities),
-        entry!("mis/rounds", Baseline, RoundsMis, gen_vertex_priorities),
-        entry!("coloring", Type2, Coloring, gen_vertex_priorities),
-        entry!("matching", Type2, Matching, gen_edge_priorities),
+        entry!("knapsack", Type1, Seq, Knapsack, gen_knapsack),
+        entry!("huffman", Type1, Seq, Huffman, gen_freqs),
+        entry!("sssp/delta", RelaxedRank, Graph, DeltaSssp, gen_sssp),
+        entry!("sssp/dijkstra", Baseline, Graph, DijkstraSssp, gen_sssp),
+        entry!("sssp/rho", RelaxedRank, Graph, RhoSssp, gen_sssp),
+        entry!("sssp/crauser", RelaxedRank, Graph, CrauserSssp, gen_sssp),
+        entry!("sssp/pam", RelaxedRank, Graph, PamSssp, gen_sssp),
+        entry!(
+            "sssp/bellman-ford",
+            Baseline,
+            Graph,
+            BellmanFordSssp,
+            gen_sssp
+        ),
+        entry!("mis/tas", Type2, Graph, GreedyMis, gen_vertex_priorities),
+        entry!(
+            "mis/rounds",
+            Baseline,
+            Graph,
+            RoundsMis,
+            gen_vertex_priorities
+        ),
+        entry!("coloring", Type2, Graph, Coloring, gen_vertex_priorities),
+        entry!("matching", Type2, Graph, Matching, gen_edge_priorities),
         entry!(
             "matching/reservations",
             Reservations,
+            Graph,
             MatchingReservations,
             gen_edge_priorities
         ),
-        entry!("whac", Type2, Whac, gen_moles),
-        entry!("whac/2d", Type2, Whac2d, gen_moles_2d),
-        entry!("chain3d", Type2, Chain3d, gen_points3),
-        entry!("chain4d", Type2, Chain4d, gen_points4),
-        entry!(
-            "random-perm",
-            Reservations,
-            RandomPerm,
-            |c: &CaseSpec, _: &RunConfig| (c.size, c.seed)
-        ),
+        entry!("whac", Type2, Seq, Whac, gen_moles),
+        entry!("whac/2d", Type2, Seq, Whac2d, gen_moles_2d),
+        entry!("chain3d", Type2, Seq, Chain3d, gen_points3),
+        entry!("chain4d", Type2, Seq, Chain4d, gen_points4),
+        entry!("random-perm", Reservations, Seq, RandomPerm, gen_perm),
     ];
     ENTRIES
 }
@@ -327,15 +521,34 @@ impl Digest for Vec<bool> {
 
 // ---- deterministic instance generators ----
 //
-// All driven by (case.size, case.seed) alone. Size 0 is the empty
-// instance for sequence families; graph families floor at one vertex
-// (an SSSP source must exist, and a 0-vertex graph has no instance to
-// speak of).
+// All driven by (case.size, case.seed, case.scenario) alone. Size 0 is
+// the empty instance for sequence families; graph families floor at one
+// vertex (an SSSP source must exist, and a 0-vertex graph has no
+// instance to speak of). A case without a scenario (or with one of the
+// wrong kind) runs the family's original uniform generator, so default
+// behavior is unchanged.
+
+/// The case's scenario, if it is one a graph-consuming entry can use.
+fn graph_scenario(case: &CaseSpec) -> Option<ScenarioSpec> {
+    case.scenario.filter(|s| s.kind() == ScenarioKind::Graph)
+}
+
+/// `n` scenario draws in `[0, span)`, if the case names a seq scenario.
+fn seq_draws(case: &CaseSpec, n: usize, span: u64, salt: u64) -> Option<Vec<u64>> {
+    case.scenario
+        .filter(|s| s.kind() == ScenarioKind::Seq)
+        .map(|s| s.draws(n, span, case.seed ^ salt).expect("seq scenario"))
+}
 
 fn gen_series(case: &CaseSpec, _cfg: &RunConfig) -> Vec<i64> {
+    let span = 3 * case.size as u64 + 10;
+    let offset = case.size as i64;
+    if let Some(draws) = seq_draws(case, case.size, span, 0x5e71e5) {
+        return draws.into_iter().map(|v| v as i64 - offset).collect();
+    }
     let mut r = Rng::new(case.seed ^ 0x5e71e5);
     (0..case.size)
-        .map(|_| r.range(3 * case.size as u64 + 10) as i64 - case.size as i64)
+        .map(|_| r.range(span) as i64 - offset)
         .collect()
 }
 
@@ -349,6 +562,16 @@ fn gen_weighted_series(case: &CaseSpec, _cfg: &RunConfig) -> (Vec<i64>, Vec<u32>
 fn gen_activities(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Activity> {
     let mut r = Rng::new(case.seed ^ 0xac7);
     let span = 4 * case.size as u64 + 20;
+    // The scenario shapes the start times (the dependence-defining
+    // coordinate); lengths and weights stay uniform.
+    if let Some(starts) = seq_draws(case, case.size, span, 0xac7) {
+        return activity::sort_by_end(
+            starts
+                .into_iter()
+                .map(|s| Activity::new(s, s + 1 + r.range(span / 8 + 4), 1 + r.range(100)))
+                .collect(),
+        );
+    }
     activity::sort_by_end(
         (0..case.size)
             .map(|_| {
@@ -363,6 +586,14 @@ fn gen_knapsack(case: &CaseSpec, _cfg: &RunConfig) -> (Vec<Item>, u64) {
     let mut r = Rng::new(case.seed ^ 0x14a9);
     // Item count grows slowly; capacity tracks `size` so rank ≈ size / w*.
     let n_items = (case.size / 8).clamp(usize::from(case.size > 0), 40);
+    // The scenario shapes the item values; weights stay uniform.
+    if let Some(values) = seq_draws(case, n_items, 500, 0x14a9) {
+        let items = values
+            .into_iter()
+            .map(|v| Item::new(2 + r.range(30), v))
+            .collect();
+        return (items, case.size as u64);
+    }
     let items = (0..n_items)
         .map(|_| Item::new(2 + r.range(30), r.range(500)))
         .collect();
@@ -370,17 +601,30 @@ fn gen_knapsack(case: &CaseSpec, _cfg: &RunConfig) -> (Vec<Item>, u64) {
 }
 
 fn gen_freqs(case: &CaseSpec, _cfg: &RunConfig) -> Vec<u64> {
-    let mut r = Rng::new(case.seed ^ 0x1f);
     // Huffman needs at least one symbol.
-    (0..case.size.max(1)).map(|_| 1 + r.range(1000)).collect()
+    let n = case.size.max(1);
+    if let Some(draws) = seq_draws(case, n, 1000, 0x1f) {
+        return draws.into_iter().map(|v| 1 + v).collect();
+    }
+    let mut r = Rng::new(case.seed ^ 0x1f);
+    (0..n).map(|_| 1 + r.range(1000)).collect()
 }
 
 fn gen_graph(case: &CaseSpec) -> Graph {
     let n = case.size.max(1);
+    if let Some(s) = graph_scenario(case) {
+        return s.graph(n, case.seed ^ 0x9a4).expect("graph scenario");
+    }
     gen::uniform(n, 4 * n, case.seed ^ 0x9a4)
 }
 
 fn gen_sssp(case: &CaseSpec, _cfg: &RunConfig) -> SsspInstance {
+    if let Some(s) = graph_scenario(case) {
+        let wg = s
+            .weighted_graph(case.size.max(1), case.seed ^ 0x9a4)
+            .expect("graph scenario");
+        return SsspInstance::new(wg, 0);
+    }
     let g = gen_graph(case);
     let wg = gen::with_uniform_weights(&g, 1, 1000, case.seed ^ 0x55);
     SsspInstance::new(wg, 0)
@@ -404,10 +648,22 @@ fn gen_edge_priorities(case: &CaseSpec, _cfg: &RunConfig) -> GraphPriorityInstan
 
 fn gen_moles(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Mole> {
     let mut r = Rng::new(case.seed ^ 0x301e);
+    let t_span = 6 * case.size as u64 + 12;
+    let p_of = |r: &mut Rng| r.range(case.size as u64 + 6) as i64 - (case.size / 2) as i64;
+    // The scenario shapes the appearance times; positions stay uniform.
+    if let Some(ts) = seq_draws(case, case.size, t_span, 0x301e) {
+        return ts
+            .into_iter()
+            .map(|t| Mole {
+                t: t as i64,
+                p: p_of(&mut r),
+            })
+            .collect();
+    }
     (0..case.size)
         .map(|_| Mole {
-            t: r.range(6 * case.size as u64 + 12) as i64,
-            p: r.range(case.size as u64 + 6) as i64 - (case.size / 2) as i64,
+            t: r.range(t_span) as i64,
+            p: p_of(&mut r),
         })
         .collect()
 }
@@ -415,18 +671,45 @@ fn gen_moles(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Mole> {
 fn gen_moles_2d(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Mole2d> {
     let mut r = Rng::new(case.seed ^ 0x3d2);
     let side = (case.size as u64 / 4).max(4);
+    let t_span = 8 * case.size as u64 + 16;
+    let coord = |r: &mut Rng| r.range(side) as i64 - (side / 2) as i64;
+    if let Some(ts) = seq_draws(case, case.size, t_span, 0x3d2) {
+        return ts
+            .into_iter()
+            .map(|t| Mole2d {
+                t: t as i64,
+                x: coord(&mut r),
+                y: coord(&mut r),
+            })
+            .collect();
+    }
     (0..case.size)
         .map(|_| Mole2d {
-            t: r.range(8 * case.size as u64 + 16) as i64,
-            x: r.range(side) as i64 - (side / 2) as i64,
-            y: r.range(side) as i64 - (side / 2) as i64,
+            t: r.range(t_span) as i64,
+            x: coord(&mut r),
+            y: coord(&mut r),
         })
         .collect()
 }
 
 fn gen_points3(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point3> {
-    let mut r = Rng::new(case.seed ^ 0x9d3);
     let range = 2 * case.size as u64 + 8;
+    // Every coordinate is scenario-shaped: under `seq/adversarial-chain`
+    // all three ramp together, producing the full n-deep dominance chain.
+    if let (Some(a), Some(b), Some(c)) = (
+        seq_draws(case, case.size, range, 0x9d3),
+        seq_draws(case, case.size, range, 0x9d3 ^ 0x10000),
+        seq_draws(case, case.size, range, 0x9d3 ^ 0x20000),
+    ) {
+        return (0..case.size)
+            .map(|i| Point3 {
+                a: a[i] as i64,
+                b: b[i] as i64,
+                c: c[i] as i64,
+            })
+            .collect();
+    }
+    let mut r = Rng::new(case.seed ^ 0x9d3);
     (0..case.size)
         .map(|_| Point3 {
             a: r.range(range) as i64,
@@ -437,8 +720,23 @@ fn gen_points3(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point3> {
 }
 
 fn gen_points4(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point4> {
-    let mut r = Rng::new(case.seed ^ 0x9d4);
     let range = 2 * case.size as u64 + 8;
+    if let (Some(a), Some(b), Some(c), Some(d)) = (
+        seq_draws(case, case.size, range, 0x9d4),
+        seq_draws(case, case.size, range, 0x9d4 ^ 0x10000),
+        seq_draws(case, case.size, range, 0x9d4 ^ 0x20000),
+        seq_draws(case, case.size, range, 0x9d4 ^ 0x30000),
+    ) {
+        return (0..case.size)
+            .map(|i| Point4 {
+                a: a[i] as i64,
+                b: b[i] as i64,
+                c: c[i] as i64,
+                d: d[i] as i64,
+            })
+            .collect();
+    }
+    let mut r = Rng::new(case.seed ^ 0x9d4);
     (0..case.size)
         .map(|_| Point4 {
             a: r.range(range) as i64,
@@ -447,6 +745,22 @@ fn gen_points4(case: &CaseSpec, _cfg: &RunConfig) -> Vec<Point4> {
             d: r.range(range) as i64,
         })
         .collect()
+}
+
+fn gen_perm(case: &CaseSpec, _cfg: &RunConfig) -> (usize, u64) {
+    // The permutation instance is fully described by (n, target_seed);
+    // a seq scenario picks the swap-target stream by folding its draws
+    // into the seed, so each family yields a distinct, deterministic
+    // permutation workload.
+    match seq_draws(case, case.size, 4 * case.size as u64 + 4, 0x9e12) {
+        Some(draws) => {
+            let seed = draws
+                .iter()
+                .fold(fnv_u64(FNV_OFFSET, case.seed), |h, &v| fnv_u64(h, v));
+            (case.size, seed)
+        }
+        None => (case.size, case.seed),
+    }
 }
 
 #[cfg(test)]
@@ -499,5 +813,122 @@ mod tests {
         assert_ne!(vec![1u32, 2].digest(), vec![2u32, 1].digest());
         assert_ne!(vec![0u64].digest(), vec![0u64, 0].digest());
         assert_ne!(vec![true, false].digest(), vec![false, true].digest());
+    }
+
+    #[test]
+    fn every_entry_has_at_least_three_scenarios() {
+        for entry in registry() {
+            let scenarios = entry.scenarios();
+            assert!(
+                scenarios.len() >= 3,
+                "{}: only {} applicable scenario families",
+                entry.name(),
+                scenarios.len()
+            );
+            assert!(scenarios.iter().all(|s| entry.supports(s)));
+        }
+    }
+
+    #[test]
+    fn scenarios_change_the_instance() {
+        // Different scenario families must actually generate different
+        // instances (different reference digests) for the same
+        // (size, seed) — otherwise the matrix would re-test one input.
+        let cfg = RunConfig::seeded(3);
+        for entry in [lookup("lis").unwrap(), lookup("sssp/delta").unwrap()] {
+            let mut digests: Vec<u64> = entry
+                .scenarios()
+                .iter()
+                .map(|&s| {
+                    let case = CaseSpec::new(90, 3).with_scenario(s);
+                    entry.try_run_case(&case, &cfg).unwrap().expected_digest
+                })
+                .collect();
+            digests.sort_unstable();
+            digests.dedup();
+            assert!(
+                digests.len() >= entry.scenarios().len() - 1,
+                "{}: scenario families collapse to {} distinct instances",
+                entry.name(),
+                digests.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_entry_key_is_an_error() {
+        let err = run_named("nope", &CaseSpec::new(10, 1), &RunConfig::seeded(1)).unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownEntry(ref k) if k == "nope"));
+        assert!(err.to_string().contains("nope"));
+        let err = run_named_batch(
+            "sssp/nope",
+            &CaseSpec::new(10, 1),
+            &[],
+            &RunConfig::seeded(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownEntry(_)));
+    }
+
+    #[test]
+    fn unknown_scenario_key_is_an_error() {
+        let err = CaseSpec::new(10, 1)
+            .with_scenario_key("graph/nope")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::Scenario(ScenarioError::UnknownFamily(_))
+        ));
+        assert!(err.to_string().contains("graph/nope"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn incompatible_scenario_is_an_error_not_a_panic() {
+        let seq_case = CaseSpec::new(10, 1).with_scenario_key("seq/zipf").unwrap();
+        let entry = lookup("sssp/delta").unwrap();
+        let err = entry
+            .try_run_case(&seq_case, &RunConfig::seeded(1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::IncompatibleScenario {
+                entry: "sssp/delta",
+                expected: ScenarioKind::Graph,
+                got: ScenarioKind::Seq,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("sssp/delta"));
+
+        let graph_case = CaseSpec::new(10, 1)
+            .with_scenario_key("graph/rmat")
+            .unwrap();
+        let entry = lookup("lis").unwrap();
+        assert!(entry
+            .try_run_batch(&graph_case, &[RunConfig::seeded(1)], &RunConfig::seeded(1))
+            .is_err());
+        // The infallible paths fall back to the default generator
+        // instead of erroring (documented behavior).
+        let fallback = entry.run_case(&graph_case, &RunConfig::seeded(1));
+        let plain = entry.run_case(&CaseSpec::new(10, 1), &RunConfig::seeded(1));
+        assert_eq!(fallback.expected_digest, plain.expected_digest);
+    }
+
+    #[test]
+    fn run_named_dispatches_with_scenarios() {
+        let case = CaseSpec::new(70, 2)
+            .with_scenario_key("graph/grid2d+w/unit")
+            .unwrap();
+        let outcome = run_named("sssp/rho", &case, &RunConfig::seeded(2)).unwrap();
+        assert!(outcome.agrees());
+        let outcomes = run_named_batch(
+            "sssp/rho",
+            &case,
+            &[RunConfig::seeded(1), RunConfig::seeded(2).with_source(5)],
+            &RunConfig::seeded(2),
+        )
+        .unwrap();
+        assert!(outcomes.iter().all(CaseOutcome::agrees));
     }
 }

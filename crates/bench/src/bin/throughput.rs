@@ -1,7 +1,9 @@
 //! Throughput bench: queries/sec for **prepared** vs **unprepared**
-//! SSSP serving repeated per-source queries against one fixed road
-//! network — the ROADMAP's heavy-traffic scenario (millions of SSSP
-//! queries against one graph).
+//! SSSP serving repeated per-source queries against one fixed network —
+//! the ROADMAP's heavy-traffic scenario (millions of SSSP queries
+//! against one graph) — swept across the workload scenario families of
+//! `pp-workloads`, so amortization is measured on every input shape,
+//! not just the uniform case.
 //!
 //! Three service tiers, worst to best:
 //!
@@ -15,18 +17,32 @@
 //!   queries run through `PreparedSolver::solve_batch`, recycling
 //!   distance arrays and bucket queues through a `Scratch` workspace.
 //!
-//! Prints a JSON summary (one object per thread count per family) with
-//! all three rates and the prepared speedups. `PP_SCALE` scales the
-//! graph; thread counts are requested via `RunConfig::threads` (under
-//! the sequential rayon shim they all execute on one core, so the
-//! speedups shown there are pure amortization, not parallelism).
+//! Prints a JSON summary: one object per (scenario family × algorithm
+//! family × thread count), each row carrying the scenario key so
+//! per-scenario regressions are attributable. `PP_SCALE` scales the
+//! graphs; `PP_SMOKE=1` shrinks everything to CI-tripwire sizes.
+//! Thread counts are requested via `RunConfig::threads` (under the
+//! sequential rayon shim they all execute on one core, so the speedups
+//! shown there are pure amortization, not parallelism).
 //!
 //! Run with: `cargo run --release -p pp-bench --bin throughput`
 
 use phase_parallel::{PhaseAlgorithm, RunConfig, Solver};
 use pp_algos::api::{DeltaSssp, DijkstraSssp, SsspInstance};
-use pp_graph::{gen, Graph, GraphBuilder};
+use pp_graph::{Graph, GraphBuilder};
+use pp_workloads::ScenarioSpec;
 use std::time::Instant;
+
+/// The scenario families the tiers sweep: one per qualitatively
+/// different input shape, each with the weight distribution that
+/// stresses it best.
+const SCENARIOS: [&str; 5] = [
+    "graph/uniform+w/uniform",
+    "graph/rmat+w/uniform",
+    "graph/grid2d+w/unit",
+    "graph/geometric+w/exp",
+    "graph/star-hub+w/uniform",
+];
 
 /// Queries per second, measured over one pass of `queries`.
 fn qps(elapsed_secs: f64, queries: usize) -> f64 {
@@ -112,48 +128,56 @@ where
 }
 
 fn main() {
-    let scale = pp_bench::scale();
-    let n = 6000 * scale;
-    let g = gen::uniform(n, 4 * n, 1);
-    let wg = gen::with_uniform_weights(&g, 1, 256, 2);
-    let edges = edge_triples(&wg);
-
-    let n_queries = 48usize;
-    let queries: Vec<RunConfig> = (0..n_queries as u64)
-        .map(|i| RunConfig::seeded(i).with_source((pp_parlay::hash64(7, i) % n as u64) as u32))
-        .collect();
+    let smoke = pp_bench::smoke();
+    let (n_target, n_queries) = if smoke {
+        (300usize, 8usize)
+    } else {
+        (4000 * pp_bench::scale(), 40)
+    };
+    let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 4, 8] };
 
     println!("{{");
     println!("  \"bench\": \"throughput\",");
-    println!("  \"vertices\": {n},");
-    println!("  \"edges\": {},", edges.len());
+    println!("  \"smoke\": {smoke},");
+    println!("  \"target_vertices\": {n_target},");
     println!("  \"queries\": {n_queries},");
     println!("  \"results\": [");
     let mut rows = Vec::new();
-    for (family, runner) in [
-        (
-            "sssp/delta",
-            Box::new(|t| bench_family(DeltaSssp, n, &edges, &queries, t))
-                as Box<dyn Fn(usize) -> Tier>,
-        ),
-        (
-            "sssp/dijkstra",
-            Box::new(|t| bench_family(DijkstraSssp, n, &edges, &queries, t)),
-        ),
-    ] {
-        for threads in [1usize, 4, 8] {
-            let tier = runner(threads);
-            rows.push(format!(
-                "    {{\"family\": \"{family}\", \"threads\": {threads}, \
-                 \"unprepared_qps\": {:.2}, \"reused_instance_qps\": {:.2}, \
-                 \"prepared_qps\": {:.2}, \"speedup_vs_unprepared\": {:.3}, \
-                 \"speedup_vs_reused\": {:.3}}}",
-                tier.unprepared,
-                tier.reused,
-                tier.prepared,
-                tier.prepared / tier.unprepared,
-                tier.prepared / tier.reused,
-            ));
+    for key in SCENARIOS {
+        let spec = ScenarioSpec::parse(key).expect("scenario key");
+        let wg = spec.weighted_graph(n_target, 1).expect("graph scenario");
+        let n = wg.num_vertices();
+        let edges = edge_triples(&wg);
+        let queries: Vec<RunConfig> = (0..n_queries as u64)
+            .map(|i| RunConfig::seeded(i).with_source((pp_parlay::hash64(7, i) % n as u64) as u32))
+            .collect();
+        for (family, runner) in [
+            (
+                "sssp/delta",
+                Box::new(|t| bench_family(DeltaSssp, n, &edges, &queries, t))
+                    as Box<dyn Fn(usize) -> Tier>,
+            ),
+            (
+                "sssp/dijkstra",
+                Box::new(|t| bench_family(DijkstraSssp, n, &edges, &queries, t)),
+            ),
+        ] {
+            for &threads in thread_counts {
+                let tier = runner(threads);
+                rows.push(format!(
+                    "    {{\"scenario\": \"{key}\", \"family\": \"{family}\", \
+                     \"vertices\": {n}, \"edges\": {}, \"threads\": {threads}, \
+                     \"unprepared_qps\": {:.2}, \"reused_instance_qps\": {:.2}, \
+                     \"prepared_qps\": {:.2}, \"speedup_vs_unprepared\": {:.3}, \
+                     \"speedup_vs_reused\": {:.3}}}",
+                    edges.len(),
+                    tier.unprepared,
+                    tier.reused,
+                    tier.prepared,
+                    tier.prepared / tier.unprepared,
+                    tier.prepared / tier.reused,
+                ));
+            }
         }
     }
     println!("{}", rows.join(",\n"));

@@ -16,6 +16,13 @@ pub fn scale() -> usize {
         .unwrap_or(1)
 }
 
+/// Smoke mode from the `PP_SMOKE` env var: benches shrink to tiny
+/// sizes so CI can run them per-PR purely as a regression tripwire
+/// (the numbers are not meaningful, the shape of the output is).
+pub fn smoke() -> bool {
+    std::env::var("PP_SMOKE").is_ok_and(|s| !s.is_empty() && s != "0")
+}
+
 /// Time a closure: best of `reps` runs (the paper averages the last five
 /// of six; at our scale best-of is less noisy for short runs).
 pub fn time_best<F: FnMut()>(reps: usize, mut f: F) -> Duration {

@@ -3,7 +3,7 @@
 
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
-use pp_parlay::rng::{bounded, hash64, Rng};
+use pp_parlay::rng::{bounded, hash64, unit_f64, Rng};
 use rayon::prelude::*;
 
 /// Uniformly random undirected graph: `m` edges sampled uniformly from
@@ -86,6 +86,102 @@ pub fn grid2d(rows: usize, cols: usize) -> Graph {
     b.build()
 }
 
+/// 2D torus (`rows × cols` vertices, 4-neighborhood with wrap-around
+/// edges): the grid's regular-degree cousin — every vertex has degree
+/// exactly 4 (for `rows, cols ≥ 3`), no boundary effects.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::new(n).symmetric();
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.add(id(r, c), id(r, (c + 1) % cols));
+            }
+            if rows > 1 {
+                b.add(id(r, c), id((r + 1) % rows, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, every
+/// pair within Euclidean distance `r` connected, with `r` chosen so the
+/// expected average degree is `degree` (`π r² n ≈ degree`). The
+/// mesh-like workload: strong locality, near-constant degrees, diameter
+/// `Θ(√(n/degree))` — between the uniform and grid extremes.
+///
+/// Neighbor search is bucketed on an `r`-sized cell grid, so generation
+/// is `O(n · degree)` expected rather than `O(n²)`.
+pub fn random_geometric(n: usize, degree: usize, seed: u64) -> Graph {
+    let n = n.max(1);
+    let pts: Vec<(f64, f64)> = (0..n as u64)
+        .map(|i| {
+            (
+                unit_f64(hash64(seed, 2 * i)),
+                unit_f64(hash64(seed, 2 * i + 1)),
+            )
+        })
+        .collect();
+    let r = (degree.max(1) as f64 / (std::f64::consts::PI * n as f64))
+        .sqrt()
+        .min(1.0);
+    let r2 = r * r;
+    // Cell side ≥ r, so any edge spans at most one cell in each axis.
+    let cells = (1.0 / r).floor().max(1.0) as usize;
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut bucket = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        bucket[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let mut b = GraphBuilder::new(n).symmetric();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+            for dx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                for &j in &bucket[dy * cells + dx] {
+                    if (i as u32) < j {
+                        let (px, py) = pts[j as usize];
+                        if (x - px) * (x - px) + (y - py) * (y - py) <= r2 {
+                            b.add(i as u32, j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hub-and-spoke graph: `hubs` mutually connected hub vertices, every
+/// other vertex attached to one (sometimes two) random hubs. The
+/// adversarial-degree workload — hubs see `Θ(n / hubs)` neighbors while
+/// spokes have degree 1–2, stressing skewed-frontier handling the way
+/// [`star`] does but with enough hubs to keep some parallelism.
+pub fn star_hub(n: usize, hubs: usize, seed: u64) -> Graph {
+    let n = n.max(1);
+    let h = hubs.clamp(1, n);
+    let mut b = GraphBuilder::new(n).symmetric();
+    for i in 0..h as u32 {
+        for j in i + 1..h as u32 {
+            b.add(i, j);
+        }
+    }
+    for v in h as u32..n as u32 {
+        b.add(v, bounded(hash64(seed, u64::from(v)), h as u64) as u32);
+        // A second hub for half the spokes keeps the graph from being a
+        // forest of pure stars (cycles through hub pairs exist).
+        if hash64(seed ^ 0x5b, u64::from(v)) & 1 == 1 {
+            b.add(
+                v,
+                bounded(hash64(seed ^ 0xa7, u64::from(v)), h as u64) as u32,
+            );
+        }
+    }
+    b.build()
+}
+
 /// Simple cycle over `n` vertices (diameter `n/2` — worst-case rank).
 pub fn cycle(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n).symmetric();
@@ -122,6 +218,41 @@ pub fn with_uniform_weights(g: &Graph, w_min: u64, w_max: u64, seed: u64) -> Gra
         }
     }
     b.extend(edges);
+    b.build()
+}
+
+/// Attach unit weights to an existing graph: the weighted view of an
+/// unweighted instance (SSSP degenerates to BFS distances). The `w/unit`
+/// scenario distribution.
+pub fn with_unit_weights(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n).weighted();
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            b.add_weighted(u, v, 1);
+        }
+    }
+    b.build()
+}
+
+/// Attach weights drawn from an exponential distribution with the given
+/// `mean` (floored at 1), assigning each undirected edge one weight —
+/// heavy mass near w* with a long tail, the opposite stress to the
+/// uniform range. The `w/exp` scenario distribution.
+pub fn with_exp_weights(g: &Graph, mean: u64, seed: u64) -> Graph {
+    assert!(mean >= 1);
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n).weighted();
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            // Weight keyed on the canonical arc so (u,v) and (v,u) match.
+            let (a, bb) = if u <= v { (u, v) } else { (v, u) };
+            let key = (a as u64) << 32 | bb as u64;
+            let unit = unit_f64(hash64(seed, key));
+            let w = 1 + (-(mean as f64) * unit.max(1e-300).ln()) as u64;
+            b.add_weighted(u, v, w);
+        }
+    }
     b.build()
 }
 
@@ -185,6 +316,62 @@ mod tests {
                 let w = wg.edge_weights(u)[i];
                 let j = wg.neighbors(v).iter().position(|&x| x == u).unwrap();
                 assert_eq!(wg.edge_weights(v)[j], w);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_regular_degree() {
+        let g = torus2d(6, 8);
+        assert_eq!(g.num_vertices(), 48);
+        assert!(g.is_symmetric());
+        assert!((0..48u32).all(|v| g.degree(v) == 4));
+        // Degenerate shapes still build (dedup collapses wrap edges).
+        let line = torus2d(1, 5);
+        assert!(line.is_symmetric());
+        assert!((0..5u32).all(|v| line.degree(v) == 2)); // a cycle
+    }
+
+    #[test]
+    fn geometric_local_and_bounded() {
+        let g = random_geometric(500, 8, 3);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.is_symmetric());
+        // Average degree lands near the target (±2x is generous).
+        let avg = g.num_edges() as f64 / 500.0;
+        assert!((2.0..32.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn star_hub_degrees_skewed() {
+        let g = star_hub(400, 8, 5);
+        assert_eq!(g.num_vertices(), 400);
+        assert!(g.is_symmetric());
+        assert!(g.max_degree() >= 400 / 16, "hubs must be hot");
+        // Spokes stay low-degree.
+        assert!((8..400u32).all(|v| g.degree(v) <= 2));
+        // Degenerate: more hubs than vertices clamps.
+        assert_eq!(star_hub(3, 10, 1).num_vertices(), 3);
+    }
+
+    #[test]
+    fn unit_and_exp_weights() {
+        let g = uniform(60, 240, 9);
+        let unit = with_unit_weights(&g);
+        assert!(unit.is_weighted());
+        assert_eq!(unit.num_edges(), g.num_edges());
+        assert_eq!(unit.min_weight(), Some(1));
+        assert_eq!(unit.max_weight(), Some(1));
+
+        let exp = with_exp_weights(&g, 100, 4);
+        assert!(exp.is_weighted());
+        assert!(exp.min_weight().unwrap() >= 1);
+        // Both directions of each undirected edge carry the same weight.
+        for u in 0..exp.num_vertices() as u32 {
+            for (i, &v) in exp.neighbors(u).iter().enumerate() {
+                let w = exp.edge_weights(u)[i];
+                let j = exp.neighbors(v).iter().position(|&x| x == u).unwrap();
+                assert_eq!(exp.edge_weights(v)[j], w);
             }
         }
     }

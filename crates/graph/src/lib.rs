@@ -10,6 +10,10 @@
 //!   in §6.3 (high diameter, small frontiers).
 //! * **Uniform (Erdős–Rényi-style) graphs** for MIS / coloring / matching
 //!   experiments and tests.
+//! * **Random geometric graphs** (mesh-like locality), **2D tori**
+//!   (regular degree, no boundary), and **hub-and-spoke graphs**
+//!   (adversarial degree skew) — the extra shapes behind the
+//!   `pp-workloads` scenario families.
 //!
 //! Edge weights are drawn uniformly from `[w*, w_max]` exactly as in the
 //! paper's SSSP setup ("we fix the largest edge weight as 2^23, vary w*

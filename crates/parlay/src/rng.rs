@@ -29,6 +29,14 @@ pub fn hash64(seed: u64, i: u64) -> u64 {
     mix64(seed ^ mix64(i.wrapping_add(0x9E37_79B9_7F4A_7C15)))
 }
 
+/// Map a 64-bit random value to a uniform `f64` in `[0, 1)` (top 53
+/// bits become the mantissa). The one canonical copy of the shift
+/// constant — generators needing continuous draws go through this.
+#[inline]
+pub fn unit_f64(r: u64) -> f64 {
+    (r >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// Map a 64-bit random value to `[0, bound)` without modulo bias
 /// (Lemire's multiply-shift reduction; the bias is < 2^-32 for bounds
 /// below 2^32, negligible for our use).
@@ -77,7 +85,7 @@ impl Rng {
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_f64(self.next_u64())
     }
 
     /// Sample from a standard normal distribution (Box–Muller transform).
@@ -86,8 +94,7 @@ impl Rng {
     /// activity lengths from a truncated normal distribution (§6.1).
     pub fn normal(&mut self) -> f64 {
         // Avoid log(0) by shifting u1 away from zero.
-        let u1 = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let u1 = u1.max(1e-300);
+        let u1 = unit_f64(self.next_u64()).max(1e-300);
         let u2 = self.f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }

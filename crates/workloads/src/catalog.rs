@@ -1,0 +1,53 @@
+//! The scenario catalog: the default-knob spec for every family, the
+//! lists sweeps iterate, and the key listing error messages point at.
+
+use crate::spec::{Family, ScenarioKind, ScenarioSpec};
+
+/// Every family key, in catalog order (for error messages and CLIs).
+pub fn families() -> Vec<&'static str> {
+    Family::ALL.into_iter().map(Family::key).collect()
+}
+
+/// One default-knob spec per family, in catalog order.
+pub fn all_scenarios() -> Vec<ScenarioSpec> {
+    Family::ALL.into_iter().map(ScenarioSpec::new).collect()
+}
+
+/// The graph families with default knobs — what a graph-consuming
+/// registry entry sweeps in the conformance matrix.
+pub fn graph_scenarios() -> Vec<ScenarioSpec> {
+    scenarios_of_kind(ScenarioKind::Graph)
+}
+
+/// The sequence families with default knobs — what a sequence-consuming
+/// registry entry sweeps in the conformance matrix.
+pub fn seq_scenarios() -> Vec<ScenarioSpec> {
+    scenarios_of_kind(ScenarioKind::Seq)
+}
+
+/// Default-knob specs of one kind.
+pub fn scenarios_of_kind(kind: ScenarioKind) -> Vec<ScenarioSpec> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| s.kind() == kind)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_partitioned_and_unique() {
+        let all = all_scenarios();
+        assert_eq!(all.len(), graph_scenarios().len() + seq_scenarios().len());
+        // Enough families for the conformance matrix's ≥3-per-entry bar.
+        assert!(graph_scenarios().len() >= 4);
+        assert!(seq_scenarios().len() >= 4);
+        let mut keys: Vec<String> = all.iter().map(ScenarioSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len(), "scenario keys must be unique");
+        assert_eq!(families().len(), all.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! Scenario-layer errors: every malformed key or family/materializer
+//! mismatch surfaces as a typed [`ScenarioError`] instead of a panic.
+
+use crate::spec::ScenarioKind;
+
+/// Why a scenario key failed to parse or a spec failed to materialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The family segment of a key (`graph/…`, `seq/…`) is not
+    /// registered. Carries the offending segment.
+    UnknownFamily(String),
+    /// The weight-distribution segment (`w/…`) is not registered.
+    UnknownWeights(String),
+    /// The key has a shape no scenario can have (e.g. three `+` parts,
+    /// or a weight distribution on a sequence family).
+    MalformedKey(String),
+    /// A materializer was called on a family of the wrong kind (e.g.
+    /// [`crate::ScenarioSpec::graph`] on a `seq/…` family). Carries the
+    /// family key and the kind the caller needed.
+    WrongKind {
+        /// The family key of the spec that was asked.
+        family: &'static str,
+        /// The kind the materializer produces.
+        needed: ScenarioKind,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownFamily(k) => {
+                write!(
+                    f,
+                    "unknown scenario family {k:?} (see pp_workloads::families())"
+                )
+            }
+            ScenarioError::UnknownWeights(k) => {
+                write!(
+                    f,
+                    "unknown weight distribution {k:?} (w/unit, w/uniform, w/exp)"
+                )
+            }
+            ScenarioError::MalformedKey(k) => write!(f, "malformed scenario key {k:?}"),
+            ScenarioError::WrongKind { family, needed } => write!(
+                f,
+                "scenario family {family:?} cannot materialize a {needed:?} instance"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

@@ -1,0 +1,59 @@
+//! # `pp-workloads` — string-keyed workload scenarios
+//!
+//! The paper evaluates the phase-parallel framework across qualitatively
+//! different inputs — power-law social graphs, meshes and road-like
+//! graphs, adversarial dependence chains. This crate turns that input
+//! diversity into a first-class, *tested* axis: a [`ScenarioSpec`] names
+//! a workload family by string key (`graph/rmat`, `seq/adversarial-chain`,
+//! …), carries the family's typed knobs, and deterministically
+//! materializes instances from a seed.
+//!
+//! Two kinds of family ([`ScenarioKind`]):
+//!
+//! * **`graph/…`** families materialize a [`pp_graph::Graph`]
+//!   (optionally weighted via the `w/unit | w/uniform | w/exp`
+//!   distributions) — consumed by the SSSP, MIS, coloring and matching
+//!   registry entries.
+//! * **`seq/…`** families materialize structured *draws* in a caller's
+//!   span — consumed by the sequence entries (LIS, activity selection,
+//!   Huffman, Whac-A-Mole, dominance chains, …), which map the draws
+//!   into their own value space. Structure survives the mapping because
+//!   it is monotone.
+//!
+//! The registry in `pp-algos` threads an `Option<ScenarioSpec>` through
+//! its `CaseSpec`, so any entry can be exercised on any applicable
+//! scenario; the conformance suite sweeps the full entry × scenario
+//! matrix.
+//!
+//! A scenario can also drive a typed family directly — here, preparing
+//! a grid road network once and serving a batch of per-source SSSP
+//! queries through `PreparedSolver::solve_batch` (from the
+//! `phase-parallel` core crate):
+//!
+//! ```
+//! use phase_parallel::{RunConfig, Solver};
+//! use pp_algos::api::{DeltaSssp, SsspInstance};
+//! use pp_workloads::ScenarioSpec;
+//!
+//! let spec = ScenarioSpec::parse("graph/grid2d+w/uniform")?;
+//! let road = spec.weighted_graph(100, 7)?; // 10×10 grid, weights in [1, 1000]
+//! let n = road.num_vertices() as u32;
+//! let instance = SsspInstance::new(road, 0);
+//!
+//! let solver = Solver::new(DeltaSssp);
+//! let prepared = solver.prepare(&instance); // w*, min out-weights: built once
+//! let queries: Vec<RunConfig> = (0..4u64)
+//!     .map(|i| RunConfig::seeded(i).with_source((i as u32 * 23) % n))
+//!     .collect();
+//! let batch = prepared.solve_batch(&queries); // scratch recycled across queries
+//! assert_eq!(batch.len(), 4);
+//! # Ok::<(), pp_workloads::ScenarioError>(())
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod spec;
+
+pub use catalog::{all_scenarios, families, graph_scenarios, scenarios_of_kind, seq_scenarios};
+pub use error::ScenarioError;
+pub use spec::{Family, ScenarioKind, ScenarioSpec, WeightDist};

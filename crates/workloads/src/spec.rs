@@ -1,0 +1,479 @@
+//! [`ScenarioSpec`]: string-keyed workload families with typed knobs,
+//! deterministically materialized from a seed.
+
+use crate::error::ScenarioError;
+use pp_graph::{gen, Graph};
+use pp_parlay::rng::{bounded, hash64, unit_f64};
+
+/// What a scenario family materializes: a graph instance or a sequence
+/// of draws. Registry entries accept scenarios of exactly one kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// `graph/…` families: produce a [`Graph`] (optionally weighted).
+    Graph,
+    /// `seq/…` families: produce structured draws a sequence-consuming
+    /// family maps into its own value space.
+    Seq,
+}
+
+/// A workload family, keyed by the strings in the table below.
+///
+/// | Key | Kind | Shape |
+/// |---|---|---|
+/// | `graph/uniform` | graph | Erdős–Rényi-style, ~`degree · n` edges |
+/// | `graph/rmat` | graph | power-law (social-network stand-in) |
+/// | `graph/grid2d` | graph | `⌈√n⌉ × ⌈√n⌉` grid (torus with the knob) |
+/// | `graph/geometric` | graph | random geometric (mesh-like locality) |
+/// | `graph/star-hub` | graph | hub-and-spoke (adversarial degree skew) |
+/// | `seq/uniform` | seq | i.i.d. uniform draws |
+/// | `seq/sorted` | seq | uniform draws, sorted (long dependence runs) |
+/// | `seq/adversarial-chain` | seq | strictly increasing ramp (rank = n) |
+/// | `seq/zipf` | seq | power-law-skewed draws (heavy head, long tail) |
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    GraphUniform,
+    GraphRmat,
+    GraphGrid2d,
+    GraphGeometric,
+    GraphStarHub,
+    SeqUniform,
+    SeqSorted,
+    SeqAdversarialChain,
+    SeqZipf,
+}
+
+impl Family {
+    /// Every family, in catalog order.
+    pub const ALL: [Family; 9] = [
+        Family::GraphUniform,
+        Family::GraphRmat,
+        Family::GraphGrid2d,
+        Family::GraphGeometric,
+        Family::GraphStarHub,
+        Family::SeqUniform,
+        Family::SeqSorted,
+        Family::SeqAdversarialChain,
+        Family::SeqZipf,
+    ];
+
+    /// The stable string key (`graph/rmat`, `seq/zipf`, …).
+    pub fn key(self) -> &'static str {
+        match self {
+            Family::GraphUniform => "graph/uniform",
+            Family::GraphRmat => "graph/rmat",
+            Family::GraphGrid2d => "graph/grid2d",
+            Family::GraphGeometric => "graph/geometric",
+            Family::GraphStarHub => "graph/star-hub",
+            Family::SeqUniform => "seq/uniform",
+            Family::SeqSorted => "seq/sorted",
+            Family::SeqAdversarialChain => "seq/adversarial-chain",
+            Family::SeqZipf => "seq/zipf",
+        }
+    }
+
+    /// Look a family up by its string key.
+    pub fn parse(key: &str) -> Result<Family, ScenarioError> {
+        Family::ALL
+            .into_iter()
+            .find(|f| f.key() == key)
+            .ok_or_else(|| ScenarioError::UnknownFamily(key.to_string()))
+    }
+
+    /// Whether the family materializes a graph or a sequence.
+    pub fn kind(self) -> ScenarioKind {
+        match self {
+            Family::GraphUniform
+            | Family::GraphRmat
+            | Family::GraphGrid2d
+            | Family::GraphGeometric
+            | Family::GraphStarHub => ScenarioKind::Graph,
+            Family::SeqUniform
+            | Family::SeqSorted
+            | Family::SeqAdversarialChain
+            | Family::SeqZipf => ScenarioKind::Seq,
+        }
+    }
+}
+
+/// Edge-weight distribution for graph scenarios (the `w/…` key segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeightDist {
+    /// `w/unit` — every edge weight 1 (SSSP degenerates to BFS).
+    Unit,
+    /// `w/uniform` — weights uniform in `[min, max]` (the paper's §6.3
+    /// scheme).
+    Uniform { min: u64, max: u64 },
+    /// `w/exp` — exponentially distributed weights with the given mean,
+    /// floored at 1 (heavy small-weight mass, long tail).
+    Exp { mean: u64 },
+}
+
+impl WeightDist {
+    /// The stable string key (knob values are not part of the key).
+    pub fn key(self) -> &'static str {
+        match self {
+            WeightDist::Unit => "w/unit",
+            WeightDist::Uniform { .. } => "w/uniform",
+            WeightDist::Exp { .. } => "w/exp",
+        }
+    }
+
+    /// Look a distribution up by key, with default knobs.
+    pub fn parse(key: &str) -> Result<WeightDist, ScenarioError> {
+        match key {
+            "w/unit" => Ok(WeightDist::Unit),
+            "w/uniform" => Ok(WeightDist::Uniform { min: 1, max: 1000 }),
+            "w/exp" => Ok(WeightDist::Exp { mean: 100 }),
+            other => Err(ScenarioError::UnknownWeights(other.to_string())),
+        }
+    }
+
+    /// Attach this distribution's weights to a graph.
+    fn apply(self, g: &Graph, seed: u64) -> Graph {
+        match self {
+            WeightDist::Unit => gen::with_unit_weights(g),
+            WeightDist::Uniform { min, max } => gen::with_uniform_weights(g, min, max, seed),
+            WeightDist::Exp { mean } => gen::with_exp_weights(g, mean, seed),
+        }
+    }
+}
+
+/// A fully specified workload scenario: a [`Family`] plus the typed
+/// knobs every family reads (each family uses the subset that applies
+/// to it; the rest are inert). The same spec and seed always
+/// materialize the identical instance.
+///
+/// Construct from a key (the `family[+w/dist]` format) or from a family
+/// with builder knobs:
+///
+/// ```
+/// use pp_workloads::{Family, ScenarioSpec, WeightDist};
+///
+/// let a = ScenarioSpec::parse("graph/rmat+w/exp").unwrap();
+/// assert_eq!(a.family, Family::GraphRmat);
+/// assert_eq!(a.key(), "graph/rmat+w/exp");
+///
+/// let b = ScenarioSpec::new(Family::GraphGrid2d).with_torus(true);
+/// let g = b.graph(100, 7).unwrap();
+/// assert!(g.num_vertices() >= 100);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScenarioSpec {
+    /// The workload family.
+    pub family: Family,
+    /// Edge-weight distribution (graph families; used by
+    /// [`ScenarioSpec::weighted_graph`]).
+    pub weights: WeightDist,
+    /// Target average degree (graph families except `grid2d`).
+    pub degree: usize,
+    /// Wrap the grid into a torus (`graph/grid2d`).
+    pub torus: bool,
+    /// Hub count (`graph/star-hub`).
+    pub hubs: usize,
+    /// Sort descending instead of ascending (`seq/sorted`).
+    pub descending: bool,
+    /// Power-law exponent (`seq/zipf`): larger = heavier skew.
+    pub skew: u32,
+}
+
+impl ScenarioSpec {
+    /// A spec for `family` with default knobs (degree 4, 8 hubs,
+    /// ascending sort, skew 3, uniform `[1, 1000]` weights).
+    pub fn new(family: Family) -> Self {
+        Self {
+            family,
+            weights: WeightDist::Uniform { min: 1, max: 1000 },
+            degree: 4,
+            torus: false,
+            hubs: 8,
+            descending: false,
+            skew: 3,
+        }
+    }
+
+    /// Parse a scenario key: a family key optionally followed by
+    /// `+w/dist` (graph families only), e.g. `"graph/grid2d+w/unit"`.
+    pub fn parse(key: &str) -> Result<Self, ScenarioError> {
+        let mut parts = key.split('+');
+        let family = Family::parse(parts.next().unwrap_or_default())?;
+        let mut spec = Self::new(family);
+        if let Some(w) = parts.next() {
+            if family.kind() != ScenarioKind::Graph {
+                return Err(ScenarioError::MalformedKey(key.to_string()));
+            }
+            spec.weights = WeightDist::parse(w)?;
+        }
+        if parts.next().is_some() {
+            return Err(ScenarioError::MalformedKey(key.to_string()));
+        }
+        Ok(spec)
+    }
+
+    /// The canonical key: the family key, plus the weight-distribution
+    /// key for graph families.
+    pub fn key(&self) -> String {
+        match self.kind() {
+            ScenarioKind::Graph => format!("{}+{}", self.family.key(), self.weights.key()),
+            ScenarioKind::Seq => self.family.key().to_string(),
+        }
+    }
+
+    /// Whether this spec materializes a graph or a sequence.
+    pub fn kind(&self) -> ScenarioKind {
+        self.family.kind()
+    }
+
+    pub fn with_weights(mut self, weights: WeightDist) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree.max(1);
+        self
+    }
+
+    pub fn with_torus(mut self, torus: bool) -> Self {
+        self.torus = torus;
+        self
+    }
+
+    pub fn with_hubs(mut self, hubs: usize) -> Self {
+        self.hubs = hubs.max(1);
+        self
+    }
+
+    pub fn with_descending(mut self, descending: bool) -> Self {
+        self.descending = descending;
+        self
+    }
+
+    pub fn with_skew(mut self, skew: u32) -> Self {
+        self.skew = skew.max(1);
+        self
+    }
+
+    /// Materialize the unweighted graph for a graph family, over at
+    /// least `n.max(1)` vertices (regular shapes round up: `rmat` to the
+    /// next power of two, `grid2d` to the next square). Deterministic in
+    /// `(self, n, seed)`.
+    pub fn graph(&self, n: usize, seed: u64) -> Result<Graph, ScenarioError> {
+        let n = n.max(1);
+        match self.family {
+            Family::GraphUniform => Ok(gen::uniform(n, self.degree * n, seed)),
+            Family::GraphRmat => {
+                let scale = usize::BITS - (n.max(2) - 1).leading_zeros();
+                Ok(gen::rmat(scale, self.degree * n, seed))
+            }
+            Family::GraphGrid2d => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                Ok(if self.torus {
+                    gen::torus2d(side, side)
+                } else {
+                    gen::grid2d(side, side)
+                })
+            }
+            Family::GraphGeometric => Ok(gen::random_geometric(n, self.degree, seed)),
+            Family::GraphStarHub => Ok(gen::star_hub(n, self.hubs, seed)),
+            _ => Err(ScenarioError::WrongKind {
+                family: self.family.key(),
+                needed: ScenarioKind::Graph,
+            }),
+        }
+    }
+
+    /// Materialize the graph with this spec's edge-weight distribution
+    /// applied (graph families only).
+    pub fn weighted_graph(&self, n: usize, seed: u64) -> Result<Graph, ScenarioError> {
+        let g = self.graph(n, seed)?;
+        Ok(self.weights.apply(&g, seed ^ 0x77ed))
+    }
+
+    /// Materialize `n` draws in `[0, span)` carrying the family's
+    /// structure (seq families only): sequence-consuming algorithm
+    /// families map these into their own value space. The mapping
+    /// `[0, 2⁶⁴) → [0, span)` is monotone, so sortedness survives it;
+    /// `seq/adversarial-chain` is strictly increasing whenever
+    /// `span ≥ n`. Deterministic in `(self, n, span, seed)`.
+    pub fn draws(&self, n: usize, span: u64, seed: u64) -> Result<Vec<u64>, ScenarioError> {
+        assert!(span > 0, "draw span must be positive");
+        let uniform = |salt: u64| -> Vec<u64> {
+            (0..n as u64)
+                .map(|i| bounded(hash64(seed ^ salt, i), span))
+                .collect()
+        };
+        match self.family {
+            Family::SeqUniform => Ok(uniform(0x11)),
+            Family::SeqSorted => {
+                let mut v = uniform(0x22);
+                v.sort_unstable();
+                if self.descending {
+                    v.reverse();
+                }
+                Ok(v)
+            }
+            Family::SeqAdversarialChain => {
+                let step = (span / n.max(1) as u64).max(1);
+                Ok((0..n as u64).map(|i| (i * step).min(span - 1)).collect())
+            }
+            Family::SeqZipf => Ok((0..n as u64)
+                .map(|i| {
+                    let u = unit_f64(hash64(seed ^ 0x33, i));
+                    ((span as f64 * u.powi(self.skew as i32)) as u64).min(span - 1)
+                })
+                .collect()),
+            _ => Err(ScenarioError::WrongKind {
+                family: self.family.key(),
+                needed: ScenarioKind::Seq,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_roundtrip() {
+        for family in Family::ALL {
+            let spec = ScenarioSpec::new(family);
+            let parsed = ScenarioSpec::parse(&spec.key()).unwrap();
+            assert_eq!(parsed, spec, "{}", spec.key());
+            assert_eq!(Family::parse(family.key()).unwrap(), family);
+        }
+        for w in ["w/unit", "w/uniform", "w/exp"] {
+            let spec = ScenarioSpec::parse(&format!("graph/uniform+{w}")).unwrap();
+            assert_eq!(spec.weights.key(), w);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_keys() {
+        assert!(matches!(
+            ScenarioSpec::parse("graph/nope"),
+            Err(ScenarioError::UnknownFamily(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("graph/uniform+w/nope"),
+            Err(ScenarioError::UnknownWeights(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("seq/zipf+w/unit"),
+            Err(ScenarioError::MalformedKey(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse("graph/uniform+w/unit+w/exp"),
+            Err(ScenarioError::MalformedKey(_))
+        ));
+        assert!(matches!(
+            ScenarioSpec::parse(""),
+            Err(ScenarioError::UnknownFamily(_))
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let seq = ScenarioSpec::new(Family::SeqZipf);
+        assert!(matches!(
+            seq.graph(10, 1),
+            Err(ScenarioError::WrongKind { .. })
+        ));
+        assert!(matches!(
+            seq.weighted_graph(10, 1),
+            Err(ScenarioError::WrongKind { .. })
+        ));
+        let graph = ScenarioSpec::new(Family::GraphRmat);
+        assert!(matches!(
+            graph.draws(10, 100, 1),
+            Err(ScenarioError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn graph_families_cover_n_and_symmetrize() {
+        for family in Family::ALL
+            .into_iter()
+            .filter(|f| f.kind() == ScenarioKind::Graph)
+        {
+            let spec = ScenarioSpec::new(family);
+            for n in [0usize, 1, 2, 7, 65] {
+                let g = spec.graph(n, 3).unwrap();
+                assert!(g.num_vertices() >= n.max(1), "{family:?} n={n}");
+                assert!(g.is_symmetric(), "{family:?} n={n}");
+                let wg = spec.weighted_graph(n, 3).unwrap();
+                assert!(wg.is_weighted() || wg.num_edges() == 0);
+                assert_eq!(wg.num_vertices(), g.num_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn weight_dists_shape() {
+        let spec = ScenarioSpec::new(Family::GraphUniform);
+        let unit = spec
+            .with_weights(WeightDist::Unit)
+            .weighted_graph(50, 2)
+            .unwrap();
+        assert_eq!(unit.max_weight(), Some(1));
+        let uni = spec
+            .with_weights(WeightDist::Uniform { min: 10, max: 20 })
+            .weighted_graph(50, 2)
+            .unwrap();
+        assert!(uni.min_weight().unwrap() >= 10 && uni.max_weight().unwrap() <= 20);
+        let exp = spec
+            .with_weights(WeightDist::Exp { mean: 50 })
+            .weighted_graph(50, 2)
+            .unwrap();
+        assert!(exp.min_weight().unwrap() >= 1);
+    }
+
+    #[test]
+    fn seq_families_structure() {
+        let n = 200;
+        let span = 5000;
+        let sorted = ScenarioSpec::new(Family::SeqSorted)
+            .draws(n, span, 9)
+            .unwrap();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let desc = ScenarioSpec::new(Family::SeqSorted)
+            .with_descending(true)
+            .draws(n, span, 9)
+            .unwrap();
+        assert!(desc.windows(2).all(|w| w[0] >= w[1]));
+        let chain = ScenarioSpec::new(Family::SeqAdversarialChain)
+            .draws(n, span, 9)
+            .unwrap();
+        assert!(chain.windows(2).all(|w| w[0] < w[1]), "strict ramp");
+        let zipf = ScenarioSpec::new(Family::SeqZipf)
+            .draws(n, span, 9)
+            .unwrap();
+        // Heavy head: the bottom decile holds far more than its uniform
+        // 10% share (P[u³ < 0.1] ≈ 46% at the default skew).
+        let small = zipf.iter().filter(|&&v| v < span / 10).count();
+        assert!(small > n / 3, "zipf head too light: {small}/{n}");
+        for v in [sorted, desc, chain, zipf] {
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < span));
+        }
+    }
+
+    #[test]
+    fn empty_draws() {
+        for family in Family::ALL
+            .into_iter()
+            .filter(|f| f.kind() == ScenarioKind::Seq)
+        {
+            assert!(ScenarioSpec::new(family)
+                .draws(0, 10, 1)
+                .unwrap()
+                .is_empty());
+        }
+    }
+}

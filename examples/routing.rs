@@ -17,7 +17,7 @@ use phase_parallel::Solver;
 use pp_algos::api::{DeltaSssp, SsspInstance};
 use pp_algos::sssp::{delta_stepping, dijkstra};
 use pp_algos::RunConfig;
-use pp_graph::gen;
+use pp_workloads::{ScenarioSpec, WeightDist};
 use std::time::Instant;
 
 fn run(name: &str, g: &pp_graph::Graph) {
@@ -51,16 +51,30 @@ fn run(name: &str, g: &pp_graph::Graph) {
 }
 
 fn main() {
+    // Both inputs come from the string-keyed scenario layer; the §6.3
+    // weighting scheme (uniform in [2^21, 2^23]) is the weight knob.
+    let weights = WeightDist::Uniform {
+        min: 1 << 21,
+        max: 1 << 23,
+    };
+
     // Social-network stand-in: low diameter, skewed degrees (§6.3 /
     // DESIGN.md substitution for Twitter/Friendster).
-    let social = gen::rmat(16, 1 << 20, 1);
-    let social = gen::with_uniform_weights(&social, 1 << 21, 1 << 23, 2);
-    run("RMAT social network", &social);
+    let social = ScenarioSpec::parse("graph/rmat")
+        .unwrap()
+        .with_weights(weights)
+        .with_degree(16)
+        .weighted_graph(1 << 16, 1)
+        .unwrap();
+    run("RMAT social network (graph/rmat)", &social);
 
     // Road-network stand-in: high diameter, constant degree.
-    let road = gen::grid2d(400, 400);
-    let road = gen::with_uniform_weights(&road, 1 << 21, 1 << 23, 3);
-    run("road grid 400x400", &road);
+    let road = ScenarioSpec::parse("graph/grid2d")
+        .unwrap()
+        .with_weights(weights)
+        .weighted_graph(400 * 400, 3)
+        .unwrap();
+    run("road grid 400x400 (graph/grid2d)", &road);
 
     // The engine view: prepare the road network once, then serve a
     // batch of per-source queries against it.

@@ -1,6 +1,6 @@
 //! Framework-conformance tests.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! 1. **Registry conformance** — one generic suite that iterates the
 //!    string-keyed algorithm registry and asserts `solve_par ==
@@ -12,7 +12,13 @@
 //!    shared, buffer-recycling scratch workspace) must equal a fresh
 //!    one-shot `solve_par` for each query config, including per-query
 //!    source overrides for the SSSP family.
-//! 3. **Rank specification** — the concrete algorithms' ranks match the
+//! 3. **Scenario matrix** — every registry entry × every workload
+//!    family applicable to it (`pp-workloads`): par == seq and
+//!    prepared == one-shot on each scenario-drawn instance, so input
+//!    diversity (power-law graphs, grids, meshes, hub skew, sorted and
+//!    adversarial-chain sequences, zipf draws) is a tested axis, with
+//!    SSSP additionally swept across edge-weight distributions.
+//! 4. **Rank specification** — the concrete algorithms' ranks match the
 //!    brute-force independence-system specification of §3 (Definitions
 //!    3.1, Theorems 3.2/3.4), tying the implementations back to the
 //!    paper's formalism.
@@ -23,6 +29,7 @@ use pp_algos::activity::{self, Activity};
 use pp_algos::lis;
 use pp_algos::registry::{self, CaseSpec};
 use pp_parlay::rng::Rng;
+use pp_workloads::{ScenarioSpec, WeightDist};
 
 // ---- layer 1: every registered algorithm is sequential-equivalent ----
 
@@ -169,7 +176,147 @@ fn prepared_conformance_across_sources() {
     assert_all_prepared_agree(CaseSpec::new(120, 13), &queries);
 }
 
-// ---- layer 3: rank specification (§3) ----
+// ---- layer 3: the registry × scenario conformance matrix ----
+
+/// Every registry entry, on every default-knob scenario family it can
+/// consume (graph entries get the five `graph/…` shapes, sequence
+/// entries the four `seq/…` distributions): the parallel execution must
+/// reproduce the sequential baseline on the scenario-drawn instance.
+#[test]
+fn scenario_matrix_par_equals_seq() {
+    for entry in registry::registry() {
+        let scenarios = entry.scenarios();
+        assert!(
+            scenarios.len() >= 3,
+            "{}: matrix requires ≥3 applicable scenario families, got {}",
+            entry.name(),
+            scenarios.len()
+        );
+        for scenario in scenarios {
+            for (size, seed) in [(2usize, 4u64), (67, 5), (150, 6)] {
+                let case = CaseSpec::new(size, seed).with_scenario(scenario);
+                let outcome = entry
+                    .try_run_case(&case, &RunConfig::seeded(seed))
+                    .expect("applicable scenario");
+                assert!(
+                    outcome.agrees(),
+                    "{} diverged on scenario {} size={size} seed={seed}",
+                    entry.name(),
+                    scenario.key(),
+                );
+            }
+        }
+    }
+}
+
+/// The prepared layer of the matrix: on every entry × scenario, queries
+/// served from one prepared instance (shared scratch) must equal fresh
+/// one-shot solves — including per-query knob and source overrides.
+#[test]
+fn scenario_matrix_prepared_equals_one_shot() {
+    // Size 80 floors every graph scenario at ≥80 vertices, so the
+    // source overrides below stay in range.
+    let queries = [
+        RunConfig::seeded(21),
+        RunConfig::seeded(22).with_delta(7).with_source(19),
+        RunConfig::seeded(23).with_rho(8).with_source(61),
+        RunConfig::seeded(24).with_pivot_mode(PivotMode::RightMost),
+    ];
+    for entry in registry::registry() {
+        for scenario in entry.scenarios() {
+            let case = CaseSpec::new(80, 17).with_scenario(scenario);
+            let outcomes = entry
+                .try_run_batch(&case, &queries, &RunConfig::seeded(17))
+                .expect("applicable scenario");
+            assert_eq!(outcomes.len(), queries.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert!(
+                    outcome.agrees(),
+                    "{}: prepared query {i} diverged on scenario {}",
+                    entry.name(),
+                    scenario.key(),
+                );
+            }
+        }
+    }
+}
+
+/// Scenario-drawn instances are deterministic end to end: the same
+/// (entry, scenario, size, seed) always digests identically — the
+/// registry-level form of the generator-determinism property.
+#[test]
+fn scenario_matrix_is_deterministic() {
+    let cfg = RunConfig::seeded(8);
+    for entry in registry::registry() {
+        for scenario in entry.scenarios() {
+            let case = CaseSpec::new(60, 8).with_scenario(scenario);
+            let a = entry.try_run_case(&case, &cfg).unwrap();
+            let b = entry.try_run_case(&case, &cfg).unwrap();
+            assert_eq!(
+                a.expected_digest,
+                b.expected_digest,
+                "{} scenario {} not deterministic",
+                entry.name(),
+                scenario.key(),
+            );
+            assert_eq!(a.observed_digest, b.observed_digest);
+        }
+    }
+}
+
+/// The SSSP family must stay conformant under every edge-weight
+/// distribution crossed with every graph shape (weights change the
+/// bucket structure Δ- and ρ-stepping phase over).
+#[test]
+fn scenario_matrix_weight_distributions() {
+    let weight_dists = [
+        WeightDist::Unit,
+        WeightDist::Uniform { min: 1, max: 1000 },
+        WeightDist::Exp { mean: 100 },
+    ];
+    for name in ["sssp/delta", "sssp/rho"] {
+        let entry = registry::lookup(name).expect("registered");
+        for scenario in entry.scenarios() {
+            for dist in weight_dists {
+                let case = CaseSpec::new(90, 3).with_scenario(scenario.with_weights(dist));
+                let outcome = entry.try_run_case(&case, &RunConfig::seeded(3)).unwrap();
+                assert!(
+                    outcome.agrees(),
+                    "{name} diverged on {} × {}",
+                    scenario.key(),
+                    dist.key(),
+                );
+            }
+        }
+    }
+}
+
+/// String-keyed dispatch end to end: entry key + scenario key, via
+/// `run_named`, for a representative of each kind.
+#[test]
+fn scenario_matrix_by_string_keys() {
+    for (entry_key, scenario_key) in [
+        ("sssp/crauser", "graph/star-hub+w/exp"),
+        ("mis/tas", "graph/geometric"),
+        ("lis", "seq/adversarial-chain"),
+        ("huffman", "seq/zipf"),
+    ] {
+        let case = CaseSpec::new(100, 11)
+            .with_scenario_key(scenario_key)
+            .unwrap();
+        let outcome = registry::run_named(entry_key, &case, &RunConfig::seeded(11)).unwrap();
+        assert!(outcome.agrees(), "{entry_key} on {scenario_key}");
+    }
+    // An adversarial chain drives LIS to its worst-case rank: the
+    // scenario's promise (rank = n) is visible in the output digest.
+    use pp_algos::registry::Digest;
+    let chain = ScenarioSpec::parse("seq/adversarial-chain").unwrap();
+    let case = CaseSpec::new(64, 1).with_scenario(chain);
+    let outcome = registry::run_named("lis", &case, &RunConfig::seeded(1)).unwrap();
+    assert_eq!(outcome.expected_digest, 64u32.digest());
+}
+
+// ---- layer 4: rank specification (§3) ----
 
 /// LIS as an independence system (the §3 running example).
 struct LisSystem(Vec<i64>);

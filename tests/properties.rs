@@ -463,6 +463,97 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 
+    // ---- pp-workloads scenario generators ----
+
+    #[test]
+    fn scenario_graphs_deterministic_symmetric_bounded(
+        fam in 0usize..5, n in 0usize..150, seed in any::<u64>()
+    ) {
+        let spec = pp_workloads::graph_scenarios()[fam];
+        let a = spec.graph(n, seed).unwrap();
+        let b = spec.graph(n, seed).unwrap();
+        // Determinism: identical adjacency (and weighted view) per spec+seed.
+        prop_assert_eq!(a.num_vertices(), b.num_vertices());
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices() as u32 {
+            prop_assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+        let wa = spec.weighted_graph(n, seed).unwrap();
+        let wb = spec.weighted_graph(n, seed).unwrap();
+        for v in 0..wa.num_vertices() as u32 {
+            prop_assert_eq!(wa.edge_weights(v), wb.edge_weights(v));
+        }
+        // Undirected families symmetrize.
+        prop_assert!(a.is_symmetric(), "{} not symmetric", spec.key());
+        // Vertex-count bounds: every shape covers n, rounding up at
+        // most to the next power of two (rmat) or square (grid).
+        let floor = n.max(1);
+        prop_assert!(a.num_vertices() >= floor);
+        prop_assert!(
+            a.num_vertices() <= (2 * floor).max(4),
+            "{}: {} vertices for n={n}", spec.key(), a.num_vertices()
+        );
+        // Edge-count bounds (arc counts; generators target avg degree
+        // `spec.degree` except the constant-degree grid).
+        let nv = a.num_vertices();
+        let arc_cap = match spec.family {
+            pp_workloads::Family::GraphGrid2d => 4 * nv,
+            pp_workloads::Family::GraphStarHub => 2 * (2 * nv + spec.hubs * spec.hubs),
+            // Uniform/rmat sample ≤ degree·n edges; geometric only
+            // *targets* that average, so give it statistical headroom.
+            pp_workloads::Family::GraphGeometric => 8 * spec.degree * nv + 64,
+            _ => 2 * spec.degree * floor,
+        };
+        prop_assert!(
+            a.num_edges() <= arc_cap,
+            "{}: {} arcs for n={n} (cap {arc_cap})", spec.key(), a.num_edges()
+        );
+    }
+
+    #[test]
+    fn scenario_draws_deterministic_and_in_span(
+        fam in 0usize..4, n in 0usize..300, span in 1u64..10_000, seed in any::<u64>()
+    ) {
+        let spec = pp_workloads::seq_scenarios()[fam];
+        let a = spec.draws(n, span, seed).unwrap();
+        prop_assert_eq!(&a, &spec.draws(n, span, seed).unwrap());
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&v| v < span));
+        match spec.family {
+            pp_workloads::Family::SeqSorted => {
+                prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+            }
+            pp_workloads::Family::SeqAdversarialChain => {
+                prop_assert!(a.windows(2).all(|w| w[0] <= w[1]));
+                // Strictly increasing whenever the span allows it.
+                if span >= n as u64 {
+                    prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn scenario_weighted_views_share_adjacency(
+        fam in 0usize..5, n in 1usize..100, seed in any::<u64>()
+    ) {
+        // Applying a weight distribution must not change the topology.
+        let spec = pp_workloads::graph_scenarios()[fam]
+            .with_weights(pp_workloads::WeightDist::Exp { mean: 50 });
+        let g = spec.graph(n, seed).unwrap();
+        let wg = spec.weighted_graph(n, seed).unwrap();
+        prop_assert_eq!(g.num_vertices(), wg.num_vertices());
+        prop_assert_eq!(g.num_edges(), wg.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(g.neighbors(v), wg.neighbors(v));
+        }
+        if wg.num_edges() > 0 {
+            prop_assert!(wg.is_weighted());
+            prop_assert!(wg.min_weight().unwrap() >= 1);
+        }
+    }
+
     #[test]
     fn unweighted_activity_contraction_agrees(n in 1usize..300, seed in any::<u64>()) {
         let acts: Vec<Activity> = (0..n as u64)
