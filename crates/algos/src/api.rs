@@ -344,7 +344,7 @@ impl PhaseAlgorithm for CrauserSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::crauser_out(&input.graph, input.source_for(cfg))
+        sssp::crauser_out_with(&input.graph, input.source_for(cfg), cfg)
     }
     fn solve_prepared(
         &self,
@@ -396,7 +396,11 @@ impl PhaseAlgorithm for BellmanFordSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        Report::plain(sssp::bellman_ford(&input.graph, input.source_for(cfg)))
+        Report::plain(sssp::bellman_ford_with(
+            &input.graph,
+            input.source_for(cfg),
+            cfg,
+        ))
     }
     fn solve_prepared(
         &self,

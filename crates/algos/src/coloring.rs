@@ -138,14 +138,16 @@ pub fn coloring_par_prepared(
     }
 
     /// Iterative cascade (loop, not recursion, so adversarial
-    /// priority chains of depth Θ(n) cannot overflow the stack).
+    /// priority chains of depth Θ(n) cannot overflow the stack). The
+    /// two level buffers ping-pong so a deep cascade reuses their
+    /// capacity instead of collecting a fresh vector per level.
     fn cascade(ctx: &Ctx<'_>, v0: u32) {
         let mut frontier = vec![v0];
+        let mut next: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
-            frontier = frontier
-                .par_iter()
-                .flat_map_iter(|&v| assign(ctx, v))
-                .collect();
+            next.clear();
+            next.par_extend(frontier.par_iter().flat_map_iter(|&v| assign(ctx, v)));
+            std::mem::swap(&mut frontier, &mut next);
         }
     }
 

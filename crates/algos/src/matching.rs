@@ -11,7 +11,7 @@
 //! mutually non-adjacent by construction — then discards edges with a
 //! newly matched endpoint.
 
-use phase_parallel::{ExecutionStats, Report, Scratch};
+use phase_parallel::{ExecutionStats, Frontier, Report, Scratch};
 use pp_graph::Graph;
 use pp_parlay::shuffle::random_permutation;
 use rayon::prelude::*;
@@ -63,8 +63,10 @@ pub fn matching_par(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
 
 /// The query half of [`matching_par`]: run the rounds against a
 /// prebuilt [`edge_list`] (the prepare step), drawing the per-query
-/// endpoint tables and live set from `scratch`. Same output as
-/// [`matching_par`] (and [`matching_seq`]).
+/// endpoint tables, live set and round buffer from `scratch`. The live
+/// edge set runs on the [`Frontier`] engine over edge indices (dense
+/// bitmap while most edges are live, sparse list for the tail). Same
+/// output as [`matching_par`] (and [`matching_seq`]).
 pub fn matching_par_prepared(
     g: &Graph,
     priority: &[u32],
@@ -73,34 +75,40 @@ pub fn matching_par_prepared(
 ) -> Report<Vec<bool>> {
     assert_eq!(priority.len(), edges.len());
     let n = g.num_vertices();
-    let mut in_matching = vec![false; edges.len()];
+    let m = edges.len();
+    let mut in_matching = vec![false; m];
     let mut vertex_matched = scratch.take_vec::<bool>("matching_vertex_matched");
     vertex_matched.resize(n, false);
-    let mut live = scratch.take_vec::<u32>("matching_live");
-    live.extend(0..edges.len() as u32);
+    let mut live = Frontier::take(scratch, "matching_live_set");
+    live.reset(m);
+    live.fill_range(m);
+    let mut ready = scratch.take_vec::<u32>("matching_ready");
     let mut stats = ExecutionStats::default();
     const NONE: u32 = u32::MAX;
     let mut min_pri = scratch.take_vec::<AtomicU32>("matching_min_pri");
     min_pri.resize_with(n, || AtomicU32::new(NONE));
     while !live.is_empty() {
         // Each endpoint learns its minimum live incident edge priority.
-        live.par_iter().for_each(|&e| {
-            let (u, v) = edges[e as usize];
-            let p = priority[e as usize];
-            min_pri[u as usize].fetch_min(p, Ordering::Relaxed);
-            min_pri[v as usize].fetch_min(p, Ordering::Relaxed);
-        });
+        {
+            let min_pri = &min_pri;
+            live.for_each(|e| {
+                let (u, v) = edges[e as usize];
+                let p = priority[e as usize];
+                min_pri[u as usize].fetch_min(p, Ordering::Relaxed);
+                min_pri[v as usize].fetch_min(p, Ordering::Relaxed);
+            });
+        }
         // Ready: locally minimum at both endpoints.
-        let ready: Vec<u32> = live
-            .par_iter()
-            .copied()
-            .filter(|&e| {
+        ready.clear();
+        {
+            let min_pri = &min_pri;
+            live.collect_filtered_into(&mut ready, |e| {
                 let (u, v) = edges[e as usize];
                 let p = priority[e as usize];
                 min_pri[u as usize].load(Ordering::Relaxed) == p
                     && min_pri[v as usize].load(Ordering::Relaxed) == p
-            })
-            .collect();
+            });
+        }
         debug_assert!(!ready.is_empty(), "the global minimum edge is ready");
         stats.record_round(ready.len());
         for &e in &ready {
@@ -110,18 +118,27 @@ pub fn matching_par_prepared(
             vertex_matched[v as usize] = true;
         }
         // Drop matched-endpoint edges; reset the touched min slots.
-        live.par_iter().for_each(|&e| {
-            let (u, v) = edges[e as usize];
-            min_pri[u as usize].store(NONE, Ordering::Relaxed);
-            min_pri[v as usize].store(NONE, Ordering::Relaxed);
-        });
-        live.retain(|&e| {
-            let (u, v) = edges[e as usize];
-            !vertex_matched[u as usize] && !vertex_matched[v as usize]
-        });
+        {
+            let min_pri = &min_pri;
+            live.for_each(|e| {
+                let (u, v) = edges[e as usize];
+                min_pri[u as usize].store(NONE, Ordering::Relaxed);
+                min_pri[v as usize].store(NONE, Ordering::Relaxed);
+            });
+        }
+        {
+            let vertex_matched = &vertex_matched;
+            live.retain(|e| {
+                let (u, v) = edges[e as usize];
+                !vertex_matched[u as usize] && !vertex_matched[v as usize]
+            });
+        }
     }
+    stats.set_counter("dense_substeps", live.dense_rounds());
+    stats.set_counter("sparse_substeps", live.sparse_rounds());
     scratch.put_vec("matching_vertex_matched", vertex_matched);
-    scratch.put_vec("matching_live", live);
+    live.release(scratch, "matching_live_set");
+    scratch.put_vec("matching_ready", ready);
     scratch.put_vec("matching_min_pri", min_pri);
     Report::new(in_matching, stats)
 }

@@ -11,23 +11,27 @@
 //! order gives the same round bound *and* a sequential-equivalent
 //! output; this module exists so the benches can show both sides.
 
-use phase_parallel::{ExecutionStats, Report, RunConfig};
+use phase_parallel::{ExecutionStats, Frontier, Report, RunConfig};
 use pp_graph::Graph;
 use pp_parlay::rng::hash64;
-use rayon::prelude::*;
 
 /// Luby's MIS, randomized by `cfg.seed`. The result is a maximal
 /// independent set, deterministic for a fixed seed, but *not* the
 /// greedy MIS of any single priority vector. The report's
 /// `stats.rounds` is `O(log n)` whp with per-round winner counts in
 /// `frontier_sizes`; the `"edge_checks"` counter totals live-vertex
-/// edge scans (work proxy).
+/// edge scans (work proxy). The live set runs on the [`Frontier`]
+/// engine ([`RunConfig::frontier`] pins its representation).
 pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
     let seed = cfg.seed;
     let n = g.num_vertices();
     let mut in_mis = vec![false; n];
     let mut removed = vec![false; n];
-    let mut live: Vec<u32> = (0..n as u32).collect();
+    let mut live = Frontier::new();
+    live.reset(n);
+    live.set_policy(cfg.frontier);
+    live.fill_range(n);
+    let mut winners: Vec<u32> = Vec::new();
     let mut stats = ExecutionStats::default();
     let mut edge_checks = 0u64;
     let mut round: u64 = 0;
@@ -35,17 +39,16 @@ pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
         // Fresh random value per (round, vertex); ties broken by id so
         // the local-minimum rule never deadlocks.
         let val = |v: u32| (hash64(seed ^ round, u64::from(v)), v);
-        let checks: u64 = live.par_iter().map(|&v| g.degree(v) as u64).sum();
-        edge_checks += checks;
-        let winners: Vec<u32> = live
-            .par_iter()
-            .copied()
-            .filter(|&v| {
+        edge_checks += live.sum_map(|v| g.degree(v) as u64);
+        winners.clear();
+        {
+            let removed = &removed;
+            live.collect_filtered_into(&mut winners, |v| {
                 g.neighbors(v)
                     .iter()
                     .all(|&u| removed[u as usize] || val(v) < val(u))
-            })
-            .collect();
+            });
+        }
         debug_assert!(!winners.is_empty(), "a global minimum always wins");
         stats.record_round(winners.len());
         for &v in &winners {
@@ -57,10 +60,15 @@ pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
                 removed[u as usize] = true;
             }
         }
-        live.retain(|&v| !removed[v as usize]);
+        {
+            let removed = &removed;
+            live.retain(|v| !removed[v as usize]);
+        }
         round += 1;
     }
     stats.set_counter("edge_checks", edge_checks);
+    stats.set_counter("dense_substeps", live.dense_rounds());
+    stats.set_counter("sparse_substeps", live.sparse_rounds());
     Report::new(in_mis, stats)
 }
 

@@ -4,14 +4,17 @@
 //! TAS-tree algorithm removes exactly this re-checking; the ablation
 //! bench compares the two.
 
-use phase_parallel::{ExecutionStats, Report};
+use phase_parallel::{ExecutionStats, Frontier, Report};
 use pp_graph::Graph;
-use rayon::prelude::*;
 
 /// Round-synchronous greedy MIS. Same output as [`super::mis_seq`]. The
 /// report's `stats.rounds` equals the dependence-graph depth; the
 /// `"edge_checks"` counter totals readiness checks (edge inspections) —
-/// the work-inefficiency indicator, compare with `m`.
+/// the work-inefficiency indicator, compare with `m`. The undecided set
+/// lives in the [`Frontier`] engine (dense at the all-vertices start,
+/// downgrading to a sparse list as rounds decide vertices), with the
+/// representation split reported as `"dense_substeps"` /
+/// `"sparse_substeps"`.
 pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     const UNDECIDED: u8 = 0;
     const SELECTED: u8 = 1;
@@ -19,21 +22,24 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     let n = g.num_vertices();
     assert_eq!(priority.len(), n);
     let mut status = vec![UNDECIDED; n];
-    let mut undecided: Vec<u32> = (0..n as u32).collect();
+    let mut undecided = Frontier::new();
+    undecided.reset(n);
+    undecided.fill_range(n);
+    let mut ready: Vec<u32> = Vec::new();
     let mut stats = ExecutionStats::default();
     let mut edge_checks = 0u64;
     while !undecided.is_empty() {
-        edge_checks += undecided.iter().map(|&v| g.degree(v) as u64).sum::<u64>();
+        edge_checks += undecided.sum_map(|v| g.degree(v) as u64);
         // Ready: every higher-priority neighbor is removed.
-        let ready: Vec<u32> = undecided
-            .par_iter()
-            .copied()
-            .filter(|&v| {
+        ready.clear();
+        {
+            let status = &status;
+            undecided.collect_filtered_into(&mut ready, |v| {
                 g.neighbors(v).iter().all(|&u| {
                     priority[u as usize] < priority[v as usize] || status[u as usize] == REMOVED
                 })
-            })
-            .collect();
+            });
+        }
         debug_assert!(!ready.is_empty(), "progress every round");
         stats.record_round(ready.len());
         for &v in &ready {
@@ -46,9 +52,14 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
                 }
             }
         }
-        undecided.retain(|&v| status[v as usize] == UNDECIDED);
+        {
+            let status = &status;
+            undecided.retain(|v| status[v as usize] == UNDECIDED);
+        }
     }
     stats.set_counter("edge_checks", edge_checks);
+    stats.set_counter("dense_substeps", undecided.dense_rounds());
+    stats.set_counter("sparse_substeps", undecided.sparse_rounds());
     Report::new(status.into_iter().map(|s| s == SELECTED).collect(), stats)
 }
 

@@ -170,6 +170,11 @@ pub fn mis_tas_prepared(
 /// different roots run concurrently.
 fn wake_cascade(state: &State<'_>, v0: u32) {
     let mut frontier = vec![v0];
+    // Level buffers ping-pong across the cascade's levels so a deep
+    // cascade reuses their capacity instead of collecting two fresh
+    // vectors per level.
+    let mut claimed: Vec<u32> = Vec::new();
+    let mut next: Vec<u32> = Vec::new();
     while !frontier.is_empty() {
         // Select this level. Vertices arriving here are never adjacent:
         // a TAS-tree only completes when all higher-priority neighbors
@@ -182,19 +187,21 @@ fn wake_cascade(state: &State<'_>, v0: u32) {
         }
         // Remove neighbors and collect the vertices whose TAS trees the
         // removals complete — the next level of this cascade.
-        frontier = frontier
-            .par_iter()
-            .flat_map_iter(|&v| state.g.neighbors(v).iter().copied())
-            .filter(|&u| {
-                // First claim of the removal processes it exactly once.
-                state.status[u as usize]
-                    .compare_exchange(UNDECIDED, REMOVED, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-            })
-            .collect::<Vec<u32>>()
-            .par_iter()
-            .flat_map_iter(|&u| removed(state, u))
-            .collect();
+        claimed.clear();
+        claimed.par_extend(
+            frontier
+                .par_iter()
+                .flat_map_iter(|&v| state.g.neighbors(v).iter().copied())
+                .filter(|&u| {
+                    // First claim of the removal processes it exactly once.
+                    state.status[u as usize]
+                        .compare_exchange(UNDECIDED, REMOVED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                }),
+        );
+        next.clear();
+        next.par_extend(claimed.par_iter().flat_map_iter(|&u| removed(state, u)));
+        std::mem::swap(&mut frontier, &mut next);
     }
 }
 

@@ -197,15 +197,37 @@ pub enum Engine {
     Baseline,
 }
 
+/// Scratch-workspace behavior of one steady-state prepared query (the
+/// probe behind the CI allocation tripwire): how many buffers the query
+/// took from its [`Scratch`], and how many of those takes were served
+/// from a previously parked buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct ScratchProbe {
+    /// `take_*` calls the steady-state query performed.
+    pub takes: u64,
+    /// Takes served from a parked buffer (no allocation).
+    pub reuses: u64,
+}
+
+impl ScratchProbe {
+    /// True iff the steady-state query allocated no scratch buffers:
+    /// every take was a reuse. This is the per-entry invariant the
+    /// `scratch_smoke` bench gate asserts.
+    pub fn steady_state_reuse(&self) -> bool {
+        self.takes == self.reuses
+    }
+}
+
 /// One registered algorithm: a stable name, its engine class, the
-/// scenario kind its instances are drawn from, and type-erased one-shot
-/// and prepared-batch runners.
+/// scenario kind its instances are drawn from, and type-erased one-shot,
+/// prepared-batch and scratch-probe runners.
 pub struct AlgorithmEntry {
     name: &'static str,
     engine: Engine,
     kind: ScenarioKind,
     runner: fn(&CaseSpec, &RunConfig) -> CaseOutcome,
     batch_runner: fn(&CaseSpec, &[RunConfig], &RunConfig) -> Vec<CaseOutcome>,
+    probe_runner: fn(&CaseSpec, &RunConfig) -> ScratchProbe,
 }
 
 impl AlgorithmEntry {
@@ -283,6 +305,17 @@ impl AlgorithmEntry {
         (self.batch_runner)(case, queries, cfg)
     }
 
+    /// Measure the scratch behavior of one steady-state prepared query:
+    /// the instance is generated and prepared once, two warm-up queries
+    /// populate the workspace (and let amortized growth settle), and
+    /// the third query's take/reuse delta is returned. An entry whose
+    /// probe fails [`ScratchProbe::steady_state_reuse`] allocates fresh
+    /// per-query scratch in steady state — the regression the
+    /// `scratch_smoke` CI gate trips on.
+    pub fn scratch_probe(&self, case: &CaseSpec, cfg: &RunConfig) -> ScratchProbe {
+        (self.probe_runner)(case, cfg)
+    }
+
     /// [`AlgorithmEntry::run_batch`] with scenario-compatibility
     /// checking.
     pub fn try_run_batch(
@@ -338,6 +371,10 @@ pub fn registry() -> &'static [AlgorithmEntry] {
                 batch_runner: |case, queries, cfg| {
                     let input = $gen(case, cfg);
                     run_typed_batch(&$algo, &input, queries, cfg)
+                },
+                probe_runner: |case, cfg| {
+                    let input = $gen(case, cfg);
+                    run_typed_probe(&$algo, &input, cfg)
                 },
             }
         };
@@ -457,6 +494,29 @@ where
                 }
             })
             .collect()
+    })
+}
+
+/// Prepare one typed instance, warm the workspace with two queries,
+/// then measure the take/reuse delta of a third (steady-state) query.
+fn run_typed_probe<A>(algo: &A, input: &A::Input, cfg: &RunConfig) -> ScratchProbe
+where
+    A: PhaseAlgorithm + Sync,
+    A::Input: Sync,
+    A::Output: Send,
+{
+    cfg.install(|| {
+        let prepared = algo.prepare(input);
+        let mut scratch = Scratch::new();
+        for _ in 0..2 {
+            algo.solve_prepared(&prepared, &mut scratch, cfg);
+        }
+        let (takes, reuses) = (scratch.takes(), scratch.reuses());
+        algo.solve_prepared(&prepared, &mut scratch, cfg);
+        ScratchProbe {
+            takes: scratch.takes() - takes,
+            reuses: scratch.reuses() - reuses,
+        }
     })
 }
 

@@ -1,63 +1,121 @@
 //! Frontier-based parallel Bellman-Ford: the maximal-parallelism,
 //! work-inefficient end of the SSSP spectrum (§6.3 background) — every
 //! round relaxes all out-edges of every improved vertex.
+//!
+//! Runs on the [`Frontier`] engine: improved vertices are deduplicated
+//! by epoch stamp instead of a per-round `sort` + `dedup`, the frontier
+//! representation adapts sparse↔dense as it grows and shrinks, and
+//! relaxation is split into edge-balanced packets.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{RunConfig, Scratch};
-use pp_graph::Graph;
+use phase_parallel::{Frontier, FrontierPolicy, RunConfig, Scratch};
+use pp_graph::{chunk, Graph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shortest distances from `source` by round-synchronous relaxation.
 pub fn bellman_ford(g: &Graph, source: u32) -> Vec<u64> {
-    bellman_ford_core(g, source, &mut Scratch::new())
+    bellman_ford_core(g, source, &mut Scratch::new(), FrontierPolicy::Adaptive)
+}
+
+/// [`bellman_ford`] honoring the config's [`RunConfig::frontier`]
+/// representation pin — the one-shot entry point the registry drives,
+/// so differential sparse/dense testing reaches this family too.
+pub fn bellman_ford_with(g: &Graph, source: u32, cfg: &RunConfig) -> Vec<u64> {
+    bellman_ford_core(g, source, &mut Scratch::new(), cfg.frontier)
 }
 
 /// Per-query prepared Bellman-Ford: source from [`RunConfig::source`],
-/// distance array recycled through `scratch`. Output is identical to
-/// [`bellman_ford`].
+/// distance array and frontier engine recycled through `scratch`.
+/// Output is identical to [`bellman_ford`].
 pub fn bellman_ford_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
     cfg: &RunConfig,
 ) -> Vec<u64> {
-    bellman_ford_core(prepared.graph, prepared.source_for(cfg), scratch)
+    bellman_ford_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        scratch,
+        cfg.frontier,
+    )
 }
 
-fn bellman_ford_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
+fn bellman_ford_core(
+    g: &Graph,
+    source: u32,
+    scratch: &mut Scratch,
+    policy: FrontierPolicy,
+) -> Vec<u64> {
     let n = g.num_vertices();
     let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
     dist.resize_with(n, || AtomicU64::new(INF));
     dist[source as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![source];
+    let mut frontier = Frontier::take(scratch, "sssp_frontier");
+    frontier.reset(n);
+    frontier.set_policy(policy);
+    frontier.insert(source);
+    let mut updated = scratch.take_vec::<u32>("bf_updated");
+    let mut deg = scratch.take_vec::<u64>("relax_deg");
+    let mut prefix = scratch.take_vec::<u64>("relax_prefix");
+    let mut bounds = scratch.take_vec::<usize>("relax_bounds");
+    let packets = chunk::default_packets();
+
     while !frontier.is_empty() {
-        // Relax all frontier edges; collect vertices whose distance
-        // improved (dedup below).
-        let dist = &dist;
-        let mut improved: Vec<u32> = frontier
-            .par_iter()
-            .flat_map_iter(move |&v| {
-                let d = dist[v as usize].load(Ordering::Relaxed);
-                let ws = g.edge_weights(v);
-                g.neighbors(v)
-                    .iter()
-                    .enumerate()
-                    .filter_map(move |(i, &u)| {
-                        let nd = d + ws[i];
-                        if nd < dist[u as usize].fetch_min(nd, Ordering::Relaxed) {
-                            Some(u)
-                        } else {
-                            None
-                        }
-                    })
-            })
-            .collect();
-        pp_parlay::par_sort(&mut improved);
-        improved.dedup();
-        frontier = improved;
+        // Relax all frontier edges in edge-balanced packets; collect
+        // improved vertices (duplicates collapse in the engine).
+        let dist_ref = &dist;
+        let relax = move |v: u32| {
+            let d = dist_ref[v as usize].load(Ordering::Relaxed);
+            let ws = g.edge_weights(v);
+            g.neighbors(v)
+                .iter()
+                .enumerate()
+                .filter_map(move |(e, &u)| {
+                    let nd = d + ws[e];
+                    // Monotone pre-check: only pay the CAS loop on
+                    // edges that actually improve the target.
+                    if nd < dist_ref[u as usize].load(Ordering::Relaxed)
+                        && nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed)
+                    {
+                        Some(u)
+                    } else {
+                        None
+                    }
+                })
+        };
+        updated.clear();
+        match frontier.as_slice() {
+            Some(members) => {
+                super::relax_into_packets(
+                    g,
+                    members,
+                    &mut deg,
+                    &mut prefix,
+                    &mut bounds,
+                    &mut updated,
+                    relax,
+                );
+            }
+            None => {
+                chunk::vertex_edge_bounds(g, packets, &mut bounds);
+                let fr = &frontier;
+                updated.par_extend(bounds.par_windows(2).flat_map_iter(|w| {
+                    (w[0] as u32..w[1] as u32)
+                        .filter(|&v| fr.contains(v))
+                        .flat_map(relax)
+                }));
+            }
+        }
+        frontier.fill(&updated);
     }
     let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
     scratch.put_vec("sssp_dist", dist);
+    frontier.release(scratch, "sssp_frontier");
+    scratch.put_vec("bf_updated", updated);
+    scratch.put_vec("relax_deg", deg);
+    scratch.put_vec("relax_prefix", prefix);
+    scratch.put_vec("relax_bounds", bounds);
     out
 }
 
@@ -75,5 +133,16 @@ mod tests {
         b.add_weighted(0, 3, 10);
         let g = b.build();
         assert_eq!(bellman_ford(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pinned_policies_agree() {
+        let g = pp_graph::gen::uniform(400, 1600, 2);
+        let wg = pp_graph::gen::with_uniform_weights(&g, 1, 50, 3);
+        let mut scratch = Scratch::new();
+        let sparse = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Sparse);
+        let dense = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Dense);
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse, bellman_ford(&wg, 0));
     }
 }

@@ -22,10 +22,13 @@
 //!
 //! The implementation is round-synchronous and work-efficient in the same
 //! sense as Dijkstra: each vertex settles exactly once and each edge is
-//! relaxed exactly once (plus an `O(active)` scan per round).
+//! relaxed exactly once (plus an `O(active)` scan per round). The active
+//! set lives in the [`Frontier`] engine (threshold scan, batch
+//! extraction and compaction run against its stamps — no per-round list
+//! reallocations) and settled batches relax in edge-balanced packets.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{ExecutionStats, Report, RunConfig, Scratch};
+use phase_parallel::{ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,20 +42,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `"relaxations"` counter the total edge relaxations (work-efficiency
 /// check: equals the number of edges out of reachable vertices).
 pub fn crauser_out(g: &Graph, source: u32) -> Report<Vec<u64>> {
+    crauser_out_with(g, source, &RunConfig::new())
+}
+
+/// [`crauser_out`] honoring the config's [`RunConfig::frontier`]
+/// representation pin — the one-shot entry point the registry drives,
+/// so differential sparse/dense testing reaches this family too.
+pub fn crauser_out_with(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
     // mow[v]: minimum out-edge weight (INF for sinks — they constrain
     // nothing, since no path continues through them).
     let mow: Vec<u64> = (0..g.num_vertices() as u32)
         .into_par_iter()
         .map(|v| g.edge_weights(v).iter().copied().min().unwrap_or(INF))
         .collect();
-    crauser_out_core(g, source, &mow, &mut Scratch::new())
+    crauser_out_core(g, source, &mow, &mut Scratch::new(), cfg.frontier)
 }
 
 /// Per-query prepared OUT-criterion SSSP: the per-vertex minimum
 /// out-edge weights come precomputed from [`PreparedSssp::mow`]
 /// (skipping the one-shot version's `O(m)` rescan), the source from
-/// [`RunConfig::source`], and the distance array is recycled through
-/// `scratch`. Output is identical to [`crauser_out`].
+/// [`RunConfig::source`], and the distance array, active set and batch
+/// buffers are recycled through `scratch`. Output is identical to
+/// [`crauser_out`].
 pub fn crauser_out_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
@@ -63,6 +74,7 @@ pub fn crauser_out_prepared(
         prepared.source_for(cfg),
         &prepared.mow,
         scratch,
+        cfg.frontier,
     )
 }
 
@@ -71,6 +83,7 @@ fn crauser_out_core(
     source: u32,
     mow: &[u64],
     scratch: &mut Scratch,
+    policy: FrontierPolicy,
 ) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     debug_assert_eq!(mow.len(), n);
@@ -78,61 +91,90 @@ fn crauser_out_core(
     dist.resize_with(n, || AtomicU64::new(INF));
     dist[source as usize].store(0, Ordering::Relaxed);
     // Active = unsettled with a finite tentative distance. Invariant at
-    // the top of each round: active holds exactly the finite unsettled
-    // vertices, each once.
-    let mut active: Vec<u32> = vec![source];
+    // the top of each round: the engine holds exactly the finite
+    // unsettled vertices, each once.
+    let mut active = Frontier::take(scratch, "sssp_frontier");
+    active.reset(n);
+    active.set_policy(policy);
+    active.insert(source);
+    let mut batch = scratch.take_vec::<u32>("crauser_batch");
+    let mut updated = scratch.take_vec::<u32>("crauser_updated");
+    let mut deg = scratch.take_vec::<u64>("relax_deg");
+    let mut prefix = scratch.take_vec::<u64>("relax_prefix");
+    let mut bounds = scratch.take_vec::<usize>("relax_bounds");
     let mut stats = ExecutionStats::default();
-    let mut relaxations = 0u64;
+    let mut relax_count = 0u64;
 
     while !active.is_empty() {
         // The settling threshold L. Positive weights make the global
         // minimum-distance vertex always pass (dist_min < dist_min + mow),
         // so every round settles at least one vertex.
+        let dist_ref = &dist;
         let threshold = active
-            .par_iter()
-            .map(|&u| {
-                let du = dist[u as usize].load(Ordering::Relaxed);
+            .min_map(|u| {
+                let du = dist_ref[u as usize].load(Ordering::Relaxed);
                 du.saturating_add(mow[u as usize])
             })
-            .min()
             .unwrap();
-        let (frontier, rest): (Vec<u32>, Vec<u32>) = active
-            .par_iter()
-            .partition(|&&v| dist[v as usize].load(Ordering::Relaxed) <= threshold);
-        debug_assert!(!frontier.is_empty(), "OUT-criterion must make progress");
-        stats.record_round(frontier.len());
+        batch.clear();
+        active.collect_filtered_into(&mut batch, |v| {
+            dist_ref[v as usize].load(Ordering::Relaxed) <= threshold
+        });
+        active.retain(|v| dist_ref[v as usize].load(Ordering::Relaxed) > threshold);
+        debug_assert!(!batch.is_empty(), "OUT-criterion must make progress");
+        stats.record_round(batch.len());
 
-        // Settle the frontier: relax each settled vertex's edges once.
-        // Frontier members are final (no cheaper path exists), so no
-        // in-frontier relaxation can improve a frontier member. A vertex
-        // enters the active set exactly when its distance first becomes
-        // finite — `fetch_min` returning INF identifies the unique
-        // first reacher, so no dedup pass is needed.
-        let per_vertex: Vec<(u64, Vec<u32>)> = frontier
-            .par_iter()
-            .map(|&v| {
-                let dv = dist[v as usize].load(Ordering::Relaxed);
-                let ws = g.edge_weights(v);
-                let mut newly_reached = Vec::new();
-                for (i, &u) in g.neighbors(v).iter().enumerate() {
-                    if dist[u as usize].fetch_min(dv + ws[i], Ordering::Relaxed) == INF {
-                        newly_reached.push(u);
+        // Settle the batch: relax each settled vertex's edges once, in
+        // edge-balanced packets. Batch members are final (no cheaper
+        // path exists), so no in-batch relaxation can improve a batch
+        // member. A vertex enters the active set exactly when its
+        // distance first becomes finite — `fetch_min` returning INF
+        // identifies the unique first reacher, so no dedup is needed
+        // (the engine's stamps make it harmless anyway).
+        let relax = move |v: u32| {
+            let dv = dist_ref[v as usize].load(Ordering::Relaxed);
+            let ws = g.edge_weights(v);
+            g.neighbors(v)
+                .iter()
+                .enumerate()
+                .filter_map(move |(e, &u)| {
+                    let nd = dv + ws[e];
+                    // Pre-check: the CAS is only needed to improve the
+                    // minimum or to claim the unique first reach of a
+                    // still-INF vertex; a non-improving relaxation of
+                    // an already-reached vertex skips it.
+                    let cur = dist_ref[u as usize].load(Ordering::Relaxed);
+                    if (cur == INF || nd < cur)
+                        && dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) == INF
+                    {
+                        Some(u)
+                    } else {
+                        None
                     }
-                }
-                (ws.len() as u64, newly_reached)
-            })
-            .collect();
-        let mut next = rest;
-        for (count, news) in per_vertex {
-            relaxations += count;
-            next.extend_from_slice(&news);
-        }
-        active = next;
+                })
+        };
+        updated.clear();
+        relax_count += super::relax_into_packets(
+            g,
+            &batch,
+            &mut deg,
+            &mut prefix,
+            &mut bounds,
+            &mut updated,
+            relax,
+        );
+        active.insert_from(&updated);
     }
 
-    stats.set_counter("relaxations", relaxations);
+    stats.set_counter("relaxations", relax_count);
     let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
     scratch.put_vec("sssp_dist", dist);
+    active.release(scratch, "sssp_frontier");
+    scratch.put_vec("crauser_batch", batch);
+    scratch.put_vec("crauser_updated", updated);
+    scratch.put_vec("relax_deg", deg);
+    scratch.put_vec("relax_prefix", prefix);
+    scratch.put_vec("relax_bounds", bounds);
     Report::new(out, stats)
 }
 
@@ -199,6 +241,26 @@ mod tests {
         assert!(report.stats.rounds <= reachable);
         // And agrees with the phase-parallel Δ = w* algorithm.
         assert_eq!(d, sssp_phase_parallel(&wg, 0).output);
+    }
+
+    #[test]
+    fn pinned_policies_agree() {
+        let g = gen::rmat(8, 2048, 6);
+        let wg = gen::with_uniform_weights(&g, 1, 1 << 12, 7);
+        let prepared = PreparedSssp::new(&wg, 0);
+        let mut scratch = Scratch::new();
+        let sparse = crauser_out_prepared(
+            &prepared,
+            &mut scratch,
+            &RunConfig::new().with_frontier(FrontierPolicy::Sparse),
+        );
+        let dense = crauser_out_prepared(
+            &prepared,
+            &mut scratch,
+            &RunConfig::new().with_frontier(FrontierPolicy::Dense),
+        );
+        assert_eq!(sparse.output, dense.output);
+        assert_eq!(sparse.stats.rounds, dense.stats.rounds);
     }
 
     #[test]

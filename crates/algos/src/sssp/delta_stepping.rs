@@ -8,10 +8,20 @@
 //! the paper's phase-parallel relaxed rank (`rank(v) = ⌈d(v)/w*⌉`,
 //! Theorem 4.5) — at the cost of smaller frontiers; the Fig. 6 sweep
 //! explores exactly this tradeoff.
+//!
+//! The inner loop runs on the [`Frontier`] engine: candidate buckets
+//! are deduplicated by epoch stamps (no per-substep `sort` + `dedup`),
+//! the substep frontier adaptively switches between a sparse vertex
+//! list and the dense stamp bitmap, and relaxation is split into
+//! edge-balanced packets ([`pp_graph::chunk`]) so a hub vertex cannot
+//! serialize a substep. Every buffer — the bucket spine, the frontier
+//! engine, the update list, the chunker's prefix arrays — recycles
+//! through [`Scratch`], so prepared queries allocate nothing in steady
+//! state.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{Report, RunConfig, Scratch};
-use pp_graph::Graph;
+use phase_parallel::{Frontier, FrontierPolicy, Report, RunConfig, Scratch};
+use pp_graph::{chunk, Graph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -22,29 +32,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// The report's `stats.rounds` counts non-empty buckets drained
 /// (≈ the relaxed rank of the instance when Δ = w*), with per-bucket
 /// vertex-relaxation counts in `frontier_sizes`; named counters:
-/// `"substeps"` (inner Bellman-Ford iterations, the span driver) and
+/// `"substeps"` (inner Bellman-Ford iterations, the span driver),
 /// `"relaxations"` (total edge relaxations, the work driver — compare
-/// with `m` for work-efficiency).
+/// with `m` for work-efficiency), and the frontier engine's
+/// `"dense_substeps"` / `"sparse_substeps"` representation split.
 pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
     // Default Δ = w*; an edgeless graph has no w*, and any Δ ≥ 1 works.
     let delta = cfg
         .delta
         .unwrap_or_else(|| g.min_weight().unwrap_or(1).max(1));
-    delta_stepping_core(g, source, delta, &mut Scratch::new())
+    delta_stepping_core(g, source, delta, &mut Scratch::new(), cfg.frontier)
 }
 
 /// The per-query half of prepared Δ-stepping: Δ defaults to the
 /// precomputed `w_star` (no weight rescan), the source comes from
-/// [`RunConfig::source`], and the distance arrays and bucket queue are
-/// recycled through `scratch`. Output is identical to
-/// [`delta_stepping`] under the same configuration.
+/// [`RunConfig::source`], and the distance arrays, bucket queue and
+/// frontier engine are recycled through `scratch`. Output is identical
+/// to [`delta_stepping`] under the same configuration.
 pub fn delta_stepping_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
     cfg: &RunConfig,
 ) -> Report<Vec<u64>> {
     let delta = cfg.delta.unwrap_or(prepared.w_star);
-    delta_stepping_core(prepared.graph, prepared.source_for(cfg), delta, scratch)
+    delta_stepping_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        delta,
+        scratch,
+        cfg.frontier,
+    )
 }
 
 fn delta_stepping_core(
@@ -52,6 +69,7 @@ fn delta_stepping_core(
     source: u32,
     delta: u64,
     scratch: &mut Scratch,
+    policy: FrontierPolicy,
 ) -> Report<Vec<u64>> {
     assert!(delta >= 1);
     assert!(g.is_weighted() || g.num_edges() == 0);
@@ -75,72 +93,145 @@ fn delta_stepping_core(
     let mut live = 1usize;
     let mut stats = phase_parallel::ExecutionStats::default();
     let mut substeps = 0u64;
-    let relax_count = AtomicU64::new(0);
+    let mut relax_count = 0u64;
 
-    // Per-substep buffers, recycled across substeps *and* (through the
+    // Per-substep state, recycled across substeps *and* (through the
     // workspace) across queries — the bucket loop allocates nothing in
-    // steady state.
-    let mut frontier = scratch.take_vec::<u32>("delta_frontier");
+    // steady state. The frontier engine deduplicates each substep's
+    // candidates by epoch stamp, replacing the former per-substep
+    // `par_sort` + `dedup` pass.
+    let mut frontier = Frontier::take(scratch, "sssp_frontier");
+    frontier.reset(n);
+    frontier.set_policy(policy);
     let mut updated = scratch.take_vec::<(usize, u32)>("delta_updated");
+    let mut deg = scratch.take_vec::<u64>("relax_deg");
+    let mut prefix = scratch.take_vec::<u64>("relax_prefix");
+    let mut bounds = scratch.take_vec::<usize>("relax_bounds");
+    let packets = chunk::default_packets();
 
     let bucket_of = |d: u64| (d / delta) as usize;
     let mut i = 0usize;
     while i < live {
         let mut bucket_processed = 0usize;
         loop {
-            // Candidates still belonging to bucket i whose distance
-            // improved since their last relaxation.
-            {
-                let cand = &mut buckets[i];
-                pp_parlay::par_sort(cand);
-                cand.dedup();
+            if buckets[i].is_empty() {
+                break;
             }
-            frontier.clear();
-            frontier.par_extend(buckets[i].par_iter().copied().filter(|&v| {
-                let d = dist[v as usize].load(Ordering::Relaxed);
-                d != INF
-                    && bucket_of(d) == i
-                    && d < last_relaxed[v as usize].load(Ordering::Relaxed)
-            }));
+            // Candidates still belonging to bucket i whose distance
+            // improved since their last relaxation; the engine drops
+            // duplicate bucket entries via its stamps. Admission
+            // doubles as the marking pass: an admitted vertex records
+            // its substep-start distance in `last_relaxed` right here
+            // (idempotent for duplicate candidates — both copies see
+            // the same `dist[v]`, and nothing relaxes until the fill
+            // completes), so the loop needs no second member sweep.
+            {
+                let (dist, last_relaxed) = (&dist, &last_relaxed);
+                frontier.fill_filtered(&buckets[i], |v| {
+                    let d = dist[v as usize].load(Ordering::Relaxed);
+                    let admitted = d != INF
+                        && bucket_of(d) == i
+                        && d < last_relaxed[v as usize].load(Ordering::Relaxed);
+                    if admitted {
+                        last_relaxed[v as usize].store(d, Ordering::Relaxed);
+                    }
+                    admitted
+                });
+            }
             buckets[i].clear();
             if frontier.is_empty() {
                 break;
             }
             bucket_processed += frontier.len();
             substeps += 1;
-            // Mark relaxation distances, then relax all edges.
-            frontier.par_iter().for_each(|&v| {
-                let d = dist[v as usize].load(Ordering::Relaxed);
-                last_relaxed[v as usize].store(d, Ordering::Relaxed);
-            });
             let dist_ref = &dist;
             let last_ref = &last_relaxed;
-            let relax_ref = &relax_count;
-            updated.clear();
-            updated.par_extend(frontier.par_iter().flat_map_iter(move |&v| {
+            let relax = move |v: u32| {
                 let d = last_ref[v as usize].load(Ordering::Relaxed);
                 let ws = g.edge_weights(v);
-                relax_ref.fetch_add(ws.len() as u64, Ordering::Relaxed);
                 g.neighbors(v)
                     .iter()
                     .enumerate()
                     .filter_map(move |(e, &u)| {
                         let nd = d + ws[e];
-                        if nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) {
+                        // Monotone pre-check: only pay the CAS loop on
+                        // edges that actually improve the target.
+                        if nd < dist_ref[u as usize].load(Ordering::Relaxed)
+                            && nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed)
+                        {
                             Some((bucket_of(nd), u))
                         } else {
                             None
                         }
                     })
-            }));
-            for &(b, u) in &updated {
-                if b >= buckets.len() {
-                    buckets.resize_with(b + 1, Vec::new);
+            };
+            updated.clear();
+            let mut routed_inline = false;
+            match frontier.as_slice() {
+                // Sparse: split the member list into packets of ~equal
+                // out-edge totals (degree-prefix chunker). A frontier
+                // small enough for one packet skips the parallel
+                // plumbing entirely: explicit nested loops that relax
+                // and route into the bucket queue in one pass.
+                Some(members) => {
+                    relax_count += chunk::frontier_edge_bounds(
+                        g,
+                        members,
+                        packets,
+                        &mut deg,
+                        &mut prefix,
+                        &mut bounds,
+                    );
+                    if bounds.len() == 2 {
+                        routed_inline = true;
+                        for &v in members {
+                            let d = last_ref[v as usize].load(Ordering::Relaxed);
+                            let ws = g.edge_weights(v);
+                            for (e, &u) in g.neighbors(v).iter().enumerate() {
+                                let nd = d + ws[e];
+                                if nd < dist_ref[u as usize].load(Ordering::Relaxed)
+                                    && nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed)
+                                {
+                                    let b = bucket_of(nd);
+                                    if b >= buckets.len() {
+                                        buckets.resize_with(b + 1, Vec::new);
+                                    }
+                                    if b >= live {
+                                        live = b + 1;
+                                    }
+                                    buckets[b].push(u);
+                                }
+                            }
+                        }
+                    } else {
+                        updated.par_extend(bounds.par_windows(2).flat_map_iter(|w| {
+                            members[w[0]..w[1]].iter().flat_map(move |&v| relax(v))
+                        }));
+                    }
                 }
-                if b >= live {
-                    live = b + 1;
+                // Dense: scan vertex ranges pre-split on the CSR offset
+                // array, testing membership by stamp.
+                None => {
+                    relax_count += frontier.sum_map(|v| g.degree(v) as u64);
+                    chunk::vertex_edge_bounds(g, packets, &mut bounds);
+                    let fr = &frontier;
+                    updated.par_extend(bounds.par_windows(2).flat_map_iter(|w| {
+                        (w[0] as u32..w[1] as u32)
+                            .filter(|&v| fr.contains(v))
+                            .flat_map(relax)
+                    }));
                 }
-                buckets[b].push(u);
+            }
+            if !routed_inline {
+                for &(b, u) in &updated {
+                    if b >= buckets.len() {
+                        buckets.resize_with(b + 1, Vec::new);
+                    }
+                    if b >= live {
+                        live = b + 1;
+                    }
+                    buckets[b].push(u);
+                }
             }
         }
         if bucket_processed > 0 {
@@ -151,13 +242,18 @@ fn delta_stepping_core(
         i += 1;
     }
     stats.set_counter("substeps", substeps);
-    stats.set_counter("relaxations", relax_count.into_inner());
+    stats.set_counter("relaxations", relax_count);
+    stats.set_counter("sparse_substeps", frontier.sparse_rounds());
+    stats.set_counter("dense_substeps", frontier.dense_rounds());
     let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
     scratch.put_vec("sssp_dist", dist);
     scratch.put_vec("sssp_last_relaxed", last_relaxed);
     scratch.put_nested("delta_buckets", buckets);
-    scratch.put_vec("delta_frontier", frontier);
+    frontier.release(scratch, "sssp_frontier");
     scratch.put_vec("delta_updated", updated);
+    scratch.put_vec("relax_deg", deg);
+    scratch.put_vec("relax_prefix", prefix);
+    scratch.put_vec("relax_bounds", bounds);
     Report::new(out, stats)
 }
 
@@ -220,9 +316,57 @@ mod tests {
             assert_eq!(from_prepared.output, one_shot.output, "source {src}");
             assert_eq!(from_prepared.stats.rounds, one_shot.stats.rounds);
             if i > 0 {
-                // Distance arrays and bucket queue came back recycled.
+                // Distance arrays, bucket queue and frontier engine all
+                // came back recycled.
                 assert!(scratch.reuses() >= 3, "reuses {}", scratch.reuses());
             }
+        }
+    }
+
+    #[test]
+    fn steady_state_queries_allocate_no_scratch() {
+        // After one warm-up query, every `take_*` must be served from a
+        // parked buffer: the inner loop performs no steady-state scratch
+        // allocations (the no-sort/no-alloc acceptance criterion).
+        let g = gen::rmat(9, 4096, 4);
+        let wg = gen::with_uniform_weights(&g, 1 << 4, 1 << 10, 5);
+        let prepared = PreparedSssp::new(&wg, 0);
+        let mut scratch = Scratch::new();
+        for &src in &[0u32, 17, 99] {
+            delta_stepping_prepared(&prepared, &mut scratch, &RunConfig::new().with_source(src));
+        }
+        let (takes, reuses) = (scratch.takes(), scratch.reuses());
+        delta_stepping_prepared(&prepared, &mut scratch, &RunConfig::new().with_source(311));
+        assert_eq!(
+            scratch.takes() - takes,
+            scratch.reuses() - reuses,
+            "steady-state query took a buffer it could not reuse"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_policies_agree() {
+        for seed in 0..3 {
+            let g = gen::rmat(8, 2048, seed);
+            let wg = gen::with_uniform_weights(&g, 1 << 10, 1 << 16, seed + 7);
+            let sparse = delta_stepping(
+                &wg,
+                0,
+                &RunConfig::new().with_frontier(FrontierPolicy::Sparse),
+            );
+            let dense = delta_stepping(
+                &wg,
+                0,
+                &RunConfig::new().with_frontier(FrontierPolicy::Dense),
+            );
+            assert_eq!(sparse.output, dense.output, "seed {seed}");
+            assert_eq!(sparse.stats.rounds, dense.stats.rounds);
+            assert_eq!(
+                sparse.stats.counter("substeps"),
+                dense.stats.counter("substeps")
+            );
+            assert_eq!(sparse.stats.counter("dense_substeps"), Some(0));
+            assert_eq!(dense.stats.counter("sparse_substeps"), Some(0));
         }
     }
 

@@ -11,32 +11,28 @@ use std::collections::BinaryHeap;
 
 /// Shortest distances from `source`. Unreachable vertices get [`INF`].
 pub fn dijkstra(g: &Graph, source: u32) -> Vec<u64> {
-    // One-shot: the distance array is moved out, not cloned-and-parked.
     dijkstra_core(g, source, &mut Scratch::new())
 }
 
 /// Per-query prepared Dijkstra — the sequential engine for serving
 /// point queries from a prepared instance: source from
-/// [`RunConfig::source`], distance array and heap storage recycled
-/// through `scratch`. Output is identical to [`dijkstra`].
+/// [`RunConfig::source`], heap storage recycled through `scratch`.
+/// Output is identical to [`dijkstra`].
 pub fn dijkstra_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
     cfg: &RunConfig,
 ) -> Vec<u64> {
-    let dist = dijkstra_core(prepared.graph, prepared.source_for(cfg), scratch);
-    let out = dist.clone();
-    scratch.put_vec("dijkstra_dist", dist);
-    out
+    dijkstra_core(prepared.graph, prepared.source_for(cfg), scratch)
 }
 
-/// Runs Dijkstra drawing buffers from `scratch`; the heap storage is
-/// parked back, the filled distance array is *returned by move* so the
-/// one-shot path pays no copy (the prepared wrapper clones and parks).
+/// Runs Dijkstra drawing the heap's backing storage from `scratch`. The
+/// distance array is *moved* into the return value: it is the query's
+/// output, so cloning it just to park a copy (as an earlier revision
+/// did) would be a redundant `O(n)` copy per query.
 fn dijkstra_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
     let n = g.num_vertices();
-    let mut dist = scratch.take_vec::<u64>("dijkstra_dist");
-    dist.resize(n, INF);
+    let mut dist = vec![INF; n];
     // The heap's backing storage round-trips through the workspace
     // (`BinaryHeap::from` on an empty vector is free).
     let mut heap = BinaryHeap::from(scratch.take_vec::<Reverse<(u64, u32)>>("dijkstra_heap"));

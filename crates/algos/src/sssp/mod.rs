@@ -24,8 +24,8 @@ mod dijkstra;
 mod pam_dijkstra;
 mod rho_stepping;
 
-pub use bellman_ford::{bellman_ford, bellman_ford_prepared};
-pub use crauser::{crauser_out, crauser_out_prepared};
+pub use bellman_ford::{bellman_ford, bellman_ford_prepared, bellman_ford_with};
+pub use crauser::{crauser_out, crauser_out_prepared, crauser_out_with};
 pub use delta_stepping::{delta_stepping, delta_stepping_prepared};
 pub use dijkstra::{dijkstra, dijkstra_prepared};
 pub use pam_dijkstra::{sssp_pam, sssp_pam_prepared};
@@ -37,6 +37,42 @@ use rayon::prelude::*;
 
 /// Unreachable-distance sentinel.
 pub const INF: u64 = u64::MAX;
+
+/// Relax `members` in edge-balanced packets (degree-prefix chunker,
+/// [`pp_graph::chunk`]): everything `relax(v)` yields is appended to
+/// `out` — sequentially when the frontier fits one packet, fanned out
+/// over `par_windows` packets otherwise. Returns the members' total
+/// out-edge count (the family's `"relaxations"` increment).
+/// `deg`/`prefix`/`bounds` are the caller's scratch-recycled chunker
+/// buffers. Shared by the Bellman-Ford, ρ-stepping and Crauser round
+/// loops; Δ-stepping keeps its own dispatch (its single-packet path
+/// routes straight into the bucket queue).
+pub(crate) fn relax_into_packets<F, I>(
+    g: &Graph,
+    members: &[u32],
+    deg: &mut Vec<u64>,
+    prefix: &mut Vec<u64>,
+    bounds: &mut Vec<usize>,
+    out: &mut Vec<u32>,
+    relax: F,
+) -> u64
+where
+    F: Fn(u32) -> I + Sync + Copy,
+    I: Iterator<Item = u32>,
+{
+    let packets = pp_graph::chunk::default_packets();
+    let total = pp_graph::chunk::frontier_edge_bounds(g, members, packets, deg, prefix, bounds);
+    if bounds.len() == 2 {
+        out.extend(members.iter().copied().flat_map(relax));
+    } else {
+        out.par_extend(
+            bounds
+                .par_windows(2)
+                .flat_map_iter(|w| members[w[0]..w[1]].iter().copied().flat_map(relax)),
+        );
+    }
+    total
+}
 
 /// The paper's phase-parallel SSSP: Δ-stepping with Δ = w*
 /// (Theorem 4.5). Panics on unweighted or edgeless graphs.

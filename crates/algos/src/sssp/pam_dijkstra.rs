@@ -26,35 +26,26 @@ use rayon::prelude::*;
 /// `frontier_sizes`. Panics on unweighted graphs with edges.
 pub fn sssp_pam(g: &Graph, source: u32) -> Report<Vec<u64>> {
     let w_star = g.min_weight().unwrap_or(1).max(1);
-    sssp_pam_core(g, source, w_star, &mut Scratch::new())
+    sssp_pam_core(g, source, w_star)
 }
 
 /// Per-query prepared PA-BST SSSP: the window width w* comes
-/// precomputed from [`PreparedSssp::w_star`] (no per-call weight scan),
-/// the source from [`RunConfig::source`], and the distance array is
-/// recycled through `scratch`. Output is identical to [`sssp_pam`].
+/// precomputed from [`PreparedSssp::w_star`] (no per-call weight scan)
+/// and the source from [`RunConfig::source`]. Output is identical to
+/// [`sssp_pam`].
 pub fn sssp_pam_prepared(
     prepared: &PreparedSssp<'_>,
-    scratch: &mut Scratch,
+    _scratch: &mut Scratch,
     cfg: &RunConfig,
 ) -> Report<Vec<u64>> {
-    let report = sssp_pam_core(
-        prepared.graph,
-        prepared.source_for(cfg),
-        prepared.w_star,
-        scratch,
-    );
-    report.map(|dist| {
-        let out = dist.clone();
-        scratch.put_vec("dijkstra_dist", dist);
-        out
-    })
+    sssp_pam_core(prepared.graph, prepared.source_for(cfg), prepared.w_star)
 }
 
-fn sssp_pam_core(g: &Graph, source: u32, w_star: u64, scratch: &mut Scratch) -> Report<Vec<u64>> {
+fn sssp_pam_core(g: &Graph, source: u32, w_star: u64) -> Report<Vec<u64>> {
     let n = g.num_vertices();
-    let mut dist = scratch.take_vec::<u64>("dijkstra_dist");
-    dist.resize(n, INF);
+    // The distance array is the output: filled in place and moved into
+    // the report (no clone-and-park round trip).
+    let mut dist = vec![INF; n];
     dist[source as usize] = 0;
     let mut tree: AugTree<(u64, u32), (), NoAug> = AugTree::new(NoAug);
     tree.insert((0, source), ());
@@ -108,8 +99,6 @@ fn sssp_pam_core(g: &Graph, source: u32, w_star: u64, scratch: &mut Scratch) -> 
             dist[u as usize] = nd;
         }
     }
-    // The filled distance array is returned by move; the prepared
-    // wrapper clones it and parks the buffer for the next query.
     Report::new(dist, stats)
 }
 

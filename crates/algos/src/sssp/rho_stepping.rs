@@ -16,12 +16,18 @@
 //! (`ρ = 1` degenerates to Dijkstra without a decrease-key, `ρ = ∞` to
 //! Bellman-Ford). Like Δ-stepping, extra work appears only when a batch
 //! member's distance later improves.
+//!
+//! The active pool lives in the [`Frontier`] engine: activations are
+//! deduplicated by epoch stamp (replacing the former flag-stealing
+//! pool-rebuild dance and its three per-step list allocations), batch
+//! extraction is a stamp-`retain`, and batch relaxation runs in
+//! edge-balanced packets. All buffers recycle through [`Scratch`].
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{ExecutionStats, Report, RunConfig, Scratch};
+use phase_parallel::{ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, Scratch};
 use pp_graph::Graph;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default batch size when [`RunConfig::rho`] is unset — large enough
 /// for real parallelism, small enough to stay near distance order.
@@ -42,12 +48,13 @@ pub fn rho_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>>
         source,
         cfg.rho.unwrap_or(DEFAULT_RHO),
         &mut Scratch::new(),
+        cfg.frontier,
     )
 }
 
 /// Per-query prepared ρ-stepping: source from [`RunConfig::source`],
-/// distance and pool-membership arrays recycled through `scratch`.
-/// Output is identical to [`rho_stepping`] under the same
+/// distance array, active pool and batch buffers recycled through
+/// `scratch`. Output is identical to [`rho_stepping`] under the same
 /// configuration.
 pub fn rho_stepping_prepared(
     prepared: &PreparedSssp<'_>,
@@ -59,6 +66,7 @@ pub fn rho_stepping_prepared(
         prepared.source_for(cfg),
         cfg.rho.unwrap_or(DEFAULT_RHO),
         scratch,
+        cfg.frontier,
     )
 }
 
@@ -67,97 +75,97 @@ fn rho_stepping_core(
     source: u32,
     rho: usize,
     scratch: &mut Scratch,
+    policy: FrontierPolicy,
 ) -> Report<Vec<u64>> {
     assert!(rho > 0, "rho must be positive");
     let n = g.num_vertices();
     let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
     dist.resize_with(n, || AtomicU64::new(INF));
-    let mut in_pool = scratch.take_vec::<AtomicBool>("rho_in_pool");
-    in_pool.resize_with(n, || AtomicBool::new(false));
     dist[source as usize].store(0, Ordering::Relaxed);
-    in_pool[source as usize].store(true, Ordering::Relaxed);
-    let mut pool: Vec<u32> = vec![source];
+    // The active pool: exactly the vertices whose tentative distance
+    // improved since they were last processed.
+    let mut active = Frontier::take(scratch, "sssp_frontier");
+    active.reset(n);
+    active.set_policy(policy);
+    active.insert(source);
+    let mut batch = scratch.take_vec::<u32>("rho_batch");
+    let mut ds = scratch.take_vec::<u64>("rho_ds");
+    let mut updated = scratch.take_vec::<u32>("rho_updated");
+    let mut deg = scratch.take_vec::<u64>("relax_deg");
+    let mut prefix = scratch.take_vec::<u64>("relax_prefix");
+    let mut bounds = scratch.take_vec::<usize>("relax_bounds");
     let mut stats = ExecutionStats::default();
-    let mut relaxations = 0u64;
+    let mut relax_count = 0u64;
 
-    while !pool.is_empty() {
+    while !active.is_empty() {
         // Pick the batch: the ρ smallest tentative distances in the pool
         // (with ties at the threshold included, so the batch is a
         // deterministic function of the distances).
-        let batch: Vec<u32> = if pool.len() <= rho {
-            std::mem::take(&mut pool)
+        batch.clear();
+        if active.len() <= rho {
+            active.drain_into(&mut batch);
         } else {
-            let mut ds: Vec<u64> = pool
-                .iter()
-                .map(|&v| dist[v as usize].load(Ordering::Relaxed))
-                .collect();
+            ds.clear();
+            let dist_ref = &dist;
+            active.map_into(&mut ds, |v| dist_ref[v as usize].load(Ordering::Relaxed));
             let (_, thr, _) = ds.select_nth_unstable(rho - 1);
             let thr = *thr;
-            let (batch, rest): (Vec<u32>, Vec<u32>) = pool
-                .par_iter()
-                .partition(|&&v| dist[v as usize].load(Ordering::Relaxed) <= thr);
-            pool = rest;
-            batch
-        };
+            active.collect_filtered_into(&mut batch, |v| {
+                dist_ref[v as usize].load(Ordering::Relaxed) <= thr
+            });
+            active.retain(|v| dist_ref[v as usize].load(Ordering::Relaxed) > thr);
+        }
         stats.record_round(batch.len());
-        batch
-            .iter()
-            .for_each(|&v| in_pool[v as usize].store(false, Ordering::Relaxed));
 
-        // Relax the batch in parallel; re-activate improved vertices.
-        let relaxed: u64 = batch
-            .par_iter()
-            .map(|&v| {
-                let dv = dist[v as usize].load(Ordering::Relaxed);
-                let ws = g.edge_weights(v);
-                let mut count = 0u64;
-                for (i, &u) in g.neighbors(v).iter().enumerate() {
-                    count += 1;
-                    let nd = dv + ws[i];
-                    if dist[u as usize].fetch_min(nd, Ordering::Relaxed) > nd {
-                        in_pool[u as usize].store(true, Ordering::Relaxed);
-                    }
-                }
-                count
-            })
-            .sum();
-        relaxations += relaxed;
-
-        // Rebuild the pool without duplicates: each phase *steals* the
-        // activation flag (swap to false), so a vertex reachable from
-        // several sources — a pool survivor that also improved, a vertex
-        // adjacent to two batch members, a batch member re-activated by an
-        // in-batch cycle — is collected exactly once. Flags are restored
-        // afterwards, re-establishing the invariant "pool = flagged set".
-        let mut next: Vec<u32> = pool
-            .iter()
-            .copied()
-            .filter(|&v| in_pool[v as usize].swap(false, Ordering::Relaxed))
-            .collect();
-        let fresh: Vec<u32> = batch
-            .par_iter()
-            .flat_map_iter(|&v| g.neighbors(v).iter().copied())
-            .filter(|&u| {
-                in_pool[u as usize].load(Ordering::Relaxed)
-                    && in_pool[u as usize].swap(false, Ordering::Relaxed)
-            })
-            .collect();
-        next.extend_from_slice(&fresh);
-        next.extend(
-            batch
+        // Relax the batch in edge-balanced packets; vertices whose
+        // distance improves land in `updated` (duplicates collapse when
+        // they re-enter the pool).
+        let dist_ref = &dist;
+        let relax = move |v: u32| {
+            let dv = dist_ref[v as usize].load(Ordering::Relaxed);
+            let ws = g.edge_weights(v);
+            g.neighbors(v)
                 .iter()
-                .copied()
-                .filter(|&v| in_pool[v as usize].swap(false, Ordering::Relaxed)),
+                .enumerate()
+                .filter_map(move |(e, &u)| {
+                    let nd = dv + ws[e];
+                    // Monotone pre-check: only pay the CAS loop on
+                    // edges that actually improve the target.
+                    if nd < dist_ref[u as usize].load(Ordering::Relaxed)
+                        && dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed) > nd
+                    {
+                        Some(u)
+                    } else {
+                        None
+                    }
+                })
+        };
+        updated.clear();
+        relax_count += super::relax_into_packets(
+            g,
+            &batch,
+            &mut deg,
+            &mut prefix,
+            &mut bounds,
+            &mut updated,
+            relax,
         );
-        next.iter()
-            .for_each(|&v| in_pool[v as usize].store(true, Ordering::Relaxed));
-        pool = next;
+        // Re-activate improved vertices: pool survivors stay members,
+        // improved batch members and freshly improved neighbors join
+        // exactly once each (epoch-stamp dedup).
+        active.insert_from(&updated);
     }
 
-    stats.set_counter("relaxations", relaxations);
+    stats.set_counter("relaxations", relax_count);
     let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
     scratch.put_vec("sssp_dist", dist);
-    scratch.put_vec("rho_in_pool", in_pool);
+    active.release(scratch, "sssp_frontier");
+    scratch.put_vec("rho_batch", batch);
+    scratch.put_vec("rho_ds", ds);
+    scratch.put_vec("rho_updated", updated);
+    scratch.put_vec("relax_deg", deg);
+    scratch.put_vec("relax_prefix", prefix);
+    scratch.put_vec("relax_bounds", bounds);
     Report::new(out, stats)
 }
 
@@ -225,6 +233,21 @@ mod tests {
         assert!(s_big.rounds < s_small.rounds);
         // And more steps ⇒ less re-relaxation (work-parallelism tradeoff).
         assert!(s_big.counter("relaxations") >= s_small.counter("relaxations"));
+    }
+
+    #[test]
+    fn pinned_policies_agree() {
+        let g = gen::uniform(800, 3200, 8);
+        let wg = gen::with_uniform_weights(&g, 1, 200, 9);
+        for rho in [4usize, 64] {
+            let sparse = rho_stepping(&wg, 0, &with_rho(rho).with_frontier(FrontierPolicy::Sparse));
+            let dense = rho_stepping(&wg, 0, &with_rho(rho).with_frontier(FrontierPolicy::Dense));
+            // Outputs must agree; step counts may legitimately differ
+            // (member order differs between representations, and
+            // in-batch relaxation order shifts when re-activations
+            // happen — the same freedom a real parallel schedule has).
+            assert_eq!(sparse.output, dense.output, "rho={rho}");
+        }
     }
 
     #[test]

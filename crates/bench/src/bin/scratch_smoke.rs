@@ -1,0 +1,52 @@
+//! Scratch steady-state gate: fails (exit 1) if any registry entry's
+//! prepared query path allocates per-query scratch in steady state.
+//!
+//! For every registry entry × every scenario family it supports, the
+//! entry's instance is prepared once, two warm-up queries populate the
+//! [`Scratch`](phase_parallel::Scratch) workspace, and the third
+//! query's take/reuse counter delta is inspected: in steady state every
+//! `take_*` must be served from a parked buffer (`takes == reuses`).
+//! An entry that trips this gate re-allocates hot buffers on every
+//! query — exactly the regression the prepare/query split exists to
+//! prevent.
+//!
+//! Run in CI with `PP_SMOKE=1` (tiny instances; the property is
+//! size-independent). `PP_SCALE` scales instances up for local runs.
+//!
+//! Run with: `cargo run --release -p pp-bench --bin scratch_smoke`
+
+use phase_parallel::RunConfig;
+use pp_algos::registry::{self, CaseSpec};
+
+fn main() {
+    let size = if pp_bench::smoke() {
+        120
+    } else {
+        800 * pp_bench::scale()
+    };
+    let cfg = RunConfig::seeded(7);
+    let mut failures = 0usize;
+    let table = pp_bench::Table::new(&["entry", "scenario", "takes", "reuses", "steady"]);
+    for entry in registry::registry() {
+        for scenario in entry.scenarios() {
+            let case = CaseSpec::new(size, 3).with_scenario(scenario);
+            let probe = entry.scratch_probe(&case, &cfg);
+            let ok = probe.steady_state_reuse();
+            if !ok {
+                failures += 1;
+            }
+            table.row(&[
+                entry.name().to_string(),
+                scenario.key(),
+                probe.takes.to_string(),
+                probe.reuses.to_string(),
+                if ok { "ok".into() } else { "ALLOCATES".into() },
+            ]);
+        }
+    }
+    if failures > 0 {
+        eprintln!("scratch_smoke: {failures} entry/scenario pairs allocate steady-state scratch");
+        std::process::exit(1);
+    }
+    println!("scratch_smoke: all prepared paths reuse their scratch in steady state");
+}

@@ -11,19 +11,24 @@
 //!   service holds the weighted edge list and each `solve_par` query
 //!   rebuilds the instance's dependence structure (CSR construction,
 //!   w\* scan) and reallocates every hot buffer.
-//! * *reused instance* — the CSR is kept across queries but each query
-//!   is still a one-shot `solve_par` (fresh buffers, per-call w\* scan).
+//! * *reused* — the CSR is kept across queries but each query is still
+//!   a one-shot `solve_par` (fresh buffers, per-call w\* scan).
 //! * *prepared* — `Solver::prepare` builds the instance structure once;
 //!   queries run through `PreparedSolver::solve_batch`, recycling
-//!   distance arrays and bucket queues through a `Scratch` workspace.
+//!   distance arrays, bucket queues and the frontier engine through a
+//!   `Scratch` workspace.
 //!
-//! Prints a JSON summary: one object per (scenario family × algorithm
-//! family × thread count), each row carrying the scenario key so
-//! per-scenario regressions are attributable. `PP_SCALE` scales the
-//! graphs; `PP_SMOKE=1` shrinks everything to CI-tripwire sizes.
-//! Thread counts are requested via `RunConfig::threads` (under the
-//! sequential rayon shim they all execute on one core, so the speedups
-//! shown there are pure amortization, not parallelism).
+//! Output: one JSON document with a stable row schema — `(scenario,
+//! family, tier, threads, ns_per_query, qps)` — printed to stdout *and*
+//! written to `BENCH_throughput.json` at the repository root (override
+//! the path with `PP_BENCH_OUT`). The committed copy of that file is
+//! the perf trajectory: each PR's CI archives its own run, and the
+//! in-repo baseline records the numbers the current code was measured
+//! at. `PP_SCALE` scales the graphs; `PP_SMOKE=1` shrinks everything to
+//! CI-tripwire sizes. Thread counts are requested via
+//! `RunConfig::threads` (under the sequential rayon shim they all
+//! execute on one core, so the speedups shown there are pure
+//! amortization, not parallelism).
 //!
 //! Run with: `cargo run --release -p pp-bench --bin throughput`
 
@@ -43,11 +48,6 @@ const SCENARIOS: [&str; 5] = [
     "graph/geometric+w/exp",
     "graph/star-hub+w/uniform",
 ];
-
-/// Queries per second, measured over one pass of `queries`.
-fn qps(elapsed_secs: f64, queries: usize) -> f64 {
-    queries as f64 / elapsed_secs.max(1e-12)
-}
 
 /// The service's stored form: the raw weighted edge list (`u < v`).
 fn edge_triples(g: &Graph) -> Vec<(u32, u32, u64)> {
@@ -69,6 +69,7 @@ fn build_instance(n: usize, edges: &[(u32, u32, u64)]) -> SsspInstance {
     SsspInstance::new(b.build(), 0)
 }
 
+/// Nanoseconds per query over one timed pass.
 struct Tier {
     unprepared: f64,
     reused: f64,
@@ -88,6 +89,10 @@ where
 {
     let solver = Solver::new(algo).configure(|c| c.with_threads(threads));
     let checksum = |d: &Vec<u64>| d.iter().copied().fold(0u64, u64::wrapping_add);
+    // Clamp away a zero elapsed (coarse clocks on degenerate smoke
+    // runs) so neither ns_per_query nor the derived qps can go
+    // infinite and corrupt the JSON.
+    let per_query = |elapsed: f64| elapsed.max(1e-12) * 1e9 / queries.len() as f64;
 
     // Tier 1 — unprepared: rebuild the instance per query (the old
     // one-shot calling convention for a stateless service).
@@ -98,7 +103,7 @@ where
         sum_unprepared =
             sum_unprepared.wrapping_add(checksum(&solver.solve_with(&instance, q).output));
     }
-    let unprepared = qps(t.elapsed().as_secs_f64(), queries.len());
+    let unprepared = per_query(t.elapsed().as_secs_f64());
 
     // Tier 2 — instance kept, but every query still a one-shot solve.
     let instance = build_instance(n, edges);
@@ -107,13 +112,13 @@ where
     for q in queries {
         sum_reused = sum_reused.wrapping_add(checksum(&solver.solve_with(&instance, q).output));
     }
-    let reused = qps(t.elapsed().as_secs_f64(), queries.len());
+    let reused = per_query(t.elapsed().as_secs_f64());
 
     // Tier 3 — prepared once, queried as a batch with recycled scratch.
     let prepared_solver = solver.prepare(&instance);
     let t = Instant::now();
     let batch = prepared_solver.solve_batch(queries);
-    let prepared = qps(t.elapsed().as_secs_f64(), queries.len());
+    let prepared = per_query(t.elapsed().as_secs_f64());
 
     // All three tiers must serve identical answers.
     let sum_prepared = batch.outputs().map(checksum).fold(0u64, u64::wrapping_add);
@@ -127,6 +132,12 @@ where
     }
 }
 
+/// Repository root, resolved relative to this crate's manifest so the
+/// JSON lands in the same place no matter the working directory.
+fn default_out_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+}
+
 fn main() {
     let smoke = pp_bench::smoke();
     let (n_target, n_queries) = if smoke {
@@ -136,12 +147,6 @@ fn main() {
     };
     let thread_counts: &[usize] = if smoke { &[1] } else { &[1, 4, 8] };
 
-    println!("{{");
-    println!("  \"bench\": \"throughput\",");
-    println!("  \"smoke\": {smoke},");
-    println!("  \"target_vertices\": {n_target},");
-    println!("  \"queries\": {n_queries},");
-    println!("  \"results\": [");
     let mut rows = Vec::new();
     for key in SCENARIOS {
         let spec = ScenarioSpec::parse(key).expect("scenario key");
@@ -164,23 +169,41 @@ fn main() {
         ] {
             for &threads in thread_counts {
                 let tier = runner(threads);
-                rows.push(format!(
-                    "    {{\"scenario\": \"{key}\", \"family\": \"{family}\", \
-                     \"vertices\": {n}, \"edges\": {}, \"threads\": {threads}, \
-                     \"unprepared_qps\": {:.2}, \"reused_instance_qps\": {:.2}, \
-                     \"prepared_qps\": {:.2}, \"speedup_vs_unprepared\": {:.3}, \
-                     \"speedup_vs_reused\": {:.3}}}",
-                    edges.len(),
-                    tier.unprepared,
-                    tier.reused,
-                    tier.prepared,
-                    tier.prepared / tier.unprepared,
-                    tier.prepared / tier.reused,
-                ));
+                for (tier_name, ns) in [
+                    ("unprepared", tier.unprepared),
+                    ("reused", tier.reused),
+                    ("prepared", tier.prepared),
+                ] {
+                    rows.push(format!(
+                        "    {{\"scenario\": \"{key}\", \"family\": \"{family}\", \
+                         \"tier\": \"{tier_name}\", \"threads\": {threads}, \
+                         \"vertices\": {n}, \"edges\": {}, \
+                         \"ns_per_query\": {ns:.1}, \"qps\": {:.2}}}",
+                        edges.len(),
+                        1e9 / ns,
+                    ));
+                }
             }
         }
     }
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"smoke\": {smoke},\n  \
+         \"scale\": {},\n  \"target_vertices\": {n_target},\n  \
+         \"queries\": {n_queries},\n  \"rows\": [\n{}\n  ]\n}}",
+        pp_bench::scale(),
+        rows.join(",\n"),
+    );
+    println!("{json}");
+
+    let out_path = std::env::var_os("PP_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_out_path);
+    match std::fs::write(&out_path, json + "\n") {
+        Ok(()) => eprintln!("wrote {}", out_path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,628 @@
+//! [`Frontier`]: the adaptive sparse/dense frontier engine for
+//! round-based algorithms.
+//!
+//! Every round loop in the workspace shares one shape: a *frontier* (the
+//! objects processed this round) produces *candidates* for the next
+//! round, with duplicates — a vertex improved by several neighbors, an
+//! edge re-examined from both endpoints. The naive way to deduplicate is
+//! a `sort` + `dedup` over the candidate list on every round, which is
+//! `O(c log c)` work on the critical path of the inner loop (and was
+//! exactly what Δ-stepping's substep loop paid before this engine
+//! existed). `Frontier` replaces it with an **epoch-stamped membership
+//! array**: inserting `v` atomically swaps `stamp[v]` to the current
+//! epoch, and only the first copy of `v` to arrive observes a stale
+//! stamp — `O(1)` per candidate, no sorting, no compaction passes.
+//! Starting a new frontier is a single epoch increment (`O(1)` reset; a
+//! full clear of the stamp array happens only on the ~4-billion-round
+//! epoch wraparound).
+//!
+//! On top of the stamps the engine keeps **two representations** and
+//! switches between them per round, the way direction-optimizing BFS
+//! engines do:
+//!
+//! * **sparse** — an explicit vertex list, built by appending every
+//!   first-arrival candidate. Cheap when the frontier is a small
+//!   fraction of the universe.
+//! * **dense** — the stamp array *is* the frontier (membership =
+//!   `stamp[v] == epoch`); no list is materialized at all. Cheap when
+//!   the frontier is a large fraction of the universe: consumers scan
+//!   `0..n` with perfect locality and static work splitting, and the
+//!   build skips list construction entirely.
+//!
+//! The switch heuristic is candidate-count based: a round whose
+//! candidate set is at least `n / DENSE_DENOM` goes dense (see
+//! [`FrontierPolicy`] to pin either representation, e.g. for
+//! differential testing). The engine counts how many rounds ran in each
+//! representation so algorithms can export `"dense_substeps"` /
+//! `"sparse_substeps"` named counters through
+//! [`ExecutionStats`](crate::ExecutionStats).
+//!
+//! All storage (stamps and both lists) is plain `Vec` capacity that
+//! survives inside the engine, and the engine itself recycles through a
+//! [`Scratch`] slot ([`Frontier::take`] / [`Frontier::release`]), so a
+//! prepared query path performs no steady-state allocations.
+//!
+//! ```
+//! use phase_parallel::Frontier;
+//!
+//! let mut f = Frontier::new();
+//! f.reset(8);
+//! f.fill(&[3, 5, 3, 5, 3]); // duplicates collapse, no sort
+//! assert_eq!(f.len(), 2);
+//! assert!(f.contains(3) && f.contains(5) && !f.contains(0));
+//!
+//! let mut members = Vec::new();
+//! f.drain_into(&mut members);
+//! members.sort_unstable();
+//! assert_eq!(members, vec![3, 5]);
+//! assert!(f.is_empty());
+//! ```
+
+use crate::scratch::Scratch;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Candidate sets at least `n / DENSE_DENOM` large are represented
+/// densely (under [`FrontierPolicy::Adaptive`]).
+pub const DENSE_DENOM: usize = 8;
+
+/// Below this many candidates/members the engine's operations run as
+/// tight sequential loops: fork-join (and parallel-iterator plumbing)
+/// costs more than the work it would split. Mirrors the grain-size
+/// convention of the parlay primitives.
+const SEQ_GRAIN: usize = 256;
+
+/// Representation policy for a [`Frontier`]: adaptive by default, or
+/// pinned to one representation (the differential-testing knob carried
+/// by [`RunConfig::frontier`](crate::RunConfig::frontier)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FrontierPolicy {
+    /// Dense when a round's candidate set is ≥ `n / DENSE_DENOM`,
+    /// sparse otherwise.
+    #[default]
+    Adaptive,
+    /// Always keep the explicit vertex list.
+    Sparse,
+    /// Always operate on the stamp bitmap alone.
+    Dense,
+}
+
+/// An adaptive sparse/dense frontier over the universe `0..n`. See the
+/// [module docs](self) for the representation and reset machinery.
+///
+/// The mutating round operations ([`Frontier::fill`],
+/// [`Frontier::retain`], [`Frontier::insert_from`]) run their candidate
+/// scans in parallel internally; the read-side helpers
+/// ([`Frontier::for_each`], [`Frontier::collect_filtered_into`], …)
+/// take `&self` and are safe to call from the consuming phase of a
+/// round.
+pub struct Frontier {
+    /// Per-object epoch stamp: `stamps[v] == epoch` ⇔ `v` is a member.
+    stamps: Vec<AtomicU32>,
+    /// Current generation. Always ≥ 1 once `reset` ran, so `0` is a
+    /// universally safe "not a member" stamp value.
+    epoch: u32,
+    /// Universe size for this query (`stamps.len()` may be larger,
+    /// retaining capacity from an earlier, bigger query).
+    n: usize,
+    /// The member list (valid iff `!dense`).
+    verts: Vec<u32>,
+    /// Ping-pong buffer for in-place `retain`.
+    spare: Vec<u32>,
+    /// Member count (maintained in both representations).
+    len: usize,
+    /// Current representation.
+    dense: bool,
+    policy: FrontierPolicy,
+    dense_rounds: u64,
+    sparse_rounds: u64,
+}
+
+impl Default for Frontier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Frontier {
+    /// An empty engine over the empty universe; call
+    /// [`Frontier::reset`] before use.
+    pub fn new() -> Self {
+        Self {
+            stamps: Vec::new(),
+            epoch: 0,
+            n: 0,
+            verts: Vec::new(),
+            spare: Vec::new(),
+            len: 0,
+            dense: false,
+            policy: FrontierPolicy::Adaptive,
+            dense_rounds: 0,
+            sparse_rounds: 0,
+        }
+    }
+
+    /// Take a recycled engine out of `scratch` (or a fresh one on a
+    /// cold workspace). Pair with [`Frontier::release`]; callers must
+    /// still [`Frontier::reset`] it for their universe size.
+    pub fn take(scratch: &mut Scratch, name: &'static str) -> Self {
+        scratch.take_any::<Frontier>(name).unwrap_or_default()
+    }
+
+    /// Park the engine back into `scratch` so the next query reuses its
+    /// stamp array and list capacities.
+    pub fn release(self, scratch: &mut Scratch, name: &'static str) {
+        scratch.put_any(name, self);
+    }
+
+    /// Prepare for a new query over the universe `0..n`: the member set
+    /// becomes empty (via one epoch increment — `O(1)`, no stamp
+    /// clearing) and the per-query representation counters restart.
+    /// Stamp storage only grows; capacity from earlier queries is kept.
+    pub fn reset(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize_with(n, || AtomicU32::new(0));
+        }
+        self.n = n;
+        self.advance_epoch();
+        self.verts.clear();
+        self.len = 0;
+        self.dense = false;
+        self.dense_rounds = 0;
+        self.sparse_rounds = 0;
+    }
+
+    /// Set the representation policy (default
+    /// [`FrontierPolicy::Adaptive`]). Takes effect from the next
+    /// [`Frontier::fill`]/[`Frontier::retain`].
+    pub fn set_policy(&mut self, policy: FrontierPolicy) {
+        self.policy = policy;
+    }
+
+    /// Universe size of the current query.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the frontier has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff the current representation is the dense bitmap.
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Membership test: `O(1)` in both representations.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.stamps[v as usize].load(Ordering::Relaxed) == self.epoch
+    }
+
+    /// The member list, when the representation is sparse (`None` in
+    /// dense mode — scan the universe with [`Frontier::contains`], or
+    /// use the shape-agnostic helpers).
+    pub fn as_slice(&self) -> Option<&[u32]> {
+        (!self.dense).then_some(self.verts.as_slice())
+    }
+
+    /// Rounds built densely since the last [`Frontier::reset`].
+    pub fn dense_rounds(&self) -> u64 {
+        self.dense_rounds
+    }
+
+    /// Rounds built sparsely since the last [`Frontier::reset`].
+    pub fn sparse_rounds(&self) -> u64 {
+        self.sparse_rounds
+    }
+
+    /// Insert one member from the driving thread (seeding a traversal).
+    /// Returns true iff `v` was not already a member.
+    pub fn insert(&mut self, v: u32) -> bool {
+        debug_assert!((v as usize) < self.n);
+        let fresh = self.stamps[v as usize].swap(self.epoch, Ordering::Relaxed) != self.epoch;
+        if fresh {
+            if !self.dense {
+                self.verts.push(v);
+            }
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Start a new frontier from `candidates`, deduplicating via the
+    /// stamps — the replacement for per-round `sort` + `dedup`. The
+    /// representation is chosen from `candidates.len()` (a pre-dedup
+    /// upper bound on the member count).
+    pub fn fill(&mut self, candidates: &[u32]) {
+        self.fill_filtered(candidates, |_| true);
+    }
+
+    /// [`Frontier::fill`], admitting only candidates that pass `pred`.
+    /// `pred` must be pure: duplicated candidates may be tested more
+    /// than once, concurrently.
+    pub fn fill_filtered(&mut self, candidates: &[u32], pred: impl Fn(u32) -> bool + Sync) {
+        self.advance_epoch();
+        let epoch = self.epoch;
+        let stamps = &self.stamps;
+        if self.pick_dense(candidates.len()) {
+            self.dense = true;
+            self.len = candidates
+                .par_iter()
+                .filter(|&&v| pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch)
+                .count();
+            self.dense_rounds += 1;
+        } else {
+            self.dense = false;
+            self.verts.clear();
+            if candidates.len() <= SEQ_GRAIN {
+                self.verts.extend(candidates.iter().copied().filter(|&v| {
+                    pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                }));
+            } else {
+                self.verts
+                    .par_extend(candidates.par_iter().copied().filter(|&v| {
+                        pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                    }));
+            }
+            self.len = self.verts.len();
+            self.sparse_rounds += 1;
+        }
+    }
+
+    /// Start a frontier holding the whole universe `0..upto` (round
+    /// loops that begin with every object live).
+    pub fn fill_range(&mut self, upto: usize) {
+        debug_assert!(upto <= self.n);
+        self.advance_epoch();
+        let epoch = self.epoch;
+        if self.pick_dense(upto) {
+            self.dense = true;
+            self.stamps[..upto]
+                .par_iter()
+                .for_each(|s| s.store(epoch, Ordering::Relaxed));
+            self.dense_rounds += 1;
+        } else {
+            self.dense = false;
+            self.verts.clear();
+            self.verts.par_extend((0..upto as u32).into_par_iter());
+            let stamps = &self.stamps;
+            self.verts
+                .par_iter()
+                .for_each(|&v| stamps[v as usize].store(epoch, Ordering::Relaxed));
+            self.sparse_rounds += 1;
+        }
+        self.len = upto;
+    }
+
+    /// Add `items` to the current frontier, deduplicating against
+    /// existing members and among themselves. Keeps the current
+    /// representation (the next [`Frontier::fill`]/[`Frontier::retain`]
+    /// re-decides).
+    pub fn insert_from(&mut self, items: &[u32]) {
+        let epoch = self.epoch;
+        let stamps = &self.stamps;
+        if self.dense {
+            self.len += items
+                .par_iter()
+                .filter(|&&v| stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch)
+                .count();
+        } else if items.len() <= SEQ_GRAIN {
+            self.verts.extend(
+                items
+                    .iter()
+                    .copied()
+                    .filter(|&v| stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch),
+            );
+            self.len = self.verts.len();
+        } else {
+            self.verts.par_extend(
+                items
+                    .par_iter()
+                    .copied()
+                    .filter(|&v| stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch),
+            );
+            self.len = self.verts.len();
+        }
+    }
+
+    /// Keep only members passing `pred`, re-deciding the representation
+    /// from the survivor count (the dense → sparse downgrade as a round
+    /// loop's live set shrinks). Counted as a round in the
+    /// representation counters.
+    pub fn retain(&mut self, pred: impl Fn(u32) -> bool + Sync) {
+        if self.dense {
+            let epoch = self.epoch;
+            self.len = self.stamps[..self.n]
+                .par_iter()
+                .enumerate()
+                .filter(|(v, s)| {
+                    if s.load(Ordering::Relaxed) != epoch {
+                        return false;
+                    }
+                    if pred(*v as u32) {
+                        true
+                    } else {
+                        // 0 can never equal a live epoch (epochs are ≥ 1
+                        // and the wraparound zeroes every stamp).
+                        s.store(0, Ordering::Relaxed);
+                        false
+                    }
+                })
+                .count();
+            if !self.pick_dense(self.len) {
+                // Downgrade: materialize the (now small) member list.
+                let stamps = &self.stamps;
+                self.verts.clear();
+                self.verts.par_extend(
+                    (0..self.n as u32)
+                        .into_par_iter()
+                        .filter(|&v| stamps[v as usize].load(Ordering::Relaxed) == epoch),
+                );
+                self.dense = false;
+                self.sparse_rounds += 1;
+            } else {
+                self.dense_rounds += 1;
+            }
+        } else {
+            // Survivors are re-marked under a fresh epoch so that
+            // non-survivors genuinely leave the membership set.
+            std::mem::swap(&mut self.verts, &mut self.spare);
+            self.advance_epoch();
+            let epoch = self.epoch;
+            let stamps = &self.stamps;
+            self.verts.clear();
+            if self.spare.len() <= SEQ_GRAIN {
+                self.verts.extend(self.spare.iter().copied().filter(|&v| {
+                    pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                }));
+            } else {
+                self.verts
+                    .par_extend(self.spare.par_iter().copied().filter(|&v| {
+                        pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                    }));
+            }
+            self.len = self.verts.len();
+            if self.pick_dense(self.len) {
+                // Upgrade is free: every member already carries the
+                // current epoch stamp.
+                self.dense = true;
+                self.dense_rounds += 1;
+            } else {
+                self.sparse_rounds += 1;
+            }
+        }
+    }
+
+    /// Empty the frontier (`O(1)`: one epoch increment).
+    pub fn clear_members(&mut self) {
+        self.advance_epoch();
+        self.verts.clear();
+        self.len = 0;
+        self.dense = false;
+    }
+
+    /// Apply `f` to every member, in parallel (sequentially below the
+    /// grain size).
+    pub fn for_each(&self, f: impl Fn(u32) + Sync) {
+        match self.as_slice() {
+            Some(members) if members.len() <= SEQ_GRAIN => members.iter().for_each(|&v| f(v)),
+            Some(members) => members.par_iter().for_each(|&v| f(v)),
+            None => (0..self.n as u32)
+                .into_par_iter()
+                .filter(|&v| self.contains(v))
+                .for_each(f),
+        }
+    }
+
+    /// Sum `f` over all members.
+    pub fn sum_map(&self, f: impl Fn(u32) -> u64 + Sync) -> u64 {
+        match self.as_slice() {
+            Some(members) if members.len() <= SEQ_GRAIN => members.iter().map(|&v| f(v)).sum(),
+            Some(members) => members.par_iter().map(|&v| f(v)).sum(),
+            None => (0..self.n as u32)
+                .into_par_iter()
+                .filter(|&v| self.contains(v))
+                .map(f)
+                .sum(),
+        }
+    }
+
+    /// Minimum of `f` over all members (`None` when empty).
+    pub fn min_map(&self, f: impl Fn(u32) -> u64 + Sync) -> Option<u64> {
+        match self.as_slice() {
+            Some(members) if members.len() <= SEQ_GRAIN => members.iter().map(|&v| f(v)).min(),
+            Some(members) => members.par_iter().map(|&v| f(v)).min(),
+            None => (0..self.n as u32)
+                .into_par_iter()
+                .filter(|&v| self.contains(v))
+                .map(f)
+                .min(),
+        }
+    }
+
+    /// Append `f(v)` for every member to `out` (e.g. the distance
+    /// values a selection threshold is computed from).
+    pub fn map_into<T: Send>(&self, out: &mut Vec<T>, f: impl Fn(u32) -> T + Sync) {
+        match self.as_slice() {
+            Some(members) if members.len() <= SEQ_GRAIN => {
+                out.extend(members.iter().map(|&v| f(v)))
+            }
+            Some(members) => out.par_extend(members.par_iter().map(|&v| f(v))),
+            None => out.par_extend(
+                (0..self.n as u32)
+                    .into_par_iter()
+                    .filter(|&v| self.contains(v))
+                    .map(f),
+            ),
+        }
+    }
+
+    /// Append every member to `out` (dense members arrive in id order,
+    /// sparse members in insertion order).
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        self.collect_filtered_into(out, |_| true);
+    }
+
+    /// Append the members passing `pred` to `out`.
+    pub fn collect_filtered_into(&self, out: &mut Vec<u32>, pred: impl Fn(u32) -> bool + Sync) {
+        match self.as_slice() {
+            Some(members) if members.len() <= SEQ_GRAIN => {
+                out.extend(members.iter().copied().filter(|&v| pred(v)))
+            }
+            Some(members) => out.par_extend(members.par_iter().copied().filter(|&v| pred(v))),
+            None => out.par_extend(
+                (0..self.n as u32)
+                    .into_par_iter()
+                    .filter(|&v| self.contains(v) && pred(v)),
+            ),
+        }
+    }
+
+    /// Move every member into `out` and empty the frontier.
+    pub fn drain_into(&mut self, out: &mut Vec<u32>) {
+        self.collect_into(out);
+        self.clear_members();
+    }
+
+    /// Pin the epoch counter (wraparound testing only).
+    #[doc(hidden)]
+    pub fn force_epoch_for_tests(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    fn pick_dense(&self, candidate_count: usize) -> bool {
+        match self.policy {
+            FrontierPolicy::Sparse => false,
+            FrontierPolicy::Dense => true,
+            FrontierPolicy::Adaptive => {
+                self.n > 0 && candidate_count.saturating_mul(DENSE_DENOM) >= self.n
+            }
+        }
+    }
+
+    /// Bump the generation; on wraparound, zero every stamp so that no
+    /// stale stamp can collide with a future epoch.
+    fn advance_epoch(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps
+                .par_iter()
+                .for_each(|s| s.store(0, Ordering::Relaxed));
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+}
+
+impl std::fmt::Debug for Frontier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frontier")
+            .field("n", &self.n)
+            .field("len", &self.len)
+            .field("dense", &self.dense)
+            .field("epoch", &self.epoch)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_without_sort() {
+        let mut f = Frontier::new();
+        f.reset(100);
+        f.fill(&[7, 3, 7, 7, 3, 9]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.as_slice(), Some(&[7, 3, 9][..]));
+    }
+
+    #[test]
+    fn adaptive_switches_on_candidate_count() {
+        let mut f = Frontier::new();
+        f.reset(64);
+        f.fill(&[1, 2, 3]); // 3 * 8 < 64 → sparse
+        assert!(!f.is_dense());
+        let big: Vec<u32> = (0..32).collect();
+        f.fill(&big); // 32 * 8 ≥ 64 → dense
+        assert!(f.is_dense());
+        assert_eq!(f.len(), 32);
+        assert_eq!(f.sparse_rounds(), 1);
+        assert_eq!(f.dense_rounds(), 1);
+    }
+
+    #[test]
+    fn policy_pins_representation() {
+        let mut f = Frontier::new();
+        f.reset(16);
+        f.set_policy(FrontierPolicy::Dense);
+        f.fill(&[1]);
+        assert!(f.is_dense());
+        assert!(f.contains(1) && !f.contains(2));
+        f.set_policy(FrontierPolicy::Sparse);
+        let all: Vec<u32> = (0..16).collect();
+        f.fill(&all);
+        assert!(!f.is_dense());
+        assert_eq!(f.len(), 16);
+    }
+
+    #[test]
+    fn retain_downgrades_and_upgrades() {
+        let mut f = Frontier::new();
+        f.reset(64);
+        let all: Vec<u32> = (0..64).collect();
+        f.fill(&all);
+        assert!(f.is_dense());
+        f.retain(|v| v < 4);
+        assert!(!f.is_dense(), "4 * 8 < 64 must downgrade to sparse");
+        assert_eq!(f.len(), 4);
+        assert!((0..4).all(|v| f.contains(v)));
+        assert!(!f.contains(4));
+    }
+
+    #[test]
+    fn insert_from_dedups_against_members() {
+        let mut f = Frontier::new();
+        f.reset(32);
+        f.fill(&[1, 2]);
+        f.insert_from(&[2, 3, 3, 1]);
+        assert_eq!(f.len(), 3);
+        let mut out = Vec::new();
+        f.collect_into(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_is_constant_time_epoch_bump() {
+        let mut f = Frontier::new();
+        f.reset(16);
+        f.fill(&[5, 6]);
+        f.reset(16);
+        assert!(f.is_empty());
+        assert!(!f.contains(5) && !f.contains(6));
+    }
+
+    #[test]
+    fn epoch_wraparound_clears_stale_stamps() {
+        let mut f = Frontier::new();
+        f.reset(8);
+        f.fill(&[3]);
+        f.force_epoch_for_tests(u32::MAX);
+        // Members stamped at u32::MAX would alias any stale stamp left
+        // at that value; the wrap zeroes the array first.
+        f.fill(&[1]);
+        assert!(f.contains(1));
+        assert!(!f.contains(3));
+        f.fill(&[2]);
+        assert!(f.contains(2) && !f.contains(1));
+    }
+}

@@ -38,6 +38,7 @@
 //! assert!(t.mark(1));  // 11 removed — last blocker: wake vertex 14
 //! ```
 
+pub mod frontier;
 pub mod rank;
 pub mod reservations;
 pub mod scratch;
@@ -47,6 +48,7 @@ pub mod tas_tree;
 pub mod type1;
 pub mod type2;
 
+pub use frontier::{Frontier, FrontierPolicy};
 pub use rank::{IndependenceSystem, RankFn};
 pub use reservations::{speculative_for, ReservationProblem, ReservationTable, SpecForStats};
 pub use scratch::Scratch;

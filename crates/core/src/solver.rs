@@ -40,6 +40,7 @@
 //! assert_eq!(cfg.pivot_mode, PivotMode::RightMost);
 //! ```
 
+use crate::frontier::FrontierPolicy;
 use crate::scratch::Scratch;
 use crate::stats::ExecutionStats;
 
@@ -121,6 +122,11 @@ pub struct RunConfig {
     /// config and always uses the instance's source, so leave this
     /// unset when checking parallel-vs-sequential conformance.
     pub source: Option<u32>,
+    /// Representation policy for the [`Frontier`](crate::Frontier)
+    /// engine in round-based algorithms: adaptive by default, or pinned
+    /// sparse/dense (the differential-testing knob — outputs must not
+    /// depend on it).
+    pub frontier: FrontierPolicy,
 }
 
 impl Default for RunConfig {
@@ -133,6 +139,7 @@ impl Default for RunConfig {
             rho: None,
             priority_source: PrioritySource::default(),
             source: None,
+            frontier: FrontierPolicy::default(),
         }
     }
 }
@@ -183,6 +190,13 @@ impl RunConfig {
     /// [`RunConfig::source`]).
     pub fn with_source(mut self, source: u32) -> Self {
         self.source = Some(source);
+        self
+    }
+
+    /// Pin the frontier-engine representation (see
+    /// [`RunConfig::frontier`]).
+    pub fn with_frontier(mut self, policy: FrontierPolicy) -> Self {
+        self.frontier = policy;
         self
     }
 
@@ -799,7 +813,7 @@ mod tests {
         assert_eq!(batch.total_rounds(), 5);
         assert_eq!(batch.max_frontier(), 3);
         assert_eq!(batch.stats.processed(), 15);
-        assert_eq!(batch.clone().into_outputs(), vec![6; 5]);
+        assert_eq!(batch.into_outputs(), vec![6; 5]);
 
         // Worker workspaces return to the pool and survive into the
         // next batch (cross-batch buffer amortization).

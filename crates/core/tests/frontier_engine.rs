@@ -1,0 +1,125 @@
+//! Integration tests for the [`Frontier`] engine: the epoch-stamped
+//! bitmap's reset/insert/drain behavior, representation switching, and
+//! its recycling through a [`Scratch`] workspace.
+
+use phase_parallel::{Frontier, FrontierPolicy, Scratch};
+
+#[test]
+fn insert_is_idempotent_and_drain_empties() {
+    let mut f = Frontier::new();
+    f.reset(32);
+    assert!(f.insert(7));
+    assert!(!f.insert(7), "second insert of the same vertex is a no-op");
+    assert!(f.insert(9));
+    assert_eq!(f.len(), 2);
+    let mut out = Vec::new();
+    f.drain_into(&mut out);
+    out.sort_unstable();
+    assert_eq!(out, vec![7, 9]);
+    assert!(f.is_empty());
+    assert!(!f.contains(7), "drain must clear membership");
+}
+
+#[test]
+fn reset_clears_membership_across_sizes() {
+    let mut f = Frontier::new();
+    f.reset(10);
+    f.fill(&[1, 2, 3]);
+    // Growing the universe keeps old stamps invalid.
+    f.reset(1000);
+    assert!(f.is_empty());
+    assert!((0..10).all(|v| !f.contains(v)));
+    f.fill(&[999]);
+    assert!(f.contains(999));
+    // Shrinking back also starts empty.
+    f.reset(10);
+    assert!(f.is_empty());
+}
+
+#[test]
+fn dense_and_sparse_report_identical_membership() {
+    let candidates: Vec<u32> = (0..100).map(|i| (i * 37) % 64).collect();
+    let collect = |policy: FrontierPolicy| {
+        let mut f = Frontier::new();
+        f.reset(64);
+        f.set_policy(policy);
+        f.fill(&candidates);
+        let mut out = Vec::new();
+        f.collect_into(&mut out);
+        out.sort_unstable();
+        (f.len(), out)
+    };
+    let (sparse_len, sparse) = collect(FrontierPolicy::Sparse);
+    let (dense_len, dense) = collect(FrontierPolicy::Dense);
+    assert_eq!(sparse_len, dense_len);
+    assert_eq!(sparse, dense);
+}
+
+#[test]
+fn helpers_agree_across_representations() {
+    for policy in [FrontierPolicy::Sparse, FrontierPolicy::Dense] {
+        let mut f = Frontier::new();
+        f.reset(50);
+        f.set_policy(policy);
+        f.fill(&[4, 8, 15, 16, 23, 42]);
+        assert_eq!(f.sum_map(u64::from), 108);
+        assert_eq!(f.min_map(u64::from), Some(4));
+        let mut vals = Vec::new();
+        f.map_into(&mut vals, |v| u64::from(v) * 2);
+        vals.sort_unstable();
+        assert_eq!(vals, vec![8, 16, 30, 32, 46, 84]);
+        let mut evens = Vec::new();
+        f.collect_filtered_into(&mut evens, |v| v % 2 == 0);
+        evens.sort_unstable();
+        assert_eq!(evens, vec![4, 8, 16, 42]);
+        f.retain(|v| v > 20);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(23) && f.contains(42) && !f.contains(4));
+        f.insert_from(&[4, 23, 4]);
+        assert_eq!(f.len(), 3, "insert_from dedups against members");
+    }
+}
+
+#[test]
+fn scratch_round_trip_preserves_capacity_and_counts_reuse() {
+    let mut scratch = Scratch::new();
+    let mut f = Frontier::take(&mut scratch, "frontier");
+    f.reset(10_000);
+    let all: Vec<u32> = (0..10_000).collect();
+    f.fill(&all);
+    f.release(&mut scratch, "frontier");
+    let (takes, reuses) = (scratch.takes(), scratch.reuses());
+
+    // The recycled engine serves a second query without reallocating
+    // its stamp array.
+    let mut f = Frontier::take(&mut scratch, "frontier");
+    assert_eq!(scratch.takes(), takes + 1);
+    assert_eq!(
+        scratch.reuses(),
+        reuses + 1,
+        "engine must come back recycled"
+    );
+    f.reset(10_000);
+    assert!(f.is_empty(), "reset empties the recycled engine in O(1)");
+    f.fill(&[3]);
+    assert!(f.contains(3));
+    f.release(&mut scratch, "frontier");
+}
+
+#[test]
+fn representation_counters_track_rounds() {
+    let mut f = Frontier::new();
+    f.reset(64);
+    f.fill(&[1, 2]); // sparse
+    let all: Vec<u32> = (0..64).collect();
+    f.fill(&all); // dense
+    f.retain(|v| v < 2); // downgrades to sparse
+    assert_eq!(f.sparse_rounds(), 2);
+    assert_eq!(f.dense_rounds(), 1);
+    f.reset(64);
+    assert_eq!(
+        f.sparse_rounds() + f.dense_rounds(),
+        0,
+        "reset restarts counters"
+    );
+}

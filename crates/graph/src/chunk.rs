@@ -1,0 +1,188 @@
+//! Edge-balanced work splitting for frontier traversals.
+//!
+//! Relaxing a frontier by `flat_map`-ing over its vertices splits work
+//! at *vertex* granularity: on skewed graphs (`rmat`, `star-hub`) one
+//! hub vertex can carry most of the frontier's edges, so vertex-count
+//! splitting leaves every other worker idle behind one straggler. The
+//! degree-prefix chunker here splits a frontier into **packets of
+//! approximately equal out-edge totals** instead, the way
+//! direction-optimizing frontier engines split CSR traversals:
+//!
+//! 1. take the exclusive prefix sums of the frontier's out-degrees
+//!    ([`pp_parlay::scan_exclusive_into`], into a caller-recycled
+//!    buffer),
+//! 2. binary-search the `p·total/packets` quantiles in that prefix to
+//!    get packet boundaries.
+//!
+//! Packets still split at vertex boundaries (a single vertex's edge
+//! list is never divided), so a packet may exceed the target by at most
+//! the largest member degree; in exchange, consumers iterate plain
+//! sub-slices with no per-edge indirection.
+//!
+//! [`frontier_edge_bounds`] serves sparse (explicit vertex list)
+//! frontiers; [`vertex_edge_bounds`] serves dense (bitmap) frontiers by
+//! splitting the whole vertex range on the CSR offset array itself —
+//! no per-frontier scan at all. Both write boundaries into
+//! caller-recycled buffers, so steady-state queries allocate nothing.
+
+use crate::Graph;
+use pp_parlay::monoid::sum_monoid;
+use pp_parlay::scan_exclusive_into;
+use rayon::prelude::*;
+
+/// Frontiers at most this many vertices long are served as a single
+/// packet: below this size the prefix scan costs more than the
+/// imbalance it removes.
+pub const SMALL_FRONTIER: usize = 2048;
+
+/// Default packet count for the ambient pool: enough packets per worker
+/// for work stealing to smooth residual imbalance.
+pub fn default_packets() -> usize {
+    rayon::current_num_threads() * 4
+}
+
+/// Split `frontier` into ≤ `packets` contiguous index ranges of
+/// approximately equal out-edge totals. Boundaries land in `bounds`
+/// (cleared first): packet `p` covers `frontier[bounds[p]..bounds[p+1]]`.
+/// `deg` and `prefix` are scratch buffers recycled by the caller.
+/// Returns the frontier's total out-edge count (the work the packets
+/// cover — callers use it as their relaxation counter, so the hot loop
+/// needs no per-vertex counting atomics).
+pub fn frontier_edge_bounds(
+    g: &Graph,
+    frontier: &[u32],
+    packets: usize,
+    deg: &mut Vec<u64>,
+    prefix: &mut Vec<u64>,
+    bounds: &mut Vec<usize>,
+) -> u64 {
+    bounds.clear();
+    if packets <= 1 || frontier.len() <= SMALL_FRONTIER {
+        bounds.push(0);
+        bounds.push(frontier.len());
+        return frontier.iter().map(|&v| g.degree(v) as u64).sum();
+    }
+    deg.clear();
+    deg.par_extend(frontier.par_iter().map(|&v| g.degree(v) as u64));
+    let total = scan_exclusive_into(&sum_monoid::<u64>(), deg, prefix);
+    if total == 0 {
+        bounds.push(0);
+        bounds.push(frontier.len());
+        return 0;
+    }
+    quantile_bounds(prefix, total, packets, frontier.len(), bounds);
+    total
+}
+
+/// Split the whole vertex range `0..n` into ≤ `packets` contiguous
+/// ranges of approximately equal edge totals, using the CSR offset
+/// array as a ready-made degree prefix — the dense-frontier
+/// counterpart of [`frontier_edge_bounds`] (consumers filter members
+/// by stamp inside each range). Boundaries land in `bounds` (cleared
+/// first).
+pub fn vertex_edge_bounds(g: &Graph, packets: usize, bounds: &mut Vec<usize>) {
+    bounds.clear();
+    let n = g.num_vertices();
+    let total = g.num_edges();
+    if packets <= 1 || n <= SMALL_FRONTIER || total == 0 {
+        bounds.push(0);
+        bounds.push(n);
+        return;
+    }
+    let offsets = &g.offsets()[..n];
+    for p in 0..packets {
+        let target = (p * total) / packets;
+        bounds.push(offsets.partition_point(|&x| x < target));
+    }
+    bounds.push(n);
+}
+
+fn quantile_bounds(prefix: &[u64], total: u64, packets: usize, len: usize, out: &mut Vec<usize>) {
+    for p in 0..packets {
+        let target = (p as u64 * total) / packets as u64;
+        out.push(prefix.partition_point(|&x| x < target));
+    }
+    out.push(len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_cover(bounds: &[usize], len: usize) {
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), len);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+    }
+
+    #[test]
+    fn small_frontier_is_one_packet() {
+        let g = gen::uniform(100, 400, 1);
+        let frontier: Vec<u32> = (0..50).collect();
+        let (mut deg, mut prefix, mut bounds) = (Vec::new(), Vec::new(), Vec::new());
+        frontier_edge_bounds(&g, &frontier, 8, &mut deg, &mut prefix, &mut bounds);
+        assert_eq!(bounds, vec![0, 50]);
+    }
+
+    #[test]
+    fn packets_balance_star_hub_edges() {
+        // A star: vertex 0 carries all edges. The chunker must cover
+        // the frontier and isolate the hub's packet boundary-correctly.
+        let g = gen::star(10_000);
+        let frontier: Vec<u32> = (0..10_000).collect();
+        let (mut deg, mut prefix, mut bounds) = (Vec::new(), Vec::new(), Vec::new());
+        frontier_edge_bounds(&g, &frontier, 8, &mut deg, &mut prefix, &mut bounds);
+        check_cover(&bounds, frontier.len());
+        // Every edge is accounted for exactly once across packets.
+        let covered: u64 = bounds
+            .windows(2)
+            .map(|w| {
+                frontier[w[0]..w[1]]
+                    .iter()
+                    .map(|&v| g.degree(v) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(covered, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn uniform_frontier_splits_evenly() {
+        let g = gen::uniform(20_000, 80_000, 3);
+        let frontier: Vec<u32> = (0..20_000).collect();
+        let (mut deg, mut prefix, mut bounds) = (Vec::new(), Vec::new(), Vec::new());
+        frontier_edge_bounds(&g, &frontier, 4, &mut deg, &mut prefix, &mut bounds);
+        check_cover(&bounds, frontier.len());
+        let per_packet: Vec<u64> = bounds
+            .windows(2)
+            .map(|w| {
+                frontier[w[0]..w[1]]
+                    .iter()
+                    .map(|&v| g.degree(v) as u64)
+                    .sum::<u64>()
+            })
+            .collect();
+        let target = g.num_edges() as u64 / 4;
+        for &p in &per_packet {
+            assert!(p < 2 * target, "packet {p} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn vertex_bounds_cover_the_graph() {
+        let g = gen::rmat(13, 32_768, 7);
+        let mut bounds = Vec::new();
+        vertex_edge_bounds(&g, 8, &mut bounds);
+        check_cover(&bounds, g.num_vertices());
+        let covered: usize = bounds
+            .windows(2)
+            .map(|w| {
+                (w[0] as u32..w[1] as u32)
+                    .map(|v| g.degree(v))
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(covered, g.num_edges());
+    }
+}

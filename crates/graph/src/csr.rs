@@ -60,6 +60,14 @@ impl Graph {
             .unwrap_or(0)
     }
 
+    /// The CSR offset array (`n + 1` entries): vertex `v`'s arcs occupy
+    /// `offsets[v]..offsets[v + 1]` of [`Graph::neighbors`]' backing
+    /// storage. Exposed for edge-balanced work splitting
+    /// ([`crate::chunk`]), which uses it as a ready-made degree prefix.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
     /// Neighbors of `v`.
     pub fn neighbors(&self, v: u32) -> &[u32] {
         &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]

@@ -23,6 +23,7 @@
 
 pub mod bfs;
 pub mod builder;
+pub mod chunk;
 pub mod csr;
 pub mod gen;
 

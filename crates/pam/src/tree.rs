@@ -693,7 +693,7 @@ mod tests {
         let a: Vec<(u64, u64)> = (0..5000).map(|i| (2 * i, i)).collect();
         let b: Vec<(u64, u64)> = (0..5000).map(|i| (2 * i + 1, i + 10)).collect();
         let ta = AugTree::from_sorted(SumAug, a.clone());
-        let tb = AugTree::from_sorted(SumAug, b.clone());
+        let tb = AugTree::from_sorted(SumAug, b);
         let t = ta.union(tb);
         t.check_invariants();
         assert_eq!(t.len(), 10_000);

@@ -11,8 +11,32 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if any key is `>= num_buckets`.
 pub fn histogram(keys: &[usize], num_buckets: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    histogram_into(keys, num_buckets, &mut out);
+    out
+}
+
+/// Allocation-free [`histogram`]: counts land in `out` (cleared and
+/// zero-filled first, capacity reused). Inputs that fit one chunk — the
+/// common per-round case — are counted directly into `out` with no
+/// intermediate buffers at all; larger inputs pay the usual per-chunk
+/// local counts, merged into `out`.
+///
+/// # Panics
+/// Panics if any key is `>= num_buckets`.
+pub fn histogram_into(keys: &[usize], num_buckets: usize, out: &mut Vec<usize>) {
+    out.clear();
+    out.resize(num_buckets, 0);
     let chunk = (keys.len() / (rayon::current_num_threads() * 4).max(1)).max(16 * 1024);
-    keys.par_chunks(chunk)
+    if keys.len() <= chunk {
+        for &k in keys {
+            assert!(k < num_buckets, "key {k} out of range {num_buckets}");
+            out[k] += 1;
+        }
+        return;
+    }
+    let merged = keys
+        .par_chunks(chunk)
         .map(|ch| {
             let mut local = vec![0usize; num_buckets];
             for &k in ch {
@@ -29,7 +53,8 @@ pub fn histogram(keys: &[usize], num_buckets: usize) -> Vec<usize> {
                 }
                 a
             },
-        )
+        );
+    out.copy_from_slice(&merged);
 }
 
 /// Group indices by key: returns `(offsets, perm)` where the indices with
@@ -74,6 +99,18 @@ mod tests {
             let want = n / 13 + usize::from(b < n % 13);
             assert_eq!(c, want);
         }
+    }
+
+    #[test]
+    fn histogram_into_reuses_capacity() {
+        let keys: Vec<usize> = (0..100_000).map(|i| i % 7).collect();
+        let mut out = Vec::new();
+        histogram_into(&keys, 7, &mut out);
+        assert_eq!(out.iter().sum::<usize>(), keys.len());
+        let cap = out.capacity();
+        histogram_into(&keys[..10], 7, &mut out);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.iter().sum::<usize>(), 10);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   random-mate list contraction (§5.3's "list ranking" application).
 //! * [`tree_contract`] — `O(n)`-work forest depths via Euler tours +
 //!   list contraction, the "standard tree contraction \[18\]" Thm. 5.3 cites.
-//! * [`histogram`] — parallel bucket counting.
+//! * [`mod@histogram`] — parallel bucket counting.
 //!
 //! All functions are deterministic given their seed arguments, are safe
 //! Rust throughout, and fall back to tight sequential loops below a grain
@@ -42,11 +42,12 @@ pub mod shuffle;
 pub mod sort;
 pub mod tree_contract;
 
+pub use histogram::{histogram, histogram_into};
 pub use monoid::{MaxMonoid, MinMonoid, Monoid, SumMonoid};
-pub use pack::{filter, pack, pack_index};
+pub use pack::{filter, pack, pack_index, pack_index_into, pack_into};
 pub use radix_sort::{radix_sort_by_key, radix_sort_i64, radix_sort_u32, radix_sort_u64};
 pub use rng::{hash64, Rng};
-pub use scan::{reduce, scan_exclusive, scan_inclusive};
+pub use scan::{reduce, scan_exclusive, scan_exclusive_into, scan_inclusive};
 pub use shuffle::random_permutation;
 pub use sort::{par_sort, par_sort_by, par_sort_by_key};
 

@@ -16,20 +16,35 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if `items.len() != flags.len()`.
 pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    let mut out = Vec::new();
+    pack_into(items, flags, &mut out);
+    out
+}
+
+/// Allocation-free [`pack`]: survivors are written into `out` (cleared
+/// first, capacity reused), so round loops that pack every round can
+/// recycle one buffer instead of collecting a fresh vector.
+///
+/// # Panics
+/// Panics if `items.len() != flags.len()`.
+pub fn pack_into<T: Clone + Send + Sync>(items: &[T], flags: &[bool], out: &mut Vec<T>) {
     assert_eq!(items.len(), flags.len());
     let n = items.len();
+    out.clear();
     if n <= GRAIN {
-        return items
-            .iter()
-            .zip(flags)
-            .filter(|(_, &f)| f)
-            .map(|(x, _)| x.clone())
-            .collect();
+        out.extend(
+            items
+                .iter()
+                .zip(flags)
+                .filter(|(_, &f)| f)
+                .map(|(x, _)| x.clone()),
+        );
+        return;
     }
     let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
     let m = sum_monoid::<usize>();
     let (offsets, total) = scan_exclusive(&m, &ones);
-    let mut out: Vec<T> = Vec::with_capacity(total);
+    out.reserve(total);
     let out_ptr = SendPtr(out.as_mut_ptr());
     (0..n).into_par_iter().for_each(|i| {
         if flags[i] {
@@ -42,24 +57,28 @@ pub fn pack<T: Clone + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
     });
     // SAFETY: all `total` slots were written exactly once above.
     unsafe { out.set_len(total) };
-    out
 }
 
 /// Indices `i` with `flags[i]` true, in increasing order.
 pub fn pack_index(flags: &[bool]) -> Vec<usize> {
+    let mut out = Vec::new();
+    pack_index_into(flags, &mut out);
+    out
+}
+
+/// Allocation-free [`pack_index`]: indices land in `out` (cleared
+/// first, capacity reused).
+pub fn pack_index_into(flags: &[bool], out: &mut Vec<usize>) {
     let n = flags.len();
+    out.clear();
     if n <= GRAIN {
-        return flags
-            .iter()
-            .enumerate()
-            .filter(|(_, &f)| f)
-            .map(|(i, _)| i)
-            .collect();
+        out.extend(flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i));
+        return;
     }
     let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
     let m = sum_monoid::<usize>();
     let (offsets, total) = scan_exclusive(&m, &ones);
-    let mut out: Vec<usize> = Vec::with_capacity(total);
+    out.reserve(total);
     let out_ptr = SendPtr(out.as_mut_ptr());
     (0..n).into_par_iter().for_each(|i| {
         if flags[i] {
@@ -71,7 +90,6 @@ pub fn pack_index(flags: &[bool]) -> Vec<usize> {
     });
     // SAFETY: all `total` slots written exactly once.
     unsafe { out.set_len(total) };
-    out
 }
 
 /// Parallel filter: `items` where `pred` holds, preserving order.
@@ -148,6 +166,23 @@ mod tests {
         let got = filter(&items, |&x| x < 100);
         let want: Vec<i32> = items.iter().copied().filter(|&x| x < 100).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity() {
+        let n = 50_000;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let mut out = Vec::new();
+        pack_into(&items, &flags, &mut out);
+        assert_eq!(out.len(), n / 2);
+        let cap = out.capacity();
+        pack_into(&items, &flags, &mut out);
+        assert_eq!(out.capacity(), cap, "second pack must reuse the buffer");
+        let mut idx = Vec::new();
+        pack_index_into(&flags, &mut idx);
+        assert_eq!(idx.len(), n / 2);
+        assert_eq!(idx[1], 2);
     }
 
     #[test]

@@ -34,18 +34,30 @@ fn reduce_seq<M: Monoid>(m: &M, input: &[M::T]) -> M::T {
 /// Parallel *exclusive* scan. Returns `(prefix, total)` where
 /// `prefix[i] = combine(input[0..i])` and `total = combine(input[0..n])`.
 pub fn scan_exclusive<M: Monoid>(m: &M, input: &[M::T]) -> (Vec<M::T>, M::T) {
+    let mut out = Vec::new();
+    let total = scan_exclusive_into(m, input, &mut out);
+    (out, total)
+}
+
+/// Allocation-free [`scan_exclusive`]: the prefix is written into `out`
+/// (cleared first, capacity reused) and the total is returned. The hot
+/// round loops (frontier edge-balancing, bucket routing) call this with
+/// a scratch-recycled buffer so steady-state queries never reallocate
+/// the prefix array.
+pub fn scan_exclusive_into<M: Monoid>(m: &M, input: &[M::T], out: &mut Vec<M::T>) -> M::T {
     let n = input.len();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), m.identity());
+        return m.identity();
     }
     if n <= GRAIN {
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         let mut acc = m.identity();
         for x in input {
             out.push(acc.clone());
             m.combine_into(&mut acc, x);
         }
-        return (out, acc);
+        return acc;
     }
     let nblocks = (rayon::current_num_threads() * 8).min(div_ceil(n, GRAIN));
     let block = div_ceil(n, nblocks);
@@ -62,13 +74,8 @@ pub fn scan_exclusive<M: Monoid>(m: &M, input: &[M::T]) -> (Vec<M::T>, M::T) {
     }
     let total = acc;
 
-    // Pass 2: expand each block.
-    let mut out: Vec<M::T> = Vec::with_capacity(n);
-    #[allow(clippy::uninit_vec)]
-    {
-        // Write every element below; chunks exactly cover 0..n.
-        out.resize(n, m.identity());
-    }
+    // Pass 2: expand each block (every slot rewritten below).
+    out.resize(n, m.identity());
     out.par_chunks_mut(block)
         .zip(input.par_chunks(block))
         .zip(offsets.into_par_iter())
@@ -79,7 +86,7 @@ pub fn scan_exclusive<M: Monoid>(m: &M, input: &[M::T]) -> (Vec<M::T>, M::T) {
                 m.combine_into(&mut acc, x);
             }
         });
-    (out, total)
+    total
 }
 
 /// Parallel *inclusive* scan: `out[i] = combine(input[0..=i])`.
@@ -136,6 +143,21 @@ mod tests {
             acc += v[i];
             assert_eq!(inc[i], acc);
         }
+    }
+
+    #[test]
+    fn scan_exclusive_into_reuses_capacity() {
+        let m = sum_monoid::<u64>();
+        let v: Vec<u64> = (0..10_000).collect();
+        let mut out = Vec::new();
+        let total = scan_exclusive_into(&m, &v, &mut out);
+        assert_eq!(total, v.iter().sum::<u64>());
+        assert_eq!(out[3], 3);
+        let cap = out.capacity();
+        let total = scan_exclusive_into(&m, &v[..5_000], &mut out);
+        assert_eq!(out.capacity(), cap, "second scan must reuse the buffer");
+        assert_eq!(out.len(), 5_000);
+        assert_eq!(total, v[..5_000].iter().sum::<u64>());
     }
 
     #[test]

@@ -89,8 +89,8 @@ mod tests {
     #[test]
     fn priorities_are_permutation_ranks() {
         let n = 5000;
-        let pri = random_priorities(n, 3);
-        let mut sorted = pri.clone();
+        let mut sorted = random_priorities(n, 3);
+
         sorted.sort_unstable();
         let want: Vec<u32> = (0..n as u32).collect();
         assert_eq!(sorted, want);

@@ -403,7 +403,7 @@ mod tests {
         let c = random_permutation(n, seed + 2);
         let mut tree = RangeTree3d::new(&a, &b, &c, mode);
         let mut oracle = Oracle {
-            a: a.clone(),
+            a,
             b,
             c,
             finished: vec![false; n],

@@ -435,7 +435,7 @@ mod tests {
         let d = random_permutation(n, seed + 3);
         let mut tree = RangeTree4d::new(&a, &b, &c, &d, mode);
         let mut oracle = Oracle {
-            a: a.clone(),
+            a,
             b,
             c,
             d,

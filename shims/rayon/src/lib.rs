@@ -628,7 +628,7 @@ mod tests {
     fn find_first_and_sorts() {
         let v = vec![5i64, 3, 8, 1];
         assert_eq!(v.par_iter().find_first(|&&x| x > 4), Some(&5));
-        let mut w = v.clone();
+        let mut w = v;
         w.par_sort_unstable_by_key(|&x| x);
         assert_eq!(w, vec![1, 3, 5, 8]);
     }

@@ -316,6 +316,30 @@ fn scenario_matrix_by_string_keys() {
     assert_eq!(outcome.expected_digest, 64u32.digest());
 }
 
+/// Every entry's prepared query path must reuse its scratch buffers in
+/// steady state: after two warm-up queries, a third query's `take_*`
+/// calls are all served from parked buffers (no per-query scratch
+/// allocations). The `scratch_smoke` bench bin runs the same probe as
+/// a CI gate; this test keeps it enforced under plain `cargo test`.
+#[test]
+fn scenario_matrix_steady_state_scratch_reuse() {
+    let cfg = RunConfig::seeded(5);
+    for entry in registry::registry() {
+        for scenario in entry.scenarios() {
+            let case = CaseSpec::new(90, 4).with_scenario(scenario);
+            let probe = entry.scratch_probe(&case, &cfg);
+            assert!(
+                probe.steady_state_reuse(),
+                "{} on {}: steady-state query took {} buffers but reused only {}",
+                entry.name(),
+                scenario.key(),
+                probe.takes,
+                probe.reuses,
+            );
+        }
+    }
+}
+
 // ---- layer 4: rank specification (§3) ----
 
 /// LIS as an independence system (the §3 running example).

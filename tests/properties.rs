@@ -454,6 +454,40 @@ proptest! {
     }
 
     #[test]
+    fn sssp_sparse_and_dense_frontiers_agree(size in 2usize..200, seed in any::<u64>()) {
+        // The frontier engine's representation is a performance choice,
+        // never a semantic one: for every SSSP registry entry, pinning
+        // the engine sparse and dense must produce identical outputs
+        // (each also checked against the sequential baseline by
+        // `run_case`) across ≥ 3 scenario families.
+        use phase_parallel::FrontierPolicy;
+        use pp_algos::registry::{self, CaseSpec};
+        for name in ["sssp/delta", "sssp/rho", "sssp/crauser", "sssp/pam",
+                     "sssp/bellman-ford", "sssp/dijkstra"] {
+            let entry = registry::lookup(name).expect("registered");
+            let scenarios = entry.scenarios();
+            prop_assert!(scenarios.len() >= 3, "{name}: {} scenarios", scenarios.len());
+            for scenario in scenarios.into_iter().take(4) {
+                let case = CaseSpec::new(size, seed).with_scenario(scenario);
+                let sparse = entry.run_case(
+                    &case,
+                    &RunConfig::seeded(seed).with_frontier(FrontierPolicy::Sparse),
+                );
+                let dense = entry.run_case(
+                    &case,
+                    &RunConfig::seeded(seed).with_frontier(FrontierPolicy::Dense),
+                );
+                prop_assert!(sparse.agrees(), "{name}/{} sparse != seq", scenario.key());
+                prop_assert!(dense.agrees(), "{name}/{} dense != seq", scenario.key());
+                prop_assert_eq!(
+                    sparse.observed_digest, dense.observed_digest,
+                    "{}/{}: sparse and dense paths diverged", name, scenario.key()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn matching_reservations_equals_greedy(n in 2usize..100, m in 1usize..400, seed in any::<u64>()) {
         use pp_algos::matching;
         let g = pp_graph::gen::uniform(n, m, seed);
