@@ -183,24 +183,20 @@ fn delta_stepping_core(
                         &mut bounds,
                     );
                     if bounds.len() == 2 {
+                        // One packet: relax with the same closure the
+                        // parallel arms use (single source of truth for
+                        // the pre-check/fetch_min semantics) and route
+                        // straight into the bucket queue.
                         routed_inline = true;
                         for &v in members {
-                            let d = last_ref[v as usize].load(Ordering::Relaxed);
-                            let ws = g.edge_weights(v);
-                            for (e, &u) in g.neighbors(v).iter().enumerate() {
-                                let nd = d + ws[e];
-                                if nd < dist_ref[u as usize].load(Ordering::Relaxed)
-                                    && nd < dist_ref[u as usize].fetch_min(nd, Ordering::Relaxed)
-                                {
-                                    let b = bucket_of(nd);
-                                    if b >= buckets.len() {
-                                        buckets.resize_with(b + 1, Vec::new);
-                                    }
-                                    if b >= live {
-                                        live = b + 1;
-                                    }
-                                    buckets[b].push(u);
+                            for (b, u) in relax(v) {
+                                if b >= buckets.len() {
+                                    buckets.resize_with(b + 1, Vec::new);
                                 }
+                                if b >= live {
+                                    live = b + 1;
+                                }
+                                buckets[b].push(u);
                             }
                         }
                     } else {

@@ -72,6 +72,11 @@ pub const DENSE_DENOM: usize = 8;
 /// convention of the parlay primitives.
 const SEQ_GRAIN: usize = 256;
 
+/// Minimum per-chunk candidate count for the engine's parallel scans
+/// (`with_min_len` on every elementwise pass): a stamp swap is a few
+/// nanoseconds, so chunks below this would be fork overhead.
+const PAR_GRAIN: usize = 4 * SEQ_GRAIN;
+
 /// Representation policy for a [`Frontier`]: adaptive by default, or
 /// pinned to one representation (the differential-testing knob carried
 /// by [`RunConfig::frontier`](crate::RunConfig::frontier)).
@@ -255,6 +260,7 @@ impl Frontier {
             self.dense = true;
             self.len = candidates
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .filter(|&&v| pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch)
                 .count();
             self.dense_rounds += 1;
@@ -266,10 +272,15 @@ impl Frontier {
                     pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
                 }));
             } else {
-                self.verts
-                    .par_extend(candidates.par_iter().copied().filter(|&v| {
-                        pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
-                    }));
+                self.verts.par_extend(
+                    candidates
+                        .par_iter()
+                        .with_min_len(PAR_GRAIN)
+                        .copied()
+                        .filter(|&v| {
+                            pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                        }),
+                );
             }
             self.len = self.verts.len();
             self.sparse_rounds += 1;
@@ -286,15 +297,18 @@ impl Frontier {
             self.dense = true;
             self.stamps[..upto]
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .for_each(|s| s.store(epoch, Ordering::Relaxed));
             self.dense_rounds += 1;
         } else {
             self.dense = false;
             self.verts.clear();
-            self.verts.par_extend((0..upto as u32).into_par_iter());
+            self.verts
+                .par_extend((0..upto as u32).into_par_iter().with_min_len(PAR_GRAIN));
             let stamps = &self.stamps;
             self.verts
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .for_each(|&v| stamps[v as usize].store(epoch, Ordering::Relaxed));
             self.sparse_rounds += 1;
         }
@@ -311,6 +325,7 @@ impl Frontier {
         if self.dense {
             self.len += items
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .filter(|&&v| stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch)
                 .count();
         } else if items.len() <= SEQ_GRAIN {
@@ -325,6 +340,7 @@ impl Frontier {
             self.verts.par_extend(
                 items
                     .par_iter()
+                    .with_min_len(PAR_GRAIN)
                     .copied()
                     .filter(|&v| stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch),
             );
@@ -341,6 +357,7 @@ impl Frontier {
             let epoch = self.epoch;
             self.len = self.stamps[..self.n]
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .enumerate()
                 .filter(|(v, s)| {
                     if s.load(Ordering::Relaxed) != epoch {
@@ -363,6 +380,7 @@ impl Frontier {
                 self.verts.par_extend(
                     (0..self.n as u32)
                         .into_par_iter()
+                        .with_min_len(PAR_GRAIN)
                         .filter(|&v| stamps[v as usize].load(Ordering::Relaxed) == epoch),
                 );
                 self.dense = false;
@@ -383,10 +401,15 @@ impl Frontier {
                     pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
                 }));
             } else {
-                self.verts
-                    .par_extend(self.spare.par_iter().copied().filter(|&v| {
-                        pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
-                    }));
+                self.verts.par_extend(
+                    self.spare
+                        .par_iter()
+                        .with_min_len(PAR_GRAIN)
+                        .copied()
+                        .filter(|&v| {
+                            pred(v) && stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch
+                        }),
+                );
             }
             self.len = self.verts.len();
             if self.pick_dense(self.len) {
@@ -413,11 +436,15 @@ impl Frontier {
     pub fn for_each(&self, f: impl Fn(u32) + Sync) {
         match self.as_slice() {
             Some(members) if members.len() <= SEQ_GRAIN => members.iter().for_each(|&v| f(v)),
-            Some(members) => members.par_iter().for_each(|&v| f(v)),
+            Some(members) => members
+                .par_iter()
+                .with_min_len(PAR_GRAIN)
+                .for_each(|&v| f(v)),
             None => (0..self.n as u32)
                 .into_par_iter()
+                .with_min_len(PAR_GRAIN)
                 .filter(|&v| self.contains(v))
-                .for_each(f),
+                .for_each(&f),
         }
     }
 
@@ -425,11 +452,16 @@ impl Frontier {
     pub fn sum_map(&self, f: impl Fn(u32) -> u64 + Sync) -> u64 {
         match self.as_slice() {
             Some(members) if members.len() <= SEQ_GRAIN => members.iter().map(|&v| f(v)).sum(),
-            Some(members) => members.par_iter().map(|&v| f(v)).sum(),
+            Some(members) => members
+                .par_iter()
+                .with_min_len(PAR_GRAIN)
+                .map(|&v| f(v))
+                .sum(),
             None => (0..self.n as u32)
                 .into_par_iter()
+                .with_min_len(PAR_GRAIN)
                 .filter(|&v| self.contains(v))
-                .map(f)
+                .map(&f)
                 .sum(),
         }
     }
@@ -438,11 +470,16 @@ impl Frontier {
     pub fn min_map(&self, f: impl Fn(u32) -> u64 + Sync) -> Option<u64> {
         match self.as_slice() {
             Some(members) if members.len() <= SEQ_GRAIN => members.iter().map(|&v| f(v)).min(),
-            Some(members) => members.par_iter().map(|&v| f(v)).min(),
+            Some(members) => members
+                .par_iter()
+                .with_min_len(PAR_GRAIN)
+                .map(|&v| f(v))
+                .min(),
             None => (0..self.n as u32)
                 .into_par_iter()
+                .with_min_len(PAR_GRAIN)
                 .filter(|&v| self.contains(v))
-                .map(f)
+                .map(&f)
                 .min(),
         }
     }
@@ -454,12 +491,15 @@ impl Frontier {
             Some(members) if members.len() <= SEQ_GRAIN => {
                 out.extend(members.iter().map(|&v| f(v)))
             }
-            Some(members) => out.par_extend(members.par_iter().map(|&v| f(v))),
+            Some(members) => {
+                out.par_extend(members.par_iter().with_min_len(PAR_GRAIN).map(|&v| f(v)))
+            }
             None => out.par_extend(
                 (0..self.n as u32)
                     .into_par_iter()
+                    .with_min_len(PAR_GRAIN)
                     .filter(|&v| self.contains(v))
-                    .map(f),
+                    .map(&f),
             ),
         }
     }
@@ -476,10 +516,17 @@ impl Frontier {
             Some(members) if members.len() <= SEQ_GRAIN => {
                 out.extend(members.iter().copied().filter(|&v| pred(v)))
             }
-            Some(members) => out.par_extend(members.par_iter().copied().filter(|&v| pred(v))),
+            Some(members) => out.par_extend(
+                members
+                    .par_iter()
+                    .with_min_len(PAR_GRAIN)
+                    .copied()
+                    .filter(|&v| pred(v)),
+            ),
             None => out.par_extend(
                 (0..self.n as u32)
                     .into_par_iter()
+                    .with_min_len(PAR_GRAIN)
                     .filter(|&v| self.contains(v) && pred(v)),
             ),
         }
@@ -513,6 +560,7 @@ impl Frontier {
         if self.epoch == u32::MAX {
             self.stamps
                 .par_iter()
+                .with_min_len(PAR_GRAIN)
                 .for_each(|s| s.store(0, Ordering::Relaxed));
             self.epoch = 0;
         }

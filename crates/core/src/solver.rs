@@ -98,11 +98,14 @@ pub struct RunConfig {
     pub seed: u64,
     /// Pivot selection strategy for Type 2 engines.
     pub pivot_mode: PivotMode,
-    /// Worker threads. `None` uses the ambient pool (all cores under
-    /// real rayon); `Some(t)` asks for a dedicated `t`-thread pool.
-    /// Applied by [`Solver::solve`] and the registry's `run_case` (via
-    /// [`RunConfig::install`]); a family's free `*_par` function called
-    /// directly runs on the ambient pool regardless.
+    /// Worker threads. `None` uses the ambient pool (all cores, or
+    /// `RAYON_NUM_THREADS`); `Some(t)` asks for a dedicated `t`-thread
+    /// pool — and since the rayon shim became a real fork-join pool,
+    /// `t` is the *actual* worker count parallel regions fan out
+    /// across, not a label. Applied by [`Solver::solve`] and the
+    /// registry's `run_case` (via [`RunConfig::install`]); a family's
+    /// free `*_par` function called directly runs on the ambient pool
+    /// regardless.
     pub threads: Option<usize>,
     /// Δ-stepping bucket width. `None` lets SSSP default to Δ = w* (the
     /// paper's phase-parallel choice, Theorem 4.5).
@@ -411,7 +414,10 @@ pub struct Solver<A: PhaseAlgorithm> {
     pool: Option<rayon::ThreadPool>,
     /// Number of dedicated pools built over this solver's lifetime
     /// (diagnostics; lets tests pin down that reconfiguration without a
-    /// thread-count change does not thrash the pool).
+    /// thread-count change does not thrash the pool). Building a pool
+    /// spawns real worker threads now, so avoiding a rebuild saves
+    /// actual OS work — this counter is the regression tripwire for
+    /// that caching.
     pool_builds: u32,
 }
 
@@ -448,6 +454,9 @@ impl<A: PhaseAlgorithm> Solver<A> {
     }
 
     /// How many dedicated pools this solver has built (diagnostics).
+    /// Each build spawns `threads` OS workers, so repeated solves must
+    /// reuse the cached pool; `with_config` rebuilds only on an actual
+    /// thread-count change, and this counter proves it.
     pub fn pool_builds(&self) -> u32 {
         self.pool_builds
     }
@@ -548,8 +557,11 @@ where
 }
 
 /// Hands a pooled [`Scratch`] to one batch worker and returns it to the
-/// pool when the worker's state is dropped (rayon drops `map_init`
-/// states at the end of the batch).
+/// pool when the worker's state is dropped (`map_init` drops each
+/// chunk's state when its chunk completes). Workers run on distinct
+/// threads, so checkout and return both go through the shared
+/// `Mutex` — the workspaces themselves are never aliased: each lives
+/// in exactly one chunk's state while checked out.
 struct PooledScratch<'p> {
     scratch: Option<Scratch>,
     pool: &'p std::sync::Mutex<Vec<Scratch>>,
@@ -615,10 +627,11 @@ where
     }
 
     /// Answer a whole batch of queries against the prepared instance:
-    /// queries fan out across the solver's cached thread pool (one
-    /// [`Scratch`] per worker, so buffer reuse needs no locking on the
-    /// hot path) and the per-query reports come back with an aggregated
-    /// batch summary. Worker workspaces come from a pool that persists
+    /// queries genuinely fan out across the solver's cached thread
+    /// pool (one [`Scratch`] per worker chunk, so the hot query path
+    /// touches no locks — only checkout/return do) and the per-query
+    /// reports come back, in query order, with an aggregated batch
+    /// summary. Worker workspaces come from a pool that persists
     /// across `solve_batch` calls, so repeated batches on one handle
     /// stay allocation-free in steady state.
     pub fn solve_batch(&self, queries: &[RunConfig]) -> BatchReport<A::Output>

@@ -63,7 +63,14 @@ pub fn frontier_edge_bounds(
         return frontier.iter().map(|&v| g.degree(v) as u64).sum();
     }
     deg.clear();
-    deg.par_extend(frontier.par_iter().map(|&v| g.degree(v) as u64));
+    // Grain-bounded: a degree lookup is a two-load subtraction, so
+    // chunks below `SMALL_FRONTIER` items would be all fork overhead.
+    deg.par_extend(
+        frontier
+            .par_iter()
+            .with_min_len(SMALL_FRONTIER)
+            .map(|&v| g.degree(v) as u64),
+    );
     let total = scan_exclusive_into(&sum_monoid::<u64>(), deg, prefix);
     if total == 0 {
         bounds.push(0);

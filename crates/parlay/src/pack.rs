@@ -41,12 +41,16 @@ pub fn pack_into<T: Clone + Send + Sync>(items: &[T], flags: &[bool], out: &mut 
         );
         return;
     }
-    let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
+    let ones: Vec<usize> = flags
+        .par_iter()
+        .with_min_len(GRAIN)
+        .map(|&f| f as usize)
+        .collect();
     let m = sum_monoid::<usize>();
     let (offsets, total) = scan_exclusive(&m, &ones);
     out.reserve(total);
     let out_ptr = SendPtr(out.as_mut_ptr());
-    (0..n).into_par_iter().for_each(|i| {
+    (0..n).into_par_iter().with_min_len(GRAIN).for_each(|i| {
         if flags[i] {
             // SAFETY: each true flag maps to a unique slot `offsets[i] < total`
             // (exclusive scan of the flags), and `out` has capacity `total`.
@@ -75,12 +79,16 @@ pub fn pack_index_into(flags: &[bool], out: &mut Vec<usize>) {
         out.extend(flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i));
         return;
     }
-    let ones: Vec<usize> = flags.par_iter().map(|&f| f as usize).collect();
+    let ones: Vec<usize> = flags
+        .par_iter()
+        .with_min_len(GRAIN)
+        .map(|&f| f as usize)
+        .collect();
     let m = sum_monoid::<usize>();
     let (offsets, total) = scan_exclusive(&m, &ones);
     out.reserve(total);
     let out_ptr = SendPtr(out.as_mut_ptr());
-    (0..n).into_par_iter().for_each(|i| {
+    (0..n).into_par_iter().with_min_len(GRAIN).for_each(|i| {
         if flags[i] {
             // SAFETY: unique slot per true flag, capacity `total` (see `pack`).
             unsafe {
@@ -98,7 +106,9 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T) -> bool + Send + Sync,
 {
-    let flags: Vec<bool> = items.par_iter().map(pred).collect();
+    // `&pred` (a `Copy` reference) satisfies the shim's `Clone` bound
+    // without requiring it of callers.
+    let flags: Vec<bool> = items.par_iter().with_min_len(GRAIN).map(&pred).collect();
     pack(items, &flags)
 }
 

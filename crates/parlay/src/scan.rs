@@ -93,6 +93,7 @@ pub fn scan_exclusive_into<M: Monoid>(m: &M, input: &[M::T], out: &mut Vec<M::T>
 pub fn scan_inclusive<M: Monoid>(m: &M, input: &[M::T]) -> Vec<M::T> {
     let (mut out, _) = scan_exclusive(m, input);
     out.par_iter_mut()
+        .with_min_len(GRAIN)
         .zip(input.par_iter())
         .for_each(|(o, x)| *o = m.combine(o, x));
     out

@@ -1,65 +1,77 @@
-//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon) with a
+//! **real fork-join thread pool**.
 //!
 //! The build environment for this workspace has no crates.io access, so
-//! this crate vendors the *subset* of rayon's API the workspace uses,
-//! with sequential execution semantics. Every `par_*` entry point is a
-//! drop-in signature match for the real rayon (including the
-//! rayon-specific `reduce(identity, op)` shape and `Send + Sync`
-//! bounds), so the codebase compiles unchanged against either; pointing
-//! the workspace `rayon` dependency at crates.io restores real
-//! work-stealing parallelism with no source edits.
+//! this crate vendors the *subset* of rayon's API the workspace uses.
+//! Since PR 5 the execution is genuinely parallel: a work-sharing
+//! chunk scheduler on `std::thread` (see `pool.rs`'s module docs for
+//! the scheduler design) runs [`join`], [`scope`],
+//! [`ThreadPool::install`] and every parallel-iterator driver
+//! (`par_iter`, `par_chunks_mut`, `map_init`, `ParallelExtend`, …) on
+//! the pool's worker threads. [`ThreadPoolBuilder::num_threads`] is
+//! honored and [`current_num_threads`] is truthful, so thread-count
+//! knobs (`RunConfig::threads`, `RAYON_NUM_THREADS`) change actual
+//! concurrency, not just a label.
 //!
-//! Sequential execution is semantically safe here by design: every
-//! parallel algorithm in the workspace is deterministic and
-//! sequential-equivalent (the paper's central claim), so the shim
-//! changes wall-clock behavior only.
+//! Every entry point is a drop-in signature match for the real rayon
+//! (including the rayon-specific `reduce(identity, op)` shape and the
+//! `Send + Sync` closure bounds), so the codebase compiles unchanged
+//! against either; pointing the workspace `rayon` dependency at
+//! crates.io swaps the shared-queue scheduler for rayon's work-stealing
+//! deques with no source edits. Two documented deviations: adaptor
+//! closures must additionally be `Clone` (strictly tighter, satisfied
+//! by every capture-by-reference closure), and `find_any` /
+//! `position_any` are deterministic aliases of their `_first`
+//! counterparts.
+//!
+//! Determinism: every consumer combines per-chunk results **in chunk
+//! order**, so `collect`/`par_extend` reproduce the sequential order
+//! exactly, ties in `min`/`max` break like `Iterator::min`/`max`, and
+//! outputs do not depend on the worker count — the property the
+//! workspace's cross-thread-count conformance suite pins down.
 
-use std::marker::PhantomData;
+pub mod iter;
+mod pool;
+pub mod slice;
+
+pub use pool::{join, scope, Scope};
 
 /// The rayon prelude: parallel-iterator traits and slice extensions.
 pub mod prelude {
     pub use crate::iter::{
-        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
-        IntoParallelRefMutIterator, ParallelExtend, ParallelIterator,
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelExtend, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// Run two closures "in parallel" (sequentially here) and return both
-/// results — rayon's fork-join primitive.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    (a(), b())
-}
-
-/// Number of worker threads in the current pool. The sequential shim
-/// always has exactly one.
+/// Number of worker threads in the current pool: the installed pool's
+/// count inside [`ThreadPool::install`] (and on its workers), the
+/// global pool's otherwise (`RAYON_NUM_THREADS` or the machine's
+/// available parallelism).
 pub fn current_num_threads() -> usize {
-    1
+    pool::current_registry().num_threads()
 }
 
-/// Error type for [`ThreadPoolBuilder::build`]; never actually produced.
+/// Error building a [`ThreadPool`]: the spawn of a worker thread failed,
+/// or the requested thread count exceeds the shim's cap.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    msg: String,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (unreachable in the shim)")
+        write!(f, "thread pool build error: {}", self.msg)
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder for a [`ThreadPool`]. Thread-count hints are accepted and
-/// ignored (the shim runs everything on the calling thread).
+/// Builder for a [`ThreadPool`].
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
-    _private: (),
+    num_threads: Option<usize>,
 }
 
 impl ThreadPoolBuilder {
@@ -67,523 +79,82 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    pub fn num_threads(self, _n: usize) -> Self {
+    /// Request `n` worker threads; `0` (or not calling this) means the
+    /// default count (`RAYON_NUM_THREADS` / available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
         self
     }
 
+    /// Spawn the pool's workers. Fails — with a reachable, tested
+    /// [`ThreadPoolBuildError`] — if the count exceeds the shim's cap
+    /// or the OS refuses a thread.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { _private: () })
+        let threads = match self.num_threads {
+            None | Some(0) => current_num_threads(),
+            Some(n) => n,
+        };
+        if threads > pool::MAX_THREADS {
+            return Err(ThreadPoolBuildError {
+                msg: format!(
+                    "{threads} threads requested, shim cap is {}",
+                    pool::MAX_THREADS
+                ),
+            });
+        }
+        let (registry, handles) =
+            pool::Registry::spawn(threads).map_err(|e| ThreadPoolBuildError {
+                msg: format!("worker spawn failed: {e}"),
+            })?;
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A "pool" that installs closures by calling them on the current thread.
+/// A dedicated pool of worker threads. [`ThreadPool::install`] makes it
+/// the current pool for the duration of a closure: parallel regions
+/// inside fan out across this pool's workers (the calling thread helps
+/// drain the queue while it waits). Dropping the pool shuts the workers
+/// down.
 pub struct ThreadPool {
-    _private: (),
+    registry: std::sync::Arc<pool::Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
+    /// Run `f` with this pool installed as the thread's current pool.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let _guard = pool::RegistryGuard::enter(std::sync::Arc::clone(&self.registry));
         f()
     }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
 }
 
-pub mod iter {
-    //! Sequential implementations of the parallel-iterator traits.
-    //!
-    //! [`Par`] wraps an ordinary [`Iterator`]; the adaptor and consumer
-    //! methods mirror rayon's names and signatures (notably
-    //! `reduce(identity, op)`), delegating to the wrapped iterator.
-
-    /// A "parallel" iterator: a thin wrapper over a sequential iterator
-    /// carrying rayon's method surface.
-    pub struct Par<I>(pub(crate) I);
-
-    /// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    /// `&c.par_iter()` sugar for collections with a parallel ref iterator.
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    /// `&mut c.par_iter_mut()` sugar.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Item: 'data;
-        type Iter: ParallelIterator<Item = Self::Item>;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
-    where
-        &'data C: IntoParallelIterator,
-    {
-        type Item = <&'data C as IntoParallelIterator>::Item;
-        type Iter = <&'data C as IntoParallelIterator>::Iter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_par_iter()
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
-
-    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
-    where
-        &'data mut C: IntoParallelIterator,
-    {
-        type Item = <&'data mut C as IntoParallelIterator>::Item;
-        type Iter = <&'data mut C as IntoParallelIterator>::Iter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_par_iter()
-        }
-    }
-
-    /// The core parallel-iterator trait: rayon's method names with
-    /// sequential delegation. Implemented once, for [`Par`].
-    pub trait ParallelIterator: Sized {
-        type Item;
-        type Inner: Iterator<Item = Self::Item>;
-
-        fn into_seq(self) -> Self::Inner;
-
-        fn map<R, F: FnMut(Self::Item) -> R>(self, f: F) -> Par<std::iter::Map<Self::Inner, F>> {
-            Par(self.into_seq().map(f))
-        }
-
-        fn filter<F: FnMut(&Self::Item) -> bool>(
-            self,
-            f: F,
-        ) -> Par<std::iter::Filter<Self::Inner, F>> {
-            Par(self.into_seq().filter(f))
-        }
-
-        fn filter_map<R, F: FnMut(Self::Item) -> Option<R>>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FilterMap<Self::Inner, F>> {
-            Par(self.into_seq().filter_map(f))
-        }
-
-        fn flat_map<U: IntoIterator, F: FnMut(Self::Item) -> U>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FlatMap<Self::Inner, U, F>> {
-            Par(self.into_seq().flat_map(f))
-        }
-
-        /// Rayon's `flat_map_iter`: like `flat_map`, but the produced
-        /// sub-iterators run sequentially — which is all the shim does
-        /// anyway.
-        fn flat_map_iter<U: IntoIterator, F: FnMut(Self::Item) -> U>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FlatMap<Self::Inner, U, F>> {
-            Par(self.into_seq().flat_map(f))
-        }
-
-        fn flatten(self) -> Par<std::iter::Flatten<Self::Inner>>
-        where
-            Self::Item: IntoIterator,
-        {
-            Par(self.into_seq().flatten())
-        }
-
-        fn inspect<F: FnMut(&Self::Item)>(self, f: F) -> Par<std::iter::Inspect<Self::Inner, F>> {
-            Par(self.into_seq().inspect(f))
-        }
-
-        #[allow(clippy::type_complexity)]
-        fn update<F: FnMut(&mut Self::Item)>(
-            self,
-            f: F,
-        ) -> Par<std::iter::Map<Self::Inner, impl FnMut(Self::Item) -> Self::Item>> {
-            let mut f = f;
-            Par(self.into_seq().map(move |mut x| {
-                f(&mut x);
-                x
-            }))
-        }
-
-        /// Rayon's `map_init`: like `map`, but the mapper borrows a
-        /// per-thread value produced by `init`. The sequential shim has
-        /// exactly one "thread", so `init` runs once and every item
-        /// reuses that value — which is precisely what makes
-        /// scratch-reusing batched solves fast under the shim.
-        #[allow(clippy::type_complexity)]
-        fn map_init<T, R, INIT, F>(
-            self,
-            init: INIT,
-            map_op: F,
-        ) -> Par<std::iter::Map<Self::Inner, impl FnMut(Self::Item) -> R>>
-        where
-            INIT: Fn() -> T + Sync + Send,
-            F: Fn(&mut T, Self::Item) -> R + Sync + Send,
-        {
-            let mut state = init();
-            Par(self.into_seq().map(move |x| map_op(&mut state, x)))
-        }
-
-        fn enumerate(self) -> Par<std::iter::Enumerate<Self::Inner>> {
-            Par(self.into_seq().enumerate())
-        }
-
-        fn zip<Z: IntoParallelIterator>(
-            self,
-            other: Z,
-        ) -> Par<std::iter::Zip<Self::Inner, <Z::Iter as ParallelIterator>::Inner>> {
-            Par(self.into_seq().zip(other.into_par_iter().into_seq()))
-        }
-
-        fn chain<C: IntoParallelIterator<Item = Self::Item>>(
-            self,
-            other: C,
-        ) -> Par<std::iter::Chain<Self::Inner, <C::Iter as ParallelIterator>::Inner>> {
-            Par(self.into_seq().chain(other.into_par_iter().into_seq()))
-        }
-
-        fn take(self, n: usize) -> Par<std::iter::Take<Self::Inner>> {
-            Par(self.into_seq().take(n))
-        }
-
-        fn skip(self, n: usize) -> Par<std::iter::Skip<Self::Inner>> {
-            Par(self.into_seq().skip(n))
-        }
-
-        fn step_by(self, n: usize) -> Par<std::iter::StepBy<Self::Inner>> {
-            Par(self.into_seq().step_by(n))
-        }
-
-        fn rev(self) -> Par<std::iter::Rev<Self::Inner>>
-        where
-            Self::Inner: DoubleEndedIterator,
-        {
-            Par(self.into_seq().rev())
-        }
-
-        fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<Self::Inner>>
-        where
-            Self: ParallelIterator<Item = &'a T>,
-        {
-            Par(self.into_seq().copied())
-        }
-
-        fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<Self::Inner>>
-        where
-            Self: ParallelIterator<Item = &'a T>,
-        {
-            Par(self.into_seq().cloned())
-        }
-
-        fn with_min_len(self, _n: usize) -> Self {
-            self
-        }
-
-        fn with_max_len(self, _n: usize) -> Self {
-            self
-        }
-
-        fn for_each<F: FnMut(Self::Item)>(self, f: F) {
-            self.into_seq().for_each(f)
-        }
-
-        fn for_each_with<T, F: FnMut(&mut T, Self::Item)>(self, mut init: T, mut f: F) {
-            self.into_seq().for_each(|x| f(&mut init, x))
-        }
-
-        fn collect<C: FromIterator<Self::Item>>(self) -> C {
-            self.into_seq().collect()
-        }
-
-        fn count(self) -> usize {
-            self.into_seq().count()
-        }
-
-        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
-            self.into_seq().sum()
-        }
-
-        fn min(self) -> Option<Self::Item>
-        where
-            Self::Item: Ord,
-        {
-            self.into_seq().min()
-        }
-
-        fn max(self) -> Option<Self::Item>
-        where
-            Self::Item: Ord,
-        {
-            self.into_seq().max()
-        }
-
-        fn min_by_key<K: Ord, F: FnMut(&Self::Item) -> K>(self, f: F) -> Option<Self::Item> {
-            self.into_seq().min_by_key(f)
-        }
-
-        fn max_by_key<K: Ord, F: FnMut(&Self::Item) -> K>(self, f: F) -> Option<Self::Item> {
-            self.into_seq().max_by_key(f)
-        }
-
-        fn all<F: FnMut(Self::Item) -> bool>(self, f: F) -> bool {
-            self.into_seq().all(f)
-        }
-
-        fn any<F: FnMut(Self::Item) -> bool>(self, f: F) -> bool {
-            self.into_seq().any(f)
-        }
-
-        /// Rayon's `find_first`: the first item (in iterator order)
-        /// matching the predicate.
-        fn find_first<F: FnMut(&Self::Item) -> bool>(self, f: F) -> Option<Self::Item> {
-            self.into_seq().find(f)
-        }
-
-        fn find_any<F: FnMut(&Self::Item) -> bool>(self, f: F) -> Option<Self::Item> {
-            self.into_seq().find(f)
-        }
-
-        fn position_first<F: FnMut(Self::Item) -> bool>(self, f: F) -> Option<usize> {
-            self.into_seq().position(f)
-        }
-
-        fn position_any<F: FnMut(Self::Item) -> bool>(self, f: F) -> Option<usize> {
-            self.into_seq().position(f)
-        }
-
-        fn partition<A, B, P>(self, predicate: P) -> (A, B)
-        where
-            A: Default + Extend<Self::Item>,
-            B: Default + Extend<Self::Item>,
-            P: FnMut(&Self::Item) -> bool,
-        {
-            let mut predicate = predicate;
-            let (mut left, mut right) = (A::default(), B::default());
-            for item in self.into_seq() {
-                if predicate(&item) {
-                    left.extend(std::iter::once(item));
-                } else {
-                    right.extend(std::iter::once(item));
-                }
-            }
-            (left, right)
-        }
-
-        /// Rayon's `reduce(identity, op)` — note the identity-producing
-        /// closure, unlike `Iterator::reduce`.
-        fn reduce<ID: Fn() -> Self::Item, OP: Fn(Self::Item, Self::Item) -> Self::Item>(
-            self,
-            identity: ID,
-            op: OP,
-        ) -> Self::Item {
-            self.into_seq().fold(identity(), op)
-        }
-
-        /// Rayon's `fold(identity, op)`: per-"thread" accumulators — the
-        /// sequential shim produces exactly one.
-        fn fold<T, ID: Fn() -> T, F: Fn(T, Self::Item) -> T>(
-            self,
-            identity: ID,
-            fold_op: F,
-        ) -> Par<std::iter::Once<T>> {
-            Par(std::iter::once(self.into_seq().fold(identity(), fold_op)))
-        }
-    }
-
-    /// Rayon's indexed refinement; the shim needs no extra methods, but
-    /// the trait exists so `use` sites and bounds compile unchanged.
-    pub trait IndexedParallelIterator: ParallelIterator {}
-    impl<I: Iterator> IndexedParallelIterator for Par<I> {}
-
-    /// Rayon's `ParallelExtend`: extend a collection from a parallel
-    /// iterator, reusing the collection's existing capacity — the
-    /// allocation-free alternative to `collect` for hot loops.
-    pub trait ParallelExtend<T: Send> {
-        fn par_extend<I>(&mut self, par_iter: I)
-        where
-            I: IntoParallelIterator<Item = T>;
-    }
-
-    impl<T: Send> ParallelExtend<T> for Vec<T> {
-        fn par_extend<I>(&mut self, par_iter: I)
-        where
-            I: IntoParallelIterator<Item = T>,
-        {
-            self.extend(par_iter.into_par_iter().into_seq());
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for Par<I> {
-        type Item = I::Item;
-        type Inner = I;
-        fn into_seq(self) -> I {
-            self.0
-        }
-    }
-
-    // Every Par is itself IntoParallelIterator (rayon does the same),
-    // which is what makes `zip(other_par_iter)` typecheck.
-    impl<I: Iterator> IntoParallelIterator for Par<I> {
-        type Item = I::Item;
-        type Iter = Par<I>;
-        fn into_par_iter(self) -> Par<I> {
-            self
-        }
-    }
-
-    impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = Par<std::vec::IntoIter<T>>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.into_iter())
-        }
-    }
-
-    impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
-        type Item = &'a T;
-        type Iter = Par<std::slice::Iter<'a, T>>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.iter())
-        }
-    }
-
-    impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
-        type Item = &'a T;
-        type Iter = Par<std::slice::Iter<'a, T>>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.iter())
-        }
-    }
-
-    impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
-        type Item = &'a mut T;
-        type Iter = Par<std::slice::IterMut<'a, T>>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.iter_mut())
-        }
-    }
-
-    impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
-        type Item = &'a mut T;
-        type Iter = Par<std::slice::IterMut<'a, T>>;
-        fn into_par_iter(self) -> Self::Iter {
-            Par(self.iter_mut())
-        }
-    }
-
-    macro_rules! impl_range {
-        ($($t:ty),*) => {$(
-            impl IntoParallelIterator for std::ops::Range<$t> {
-                type Item = $t;
-                type Iter = Par<std::ops::Range<$t>>;
-                fn into_par_iter(self) -> Self::Iter {
-                    Par(self)
-                }
-            }
-            impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
-                type Item = $t;
-                type Iter = Par<std::ops::RangeInclusive<$t>>;
-                fn into_par_iter(self) -> Self::Iter {
-                    Par(self)
-                }
-            }
-        )*};
-    }
-    impl_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
-}
-
-pub mod slice {
-    //! Parallel slice extensions: `par_chunks`, `par_sort_*`, …
-
-    use super::iter::Par;
-    use super::PhantomData;
-
-    /// Shared-slice extension methods.
-    pub trait ParallelSlice<T: Sync> {
-        fn as_parallel_slice(&self) -> &[T];
-
-        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
-            Par(self.as_parallel_slice().chunks(chunk_size))
-        }
-
-        fn par_chunks_exact(&self, chunk_size: usize) -> Par<std::slice::ChunksExact<'_, T>> {
-            Par(self.as_parallel_slice().chunks_exact(chunk_size))
-        }
-
-        fn par_windows(&self, window_size: usize) -> Par<std::slice::Windows<'_, T>> {
-            Par(self.as_parallel_slice().windows(window_size))
-        }
-    }
-
-    impl<T: Sync> ParallelSlice<T> for [T] {
-        fn as_parallel_slice(&self) -> &[T] {
-            self
-        }
-    }
-
-    /// Mutable-slice extension methods, including the parallel sorts.
-    pub trait ParallelSliceMut<T: Send> {
-        fn as_parallel_slice_mut(&mut self) -> &mut [T];
-
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-            Par(self.as_parallel_slice_mut().chunks_mut(chunk_size))
-        }
-
-        fn par_chunks_exact_mut(
-            &mut self,
-            chunk_size: usize,
-        ) -> Par<std::slice::ChunksExactMut<'_, T>> {
-            Par(self.as_parallel_slice_mut().chunks_exact_mut(chunk_size))
-        }
-
-        fn par_sort(&mut self)
-        where
-            T: Ord,
-        {
-            self.as_parallel_slice_mut().sort();
-        }
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.as_parallel_slice_mut().sort_unstable();
-        }
-
-        fn par_sort_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
-            self.as_parallel_slice_mut().sort_by(compare);
-        }
-
-        fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
-            self.as_parallel_slice_mut().sort_unstable_by(compare);
-        }
-
-        fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
-            self.as_parallel_slice_mut().sort_by_key(key);
-        }
-
-        fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
-            self.as_parallel_slice_mut().sort_unstable_by_key(key);
-        }
-    }
-
-    impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
-            self
-        }
-    }
-
-    // Suppress an unused-import lint path for PhantomData while keeping
-    // the module self-contained if methods are trimmed later.
-    #[allow(dead_code)]
-    fn _phantom_anchor(_: PhantomData<()>) {}
 }
 
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    }
 
     #[test]
     fn map_filter_collect() {
@@ -614,22 +185,246 @@ mod tests {
     }
 
     #[test]
-    fn join_and_pool() {
+    fn join_and_pool_are_truthful() {
         let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!((a, b.as_str()), (2, "xy"));
-        let pool = crate::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        assert_eq!(pool.install(crate::current_num_threads), 1);
+        let four = pool(4);
+        assert_eq!(four.install(crate::current_num_threads), 4);
+        assert_eq!(four.current_num_threads(), 4);
+        let single = pool(1);
+        assert_eq!(single.install(crate::current_num_threads), 1);
+    }
+
+    #[test]
+    fn work_actually_reaches_worker_threads() {
+        // 32 deliberately slow chunks on a 4-worker pool: the caller
+        // alone would need ~64ms of sleeping, so workers pick chunks up
+        // even on a single hardware core.
+        let pool = pool(4);
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..32u32).into_par_iter().with_max_len(1).for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct >= 2,
+            "expected >1 executing thread, saw {distinct}"
+        );
+    }
+
+    #[test]
+    fn collect_order_is_sequential_under_parallelism() {
+        let pool = pool(8);
+        let n = 100_000u64;
+        let (par, filtered) = pool.install(|| {
+            let par: Vec<u64> = (0..n)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(2654435761))
+                .collect();
+            let filtered: Vec<u64> = (0..n)
+                .into_par_iter()
+                .filter(|x| x % 3 == 0)
+                .map(|x| x * 7)
+                .collect();
+            (par, filtered)
+        });
+        let seq: Vec<u64> = (0..n).map(|x| x.wrapping_mul(2654435761)).collect();
+        let seq_f: Vec<u64> = (0..n).filter(|x| x % 3 == 0).map(|x| x * 7).collect();
+        assert_eq!(par, seq);
+        assert_eq!(filtered, seq_f);
+    }
+
+    #[test]
+    fn owned_vec_par_iter_moves_and_drops_correctly() {
+        let pool = pool(4);
+        let v: Vec<String> = (0..10_000).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = pool.install(|| v.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 10_000);
+        assert_eq!(lens[9999], 4);
+        // zip trims the longer side; its surplus elements must drop.
+        let a: Vec<String> = (0..1000).map(|i| i.to_string()).collect();
+        let b: Vec<String> = (0..600).map(|i| i.to_string()).collect();
+        let pairs: Vec<(String, String)> = pool.install(|| a.into_par_iter().zip(b).collect());
+        assert_eq!(pairs.len(), 600);
+    }
+
+    #[test]
+    fn owned_vec_of_zst_yields_every_element() {
+        // Pointer-bump iteration would terminate immediately for
+        // zero-sized items; the chunk iterator counts instead.
+        let pool = pool(4);
+        let v = vec![(); 10_000];
+        let n = pool.install(|| v.into_par_iter().count());
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn par_extend_flat_map_iter_matches_sequential() {
+        let pool = pool(4);
+        let bounds: Vec<usize> = (0..200).collect();
+        let mut out: Vec<usize> = Vec::new();
+        pool.install(|| {
+            out.par_extend(
+                bounds
+                    .par_windows(2)
+                    .flat_map_iter(|w| (w[0]..w[1] + 2).map(|x| x * 3)),
+            );
+        });
+        let want: Vec<usize> = bounds
+            .windows(2)
+            .flat_map(|w| (w[0]..w[1] + 2).map(|x| x * 3))
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn map_init_runs_init_per_chunk() {
+        let pool = pool(4);
+        let inits = AtomicUsize::new(0);
+        let out: Vec<u64> = pool.install(|| {
+            (0..10_000u64)
+                .into_par_iter()
+                .map_init(
+                    || {
+                        inits.fetch_add(1, Ordering::Relaxed);
+                        0u64
+                    },
+                    |state, x| {
+                        *state += 1;
+                        x + *state.min(&mut 1)
+                    },
+                )
+                .collect()
+        });
+        assert_eq!(out[0], 1);
+        let count = inits.load(Ordering::Relaxed);
+        assert!(count >= 1, "init ran {count} times");
+    }
+
+    #[test]
+    fn min_max_tie_breaking_matches_std() {
+        let pool = pool(8);
+        let v: Vec<(u32, u32)> = (0..50_000).map(|i| (i % 7, i)).collect();
+        pool.install(|| {
+            assert_eq!(
+                v.par_iter().min_by_key(|p| p.0),
+                v.iter().min_by_key(|p| p.0)
+            );
+            assert_eq!(
+                v.par_iter().max_by_key(|p| p.0),
+                v.iter().max_by_key(|p| p.0)
+            );
+        });
     }
 
     #[test]
     fn find_first_and_sorts() {
         let v = vec![5i64, 3, 8, 1];
         assert_eq!(v.par_iter().find_first(|&&x| x > 4), Some(&5));
-        let mut w = v;
-        w.par_sort_unstable_by_key(|&x| x);
-        assert_eq!(w, vec![1, 3, 5, 8]);
+        let mut w: Vec<i64> = (0..100_000).map(|i| (i * 7919) % 1000).collect();
+        let mut want = w.clone();
+        want.sort();
+        pool(4).install(|| w.par_sort_unstable_by_key(|&x| x));
+        assert_eq!(w, want);
+    }
+
+    #[test]
+    fn fold_then_reduce() {
+        let pool = pool(4);
+        let total: u64 = pool.install(|| {
+            (0..100_000u64)
+                .into_par_iter()
+                .fold(|| 0u64, |acc, x| acc + x)
+                .sum()
+        });
+        assert_eq!(total, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn enumerate_and_update() {
+        let pool = pool(4);
+        let v: Vec<(usize, u32)> = pool.install(|| {
+            (10u32..20)
+                .into_par_iter()
+                .update(|x| *x += 1)
+                .enumerate()
+                .collect()
+        });
+        assert_eq!(v[0], (0, 11));
+        assert_eq!(v[9], (9, 20));
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let pool = pool(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000u32).into_par_iter().for_each(|x| {
+                    assert!(x != 7777, "boom at {x}");
+                });
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool must remain usable afterwards.
+        let s: u32 = pool.install(|| (0..10u32).into_par_iter().sum());
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn scope_spawns_complete_before_return() {
+        let pool = pool(4);
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            crate::scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn nested_join_recursion() {
+        fn sum_rec(v: &[u64]) -> u64 {
+            if v.len() <= 1024 {
+                return v.iter().sum();
+            }
+            let (a, b) = v.split_at(v.len() / 2);
+            let (x, y) = crate::join(|| sum_rec(a), || sum_rec(b));
+            x + y
+        }
+        let v: Vec<u64> = (0..200_000).collect();
+        let s = pool(4).install(|| sum_rec(&v));
+        assert_eq!(s, 200_000u64 * 199_999 / 2);
+    }
+
+    #[test]
+    fn build_error_is_reachable() {
+        let result = crate::ThreadPoolBuilder::new().num_threads(1 << 20).build();
+        let msg = match result {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("a 2^20-thread request must fail to build"),
+        };
+        assert!(msg.contains("cap"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn grain_control_bounds_chunking() {
+        // min_len larger than the input: must run as one sequential
+        // chunk on the calling thread.
+        let caller = std::thread::current().id();
+        let pool = pool(4);
+        pool.install(|| {
+            (0..100u32)
+                .into_par_iter()
+                .with_min_len(4096)
+                .for_each(|_| assert_eq!(std::thread::current().id(), caller));
+        });
     }
 }

@@ -1,0 +1,690 @@
+//! The fork-join execution core: registries (thread pools), jobs,
+//! latches, [`join`], and [`scope`].
+//!
+//! The scheduler is deliberately simple — a *shared-queue chunk
+//! scheduler* rather than per-worker chased deques: every pool owns one
+//! mutex-protected FIFO of type-erased [`JobRef`]s; workers park on a
+//! condvar when it is empty; any thread blocked on a latch *helps* by
+//! draining the queue instead of sleeping. The parallel-iterator
+//! drivers (see [`crate::iter`]) pre-split work into `O(threads)`
+//! coarse chunks, so the queue sees tens of jobs per parallel region,
+//! not millions — at that granularity a shared queue has no measurable
+//! contention and none of the lock-free subtlety of a stealing deque.
+//! Swapping the workspace `rayon` dependency to crates.io upgrades the
+//! scheduler to real work stealing with no source changes.
+//!
+//! # Safety model
+//!
+//! Jobs borrow from the stack frame that spawned them ([`StackJob`],
+//! chunk batches, scope closures). Every such frame *blocks until its
+//! latch opens* before returning — including on the panic path — so a
+//! job's referent outlives every thread that can observe the raw
+//! pointers inside its [`JobRef`]. Results and panics travel back
+//! through `UnsafeCell` slots written exactly once by the executing
+//! thread before the latch is opened (the latch's release/acquire pair
+//! publishes the write).
+
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Upper bound a builder accepts for [`num_threads`]
+/// (`ThreadPoolBuilder::num_threads`): requests beyond this are
+/// reported as a [`crate::ThreadPoolBuildError`] instead of attempting
+/// thousands of OS spawns.
+pub(crate) const MAX_THREADS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Job references
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job living in some blocked stack frame
+/// (or, for scope jobs, on the heap).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+// SAFETY: the referent is kept alive by the frame that created the job,
+// which blocks on the job's latch before returning; execution happens
+// at most once (the queue hands each JobRef to exactly one thread).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) fn new(data: *const (), execute: unsafe fn(*const ())) -> Self {
+        Self { data, execute }
+    }
+
+    /// # Safety
+    /// The referent must still be alive and not yet executed.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute)(self.data)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latches
+// ---------------------------------------------------------------------------
+
+/// A countdown latch: opens when `remaining` reaches zero. Waiters
+/// *help* (drain the pool queue) instead of blocking while work is
+/// available; see [`Registry::wait_latch`].
+pub(crate) struct CountLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Add `n` pending completions (used by [`crate::scope`], whose job
+    /// count is not known up front).
+    pub(crate) fn add(&self, n: usize) {
+        self.remaining.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one completion; the last completion wakes every waiter.
+    ///
+    /// The decrement happens **while holding the latch lock**: a waiter
+    /// that observes `probe() == 0` therefore knows the final notifier
+    /// is either inside this critical section or already past it, and
+    /// [`CountLatch::sync_before_teardown`] (one lock round-trip) is
+    /// enough to let the latch's stack frame be freed safely. Without
+    /// the lock around the decrement, a spinning waiter could see zero
+    /// and pop the frame while the notifier is still between its
+    /// `fetch_sub` and its `notify_all` — a use-after-free.
+    pub(crate) fn done_one(&self) {
+        let guard = self.lock.lock().unwrap();
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.cond.notify_all();
+        }
+        drop(guard);
+    }
+
+    /// True once every completion has been recorded. `Acquire` pairs
+    /// with the `AcqRel` decrement so result writes made before
+    /// [`CountLatch::done_one`] are visible after a `true` probe.
+    pub(crate) fn probe(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// Rendezvous with the final [`CountLatch::done_one`]: after this
+    /// returns, no completing thread will touch the latch again, so the
+    /// frame that owns it may be dropped. Call exactly once, after
+    /// `probe()` returned true.
+    fn sync_before_teardown(&self) {
+        drop(self.lock.lock().unwrap());
+    }
+
+    /// Park briefly on the latch condvar (bounded, so a missed wakeup
+    /// can only cost a millisecond, never a hang).
+    fn park(&self) {
+        let guard = self.lock.lock().unwrap();
+        if !self.probe() {
+            let _ = self
+                .cond
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (one per pool)
+// ---------------------------------------------------------------------------
+
+struct SharedQueue {
+    queue: VecDeque<JobRef>,
+    shutdown: bool,
+}
+
+/// One thread pool's shared state: the job queue and the worker count.
+pub(crate) struct Registry {
+    shared: Mutex<SharedQueue>,
+    job_ready: Condvar,
+    num_threads: usize,
+    /// `num_threads` capped by the machine's available parallelism:
+    /// the fan-out the chunk drivers size for. Workers beyond the core
+    /// count can only add contention, so an oversubscribed pool (e.g.
+    /// 8 workers on a 1-core CI container) keeps its truthful
+    /// `num_threads` but schedules coarser chunks.
+    parallelism: usize,
+}
+
+impl Registry {
+    /// Spawn `num_threads` workers around a fresh registry. On a spawn
+    /// failure the already-started workers are shut down before the
+    /// error is returned (the builder surfaces it as a
+    /// [`crate::ThreadPoolBuildError`]).
+    pub(crate) fn spawn(
+        num_threads: usize,
+    ) -> std::io::Result<(Arc<Registry>, Vec<std::thread::JoinHandle<()>>)> {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let registry = Arc::new(Registry {
+            shared: Mutex::new(SharedQueue {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            // Report at least 1 even for the zero-worker fallback
+            // registry: rayon's contract is `current_num_threads() >=
+            // 1`, and callers divide by it (block sizing in scans). A
+            // zero-worker pool reports 1 and `is_sequential()` routes
+            // every region inline, so no job ever needs a worker.
+            num_threads: num_threads.max(1),
+            parallelism: num_threads.min(hardware).max(1),
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for i in 0..num_threads {
+            let reg = Arc::clone(&registry);
+            let spawned = std::thread::Builder::new()
+                .name(format!("pp-rayon-{i}"))
+                .spawn(move || worker_loop(reg));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    registry.terminate();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((registry, handles))
+    }
+
+    /// The pool's worker count (what [`crate::current_num_threads`]
+    /// reports inside this pool).
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The fan-out drivers should size chunk counts for (worker count
+    /// capped by hardware cores; see the field docs).
+    pub(crate) fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// True when parallel regions should just run inline: a one-worker
+    /// pool gains nothing from queue round-trips.
+    pub(crate) fn is_sequential(&self) -> bool {
+        self.num_threads <= 1
+    }
+
+    /// Enqueue one job and wake one worker.
+    pub(crate) fn inject(&self, job: JobRef) {
+        let mut shared = self.shared.lock().unwrap();
+        shared.queue.push_back(job);
+        drop(shared);
+        self.job_ready.notify_one();
+    }
+
+    /// Enqueue a batch and wake every worker.
+    pub(crate) fn inject_many<I: IntoIterator<Item = JobRef>>(&self, jobs: I) {
+        let mut shared = self.shared.lock().unwrap();
+        shared.queue.extend(jobs);
+        drop(shared);
+        self.job_ready.notify_all();
+    }
+
+    /// Pop the oldest pending job, if any.
+    pub(crate) fn try_pop(&self) -> Option<JobRef> {
+        self.shared.lock().unwrap().queue.pop_front()
+    }
+
+    /// Remove `job` from the queue if no thread has claimed it yet —
+    /// the [`join`] caller "steals back" its second closure to run it
+    /// inline instead of waiting.
+    pub(crate) fn steal_back(&self, job: &JobRef) -> bool {
+        let mut shared = self.shared.lock().unwrap();
+        if let Some(pos) = shared
+            .queue
+            .iter()
+            .position(|j| std::ptr::eq(j.data, job.data))
+        {
+            shared.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until `latch` opens, executing queued jobs in the
+    /// meantime. Helping keeps nested parallel regions live-locked-free:
+    /// a worker waiting on an inner region's latch drains the very jobs
+    /// that open it.
+    pub(crate) fn wait_latch(&self, latch: &CountLatch) {
+        while !latch.probe() {
+            match self.try_pop() {
+                // SAFETY: queued JobRefs are alive until their latch
+                // opens, and the queue hands each to one thread only.
+                Some(job) => unsafe { job.execute() },
+                None => latch.park(),
+            }
+        }
+        // The caller will typically free the latch's frame next; wait
+        // out the final notifier's critical section first.
+        latch.sync_before_teardown();
+    }
+
+    /// Signal shutdown and wake every worker (used by
+    /// [`crate::ThreadPool::drop`] and the spawn-failure path).
+    pub(crate) fn terminate(&self) {
+        self.shared.lock().unwrap().shutdown = true;
+        self.job_ready.notify_all();
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>) {
+    CURRENT_REGISTRY.with(|current| {
+        *current.borrow_mut() = Some(Arc::clone(&registry));
+    });
+    loop {
+        let job = {
+            let mut shared = registry.shared.lock().unwrap();
+            loop {
+                if let Some(job) = shared.queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown {
+                    break None;
+                }
+                shared = registry.job_ready.wait(shared).unwrap();
+            }
+        };
+        match job {
+            // SAFETY: see `wait_latch`.
+            Some(job) => unsafe { job.execute() },
+            None => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Current registry (thread-local) and the global pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_REGISTRY: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+static GLOBAL_REGISTRY: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// Worker count for the global pool: `RAYON_NUM_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+fn global_thread_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(MAX_THREADS))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn global_registry() -> Arc<Registry> {
+    Arc::clone(GLOBAL_REGISTRY.get_or_init(|| {
+        let threads = global_thread_count();
+        let (registry, _handles) = Registry::spawn(threads).unwrap_or_else(|_| {
+            // Last resort: a pool with no workers still executes
+            // correctly (every driver runs inline).
+            Registry::spawn(0).expect("zero-thread registry cannot fail")
+        });
+        // Global workers live for the process; handles are detached.
+        registry
+    }))
+}
+
+/// The registry parallel regions on this thread should use: the
+/// installed pool if inside [`crate::ThreadPool::install`] (or a worker
+/// thread), the global pool otherwise.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT_REGISTRY
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(global_registry)
+}
+
+/// Swap the thread's current registry, restoring the previous one on
+/// drop (panic-safe [`crate::ThreadPool::install`]).
+pub(crate) struct RegistryGuard {
+    previous: Option<Arc<Registry>>,
+}
+
+impl RegistryGuard {
+    pub(crate) fn enter(registry: Arc<Registry>) -> Self {
+        let previous = CURRENT_REGISTRY.with(|current| current.borrow_mut().replace(registry));
+        Self { previous }
+    }
+}
+
+impl Drop for RegistryGuard {
+    fn drop(&mut self) {
+        CURRENT_REGISTRY.with(|current| {
+            *current.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StackJob + join
+// ---------------------------------------------------------------------------
+
+/// A job whose closure, result slot and latch live in the spawning
+/// stack frame.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: CountLatch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: CountLatch::new(1),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self as *const (), Self::execute_erased)
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*(data as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.latch.done_one();
+    }
+
+    /// Take the closure back out (only valid after a successful
+    /// [`Registry::steal_back`], i.e. before any execution).
+    unsafe fn take_func(&self) -> F {
+        (*self.func.get()).take().expect("job already executed")
+    }
+
+    /// Take the result out (only valid once the latch has opened).
+    unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("latch opened, result set")
+    }
+}
+
+thread_local! {
+    /// Depth of nested `join`s on this thread: past a threshold the
+    /// fork side stops enqueuing and recursion runs inline (queue
+    /// traffic for leaf-sized forks costs more than it balances).
+    static JOIN_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Nested-`join` depth beyond which forks run inline. `2^10` potential
+/// leaves saturate any realistic worker count long before this.
+const MAX_FORK_DEPTH: usize = 10;
+
+/// Run two closures, potentially in parallel, and return both results —
+/// rayon's fork-join primitive. The calling thread runs `a` itself; `b`
+/// is offered to the pool and reclaimed (run inline) if no worker was
+/// free by the time `a` finished.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = current_registry();
+    let depth = JOIN_DEPTH.with(Cell::get);
+    if registry.is_sequential() || depth >= MAX_FORK_DEPTH {
+        return (a(), b());
+    }
+    // Restore the depth even when `join_in` unwinds (a panicking
+    // closure must not permanently push this — possibly long-lived
+    // worker — thread over the inline-fork threshold).
+    struct DepthGuard(usize);
+    impl Drop for DepthGuard {
+        fn drop(&mut self) {
+            JOIN_DEPTH.with(|d| d.set(self.0));
+        }
+    }
+    let _guard = DepthGuard(depth);
+    JOIN_DEPTH.with(|d| d.set(depth + 1));
+    join_in(&registry, a, b)
+}
+
+fn join_in<A, B, RA, RB>(registry: &Registry, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b);
+    let job_b_ref = job_b.as_job_ref();
+    registry.inject(job_b_ref);
+
+    let result_a = match panic::catch_unwind(AssertUnwindSafe(a)) {
+        Ok(ra) => ra,
+        Err(payload) => {
+            // `job_b` must not be left in flight while this frame
+            // unwinds: reclaim it unexecuted, or wait it out.
+            if !registry.steal_back(&job_b_ref) {
+                registry.wait_latch(&job_b.latch);
+            }
+            panic::resume_unwind(payload);
+        }
+    };
+
+    if registry.steal_back(&job_b_ref) {
+        // Nobody picked `b` up: run it inline on this thread.
+        // SAFETY: a successful steal-back means the job never executed.
+        let func = unsafe { job_b.take_func() };
+        return (result_a, func());
+    }
+    registry.wait_latch(&job_b.latch);
+    // SAFETY: the latch has opened, so the result slot is written.
+    match unsafe { job_b.take_result() } {
+        Ok(result_b) => (result_a, result_b),
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk batches (the parallel-iterator driver's entry point)
+// ---------------------------------------------------------------------------
+
+struct ChunkShared<F> {
+    fold: *const F,
+    latch: CountLatch,
+}
+
+/// One pre-split chunk of a parallel region: input slot, result slot,
+/// and a pointer to the batch's shared fold + latch.
+struct ChunkJob<C, R, F> {
+    input: UnsafeCell<Option<C>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    shared: *const ChunkShared<F>,
+}
+
+impl<C, R, F> ChunkJob<C, R, F>
+where
+    C: Send,
+    R: Send,
+    F: Fn(C) -> R + Sync,
+{
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*(data as *const Self);
+        let shared = &*this.shared;
+        let input = (*this.input.get()).take().expect("chunk executed twice");
+        let fold = &*shared.fold;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| fold(input)));
+        *this.result.get() = Some(result);
+        shared.latch.done_one();
+    }
+}
+
+/// Run `fold` over every chunk, in parallel on `registry`, and return
+/// the per-chunk results **in chunk order** (the order-preservation the
+/// deterministic drivers rely on). The calling thread participates.
+/// The first chunk panic is re-raised here after every chunk finished.
+pub(crate) fn run_chunks<C, R, F>(registry: &Registry, chunks: Vec<C>, fold: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(C) -> R + Sync,
+{
+    if chunks.len() <= 1 || registry.is_sequential() {
+        return chunks.into_iter().map(fold).collect();
+    }
+    let shared = ChunkShared {
+        fold: &fold as *const F,
+        latch: CountLatch::new(chunks.len()),
+    };
+    // Lifetime erasure: jobs carry raw pointers into this frame, which
+    // outlives them because `wait_latch` below blocks until every
+    // chunk completed.
+    let shared_ptr = &shared as *const ChunkShared<F>;
+    let jobs: Vec<ChunkJob<C, R, F>> = chunks
+        .into_iter()
+        .map(|chunk| ChunkJob {
+            input: UnsafeCell::new(Some(chunk)),
+            result: UnsafeCell::new(None),
+            shared: shared_ptr,
+        })
+        .collect();
+    registry.inject_many(jobs.iter().map(|job| {
+        JobRef::new(
+            job as *const _ as *const (),
+            ChunkJob::<C, R, F>::execute_erased,
+        )
+    }));
+    registry.wait_latch(&shared.latch);
+
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut first_panic = None;
+    for job in &jobs {
+        // SAFETY: the batch latch has opened, so every slot is written
+        // and no other thread touches the jobs anymore.
+        match unsafe { (*job.result.get()).take() }.expect("latch opened, result set") {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        panic::resume_unwind(payload);
+    }
+    results
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+/// A fork-join scope: closures spawned on it may borrow from the
+/// enclosing frame (`'scope`), and [`scope`] does not return until all
+/// of them completed. Mirrors `rayon::scope`.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    latch: CountLatch,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+type ScopeBody<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+struct ScopeJob<'scope> {
+    func: Option<ScopeBody<'scope>>,
+    scope: *const Scope<'scope>,
+}
+
+impl<'scope> ScopeJob<'scope> {
+    unsafe fn execute_erased(data: *const ()) {
+        let mut this = Box::from_raw(data as *mut ScopeJob<'scope>);
+        let scope = &*this.scope;
+        let func = this.func.take().expect("scope job executed twice");
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| func(scope))) {
+            let mut slot = scope.panic.lock().unwrap();
+            slot.get_or_insert(payload);
+        }
+        scope.latch.done_one();
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` onto the scope's pool; it may run on any worker (or
+    /// a helping waiter) before [`scope`] returns.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.latch.add(1);
+        if self.registry.is_sequential() {
+            // Inline execution keeps one-worker pools queue-free; the
+            // latch bookkeeping stays identical.
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(self))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            self.latch.done_one();
+            return;
+        }
+        let job = Box::new(ScopeJob {
+            func: Some(Box::new(body)),
+            scope: self as *const Scope<'scope>,
+        });
+        let data = Box::into_raw(job) as *const ();
+        // Erasure: the job is freed by its executor; `scope` blocks on
+        // the latch before returning, keeping `self` and all `'scope`
+        // borrows alive until then.
+        let execute: unsafe fn(*const ()) = ScopeJob::<'scope>::execute_erased;
+        self.registry.inject(JobRef::new(data, execute));
+    }
+}
+
+/// Create a fork-join scope on the current pool and run `op` inside it.
+/// Returns `op`'s result once every [`Scope::spawn`]ed task completed;
+/// the first panic from any task is propagated.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let scope = Scope {
+        registry: current_registry(),
+        latch: CountLatch::new(1),
+        panic: Mutex::new(None),
+        marker: std::marker::PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    scope.latch.done_one(); // the `op` itself
+    scope.registry.wait_latch(&scope.latch);
+    let spawned_panic = scope.panic.lock().unwrap().take();
+    match (result, spawned_panic) {
+        (Ok(r), None) => r,
+        (Err(payload), _) | (_, Some(payload)) => panic::resume_unwind(payload),
+    }
+}

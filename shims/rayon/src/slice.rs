@@ -1,0 +1,338 @@
+//! Parallel slice extensions: `par_chunks`, `par_chunks_mut`,
+//! `par_windows`, and the `par_sort_*` family.
+//!
+//! The chunking methods return indexed parallel iterators over
+//! producers that split **at chunk boundaries**, so a driver chunk is
+//! always a whole number of sub-slices. The sorts run a fork-join
+//! stable merge sort ([`crate::join`] recursion with an out-of-place
+//! merge), falling back to `slice::sort_by` below a grain size or on a
+//! one-worker pool.
+
+use crate::iter::{IndexedPar, Producer};
+use crate::pool;
+
+/// Sub-slices at most this long sort sequentially: below it the merge
+/// buffer traffic costs more than the parallelism returns.
+const SORT_GRAIN: usize = 8 * 1024;
+
+// ---------------------------------------------------------------------------
+// Chunk producers
+// ---------------------------------------------------------------------------
+
+/// Producer behind `par_chunks`.
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer behind `par_chunks_exact` (remainder pre-trimmed).
+pub struct ChunksExactProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksExactProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::ChunksExact<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len() / self.size
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index * self.size);
+        (
+            ChunksExactProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksExactProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks_exact(self.size)
+    }
+}
+
+/// Producer behind `par_windows`.
+pub struct WindowsProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for WindowsProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Windows<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().saturating_sub(self.size - 1)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // Window `index` starts the right half; the left half keeps the
+        // overlap it needs to yield windows `[0, index)`.
+        let left_end = (index + self.size - 1).min(self.slice.len());
+        (
+            WindowsProducer {
+                slice: &self.slice[..left_end],
+                size: self.size,
+            },
+            WindowsProducer {
+                slice: &self.slice[index..],
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.windows(self.size)
+    }
+}
+
+/// Producer behind `par_chunks_mut`.
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Producer behind `par_chunks_exact_mut` (remainder pre-trimmed).
+pub struct ChunksExactMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksExactMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksExactMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len() / self.size
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index * self.size);
+        (
+            ChunksExactMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksExactMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq_iter(self) -> Self::IntoIter {
+        self.slice.chunks_exact_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension traits
+// ---------------------------------------------------------------------------
+
+/// Shared-slice extension methods.
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+
+    fn par_chunks(&self, chunk_size: usize) -> IndexedPar<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IndexedPar::new(ChunksProducer {
+            slice: self.as_parallel_slice(),
+            size: chunk_size,
+        })
+    }
+
+    fn par_chunks_exact(&self, chunk_size: usize) -> IndexedPar<ChunksExactProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IndexedPar::new(ChunksExactProducer {
+            slice: self.as_parallel_slice(),
+            size: chunk_size,
+        })
+    }
+
+    fn par_windows(&self, window_size: usize) -> IndexedPar<WindowsProducer<'_, T>> {
+        assert!(window_size > 0, "window_size must be positive");
+        IndexedPar::new(WindowsProducer {
+            slice: self.as_parallel_slice(),
+            size: window_size,
+        })
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Mutable-slice extension methods, including the parallel sorts.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> IndexedPar<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IndexedPar::new(ChunksMutProducer {
+            slice: self.as_parallel_slice_mut(),
+            size: chunk_size,
+        })
+    }
+
+    fn par_chunks_exact_mut(
+        &mut self,
+        chunk_size: usize,
+    ) -> IndexedPar<ChunksExactMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        IndexedPar::new(ChunksExactMutProducer {
+            slice: self.as_parallel_slice_mut(),
+            size: chunk_size,
+        })
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a, b| a.cmp(b));
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a, b| a.cmp(b));
+    }
+
+    fn par_sort_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
+        par_merge_sort(self.as_parallel_slice_mut(), &compare);
+    }
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, compare: F) {
+        par_merge_sort(self.as_parallel_slice_mut(), &compare);
+    }
+
+    fn par_sort_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a, b| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F) {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a, b| key(a).cmp(&key(b)));
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fork-join stable merge sort
+// ---------------------------------------------------------------------------
+
+/// Aborts the process if dropped — armed around the unsafe merge so a
+/// panicking comparator cannot leave moved-out elements to be dropped
+/// twice during unwinding.
+struct MergeAbortGuard;
+
+impl Drop for MergeAbortGuard {
+    fn drop(&mut self) {
+        eprintln!("pp-rayon: comparator panicked during a parallel merge; aborting");
+        std::process::abort();
+    }
+}
+
+fn par_merge_sort<T: Send, F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(v: &mut [T], cmp: &F) {
+    if v.len() <= SORT_GRAIN || pool::current_registry().is_sequential() {
+        v.sort_by(cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    let (left, right) = v.split_at_mut(mid);
+    pool::join(|| par_merge_sort(left, cmp), || par_merge_sort(right, cmp));
+    merge_halves(v, mid, cmp);
+}
+
+/// Stable out-of-place merge of `v[..mid]` and `v[mid..]` back into
+/// `v`, moving elements by pointer (no `Clone` bound, like the real
+/// rayon sorts).
+fn merge_halves<T: Send, F: Fn(&T, &T) -> std::cmp::Ordering>(v: &mut [T], mid: usize, cmp: &F) {
+    let n = v.len();
+    let mut tmp: Vec<T> = Vec::with_capacity(n);
+    let guard = MergeAbortGuard;
+    // SAFETY: every element of `v` is moved into `tmp` exactly once
+    // (two cursors over disjoint halves), then the whole of `tmp` is
+    // moved back; `tmp`'s length stays 0 throughout so neither panic
+    // nor drop can free an element twice — a comparator panic instead
+    // trips the abort guard.
+    unsafe {
+        let src = v.as_mut_ptr();
+        let dst = tmp.as_mut_ptr();
+        let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+        while i < mid && j < n {
+            let take_left = cmp(&*src.add(i), &*src.add(j)) != std::cmp::Ordering::Greater;
+            let from = if take_left { &mut i } else { &mut j };
+            dst.add(k).write(std::ptr::read(src.add(*from)));
+            *from += 1;
+            k += 1;
+        }
+        if i < mid {
+            std::ptr::copy_nonoverlapping(src.add(i), dst.add(k), mid - i);
+            k += mid - i;
+        }
+        if j < n {
+            std::ptr::copy_nonoverlapping(src.add(j), dst.add(k), n - j);
+            k += n - j;
+        }
+        debug_assert_eq!(k, n);
+        std::ptr::copy_nonoverlapping(dst, src, n);
+    }
+    std::mem::forget(guard);
+    // `tmp` drops as an empty vec: elements are back in `v`.
+}

@@ -1,6 +1,6 @@
 //! Framework-conformance tests.
 //!
-//! Four layers:
+//! Five layers:
 //!
 //! 1. **Registry conformance** — one generic suite that iterates the
 //!    string-keyed algorithm registry and asserts `solve_par ==
@@ -18,7 +18,12 @@
 //!    diversity (power-law graphs, grids, meshes, hub skew, sorted and
 //!    adversarial-chain sequences, zipf draws) is a tested axis, with
 //!    SSSP additionally swept across edge-weight distributions.
-//! 4. **Rank specification** — the concrete algorithms' ranks match the
+//! 4. **Real-concurrency conformance** — the rayon shim runs a real
+//!    fork-join pool, so the registry-wide digests are additionally
+//!    pinned identical across 1-, 2- and 8-thread pools (one-shot and
+//!    prepared), with a 16-iteration repeated-run race smoke over the
+//!    SSSP family.
+//! 5. **Rank specification** — the concrete algorithms' ranks match the
 //!    brute-force independence-system specification of §3 (Definitions
 //!    3.1, Theorems 3.2/3.4), tying the implementations back to the
 //!    paper's formalism.
@@ -340,7 +345,127 @@ fn scenario_matrix_steady_state_scratch_reuse() {
     }
 }
 
-// ---- layer 4: rank specification (§3) ----
+// ---- layer 4: real-concurrency conformance ----
+//
+// The rayon shim runs a real fork-join pool, so these tests pin the
+// property the paper's determinism claim promises under *actual*
+// concurrency: outputs are a function of the instance and the seed,
+// never of the worker count or the scheduling of a particular run.
+
+/// Registry-wide: every entry's parallel output digest is identical
+/// under dedicated 1-, 2- and 8-thread pools (and each agrees with the
+/// sequential baseline). Real parallelism must not introduce
+/// nondeterminism anywhere in the registry.
+#[test]
+fn digests_identical_across_thread_counts() {
+    let case = CaseSpec::new(180, 21);
+    for entry in registry::registry() {
+        let reference = entry.run_case(&case, &RunConfig::seeded(21).with_threads(1));
+        assert!(
+            reference.agrees(),
+            "{}: 1-thread run diverged",
+            entry.name()
+        );
+        for threads in [2usize, 8] {
+            let outcome = entry.run_case(&case, &RunConfig::seeded(21).with_threads(threads));
+            assert!(
+                outcome.agrees(),
+                "{}: {threads}-thread run diverged from sequential",
+                entry.name(),
+            );
+            assert_eq!(
+                outcome.observed_digest,
+                reference.observed_digest,
+                "{}: digest changed between 1 and {threads} threads",
+                entry.name(),
+            );
+        }
+    }
+}
+
+/// The prepared path under real concurrency: for every entry, batched
+/// prepared queries (which fan out across the pool with per-worker
+/// scratch) must agree with fresh one-shot runs and digest identically
+/// at every thread count.
+#[test]
+fn prepared_digests_identical_across_thread_counts() {
+    let case = CaseSpec::new(130, 23);
+    let queries = [
+        RunConfig::seeded(31),
+        RunConfig::seeded(32).with_delta(5),
+        RunConfig::seeded(33).with_source(17),
+        RunConfig::seeded(34).with_rho(16),
+    ];
+    for entry in registry::registry() {
+        let mut reference: Option<Vec<u64>> = None;
+        for threads in [1usize, 2, 8] {
+            let outcomes = entry.run_batch(
+                &case,
+                &queries,
+                &RunConfig::seeded(23).with_threads(threads),
+            );
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert!(
+                    outcome.agrees(),
+                    "{}: prepared query {i} diverged at {threads} threads",
+                    entry.name(),
+                );
+            }
+            let digests: Vec<u64> = outcomes.iter().map(|o| o.observed_digest).collect();
+            match &reference {
+                None => reference = Some(digests),
+                Some(want) => assert_eq!(
+                    &digests,
+                    want,
+                    "{}: prepared digests changed at {threads} threads",
+                    entry.name(),
+                ),
+            }
+        }
+    }
+}
+
+/// Race smoke: the same (entry, scenario, config) executed 16 times on
+/// an 8-thread pool must digest identically every time, for every SSSP
+/// entry across ≥3 scenario families. SSSP is the family whose inner
+/// loops lean hardest on concurrent `fetch_min`/CAS relaxation — if a
+/// scheduling-dependent result exists anywhere, it shows up here.
+#[test]
+fn sssp_repeated_runs_race_smoke() {
+    let cfg = RunConfig::seeded(29).with_threads(8);
+    for entry in registry::registry() {
+        if !entry.name().starts_with("sssp/") {
+            continue;
+        }
+        let scenarios = entry.scenarios();
+        assert!(
+            scenarios.len() >= 3,
+            "{}: race smoke needs ≥3 scenario families",
+            entry.name()
+        );
+        for scenario in scenarios.into_iter().take(3) {
+            let case = CaseSpec::new(140, 9).with_scenario(scenario);
+            let reference = entry
+                .try_run_case(&case, &cfg)
+                .expect("applicable scenario");
+            assert!(reference.agrees());
+            for iteration in 1..16 {
+                let outcome = entry
+                    .try_run_case(&case, &cfg)
+                    .expect("applicable scenario");
+                assert_eq!(
+                    outcome.observed_digest,
+                    reference.observed_digest,
+                    "{} on {}: digest changed on iteration {iteration}",
+                    entry.name(),
+                    case.scenario.as_ref().map(|s| s.key()).unwrap_or_default(),
+                );
+            }
+        }
+    }
+}
+
+// ---- layer 5: rank specification (§3) ----
 
 /// LIS as an independence system (the §3 running example).
 struct LisSystem(Vec<i64>);
