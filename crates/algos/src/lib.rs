@@ -68,6 +68,8 @@
 //! assert!(registry::run_named("lis", &case, &RunConfig::seeded(7)).unwrap().agrees());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod activity;
 pub mod api;
 pub mod chain3d;

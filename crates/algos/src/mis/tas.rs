@@ -89,6 +89,8 @@ pub fn blocking_mirrors(g: &Graph, priority: &[u32]) -> BlockingMirrors {
                 // Reverse slot: position of v within u's sorted adjacency.
                 let pos = g.neighbors(u).partition_point(|&w| w < v);
                 debug_assert_eq!(g.neighbors(u)[pos], v);
+                // SAFETY: `base + s` indexes this arc's unique slot in
+                // the `rs` buffer (one slot per arc, written once).
                 unsafe {
                     rs.get()
                         .add(base + s)
@@ -234,6 +236,8 @@ fn removed(state: &State<'_>, u: u32) -> Vec<u32> {
 
 /// Disjoint-slot parallel writes (each arc slot written once).
 struct SyncSlice<T>(*mut T);
+// SAFETY: each arc slot is written by exactly one worker (disjoint
+// indices), so shared cross-thread use never aliases a write.
 unsafe impl<T: Send> Send for SyncSlice<T> {}
 unsafe impl<T: Send> Sync for SyncSlice<T> {}
 impl<T> SyncSlice<T> {

@@ -6,6 +6,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin fig10 > fig10.csv`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::lis::{lis_seq, patterns};
 
 fn emit(panel: &str, data: &[i64]) {

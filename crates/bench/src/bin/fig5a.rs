@@ -9,6 +9,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin fig5a`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::activity::{self, workload};
 use pp_bench::{scale, secs, time_best, Table};
 

@@ -13,6 +13,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin fig6`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::sssp::delta_stepping;
 use pp_algos::RunConfig;
 use pp_bench::{scale, secs, time_best};

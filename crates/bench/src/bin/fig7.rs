@@ -10,6 +10,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin fig7`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::huffman::{build_par_with_stats, build_seq};
 use pp_bench::{scale, secs, time_best, Table};
 use pp_parlay::rng::{bounded, hash64};

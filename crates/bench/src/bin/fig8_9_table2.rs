@@ -10,6 +10,8 @@
 //!
 //! Usage: `cargo run --release -p pp-bench --bin fig8_9_table2 -- [segment|line|both]`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::lis::{lis_par, lis_seq, patterns, PivotMode};
 use pp_algos::RunConfig;
 use pp_bench::{run_single_threaded, scale, secs, time_best, Table};

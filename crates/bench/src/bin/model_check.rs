@@ -7,6 +7,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin model_check`
 
+#![forbid(unsafe_code)]
+
 use pp_bench::Table;
 use pp_graph::gen;
 use pp_model::mis_sim::mis_tas_sim;

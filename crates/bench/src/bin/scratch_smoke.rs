@@ -15,6 +15,8 @@
 //!
 //! Run with: `cargo run --release -p pp-bench --bin scratch_smoke`
 
+#![forbid(unsafe_code)]
+
 use phase_parallel::RunConfig;
 use pp_algos::registry::{self, CaseSpec};
 

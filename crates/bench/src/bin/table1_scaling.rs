@@ -11,6 +11,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin table1_scaling`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::activity::{self, workload};
 use pp_algos::huffman;
 use pp_algos::knapsack::{max_value_par, Item};

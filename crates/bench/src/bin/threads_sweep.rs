@@ -10,6 +10,8 @@
 //!
 //! `cargo run --release -p pp-bench --bin threads_sweep`
 
+#![forbid(unsafe_code)]
+
 use pp_algos::activity::{self, workload};
 use pp_algos::lis::{lis_par, patterns, PivotMode};
 use pp_algos::mis;

@@ -39,6 +39,8 @@
 //!
 //! Run with: `cargo run --release -p pp-bench --bin throughput`
 
+#![forbid(unsafe_code)]
+
 use phase_parallel::{PhaseAlgorithm, RunConfig, Solver};
 use pp_algos::api::{DeltaSssp, DijkstraSssp, SsspInstance};
 use pp_graph::{Graph, GraphBuilder};

@@ -6,6 +6,8 @@
 //! `RAYON_NUM_THREADS` to control parallelism, mirroring the paper's
 //! thread-count experiments.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Input-size multiplier from the `PP_SCALE` env var (default 1).

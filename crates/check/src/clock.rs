@@ -1,0 +1,85 @@
+//! Vector clocks: the happens-before partial order the race detector
+//! compares accesses against.
+//!
+//! Every model thread carries a [`VClock`]; every synchronization
+//! object (mutex, release/acquire atomic) carries the clock of the last
+//! release that went through it. Acquire-side operations *join* the
+//! object's clock into the thread's; release-side operations publish
+//! the thread's clock into the object's. Two accesses are ordered iff
+//! the earlier access's clock is component-wise `<=` the later
+//! accessor's clock at access time — otherwise they are concurrent, and
+//! a concurrent write pair (or write/read pair) on the same
+//! [`crate::sync::RaceCell`] is a data race.
+
+/// A vector clock over the model's thread ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock for `threads` threads (happens-before
+    /// everything, which is exactly right for pre-spawn setup writes).
+    pub fn new(threads: usize) -> Self {
+        VClock(vec![0; threads])
+    }
+
+    /// Advance this thread's own component (one per instrumented
+    /// operation, so distinct ops by one thread are totally ordered).
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: the acquire-side merge.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self` happens-before-or-equals `other` (component-wise `<=`).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+impl std::fmt::Display for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VClock::new(3);
+        let mut b = VClock::new(3);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        a.tick(0);
+        assert!(!a.le(&j));
+    }
+
+    #[test]
+    fn zero_precedes_all() {
+        let z = VClock::new(2);
+        let mut t = VClock::new(2);
+        t.tick(1);
+        assert!(z.le(&t));
+        assert!(z.le(&z));
+    }
+}

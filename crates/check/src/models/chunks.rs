@@ -1,0 +1,110 @@
+//! Model of `run_chunks` (`shims/rayon/src/pool.rs`): a batch of chunk
+//! jobs sharing one countdown latch, all living in the caller's frame.
+//! The caller injects the batch, **participates** via the helping loop
+//! of `wait_latch` (popping and executing chunks itself), and reads the
+//! per-chunk results back **in chunk order** once the latch opens.
+//!
+//! The chunk `input`/`result` `UnsafeCell` slots are [`RaceCell`]s:
+//! the explorer proves each chunk's input is taken exactly once
+//! (whether by the caller or the worker) and that every result read is
+//! happens-before-ordered after its write. The frame token catches any
+//! schedule where a worker touches the batch after the caller freed it.
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::models::latch::ModelLatch;
+use crate::models::queue::ModelQueue;
+use crate::sched::Builder;
+use crate::sync::{Arc, Frame, RaceCell};
+
+struct ChunkSlot {
+    input: RaceCell<Option<u32>>,
+    result: RaceCell<Option<u32>>,
+}
+
+struct Batch {
+    queue: ModelQueue,
+    latch: ModelLatch,
+    frame: Frame,
+    chunks: Vec<ChunkSlot>,
+}
+
+fn execute_chunk(batch: &Batch, j: usize, runs: &[StdAtomicUsize]) {
+    batch.frame.touch("chunk.input.take");
+    let input = batch.chunks[j]
+        .input
+        .swap(None)
+        .expect("each chunk executes once");
+    runs[j].fetch_add(1, Ordering::SeqCst);
+    batch.frame.touch("chunk.result.write");
+    batch.chunks[j].result.write(Some(input * 10));
+    batch.latch.done_one(&batch.frame);
+}
+
+/// Two chunks, caller + one worker. The caller's helping loop is the
+/// real `wait_latch` body: probe → pop-and-execute → park.
+pub fn chunk_batch_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let batch = Arc::new(Batch {
+            queue: ModelQueue::new(),
+            latch: ModelLatch::new(2),
+            frame: Frame::new("batch-frame"),
+            chunks: vec![
+                ChunkSlot {
+                    input: RaceCell::named("chunk0.input", Some(1)),
+                    result: RaceCell::named("chunk0.result", None),
+                },
+                ChunkSlot {
+                    input: RaceCell::named("chunk1.input", Some(2)),
+                    result: RaceCell::named("chunk1.result", None),
+                },
+            ],
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..2).map(|_| StdAtomicUsize::new(0)).collect());
+
+        let caller = Arc::clone(&batch);
+        let caller_runs = Arc::clone(&runs);
+        b.thread(move || {
+            caller.queue.inject_many([0, 1]);
+            // wait_latch with helping: the caller may execute chunks.
+            while !caller.latch.probe() {
+                match caller.queue.try_pop() {
+                    Some(j) => execute_chunk(&caller, j, &caller_runs),
+                    None => caller.latch.park(),
+                }
+            }
+            caller.latch.sync_before_teardown();
+            let outputs: Vec<u32> = (0..2)
+                .map(|j| {
+                    caller.frame.touch("chunk.result.take");
+                    caller.chunks[j]
+                        .result
+                        .swap(None)
+                        .expect("latch opened, so every result slot is written")
+                })
+                .collect();
+            caller.frame.free();
+            assert_eq!(outputs, vec![10, 20], "results come back in chunk order");
+            caller.queue.terminate();
+        });
+
+        let worker = Arc::clone(&batch);
+        let worker_runs = Arc::clone(&runs);
+        b.thread(move || {
+            while let Some(j) = worker.queue.next_job() {
+                execute_chunk(&worker, j, &worker_runs);
+            }
+        });
+
+        b.finale(move || {
+            for (j, count) in runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "chunk {j} must execute exactly once"
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,115 @@
+//! Model of `join_in` (`shims/rayon/src/pool.rs`): the caller injects
+//! its second closure as a `StackJob` living in the calling frame, runs
+//! the first closure, then either **steals the job back** (runs it
+//! inline — it never executed) or **helps until the job's latch opens**
+//! and takes the result out of the frame.
+//!
+//! The `UnsafeCell` slots (`StackJob::func`, `StackJob::result`) are
+//! [`RaceCell`]s, so the explorer checks that the steal-back branch and
+//! worker execution can never both touch `func`, and that the result
+//! read is ordered after the worker's write. The frame token catches
+//! any schedule where the worker touches the job after the caller's
+//! frame popped.
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::models::latch::ModelLatch;
+use crate::models::queue::ModelQueue;
+use crate::sched::Builder;
+use crate::sync::{Arc, Frame, RaceCell};
+
+struct JoinShared {
+    queue: ModelQueue,
+    /// `StackJob::func`: holds `Some(input)` until taken by whoever
+    /// claims the job.
+    func: RaceCell<Option<u32>>,
+    /// `StackJob::result`: written by the executor before `done_one`.
+    result: RaceCell<Option<u32>>,
+    latch: ModelLatch,
+    /// The caller's stack frame owning all of the above.
+    frame: Frame,
+}
+
+fn execute_b(shared: &JoinShared, b_runs: &StdAtomicUsize) {
+    shared.frame.touch("func.take");
+    let input = shared
+        .func
+        .swap(None)
+        .expect("a claimed job has not executed yet");
+    b_runs.fetch_add(1, Ordering::SeqCst);
+    shared.frame.touch("result.write");
+    shared.result.write(Some(input * 2));
+    shared.latch.done_one(&shared.frame);
+}
+
+/// Full `join_in` round: caller (t0) vs one worker (t1). Asserts the
+/// second closure runs exactly once — inline after a successful steal,
+/// or on the worker with the result handed back through the frame.
+pub fn join_steal_back_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let shared = Arc::new(JoinShared {
+            queue: ModelQueue::new(),
+            func: RaceCell::named("job_b.func", Some(21)),
+            result: RaceCell::named("job_b.result", None),
+            latch: ModelLatch::new(1),
+            frame: Frame::new("join-frame"),
+        });
+        let b_runs = Arc::new(StdAtomicUsize::new(0));
+
+        let caller = Arc::clone(&shared);
+        let caller_runs = Arc::clone(&b_runs);
+        b.thread(move || {
+            caller.queue.inject(0);
+            // (closure `a` runs here; it has no synchronization.)
+            let result_b = if caller.queue.steal_back(0) {
+                // Nobody claimed `b`: take the closure back and run it
+                // inline — `take_func` is only sound because steal-back
+                // succeeding proves no execution started.
+                caller.frame.touch("func.take");
+                let input = caller
+                    .func
+                    .swap(None)
+                    .expect("steal-back succeeded, so the job never executed");
+                caller_runs.fetch_add(1, Ordering::SeqCst);
+                input * 2
+            } else {
+                // A worker claimed `b`: help until its latch opens
+                // (with a single job in flight the queue stays empty,
+                // so helping degenerates to parking), then take the
+                // result out of this frame.
+                while !caller.latch.probe() {
+                    if let Some(job) = caller.queue.try_pop() {
+                        panic!("no other job can be queued here, popped {job}");
+                    }
+                    caller.latch.park();
+                }
+                caller.latch.sync_before_teardown();
+                caller.frame.touch("result.take");
+                caller
+                    .result
+                    .swap(None)
+                    .expect("latch opened, so the result slot is written")
+            };
+            // `join_in` returns: the frame holding job_b pops.
+            caller.frame.free();
+            assert_eq!(result_b, 42);
+            caller.queue.terminate();
+        });
+
+        let worker = Arc::clone(&shared);
+        let worker_runs = Arc::clone(&b_runs);
+        b.thread(move || {
+            while let Some(_job) = worker.queue.next_job() {
+                execute_b(&worker, &worker_runs);
+            }
+        });
+
+        b.finale(move || {
+            assert_eq!(
+                b_runs.load(Ordering::SeqCst),
+                1,
+                "the second closure must run exactly once"
+            );
+        });
+    }
+}

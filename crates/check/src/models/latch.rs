@@ -1,0 +1,240 @@
+//! Model of `CountLatch` (`shims/rayon/src/pool.rs`): the countdown
+//! latch every pool frame blocks on before its stack memory is freed.
+//!
+//! The protocol under test, verbatim from the pool:
+//!
+//! - `done_one` decrements **while holding the latch lock** and
+//!   notifies on the final decrement, still under the lock.
+//! - `probe` is an `Acquire` load pairing with the `AcqRel` decrement,
+//!   so result-slot writes made before `done_one` are visible after a
+//!   `true` probe.
+//! - a waiter that observed `probe() == true` does one lock round-trip
+//!   (`sync_before_teardown`) before freeing the frame, which waits out
+//!   the final notifier's critical section.
+//!
+//! [`teardown_model`] carries the PR 5 regression knob: with
+//! `fixed = false` the decrement happens **outside** the lock (the
+//! pre-fix code shape), opening the window where a waiter sees zero,
+//! completes its teardown round-trip while the notifier holds nothing,
+//! and frees the frame the notifier is about to lock — the exact
+//! use-after-free the PR 5 review caught, which the explorer finds and
+//! reports with a replay seed.
+
+use std::sync::atomic::Ordering;
+
+use crate::sched::Builder;
+use crate::sync::{Arc, AtomicUsize, Condvar, Frame, Mutex, RaceCell};
+
+/// Port of `CountLatch` built on the instrumented primitives. Every
+/// operation that dereferences into the (conceptual) owning stack frame
+/// takes the frame token and `touch`es it first, so freeing the frame
+/// too early is caught as a use-after-free rather than silently
+/// explored past.
+pub struct ModelLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl ModelLatch {
+    pub fn new(count: usize) -> Self {
+        ModelLatch {
+            remaining: AtomicUsize::named("latch.remaining", count),
+            lock: Mutex::named("latch.lock", ()),
+            cond: Condvar::named("latch.cond"),
+        }
+    }
+
+    /// `CountLatch::add`: scope jobs are counted as they spawn.
+    pub fn add(&self, n: usize) {
+        self.remaining.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The **fixed** `done_one`: decrement and notify under the lock.
+    pub fn done_one(&self, frame: &Frame) {
+        frame.touch("latch.lock");
+        let guard = self.lock.lock().unwrap();
+        frame.touch("latch.decrement");
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            frame.touch("latch.notify_all");
+            self.cond.notify_all();
+        }
+        drop(guard);
+    }
+
+    /// The **pre-fix** `done_one`: decrement outside the lock. A waiter
+    /// can observe zero (and tear the frame down) while this thread is
+    /// still on its way to the lock — the PR 5 use-after-free class.
+    pub fn done_one_unlocked(&self, frame: &Frame) {
+        frame.touch("latch.decrement");
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            frame.touch("latch.lock");
+            let guard = self.lock.lock().unwrap();
+            frame.touch("latch.notify_all");
+            self.cond.notify_all();
+            drop(guard);
+        }
+    }
+
+    /// `CountLatch::probe`: `Acquire`, pairing with the decrement.
+    pub fn probe(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    /// `CountLatch::park`. The real pool bounds the wait with a 1 ms
+    /// timeout as a belt against missed wakeups; the model deliberately
+    /// waits **without** a timeout, so if the protocol ever misses a
+    /// wakeup the explorer reports a deadlock instead of the bug hiding
+    /// behind the timeout. (Exhaustive exploration passing therefore
+    /// proves the timeout is a belt, not a crutch.)
+    pub fn park(&self) {
+        let guard = self.lock.lock().unwrap();
+        if !self.probe() {
+            let _guard = self.cond.wait(guard).unwrap();
+        }
+    }
+
+    /// `CountLatch::sync_before_teardown`: one lock round-trip after a
+    /// `true` probe, waiting out the final notifier's critical section.
+    pub fn sync_before_teardown(&self) {
+        drop(self.lock.lock().unwrap());
+    }
+
+    /// The waiter side of `Registry::wait_latch`, minus helping: spin
+    /// probe → park until open, then the teardown rendezvous.
+    pub fn wait(&self) {
+        while !self.probe() {
+            self.park();
+        }
+        self.sync_before_teardown();
+    }
+}
+
+struct TeardownShared {
+    latch: ModelLatch,
+    /// Models `StackJob::result`: an `UnsafeCell` slot written by the
+    /// notifier before `done_one`, read by the waiter after the latch
+    /// opens — with no synchronization of its own.
+    result: RaceCell<Option<u32>>,
+    /// Models the waiter's stack frame, which owns the latch and the
+    /// result slot and is popped when the waiter returns.
+    frame: Frame,
+}
+
+/// The PR 5 regression scenario: t0 waits on the latch, reads the
+/// result, and frees the frame; t1 publishes the result and completes
+/// the latch. `fixed = true` is the shipped protocol (passes
+/// exhaustively, even in weakest-ordering mode — the lock round-trips
+/// carry the happens-before edges on this path); `fixed = false`
+/// reverts `done_one` to the pre-fix shape and the explorer reports the
+/// use-after-free with its schedule.
+pub fn teardown_model(fixed: bool) -> impl Fn(&mut Builder) {
+    move |b: &mut Builder| {
+        let shared = Arc::new(TeardownShared {
+            latch: ModelLatch::new(1),
+            result: RaceCell::named("job.result", None),
+            frame: Frame::new("waiter-frame"),
+        });
+
+        let waiter = Arc::clone(&shared);
+        b.thread(move || {
+            waiter.latch.wait();
+            let r = waiter.result.read();
+            // Returning from the real `wait_latch` caller pops the
+            // frame that owns the latch: model that with `free`.
+            waiter.frame.free();
+            assert_eq!(r, Some(42), "result published before latch opened");
+        });
+
+        let notifier = Arc::clone(&shared);
+        b.thread(move || {
+            notifier.frame.touch("result.write");
+            notifier.result.write(Some(42));
+            if fixed {
+                notifier.latch.done_one(&notifier.frame);
+            } else {
+                notifier.latch.done_one_unlocked(&notifier.frame);
+            }
+        });
+    }
+}
+
+/// Isolates what the declared atomic orderings buy: the waiter spins on
+/// `probe()` a bounded number of times and reads the result **without**
+/// the teardown lock round-trip (and without freeing the frame). On
+/// this path the only happens-before edge from the notifier's
+/// `result.write` to the waiter's read is the `AcqRel` decrement →
+/// `Acquire` probe pair — so the model passes exhaustively under the
+/// declared orderings and reports a data race in weakest-ordering mode
+/// ([`crate::Config::weakened`]), proving those orderings are
+/// load-bearing (unlike on the teardown path, where the lock already
+/// carries the edge).
+pub fn probe_publish_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let shared = Arc::new(TeardownShared {
+            latch: ModelLatch::new(1),
+            result: RaceCell::named("job.result", None),
+            frame: Frame::new("waiter-frame"),
+        });
+
+        let waiter = Arc::clone(&shared);
+        b.thread(move || {
+            // Bounded spin: schedules where the notifier has not
+            // finished simply end without observing the latch open
+            // (an unbounded spin would livelock the explorer).
+            for _ in 0..3 {
+                if waiter.latch.probe() {
+                    let r = waiter.result.read();
+                    assert_eq!(r, Some(42), "probe() == true publishes the result");
+                    return;
+                }
+            }
+        });
+
+        let notifier = Arc::clone(&shared);
+        b.thread(move || {
+            notifier.frame.touch("result.write");
+            notifier.result.write(Some(42));
+            notifier.latch.done_one(&notifier.frame);
+        });
+    }
+}
+
+/// Two notifiers, one waiter (3 threads): the multi-completion shape
+/// `run_chunks` puts the latch through. Checks intermediate decrements
+/// wake nobody early and both results are published by the time the
+/// latch opens.
+pub fn multi_notifier_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        struct Shared {
+            latch: ModelLatch,
+            results: [RaceCell<Option<u32>>; 2],
+            frame: Frame,
+        }
+        let shared = Arc::new(Shared {
+            latch: ModelLatch::new(2),
+            results: [
+                RaceCell::named("chunk0.result", None),
+                RaceCell::named("chunk1.result", None),
+            ],
+            frame: Frame::new("batch-frame"),
+        });
+
+        let waiter = Arc::clone(&shared);
+        b.thread(move || {
+            waiter.latch.wait();
+            let a = waiter.results[0].read();
+            let b = waiter.results[1].read();
+            waiter.frame.free();
+            assert_eq!((a, b), (Some(10), Some(20)));
+        });
+        for (i, value) in [(0usize, 10u32), (1, 20)] {
+            let notifier = Arc::clone(&shared);
+            b.thread(move || {
+                notifier.frame.touch("result.write");
+                notifier.results[i].write(Some(value));
+                notifier.latch.done_one(&notifier.frame);
+            });
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Checkable ports of the fork-join pool's synchronization protocols.
+//!
+//! Each submodule mirrors one protocol from `shims/rayon/src/pool.rs`
+//! at the synchronization level: the same locks taken in the same
+//! order, the same atomics with the same declared `Ordering`s, and the
+//! same `UnsafeCell` slots — modeled as [`crate::sync::RaceCell`]s so
+//! the vector-clock detector checks every access against
+//! happens-before, plus [`crate::sync::Frame`] lifetime tokens standing
+//! in for the stack frames the real jobs borrow from.
+//!
+//! - [`latch`] — `CountLatch`: the locked-decrement publish/teardown
+//!   protocol, its PR 5 use-after-free regression (decrement outside
+//!   the lock), and the probe-only variant that isolates what the
+//!   declared atomic orderings buy.
+//! - [`queue`] — `Registry`'s shared FIFO: inject / pop / steal-back /
+//!   worker parking, exactly-once delivery, shutdown.
+//! - [`join`] — `join_in`: inject the second closure, steal it back or
+//!   help until its latch opens, take func/result out of the frame.
+//! - [`chunks`] — `run_chunks`: a batch of chunk jobs sharing one
+//!   latch, the caller helping, results read back in chunk order.
+//! - [`scope`] — `scope`/`Scope::spawn`: dynamic latch counts and
+//!   first-panic-wins propagation through the scope's panic slot.
+//!
+//! Every model is a `Fn(&mut Builder)` factory so tests can pass the
+//! same model to [`crate::explore`] and [`crate::replay`].
+
+pub mod chunks;
+pub mod join;
+pub mod latch;
+pub mod queue;
+pub mod scope;

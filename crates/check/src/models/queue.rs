@@ -1,0 +1,187 @@
+//! Model of `Registry`'s shared job queue (`shims/rayon/src/pool.rs`):
+//! the mutex-protected FIFO plus the `job_ready` condvar workers park
+//! on, with jobs reduced to `usize` ids.
+//!
+//! Properties checked by the models here:
+//!
+//! - **exactly-once delivery**: every injected job is executed by
+//!   exactly one thread ([`exactly_once_model`], 2 and 3 threads);
+//! - **steal-back exclusivity**: `steal_back` succeeding and a worker
+//!   popping the same job are mutually exclusive
+//!   ([`steal_back_model`]) — the invariant `join` relies on to run the
+//!   second closure exactly once;
+//! - **no missed wakeups / clean shutdown**: the model condvar has no
+//!   timeouts or spurious wakeups, so a worker parked past a notify it
+//!   should have received surfaces as a reported deadlock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::sched::Builder;
+use crate::sync::{Arc, Condvar, Mutex};
+
+struct QueueState {
+    queue: VecDeque<usize>,
+    shutdown: bool,
+}
+
+/// Port of `Registry`'s `shared` + `job_ready` pair.
+pub struct ModelQueue {
+    shared: Mutex<QueueState>,
+    job_ready: Condvar,
+}
+
+impl Default for ModelQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelQueue {
+    pub fn new() -> Self {
+        ModelQueue {
+            shared: Mutex::named(
+                "queue.shared",
+                QueueState {
+                    queue: VecDeque::new(),
+                    shutdown: false,
+                },
+            ),
+            job_ready: Condvar::named("queue.job_ready"),
+        }
+    }
+
+    /// `Registry::inject`: push, drop the lock, wake one worker.
+    pub fn inject(&self, job: usize) {
+        let mut shared = self.shared.lock().unwrap();
+        shared.queue.push_back(job);
+        drop(shared);
+        self.job_ready.notify_one();
+    }
+
+    /// `Registry::inject_many`: push a batch, wake every worker.
+    pub fn inject_many(&self, jobs: impl IntoIterator<Item = usize>) {
+        let mut shared = self.shared.lock().unwrap();
+        shared.queue.extend(jobs);
+        drop(shared);
+        self.job_ready.notify_all();
+    }
+
+    /// `Registry::try_pop`.
+    pub fn try_pop(&self) -> Option<usize> {
+        self.shared.lock().unwrap().queue.pop_front()
+    }
+
+    /// `Registry::steal_back`: remove `job` if unclaimed.
+    pub fn steal_back(&self, job: usize) -> bool {
+        let mut shared = self.shared.lock().unwrap();
+        if let Some(pos) = shared.queue.iter().position(|&j| j == job) {
+            shared.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The worker-loop wait (`worker_loop`'s inner loop): block until a
+    /// job arrives (`Some`) or shutdown is signalled (`None`).
+    pub fn next_job(&self) -> Option<usize> {
+        let mut shared = self.shared.lock().unwrap();
+        loop {
+            if let Some(job) = shared.queue.pop_front() {
+                return Some(job);
+            }
+            if shared.shutdown {
+                return None;
+            }
+            shared = self.job_ready.wait(shared).unwrap();
+        }
+    }
+
+    /// `Registry::terminate`.
+    pub fn terminate(&self) {
+        self.shared.lock().unwrap().shutdown = true;
+        self.job_ready.notify_all();
+    }
+}
+
+/// One producer injecting `jobs` jobs then shutting down, `workers`
+/// worker threads draining via [`ModelQueue::next_job`]. The finale
+/// asserts every job ran exactly once. Bookkeeping counters are plain
+/// `std` atomics — not protocol state, so they are deliberately not
+/// scheduling points.
+pub fn exactly_once_model(workers: usize, jobs: usize) -> impl Fn(&mut Builder) {
+    move |b: &mut Builder| {
+        let queue = Arc::new(ModelQueue::new());
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..jobs).map(|_| StdAtomicUsize::new(0)).collect());
+
+        let producer = Arc::clone(&queue);
+        b.thread(move || {
+            for j in 0..jobs {
+                producer.inject(j);
+            }
+            producer.terminate();
+        });
+
+        for _ in 0..workers {
+            let worker = Arc::clone(&queue);
+            let worker_runs = Arc::clone(&runs);
+            b.thread(move || {
+                while let Some(j) = worker.next_job() {
+                    worker_runs[j].fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+
+        let finale_runs = Arc::clone(&runs);
+        b.finale(move || {
+            for (j, count) in finale_runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "job {j} must execute exactly once"
+                );
+            }
+        });
+    }
+}
+
+/// The `join` claim protocol: the caller injects job 0 and then tries
+/// to steal it back while a worker drains the queue. Exactly one side
+/// may win the job.
+pub fn steal_back_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let queue = Arc::new(ModelQueue::new());
+        let worker_runs = Arc::new(StdAtomicUsize::new(0));
+        let steals = Arc::new(StdAtomicUsize::new(0));
+
+        let caller = Arc::clone(&queue);
+        let caller_steals = Arc::clone(&steals);
+        b.thread(move || {
+            caller.inject(0);
+            if caller.steal_back(0) {
+                caller_steals.fetch_add(1, Ordering::SeqCst);
+            }
+            caller.terminate();
+        });
+
+        let worker = Arc::clone(&queue);
+        let runs = Arc::clone(&worker_runs);
+        b.thread(move || {
+            while let Some(_job) = worker.next_job() {
+                runs.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+
+        b.finale(move || {
+            let executed = worker_runs.load(Ordering::SeqCst);
+            let stolen = steals.load(Ordering::SeqCst);
+            assert_eq!(
+                executed + stolen,
+                1,
+                "job 0 must be claimed exactly once (executed {executed}, stolen {stolen})"
+            );
+        });
+    }
+}

@@ -1,0 +1,105 @@
+//! Model of `scope` / `Scope::spawn` (`shims/rayon/src/pool.rs`): the
+//! latch starts at 1 (the scope body itself), every `spawn` adds one
+//! completion **before** injecting, the body's own `done_one` comes
+//! after all spawns, and the caller helps until the latch opens. Panics
+//! from spawned closures land in the scope's panic slot with
+//! first-panic-wins (`get_or_insert`) semantics and are taken after the
+//! latch opens.
+//!
+//! The explorer proves: the scope cannot observe its latch open while a
+//! spawned job is still running (dynamic counts are added early
+//! enough), the panic slot's mutex serializes concurrent writers, and
+//! no schedule lets a worker touch the scope frame after the caller
+//! tears it down.
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::models::latch::ModelLatch;
+use crate::models::queue::ModelQueue;
+use crate::sched::Builder;
+use crate::sync::{Arc, Frame, Mutex};
+
+struct ScopeShared {
+    queue: ModelQueue,
+    latch: ModelLatch,
+    /// `Scope::panic`: first panic payload wins (payloads are `u32`
+    /// stand-ins here).
+    panic_slot: Mutex<Option<u32>>,
+    /// The `scope()` caller's frame, owning the `Scope` itself.
+    frame: Frame,
+}
+
+fn execute_scope_job(scope: &ScopeShared, j: usize, runs: &[StdAtomicUsize]) {
+    runs[j].fetch_add(1, Ordering::SeqCst);
+    if j == 0 {
+        // This spawned closure "panics": its payload goes into the
+        // scope's slot, first writer wins.
+        scope.frame.touch("panic.store");
+        let mut slot = scope.panic_slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(7);
+        }
+        drop(slot);
+    }
+    scope.latch.done_one(&scope.frame);
+}
+
+/// One scope body (t0) spawning two jobs — job 0 panics — plus one
+/// worker (t1). Asserts both jobs complete before the scope returns and
+/// the panic propagates out of `scope()`.
+pub fn scope_panic_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let shared = Arc::new(ScopeShared {
+            queue: ModelQueue::new(),
+            latch: ModelLatch::new(1),
+            panic_slot: Mutex::named("scope.panic", None),
+            frame: Frame::new("scope-frame"),
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..2).map(|_| StdAtomicUsize::new(0)).collect());
+
+        let caller = Arc::clone(&shared);
+        let caller_runs = Arc::clone(&runs);
+        b.thread(move || {
+            // The scope body: spawn two jobs (`add` strictly before
+            // `inject`, so the latch can never transiently hit zero).
+            for j in 0..2usize {
+                caller.latch.add(1);
+                caller.queue.inject(j);
+            }
+            // The body itself is one completion.
+            caller.latch.done_one(&caller.frame);
+            // wait_latch with helping.
+            while !caller.latch.probe() {
+                match caller.queue.try_pop() {
+                    Some(j) => execute_scope_job(&caller, j, &caller_runs),
+                    None => caller.latch.park(),
+                }
+            }
+            caller.latch.sync_before_teardown();
+            caller.frame.touch("panic.take");
+            let payload = caller.panic_slot.lock().unwrap().take();
+            caller.frame.free();
+            assert_eq!(payload, Some(7), "the spawned panic propagates");
+            caller.queue.terminate();
+        });
+
+        let worker = Arc::clone(&shared);
+        let worker_runs = Arc::clone(&runs);
+        b.thread(move || {
+            while let Some(j) = worker.queue.next_job() {
+                execute_scope_job(&worker, j, &worker_runs);
+            }
+        });
+
+        b.finale(move || {
+            for (j, count) in runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "scope job {j} must execute exactly once"
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,726 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives the
+//! fork-join pool is built from, plus the two model-only types the race
+//! and lifetime detectors hang off ([`RaceCell`], [`Frame`]).
+//!
+//! Every type has **two modes**, chosen per call site at runtime:
+//!
+//! - **Passthrough** — outside a model execution (no checker context on
+//!   the current thread) each primitive delegates straight to its
+//!   `std::sync` counterpart. This is what `shims/rayon` compiles
+//!   against under `--cfg pp_check`: the real pool runs unchanged, and
+//!   its whole test suite doubles as a drop-in-compatibility proof.
+//! - **Instrumented** — inside a model thread (spawned via
+//!   [`crate::sched::Builder::thread`]) every operation is a scheduling
+//!   point: the thread yields to the cooperative scheduler, and the
+//!   operation's effect (ownership transfer, waiter queues, vector-clock
+//!   propagation) is applied to the execution's model state when the
+//!   scheduler grants the thread back the CPU.
+//!
+//! Happens-before edges: mutex release→acquire always transfers clocks;
+//! atomics transfer per their `Ordering` arguments (`Release`-side
+//! publishes, `Acquire`-side joins, `Relaxed` transfers nothing) unless
+//! the execution runs in weakest-ordering mode
+//! ([`crate::sched::Config::weaken_orderings`]), where every atomic is
+//! treated as `Relaxed` — the mode that proves which declared orderings
+//! are load-bearing. Condvar waits are woken **only by notify**: the
+//! model deliberately has no timeouts or spurious wakeups, so a
+//! protocol that relies on a timeout to paper over a missed wakeup is
+//! reported as a deadlock.
+
+use std::sync::atomic::Ordering;
+use std::sync::LockResult;
+use std::sync::PoisonError;
+
+use crate::sched::{current_ctx, Ctx, Exec, OpGuard};
+
+pub use std::sync::Arc;
+
+/// Checker context for one registered object: which execution it
+/// belongs to and its slot in that execution's object table.
+struct Model {
+    exec: Arc<Exec>,
+    id: usize,
+    name: &'static str,
+}
+
+impl Model {
+    /// Register an object with the current execution, if any.
+    fn register(
+        name: &'static str,
+        register: impl Fn(&Exec, &'static str) -> usize,
+    ) -> Option<Model> {
+        match current_ctx() {
+            Ctx::Inactive => None,
+            Ctx::Setup(exec) | Ctx::Thread(exec, _) => Some(Model {
+                id: register(&exec, name),
+                exec,
+                name,
+            }),
+        }
+    }
+
+    /// The current thread's id when it is a model thread of *this*
+    /// object's execution (the only case that instruments).
+    fn tid(&self) -> Option<usize> {
+        match current_ctx() {
+            Ctx::Thread(exec, tid) if Arc::ptr_eq(&exec, &self.exec) => Some(tid),
+            _ => None,
+        }
+    }
+}
+
+fn acquires(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn releases(ordering: Ordering) -> bool {
+    matches!(
+        ordering,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + guard
+// ---------------------------------------------------------------------------
+
+/// Drop-in `std::sync::Mutex` with model instrumentation.
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<Model>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model ownership (one
+/// instrumented operation) on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// True when the guard was acquired through the instrumented path
+    /// and must release through it too.
+    instrumented: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Drop-in constructor (objects created inside a model register
+    /// under a generic name; use [`Mutex::named`] in models for
+    /// readable schedules).
+    pub fn new(value: T) -> Self {
+        Self::named("mutex", value)
+    }
+
+    /// Model constructor with a diagnostic name.
+    pub fn named(name: &'static str, value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            model: Model::register(name, |exec, n| exec.register_mutex(n)),
+        }
+    }
+
+    /// Acquire. Instrumented path: one scheduling point, blocks (in the
+    /// model sense) while another model thread owns it, joins the
+    /// mutex's release clock into the thread clock on success.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model.exec.op_gate(tid, format!("lock({})", model.name));
+                acquire_model_mutex(&mut gate, model.id);
+                drop(gate);
+                // The model's ownership protocol guarantees this inner
+                // lock is uncontended; unwrap_or_else ignores poison
+                // left by an unwound (aborted) execution.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                return Ok(MutexGuard {
+                    mutex: self,
+                    inner: Some(inner),
+                    instrumented: true,
+                });
+            }
+        }
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard {
+                mutex: self,
+                inner: Some(inner),
+                instrumented: false,
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                mutex: self,
+                inner: Some(poison.into_inner()),
+                instrumented: false,
+            })),
+        }
+    }
+}
+
+/// Take model ownership of mutex `mid` (blocking while owned),
+/// assuming the calling thread already holds an op gate.
+fn acquire_model_mutex(gate: &mut OpGuard<'_>, mid: usize) {
+    let tid = gate.tid();
+    if gate.state().mutexes[mid].owner.is_some() {
+        gate.block_until(OpGuard::blocked_mutex(mid), |st, _| {
+            st.mutexes[mid].owner.is_none()
+        });
+    }
+    let st = gate.state();
+    st.mutexes[mid].owner = Some(tid);
+    let release_clock = st.mutexes[mid].clock.clone();
+    st.clocks[tid].join(&release_clock);
+}
+
+/// Release model ownership of mutex `mid`: publish the thread clock and
+/// wake blocked acquirers.
+fn release_model_mutex(gate: &mut OpGuard<'_>, mid: usize) {
+    let tid = gate.tid();
+    let st = gate.state();
+    st.mutexes[mid].owner = None;
+    st.mutexes[mid].clock = st.clocks[tid].clone();
+    OpGuard::unblock_mutex_waiters(st, mid);
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if !self.instrumented {
+            return;
+        }
+        let Some(model) = &self.mutex.model else {
+            return;
+        };
+        let Some(tid) = model.tid() else { return };
+        if std::thread::panicking() {
+            // The thread is unwinding (model failure or abort): release
+            // ownership without a scheduling point so other threads can
+            // drain, but do not touch clocks — the execution is over.
+            model.exec.emergency_release_mutex(model.id);
+            return;
+        }
+        let mut gate = model.exec.op_gate(tid, format!("unlock({})", model.name));
+        release_model_mutex(&mut gate, model.id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult` (which has no public constructor).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Drop-in `std::sync::Condvar` with model instrumentation.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    model: Option<Model>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self::named("condvar")
+    }
+
+    /// Model constructor with a diagnostic name.
+    pub fn named(name: &'static str) -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+            model: Model::register(name, |exec, n| exec.register_cond(n)),
+        }
+    }
+
+    /// Instrumented wait: release the guard's mutex, join the condvar's
+    /// waiter queue, park until a notify removes this thread from the
+    /// queue, then re-acquire. **No timeout, no spurious wakeups** — a
+    /// missed notify becomes a reported deadlock.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if let Some(cond_model) = &self.model {
+            if let Some(tid) = cond_model.tid() {
+                if guard.instrumented {
+                    return Ok(self.wait_model(cond_model, tid, guard));
+                }
+            }
+        }
+        let mutex = guard.mutex;
+        let mut guard = guard;
+        let inner = guard.inner.take().expect("guard already released");
+        guard.instrumented = false; // nothing left to release on drop
+        drop(guard);
+        match self.inner.wait(inner) {
+            Ok(inner) => Ok(MutexGuard {
+                mutex,
+                inner: Some(inner),
+                instrumented: false,
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                mutex,
+                inner: Some(poison.into_inner()),
+                instrumented: false,
+            })),
+        }
+    }
+
+    /// Instrumented mode treats the timeout as never firing (see
+    /// [`Condvar::wait`]); passthrough delegates to std.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if let Some(cond_model) = &self.model {
+            if let Some(tid) = cond_model.tid() {
+                if guard.instrumented {
+                    let guard = self.wait_model(cond_model, tid, guard);
+                    return Ok((guard, WaitTimeoutResult { timed_out: false }));
+                }
+            }
+        }
+        let mutex = guard.mutex;
+        let mut guard = guard;
+        let inner = guard.inner.take().expect("guard already released");
+        guard.instrumented = false;
+        drop(guard);
+        match self.inner.wait_timeout(inner, dur) {
+            Ok((inner, result)) => Ok((
+                MutexGuard {
+                    mutex,
+                    inner: Some(inner),
+                    instrumented: false,
+                },
+                WaitTimeoutResult {
+                    timed_out: result.timed_out(),
+                },
+            )),
+            Err(poison) => {
+                let (inner, result) = poison.into_inner();
+                Err(PoisonError::new((
+                    MutexGuard {
+                        mutex,
+                        inner: Some(inner),
+                        instrumented: false,
+                    },
+                    WaitTimeoutResult {
+                        timed_out: result.timed_out(),
+                    },
+                )))
+            }
+        }
+    }
+
+    fn wait_model<'a, T>(
+        &self,
+        cond_model: &Model,
+        tid: usize,
+        guard: MutexGuard<'a, T>,
+    ) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        let mutex_model = mutex
+            .model
+            .as_ref()
+            .expect("instrumented guard implies a registered mutex");
+        let mid = mutex_model.id;
+        let cid = cond_model.id;
+        // Defuse the guard: the mutex release below is part of the wait
+        // operation, not a separate unlock.
+        let mut guard = guard;
+        drop(guard.inner.take());
+        guard.instrumented = false;
+        drop(guard);
+
+        let mut gate = cond_model
+            .exec
+            .op_gate(tid, format!("{}.wait", cond_model.name));
+        {
+            let st = gate.state();
+            st.mutexes[mid].owner = None;
+            st.mutexes[mid].clock = st.clocks[tid].clone();
+            OpGuard::unblock_mutex_waiters(st, mid);
+            st.conds[cid].waiters.push(tid);
+        }
+        gate.block_until(OpGuard::blocked_cond(cid), |st, me| {
+            !st.conds[cid].waiters.contains(&me)
+        });
+        acquire_model_mutex(&mut gate, mid);
+        drop(gate);
+        let inner = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            mutex,
+            inner: Some(inner),
+            instrumented: true,
+        }
+    }
+
+    /// Wake every model waiter (they still re-acquire the mutex before
+    /// returning from `wait`).
+    pub fn notify_all(&self) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.notify_all", model.name));
+                let st = gate.state();
+                let waiters: Vec<usize> = st.conds[model.id].waiters.drain(..).collect();
+                for w in waiters {
+                    OpGuard::make_cond_waiter_ready(st, w);
+                }
+                return;
+            }
+        }
+        self.inner.notify_all();
+    }
+
+    /// Wake the longest-waiting model waiter (deterministic FIFO).
+    pub fn notify_one(&self) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.notify_one", model.name));
+                let st = gate.state();
+                if !st.conds[model.id].waiters.is_empty() {
+                    let w = st.conds[model.id].waiters.remove(0);
+                    OpGuard::make_cond_waiter_ready(st, w);
+                }
+                return;
+            }
+        }
+        self.inner.notify_one();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AtomicUsize
+// ---------------------------------------------------------------------------
+
+/// Drop-in `std::sync::atomic::AtomicUsize` with `Ordering`-aware
+/// vector-clock propagation: `Release`-side operations publish the
+/// thread clock into the atomic, `Acquire`-side operations join it back
+/// — unless the execution runs in weakest-ordering mode, where no
+/// atomic transfers clocks at all.
+pub struct AtomicUsize {
+    inner: std::sync::atomic::AtomicUsize,
+    model: Option<Model>,
+}
+
+impl AtomicUsize {
+    pub fn new(value: usize) -> Self {
+        Self::named("atomic", value)
+    }
+
+    /// Model constructor with a diagnostic name.
+    pub fn named(name: &'static str, value: usize) -> Self {
+        AtomicUsize {
+            inner: std::sync::atomic::AtomicUsize::new(value),
+            model: Model::register(name, |exec, _n| exec.register_atomic()),
+        }
+    }
+
+    fn clock_sync(gate: &mut OpGuard<'_>, model: &Model, ordering: Ordering, rmw: bool) {
+        if model.exec.weakened() {
+            return;
+        }
+        let tid = gate.tid();
+        let st = gate.state();
+        if acquires(ordering) {
+            let atomic_clock = st.atomics[model.id].clock.clone();
+            st.clocks[tid].join(&atomic_clock);
+        }
+        if releases(ordering) {
+            if rmw {
+                // RMWs extend the release sequence: join, don't replace.
+                let thread_clock = st.clocks[tid].clone();
+                st.atomics[model.id].clock.join(&thread_clock);
+            } else {
+                st.atomics[model.id].clock = st.clocks[tid].clone();
+            }
+        }
+    }
+
+    pub fn load(&self, ordering: Ordering) -> usize {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.load({ordering:?})", model.name));
+                Self::clock_sync(&mut gate, model, ordering, false);
+                return self.inner.load(Ordering::SeqCst);
+            }
+        }
+        self.inner.load(ordering)
+    }
+
+    pub fn store(&self, value: usize, ordering: Ordering) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.store({ordering:?})", model.name));
+                Self::clock_sync(&mut gate, model, ordering, false);
+                self.inner.store(value, Ordering::SeqCst);
+                return;
+            }
+        }
+        self.inner.store(value, ordering)
+    }
+
+    pub fn fetch_add(&self, value: usize, ordering: Ordering) -> usize {
+        self.rmw("fetch_add", ordering, |old| old.wrapping_add(value))
+    }
+
+    pub fn fetch_sub(&self, value: usize, ordering: Ordering) -> usize {
+        self.rmw("fetch_sub", ordering, |old| old.wrapping_sub(value))
+    }
+
+    pub fn swap(&self, value: usize, ordering: Ordering) -> usize {
+        self.rmw("swap", ordering, |_| value)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.compare_exchange", model.name));
+                let old = self.inner.load(Ordering::SeqCst);
+                if old == current {
+                    Self::clock_sync(&mut gate, model, success, true);
+                    self.inner.store(new, Ordering::SeqCst);
+                    return Ok(old);
+                }
+                Self::clock_sync(&mut gate, model, failure, false);
+                return Err(old);
+            }
+        }
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    fn rmw(&self, op: &str, ordering: Ordering, f: impl Fn(usize) -> usize) -> usize {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.{op}({ordering:?})", model.name));
+                Self::clock_sync(&mut gate, model, ordering, true);
+                let old = self.inner.load(Ordering::SeqCst);
+                self.inner.store(f(old), Ordering::SeqCst);
+                return old;
+            }
+        }
+        // Passthrough: reproduce the RMW with a real atomic CAS loop.
+        let mut old = self.inner.load(Ordering::Relaxed);
+        loop {
+            match self
+                .inner
+                .compare_exchange_weak(old, f(old), ordering, Ordering::Relaxed)
+            {
+                Ok(prev) => return prev,
+                Err(prev) => old = prev,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell: the model of an `UnsafeCell` slot
+// ---------------------------------------------------------------------------
+
+/// Models one of the pool's `UnsafeCell` fields (`StackJob::func`,
+/// `StackJob::result`, chunk-job `input`/`result`): a plain value slot
+/// with **no synchronization of its own**, on which every access is
+/// checked against the happens-before order. Two accesses to the same
+/// cell, at least one a write, with neither's clock `<=` the other's
+/// thread clock, is a data race — reported with the schedule seed.
+pub struct RaceCell<T> {
+    inner: std::sync::Mutex<T>,
+    model: Option<Model>,
+}
+
+impl<T: Clone> RaceCell<T> {
+    pub fn new(value: T) -> Self {
+        Self::named("cell", value)
+    }
+
+    /// Model constructor with a diagnostic name.
+    pub fn named(name: &'static str, value: T) -> Self {
+        RaceCell {
+            inner: std::sync::Mutex::new(value),
+            model: Model::register(name, |exec, _n| exec.register_cell()),
+        }
+    }
+
+    fn value(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Read the slot (checked against the last write).
+    pub fn read(&self) -> T {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model.exec.op_gate(tid, format!("{}.read", model.name));
+                let race = {
+                    let st = gate.state();
+                    match &st.cells[model.id].last_write {
+                        Some((wtid, wclock)) if *wtid != tid && !wclock.le(&st.clocks[tid]) => {
+                            Some(format!(
+                                "data race on '{}': read by t{tid} (clock {}) is concurrent \
+                                 with write by t{wtid} (clock {})",
+                                model.name, st.clocks[tid], wclock
+                            ))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(msg) = race {
+                    gate.fail(msg);
+                }
+                let st = gate.state();
+                let now = st.clocks[tid].clone();
+                st.cells[model.id].reads[tid] = Some(now);
+            }
+        }
+        self.value().clone()
+    }
+
+    /// Write the slot (checked against the last write and every read).
+    pub fn write(&self, value: T) {
+        self.access_write("write", |slot| *slot = value);
+    }
+
+    /// Read-modify-write (models `Option::take` on an `UnsafeCell`
+    /// slot): checked as a write, returns the previous value.
+    pub fn swap(&self, value: T) -> T {
+        let mut previous = None;
+        self.access_write("swap", |slot| {
+            previous = Some(std::mem::replace(slot, value));
+        });
+        previous.expect("swap applies its mutation")
+    }
+
+    fn access_write(&self, op: &str, mutate: impl FnOnce(&mut T)) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model.exec.op_gate(tid, format!("{}.{op}", model.name));
+                let race = {
+                    let st = gate.state();
+                    let cell = &st.cells[model.id];
+                    let me = &st.clocks[tid];
+                    let write_race = match &cell.last_write {
+                        Some((wtid, wclock)) if *wtid != tid && !wclock.le(me) => Some(format!(
+                            "data race on '{}': write by t{tid} (clock {me}) is concurrent \
+                             with write by t{wtid} (clock {wclock})",
+                            model.name
+                        )),
+                        _ => None,
+                    };
+                    let read_race =
+                        cell.reads
+                            .iter()
+                            .enumerate()
+                            .find_map(|(rtid, read)| match read {
+                                Some(rclock) if rtid != tid && !rclock.le(me) => Some(format!(
+                                "data race on '{}': write by t{tid} (clock {me}) is concurrent \
+                                 with read by t{rtid} (clock {rclock})",
+                                model.name
+                            )),
+                                _ => None,
+                            });
+                    write_race.or(read_race)
+                };
+                if let Some(msg) = race {
+                    gate.fail(msg);
+                }
+                let st = gate.state();
+                let now = st.clocks[tid].clone();
+                let cell = &mut st.cells[model.id];
+                cell.last_write = Some((tid, now));
+                cell.reads.iter_mut().for_each(|r| *r = None);
+            }
+        }
+        mutate(&mut self.value());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame: stack-frame lifetime token
+// ---------------------------------------------------------------------------
+
+/// Models the lifetime of a stack frame that owns synchronization state
+/// (a `join` caller's `StackJob`, a `run_chunks` batch): the frame
+/// owner calls [`Frame::free`] where the real code would return (and
+/// pop the frame); every protocol operation that dereferences into the
+/// frame calls [`Frame::touch`]. A touch after free is the
+/// use-after-free class the PR 5 review caught — reported with the
+/// schedule that produced it.
+pub struct Frame {
+    model: Option<Model>,
+}
+
+impl Frame {
+    pub fn new(name: &'static str) -> Self {
+        Frame {
+            model: Model::register(name, |exec, _n| exec.register_frame()),
+        }
+    }
+
+    /// Assert the frame is still alive (a protocol op dereferencing
+    /// into it).
+    pub fn touch(&self, what: &str) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model
+                    .exec
+                    .op_gate(tid, format!("{}.touch({what})", model.name));
+                let freed = !gate.state().frames[model.id].alive;
+                if freed {
+                    gate.fail(format!(
+                        "use-after-free: t{tid} touched freed frame '{}' during {what}",
+                        model.name
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The owner frees the frame (returns from the owning function).
+    pub fn free(&self) {
+        if let Some(model) = &self.model {
+            if let Some(tid) = model.tid() {
+                let mut gate = model.exec.op_gate(tid, format!("{}.free", model.name));
+                gate.state().frames[model.id].alive = false;
+            }
+        }
+    }
+}

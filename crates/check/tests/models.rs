@@ -1,0 +1,344 @@
+//! Exhaustive schedule exploration of the fork-join pool's protocol
+//! models, plus checker self-tests (determinism, replay, deadlock and
+//! race detection on purpose-built tiny models).
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use pp_check::models::{chunks, join, latch, queue, scope};
+use pp_check::sync::{Arc, Condvar, Frame, Mutex, RaceCell};
+use pp_check::{explore, replay, Builder, Config};
+
+// ---------------------------------------------------------------------------
+// Checker self-tests on tiny hand-built models
+// ---------------------------------------------------------------------------
+
+/// Two threads write the same cell with no synchronization at all.
+fn racy_model(b: &mut Builder) {
+    let cell = Arc::new(RaceCell::named("slot", 0u32));
+    for v in [1u32, 2] {
+        let cell = Arc::clone(&cell);
+        b.thread(move || cell.write(v));
+    }
+}
+
+#[test]
+fn detects_unsynchronized_write_write_race() {
+    let report = explore("racy", Config::default(), racy_model);
+    let failure = report.failure.expect("two unordered writes must race");
+    assert!(
+        failure.message.contains("data race on 'slot'"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn mutex_protected_writes_do_not_race() {
+    let report = explore("guarded", Config::default(), |b| {
+        let lock = Arc::new(Mutex::named("guard", ()));
+        let cell = Arc::new(RaceCell::named("slot", 0u32));
+        for v in [1u32, 2] {
+            let lock = Arc::clone(&lock);
+            let cell = Arc::clone(&cell);
+            b.thread(move || {
+                let guard = lock.lock().unwrap();
+                cell.write(v);
+                drop(guard);
+            });
+        }
+    });
+    assert!(report.passed(), "{report}");
+    assert!(report.complete, "small model must be exhaustible");
+}
+
+#[test]
+fn detects_missed_wakeup_as_deadlock() {
+    // The waiter checks the flag, then waits; the setter flips the flag
+    // but "forgets" to notify — the model condvar has no timeouts, so
+    // schedules where the check precedes the flip deadlock.
+    let report = explore("missed-wakeup", Config::default(), |b| {
+        let state = Arc::new((Mutex::named("flag", false), Condvar::named("flagged")));
+        let waiter = Arc::clone(&state);
+        b.thread(move || {
+            let mut flag = waiter.0.lock().unwrap();
+            while !*flag {
+                flag = waiter.1.wait(flag).unwrap();
+            }
+        });
+        let setter = Arc::clone(&state);
+        b.thread(move || {
+            *setter.0.lock().unwrap() = true;
+            // missing: setter.1.notify_all()
+        });
+    });
+    let failure = report.failure.expect("a missed wakeup must deadlock");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected message: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("flagged"),
+        "deadlock report should name the condvar: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let first = explore("racy", Config::default(), racy_model);
+    let second = explore("racy", Config::default(), racy_model);
+    let (a, b) = (first.failure.unwrap(), second.failure.unwrap());
+    assert_eq!(a.seed, b.seed, "same model + config ⇒ same failing seed");
+    assert_eq!(a.message, b.message);
+    assert_eq!(first.schedules, second.schedules);
+}
+
+#[test]
+fn replay_reproduces_a_failure_from_its_seed() {
+    let report = explore("racy", Config::default(), racy_model);
+    let failure = report.failure.unwrap();
+    let replayed = replay("racy", &failure.seed, Config::default(), racy_model);
+    let refailure = replayed
+        .failure
+        .expect("replaying the failing seed must fail again");
+    assert_eq!(refailure.message, failure.message);
+    assert_eq!(refailure.seed, failure.seed);
+    // A clean seed replays clean: thread 1 fully first, then thread 0
+    // is an ordered (non-racing) schedule only if the writes are HB —
+    // they are not here, so instead verify determinism of the op log.
+    assert_eq!(refailure.ops, failure.ops);
+}
+
+#[test]
+fn panicking_model_thread_is_reported_with_its_schedule() {
+    let report = explore("asserting", Config::default(), |b| {
+        let cell = Arc::new(RaceCell::named("slot", 0u32));
+        let writer = Arc::clone(&cell);
+        b.thread(move || writer.write(9));
+        let reader = Arc::clone(&cell);
+        b.thread(move || {
+            // Fails on schedules where the write lands first (and the
+            // read is then racy anyway; whichever trips first is a
+            // failure with a seed).
+            assert_eq!(reader.read(), 0, "expected to observe the initial value");
+        });
+    });
+    assert!(!report.passed());
+}
+
+// ---------------------------------------------------------------------------
+// Latch: publish/teardown protocol + the PR 5 UAF regression
+// ---------------------------------------------------------------------------
+
+#[test]
+fn latch_teardown_fixed_is_exhaustively_clean() {
+    let report = explore(
+        "latch_teardown_fixed",
+        Config::default(),
+        latch::teardown_model(true),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete, "2-thread latch model must be exhaustible");
+}
+
+/// The PR 5 regression, revert side: with the decrement outside the
+/// latch lock the explorer must find the waiter freeing the frame
+/// while the notifier still has latch operations pending.
+#[test]
+fn latch_uaf_regression_found_when_fix_reverted() {
+    let report = explore(
+        "latch_teardown_prefix",
+        Config::default(),
+        latch::teardown_model(false),
+    );
+    let failure = report.failure.expect("pre-fix done_one must UAF");
+    assert!(
+        failure.message.contains("use-after-free"),
+        "unexpected message: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("waiter-frame"),
+        "report should name the freed frame: {}",
+        failure.message
+    );
+
+    // And the failure replays deterministically from its seed.
+    let replayed = replay(
+        "latch_teardown_prefix",
+        &failure.seed,
+        Config::default(),
+        latch::teardown_model(false),
+    );
+    assert_eq!(replayed.failure.unwrap().message, failure.message);
+}
+
+/// Weakest-ordering exploration (satellite: ordering audit). On the
+/// teardown path the latch-lock round-trips carry happens-before even
+/// with every atomic demoted to `Relaxed` — so the model stays clean...
+#[test]
+fn latch_teardown_fixed_survives_weakened_orderings() {
+    let report = explore(
+        "latch_teardown_fixed_weak",
+        Config::default().weakened(),
+        latch::teardown_model(true),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete);
+}
+
+/// ...while on the probe-only path (no teardown round-trip) the
+/// `AcqRel` decrement → `Acquire` probe pair is the *only* edge
+/// publishing the result write: clean as declared, racy when weakened.
+/// This is the machine-checked justification for the `Ordering`
+/// comments on `CountLatch::{done_one, probe}` in pool.rs.
+#[test]
+fn latch_probe_orderings_are_load_bearing() {
+    let declared = explore(
+        "latch_probe_publish",
+        Config::default(),
+        latch::probe_publish_model(),
+    );
+    assert!(declared.passed(), "{declared}");
+    assert!(declared.complete);
+
+    let weakened = explore(
+        "latch_probe_publish_weak",
+        Config::default().weakened(),
+        latch::probe_publish_model(),
+    );
+    let failure = weakened
+        .failure
+        .expect("relaxed probe/decrement must lose the publication edge");
+    assert!(
+        failure.message.contains("data race on 'job.result'"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn latch_multi_notifier_is_clean_three_threads() {
+    let report = explore(
+        "latch_multi_notifier",
+        Config::default().preemptions(2).schedules(200_000),
+        latch::multi_notifier_model(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Queue / join / chunks / scope protocol models
+// ---------------------------------------------------------------------------
+
+#[test]
+fn queue_delivers_exactly_once_two_threads() {
+    let report = explore(
+        "queue_exactly_once_1w",
+        Config::default(),
+        queue::exactly_once_model(1, 2),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete);
+}
+
+#[test]
+fn queue_delivers_exactly_once_three_threads() {
+    let report = explore(
+        "queue_exactly_once_2w",
+        Config::default().preemptions(1).schedules(200_000),
+        queue::exactly_once_model(2, 2),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn queue_steal_back_is_exclusive() {
+    let report = explore(
+        "queue_steal_back",
+        Config::default(),
+        queue::steal_back_model(),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete);
+}
+
+#[test]
+fn join_runs_second_closure_exactly_once() {
+    let report = explore(
+        "join_steal_back",
+        Config::default().preemptions(2).schedules(200_000),
+        join::join_steal_back_model(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn chunk_batch_preserves_order_and_runs_each_chunk_once() {
+    let report = explore(
+        "chunk_batch",
+        Config::default().preemptions(2).schedules(200_000),
+        chunks::chunk_batch_model(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn scope_waits_for_spawns_and_propagates_first_panic() {
+    let report = explore(
+        "scope_panic",
+        Config::default().preemptions(2).schedules(200_000),
+        scope::scope_panic_model(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Passthrough mode: outside a model the shims behave like std
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shims_pass_through_outside_models() {
+    let lock = Mutex::new(5u32);
+    *lock.lock().unwrap() += 1;
+    assert_eq!(*lock.lock().unwrap(), 6);
+
+    let atomic = pp_check::sync::AtomicUsize::new(1);
+    assert_eq!(atomic.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(atomic.load(Ordering::Acquire), 3);
+    assert_eq!(
+        atomic.compare_exchange(3, 7, Ordering::AcqRel, Ordering::Acquire),
+        Ok(3)
+    );
+
+    let cell = RaceCell::new(1u32);
+    cell.write(2);
+    assert_eq!(cell.swap(3), 2);
+    assert_eq!(cell.read(), 3);
+
+    let frame = Frame::new("passthrough");
+    frame.touch("anything");
+    frame.free();
+
+    // Condvar + real threads, std semantics.
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let pair2 = Arc::clone(&pair);
+    let handle = std::thread::spawn(move || {
+        *pair2.0.lock().unwrap() = true;
+        pair2.1.notify_all();
+    });
+    let mut started = pair.0.lock().unwrap();
+    while !*started {
+        let (guard, _timeout) = pair
+            .1
+            .wait_timeout(started, std::time::Duration::from_millis(10))
+            .unwrap();
+        started = guard;
+    }
+    handle.join().unwrap();
+
+    let counter = StdAtomicUsize::new(0);
+    counter.fetch_add(1, Ordering::SeqCst);
+    assert_eq!(counter.load(Ordering::SeqCst), 1);
+}

@@ -38,6 +38,8 @@
 //! assert!(t.mark(1));  // 11 removed — last blocker: wake vertex 14
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod frontier;
 pub mod rank;
 pub mod reservations;

@@ -21,6 +21,8 @@
 //!
 //! See DESIGN.md §2 for the substitution rationale.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod builder;
 pub mod chunk;

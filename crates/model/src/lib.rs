@@ -33,6 +33,8 @@
 //! accounting, not speed); algorithms are expressed against [`Sim`]
 //! mirrors of the real implementations.
 
+#![forbid(unsafe_code)]
+
 pub mod mis_sim;
 pub mod phase;
 pub mod primitives;

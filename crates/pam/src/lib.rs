@@ -36,6 +36,8 @@
 //! assert_eq!(t.aug_left(&25), 20);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod multimap;
 pub mod nested;

@@ -28,6 +28,8 @@
 //! Rust throughout, and fall back to tight sequential loops below a grain
 //! size so that small inputs do not pay fork-join overhead.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod histogram;
 pub mod list_contract;
 pub mod list_rank;

@@ -115,6 +115,8 @@ where
 /// A raw pointer wrapper asserting cross-thread use is safe because every
 /// thread writes a disjoint slot (guaranteed by the exclusive scan).
 pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+// SAFETY: the exclusive scan hands every thread a disjoint slot range,
+// so concurrent writes through the shared pointer never alias.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {

@@ -26,6 +26,8 @@ const SEQ_CUTOFF: usize = 1 << 14;
 /// offset matrix assigns every (chunk, bucket) pair a disjoint output
 /// range, so no two workers ever write the same index.
 struct SharedOut<T>(*mut T);
+// SAFETY: the offset matrix gives every (chunk, bucket) pair a disjoint
+// output range, so no two workers ever write the same index.
 unsafe impl<T: Send> Send for SharedOut<T> {}
 unsafe impl<T: Send> Sync for SharedOut<T> {}
 

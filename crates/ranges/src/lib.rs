@@ -21,6 +21,8 @@
 //!   "finish" updates. Work `O(log^2 n)` per operation, batch updates with
 //!   `O(log^2 n)` span — matching Theorem 2.1 for k = 2.
 
+#![forbid(unsafe_code)]
+
 pub mod fenwick;
 pub mod range2d;
 pub mod range3d;

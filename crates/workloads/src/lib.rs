@@ -50,6 +50,8 @@
 //! # Ok::<(), pp_workloads::ScenarioError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod error;
 pub mod spec;

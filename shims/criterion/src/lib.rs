@@ -9,6 +9,8 @@
 //! printed. Statistical rigor (outlier analysis, HTML reports) returns
 //! by pointing the workspace `criterion` dependency at crates.io.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

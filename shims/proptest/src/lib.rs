@@ -11,6 +11,8 @@
 //! same case. Full proptest returns by pointing the workspace
 //! `proptest` dependency at crates.io.
 
+#![forbid(unsafe_code)]
+
 /// Error carried out of a failing property (the `prop_assert*` macros
 /// produce it; the runner turns it into a panic with context).
 #[derive(Debug)]

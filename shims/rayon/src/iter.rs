@@ -164,6 +164,8 @@ pub trait Producer: Send + Sized {
 /// A raw pointer that asserts cross-thread use is safe because every
 /// chunk writes a disjoint index range.
 struct SendPtr<T>(*mut T);
+// SAFETY: every chunk writes only its own disjoint index range (see the
+// drivers below), so concurrent use never aliases a slot.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 impl<T> SendPtr<T> {
@@ -327,6 +329,9 @@ impl<T> Drop for RawVecAlloc<T> {
         unsafe { drop(Vec::from_raw_parts(self.ptr, 0, self.cap)) }
     }
 }
+// SAFETY: the alloc itself is only ever *dropped* through the Arc (no
+// element access); element reads go through producers/iterators that
+// exclusively cover disjoint subranges of `T: Send` elements.
 unsafe impl<T: Send> Send for RawVecAlloc<T> {}
 unsafe impl<T: Send> Sync for RawVecAlloc<T> {}
 
@@ -339,6 +344,9 @@ pub struct VecProducer<T: Send> {
     len: usize,
 }
 
+// SAFETY: a producer owns the `[start, start+len)` subrange exclusively
+// (splits partition the range), so moving it across threads moves `len`
+// `T: Send` values and an Arc.
 unsafe impl<T: Send> Send for VecProducer<T> {}
 
 impl<T: Send> Drop for VecProducer<T> {
@@ -359,6 +367,8 @@ pub struct VecChunkIter<T: Send> {
     remaining: usize,
 }
 
+// SAFETY: like its producer, the iterator exclusively owns the
+// `[cur, cur+remaining)` subrange of `T: Send` elements.
 unsafe impl<T: Send> Send for VecChunkIter<T> {}
 
 impl<T: Send> Iterator for VecChunkIter<T> {
@@ -406,6 +416,8 @@ impl<T: Send> Producer for VecProducer<T> {
         };
         let right = VecProducer {
             alloc,
+            // SAFETY: `index <= len` (split contract), so the offset
+            // stays inside this producer's owned range.
             start: unsafe { this.start.add(index) },
             len: this.len - index,
         };
@@ -1137,8 +1149,13 @@ impl<P: Producer> ParallelIterator for IndexedPar<P> {
             self.min_len,
             self.max_len,
             |offset, chunk| {
+                // SAFETY: `offset + chunk.len() <= len` (run_split
+                // contract), all within the reserved spare capacity.
                 let mut ptr = unsafe { base_ptr.get().add(offset) };
                 for item in chunk.into_seq_iter() {
+                    // SAFETY: this chunk exclusively owns its target
+                    // subrange; `ptr` stays within it (one write per
+                    // yielded item, chunk length many items).
                     unsafe {
                         ptr.write(item);
                         ptr = ptr.add(1);
@@ -1146,6 +1163,8 @@ impl<P: Producer> ParallelIterator for IndexedPar<P> {
                 }
             },
         );
+        // SAFETY: every chunk completed (run_split blocks on the batch
+        // latch), so all `len` new slots are initialized.
         unsafe { out.set_len(base_len + len) };
     }
 }

@@ -30,6 +30,8 @@
 //! outputs do not depend on the worker count — the property the
 //! workspace's cross-thread-count conformance suite pins down.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod iter;
 mod pool;
 pub mod slice;

@@ -27,9 +27,19 @@
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+#[cfg(not(pp_check))]
+use std::sync::atomic::AtomicUsize;
+#[cfg(not(pp_check))]
+use std::sync::{Condvar, Mutex};
+// Under `--cfg pp_check` the pool compiles against the model checker's
+// instrumented drop-in shims (`pp_check::sync`): identical API, std
+// passthrough outside a model, schedule-exploration hooks inside one.
+#[cfg(pp_check)]
+use pp_check::sync::{AtomicUsize, Condvar, Mutex};
 
 /// Upper bound a builder accepts for [`num_threads`]
 /// (`ThreadPoolBuilder::num_threads`): requests beyond this are
@@ -62,7 +72,10 @@ impl JobRef {
     /// # Safety
     /// The referent must still be alive and not yet executed.
     pub(crate) unsafe fn execute(self) {
-        (self.execute)(self.data)
+        // SAFETY: the caller upholds this type's contract (referent
+        // alive, at most one execution), which is exactly what the
+        // erased entry point requires of `data`.
+        unsafe { (self.execute)(self.data) }
     }
 }
 
@@ -91,6 +104,13 @@ impl CountLatch {
     /// Add `n` pending completions (used by [`crate::scope`], whose job
     /// count is not known up front).
     pub(crate) fn add(&self, n: usize) {
+        // Ordering: `Relaxed` suffices — `add` always runs *before* the
+        // jobs it accounts for are published to the queue, and the
+        // queue mutex orders the publication; the count can therefore
+        // never be observed too low by a completing job. Verified by
+        // exhaustive weakened-ordering exploration of the scope model
+        // (`pp_check::models::scope`), which calls `add` with `Relaxed`
+        // semantics and stays race-free.
         self.remaining.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -106,6 +126,14 @@ impl CountLatch {
     /// `fetch_sub` and its `notify_all` — a use-after-free.
     pub(crate) fn done_one(&self) {
         let guard = self.lock.lock().unwrap();
+        // Ordering: `AcqRel`. The `Release` half publishes the result
+        // writes the executing thread made before `done_one`; the
+        // `Acquire` half makes the last decrementer see every earlier
+        // notifier's writes before it wakes the waiters. The model
+        // checker proves this pair is load-bearing: the probe-only
+        // model (`pp_check::models::latch::probe_publish_model`) is
+        // clean as declared and races when the pair is demoted to
+        // `Relaxed` (`latch_probe_orderings_are_load_bearing`).
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.cond.notify_all();
         }
@@ -116,6 +144,9 @@ impl CountLatch {
     /// with the `AcqRel` decrement so result writes made before
     /// [`CountLatch::done_one`] are visible after a `true` probe.
     pub(crate) fn probe(&self) -> bool {
+        // Ordering: `Acquire`, the read half of the publication edge
+        // described on `done_one` — demoting either side to `Relaxed`
+        // makes the probe-only latch model race on the result slot.
         self.remaining.load(Ordering::Acquire) == 0
     }
 
@@ -411,25 +442,47 @@ where
         JobRef::new(self as *const Self as *const (), Self::execute_erased)
     }
 
+    /// # Safety
+    /// `data` must point at a live `StackJob` whose closure has not
+    /// been taken; the queue must hand it to at most one executor.
     unsafe fn execute_erased(data: *const ()) {
-        let this = &*(data as *const Self);
-        let func = (*this.func.get()).take().expect("job executed twice");
+        // SAFETY: the spawning frame blocks on the latch until this
+        // function has run, so the referent is alive for its duration.
+        let this = unsafe { &*(data as *const Self) };
+        // SAFETY: exactly one thread executes the job (queue contract),
+        // and the spawner only touches `func` after a successful
+        // steal-back — which forfeits execution — so this access is
+        // exclusive.
+        let func = unsafe { (*this.func.get()).take() }.expect("job executed twice");
         let result = panic::catch_unwind(AssertUnwindSafe(func));
-        *this.result.get() = Some(result);
+        // SAFETY: the result slot is written once, here, before the
+        // latch opens; the waiter reads it only after a true probe,
+        // which the latch's release/acquire pair orders after this.
+        unsafe { *this.result.get() = Some(result) };
         this.latch.done_one();
     }
 
     /// Take the closure back out (only valid after a successful
     /// [`Registry::steal_back`], i.e. before any execution).
+    ///
+    /// # Safety
+    /// No thread may have executed — or be executing — this job; a
+    /// successful steal-back is the only way to establish that.
     unsafe fn take_func(&self) -> F {
-        (*self.func.get()).take().expect("job already executed")
+        // SAFETY: per the contract above the job was reclaimed
+        // unexecuted, so no other thread can reach this slot anymore.
+        unsafe { (*self.func.get()).take() }.expect("job already executed")
     }
 
     /// Take the result out (only valid once the latch has opened).
+    ///
+    /// # Safety
+    /// The job's latch must have opened (`wait_latch` returned): the
+    /// executor is done with both slots and will not touch them again.
     unsafe fn take_result(&self) -> std::thread::Result<R> {
-        (*self.result.get())
-            .take()
-            .expect("latch opened, result set")
+        // SAFETY: the open latch happens-after the executor's result
+        // write, so this read is ordered and exclusive.
+        unsafe { (*self.result.get()).take() }.expect("latch opened, result set")
     }
 }
 
@@ -534,13 +587,26 @@ where
     R: Send,
     F: Fn(C) -> R + Sync,
 {
+    /// # Safety
+    /// `data` must point at a live `ChunkJob` (the `run_chunks` frame
+    /// blocks on the batch latch, keeping the whole batch alive) that
+    /// has not executed yet.
     unsafe fn execute_erased(data: *const ()) {
-        let this = &*(data as *const Self);
-        let shared = &*this.shared;
-        let input = (*this.input.get()).take().expect("chunk executed twice");
-        let fold = &*shared.fold;
+        // SAFETY: the batch frame outlives the latch it waits on, and
+        // the queue hands each chunk to exactly one thread.
+        let this = unsafe { &*(data as *const Self) };
+        // SAFETY: `shared` points into the same still-blocked frame.
+        let shared = unsafe { &*this.shared };
+        // SAFETY: only the executing thread touches this chunk's input
+        // slot (written once at construction, taken once here).
+        let input = unsafe { (*this.input.get()).take() }.expect("chunk executed twice");
+        // SAFETY: the fold closure lives in the blocked frame and is
+        // only accessed through shared references (`F: Sync`).
+        let fold = unsafe { &*shared.fold };
         let result = panic::catch_unwind(AssertUnwindSafe(|| fold(input)));
-        *this.result.get() = Some(result);
+        // SAFETY: written once, before this chunk's `done_one`; the
+        // caller reads it only after the whole batch latch opened.
+        unsafe { *this.result.get() = Some(result) };
         shared.latch.done_one();
     }
 }
@@ -622,9 +688,17 @@ struct ScopeJob<'scope> {
 }
 
 impl<'scope> ScopeJob<'scope> {
+    /// # Safety
+    /// `data` must be the `Box::into_raw` of a `ScopeJob` handed to
+    /// exactly one executor, and the scope it points into must still be
+    /// blocked inside [`scope`].
     unsafe fn execute_erased(data: *const ()) {
-        let mut this = Box::from_raw(data as *mut ScopeJob<'scope>);
-        let scope = &*this.scope;
+        // SAFETY: `data` came from Box::into_raw in `Scope::spawn` and
+        // reaches exactly one executor, which reclaims the box here.
+        let mut this = unsafe { Box::from_raw(data as *mut ScopeJob<'scope>) };
+        // SAFETY: `scope()` blocks on its latch — which counts this job
+        // — before dropping the `Scope`, so the pointer is live.
+        let scope = unsafe { &*this.scope };
         let func = this.func.take().expect("scope job executed twice");
         if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| func(scope))) {
             let mut slot = scope.panic.lock().unwrap();
