@@ -83,6 +83,7 @@ pub mod matching;
 pub mod mis;
 pub mod random_perm;
 pub mod registry;
+pub mod serving;
 pub mod sssp;
 pub mod whac;
 

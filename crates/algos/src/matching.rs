@@ -98,11 +98,13 @@ pub fn matching_par_prepared(
                 min_pri[v as usize].fetch_min(p, Ordering::Relaxed);
             });
         }
-        // Ready: locally minimum at both endpoints.
+        // Ready: locally minimum at both endpoints. Ready edges leave
+        // the live set here (they are about to be matched, so the
+        // matched-endpoint retain below would drop them anyway).
         ready.clear();
         {
             let min_pri = &min_pri;
-            live.collect_filtered_into(&mut ready, |e| {
+            live.extract_retain(&mut ready, |e| {
                 let (u, v) = edges[e as usize];
                 let p = priority[e as usize];
                 min_pri[u as usize].load(Ordering::Relaxed) == p

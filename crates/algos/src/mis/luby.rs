@@ -41,9 +41,11 @@ pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
         let val = |v: u32| (hash64(seed ^ round, u64::from(v)), v);
         edge_checks += live.sum_map(|v| g.degree(v) as u64);
         winners.clear();
+        // Winners leave the live set as they are found (they get
+        // `removed` below, so the retain would drop them anyway).
         {
             let removed = &removed;
-            live.collect_filtered_into(&mut winners, |v| {
+            live.extract_retain(&mut winners, |v| {
                 g.neighbors(v)
                     .iter()
                     .all(|&u| removed[u as usize] || val(v) < val(u))

@@ -32,9 +32,11 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
         edge_checks += undecided.sum_map(|v| g.degree(v) as u64);
         // Ready: every higher-priority neighbor is removed.
         ready.clear();
+        // Ready vertices leave the set as they are found (they become
+        // SELECTED below, so the status retain would drop them anyway).
         {
             let status = &status;
-            undecided.collect_filtered_into(&mut ready, |v| {
+            undecided.extract_retain(&mut ready, |v| {
                 g.neighbors(v).iter().all(|&u| {
                     priority[u as usize] < priority[v as usize] || status[u as usize] == REMOVED
                 })

@@ -228,6 +228,7 @@ pub struct AlgorithmEntry {
     runner: fn(&CaseSpec, &RunConfig) -> CaseOutcome,
     batch_runner: fn(&CaseSpec, &[RunConfig], &RunConfig) -> Vec<CaseOutcome>,
     probe_runner: fn(&CaseSpec, &RunConfig) -> ScratchProbe,
+    serve_runner: fn(&CaseSpec, &RunConfig) -> crate::serving::SharedPrepared,
 }
 
 impl AlgorithmEntry {
@@ -316,6 +317,20 @@ impl AlgorithmEntry {
         (self.probe_runner)(case, cfg)
     }
 
+    /// Generate the instance for `case`, pin and `prepare` it once, and
+    /// hand back an owned, `Arc`-shared handle many workers can query
+    /// concurrently — the serving tier's unit of caching. Generation is
+    /// deterministic in `(case, cfg)`, so two calls with the same case
+    /// produce interchangeable instances; the handle's cost estimate is
+    /// [`crate::serving::estimated_cost_bytes`] of the case size.
+    pub fn prepare_shared(
+        &self,
+        case: &CaseSpec,
+        cfg: &RunConfig,
+    ) -> crate::serving::SharedPrepared {
+        (self.serve_runner)(case, cfg)
+    }
+
     /// [`AlgorithmEntry::run_batch`] with scenario-compatibility
     /// checking.
     pub fn try_run_batch(
@@ -375,6 +390,14 @@ pub fn registry() -> &'static [AlgorithmEntry] {
                 probe_runner: |case, cfg| {
                     let input = $gen(case, cfg);
                     run_typed_probe(&$algo, &input, cfg)
+                },
+                serve_runner: |case, cfg| {
+                    crate::serving::SharedPrepared::new(
+                        $name,
+                        $algo,
+                        $gen(case, cfg),
+                        crate::serving::estimated_cost_bytes(case.size),
+                    )
                 },
             }
         };

@@ -117,10 +117,9 @@ fn crauser_out_core(
             })
             .unwrap();
         batch.clear();
-        active.collect_filtered_into(&mut batch, |v| {
+        active.extract_retain(&mut batch, |v| {
             dist_ref[v as usize].load(Ordering::Relaxed) <= threshold
         });
-        active.retain(|v| dist_ref[v as usize].load(Ordering::Relaxed) > threshold);
         debug_assert!(!batch.is_empty(), "OUT-criterion must make progress");
         stats.record_round(batch.len());
 

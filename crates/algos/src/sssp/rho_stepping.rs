@@ -110,10 +110,9 @@ fn rho_stepping_core(
             active.map_into(&mut ds, |v| dist_ref[v as usize].load(Ordering::Relaxed));
             let (_, thr, _) = ds.select_nth_unstable(rho - 1);
             let thr = *thr;
-            active.collect_filtered_into(&mut batch, |v| {
+            active.extract_retain(&mut batch, |v| {
                 dist_ref[v as usize].load(Ordering::Relaxed) <= thr
             });
-            active.retain(|v| dist_ref[v as usize].load(Ordering::Relaxed) > thr);
         }
         stats.record_round(batch.len());
 

@@ -18,6 +18,14 @@
 //!   distance arrays, bucket queues and the frontier engine through a
 //!   `Scratch` workspace.
 //!
+//! On top of the sweep, **served** rows measure the `pp-serve` tier: a
+//! deterministic Zipf query trace replayed through the scenario-keyed
+//! instance cache on a worker pool, reported as latency percentiles
+//! (`p50_ns` / `p99_ns`), aggregate `qps`, and `cache_hit_rate` — one
+//! trace per scenario family plus a mixed trace across all of them.
+//! Every served leg is digest-checked against the freshly-prepared
+//! reference before its row is emitted.
+//!
 //! Output: one JSON document with a stable row schema — `(scenario,
 //! family, tier, threads, backend, ns_per_query, qps, speedup_vs_1t)`
 //! — printed to stdout *and* written to `BENCH_throughput.json` at the
@@ -44,7 +52,8 @@
 use phase_parallel::{PhaseAlgorithm, RunConfig, Solver};
 use pp_algos::api::{DeltaSssp, DijkstraSssp, SsspInstance};
 use pp_graph::{Graph, GraphBuilder};
-use pp_workloads::ScenarioSpec;
+use pp_serve::{ServeOptions, ServingTier};
+use pp_workloads::{QueryTrace, ScenarioSpec, TraceConfig};
 use std::time::Instant;
 
 /// The scenario families the tiers sweep: one per qualitatively
@@ -141,6 +150,59 @@ where
     }
 }
 
+/// One serving-tier measurement: replay a Zipf trace through a
+/// [`ServingTier`] (instance cache + shared prepared instances) and
+/// append a row with the latency percentiles, throughput, and the cache
+/// hit rate. The served digest is checked against the freshly-prepared
+/// reference on every leg — a bench row is only worth keeping if the
+/// answers behind it are right.
+#[allow(clippy::too_many_arguments)]
+fn bench_serving(
+    rows: &mut Vec<String>,
+    scenario_label: &str,
+    specs: &[ScenarioSpec],
+    n_target: usize,
+    trace_queries: usize,
+    threads: usize,
+    unprepared_1t_ns: f64,
+) {
+    let trace = QueryTrace::generate(specs, &TraceConfig::new(trace_queries, 42));
+    let tier = ServingTier::new(
+        "sssp/delta",
+        ServeOptions::new(n_target, 1).with_threads(threads),
+    )
+    .expect("serving entry");
+    let report = tier.serve_trace(&trace);
+    assert_eq!(
+        report.digest,
+        tier.reference_digest(&trace),
+        "{scenario_label}: served trace diverged from the freshly-prepared reference"
+    );
+    let p50 = report.latency.quantile(0.5).unwrap_or(0);
+    let p99 = report.latency.quantile(0.99).unwrap_or(0);
+    // The amortization tripwire the serving tier exists for: a served
+    // median query must leave the rebuild-per-query tier far behind.
+    if threads == 1 && unprepared_1t_ns > 0.0 {
+        let speedup = unprepared_1t_ns / p50.max(1) as f64;
+        if speedup < 3.0 {
+            eprintln!(
+                "warning: {scenario_label}: served p50 ({p50} ns) only {speedup:.1}x \
+                 faster than the unprepared rebuild tier ({unprepared_1t_ns:.0} ns)"
+            );
+        }
+    }
+    rows.push(format!(
+        "    {{\"scenario\": \"{scenario_label}\", \"family\": \"sssp/delta\", \
+         \"tier\": \"served\", \"threads\": {threads}, \
+         \"backend\": \"parallel\", \"vertices\": {n_target}, \
+         \"queries\": {}, \"p50_ns\": {p50}, \"p99_ns\": {p99}, \
+         \"qps\": {:.2}, \"cache_hit_rate\": {:.4}}}",
+        trace.len(),
+        report.qps(),
+        report.counters.hit_rate(),
+    ));
+}
+
 /// Repository root, resolved relative to this crate's manifest so the
 /// JSON lands in the same place no matter the working directory.
 fn default_out_path() -> std::path::PathBuf {
@@ -154,6 +216,10 @@ fn main() {
     } else {
         (4000 * pp_bench::scale(), 40)
     };
+    // Zipf trace length for the serving rows: long enough that the cold
+    // misses (leaders + any coalesced followers) stay under a tenth of
+    // the trace.
+    let serve_queries = if smoke { 64 } else { 200 };
     // Smoke keeps the 1- and 8-thread legs so the scaling tripwire
     // below still observes the real pool on every CI run.
     let thread_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 4, 8] };
@@ -168,6 +234,7 @@ fn main() {
         let queries: Vec<RunConfig> = (0..n_queries as u64)
             .map(|i| RunConfig::seeded(i).with_source((pp_parlay::hash64(7, i) % n as u64) as u32))
             .collect();
+        let mut delta_unprepared_1t_ns = 0.0f64;
         for (family, runner) in [
             (
                 "sssp/delta",
@@ -186,6 +253,9 @@ fn main() {
                 tiers[0].0, 1,
                 "first thread leg must be the 1-thread baseline"
             );
+            if family == "sssp/delta" {
+                delta_unprepared_1t_ns = tiers[0].1.unprepared;
+            }
             let mut prepared_qps_1t = 0.0f64;
             let mut prepared_qps_max = 0.0f64;
             for (threads, tier) in &tiers {
@@ -222,11 +292,46 @@ fn main() {
                 eprintln!(
                     "warning: {key} {family}: prepared qps at {} threads \
                      ({prepared_qps_max:.0}) <= 1-thread qps ({prepared_qps_1t:.0}) — \
-                     no thread scaling observed (expected on single-core runners)",
+                     no thread scaling observed (nproc={}; expected on single-core runners)",
                     thread_counts.last().unwrap(),
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1),
                 );
             }
         }
+        // Serving tier: a Zipf source trace against this one scenario
+        // through the instance cache — the cold query pays the
+        // preparation, the steady state is all hits.
+        for &threads in thread_counts {
+            bench_serving(
+                &mut rows,
+                key,
+                std::slice::from_ref(&spec),
+                n_target,
+                serve_queries,
+                threads,
+                delta_unprepared_1t_ns,
+            );
+        }
+    }
+    // One mixed trace across every scenario family: scenario choice and
+    // source choice both Zipf-skewed, the LRU cache holding the hot
+    // working set of prepared instances.
+    let all_specs: Vec<ScenarioSpec> = SCENARIOS
+        .iter()
+        .map(|key| ScenarioSpec::parse(key).expect("scenario key"))
+        .collect();
+    for &threads in thread_counts {
+        bench_serving(
+            &mut rows,
+            "trace:zipf-mixed",
+            &all_specs,
+            n_target,
+            2 * serve_queries,
+            threads,
+            0.0,
+        );
     }
     if scaling_warnings > 0 {
         eprintln!("warning: {scaling_warnings} scenario/family pairs showed no thread scaling");

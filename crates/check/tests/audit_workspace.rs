@@ -38,6 +38,7 @@ fn audit_covers_every_member_crate() {
         "pp-graph",
         "pp-model",
         "pp-workloads",
+        "pp-serve",
         "pp-bench",
         "pp-check",
         "rayon",

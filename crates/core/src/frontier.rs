@@ -423,6 +423,113 @@ impl Frontier {
         }
     }
 
+    /// Fused extract + retain: append every member passing `pred` to
+    /// `out` (in the same order [`Frontier::collect_filtered_into`]
+    /// would produce) and remove it from the frontier; members failing
+    /// `pred` stay. Semantically identical to
+    /// `collect_filtered_into(out, &pred)` followed by
+    /// `retain(|v| !pred(v))`, but in **one scan with one predicate
+    /// evaluation per member** — the hot-path fusion for round loops
+    /// that split a frontier into "process now" and "keep waiting"
+    /// (Crauser/ρ-stepping threshold extraction, matching/MIS ready-set
+    /// selection). Counted as one round in the representation counters.
+    pub fn extract_retain(&mut self, out: &mut Vec<u32>, pred: impl Fn(u32) -> bool + Sync) {
+        let before = out.len();
+        if self.dense {
+            let epoch = self.epoch;
+            let stamps = &self.stamps;
+            // One pass over the universe: extracted members leave the
+            // bitmap (stamp cleared) as they are appended, so the
+            // survivor set is exactly what remains stamped.
+            out.par_extend(
+                (0..self.n as u32)
+                    .into_par_iter()
+                    .with_min_len(PAR_GRAIN)
+                    .filter(|&v| {
+                        let s = &stamps[v as usize];
+                        if s.load(Ordering::Relaxed) != epoch {
+                            return false;
+                        }
+                        if pred(v) {
+                            // 0 can never equal a live epoch (epochs are
+                            // ≥ 1 and the wraparound zeroes every stamp).
+                            s.store(0, Ordering::Relaxed);
+                            true
+                        } else {
+                            false
+                        }
+                    }),
+            );
+            self.len -= out.len() - before;
+            if !self.pick_dense(self.len) {
+                // Downgrade: materialize the (now small) survivor list.
+                let stamps = &self.stamps;
+                self.verts.clear();
+                self.verts.par_extend(
+                    (0..self.n as u32)
+                        .into_par_iter()
+                        .with_min_len(PAR_GRAIN)
+                        .filter(|&v| stamps[v as usize].load(Ordering::Relaxed) == epoch),
+                );
+                self.dense = false;
+                self.sparse_rounds += 1;
+            } else {
+                self.dense_rounds += 1;
+            }
+        } else {
+            // Survivors are re-marked under a fresh epoch (as in
+            // `retain`) so extracted members genuinely leave the set.
+            std::mem::swap(&mut self.verts, &mut self.spare);
+            self.advance_epoch();
+            let epoch = self.epoch;
+            let stamps = &self.stamps;
+            self.verts.clear();
+            if self.spare.len() <= SEQ_GRAIN {
+                for &v in &self.spare {
+                    if pred(v) {
+                        out.push(v);
+                    } else if stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch {
+                        self.verts.push(v);
+                    }
+                }
+            } else {
+                // Parallel partition: per-chunk (extracted, kept) pairs
+                // come back in chunk order, so both output orders match
+                // the sequential path's.
+                let parts: Vec<(Vec<u32>, Vec<u32>)> = self
+                    .spare
+                    .par_iter()
+                    .with_min_len(PAR_GRAIN)
+                    .copied()
+                    .fold(
+                        || (Vec::new(), Vec::new()),
+                        |(mut take, mut keep), v| {
+                            if pred(v) {
+                                take.push(v);
+                            } else if stamps[v as usize].swap(epoch, Ordering::Relaxed) != epoch {
+                                keep.push(v);
+                            }
+                            (take, keep)
+                        },
+                    )
+                    .collect();
+                for (take, keep) in parts {
+                    out.extend_from_slice(&take);
+                    self.verts.extend_from_slice(&keep);
+                }
+            }
+            self.len = self.verts.len();
+            if self.pick_dense(self.len) {
+                // Upgrade is free: every survivor already carries the
+                // current epoch stamp.
+                self.dense = true;
+                self.dense_rounds += 1;
+            } else {
+                self.sparse_rounds += 1;
+            }
+        }
+    }
+
     /// Empty the frontier (`O(1)`: one epoch increment).
     pub fn clear_members(&mut self) {
         self.advance_epoch();
@@ -634,6 +741,75 @@ mod tests {
         assert_eq!(f.len(), 4);
         assert!((0..4).all(|v| f.contains(v)));
         assert!(!f.contains(4));
+    }
+
+    #[test]
+    fn extract_retain_matches_collect_plus_retain() {
+        // Both representations, several split points: the fused scan
+        // must produce the exact batch collect_filtered_into would and
+        // leave the exact survivors retain would.
+        for n in [16usize, 64, 4096] {
+            for modulus in [2u32, 3, 7] {
+                let members: Vec<u32> = (0..n as u32).filter(|v| v % 5 != 0).collect();
+                let pred = |v: u32| v.is_multiple_of(modulus);
+
+                let mut reference = Frontier::new();
+                reference.reset(n);
+                reference.fill(&members);
+                let mut want_batch = Vec::new();
+                reference.collect_filtered_into(&mut want_batch, pred);
+                reference.retain(|v| !pred(v));
+
+                let mut fused = Frontier::new();
+                fused.reset(n);
+                fused.fill(&members);
+                let mut got_batch = Vec::new();
+                fused.extract_retain(&mut got_batch, pred);
+
+                assert_eq!(got_batch, want_batch, "n={n} modulus={modulus}");
+                assert_eq!(fused.len(), reference.len(), "n={n} modulus={modulus}");
+                let mut got_rest = Vec::new();
+                fused.collect_into(&mut got_rest);
+                let mut want_rest = Vec::new();
+                reference.collect_into(&mut want_rest);
+                got_rest.sort_unstable();
+                want_rest.sort_unstable();
+                assert_eq!(got_rest, want_rest, "n={n} modulus={modulus}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_retain_downgrades_like_retain() {
+        let mut f = Frontier::new();
+        f.reset(64);
+        let all: Vec<u32> = (0..64).collect();
+        f.fill(&all);
+        assert!(f.is_dense());
+        let mut batch = Vec::new();
+        f.extract_retain(&mut batch, |v| v >= 4);
+        assert_eq!(batch.len(), 60);
+        assert!(!f.is_dense(), "4 * 8 < 64 must downgrade to sparse");
+        assert_eq!(f.len(), 4);
+        assert!((0..4).all(|v| f.contains(v)));
+        assert!(!f.contains(4));
+        // And the extracted members are genuinely gone: re-inserting
+        // one must grow the set again.
+        f.insert(63);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn extract_retain_sparse_appends_in_insertion_order() {
+        let mut f = Frontier::new();
+        f.reset(1024);
+        f.fill(&[9, 2, 30, 4, 17]);
+        assert!(!f.is_dense());
+        let mut batch = vec![99]; // appends, never clobbers
+        f.extract_retain(&mut batch, |v| v % 2 == 0);
+        assert_eq!(batch, vec![99, 2, 30, 4]);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(9) && f.contains(17));
     }
 
     #[test]

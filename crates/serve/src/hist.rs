@@ -1,0 +1,246 @@
+//! [`LatencyHistogram`]: an HDR-style log-linear histogram for
+//! per-query latencies in nanoseconds.
+//!
+//! The classic high-dynamic-range layout: values are bucketed by
+//! (power-of-two magnitude × linear sub-bucket), so the histogram
+//! covers the full `u64` nanosecond range — sub-microsecond scratch
+//! hits and multi-second cold preparations in one structure — at a
+//! bounded relative error of `1 / 2^SUB_BITS` (≈ 3%), in a fixed
+//! ~15 KiB of counts. Recording is a single increment (no allocation,
+//! no floating point), so it sits directly on the serving tier's hot
+//! path; percentile extraction walks the cumulative counts once.
+//!
+//! Per-worker histograms [`merge`](LatencyHistogram::merge) by bucket
+//! addition, which is exact — the merged percentiles equal those of a
+//! histogram that had recorded every sample itself.
+
+/// Linear sub-bucket resolution: each power-of-two magnitude splits
+/// into `2^SUB_BITS` buckets, bounding relative quantization error at
+/// `1 / 2^SUB_BITS` ≈ 3%.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u32 = 1 << SUB_BITS;
+
+/// Bucket count for the full `u64` range: one linear region for values
+/// below `2^SUB_BITS`, then `SUB_BUCKETS` buckets per remaining octave.
+const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS) * SUB_BUCKETS) as usize;
+
+/// Fixed-range log-linear latency histogram (nanosecond domain).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    /// Exact extremes (the tails percentile queries clamp to).
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index for `value`: identity in the linear region, then
+/// `(octave, sub-bucket)` above it.
+fn bucket_index(value: u64) -> usize {
+    if value < u64::from(SUB_BUCKETS) {
+        value as usize
+    } else {
+        let magnitude = 63 - value.leading_zeros(); // ≥ SUB_BITS
+        let sub = (value >> (magnitude - SUB_BITS)) & u64::from(SUB_BUCKETS - 1);
+        ((magnitude - SUB_BITS + 1) * SUB_BUCKETS) as usize + sub as usize
+    }
+}
+
+/// The largest value mapping to `index` — the representative percentile
+/// queries report, so a reported quantile is always ≥ the true one
+/// (conservative for latency SLOs).
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        index as u64
+    } else {
+        let octave = index as u32 / SUB_BUCKETS - 1;
+        let sub = (index as u32 % SUB_BUCKETS) as u64;
+        let base = 1u64 << (octave + SUB_BITS);
+        let width = 1u64 << octave;
+        // `base - 1` first: the topmost bucket's bound is exactly
+        // `u64::MAX`, and adding before subtracting would overflow.
+        base - 1 + (sub + 1) * width
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_index(nanos)] += 1;
+        self.total += 1;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Fold another histogram into this one (exact).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (`None` when empty):
+    /// the upper bound of the first bucket whose cumulative count
+    /// reaches `q · total`, clamped to the exact observed extremes.
+    /// `quantile(0.5)` is p50, `quantile(0.99)` p99.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q · total), floored at 1: the rank of the sample sought.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(bucket_upper_bound(index).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_upper_bound(bucket_index(v)), v);
+            h.record(v);
+        }
+        assert_eq!(h.count(), u64::from(SUB_BUCKETS));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(SUB_BUCKETS as u64 - 1));
+    }
+
+    #[test]
+    fn buckets_bound_relative_error() {
+        for v in [
+            40u64,
+            1_000,
+            12_345,
+            1_000_000,
+            987_654_321,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let upper = bucket_upper_bound(bucket_index(v));
+            assert!(upper >= v, "upper bound must not undershoot {v}");
+            let error = (upper - v) as f64 / v as f64;
+            assert!(error <= 1.0 / SUB_BUCKETS as f64, "{v}: error {error}");
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 3].map(|wiggle| (1u64 << shift).saturating_add(wiggle)))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "{v} → {idx}");
+            assert!(idx >= last, "index must not decrease at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        // 90 fast queries at ~1µs, 10 slow at ~1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((1_000..=1_100).contains(&p50), "p50 {p50}");
+        assert!((1_000_000..=1_100_000).contains(&p99), "p99 {p99}");
+        assert!(h.quantile(0.0).unwrap() >= 1_000);
+        assert_eq!(h.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut all = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * 37 + 11;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+    }
+}

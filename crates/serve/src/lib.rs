@@ -1,0 +1,290 @@
+//! # `pp-serve` — the concurrent serving tier
+//!
+//! The production-scale step the prepare/query split was built for:
+//! one process serving a heavy stream of point queries across many
+//! scenarios, the way a routing or analytics service would — prepare
+//! each instance **once**, share it immutably across every worker, keep
+//! the hot instances resident, and report tail latency, not just
+//! aggregate throughput.
+//!
+//! Three layers:
+//!
+//! * **Shared instances** — [`SharedPrepared`] (from
+//!   `pp_algos::serving`): an `Arc`-owned prepared instance any number
+//!   of workers query concurrently, each with its own
+//!   [`Scratch`]. The conformance contract —
+//!   shared-concurrent digests equal single-threaded prepared digests
+//!   equal one-shot digests, registry-wide — is enforced by this
+//!   crate's test suite.
+//! * **Instance cache** — [`InstanceCache`]: scenario-keyed LRU under a
+//!   cost budget, with single-flight preparation and monotone
+//!   hit/miss/coalesced/eviction counters (exported through
+//!   [`ExecutionStats`] named counters).
+//! * **Trace driver** — [`ServingTier`]: replays a deterministic
+//!   Zipf-skewed [`QueryTrace`] (from `pp_workloads::trace`) through
+//!   the cache on a worker pool, timing every query into an HDR-style
+//!   [`LatencyHistogram`] and digesting every answer so a served trace
+//!   can be checked against the freshly-prepared path bit-for-bit.
+//!
+//! ```
+//! use pp_serve::{ServeOptions, ServingTier};
+//! use pp_workloads::{QueryTrace, ScenarioSpec, TraceConfig};
+//!
+//! let scenarios = [
+//!     ScenarioSpec::parse("graph/rmat+w/uniform").unwrap(),
+//!     ScenarioSpec::parse("graph/grid2d+w/unit").unwrap(),
+//! ];
+//! let trace = QueryTrace::generate(&scenarios, &TraceConfig::new(40, 7));
+//! let tier = ServingTier::new("sssp/delta", ServeOptions::new(200, 3)).unwrap();
+//! let report = tier.serve_trace(&trace);
+//! assert_eq!(report.queries, 40);
+//! assert_eq!(report.digest, tier.reference_digest(&trace)); // served == fresh
+//! assert!(report.counters.hit_rate() > 0.9); // two tenants, forty queries
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod hist;
+
+pub use cache::{CacheCounters, InstanceCache};
+pub use hist::LatencyHistogram;
+pub use pp_algos::serving::{estimated_cost_bytes, PreparedService, ServedQuery, SharedPrepared};
+
+use phase_parallel::{ExecutionStats, RunConfig, Scratch};
+use pp_algos::registry::{self, AlgorithmEntry, CaseSpec, Digest, RegistryError};
+use pp_workloads::{QueryTrace, TraceQuery};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Serving-tier knobs: instance sizing, worker pool width, and the
+/// cache budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Nominal instance size every cached instance is generated at
+    /// (vertices / elements — the `CaseSpec::size`).
+    pub instance_size: usize,
+    /// Instance-generation seed (`CaseSpec::seed`).
+    pub instance_seed: u64,
+    /// Worker threads replaying the trace. 1 = sequential.
+    pub threads: usize,
+    /// Cache cost budget in bytes. The default fits every default
+    /// scenario of one entry at once (16 instances' worth).
+    pub cache_budget_bytes: usize,
+}
+
+impl ServeOptions {
+    pub fn new(instance_size: usize, instance_seed: u64) -> Self {
+        Self {
+            instance_size,
+            instance_seed,
+            threads: 1,
+            cache_budget_bytes: 16 * estimated_cost_bytes(instance_size),
+        }
+    }
+
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn with_cache_budget_bytes(mut self, budget: usize) -> Self {
+        self.cache_budget_bytes = budget;
+        self
+    }
+}
+
+/// The result of replaying one trace through a [`ServingTier`].
+#[derive(Debug)]
+pub struct TraceReport {
+    /// FNV digest over the per-query output digests, in trace order —
+    /// thread-count independent, comparable against
+    /// [`ServingTier::reference_digest`].
+    pub digest: u64,
+    /// Per-query service latency (cache lookup + query; a cold query
+    /// pays its instance's preparation here, which is exactly what the
+    /// tail percentiles should show).
+    pub latency: LatencyHistogram,
+    /// Merged per-query execution stats plus the cache counters.
+    pub stats: ExecutionStats,
+    /// Cache counter snapshot after the replay.
+    pub counters: CacheCounters,
+    /// Queries served.
+    pub queries: usize,
+    /// Wall-clock for the whole replay.
+    pub elapsed: Duration,
+}
+
+impl TraceReport {
+    /// Aggregate queries per second over the replay.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One registry entry served behind a cache and a worker pool.
+pub struct ServingTier {
+    entry: &'static AlgorithmEntry,
+    options: ServeOptions,
+    cache: InstanceCache,
+    pool: rayon::ThreadPool,
+    /// Sequential pool cold preparations run under. Keeping a miss
+    /// leader's `prepare()` off the serving pool matters on the
+    /// workspace's helping scheduler: a leader that waited on nested
+    /// fork-join latches *inside* the serving pool would drain that
+    /// pool's queue and could execute another serving job mid-prepare —
+    /// which must then bypass the leader's own in-flight slot (it may
+    /// be stacked on it) and pay a redundant preparation. Preparing
+    /// under a one-thread pool runs the nested regions inline instead,
+    /// so flights always have exactly one leader making progress.
+    prep_pool: rayon::ThreadPool,
+}
+
+impl ServingTier {
+    /// A tier serving `entry_name` under `options`. Unknown entries
+    /// surface as [`RegistryError::UnknownEntry`].
+    pub fn new(entry_name: &str, options: ServeOptions) -> Result<Self, RegistryError> {
+        let entry = registry::lookup(entry_name)
+            .ok_or_else(|| RegistryError::UnknownEntry(entry_name.to_string()))?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(options.threads)
+            .build()
+            .expect("serving pool");
+        let prep_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("preparation pool");
+        Ok(Self {
+            entry,
+            options,
+            cache: InstanceCache::new(options.cache_budget_bytes),
+            pool,
+            prep_pool,
+        })
+    }
+
+    /// The served registry entry.
+    pub fn entry(&self) -> &'static AlgorithmEntry {
+        self.entry
+    }
+
+    /// The instance cache (counters, diagnostics).
+    pub fn cache(&self) -> &InstanceCache {
+        &self.cache
+    }
+
+    /// The cache key a trace query resolves to: entry name + the
+    /// scenario's canonical
+    /// [`cache_key`](pp_workloads::ScenarioSpec::cache_key) + the
+    /// instance sizing, so distinct materializations never collide and
+    /// equal ones never double-prepare.
+    fn cache_key_for(&self, trace: &QueryTrace, query: &TraceQuery) -> String {
+        format!(
+            "{}|{}|n={}|seed={}",
+            self.entry.name(),
+            trace.scenarios[query.scenario].cache_key(),
+            self.options.instance_size,
+            self.options.instance_seed,
+        )
+    }
+
+    fn case_for(&self, trace: &QueryTrace, query: &TraceQuery) -> CaseSpec {
+        CaseSpec::new(self.options.instance_size, self.options.instance_seed)
+            .with_scenario(trace.scenarios[query.scenario])
+    }
+
+    /// The per-query run configuration: the trace's per-query seed and
+    /// the Zipf source rank mapped into the instance universe (scenario
+    /// graphs materialize at least `instance_size` vertices, so the
+    /// mapped source always exists; sequence entries ignore it).
+    fn config_for(&self, query: &TraceQuery) -> RunConfig {
+        RunConfig::seeded(query.seed).with_source(query.source_in(self.options.instance_size))
+    }
+
+    /// Replay `trace` through the cache on the tier's worker pool: each
+    /// worker resolves the query's instance (hit, coalesced wait, or
+    /// single-flight preparation), runs it against its own scratch, and
+    /// times the whole service. Per-query digests chain in trace order,
+    /// so the report digest is independent of the worker count.
+    pub fn serve_trace(&self, trace: &QueryTrace) -> TraceReport {
+        let started = Instant::now();
+        let served: Vec<(u64, u64, ExecutionStats)> = self.pool.install(|| {
+            trace
+                .queries
+                .par_iter()
+                .map_init(Scratch::new, |scratch, query| {
+                    let cfg = self.config_for(query);
+                    let key = self.cache_key_for(trace, query);
+                    let case = self.case_for(trace, query);
+                    let t = Instant::now();
+                    let instance = self.cache.get_or_prepare(&key, || {
+                        self.prep_pool
+                            .install(|| self.entry.prepare_shared(&case, &cfg))
+                    });
+                    let answer = instance.query(scratch, &cfg);
+                    let nanos = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    (answer.digest, nanos, answer.stats)
+                })
+                .collect()
+        });
+        let elapsed = started.elapsed();
+
+        let mut latency = LatencyHistogram::new();
+        let mut stats = ExecutionStats::default();
+        let digests: Vec<u64> = served
+            .into_iter()
+            .map(|(digest, nanos, query_stats)| {
+                latency.record(nanos);
+                stats.merge(&query_stats);
+                digest
+            })
+            .collect();
+        self.cache.export_counters(&mut stats);
+
+        TraceReport {
+            digest: digests.digest(),
+            latency,
+            stats,
+            counters: self.cache.snapshot(),
+            queries: trace.len(),
+            elapsed,
+        }
+    }
+
+    /// The freshly-prepared reference for `trace`: every query answered
+    /// by a one-shot solve on a fresh instance (no cache, no sharing,
+    /// no scratch reuse), digests chained in trace order. A correct
+    /// serving tier replays to exactly this digest. Each distinct
+    /// scenario's instance is generated once (generation is
+    /// deterministic, so this loses nothing) but *queried* through the
+    /// uncached one-shot path.
+    pub fn reference_digest(&self, trace: &QueryTrace) -> u64 {
+        let fresh: Vec<SharedPrepared> = (0..trace.scenarios.len())
+            .map(|scenario| {
+                let probe = TraceQuery {
+                    scenario,
+                    source_rank: 0,
+                    seed: 0,
+                };
+                let case = self.case_for(trace, &probe);
+                self.entry.prepare_shared(&case, &RunConfig::seeded(0))
+            })
+            .collect();
+        let digests: Vec<u64> = trace
+            .queries
+            .iter()
+            .map(|query| fresh[query.scenario].one_shot_digest(&self.config_for(query)))
+            .collect();
+        digests.digest()
+    }
+}
+
+impl std::fmt::Debug for ServingTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingTier")
+            .field("entry", &self.entry.name())
+            .field("options", &self.options)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}

@@ -55,7 +55,9 @@
 pub mod catalog;
 pub mod error;
 pub mod spec;
+pub mod trace;
 
 pub use catalog::{all_scenarios, families, graph_scenarios, scenarios_of_kind, seq_scenarios};
 pub use error::ScenarioError;
 pub use spec::{Family, ScenarioKind, ScenarioSpec, WeightDist};
+pub use trace::{QueryTrace, TraceConfig, TraceQuery, ZipfSampler};

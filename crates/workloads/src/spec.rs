@@ -218,6 +218,40 @@ impl ScenarioSpec {
         }
     }
 
+    /// The canonical **cache key**: [`ScenarioSpec::key`] extended with
+    /// every knob value, in one fixed field order. Two specs have equal
+    /// cache keys iff they materialize identical instances for every
+    /// `(n, seed)`, so an instance cache keyed on this string can
+    /// neither double-prepare one scenario (knob-setter order does not
+    /// matter — the spec is a value type) nor conflate two scenarios
+    /// that share a [`ScenarioSpec::key`] but differ in knob values
+    /// (which `key()` deliberately omits).
+    pub fn cache_key(&self) -> String {
+        let weights = || match self.weights {
+            WeightDist::Unit => "w=unit".to_string(),
+            WeightDist::Uniform { min, max } => format!("w=uniform:{min}-{max}"),
+            WeightDist::Exp { mean } => format!("w=exp:{mean}"),
+        };
+        // Only the knobs the family actually reads participate: an
+        // inert knob (e.g. `degree` on `grid2d`) must not split one
+        // materialized instance across two cache entries.
+        let knobs = match self.family {
+            Family::GraphUniform | Family::GraphRmat | Family::GraphGeometric => {
+                format!("{}|deg={}", weights(), self.degree)
+            }
+            Family::GraphGrid2d => format!("{}|torus={}", weights(), self.torus),
+            Family::GraphStarHub => format!("{}|hubs={}", weights(), self.hubs),
+            Family::SeqUniform | Family::SeqAdversarialChain => String::new(),
+            Family::SeqSorted => format!("desc={}", self.descending),
+            Family::SeqZipf => format!("skew={}", self.skew),
+        };
+        if knobs.is_empty() {
+            self.family.key().to_string()
+        } else {
+            format!("{}|{knobs}", self.family.key())
+        }
+    }
+
     /// Whether this spec materializes a graph or a sequence.
     pub fn kind(&self) -> ScenarioKind {
         self.family.kind()
@@ -352,6 +386,67 @@ mod tests {
             let spec = ScenarioSpec::parse(&format!("graph/uniform+{w}")).unwrap();
             assert_eq!(spec.weights.key(), w);
         }
+    }
+
+    #[test]
+    fn cache_keys_collide_for_equal_specs() {
+        // Builder order must not matter: the two construction orders
+        // describe the same spec, so an instance cache keyed on
+        // cache_key() prepares it once.
+        let a = ScenarioSpec::new(Family::GraphUniform)
+            .with_degree(6)
+            .with_weights(WeightDist::Exp { mean: 50 });
+        let b = ScenarioSpec::new(Family::GraphUniform)
+            .with_weights(WeightDist::Exp { mean: 50 })
+            .with_degree(6);
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        // An inert knob must not split one instance across two entries:
+        // grid2d never reads `degree` (or `hubs`), so these materialize
+        // identically and must share a cache key.
+        let c = ScenarioSpec::new(Family::GraphGrid2d).with_degree(4);
+        let d = ScenarioSpec::new(Family::GraphGrid2d).with_degree(9);
+        assert_eq!(c.cache_key(), d.cache_key());
+        assert_eq!(
+            c.graph(50, 3).unwrap().num_edges(),
+            d.graph(50, 3).unwrap().num_edges()
+        );
+    }
+
+    #[test]
+    fn cache_keys_separate_knob_values_that_key_conflates() {
+        // key() deliberately omits knob values; cache_key() must not,
+        // or the cache would serve degree-4 instances to degree-8
+        // requests.
+        let a = ScenarioSpec::new(Family::GraphRmat).with_degree(4);
+        let b = ScenarioSpec::new(Family::GraphRmat).with_degree(8);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.cache_key(), b.cache_key());
+
+        let u = ScenarioSpec::new(Family::GraphUniform)
+            .with_weights(WeightDist::Uniform { min: 1, max: 10 });
+        let v = ScenarioSpec::new(Family::GraphUniform)
+            .with_weights(WeightDist::Uniform { min: 1, max: 1000 });
+        assert_eq!(u.key(), v.key());
+        assert_ne!(u.cache_key(), v.cache_key());
+
+        let s = ScenarioSpec::new(Family::SeqZipf).with_skew(2);
+        let t = ScenarioSpec::new(Family::SeqZipf).with_skew(5);
+        assert_eq!(s.key(), t.key());
+        assert_ne!(s.cache_key(), t.cache_key());
+    }
+
+    #[test]
+    fn cache_keys_are_unique_across_default_families() {
+        let keys: Vec<String> = Family::ALL
+            .into_iter()
+            .map(|f| ScenarioSpec::new(f).cache_key())
+            .collect();
+        let mut deduped = keys.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(deduped.len(), keys.len(), "{keys:?}");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Deterministic Zipf-skewed query traces for the serving tier.
+//!
+//! A service in front of the prepared-instance cache does not see
+//! uniform traffic: real users hit hub vertices, and real tenant mixes
+//! hit a few hot scenarios plus a long tail. [`QueryTrace::generate`]
+//! materializes that shape deterministically from a seed, with **two
+//! independent Zipf axes**:
+//!
+//! * **scenario keys** — each query names one of the trace's scenario
+//!   specs, rank-0 hottest. This is what exercises the instance cache:
+//!   a skewed tenant mix keeps the hot instances resident while the
+//!   tail churns through the LRU budget.
+//! * **source vertices** — each query carries a Zipf *source rank*;
+//!   [`TraceQuery::source_in`] maps a rank onto a concrete vertex
+//!   universe so the same rank always lands on the same vertex (hubs
+//!   stay hubs across the whole trace), without the generator needing
+//!   to know any instance's size up front.
+//!
+//! The trace is a pure function of `(scenarios, config)` — two
+//! generations are element-wise identical, which is what lets the
+//! serving conformance suite replay a trace against both the cached and
+//! the freshly-prepared path and compare digests.
+
+use crate::spec::ScenarioSpec;
+use pp_parlay::rng::{hash64, unit_f64};
+
+/// Salt for the rank → vertex mapping: fixed, so one rank names one
+/// vertex for the lifetime of an instance size.
+const SOURCE_SALT: u64 = 0x5085_11ab;
+
+/// Shape knobs for [`QueryTrace::generate`]. The defaults give the
+/// heavy-head mix the serving bench measures: skew 2 over both axes,
+/// 1024 distinct source ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Number of queries in the trace.
+    pub queries: usize,
+    /// Zipf exponent over scenario ranks (≥ 1; larger = hotter head).
+    pub scenario_skew: u32,
+    /// Zipf exponent over source ranks (≥ 1).
+    pub source_skew: u32,
+    /// Distinct source ranks (the "user population"); ranks map onto a
+    /// concrete vertex set via [`TraceQuery::source_in`].
+    pub source_ranks: usize,
+    /// Generation seed: same seed, same trace.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    pub fn new(queries: usize, seed: u64) -> Self {
+        Self {
+            queries,
+            scenario_skew: 2,
+            source_skew: 2,
+            source_ranks: 1024,
+            seed,
+        }
+    }
+
+    pub fn with_scenario_skew(mut self, skew: u32) -> Self {
+        self.scenario_skew = skew.max(1);
+        self
+    }
+
+    pub fn with_source_skew(mut self, skew: u32) -> Self {
+        self.source_skew = skew.max(1);
+        self
+    }
+
+    pub fn with_source_ranks(mut self, ranks: usize) -> Self {
+        self.source_ranks = ranks.max(1);
+        self
+    }
+}
+
+/// Inverse-CDF sampler for the Zipf distribution over ranks `0..k`
+/// (`P(rank) ∝ 1/(rank+1)^skew`): a precomputed cumulative table and a
+/// binary search per draw. Deterministic — draws come from caller
+/// hashes, not an RNG stream.
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Table for `k` ranks at the given exponent. `k` must be ≥ 1.
+    pub fn new(k: usize, skew: u32) -> Self {
+        assert!(k >= 1, "Zipf sampler needs at least one rank");
+        let mut cumulative = Vec::with_capacity(k);
+        let mut total = 0.0f64;
+        for rank in 0..k {
+            total += 1.0 / ((rank + 1) as f64).powi(skew as i32);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Map one 64-bit draw to a rank in `0..k`.
+    pub fn sample(&self, draw: u64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let x = unit_f64(draw) * total;
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// One query of a [`QueryTrace`]: which scenario it hits, which source
+/// rank it carries, and a per-query run seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceQuery {
+    /// Index into [`QueryTrace::scenarios`].
+    pub scenario: usize,
+    /// Zipf source rank (0 = hottest).
+    pub source_rank: u64,
+    /// Per-query seed for the run configuration.
+    pub seed: u64,
+}
+
+impl TraceQuery {
+    /// The concrete source vertex for a universe of `n` vertices:
+    /// deterministic in `(source_rank, n)` alone, so the same rank
+    /// always hits the same vertex of the same instance.
+    pub fn source_in(&self, n: usize) -> u32 {
+        (hash64(SOURCE_SALT, self.source_rank) % n.max(1) as u64) as u32
+    }
+}
+
+/// A deterministic serving trace: the scenario set plus the query
+/// stream hitting it.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// The tenant set, in rank order (index 0 is the Zipf-hottest).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// The query stream, in arrival order.
+    pub queries: Vec<TraceQuery>,
+}
+
+impl QueryTrace {
+    /// Generate the trace: `config.queries` draws, scenario and source
+    /// rank sampled independently from their Zipf axes. Pure in
+    /// `(scenarios, config)`.
+    pub fn generate(scenarios: &[ScenarioSpec], config: &TraceConfig) -> Self {
+        assert!(!scenarios.is_empty(), "a trace needs at least one scenario");
+        let scenario_zipf = ZipfSampler::new(scenarios.len(), config.scenario_skew);
+        let source_zipf = ZipfSampler::new(config.source_ranks, config.source_skew);
+        let queries = (0..config.queries as u64)
+            .map(|i| TraceQuery {
+                scenario: scenario_zipf.sample(hash64(config.seed ^ 0xa11ce, i)),
+                source_rank: source_zipf.sample(hash64(config.seed ^ 0xb0b, i)) as u64,
+                seed: hash64(config.seed ^ 0xcafe, i),
+            })
+            .collect();
+        Self {
+            scenarios: scenarios.to_vec(),
+            queries,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// How many distinct scenarios the stream actually touches — the
+    /// trace's compulsory-miss count when every instance fits the
+    /// cache budget.
+    pub fn distinct_scenarios(&self) -> usize {
+        let mut seen = vec![false; self.scenarios.len()];
+        for q in &self.queries {
+            seen[q.scenario] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Family;
+
+    fn tenant_set() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::parse("graph/rmat+w/uniform").unwrap(),
+            ScenarioSpec::parse("graph/grid2d+w/unit").unwrap(),
+            ScenarioSpec::parse("graph/star-hub+w/uniform").unwrap(),
+            ScenarioSpec::new(Family::GraphGeometric),
+        ]
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let scenarios = tenant_set();
+        let config = TraceConfig::new(200, 7);
+        let a = QueryTrace::generate(&scenarios, &config);
+        let b = QueryTrace::generate(&scenarios, &config);
+        assert_eq!(a.queries, b.queries);
+        let c = QueryTrace::generate(&scenarios, &TraceConfig::new(200, 8));
+        assert_ne!(a.queries, c.queries, "seed must matter");
+    }
+
+    #[test]
+    fn scenario_axis_is_head_heavy() {
+        let scenarios = tenant_set();
+        let trace = QueryTrace::generate(&scenarios, &TraceConfig::new(1000, 3));
+        let mut counts = vec![0usize; scenarios.len()];
+        for q in &trace.queries {
+            counts[q.scenario] += 1;
+        }
+        // Rank 0 carries ∝ 1 of the mass, rank 3 ∝ 1/16 (skew 2):
+        // the head must clearly dominate the tail.
+        assert!(
+            counts[0] > 3 * counts[3],
+            "expected Zipf head dominance, got {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn source_axis_repeats_hot_vertices() {
+        let scenarios = tenant_set();
+        let trace = QueryTrace::generate(&scenarios, &TraceConfig::new(500, 11));
+        let n = 300;
+        let mut hits = std::collections::HashMap::new();
+        for q in &trace.queries {
+            *hits.entry(q.source_in(n)).or_insert(0usize) += 1;
+        }
+        let hottest = hits.values().copied().max().unwrap();
+        assert!(
+            hottest >= 25,
+            "a Zipf source axis must concentrate on hubs (hottest vertex saw {hottest}/500)"
+        );
+        // And the mapping is stable: the same rank always lands on the
+        // same vertex.
+        let q = trace.queries[0];
+        assert_eq!(q.source_in(n), q.source_in(n));
+    }
+
+    #[test]
+    fn zipf_sampler_covers_all_ranks_at_low_skew() {
+        let sampler = ZipfSampler::new(8, 1);
+        let mut seen = vec![false; 8];
+        for i in 0..4000u64 {
+            seen[sampler.sample(hash64(3, i))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}
