@@ -27,8 +27,11 @@
 //! reference before its row is emitted.
 //!
 //! Output: one JSON document with a stable row schema — `(scenario,
-//! family, tier, threads, backend, ns_per_query, qps, speedup_vs_1t)`
-//! — printed to stdout *and* written to `BENCH_throughput.json` at the
+//! family, tier, threads, backend, ns_per_query, qps, speedup_vs_1t)`,
+//! with `prepared` rows additionally carrying the pool's scheduler
+//! counters (`sched_queue_locks` / `sched_steals` / `sched_parks` /
+//! `sched_injector_pushes` / `sched_jobs`, asserted present before the
+//! JSON is written) — printed to stdout *and* written to `BENCH_throughput.json` at the
 //! repository root (override the path with `PP_BENCH_OUT`). The
 //! committed copy of that file is the perf trajectory: each PR's CI
 //! archives its own run, and the in-repo baseline records the numbers
@@ -87,11 +90,19 @@ fn build_instance(n: usize, edges: &[(u32, u32, u64)]) -> SsspInstance {
     SsspInstance::new(b.build(), 0)
 }
 
-/// Nanoseconds per query over one timed pass.
+/// Nanoseconds per query over one timed pass, plus the scheduler
+/// activity the prepared batch produced (from the pool's `sched_*`
+/// counters — the behavioral signal nproc=1 CI can still assert on
+/// when speedups are unobservable).
 struct Tier {
     unprepared: f64,
     reused: f64,
     prepared: f64,
+    sched_queue_locks: u64,
+    sched_steals: u64,
+    sched_parks: u64,
+    sched_injector_pushes: u64,
+    sched_jobs: u64,
 }
 
 fn bench_family<A>(
@@ -143,10 +154,16 @@ where
     assert_eq!(sum_unprepared, sum_reused, "tier outputs diverged");
     assert_eq!(sum_reused, sum_prepared, "prepared outputs diverged");
 
+    let sched = |name: &str| batch.stats.counter(name).unwrap_or(0);
     Tier {
         unprepared,
         reused,
         prepared,
+        sched_queue_locks: sched("sched_queue_locks"),
+        sched_steals: sched("sched_steals"),
+        sched_parks: sched("sched_parks"),
+        sched_injector_pushes: sched("sched_injector_pushes"),
+        sched_jobs: sched("sched_jobs"),
     }
 }
 
@@ -271,13 +288,31 @@ fn main() {
                         }
                         prepared_qps_max = 1e9 / ns;
                     }
+                    // Prepared rows carry the batch's scheduler
+                    // activity: lock traffic per task is the metric
+                    // that must drop under the deque scheduler even
+                    // when a single-core runner shows no speedup.
+                    let sched_fields = if tier_name == "prepared" {
+                        format!(
+                            ", \"sched_queue_locks\": {}, \"sched_steals\": {}, \
+                             \"sched_parks\": {}, \"sched_injector_pushes\": {}, \
+                             \"sched_jobs\": {}",
+                            tier.sched_queue_locks,
+                            tier.sched_steals,
+                            tier.sched_parks,
+                            tier.sched_injector_pushes,
+                            tier.sched_jobs,
+                        )
+                    } else {
+                        String::new()
+                    };
                     rows.push(format!(
                         "    {{\"scenario\": \"{key}\", \"family\": \"{family}\", \
                          \"tier\": \"{tier_name}\", \"threads\": {threads}, \
                          \"backend\": \"parallel\", \
                          \"vertices\": {n}, \"edges\": {}, \
                          \"ns_per_query\": {ns:.1}, \"qps\": {:.2}, \
-                         \"speedup_vs_1t\": {:.3}}}",
+                         \"speedup_vs_1t\": {:.3}{sched_fields}}}",
                         edges.len(),
                         1e9 / ns,
                         base_ns / ns,
@@ -335,6 +370,24 @@ fn main() {
     }
     if scaling_warnings > 0 {
         eprintln!("warning: {scaling_warnings} scenario/family pairs showed no thread scaling");
+    }
+    // The smoke gate's counter tripwire: every prepared row must carry
+    // the scheduler counters — a refactor that silently stops plumbing
+    // them through `ExecutionStats` fails here, not in a dashboard
+    // months later.
+    let prepared_rows = rows
+        .iter()
+        .filter(|r| r.contains("\"tier\": \"prepared\""))
+        .collect::<Vec<_>>();
+    assert!(
+        !prepared_rows.is_empty(),
+        "no prepared rows were emitted at all"
+    );
+    for row in prepared_rows {
+        assert!(
+            row.contains("\"sched_steals\"") && row.contains("\"sched_parks\""),
+            "prepared row missing scheduler counters: {row}"
+        );
     }
 
     let json = format!(

@@ -2,10 +2,10 @@
 //!
 //! Runs, in order:
 //! 1. bounded schedule exploration of every pool protocol model
-//!    (positive: must pass; the latch UAF regression and the weakened
-//!    probe model are negative controls: must fail with the expected
-//!    diagnostic — a checker that stops finding the seeded bug is
-//!    itself broken);
+//!    (positive: must pass; the latch UAF regression, the weakened
+//!    probe and injector models, and the reverted lost-wakeup fix are
+//!    negative controls: must fail with the expected diagnostic — a
+//!    checker that stops finding the seeded bug is itself broken);
 //! 2. the workspace unsafe audit (must be clean), plus an in-memory
 //!    fixture negative control (must be flagged).
 //!
@@ -15,7 +15,7 @@
 
 #![forbid(unsafe_code)]
 
-use pp_check::models::{chunks, join, latch, queue, scope};
+use pp_check::models::{chunks, deque, join, latch, park, scope};
 use pp_check::{audit, explore, Config, Report};
 
 struct Gate {
@@ -99,19 +99,50 @@ fn main() {
         "data race",
     );
     gate.expect_pass(&explore(
-        "queue_exactly_once_1w",
+        "deque_exactly_once_1s",
         cfg(),
-        queue::exactly_once_model(1, 2),
+        deque::deque_exactly_once_model(1),
     ));
     gate.expect_pass(&explore(
-        "queue_exactly_once_2w",
+        "deque_exactly_once_2s",
         cfg().preemptions(1),
-        queue::exactly_once_model(2, 2),
+        deque::deque_exactly_once_model(2),
     ));
     gate.expect_pass(&explore(
-        "queue_steal_back",
+        "deque_steal_back",
         cfg(),
-        queue::steal_back_model(),
+        deque::deque_steal_back_model(),
+    ));
+    gate.expect_pass(&explore(
+        "injector_publish",
+        cfg().preemptions(if smoke { 1 } else { 2 }),
+        deque::injector_publish_model(),
+    ));
+    gate.expect_failure(
+        &explore(
+            "injector_publish_weakened",
+            cfg().preemptions(if smoke { 1 } else { 2 }).weakened(),
+            deque::injector_publish_model(),
+        ),
+        "data race",
+    );
+    gate.expect_pass(&explore(
+        "lost_wakeup_fixed",
+        cfg(),
+        park::lost_wakeup_model(true),
+    ));
+    gate.expect_failure(
+        &explore(
+            "lost_wakeup_reverted",
+            cfg(),
+            park::lost_wakeup_model(false),
+        ),
+        "deadlock",
+    );
+    gate.expect_pass(&explore(
+        "worker_lifecycle_1w",
+        cfg(),
+        park::worker_lifecycle_model(1, 2),
     ));
     gate.expect_pass(&explore(
         "join_steal_back",

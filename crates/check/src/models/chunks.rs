@@ -1,8 +1,10 @@
 //! Model of `run_chunks` (`shims/rayon/src/pool.rs`): a batch of chunk
 //! jobs sharing one countdown latch, all living in the caller's frame.
-//! The caller injects the batch, **participates** via the helping loop
-//! of `wait_latch` (popping and executing chunks itself), and reads the
-//! per-chunk results back **in chunk order** once the latch opens.
+//! The caller publishes the batch, **participates** via the helping
+//! loop of `wait_latch` (claiming and executing chunks itself, from its
+//! own tail), and reads the per-chunk results back **in chunk order**
+//! once the latch opens — the order-preserving combine that keeps
+//! digests thread-count-independent.
 //!
 //! The chunk `input`/`result` `UnsafeCell` slots are [`RaceCell`]s:
 //! the explorer proves each chunk's input is taken exactly once
@@ -13,7 +15,7 @@
 use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
 
 use crate::models::latch::ModelLatch;
-use crate::models::queue::ModelQueue;
+use crate::models::park::{ModelJobStore, ModelPark};
 use crate::sched::Builder;
 use crate::sync::{Arc, Frame, RaceCell};
 
@@ -23,7 +25,8 @@ struct ChunkSlot {
 }
 
 struct Batch {
-    queue: ModelQueue,
+    store: ModelJobStore,
+    park: ModelPark,
     latch: ModelLatch,
     frame: Frame,
     chunks: Vec<ChunkSlot>,
@@ -39,14 +42,19 @@ fn execute_chunk(batch: &Batch, j: usize, runs: &[StdAtomicUsize]) {
     batch.frame.touch("chunk.result.write");
     batch.chunks[j].result.write(Some(input * 10));
     batch.latch.done_one(&batch.frame);
+    batch.park.job_finished();
 }
 
 /// Two chunks, caller + one worker. The caller's helping loop is the
-/// real `wait_latch` body: probe → pop-and-execute → park.
+/// real `wait_latch` body: snapshot → probe → claim-and-execute → park.
+/// The caller claims from the newest end (its own tail, LIFO) while the
+/// worker claims oldest-first (a steal from the head) — the deque
+/// discipline, compressed onto the fused store.
 pub fn chunk_batch_model() -> impl Fn(&mut Builder) {
     |b: &mut Builder| {
         let batch = Arc::new(Batch {
-            queue: ModelQueue::new(),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             latch: ModelLatch::new(2),
             frame: Frame::new("batch-frame"),
             chunks: vec![
@@ -66,12 +74,20 @@ pub fn chunk_batch_model() -> impl Fn(&mut Builder) {
         let caller = Arc::clone(&batch);
         let caller_runs = Arc::clone(&runs);
         b.thread(move || {
-            caller.queue.inject_many([0, 1]);
+            // `inject_many`: one batch publish, then one wake.
+            caller.store.push_many([0, 1]);
+            caller.park.wake();
             // wait_latch with helping: the caller may execute chunks.
-            while !caller.latch.probe() {
-                match caller.queue.try_pop() {
+            loop {
+                let seen = caller.park.completions();
+                if caller.latch.probe() {
+                    break;
+                }
+                match caller.store.pop_newest() {
                     Some(j) => execute_chunk(&caller, j, &caller_runs),
-                    None => caller.latch.park(),
+                    None => caller
+                        .park
+                        .park_helper(&caller.store, seen, || caller.latch.probe()),
                 }
             }
             caller.latch.sync_before_teardown();
@@ -86,14 +102,17 @@ pub fn chunk_batch_model() -> impl Fn(&mut Builder) {
                 .collect();
             caller.frame.free();
             assert_eq!(outputs, vec![10, 20], "results come back in chunk order");
-            caller.queue.terminate();
+            caller.park.terminate();
         });
 
         let worker = Arc::clone(&batch);
         let worker_runs = Arc::clone(&runs);
-        b.thread(move || {
-            while let Some(j) = worker.queue.next_job() {
+        b.thread(move || loop {
+            while let Some(j) = worker.store.pop_oldest() {
                 execute_chunk(&worker, j, &worker_runs);
+            }
+            if !worker.park.park_worker(&worker.store) {
+                return;
             }
         });
 

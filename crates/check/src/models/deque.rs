@@ -1,0 +1,363 @@
+//! Models of the Pool-v2 work-stealing queues
+//! (`shims/rayon/src/pool.rs`): the per-worker mutex deques with
+//! owner-LIFO / thief-FIFO discipline, and the lock-free Treiber-chain
+//! injector for external submissions. Jobs are `usize` ids; the
+//! `UnsafeCell`-backed claim slots are [`RaceCell`]s so double-claims
+//! surface as data races, not just failed counters.
+//!
+//! These models check **ownership and publication** and deliberately
+//! contain no parking (every loop is bounded, so exhaustive
+//! exploration terminates): the parking protocol — and the PR 8
+//! lost-wakeup fix — is modeled separately in [`crate::models::park`].
+//!
+//! Properties checked here:
+//!
+//! - **deque exactly-once**: with the owner popping its tail and
+//!   thieves popping the head, every pushed job is claimed by exactly
+//!   one thread ([`deque_exactly_once_model`]);
+//! - **steal-back exclusivity and position**: the owner's steal-back is
+//!   a *tail* check — it reclaims its most recent push or fails, while
+//!   a concurrent thief takes the *oldest* job first
+//!   ([`deque_steal_back_model`]) — the O(1) claim `join` relies on;
+//! - **injector publication**: a consumer that swaps the Treiber chain
+//!   out observes fully-written segments (the push's `Release` CAS
+//!   paired with the grab's `Acquire` swap), each queued job is
+//!   consumed at most once, and one grab takes the whole chain
+//!   ([`injector_publish_model`]). In weakest-ordering mode the
+//!   segment read races — proving those CAS orderings load-bearing.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::sched::Builder;
+use crate::sync::{Arc, AtomicUsize, Mutex, RaceCell};
+
+/// Port of `Registry::deques`: one mutex-guarded `VecDeque` per
+/// worker. Owner pushes/pops at the back; thieves pop at the front.
+pub struct ModelDeques {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+fn deque_name(index: usize) -> &'static str {
+    match index {
+        0 => "deque0",
+        1 => "deque1",
+        _ => "deque2",
+    }
+}
+
+impl ModelDeques {
+    pub fn new(workers: usize) -> Self {
+        assert!(workers <= 3, "model names cover three deques");
+        ModelDeques {
+            deques: (0..workers)
+                .map(|i| Mutex::named(deque_name(i), VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Owner push (`Registry::inject` on a worker): tail.
+    pub fn owner_push(&self, owner: usize, job: usize) {
+        self.deques[owner].lock().unwrap().push_back(job);
+    }
+
+    /// Owner pop (`find_work` step 1): tail — the most recent push.
+    pub fn owner_pop(&self, owner: usize) -> Option<usize> {
+        self.deques[owner].lock().unwrap().pop_back()
+    }
+
+    /// Thief pop (`find_work` step 3): head — the oldest job.
+    pub fn steal_from(&self, victim: usize) -> Option<usize> {
+        self.deques[victim].lock().unwrap().pop_front()
+    }
+
+    /// `Registry::steal_back` on a worker: reclaim `job` only if it is
+    /// still this owner's *tail* (O(1) — no scan).
+    pub fn steal_back(&self, owner: usize, job: usize) -> bool {
+        let mut deque = self.deques[owner].lock().unwrap();
+        if deque.back() == Some(&job) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Port of the lock-free `Injector`. The real code links heap segments
+/// through raw pointers; the model pre-assigns each push a dedicated
+/// arena slot and stores `slot + 1` in the head (0 = empty), so the
+/// pointer-publication protocol — write the segment, then CAS it in —
+/// is preserved gate-for-gate while the segment memory itself is a
+/// [`RaceCell`] the vector-clock detector watches.
+pub struct ModelInjector {
+    /// `Injector::head`: `slot + 1` of the newest segment, 0 if empty.
+    head: AtomicUsize,
+    /// Segment payloads: `(jobs, next)` where `next` is the previous
+    /// head value (`slot + 1` chain link, 0 terminates). One dedicated
+    /// slot per push, so a slot is never reused — mirroring the real
+    /// code, where only the exclusive chain owner frees a segment and
+    /// a stale head value is never dereferenced by `push`.
+    segments: Vec<RaceCell<(Vec<usize>, usize)>>,
+}
+
+fn segment_name(index: usize) -> &'static str {
+    match index {
+        0 => "injector.seg0",
+        1 => "injector.seg1",
+        _ => "injector.seg2",
+    }
+}
+
+impl ModelInjector {
+    pub fn new(pushes: usize) -> Self {
+        assert!(pushes <= 3, "model names cover three segments");
+        ModelInjector {
+            head: AtomicUsize::named("injector.head", 0),
+            segments: (0..pushes)
+                .map(|i| RaceCell::named(segment_name(i), (Vec::new(), 0)))
+                .collect(),
+        }
+    }
+
+    /// `Injector::push`: write the segment (its jobs and its link to
+    /// the currently-observed head), then publish it with a `Release`
+    /// CAS; on failure re-link and retry. The failure ordering is
+    /// `Relaxed` because a retry never dereferences the observed head.
+    pub fn push(&self, slot: usize, jobs: Vec<usize>) {
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            self.segments[slot].write((jobs.clone(), head));
+            match self
+                .head
+                .compare_exchange(head, slot + 1, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// `Injector::grab_all`: empty-probe with `Acquire`, then swap the
+    /// whole chain out (`AcqRel`) and walk it — newest to oldest —
+    /// returning jobs oldest-first. The segment reads are the accesses
+    /// that need the push CAS's `Release`: in weakest-ordering mode
+    /// they race.
+    pub fn grab_all(&self) -> Vec<usize> {
+        if self.head.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut cursor = self.head.swap(0, Ordering::AcqRel);
+        let mut segments = Vec::new();
+        while cursor != 0 {
+            let (jobs, next) = self.segments[cursor - 1].read();
+            segments.push(jobs);
+            cursor = next;
+        }
+        segments.reverse();
+        segments.concat()
+    }
+}
+
+/// One claim slot per job: `Some(payload)` until the claiming thread
+/// swaps it out. Two unsynchronized claimants show up as a data race on
+/// the slot (and a lost payload fails the `expect`).
+fn claim_slots(jobs: usize) -> Vec<RaceCell<Option<usize>>> {
+    fn slot_name(index: usize) -> &'static str {
+        match index {
+            0 => "job0.func",
+            1 => "job1.func",
+            _ => "job2.func",
+        }
+    }
+    (0..jobs)
+        .map(|j| RaceCell::named(slot_name(j), Some(j)))
+        .collect()
+}
+
+struct DequeShared {
+    deques: ModelDeques,
+    slots: Vec<RaceCell<Option<usize>>>,
+}
+
+fn claim(shared: &DequeShared, job: usize, runs: &[StdAtomicUsize]) {
+    let payload = shared.slots[job]
+        .swap(None)
+        .expect("a job is claimed exactly once");
+    assert_eq!(payload, job);
+    runs[job].fetch_add(1, Ordering::SeqCst);
+}
+
+/// Owner (deque 0) pushes two jobs and drains its own tail; `stealers`
+/// threads each make two bounded steal attempts from the head. The
+/// finale asserts both jobs ran exactly once — the owner's
+/// drain-until-empty guarantees nothing is left unclaimed. Bookkeeping
+/// counters are plain `std` atomics: not protocol state, deliberately
+/// not scheduling points.
+pub fn deque_exactly_once_model(stealers: usize) -> impl Fn(&mut Builder) {
+    move |b: &mut Builder| {
+        let shared = Arc::new(DequeShared {
+            deques: ModelDeques::new(1),
+            slots: claim_slots(2),
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..2).map(|_| StdAtomicUsize::new(0)).collect());
+
+        let owner = Arc::clone(&shared);
+        let owner_runs = Arc::clone(&runs);
+        b.thread(move || {
+            owner.deques.owner_push(0, 0);
+            owner.deques.owner_push(0, 1);
+            while let Some(job) = owner.deques.owner_pop(0) {
+                claim(&owner, job, &owner_runs);
+            }
+        });
+
+        for _ in 0..stealers {
+            let thief = Arc::clone(&shared);
+            let thief_runs = Arc::clone(&runs);
+            b.thread(move || {
+                for _ in 0..2 {
+                    if let Some(job) = thief.deques.steal_from(0) {
+                        claim(&thief, job, &thief_runs);
+                    }
+                }
+            });
+        }
+
+        b.finale(move || {
+            for (job, count) in runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "job {job} must execute exactly once"
+                );
+            }
+        });
+    }
+}
+
+/// The `join` claim protocol on the deque: the owner pushes jobs 0 and
+/// 1, then steals back its *most recent* push (job 1 — the tail check)
+/// and drains the rest, while a thief steals from the head. Checked:
+/// every job is claimed exactly once, steal-back only ever reclaims the
+/// tail job, and the thief's first successful steal is the *oldest*
+/// job (FIFO from the head) — the discipline that lets steal-back be
+/// O(1).
+pub fn deque_steal_back_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        let shared = Arc::new(DequeShared {
+            deques: ModelDeques::new(1),
+            slots: claim_slots(2),
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..2).map(|_| StdAtomicUsize::new(0)).collect());
+        // usize::MAX = "nothing stolen yet"; the thief records its
+        // first successful steal here.
+        let first_steal = Arc::new(StdAtomicUsize::new(usize::MAX));
+
+        let owner = Arc::clone(&shared);
+        let owner_runs = Arc::clone(&runs);
+        b.thread(move || {
+            owner.deques.owner_push(0, 0);
+            owner.deques.owner_push(0, 1);
+            if owner.deques.steal_back(0, 1) {
+                // Reclaimed unexecuted: run "inline".
+                claim(&owner, 1, &owner_runs);
+            }
+            while let Some(job) = owner.deques.owner_pop(0) {
+                claim(&owner, job, &owner_runs);
+            }
+        });
+
+        let thief = Arc::clone(&shared);
+        let thief_runs = Arc::clone(&runs);
+        let thief_first = Arc::clone(&first_steal);
+        b.thread(move || {
+            for _ in 0..2 {
+                if let Some(job) = thief.deques.steal_from(0) {
+                    let _ = thief_first.compare_exchange(
+                        usize::MAX,
+                        job,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                    claim(&thief, job, &thief_runs);
+                }
+            }
+        });
+
+        b.finale(move || {
+            for (job, count) in runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "job {job} must execute exactly once"
+                );
+            }
+            let first = first_steal.load(Ordering::SeqCst);
+            assert!(
+                first == usize::MAX || first == 0,
+                "a thief's first steal must be the oldest job, got {first}"
+            );
+        });
+    }
+}
+
+/// Two producers race `Release`-CAS pushes onto the chain; a consumer
+/// makes bounded `grab_all` attempts and claims what it gets. Asserts
+/// at-most-once consumption, that a grab observes each segment's
+/// payload exactly as pushed, and that a grab that returns anything
+/// took the whole chain at that instant (a second immediate grab can
+/// only see segments pushed after the swap). Exhaustively clean under
+/// the declared orderings; in weakest-ordering mode the consumer's
+/// segment read races with the producer's write — the explorer names
+/// the segment cell, proving the CAS `Release`/swap `Acquire` pair is
+/// what publishes segment memory.
+pub fn injector_publish_model() -> impl Fn(&mut Builder) {
+    |b: &mut Builder| {
+        struct Shared {
+            injector: ModelInjector,
+            slots: Vec<RaceCell<Option<usize>>>,
+        }
+        let shared = Arc::new(Shared {
+            injector: ModelInjector::new(2),
+            slots: claim_slots(2),
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..2).map(|_| StdAtomicUsize::new(0)).collect());
+
+        for producer_slot in 0..2usize {
+            let producer = Arc::clone(&shared);
+            b.thread(move || {
+                producer.injector.push(producer_slot, vec![producer_slot]);
+            });
+        }
+
+        let consumer = Arc::clone(&shared);
+        let consumer_runs = Arc::clone(&runs);
+        b.thread(move || {
+            // Bounded attempts: schedules where a push lands after the
+            // last grab simply end with that job unconsumed (the
+            // at-most-once finale still holds).
+            for _ in 0..3 {
+                for job in consumer.injector.grab_all() {
+                    let payload = consumer.slots[job]
+                        .swap(None)
+                        .expect("a grabbed job is consumed at most once");
+                    assert_eq!(payload, job, "segment payload as pushed");
+                    consumer_runs[job].fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+
+        b.finale(move || {
+            for (job, count) in runs.iter().enumerate() {
+                assert!(
+                    count.load(Ordering::SeqCst) <= 1,
+                    "job {job} consumed more than once"
+                );
+            }
+        });
+    }
+}

@@ -1,8 +1,9 @@
-//! Model of `join_in` (`shims/rayon/src/pool.rs`): the caller injects
+//! Model of `join_in` (`shims/rayon/src/pool.rs`): the caller pushes
 //! its second closure as a `StackJob` living in the calling frame, runs
 //! the first closure, then either **steals the job back** (runs it
-//! inline — it never executed) or **helps until the job's latch opens**
-//! and takes the result out of the frame.
+//! inline — since Pool v2 an O(1) is-it-still-my-tail check rather than
+//! a queue scan) or **helps until the job's latch opens** and takes the
+//! result out of the frame.
 //!
 //! The `UnsafeCell` slots (`StackJob::func`, `StackJob::result`) are
 //! [`RaceCell`]s, so the explorer checks that the steal-back branch and
@@ -14,12 +15,13 @@
 use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
 
 use crate::models::latch::ModelLatch;
-use crate::models::queue::ModelQueue;
+use crate::models::park::{ModelJobStore, ModelPark};
 use crate::sched::Builder;
 use crate::sync::{Arc, Frame, RaceCell};
 
 struct JoinShared {
-    queue: ModelQueue,
+    store: ModelJobStore,
+    park: ModelPark,
     /// `StackJob::func`: holds `Some(input)` until taken by whoever
     /// claims the job.
     func: RaceCell<Option<u32>>,
@@ -40,6 +42,7 @@ fn execute_b(shared: &JoinShared, b_runs: &StdAtomicUsize) {
     shared.frame.touch("result.write");
     shared.result.write(Some(input * 2));
     shared.latch.done_one(&shared.frame);
+    shared.park.job_finished();
 }
 
 /// Full `join_in` round: caller (t0) vs one worker (t1). Asserts the
@@ -48,7 +51,8 @@ fn execute_b(shared: &JoinShared, b_runs: &StdAtomicUsize) {
 pub fn join_steal_back_model() -> impl Fn(&mut Builder) {
     |b: &mut Builder| {
         let shared = Arc::new(JoinShared {
-            queue: ModelQueue::new(),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             func: RaceCell::named("job_b.func", Some(21)),
             result: RaceCell::named("job_b.result", None),
             latch: ModelLatch::new(1),
@@ -59,9 +63,10 @@ pub fn join_steal_back_model() -> impl Fn(&mut Builder) {
         let caller = Arc::clone(&shared);
         let caller_runs = Arc::clone(&b_runs);
         b.thread(move || {
-            caller.queue.inject(0);
+            caller.store.push(0);
+            caller.park.wake();
             // (closure `a` runs here; it has no synchronization.)
-            let result_b = if caller.queue.steal_back(0) {
+            let result_b = if caller.store.steal_back_tail(0) {
                 // Nobody claimed `b`: take the closure back and run it
                 // inline — `take_func` is only sound because steal-back
                 // succeeding proves no execution started.
@@ -74,14 +79,22 @@ pub fn join_steal_back_model() -> impl Fn(&mut Builder) {
                 input * 2
             } else {
                 // A worker claimed `b`: help until its latch opens
-                // (with a single job in flight the queue stays empty,
+                // (with a single job in flight the store stays empty,
                 // so helping degenerates to parking), then take the
                 // result out of this frame.
-                while !caller.latch.probe() {
-                    if let Some(job) = caller.queue.try_pop() {
-                        panic!("no other job can be queued here, popped {job}");
+                loop {
+                    let seen = caller.park.completions();
+                    if caller.latch.probe() {
+                        break;
                     }
-                    caller.latch.park();
+                    match caller.store.pop_newest() {
+                        Some(job) => {
+                            panic!("no other job can be queued here, popped {job}")
+                        }
+                        None => caller
+                            .park
+                            .park_helper(&caller.store, seen, || caller.latch.probe()),
+                    }
                 }
                 caller.latch.sync_before_teardown();
                 caller.frame.touch("result.take");
@@ -93,14 +106,17 @@ pub fn join_steal_back_model() -> impl Fn(&mut Builder) {
             // `join_in` returns: the frame holding job_b pops.
             caller.frame.free();
             assert_eq!(result_b, 42);
-            caller.queue.terminate();
+            caller.park.terminate();
         });
 
         let worker = Arc::clone(&shared);
         let worker_runs = Arc::clone(&b_runs);
-        b.thread(move || {
-            while let Some(_job) = worker.queue.next_job() {
+        b.thread(move || loop {
+            while let Some(_job) = worker.store.pop_oldest() {
                 execute_b(&worker, &worker_runs);
+            }
+            if !worker.park.park_worker(&worker.store) {
+                return;
             }
         });
 

@@ -1,10 +1,15 @@
 //! Model of `CountLatch` (`shims/rayon/src/pool.rs`): the countdown
 //! latch every pool frame blocks on before its stack memory is freed.
 //!
-//! The protocol under test, verbatim from the pool:
+//! Since Pool v2 the latch carries **no condvar of its own** — waiters
+//! park through the registry's parking protocol
+//! ([`crate::models::park::ModelPark`]) and job completion wakes them
+//! via `job_finished`. What remains latch-local, verbatim from the
+//! pool:
 //!
-//! - `done_one` decrements **while holding the latch lock** and
-//!   notifies on the final decrement, still under the lock.
+//! - `done_one` decrements **while holding the latch lock**, so the
+//!   final decrement's critical section is still open when a waiter
+//!   races past its probe.
 //! - `probe` is an `Acquire` load pairing with the `AcqRel` decrement,
 //!   so result-slot writes made before `done_one` are visible after a
 //!   `true` probe.
@@ -22,8 +27,9 @@
 
 use std::sync::atomic::Ordering;
 
+use crate::models::park::{ModelJobStore, ModelPark};
 use crate::sched::Builder;
-use crate::sync::{Arc, AtomicUsize, Condvar, Frame, Mutex, RaceCell};
+use crate::sync::{Arc, AtomicUsize, Frame, Mutex, RaceCell};
 
 /// Port of `CountLatch` built on the instrumented primitives. Every
 /// operation that dereferences into the (conceptual) owning stack frame
@@ -33,7 +39,6 @@ use crate::sync::{Arc, AtomicUsize, Condvar, Frame, Mutex, RaceCell};
 pub struct ModelLatch {
     remaining: AtomicUsize,
     lock: Mutex<()>,
-    cond: Condvar,
 }
 
 impl ModelLatch {
@@ -41,7 +46,6 @@ impl ModelLatch {
         ModelLatch {
             remaining: AtomicUsize::named("latch.remaining", count),
             lock: Mutex::named("latch.lock", ()),
-            cond: Condvar::named("latch.cond"),
         }
     }
 
@@ -50,28 +54,27 @@ impl ModelLatch {
         self.remaining.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// The **fixed** `done_one`: decrement and notify under the lock.
+    /// The **fixed** `done_one`: decrement under the latch lock. (The
+    /// waiter wakeup is the caller's next step, `job_finished` on the
+    /// registry's park state — completion and wakeup are separate
+    /// structures since Pool v2.)
     pub fn done_one(&self, frame: &Frame) {
         frame.touch("latch.lock");
         let guard = self.lock.lock().unwrap();
         frame.touch("latch.decrement");
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            frame.touch("latch.notify_all");
-            self.cond.notify_all();
-        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
         drop(guard);
     }
 
-    /// The **pre-fix** `done_one`: decrement outside the lock. A waiter
-    /// can observe zero (and tear the frame down) while this thread is
-    /// still on its way to the lock — the PR 5 use-after-free class.
+    /// The **pre-fix** `done_one`: decrement outside the lock, lock
+    /// round-trip afterwards. A waiter can observe zero (and tear the
+    /// frame down) while this thread is still on its way to the lock —
+    /// the PR 5 use-after-free class.
     pub fn done_one_unlocked(&self, frame: &Frame) {
         frame.touch("latch.decrement");
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             frame.touch("latch.lock");
             let guard = self.lock.lock().unwrap();
-            frame.touch("latch.notify_all");
-            self.cond.notify_all();
             drop(guard);
         }
     }
@@ -81,37 +84,17 @@ impl ModelLatch {
         self.remaining.load(Ordering::Acquire) == 0
     }
 
-    /// `CountLatch::park`. The real pool bounds the wait with a 1 ms
-    /// timeout as a belt against missed wakeups; the model deliberately
-    /// waits **without** a timeout, so if the protocol ever misses a
-    /// wakeup the explorer reports a deadlock instead of the bug hiding
-    /// behind the timeout. (Exhaustive exploration passing therefore
-    /// proves the timeout is a belt, not a crutch.)
-    pub fn park(&self) {
-        let guard = self.lock.lock().unwrap();
-        if !self.probe() {
-            let _guard = self.cond.wait(guard).unwrap();
-        }
-    }
-
     /// `CountLatch::sync_before_teardown`: one lock round-trip after a
     /// `true` probe, waiting out the final notifier's critical section.
     pub fn sync_before_teardown(&self) {
         drop(self.lock.lock().unwrap());
     }
-
-    /// The waiter side of `Registry::wait_latch`, minus helping: spin
-    /// probe → park until open, then the teardown rendezvous.
-    pub fn wait(&self) {
-        while !self.probe() {
-            self.park();
-        }
-        self.sync_before_teardown();
-    }
 }
 
 struct TeardownShared {
     latch: ModelLatch,
+    store: ModelJobStore,
+    park: ModelPark,
     /// Models `StackJob::result`: an `UnsafeCell` slot written by the
     /// notifier before `done_one`, read by the waiter after the latch
     /// opens — with no synchronization of its own.
@@ -119,6 +102,20 @@ struct TeardownShared {
     /// Models the waiter's stack frame, which owns the latch and the
     /// result slot and is popped when the waiter returns.
     frame: Frame,
+}
+
+/// The waiter side of `Registry::wait_latch`, with nothing to help
+/// with: snapshot `completions`, probe, park on the registry condvar
+/// until the latch opens, then the teardown rendezvous.
+fn wait_for_latch(latch: &ModelLatch, store: &ModelJobStore, park: &ModelPark) {
+    loop {
+        let seen = park.completions();
+        if latch.probe() {
+            break;
+        }
+        park.park_helper(store, seen, || latch.probe());
+    }
+    latch.sync_before_teardown();
 }
 
 /// The PR 5 regression scenario: t0 waits on the latch, reads the
@@ -132,13 +129,15 @@ pub fn teardown_model(fixed: bool) -> impl Fn(&mut Builder) {
     move |b: &mut Builder| {
         let shared = Arc::new(TeardownShared {
             latch: ModelLatch::new(1),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             result: RaceCell::named("job.result", None),
             frame: Frame::new("waiter-frame"),
         });
 
         let waiter = Arc::clone(&shared);
         b.thread(move || {
-            waiter.latch.wait();
+            wait_for_latch(&waiter.latch, &waiter.store, &waiter.park);
             let r = waiter.result.read();
             // Returning from the real `wait_latch` caller pops the
             // frame that owns the latch: model that with `free`.
@@ -155,6 +154,7 @@ pub fn teardown_model(fixed: bool) -> impl Fn(&mut Builder) {
             } else {
                 notifier.latch.done_one_unlocked(&notifier.frame);
             }
+            notifier.park.job_finished();
         });
     }
 }
@@ -173,6 +173,8 @@ pub fn probe_publish_model() -> impl Fn(&mut Builder) {
     |b: &mut Builder| {
         let shared = Arc::new(TeardownShared {
             latch: ModelLatch::new(1),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             result: RaceCell::named("job.result", None),
             frame: Frame::new("waiter-frame"),
         });
@@ -202,17 +204,21 @@ pub fn probe_publish_model() -> impl Fn(&mut Builder) {
 
 /// Two notifiers, one waiter (3 threads): the multi-completion shape
 /// `run_chunks` puts the latch through. Checks intermediate decrements
-/// wake nobody early and both results are published by the time the
-/// latch opens.
+/// wake nobody early (a prematurely-woken waiter re-probes and parks
+/// again) and both results are published by the time the latch opens.
 pub fn multi_notifier_model() -> impl Fn(&mut Builder) {
     |b: &mut Builder| {
         struct Shared {
             latch: ModelLatch,
+            store: ModelJobStore,
+            park: ModelPark,
             results: [RaceCell<Option<u32>>; 2],
             frame: Frame,
         }
         let shared = Arc::new(Shared {
             latch: ModelLatch::new(2),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             results: [
                 RaceCell::named("chunk0.result", None),
                 RaceCell::named("chunk1.result", None),
@@ -222,7 +228,7 @@ pub fn multi_notifier_model() -> impl Fn(&mut Builder) {
 
         let waiter = Arc::clone(&shared);
         b.thread(move || {
-            waiter.latch.wait();
+            wait_for_latch(&waiter.latch, &waiter.store, &waiter.park);
             let a = waiter.results[0].read();
             let b = waiter.results[1].read();
             waiter.frame.free();
@@ -234,6 +240,7 @@ pub fn multi_notifier_model() -> impl Fn(&mut Builder) {
                 notifier.frame.touch("result.write");
                 notifier.results[i].write(Some(value));
                 notifier.latch.done_one(&notifier.frame);
+                notifier.park.job_finished();
             });
         }
     }

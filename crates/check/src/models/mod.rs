@@ -12,12 +12,20 @@
 //!   protocol, its PR 5 use-after-free regression (decrement outside
 //!   the lock), and the probe-only variant that isolates what the
 //!   declared atomic orderings buy.
-//! - [`queue`] — `Registry`'s shared FIFO: inject / pop / steal-back /
-//!   worker parking, exactly-once delivery, shutdown.
-//! - [`join`] — `join_in`: inject the second closure, steal it back or
-//!   help until its latch opens, take func/result out of the frame.
+//! - [`deque`] — the Pool-v2 work-stealing substrate: per-worker
+//!   deques (owner LIFO tail, thief FIFO head), the lock-free
+//!   Treiber-chain injector's publication protocol, and O(1) tail
+//!   steal-back — exactly-once under arbitrary interleaving.
+//! - [`park`] — the registry's parking protocol: the `pending` /
+//!   `completions` / `parked` counters, both condvars, and the PR 8
+//!   **lost-wakeup regression** (job arrival not waking latch-parked
+//!   helpers, reproducible with the fix knob reverted).
+//! - [`join`] — `join_in`: publish the second closure, steal it back
+//!   (O(1) tail check) or help until its latch opens, take func/result
+//!   out of the frame.
 //! - [`chunks`] — `run_chunks`: a batch of chunk jobs sharing one
-//!   latch, the caller helping, results read back in chunk order.
+//!   latch, the caller helping from its own tail, results read back in
+//!   chunk order.
 //! - [`scope`] — `scope`/`Scope::spawn`: dynamic latch counts and
 //!   first-panic-wins propagation through the scope's panic slot.
 //!
@@ -25,7 +33,8 @@
 //! same model to [`crate::explore`] and [`crate::replay`].
 
 pub mod chunks;
+pub mod deque;
 pub mod join;
 pub mod latch;
-pub mod queue;
+pub mod park;
 pub mod scope;

@@ -1,0 +1,402 @@
+//! Model of the Pool-v2 **parking protocol**
+//! (`shims/rayon/src/pool.rs`): the registry-wide `pending` /
+//! `completions` / `parked` counters, the park lock with its two
+//! condvars (`job_ready` for idle workers, `helper_wake` for latch
+//! waiters), and the PR 8 **lost-wakeup fix** — publishers must wake
+//! latch-parked helpers, not just workers.
+//!
+//! Every condvar wait here has **no timeout** (the real pool keeps a
+//! 1 ms bounded wait on the helper path as a belt): a wakeup the
+//! protocol loses surfaces as a reported deadlock naming the condvar,
+//! instead of hiding behind the timeout. [`lost_wakeup_model`] carries
+//! the regression knob — `fixed = false` reverts `wake` to the pre-PR 8
+//! shape (job arrival notifies only `job_ready`), and the explorer
+//! reports the helper deadlocked on `park.helper_wake` with a replay
+//! seed.
+//!
+//! ## One deliberate coarsening
+//!
+//! [`ModelJobStore`] fuses "job queue" and the `pending` ledger: the
+//! counter moves *inside the queue's critical section*, so at every
+//! scheduling point `pending` equals the number of reachable jobs. The
+//! real pool decrements right after removal — opening a transient
+//! where a peer sees `pending > 0`, finds nothing, and rescans. That
+//! transient's only effect is a bounded extra rescan resolved by OS
+//! scheduling fairness, which this explorer deliberately does not
+//! assume — modeled faithfully, the schedule "starve the claimant,
+//! spin the scanner" runs forever and every exploration dies on the
+//! step budget. The pool narrows the same window by claiming while
+//! still holding the deque lock (see `Registry::find_work`), so a
+//! rescanning peer serializes behind the lock exactly as it does
+//! here; only the lock-free injector's grab window (no lock to block
+//! on) remains outside this model, and the injector protocol itself is
+//! checked in [`crate::models::deque`]. Everything the lost-wakeup
+//! class depends on — registration order, predicate re-checks under
+//! the park lock, which condvar each publish notifies — is modeled
+//! operation-for-operation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
+
+use crate::models::latch::ModelLatch;
+use crate::sched::Builder;
+use crate::sync::{Arc, AtomicUsize, Condvar, Frame, Mutex, RaceCell};
+
+/// The fused queue + `pending` ledger (see the module docs for why the
+/// two are one critical section here). `pop_oldest` is the worker/thief
+/// side (FIFO head), `pop_newest` the owner's helping side (LIFO tail),
+/// `steal_back_tail` the O(1) `join` reclaim.
+pub struct ModelJobStore {
+    jobs: Mutex<VecDeque<usize>>,
+    /// `Registry::pending`: published-minus-claimed, `SeqCst` like the
+    /// real field; read by park predicates *without* the store lock.
+    pending: AtomicUsize,
+}
+
+impl Default for ModelJobStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelJobStore {
+    pub fn new() -> Self {
+        ModelJobStore {
+            jobs: Mutex::named("store.lock", VecDeque::new()),
+            pending: AtomicUsize::named("store.pending", 0),
+        }
+    }
+
+    /// `Registry::inject`'s queue half (the caller follows with
+    /// [`ModelPark::wake`], mirroring `published`).
+    pub fn push(&self, job: usize) {
+        let mut jobs = self.jobs.lock().unwrap();
+        jobs.push_back(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        drop(jobs);
+    }
+
+    /// `Registry::inject_many`'s queue half: one batch, one ledger
+    /// bump per job, still inside the critical section.
+    pub fn push_many(&self, batch: impl IntoIterator<Item = usize>) {
+        let mut jobs = self.jobs.lock().unwrap();
+        for job in batch {
+            jobs.push_back(job);
+            self.pending.fetch_add(1, Ordering::SeqCst);
+        }
+        drop(jobs);
+    }
+
+    /// Worker-side claim: the oldest job (FIFO).
+    pub fn pop_oldest(&self) -> Option<usize> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.pop_front();
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        drop(jobs);
+        job
+    }
+
+    /// Owner-side claim (the helping loop): the newest job (LIFO).
+    pub fn pop_newest(&self) -> Option<usize> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.pop_back();
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        drop(jobs);
+        job
+    }
+
+    /// `Registry::steal_back`: reclaim `job` iff it is still the tail.
+    pub fn steal_back_tail(&self, job: usize) -> bool {
+        let mut jobs = self.jobs.lock().unwrap();
+        let reclaimed = if jobs.back() == Some(&job) {
+            jobs.pop_back();
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            true
+        } else {
+            false
+        };
+        drop(jobs);
+        reclaimed
+    }
+
+    /// The park predicates' lock-free read of the ledger.
+    pub fn pending_load(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+}
+
+struct ParkSt {
+    sleepers: usize,
+    helper_sleepers: usize,
+    shutdown: bool,
+}
+
+/// Port of the registry's parking protocol. `wake_helpers_on_publish`
+/// is the PR 8 fix knob: `true` is the shipped protocol (job arrival
+/// notifies `helper_wake` too); `false` reverts to the pre-fix shape,
+/// where a job published while every thread is latch-parked is slept
+/// through.
+pub struct ModelPark {
+    /// `Registry::completions`: jobs executed (`SeqCst`). Latch waiters
+    /// snapshot it before probing and refuse to park if it moved.
+    completions: AtomicUsize,
+    /// `Registry::parked`: threads inside a park call, registered under
+    /// the park lock but read without it by the wake fast path.
+    parked: AtomicUsize,
+    park: Mutex<ParkSt>,
+    job_ready: Condvar,
+    helper_wake: Condvar,
+    wake_helpers_on_publish: bool,
+}
+
+impl ModelPark {
+    pub fn new(fixed: bool) -> Self {
+        ModelPark {
+            completions: AtomicUsize::named("park.completions", 0),
+            parked: AtomicUsize::named("park.parked", 0),
+            park: Mutex::named(
+                "park.lock",
+                ParkSt {
+                    sleepers: 0,
+                    helper_sleepers: 0,
+                    shutdown: false,
+                },
+            ),
+            job_ready: Condvar::named("park.job_ready"),
+            helper_wake: Condvar::named("park.helper_wake"),
+            wake_helpers_on_publish: fixed,
+        }
+    }
+
+    /// `Registry::wake`, called after publishing jobs: the lock-free
+    /// `parked == 0` fast path, then notifies under the park lock. With
+    /// the fix reverted, helpers are *not* woken on job arrival — the
+    /// lost-wakeup window.
+    pub fn wake(&self) {
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let st = self.park.lock().unwrap();
+        if st.sleepers > 0 {
+            self.job_ready.notify_all();
+        }
+        if self.wake_helpers_on_publish && st.helper_sleepers > 0 {
+            self.helper_wake.notify_all();
+        }
+        drop(st);
+    }
+
+    /// `Registry::job_finished`: bump `completions`, wake latch waiters
+    /// (the finished job may have opened their latch). Both the old and
+    /// new protocols wake helpers on *completion* — the bug was job
+    /// *arrival*.
+    pub fn job_finished(&self) {
+        self.completions.fetch_add(1, Ordering::SeqCst);
+        if self.parked.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let st = self.park.lock().unwrap();
+        if st.helper_sleepers > 0 {
+            self.helper_wake.notify_all();
+        }
+        drop(st);
+    }
+
+    /// The `completions` snapshot latch waiters take before probing.
+    pub fn completions(&self) -> usize {
+        self.completions.load(Ordering::SeqCst)
+    }
+
+    /// `Registry::park_worker`: register under the park lock *before*
+    /// re-checking `pending` (the store-buffering shape that makes the
+    /// publisher's `parked` check sound), wait on `job_ready`, return
+    /// `false` only when shut down *and* drained.
+    pub fn park_worker(&self, store: &ModelJobStore) -> bool {
+        let mut st = self.park.lock().unwrap();
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        st.sleepers += 1;
+        if store.pending_load() == 0 && !st.shutdown {
+            st = self.job_ready.wait(st).unwrap();
+        }
+        st.sleepers -= 1;
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        !(st.shutdown && store.pending_load() == 0)
+    }
+
+    /// `Registry::park_helper`: same registration protocol; the sleep
+    /// predicate additionally refuses to park if a job completed since
+    /// `seen` or the waiter's latch is already open. **No timeout** —
+    /// the real pool's 1 ms bound is a belt, and exploring without it
+    /// is what proves that.
+    pub fn park_helper(&self, store: &ModelJobStore, seen: usize, latch_open: impl Fn() -> bool) {
+        let mut st = self.park.lock().unwrap();
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        st.helper_sleepers += 1;
+        if store.pending_load() == 0
+            && self.completions.load(Ordering::SeqCst) == seen
+            && !latch_open()
+        {
+            st = self.helper_wake.wait(st).unwrap();
+        }
+        st.helper_sleepers -= 1;
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        drop(st);
+    }
+
+    /// `Registry::terminate`.
+    pub fn terminate(&self) {
+        let mut st = self.park.lock().unwrap();
+        st.shutdown = true;
+        self.job_ready.notify_all();
+        self.helper_wake.notify_all();
+        drop(st);
+    }
+}
+
+/// The PR 8 lost-wakeup scenario, two threads. The helper runs the real
+/// `wait_latch` loop — snapshot `completions`, probe, claim-and-execute
+/// or park — waiting on a latch that only opens when the injected job
+/// runs, and only the helper can run it. The injector thread publishes
+/// the job and calls `wake`.
+///
+/// With `fixed = true` this explores exhaustively clean: whichever side
+/// loses the race, the helper either sees the job before sleeping
+/// (registration-before-predicate) or is notified on `helper_wake`.
+/// With `fixed = false`, the schedule "helper parks first, then the job
+/// arrives" leaves the helper asleep forever — the explorer reports the
+/// deadlock, naming `park.helper_wake`, with a replay seed. This is the
+/// hang the old pool could reach whenever every thread was latch-parked
+/// and new work arrived.
+pub fn lost_wakeup_model(fixed: bool) -> impl Fn(&mut Builder) {
+    move |b: &mut Builder| {
+        struct Shared {
+            store: ModelJobStore,
+            park: ModelPark,
+            latch: ModelLatch,
+            /// `StackJob::result` for the injected job, living in the
+            /// helper's frame.
+            result: RaceCell<Option<u32>>,
+            frame: Frame,
+        }
+        let shared = Arc::new(Shared {
+            store: ModelJobStore::new(),
+            park: ModelPark::new(fixed),
+            latch: ModelLatch::new(1),
+            result: RaceCell::named("job.result", None),
+            frame: Frame::new("waiter-frame"),
+        });
+
+        let helper = Arc::clone(&shared);
+        b.thread(move || {
+            loop {
+                let seen = helper.park.completions();
+                if helper.latch.probe() {
+                    break;
+                }
+                match helper.store.pop_newest() {
+                    Some(job) => {
+                        assert_eq!(job, 0, "only job 0 is ever published");
+                        helper.frame.touch("result.write");
+                        helper.result.write(Some(42));
+                        helper.latch.done_one(&helper.frame);
+                        helper.park.job_finished();
+                    }
+                    None => helper
+                        .park
+                        .park_helper(&helper.store, seen, || helper.latch.probe()),
+                }
+            }
+            helper.latch.sync_before_teardown();
+            helper.frame.touch("result.take");
+            let result = helper.result.swap(None);
+            helper.frame.free();
+            assert_eq!(
+                result,
+                Some(42),
+                "the injected job ran before the latch opened"
+            );
+        });
+
+        let injector = Arc::clone(&shared);
+        b.thread(move || {
+            // `Registry::inject` from outside: publish, then wake.
+            injector.store.push(0);
+            injector.park.wake();
+        });
+    }
+}
+
+/// Worker lifecycle on the new protocol: a producer publishes `jobs`
+/// jobs and terminates; `workers` workers claim / execute / park until
+/// shutdown-and-drained. The finale asserts exactly-once execution —
+/// including for stragglers published just before the shutdown signal,
+/// which `park_worker`'s drain-before-exit return value covers. Each
+/// job's claim slot is a [`RaceCell`], so an exactly-once violation is
+/// also a reported data race, not just a failed count.
+pub fn worker_lifecycle_model(workers: usize, jobs: usize) -> impl Fn(&mut Builder) {
+    move |b: &mut Builder| {
+        struct Shared {
+            store: ModelJobStore,
+            park: ModelPark,
+            slots: Vec<RaceCell<Option<usize>>>,
+        }
+        fn slot_name(index: usize) -> &'static str {
+            match index {
+                0 => "job0.func",
+                1 => "job1.func",
+                _ => "job2.func",
+            }
+        }
+        assert!(jobs <= 3, "model names cover three claim slots");
+        let shared = Arc::new(Shared {
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
+            slots: (0..jobs)
+                .map(|j| RaceCell::named(slot_name(j), Some(j)))
+                .collect(),
+        });
+        let runs: Arc<Vec<StdAtomicUsize>> =
+            Arc::new((0..jobs).map(|_| StdAtomicUsize::new(0)).collect());
+
+        let producer = Arc::clone(&shared);
+        b.thread(move || {
+            for j in 0..jobs {
+                producer.store.push(j);
+                producer.park.wake();
+            }
+            producer.park.terminate();
+        });
+
+        for _ in 0..workers {
+            let worker = Arc::clone(&shared);
+            let worker_runs = Arc::clone(&runs);
+            b.thread(move || loop {
+                while let Some(j) = worker.store.pop_oldest() {
+                    let payload = worker.slots[j]
+                        .swap(None)
+                        .expect("a job is claimed exactly once");
+                    assert_eq!(payload, j);
+                    worker_runs[j].fetch_add(1, Ordering::SeqCst);
+                    worker.park.job_finished();
+                }
+                if !worker.park.park_worker(&worker.store) {
+                    return;
+                }
+            });
+        }
+
+        b.finale(move || {
+            for (j, count) in runs.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::SeqCst),
+                    1,
+                    "job {j} must execute exactly once"
+                );
+            }
+        });
+    }
+}

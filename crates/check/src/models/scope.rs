@@ -1,6 +1,6 @@
 //! Model of `scope` / `Scope::spawn` (`shims/rayon/src/pool.rs`): the
 //! latch starts at 1 (the scope body itself), every `spawn` adds one
-//! completion **before** injecting, the body's own `done_one` comes
+//! completion **before** publishing, the body's own `done_one` comes
 //! after all spawns, and the caller helps until the latch opens. Panics
 //! from spawned closures land in the scope's panic slot with
 //! first-panic-wins (`get_or_insert`) semantics and are taken after the
@@ -15,12 +15,13 @@
 use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
 
 use crate::models::latch::ModelLatch;
-use crate::models::queue::ModelQueue;
+use crate::models::park::{ModelJobStore, ModelPark};
 use crate::sched::Builder;
 use crate::sync::{Arc, Frame, Mutex};
 
 struct ScopeShared {
-    queue: ModelQueue,
+    store: ModelJobStore,
+    park: ModelPark,
     latch: ModelLatch,
     /// `Scope::panic`: first panic payload wins (payloads are `u32`
     /// stand-ins here).
@@ -42,6 +43,7 @@ fn execute_scope_job(scope: &ScopeShared, j: usize, runs: &[StdAtomicUsize]) {
         drop(slot);
     }
     scope.latch.done_one(&scope.frame);
+    scope.park.job_finished();
 }
 
 /// One scope body (t0) spawning two jobs — job 0 panics — plus one
@@ -50,7 +52,8 @@ fn execute_scope_job(scope: &ScopeShared, j: usize, runs: &[StdAtomicUsize]) {
 pub fn scope_panic_model() -> impl Fn(&mut Builder) {
     |b: &mut Builder| {
         let shared = Arc::new(ScopeShared {
-            queue: ModelQueue::new(),
+            store: ModelJobStore::new(),
+            park: ModelPark::new(true),
             latch: ModelLatch::new(1),
             panic_slot: Mutex::named("scope.panic", None),
             frame: Frame::new("scope-frame"),
@@ -62,18 +65,25 @@ pub fn scope_panic_model() -> impl Fn(&mut Builder) {
         let caller_runs = Arc::clone(&runs);
         b.thread(move || {
             // The scope body: spawn two jobs (`add` strictly before
-            // `inject`, so the latch can never transiently hit zero).
+            // publish, so the latch can never transiently hit zero).
             for j in 0..2usize {
                 caller.latch.add(1);
-                caller.queue.inject(j);
+                caller.store.push(j);
+                caller.park.wake();
             }
             // The body itself is one completion.
             caller.latch.done_one(&caller.frame);
             // wait_latch with helping.
-            while !caller.latch.probe() {
-                match caller.queue.try_pop() {
+            loop {
+                let seen = caller.park.completions();
+                if caller.latch.probe() {
+                    break;
+                }
+                match caller.store.pop_newest() {
                     Some(j) => execute_scope_job(&caller, j, &caller_runs),
-                    None => caller.latch.park(),
+                    None => caller
+                        .park
+                        .park_helper(&caller.store, seen, || caller.latch.probe()),
                 }
             }
             caller.latch.sync_before_teardown();
@@ -81,14 +91,17 @@ pub fn scope_panic_model() -> impl Fn(&mut Builder) {
             let payload = caller.panic_slot.lock().unwrap().take();
             caller.frame.free();
             assert_eq!(payload, Some(7), "the spawned panic propagates");
-            caller.queue.terminate();
+            caller.park.terminate();
         });
 
         let worker = Arc::clone(&shared);
         let worker_runs = Arc::clone(&runs);
-        b.thread(move || {
-            while let Some(j) = worker.queue.next_job() {
+        b.thread(move || loop {
+            while let Some(j) = worker.store.pop_oldest() {
                 execute_scope_job(&worker, j, &worker_runs);
+            }
+            if !worker.park.park_worker(&worker.store) {
+                return;
             }
         });
 

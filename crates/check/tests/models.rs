@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering};
 
-use pp_check::models::{chunks, join, latch, queue, scope};
+use pp_check::models::{chunks, deque, join, latch, park, scope};
 use pp_check::sync::{Arc, Condvar, Frame, Mutex, RaceCell};
 use pp_check::{explore, replay, Builder, Config};
 
@@ -229,40 +229,148 @@ fn latch_multi_notifier_is_clean_three_threads() {
 }
 
 // ---------------------------------------------------------------------------
-// Queue / join / chunks / scope protocol models
+// Deque substrate: owner LIFO / thief FIFO, injector publication
 // ---------------------------------------------------------------------------
 
 #[test]
-fn queue_delivers_exactly_once_two_threads() {
+fn deque_delivers_exactly_once_two_threads() {
     let report = explore(
-        "queue_exactly_once_1w",
+        "deque_exactly_once_1s",
         Config::default(),
-        queue::exactly_once_model(1, 2),
+        deque::deque_exactly_once_model(1),
     );
     assert!(report.passed(), "{report}");
     assert!(report.complete);
 }
 
 #[test]
-fn queue_delivers_exactly_once_three_threads() {
+fn deque_delivers_exactly_once_three_threads() {
     let report = explore(
-        "queue_exactly_once_2w",
+        "deque_exactly_once_2s",
         Config::default().preemptions(1).schedules(200_000),
-        queue::exactly_once_model(2, 2),
+        deque::deque_exactly_once_model(2),
     );
     assert!(report.passed(), "{report}");
 }
 
 #[test]
-fn queue_steal_back_is_exclusive() {
+fn deque_steal_back_is_exclusive_and_thief_takes_the_head() {
     let report = explore(
-        "queue_steal_back",
+        "deque_steal_back",
         Config::default(),
-        queue::steal_back_model(),
+        deque::deque_steal_back_model(),
     );
     assert!(report.passed(), "{report}");
     assert!(report.complete);
 }
+
+#[test]
+fn injector_publication_is_clean_as_declared() {
+    let report = explore(
+        "injector_publish",
+        Config::default().preemptions(2).schedules(200_000),
+        deque::injector_publish_model(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+/// Weakest-ordering exploration of the injector: the `Release` CAS →
+/// `AcqRel` swap pair is the *only* edge publishing a pushed segment's
+/// payload to the grabber. Demote it and the explorer must report the
+/// race — the machine-checked justification for the `Ordering`s on
+/// `Injector::{push, grab_all}` in pool.rs.
+#[test]
+fn injector_publish_orderings_are_load_bearing() {
+    let report = explore(
+        "injector_publish_weak",
+        Config::default()
+            .preemptions(2)
+            .schedules(200_000)
+            .weakened(),
+        deque::injector_publish_model(),
+    );
+    let failure = report
+        .failure
+        .expect("relaxed injector push/grab must lose the publication edge");
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Parking protocol: the PR 8 lost-wakeup regression
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lost_wakeup_fixed_is_exhaustively_clean() {
+    let report = explore(
+        "lost_wakeup_fixed",
+        Config::default(),
+        park::lost_wakeup_model(true),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete, "2-thread park model must be exhaustible");
+}
+
+/// The PR 8 regression, revert side: with `wake` notifying only
+/// `job_ready`, the schedule "helper parks on the latch path, then the
+/// job arrives" leaves the helper asleep forever. The explorer must
+/// report the deadlock, name the condvar the helper is stuck on, and
+/// replay it from its seed.
+#[test]
+fn lost_wakeup_found_when_fix_reverted() {
+    let report = explore(
+        "lost_wakeup_reverted",
+        Config::default(),
+        park::lost_wakeup_model(false),
+    );
+    let failure = report.failure.expect("pre-fix wake must lose the wakeup");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected message: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("park.helper_wake"),
+        "report should name the condvar the helper sleeps on: {}",
+        failure.message
+    );
+
+    let replayed = replay(
+        "lost_wakeup_reverted",
+        &failure.seed,
+        Config::default(),
+        park::lost_wakeup_model(false),
+    );
+    assert_eq!(replayed.failure.unwrap().message, failure.message);
+}
+
+#[test]
+fn worker_lifecycle_drains_before_shutdown_two_threads() {
+    let report = explore(
+        "worker_lifecycle_1w",
+        Config::default(),
+        park::worker_lifecycle_model(1, 2),
+    );
+    assert!(report.passed(), "{report}");
+    assert!(report.complete);
+}
+
+#[test]
+fn worker_lifecycle_drains_before_shutdown_three_threads() {
+    let report = explore(
+        "worker_lifecycle_2w",
+        Config::default().preemptions(1).schedules(200_000),
+        park::worker_lifecycle_model(2, 2),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+// ---------------------------------------------------------------------------
+// Join / chunks / scope protocol models
+// ---------------------------------------------------------------------------
 
 #[test]
 fn join_runs_second_closure_exactly_once() {

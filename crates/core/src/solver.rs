@@ -225,6 +225,21 @@ impl RunConfig {
     }
 }
 
+/// Record the scheduler-activity delta a run produced into its stats,
+/// under the `sched_*` counter names. CI runs on one core, where
+/// speedups are unobservable — these counters are how the scheduler's
+/// *behavior* (lock traffic per task, steal balance, parking) stays
+/// assertable anyway. The snapshot pair must be taken inside the same
+/// pool `install` as the run, so the deltas come from the pool that
+/// actually executed it.
+fn record_sched_counters(stats: &mut ExecutionStats, delta: rayon::SchedulerCounters) {
+    stats.set_counter("sched_queue_locks", delta.queue_locks);
+    stats.set_counter("sched_steals", delta.steals);
+    stats.set_counter("sched_parks", delta.parks);
+    stats.set_counter("sched_injector_pushes", delta.injector_pushes);
+    stats.set_counter("sched_jobs", delta.jobs_executed);
+}
+
 /// The result of a phase-parallel run: the algorithm's output plus the
 /// unified execution statistics.
 #[derive(Clone, Debug)]
@@ -487,9 +502,16 @@ impl<A: PhaseAlgorithm> Solver<A> {
         A::Output: Send,
     {
         let algo = &self.algo;
+        let run = || {
+            let before = rayon::scheduler_counters();
+            let mut report = algo.solve_par(input, cfg);
+            let delta = rayon::scheduler_counters().since(&before);
+            record_sched_counters(&mut report.stats, delta);
+            report
+        };
         match &self.pool {
-            Some(pool) => pool.install(|| algo.solve_par(input, cfg)),
-            None => algo.solve_par(input, cfg),
+            Some(pool) => pool.install(run),
+            None => run(),
         }
     }
 
@@ -620,9 +642,16 @@ where
         let solver = self.solver;
         let algo = &solver.algo;
         let (prepared, scratch) = (&self.prepared, &mut self.scratch);
+        let mut run = move || {
+            let before = rayon::scheduler_counters();
+            let mut report = algo.solve_prepared(prepared, scratch, cfg);
+            let delta = rayon::scheduler_counters().since(&before);
+            record_sched_counters(&mut report.stats, delta);
+            report
+        };
         match &solver.pool {
-            Some(pool) => pool.install(move || algo.solve_prepared(prepared, scratch, cfg)),
-            None => algo.solve_prepared(prepared, scratch, cfg),
+            Some(pool) => pool.install(run),
+            None => run(),
         }
     }
 
@@ -646,7 +675,8 @@ where
         let prepared = &self.prepared;
         let pool = &self.batch_scratch;
         let run = move || {
-            queries
+            let before = rayon::scheduler_counters();
+            let reports = queries
                 .par_iter()
                 .map_init(
                     || PooledScratch {
@@ -664,13 +694,21 @@ where
                         algo.solve_prepared(prepared, scratch, q)
                     },
                 )
-                .collect::<Vec<Report<A::Output>>>()
+                .collect::<Vec<Report<A::Output>>>();
+            let delta = rayon::scheduler_counters().since(&before);
+            (reports, delta)
         };
-        let reports = match &solver.pool {
+        let (reports, delta) = match &solver.pool {
             Some(thread_pool) => thread_pool.install(run),
             None => run(),
         };
-        BatchReport::from_reports(reports)
+        let mut batch = BatchReport::from_reports(reports);
+        // Batch-level scheduler activity: measured across the whole
+        // fan-out (the per-query reports inside carry no `sched_*`
+        // counters of their own — `solve_prepared` is called directly
+        // here — so the aggregate is not double-counted by `merge`).
+        record_sched_counters(&mut batch.stats, delta);
+        batch
     }
 
     /// Number of worker workspaces currently parked between batches
@@ -834,6 +872,35 @@ mod tests {
         let again = prepared.solve_batch(&queries);
         assert_eq!(again.len(), 5);
         assert!(prepared.pooled_scratches() >= 1, "workspaces must return");
+    }
+
+    #[test]
+    fn sched_counters_recorded_on_solve_and_batch() {
+        let solver = Solver::new(CountUp).configure(|c| c.with_threads(2));
+        let report = solver.solve(&[1, 2, 3]);
+        for name in [
+            "sched_queue_locks",
+            "sched_steals",
+            "sched_parks",
+            "sched_injector_pushes",
+            "sched_jobs",
+        ] {
+            assert!(
+                report.stats.counter(name).is_some(),
+                "solve must record {name}"
+            );
+        }
+
+        let input = [1u32, 2, 3];
+        let prepared = solver.prepare(&input);
+        let queries: Vec<RunConfig> = (0..3).map(RunConfig::seeded).collect();
+        let batch = prepared.solve_batch(&queries);
+        assert!(
+            batch.stats.counter("sched_jobs").is_some_and(|j| j >= 1),
+            "a 2-thread batch fan-out must execute pool jobs"
+        );
+        assert!(batch.stats.counter("sched_steals").is_some());
+        assert!(batch.stats.counter("sched_parks").is_some());
     }
 
     #[test]

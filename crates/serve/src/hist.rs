@@ -52,9 +52,7 @@ fn bucket_index(value: u64) -> usize {
     }
 }
 
-/// The largest value mapping to `index` — the representative percentile
-/// queries report, so a reported quantile is always ≥ the true one
-/// (conservative for latency SLOs).
+/// The largest value mapping to `index`.
 fn bucket_upper_bound(index: usize) -> u64 {
     if index < SUB_BUCKETS as usize {
         index as u64
@@ -67,6 +65,21 @@ fn bucket_upper_bound(index: usize) -> u64 {
         // `u64::MAX`, and adding before subtracting would overflow.
         base - 1 + (sub + 1) * width
     }
+}
+
+/// The midpoint of bucket `index` — the representative percentile
+/// queries report. The midpoint splits the quantization error both
+/// ways, bounding it at half a sub-bucket width (`1 / 2^(SUB_BITS+1)`
+/// relative); reporting the upper bound instead overstated every
+/// quantile by up to a full sub-bucket width.
+fn bucket_midpoint(index: usize) -> u64 {
+    let upper = bucket_upper_bound(index);
+    let lower = if index == 0 {
+        0
+    } else {
+        bucket_upper_bound(index - 1) + 1
+    };
+    lower + (upper - lower) / 2
 }
 
 impl LatencyHistogram {
@@ -113,8 +126,10 @@ impl LatencyHistogram {
     }
 
     /// The value at quantile `q` in `[0, 1]` (`None` when empty):
-    /// the upper bound of the first bucket whose cumulative count
-    /// reaches `q · total`, clamped to the exact observed extremes.
+    /// the midpoint of the first bucket whose cumulative count reaches
+    /// `q · total`, clamped to the exact observed extremes — so the
+    /// reported value is within half a sub-bucket width
+    /// (`1 / 2^(SUB_BITS+1)` ≈ 1.6% relative) of the true quantile.
     /// `quantile(0.5)` is p50, `quantile(0.99)` p99.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
@@ -127,7 +142,7 @@ impl LatencyHistogram {
         for (index, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= target {
-                return Some(bucket_upper_bound(index).clamp(self.min, self.max));
+                return Some(bucket_midpoint(index).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -210,6 +225,41 @@ mod tests {
         assert!((1_000_000..=1_100_000).contains(&p99), "p99 {p99}");
         assert!(h.quantile(0.0).unwrap() >= 1_000);
         assert_eq!(h.max(), Some(1_000_000));
+    }
+
+    /// Pin the quantile error bound: the midpoint is within half a
+    /// sub-bucket width of any sample in its bucket, i.e. within
+    /// `1 / (2 · SUB_BUCKETS)` relative — half the upper bound's bias.
+    #[test]
+    fn quantile_midpoint_halves_the_error_bound() {
+        for v in [40u64, 1_000, 12_345, 1_000_000, 987_654_321, u64::MAX / 3] {
+            let mid = bucket_midpoint(bucket_index(v));
+            let error = v.abs_diff(mid) as f64 / v as f64;
+            assert!(
+                error <= 1.0 / (2.0 * SUB_BUCKETS as f64),
+                "{v}: midpoint {mid} error {error}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_reports_bucket_midpoints_not_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        // Both samples land in the same [992, 1007] bucket.
+        assert_eq!(bucket_index(992), bucket_index(1_007));
+        h.record(992);
+        h.record(1_007);
+        // The midpoint (999) splits the quantization error both ways;
+        // the upper bound (1007) overstated the sample at 992 by a
+        // full sub-bucket width.
+        assert_eq!(h.quantile(0.5), Some(999));
+        assert_eq!(h.quantile(1.0), Some(999));
+        // Clamping to the exact extremes keeps single-sample queries
+        // exact even when the midpoint falls outside the observed
+        // range.
+        let mut solo = LatencyHistogram::new();
+        solo.record(1_007);
+        assert_eq!(solo.quantile(0.5), Some(1_007));
     }
 
     #[test]

@@ -3,22 +3,30 @@
 //!
 //! The build environment for this workspace has no crates.io access, so
 //! this crate vendors the *subset* of rayon's API the workspace uses.
-//! Since PR 5 the execution is genuinely parallel: a work-sharing
-//! chunk scheduler on `std::thread` (see `pool.rs`'s module docs for
-//! the scheduler design) runs [`join`], [`scope`],
+//! Since PR 5 the execution is genuinely parallel, and since PR 8 the
+//! scheduler is a **work-stealing** arrangement: per-worker LIFO deques
+//! with FIFO steals, a lock-free injector for external submissions, and
+//! steal-back as an O(1) own-tail pop (see `pool.rs`'s module docs for
+//! the full design). It runs [`join`], [`scope`],
 //! [`ThreadPool::install`] and every parallel-iterator driver
 //! (`par_iter`, `par_chunks_mut`, `map_init`, `ParallelExtend`, …) on
 //! the pool's worker threads. [`ThreadPoolBuilder::num_threads`] is
 //! honored and [`current_num_threads`] is truthful, so thread-count
 //! knobs (`RunConfig::threads`, `RAYON_NUM_THREADS`) change actual
-//! concurrency, not just a label.
+//! concurrency, not just a label. [`scheduler_counters`] exposes the
+//! scheduler's bookkeeping (queue-lock acquisitions, steals, parks,
+//! injector pushes, executed jobs) so schedulers can be compared by
+//! counters even on single-core CI, where wall-clock scaling is
+//! invisible.
 //!
 //! Every entry point is a drop-in signature match for the real rayon
 //! (including the rayon-specific `reduce(identity, op)` shape and the
 //! `Send + Sync` closure bounds), so the codebase compiles unchanged
 //! against either; pointing the workspace `rayon` dependency at
-//! crates.io swaps the shared-queue scheduler for rayon's work-stealing
-//! deques with no source edits. Two documented deviations: adaptor
+//! crates.io swaps this shim's deques for rayon's Chase–Lev
+//! work-stealing deques with no source edits. Two documented
+//! deviations (plus [`scheduler_counters`], a shim-only extension):
+//! adaptor
 //! closures must additionally be `Clone` (strictly tighter, satisfied
 //! by every capture-by-reference closure), and `find_any` /
 //! `position_any` are deterministic aliases of their `_first`
@@ -53,6 +61,56 @@ pub mod prelude {
 /// available parallelism).
 pub fn current_num_threads() -> usize {
     pool::current_registry().num_threads()
+}
+
+/// A snapshot of one pool's cumulative scheduler bookkeeping (a
+/// shim-only extension; the real rayon has no equivalent). Counters
+/// only ever increase; diff two snapshots with
+/// [`SchedulerCounters::since`] to attribute activity to a region.
+///
+/// These exist because single-core CI cannot observe scheduler quality
+/// as wall-clock scaling: the counters make "fewer lock acquisitions
+/// per task, steals actually happen, nobody busy-spins" assertable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerCounters {
+    /// Deque mutex acquisitions (owner pushes/pops, steal attempts).
+    /// The headline scheduler metric: the old shared-queue design paid
+    /// one *global* lock per operation; per-worker deques plus the
+    /// lock-free injector shrink both the count and the contention
+    /// scope.
+    pub queue_locks: u64,
+    /// Jobs taken from another worker's deque.
+    pub steals: u64,
+    /// Times a thread blocked on a condvar (worker idle parks + latch
+    /// waiter parks).
+    pub parks: u64,
+    /// Lock-free injector submissions (batches pushed from outside the
+    /// pool's workers).
+    pub injector_pushes: u64,
+    /// Jobs executed to completion.
+    pub jobs_executed: u64,
+}
+
+impl SchedulerCounters {
+    /// Counter deltas since `earlier` (saturating, so snapshots from
+    /// different pools never panic — they just produce nonsense, as
+    /// any cross-pool diff would).
+    pub fn since(&self, earlier: &SchedulerCounters) -> SchedulerCounters {
+        SchedulerCounters {
+            queue_locks: self.queue_locks.saturating_sub(earlier.queue_locks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+            injector_pushes: self.injector_pushes.saturating_sub(earlier.injector_pushes),
+            jobs_executed: self.jobs_executed.saturating_sub(earlier.jobs_executed),
+        }
+    }
+}
+
+/// Scheduler counters of the *current* pool: the installed pool inside
+/// [`ThreadPool::install`] (and on its workers), the global pool
+/// otherwise.
+pub fn scheduler_counters() -> SchedulerCounters {
+    pool::current_registry().counters_snapshot()
 }
 
 /// Error building a [`ThreadPool`]: the spawn of a worker thread failed,
@@ -132,6 +190,13 @@ impl ThreadPool {
     /// This pool's worker count.
     pub fn current_num_threads(&self) -> usize {
         self.registry.num_threads()
+    }
+
+    /// This pool's cumulative [`SchedulerCounters`] (no `install`
+    /// needed — reads this pool regardless of the thread's current
+    /// pool).
+    pub fn scheduler_counters(&self) -> SchedulerCounters {
+        self.registry.counters_snapshot()
     }
 }
 
@@ -404,6 +469,38 @@ mod tests {
         let v: Vec<u64> = (0..200_000).collect();
         let s = pool(4).install(|| sum_rec(&v));
         assert_eq!(s, 200_000u64 * 199_999 / 2);
+    }
+
+    #[test]
+    fn scheduler_counters_move_under_load() {
+        let pool = pool(4);
+        let before = pool.scheduler_counters();
+        let total: u64 = pool.install(|| {
+            (0..100_000u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(2654435761))
+                .sum()
+        });
+        assert_eq!(
+            total,
+            (0..100_000u64).map(|x| x.wrapping_mul(2654435761)).sum()
+        );
+        let delta = pool.scheduler_counters().since(&before);
+        assert!(
+            delta.jobs_executed > 0,
+            "chunks must run as jobs: {delta:?}"
+        );
+        assert!(
+            delta.injector_pushes > 0,
+            "an external install submits via the injector: {delta:?}"
+        );
+        // Counters are monotone, and `since` on swapped arguments
+        // saturates instead of wrapping.
+        assert_eq!(before.since(&pool.scheduler_counters()).jobs_executed, 0);
+        // The install closure ran with this pool current, so the free
+        // function must have read the same registry.
+        let seen_inside = pool.install(crate::scheduler_counters);
+        assert!(seen_inside.jobs_executed >= delta.jobs_executed);
     }
 
     #[test]
