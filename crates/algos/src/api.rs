@@ -396,11 +396,7 @@ impl PhaseAlgorithm for BellmanFordSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        Report::plain(sssp::bellman_ford_with(
-            &input.graph,
-            input.source_for(cfg),
-            cfg,
-        ))
+        sssp::bellman_ford_with(&input.graph, input.source_for(cfg), cfg)
     }
     fn solve_prepared(
         &self,
@@ -408,7 +404,7 @@ impl PhaseAlgorithm for BellmanFordSssp {
         scratch: &mut Scratch,
         cfg: &RunConfig,
     ) -> Report<Vec<u64>> {
-        Report::plain(sssp::bellman_ford_prepared(prepared, scratch, cfg))
+        sssp::bellman_ford_prepared(prepared, scratch, cfg)
     }
 }
 

@@ -34,7 +34,7 @@
 //! currency the registry's conformance machinery already speaks.
 
 use crate::registry::Digest;
-use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig, Scratch};
+use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig, RunOutcome, Scratch};
 use std::borrow::Borrow;
 use std::sync::Arc;
 
@@ -46,6 +46,10 @@ pub struct ServedQuery {
     pub digest: u64,
     /// The query's execution statistics.
     pub stats: ExecutionStats,
+    /// How the run ended. On [`RunOutcome::DeadlineExceeded`] the digest
+    /// covers the *partial* output and must not be compared against a
+    /// completed run's.
+    pub outcome: RunOutcome,
 }
 
 /// Object-safe view of one owned prepared instance: what the serving
@@ -174,10 +178,15 @@ where
 
     fn query(&self, scratch: &mut Scratch, cfg: &RunConfig) -> ServedQuery {
         let prepared = self.prepared.as_ref().expect("live until drop");
-        let report = self.algo.solve_prepared(prepared, scratch, cfg);
+        // The lease's drop check (debug builds) pins the take/put
+        // protocol for every family on the serve path: a query that
+        // strands a buffer fails here instead of growing memory.
+        let mut lease = scratch.lease();
+        let report = self.algo.solve_prepared(prepared, &mut lease, cfg);
         ServedQuery {
             digest: report.output.digest(),
             stats: report.stats,
+            outcome: report.outcome,
         }
     }
 

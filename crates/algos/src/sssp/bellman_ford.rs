@@ -8,21 +8,39 @@
 //! relaxation is split into edge-balanced packets.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{Frontier, FrontierPolicy, RunConfig, Scratch};
+use phase_parallel::{
+    CancelToken, ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, RunOutcome, Scratch,
+};
 use pp_graph::{chunk, Graph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shortest distances from `source` by round-synchronous relaxation.
 pub fn bellman_ford(g: &Graph, source: u32) -> Vec<u64> {
-    bellman_ford_core(g, source, &mut Scratch::new(), FrontierPolicy::Adaptive)
+    bellman_ford_core(
+        g,
+        source,
+        &mut Scratch::new(),
+        FrontierPolicy::Adaptive,
+        None,
+    )
+    .output
 }
 
 /// [`bellman_ford`] honoring the config's [`RunConfig::frontier`]
-/// representation pin — the one-shot entry point the registry drives,
-/// so differential sparse/dense testing reaches this family too.
-pub fn bellman_ford_with(g: &Graph, source: u32, cfg: &RunConfig) -> Vec<u64> {
-    bellman_ford_core(g, source, &mut Scratch::new(), cfg.frontier)
+/// representation pin and deadline — the one-shot entry point the
+/// registry drives, so differential sparse/dense testing and
+/// cancellation reach this family too. The report's `stats.rounds`
+/// counts relaxation rounds with per-round frontier sizes, and
+/// `"relaxations"` totals edge relaxations.
+pub fn bellman_ford_with(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>> {
+    bellman_ford_core(
+        g,
+        source,
+        &mut Scratch::new(),
+        cfg.frontier,
+        cfg.cancel.as_ref(),
+    )
 }
 
 /// Per-query prepared Bellman-Ford: source from [`RunConfig::source`],
@@ -32,12 +50,13 @@ pub fn bellman_ford_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
     cfg: &RunConfig,
-) -> Vec<u64> {
+) -> Report<Vec<u64>> {
     bellman_ford_core(
         prepared.graph,
         prepared.source_for(cfg),
         scratch,
         cfg.frontier,
+        cfg.cancel.as_ref(),
     )
 }
 
@@ -46,7 +65,8 @@ fn bellman_ford_core(
     source: u32,
     scratch: &mut Scratch,
     policy: FrontierPolicy,
-) -> Vec<u64> {
+    cancel: Option<&CancelToken>,
+) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     let mut dist = scratch.take_vec::<AtomicU64>("sssp_dist");
     dist.resize_with(n, || AtomicU64::new(INF));
@@ -60,8 +80,17 @@ fn bellman_ford_core(
     let mut prefix = scratch.take_vec::<u64>("relax_prefix");
     let mut bounds = scratch.take_vec::<usize>("relax_bounds");
     let packets = chunk::default_packets();
+    let mut stats = ExecutionStats::default();
+    let mut relax_count = 0u64;
+    let mut outcome = RunOutcome::Completed;
 
     while !frontier.is_empty() {
+        // Cooperative cancellation, polled once per round.
+        if super::deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
+        stats.record_round(frontier.len());
         // Relax all frontier edges in edge-balanced packets; collect
         // improved vertices (duplicates collapse in the engine).
         let dist_ref = &dist;
@@ -87,7 +116,7 @@ fn bellman_ford_core(
         updated.clear();
         match frontier.as_slice() {
             Some(members) => {
-                super::relax_into_packets(
+                relax_count += super::relax_into_packets(
                     g,
                     members,
                     &mut deg,
@@ -98,6 +127,7 @@ fn bellman_ford_core(
                 );
             }
             None => {
+                relax_count += frontier.sum_map(|v| g.degree(v) as u64);
                 chunk::vertex_edge_bounds(g, packets, &mut bounds);
                 let fr = &frontier;
                 updated.par_extend(bounds.par_windows(2).flat_map_iter(|w| {
@@ -109,6 +139,7 @@ fn bellman_ford_core(
         }
         frontier.fill(&updated);
     }
+    stats.set_counter("relaxations", relax_count);
     let out: Vec<u64> = dist.par_iter().map(|d| d.load(Ordering::Relaxed)).collect();
     scratch.put_vec("sssp_dist", dist);
     frontier.release(scratch, "sssp_frontier");
@@ -116,7 +147,7 @@ fn bellman_ford_core(
     scratch.put_vec("relax_deg", deg);
     scratch.put_vec("relax_prefix", prefix);
     scratch.put_vec("relax_bounds", bounds);
-    out
+    Report::new(out, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]
@@ -140,9 +171,22 @@ mod tests {
         let g = pp_graph::gen::uniform(400, 1600, 2);
         let wg = pp_graph::gen::with_uniform_weights(&g, 1, 50, 3);
         let mut scratch = Scratch::new();
-        let sparse = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Sparse);
-        let dense = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Dense);
-        assert_eq!(sparse, dense);
-        assert_eq!(sparse, bellman_ford(&wg, 0));
+        let sparse = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Sparse, None);
+        let dense = bellman_ford_core(&wg, 0, &mut scratch, FrontierPolicy::Dense, None);
+        assert_eq!(sparse.output, dense.output);
+        assert_eq!(sparse.output, bellman_ford(&wg, 0));
+    }
+
+    #[test]
+    fn tripped_token_yields_typed_outcome() {
+        let g = pp_graph::gen::uniform(300, 1200, 4);
+        let wg = pp_graph::gen::with_uniform_weights(&g, 1, 50, 5);
+        let token = phase_parallel::CancelToken::new();
+        token.cancel();
+        let report = bellman_ford_with(&wg, 0, &RunConfig::new().with_cancel_token(token));
+        assert_eq!(report.outcome, RunOutcome::DeadlineExceeded);
+        // Only the source has a distance: the run stopped before round 1.
+        assert_eq!(report.output[0], 0);
+        assert_eq!(report.stats.rounds, 0);
     }
 }

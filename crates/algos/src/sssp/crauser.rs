@@ -28,7 +28,9 @@
 //! reallocations) and settled batches relax in edge-balanced packets.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, Scratch};
+use phase_parallel::{
+    CancelToken, ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, RunOutcome, Scratch,
+};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,7 +57,14 @@ pub fn crauser_out_with(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u
         .into_par_iter()
         .map(|v| g.edge_weights(v).iter().copied().min().unwrap_or(INF))
         .collect();
-    crauser_out_core(g, source, &mow, &mut Scratch::new(), cfg.frontier)
+    crauser_out_core(
+        g,
+        source,
+        &mow,
+        &mut Scratch::new(),
+        cfg.frontier,
+        cfg.cancel.as_ref(),
+    )
 }
 
 /// Per-query prepared OUT-criterion SSSP: the per-vertex minimum
@@ -75,6 +84,7 @@ pub fn crauser_out_prepared(
         &prepared.mow,
         scratch,
         cfg.frontier,
+        cfg.cancel.as_ref(),
     )
 }
 
@@ -84,6 +94,7 @@ fn crauser_out_core(
     mow: &[u64],
     scratch: &mut Scratch,
     policy: FrontierPolicy,
+    cancel: Option<&CancelToken>,
 ) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     debug_assert_eq!(mow.len(), n);
@@ -104,8 +115,14 @@ fn crauser_out_core(
     let mut bounds = scratch.take_vec::<usize>("relax_bounds");
     let mut stats = ExecutionStats::default();
     let mut relax_count = 0u64;
+    let mut outcome = RunOutcome::Completed;
 
     while !active.is_empty() {
+        // Cooperative cancellation, polled once per round.
+        if super::deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         // The settling threshold L. Positive weights make the global
         // minimum-distance vertex always pass (dist_min < dist_min + mow),
         // so every round settles at least one vertex.
@@ -174,7 +191,7 @@ fn crauser_out_core(
     scratch.put_vec("relax_deg", deg);
     scratch.put_vec("relax_prefix", prefix);
     scratch.put_vec("relax_bounds", bounds);
-    Report::new(out, stats)
+    Report::new(out, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -20,7 +20,9 @@
 //! state.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{Frontier, FrontierPolicy, Report, RunConfig, Scratch};
+use phase_parallel::{
+    CancelToken, Frontier, FrontierPolicy, Report, RunConfig, RunOutcome, Scratch,
+};
 use pp_graph::{chunk, Graph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +43,14 @@ pub fn delta_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64
     let delta = cfg
         .delta
         .unwrap_or_else(|| g.min_weight().unwrap_or(1).max(1));
-    delta_stepping_core(g, source, delta, &mut Scratch::new(), cfg.frontier)
+    delta_stepping_core(
+        g,
+        source,
+        delta,
+        &mut Scratch::new(),
+        cfg.frontier,
+        cfg.cancel.as_ref(),
+    )
 }
 
 /// The per-query half of prepared Δ-stepping: Δ defaults to the
@@ -61,6 +70,7 @@ pub fn delta_stepping_prepared(
         delta,
         scratch,
         cfg.frontier,
+        cfg.cancel.as_ref(),
     )
 }
 
@@ -70,6 +80,7 @@ fn delta_stepping_core(
     delta: u64,
     scratch: &mut Scratch,
     policy: FrontierPolicy,
+    cancel: Option<&CancelToken>,
 ) -> Report<Vec<u64>> {
     assert!(delta >= 1);
     assert!(g.is_weighted() || g.num_edges() == 0);
@@ -110,10 +121,19 @@ fn delta_stepping_core(
     let packets = chunk::default_packets();
 
     let bucket_of = |d: u64| (d / delta) as usize;
+    let mut outcome = RunOutcome::Completed;
     let mut i = 0usize;
-    while i < live {
+    'buckets: while i < live {
         let mut bucket_processed = 0usize;
         loop {
+            // Cooperative cancellation, polled once per substep — every
+            // bucket iteration passes through here before doing work, so
+            // a tripped deadline stops the run at substep granularity
+            // with all scratch buffers still returned below.
+            if super::deadline_tripped(cancel) {
+                outcome = RunOutcome::DeadlineExceeded;
+                break 'buckets;
+            }
             if buckets[i].is_empty() {
                 break;
             }
@@ -250,7 +270,7 @@ fn delta_stepping_core(
     scratch.put_vec("relax_deg", deg);
     scratch.put_vec("relax_prefix", prefix);
     scratch.put_vec("relax_bounds", bounds);
-    Report::new(out, stats)
+    Report::new(out, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]
@@ -364,6 +384,30 @@ mod tests {
             assert_eq!(sparse.stats.counter("dense_substeps"), Some(0));
             assert_eq!(dense.stats.counter("sparse_substeps"), Some(0));
         }
+    }
+
+    #[test]
+    fn tripped_token_is_typed_and_generous_deadline_is_invisible() {
+        let g = gen::uniform(500, 2000, 11);
+        let wg = gen::with_uniform_weights(&g, 1, 1000, 12);
+        // Pre-tripped token: the run stops at the first substep poll
+        // and says so in the outcome instead of panicking or spinning.
+        let token = CancelToken::new();
+        token.cancel();
+        let report = delta_stepping(&wg, 0, &RunConfig::new().with_cancel_token(token));
+        assert_eq!(report.outcome, RunOutcome::DeadlineExceeded);
+        assert!(!report.is_complete());
+        // Generous deadline: polling is observation-free, output and
+        // outcome match the no-deadline run exactly.
+        let generous = delta_stepping(
+            &wg,
+            0,
+            &RunConfig::new().with_deadline(std::time::Duration::from_secs(3600)),
+        );
+        let plain = delta_stepping(&wg, 0, &RunConfig::new());
+        assert!(generous.is_complete());
+        assert_eq!(generous.output, plain.output);
+        assert_eq!(generous.stats.rounds, plain.stats.rounds);
     }
 
     #[test]

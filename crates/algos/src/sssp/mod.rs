@@ -31,12 +31,22 @@ pub use dijkstra::{dijkstra, dijkstra_prepared};
 pub use pam_dijkstra::{sssp_pam, sssp_pam_prepared};
 pub use rho_stepping::{rho_stepping, rho_stepping_prepared, DEFAULT_RHO};
 
-use phase_parallel::{Report, RunConfig};
+use phase_parallel::{CancelToken, Report, RunConfig};
 use pp_graph::Graph;
 use rayon::prelude::*;
 
 /// Unreachable-distance sentinel.
 pub const INF: u64 = u64::MAX;
+
+/// One cancellation poll, shared by every round loop in the family:
+/// `None` (no deadline armed) costs a branch, `Some` costs one relaxed
+/// atomic load. Polls are observation-free — they never change what a
+/// run computes, only whether it keeps going — so happy-path digests
+/// are byte-identical with and without a deadline (pinned registry-wide
+/// by the serve conformance tests).
+pub(crate) fn deadline_tripped(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(CancelToken::is_cancelled)
+}
 
 /// Relax `members` in edge-balanced packets (degree-prefix chunker,
 /// [`pp_graph::chunk`]): everything `relax(v)` yields is appended to

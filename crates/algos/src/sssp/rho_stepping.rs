@@ -24,7 +24,9 @@
 //! edge-balanced packets. All buffers recycle through [`Scratch`].
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, Scratch};
+use phase_parallel::{
+    CancelToken, ExecutionStats, Frontier, FrontierPolicy, Report, RunConfig, RunOutcome, Scratch,
+};
 use pp_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +51,7 @@ pub fn rho_stepping(g: &Graph, source: u32, cfg: &RunConfig) -> Report<Vec<u64>>
         cfg.rho.unwrap_or(DEFAULT_RHO),
         &mut Scratch::new(),
         cfg.frontier,
+        cfg.cancel.as_ref(),
     )
 }
 
@@ -67,6 +70,7 @@ pub fn rho_stepping_prepared(
         cfg.rho.unwrap_or(DEFAULT_RHO),
         scratch,
         cfg.frontier,
+        cfg.cancel.as_ref(),
     )
 }
 
@@ -76,6 +80,7 @@ fn rho_stepping_core(
     rho: usize,
     scratch: &mut Scratch,
     policy: FrontierPolicy,
+    cancel: Option<&CancelToken>,
 ) -> Report<Vec<u64>> {
     assert!(rho > 0, "rho must be positive");
     let n = g.num_vertices();
@@ -96,8 +101,14 @@ fn rho_stepping_core(
     let mut bounds = scratch.take_vec::<usize>("relax_bounds");
     let mut stats = ExecutionStats::default();
     let mut relax_count = 0u64;
+    let mut outcome = RunOutcome::Completed;
 
     while !active.is_empty() {
+        // Cooperative cancellation, polled once per step.
+        if super::deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         // Pick the batch: the ρ smallest tentative distances in the pool
         // (with ties at the threshold included, so the batch is a
         // deterministic function of the distances).
@@ -165,7 +176,7 @@ fn rho_stepping_core(
     scratch.put_vec("relax_deg", deg);
     scratch.put_vec("relax_prefix", prefix);
     scratch.put_vec("relax_bounds", bounds);
-    Report::new(out, stats)
+    Report::new(out, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -1,0 +1,151 @@
+//! Fault-injection gate: a served trace with injected query panics and
+//! forced deadline expiry (fixed seed) must complete without aborting
+//! the process, resolve every fault to a typed outcome row, and replay
+//! to the **identical** outcome sequence when re-run under the same
+//! seed — including across different worker counts.
+//!
+//! This binary does real damage on purpose: roughly a fifth of query
+//! attempts panic inside the serve boundary and another fifth have
+//! their deadline force-expired, under the fixed plan seed
+//! `"pr9-fault-smoke"`. The gate fails (exit 1) if any of the
+//! resilience invariants break:
+//!
+//! * no abort — every query resolves to a typed [`QueryOutcome`];
+//! * the injected faults actually landed (`panics_isolated` and
+//!   `deadline_exceeded` counters are nonzero, and every isolated panic
+//!   quarantined its scratch workspace);
+//! * determinism — a second replay under the same seed, at a different
+//!   thread count, yields the same outcome sequence and trace digest.
+//!
+//! Requires the fault probes to be compiled in: build with
+//! `RUSTFLAGS="--cfg pp_fault"`. Without the cfg the binary reports the
+//! probes are compiled out and exits 0, so it is safe in any CI leg.
+//!
+//! Run in CI with `PP_SMOKE=1` (the invariants are size-independent).
+//!
+//! Run with: `RUSTFLAGS="--cfg pp_fault" cargo run --release -p pp-bench --bin fault_smoke`
+
+#![forbid(unsafe_code)]
+
+use pp_check::fault::{self, FaultPlan};
+use pp_serve::{QueryOutcome, ServeOptions, ServingTier, TraceReport};
+use pp_workloads::{QueryTrace, ScenarioSpec, TraceConfig};
+
+/// The gate's fixed fault seed: change it and you are testing a
+/// different (but equally reproducible) fault schedule.
+const FAULT_SEED: &str = "pr9-fault-smoke";
+
+fn serve(trace: &QueryTrace, size: usize, threads: usize) -> TraceReport {
+    let tier = ServingTier::new(
+        "sssp/delta",
+        ServeOptions::new(size, 7)
+            .with_threads(threads)
+            .with_max_retries(1),
+    )
+    .expect("serving entry");
+    tier.serve_trace(trace)
+}
+
+fn main() {
+    if !fault::ENABLED {
+        println!(
+            "fault_smoke: fault probes compiled out \
+             (build with RUSTFLAGS=\"--cfg pp_fault\" to arm them); nothing to gate"
+        );
+        return;
+    }
+
+    let size = if pp_bench::smoke() {
+        120
+    } else {
+        800 * pp_bench::scale()
+    };
+    let scenarios = [
+        ScenarioSpec::parse("graph/rmat+w/uniform").expect("scenario"),
+        ScenarioSpec::parse("graph/grid2d+w/unit").expect("scenario"),
+    ];
+    let trace = QueryTrace::generate(&scenarios, &TraceConfig::new(96, 23));
+
+    fault::install(
+        FaultPlan::new(FAULT_SEED)
+            .with_rule("serve.query.panic", 5)
+            .with_rule("serve.query.deadline", 5),
+    );
+    let first = serve(&trace, size, 1);
+    let again = serve(&trace, size, 8);
+    fault::clear();
+
+    let count = |r: &TraceReport, o| r.outcome_count(o);
+    let counter = |name| first.stats.counter(name).unwrap_or(0);
+    let mut failures = Vec::new();
+
+    // Every query resolved to exactly one typed row; the process is
+    // still here, so nothing aborted.
+    if first.outcomes.len() != trace.len() {
+        failures.push(format!(
+            "typed outcomes missing: {} rows for {} queries",
+            first.outcomes.len(),
+            trace.len()
+        ));
+    }
+    // The injected faults landed and were absorbed as typed outcomes.
+    if counter("panics_isolated") == 0 {
+        failures.push("no panic was injected/isolated — probes dead?".into());
+    }
+    if counter("deadline_exceeded") == 0 {
+        failures.push("no deadline was force-expired — probes dead?".into());
+    }
+    if counter("scratch_quarantined") != counter("panics_isolated") {
+        failures.push(format!(
+            "quarantine mismatch: {} panics isolated but {} workspaces quarantined",
+            counter("panics_isolated"),
+            counter("scratch_quarantined"),
+        ));
+    }
+    if count(&first, QueryOutcome::Completed) == 0 {
+        failures.push("every query failed — the tier absorbed nothing".into());
+    }
+    // Same seed ⇒ same fault schedule ⇒ identical outcome sequence and
+    // digest, even at a different worker count.
+    if first.outcomes != again.outcomes {
+        failures.push("outcome sequence diverged between same-seed replays".into());
+    }
+    if first.digest != again.digest {
+        failures.push(format!(
+            "trace digest diverged between same-seed replays: {:#x} vs {:#x}",
+            first.digest, again.digest
+        ));
+    }
+
+    let table = pp_bench::Table::new(&[
+        "run",
+        "threads",
+        "completed",
+        "panic",
+        "deadline",
+        "retries",
+    ]);
+    for (label, threads, report) in [("first", 1usize, &first), ("again", 8, &again)] {
+        table.row(&[
+            label.to_string(),
+            threads.to_string(),
+            count(report, QueryOutcome::Completed).to_string(),
+            count(report, QueryOutcome::PanicIsolated).to_string(),
+            count(report, QueryOutcome::DeadlineExceeded).to_string(),
+            report.stats.counter("retries").unwrap_or(0).to_string(),
+        ]);
+    }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("fault_smoke: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "fault_smoke: seed \"{FAULT_SEED}\" absorbed {} panics and {} blown deadlines \
+         into typed outcomes, twice, identically",
+        counter("panics_isolated"),
+        counter("deadline_exceeded"),
+    );
+}

@@ -208,15 +208,28 @@ fn bench_serving(
             );
         }
     }
+    // The five resilience counters are always exported by the tier
+    // (zero on this fault-free leg); surfacing them in every served row
+    // keeps the JSON schema identical between clean and fault-injected
+    // runs.
+    let resilience = |name: &str| report.stats.counter(name).unwrap_or(0);
     rows.push(format!(
         "    {{\"scenario\": \"{scenario_label}\", \"family\": \"sssp/delta\", \
          \"tier\": \"served\", \"threads\": {threads}, \
          \"backend\": \"parallel\", \"vertices\": {n_target}, \
          \"queries\": {}, \"p50_ns\": {p50}, \"p99_ns\": {p99}, \
-         \"qps\": {:.2}, \"cache_hit_rate\": {:.4}}}",
+         \"qps\": {:.2}, \"cache_hit_rate\": {:.4}, \
+         \"deadline_exceeded\": {}, \"panics_isolated\": {}, \
+         \"queries_rejected\": {}, \"retries\": {}, \
+         \"scratch_quarantined\": {}}}",
         trace.len(),
         report.qps(),
         report.counters.hit_rate(),
+        resilience("deadline_exceeded"),
+        resilience("panics_isolated"),
+        resilience("queries_rejected"),
+        resilience("retries"),
+        resilience("scratch_quarantined"),
     ));
 }
 

@@ -57,6 +57,7 @@
 
 pub mod audit;
 pub mod clock;
+pub mod fault;
 pub mod models;
 pub mod sched;
 pub mod sync;

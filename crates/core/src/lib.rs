@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod frontier;
 pub mod rank;
 pub mod reservations;
@@ -50,10 +51,11 @@ pub mod tas_tree;
 pub mod type1;
 pub mod type2;
 
+pub use cancel::{CancelToken, RunOutcome};
 pub use frontier::{Frontier, FrontierPolicy};
 pub use rank::{IndependenceSystem, RankFn};
 pub use reservations::{speculative_for, ReservationProblem, ReservationTable, SpecForStats};
-pub use scratch::Scratch;
+pub use scratch::{Scratch, ScratchLease};
 pub use solver::{
     BatchReport, PhaseAlgorithm, PivotMode, PreparedSolver, PrioritySource, Report, RunConfig,
     Solver,

@@ -45,6 +45,7 @@ pub struct Scratch {
     slots: HashMap<(&'static str, TypeId), Box<dyn Any + Send>>,
     takes: u64,
     reuses: u64,
+    puts: u64,
 }
 
 impl Scratch {
@@ -128,6 +129,30 @@ impl Scratch {
         self.takes
     }
 
+    /// Total number of `put_*` calls. A query that upholds the take/put
+    /// protocol performs exactly as many puts as takes; the difference
+    /// (`takes() - puts()`) is the number of buffers currently checked
+    /// out — see [`Scratch::lease`].
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Start a balance-checked scope: the returned [`ScratchLease`]
+    /// derefs to this workspace, and on drop (in debug builds, outside
+    /// unwinding) asserts that the scope performed matching `take_*` /
+    /// `put_*` calls. A take with no matching put silently strands the
+    /// buffer — capacity is rebuilt on every later query and memory
+    /// grows monotonically — so the serve path wraps each query in a
+    /// lease and the imbalance fails tests instead of shipping.
+    pub fn lease(&mut self) -> ScratchLease<'_> {
+        let (takes, puts) = (self.takes, self.puts);
+        ScratchLease {
+            scratch: self,
+            takes_at_entry: takes,
+            puts_at_entry: puts,
+        }
+    }
+
     /// Number of currently parked buffers.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -151,7 +176,49 @@ impl Scratch {
     }
 
     fn insert<T: Send + 'static>(&mut self, name: &'static str, v: T) {
+        self.puts += 1;
         self.slots.insert((name, TypeId::of::<T>()), Box::new(v));
+    }
+}
+
+/// A balance-checked borrow of a [`Scratch`], created by
+/// [`Scratch::lease`]. Derefs to the workspace; on drop it
+/// `debug_assert!`s that the scope's `take_*` and `put_*` counts match.
+/// The check is skipped while unwinding — a panicking query legitimately
+/// leaves buffers checked out, and the *driver* handles that case by
+/// quarantining the whole workspace rather than trusting its state.
+pub struct ScratchLease<'a> {
+    scratch: &'a mut Scratch,
+    takes_at_entry: u64,
+    puts_at_entry: u64,
+}
+
+impl std::ops::Deref for ScratchLease<'_> {
+    type Target = Scratch;
+    fn deref(&self) -> &Scratch {
+        self.scratch
+    }
+}
+
+impl std::ops::DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut Scratch {
+        self.scratch
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let taken = self.scratch.takes - self.takes_at_entry;
+        let put = self.scratch.puts - self.puts_at_entry;
+        debug_assert_eq!(
+            taken, put,
+            "scratch take/put imbalance: {taken} takes vs {put} puts in this \
+             scope — a taken buffer was never returned (early return?), so its \
+             capacity is stranded and will be re-allocated on every later query"
+        );
     }
 }
 
@@ -219,6 +286,41 @@ mod tests {
         s.put_any("heap", String::from("state"));
         assert_eq!(s.take_any::<String>("heap").as_deref(), Some("state"));
         assert!(s.take_any::<String>("heap").is_none());
+    }
+
+    #[test]
+    fn puts_counted_and_balanced_lease_passes() {
+        let mut s = Scratch::new();
+        {
+            let mut lease = s.lease();
+            let v = lease.take_vec::<u32>("buf");
+            lease.put_vec("buf", v);
+        } // drop: balanced, no assert
+        assert_eq!(s.takes(), 1);
+        assert_eq!(s.puts(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scratch take/put imbalance")]
+    fn unbalanced_lease_asserts_in_debug() {
+        let mut s = Scratch::new();
+        let mut lease = s.lease();
+        let _leaked = lease.take_vec::<u32>("buf"); // no matching put
+        drop(lease);
+    }
+
+    #[test]
+    fn lease_skips_assert_while_unwinding() {
+        // A panic *through* a lease must not double-panic (abort): the
+        // drop check detects unwinding and stands down.
+        let result = std::panic::catch_unwind(|| {
+            let mut s = Scratch::new();
+            let mut lease = s.lease();
+            let _taken = lease.take_vec::<u32>("buf");
+            panic!("query died mid-flight");
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -40,9 +40,11 @@
 //! assert_eq!(cfg.pivot_mode, PivotMode::RightMost);
 //! ```
 
+use crate::cancel::{CancelToken, RunOutcome};
 use crate::frontier::FrontierPolicy;
 use crate::scratch::Scratch;
 use crate::stats::ExecutionStats;
+use std::time::Duration;
 
 /// How a Type 2 engine selects a pivot among unfinished predecessors.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -130,6 +132,14 @@ pub struct RunConfig {
     /// sparse/dense (the differential-testing knob — outputs must not
     /// depend on it).
     pub frontier: FrontierPolicy,
+    /// Cooperative cancellation for this query: engine loops poll the
+    /// token at packet/substep granularity and stop early with a typed
+    /// [`RunOutcome::DeadlineExceeded`] when it trips. `None` (the
+    /// default) runs unbounded. Polling is observation-free — a token
+    /// that never trips leaves the run byte-identical to no token at
+    /// all. Set via [`RunConfig::with_deadline`] or
+    /// [`RunConfig::with_cancel_token`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RunConfig {
@@ -143,6 +153,7 @@ impl Default for RunConfig {
             priority_source: PrioritySource::default(),
             source: None,
             frontier: FrontierPolicy::default(),
+            cancel: None,
         }
     }
 }
@@ -203,6 +214,31 @@ impl RunConfig {
         self
     }
 
+    /// Give this query a wall-clock budget: a fresh [`CancelToken`]
+    /// whose deadline is `budget` from **now** (the clock starts here,
+    /// not at the first poll). Engines that poll stop at the first poll
+    /// past the deadline and report [`RunOutcome::DeadlineExceeded`]
+    /// with partial output and stats.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.cancel = Some(CancelToken::with_budget(budget));
+        self
+    }
+
+    /// Attach an externally-held cancellation token (see
+    /// [`RunConfig::cancel`]) — the driver keeps a clone, so it can
+    /// force expiry or share one token across related queries.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Poll this config's cancellation token, if any. The form engine
+    /// loops use: `if cfg.is_cancelled() { break }` at packet/substep
+    /// boundaries. Always `false` when no token is attached.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
     /// Build the dedicated pool this configuration asks for, if any.
     fn build_pool(&self) -> Option<rayon::ThreadPool> {
         self.threads.map(|t| {
@@ -241,35 +277,55 @@ fn record_sched_counters(stats: &mut ExecutionStats, delta: rayon::SchedulerCoun
 }
 
 /// The result of a phase-parallel run: the algorithm's output plus the
-/// unified execution statistics.
+/// unified execution statistics and the typed [`RunOutcome`].
 #[derive(Clone, Debug)]
 pub struct Report<T> {
-    /// The algorithm's answer (identical to its sequential baseline's).
+    /// The algorithm's answer (identical to its sequential baseline's
+    /// when [`Report::outcome`] is [`RunOutcome::Completed`]; partial
+    /// state otherwise).
     pub output: T,
     /// Rounds, frontier sizes, wake-ups, and named per-algorithm
     /// counters.
     pub stats: ExecutionStats,
+    /// Whether the run completed or stopped at a cancellation poll.
+    /// [`RunOutcome::Completed`] unless the engine polled a tripped
+    /// [`CancelToken`].
+    pub outcome: RunOutcome,
 }
 
 impl<T> Report<T> {
     pub fn new(output: T, stats: ExecutionStats) -> Self {
-        Self { output, stats }
+        Self {
+            output,
+            stats,
+            outcome: RunOutcome::Completed,
+        }
     }
 
     /// A report with empty statistics, for algorithms (or sequential
     /// baselines) that do not meter their execution.
     pub fn plain(output: T) -> Self {
-        Self {
-            output,
-            stats: ExecutionStats::default(),
-        }
+        Self::new(output, ExecutionStats::default())
     }
 
-    /// Transform the output, keeping the statistics.
+    /// Tag this report with an outcome (builder-style; engines that
+    /// poll cancellation use it on the early-exit path).
+    pub fn with_outcome(mut self, outcome: RunOutcome) -> Self {
+        self.outcome = outcome;
+        self
+    }
+
+    /// True iff the run finished (no cancellation poll tripped).
+    pub fn is_complete(&self) -> bool {
+        self.outcome.is_complete()
+    }
+
+    /// Transform the output, keeping the statistics and outcome.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Report<U> {
         Report {
             output: f(self.output),
             stats: self.stats,
+            outcome: self.outcome,
         }
     }
 

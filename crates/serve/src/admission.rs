@@ -1,0 +1,120 @@
+//! [`AdmissionGate`]: bounded in-flight admission with load-shedding.
+//!
+//! A serving tier under overload has two choices: queue without bound
+//! (latency grows until everything times out) or **shed** — reject the
+//! excess up front with a typed outcome the client can see and retry
+//! against. The gate implements the shedding half: a fixed in-flight
+//! limit, a lock-free entry counter, and an RAII [`AdmissionPermit`]
+//! that releases the slot however the query ends — completion, deadline
+//! or panic (the permit drops during unwinding too).
+//!
+//! Rejection here is *deterministic per load state*, not randomized:
+//! whether a query is shed depends only on how many permits are live at
+//! its admission attempt. Under a single-threaded replay the sequence
+//! is exactly reproducible; under a parallel replay the counts still
+//! add up (every rejection increments `rejected`, every admission is
+//! eventually released).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A bounded in-flight gate. One gate guards one serving tier replay;
+/// workers call [`AdmissionGate::try_enter`] per attempt.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    limit: usize,
+    inflight: AtomicUsize,
+    rejected: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `limit` concurrent holders (`limit` is
+    /// clamped to ≥ 1 — a gate that admits nothing would wedge the
+    /// replay).
+    pub fn new(limit: usize) -> Self {
+        Self {
+            limit: limit.max(1),
+            inflight: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to claim an in-flight slot: `Some(permit)` admits (release
+    /// by dropping the permit), `None` sheds and counts the rejection.
+    pub fn try_enter(&self) -> Option<AdmissionPermit<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.limit {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(AdmissionPermit { gate: self })
+    }
+
+    /// The configured in-flight limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Permits currently live.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// Admission attempts shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+}
+
+/// An in-flight slot, released on drop — including a drop that happens
+/// because the query panicked, so an unwinding worker can never leak
+/// serving capacity.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_limit_then_sheds() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_enter().expect("slot 1");
+        let b = gate.try_enter().expect("slot 2");
+        assert!(gate.try_enter().is_none(), "over limit");
+        assert_eq!(gate.rejected(), 1);
+        assert_eq!(gate.inflight(), 2);
+        drop(a);
+        let c = gate.try_enter().expect("slot freed");
+        drop(b);
+        drop(c);
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn permit_released_on_unwind() {
+        let gate = AdmissionGate::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = gate.try_enter().expect("slot");
+            panic!("query died holding a permit");
+        }));
+        assert!(result.is_err());
+        assert_eq!(gate.inflight(), 0, "unwind released the slot");
+        assert!(gate.try_enter().is_some());
+    }
+
+    #[test]
+    fn zero_limit_is_clamped() {
+        let gate = AdmissionGate::new(0);
+        assert_eq!(gate.limit(), 1);
+        assert!(gate.try_enter().is_some());
+    }
+}

@@ -69,6 +69,12 @@ enum Slot {
         instance: SharedPrepared,
         cost: usize,
         last_used: u64,
+        /// Queries against this resident that unwound ([`
+        /// InstanceCache::record_query_panic`]). At
+        /// [`InstanceCache::POISON_EVICT_AFTER`] the instance is deemed
+        /// poisoned and evicted, so a corrupt prepared structure cannot
+        /// keep taking workers down from the cache forever.
+        panics: u64,
     },
     Pending(Arc<Flight>),
 }
@@ -99,6 +105,13 @@ pub struct CacheCounters {
     /// Actual `prepare()` executions — `misses - coalesced` when no
     /// instance was ever evicted and re-prepared.
     pub prepares: u64,
+    /// Prepared instances rejected from residency because their cost
+    /// alone exceeds the whole budget — served uncached by a typed
+    /// decision, not installed-then-self-evicted.
+    pub oversized: u64,
+    /// Residents evicted through the poison path: their queries
+    /// panicked [`InstanceCache::POISON_EVICT_AFTER`] times.
+    pub poison_evictions: u64,
     /// Current resident cost in bytes (not monotone; diagnostics).
     pub resident_bytes: u64,
     /// Current resident instance count (not monotone; diagnostics).
@@ -128,12 +141,19 @@ pub struct InstanceCache {
     coalesced: AtomicU64,
     evictions: AtomicU64,
     prepares: AtomicU64,
+    oversized: AtomicU64,
+    poison_evictions: AtomicU64,
 }
 
 impl InstanceCache {
+    /// Query-panic count at which a resident instance is deemed
+    /// poisoned and evicted (see [`InstanceCache::record_query_panic`]).
+    pub const POISON_EVICT_AFTER: u64 = 3;
+
     /// A cache evicting LRU-first past `budget_bytes` of resident
     /// instance cost. A single instance costing more than the whole
-    /// budget is still served — it just does not stay resident.
+    /// budget is still served — it is rejected from residency up front
+    /// (the `oversized` counter) rather than cached.
     pub fn new(budget_bytes: usize) -> Self {
         Self {
             budget: budget_bytes,
@@ -147,6 +167,8 @@ impl InstanceCache {
             coalesced: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             prepares: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            poison_evictions: AtomicU64::new(0),
         }
     }
 
@@ -245,16 +267,32 @@ impl InstanceCache {
                 state.tick += 1;
                 let tick = state.tick;
                 let cost = instance.cost_bytes();
-                state.slots.insert(
-                    key.to_string(),
-                    Slot::Ready {
-                        instance: instance.clone(),
-                        cost,
-                        last_used: tick,
-                    },
-                );
-                state.resident += cost;
-                self.evict_to_budget(&mut state);
+                if cost > self.budget {
+                    // Typed rejection: an instance whose cost alone
+                    // exceeds the whole budget can never be retained, so
+                    // it is served uncached — the pending claim is
+                    // withdrawn (followers still get the instance via
+                    // the flight below) instead of installing a resident
+                    // that the next insert would evict anyway.
+                    self.oversized.fetch_add(1, Ordering::Relaxed);
+                    if matches!(state.slots.get(key),
+                                Some(Slot::Pending(pending)) if Arc::ptr_eq(pending, &flight))
+                    {
+                        state.slots.remove(key);
+                    }
+                } else {
+                    state.slots.insert(
+                        key.to_string(),
+                        Slot::Ready {
+                            instance: instance.clone(),
+                            cost,
+                            last_used: tick,
+                            panics: 0,
+                        },
+                    );
+                    state.resident += cost;
+                    self.evict_to_budget(&mut state);
+                }
             }
 
             let mut slot = flight.slot.lock().expect("flight lock");
@@ -267,10 +305,9 @@ impl InstanceCache {
     }
 
     /// Drop LRU residents until the budget holds. Pending slots are
-    /// never evicted (their cost is not yet counted); the most recently
-    /// installed instance goes last, so an instance larger than the
-    /// whole budget is evicted immediately after — served, not
-    /// retained.
+    /// never evicted (their cost is not yet counted), and an instance
+    /// larger than the whole budget never reaches here — it is rejected
+    /// from residency before insertion (the `oversized` counter).
     fn evict_to_budget(&self, state: &mut State) {
         while state.resident > self.budget {
             let victim = state
@@ -293,6 +330,29 @@ impl InstanceCache {
         }
     }
 
+    /// Record that a query against the resident instance under `key`
+    /// panicked. At [`InstanceCache::POISON_EVICT_AFTER`] strikes the
+    /// resident is evicted (counted under both `evictions` and
+    /// `poison_evictions`) so the next lookup prepares a fresh
+    /// instance. Returns `true` iff this call evicted. Workers that
+    /// checked the instance out keep their handles — eviction only
+    /// drops the cache's.
+    pub fn record_query_panic(&self, key: &str) -> bool {
+        let mut state = self.state.lock().expect("cache lock");
+        if let Some(Slot::Ready { panics, cost, .. }) = state.slots.get_mut(key) {
+            *panics += 1;
+            if *panics >= Self::POISON_EVICT_AFTER {
+                let cost = *cost;
+                state.slots.remove(key);
+                state.resident -= cost;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.poison_evictions.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
     /// A consistent snapshot of the counters.
     pub fn snapshot(&self) -> CacheCounters {
         let state = self.state.lock().expect("cache lock");
@@ -307,6 +367,8 @@ impl InstanceCache {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            poison_evictions: self.poison_evictions.load(Ordering::Relaxed),
             resident_bytes: state.resident as u64,
             entries,
         }
@@ -314,10 +376,10 @@ impl InstanceCache {
 
     /// Export the counters as `ExecutionStats` named counters
     /// (`"cache_hits"`, `"cache_misses"`, `"cache_coalesced"`,
-    /// `"cache_evictions"`, `"cache_prepares"`,
-    /// `"cache_resident_bytes"`) — the workspace's uniform stats
-    /// currency, so bench rows and reports carry cache behavior
-    /// alongside rounds and frontier sizes.
+    /// `"cache_evictions"`, `"cache_prepares"`, `"cache_oversized"`,
+    /// `"cache_poison_evictions"`, `"cache_resident_bytes"`) — the
+    /// workspace's uniform stats currency, so bench rows and reports
+    /// carry cache behavior alongside rounds and frontier sizes.
     pub fn export_counters(&self, stats: &mut ExecutionStats) {
         let snap = self.snapshot();
         stats.set_counter("cache_hits", snap.hits);
@@ -325,6 +387,8 @@ impl InstanceCache {
         stats.set_counter("cache_coalesced", snap.coalesced);
         stats.set_counter("cache_evictions", snap.evictions);
         stats.set_counter("cache_prepares", snap.prepares);
+        stats.set_counter("cache_oversized", snap.oversized);
+        stats.set_counter("cache_poison_evictions", snap.poison_evictions);
         stats.set_counter("cache_resident_bytes", snap.resident_bytes);
     }
 }

@@ -26,6 +26,17 @@
 //!   [`LatencyHistogram`] and digesting every answer so a served trace
 //!   can be checked against the freshly-prepared path bit-for-bit.
 //!
+//! Plus a **resilience layer** at the driver boundary: per-query
+//! deadlines (cooperative cancellation polled inside the engines),
+//! panic isolation with scratch quarantine and instance poison
+//! eviction, bounded-in-flight admission control, and deterministic
+//! seeded retry. Every query resolves to a typed [`QueryOutcome`] row,
+//! and every fault the tier absorbs is counted in the report stats
+//! (`deadline_exceeded`, `panics_isolated`, `queries_rejected`,
+//! `retries`, `scratch_quarantined`). Faults themselves are injected —
+//! deterministically, seeded — through `pp_check::fault` probes
+//! compiled in under `--cfg pp_fault`.
+//!
 //! ```
 //! use pp_serve::{ServeOptions, ServingTier};
 //! use pp_workloads::{QueryTrace, ScenarioSpec, TraceConfig};
@@ -44,21 +55,24 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
 pub mod hist;
 
+pub use admission::{AdmissionGate, AdmissionPermit};
 pub use cache::{CacheCounters, InstanceCache};
 pub use hist::LatencyHistogram;
 pub use pp_algos::serving::{estimated_cost_bytes, PreparedService, ServedQuery, SharedPrepared};
 
-use phase_parallel::{ExecutionStats, RunConfig, Scratch};
+use phase_parallel::{CancelToken, ExecutionStats, RunConfig, Scratch};
 use pp_algos::registry::{self, AlgorithmEntry, CaseSpec, Digest, RegistryError};
+use pp_check::fault;
 use pp_workloads::{QueryTrace, TraceQuery};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
-/// Serving-tier knobs: instance sizing, worker pool width, and the
-/// cache budget.
+/// Serving-tier knobs: instance sizing, worker pool width, the cache
+/// budget, and the resilience policy (deadline, admission, retry).
 #[derive(Clone, Copy, Debug)]
 pub struct ServeOptions {
     /// Nominal instance size every cached instance is generated at
@@ -71,6 +85,19 @@ pub struct ServeOptions {
     /// Cache cost budget in bytes. The default fits every default
     /// scenario of one entry at once (16 instances' worth).
     pub cache_budget_bytes: usize,
+    /// Per-query wall-clock budget. `None` (the default) runs
+    /// unbounded; `Some` arms a [`CancelToken`] the engine loops poll,
+    /// turning a blown budget into a typed
+    /// [`QueryOutcome::DeadlineExceeded`] row instead of a stuck worker.
+    pub deadline: Option<Duration>,
+    /// Bounded in-flight budget. `None` (the default) admits
+    /// everything; `Some(limit)` sheds queries over the limit as typed
+    /// [`QueryOutcome::Rejected`] rows (see [`AdmissionGate`]).
+    pub admission_limit: Option<usize>,
+    /// Retries after a failed attempt (deadline blown, panic isolated)
+    /// before the failure becomes the query's final outcome. Retries
+    /// back off deterministically from the query seed.
+    pub max_retries: u32,
 }
 
 impl ServeOptions {
@@ -80,6 +107,9 @@ impl ServeOptions {
             instance_seed,
             threads: 1,
             cache_budget_bytes: 16 * estimated_cost_bytes(instance_size),
+            deadline: None,
+            admission_limit: None,
+            max_retries: 2,
         }
     }
 
@@ -92,6 +122,42 @@ impl ServeOptions {
         self.cache_budget_bytes = budget;
         self
     }
+
+    /// Arm a per-query wall-clock budget.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Bound concurrent in-flight queries, shedding the excess.
+    pub fn with_admission_limit(mut self, limit: usize) -> Self {
+        self.admission_limit = Some(limit);
+        self
+    }
+
+    /// Retries after a failed attempt (0 = fail fast).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+}
+
+/// A served query's final, typed disposition — one row per trace query
+/// in [`TraceReport::outcomes`], in trace order. Every fault the tier
+/// absorbs surfaces here; nothing is swallowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryOutcome {
+    /// The query completed; its digest participates in the trace digest.
+    Completed,
+    /// Every attempt blew its deadline (armed or fault-forced). The
+    /// digest contribution is a fixed sentinel — partial outputs never
+    /// enter the conformance chain.
+    DeadlineExceeded,
+    /// Every retry budgeted attempt ended in an isolated panic; the
+    /// worker, pool and process all survived.
+    PanicIsolated,
+    /// Shed by admission control before any work ran.
+    Rejected,
 }
 
 /// The result of replaying one trace through a [`ServingTier`].
@@ -109,6 +175,10 @@ pub struct TraceReport {
     pub stats: ExecutionStats,
     /// Cache counter snapshot after the replay.
     pub counters: CacheCounters,
+    /// Per-query typed outcomes, in trace order. Under a fixed fault
+    /// seed this sequence is reproducible run to run — the `fault_smoke`
+    /// gate's replay invariant.
+    pub outcomes: Vec<QueryOutcome>,
     /// Queries served.
     pub queries: usize,
     /// Wall-clock for the whole replay.
@@ -120,6 +190,51 @@ impl TraceReport {
     pub fn qps(&self) -> f64 {
         self.queries as f64 / self.elapsed.as_secs_f64().max(1e-12)
     }
+
+    /// How many queries ended in `outcome`.
+    pub fn outcome_count(&self, outcome: QueryOutcome) -> usize {
+        self.outcomes.iter().filter(|&&o| o == outcome).count()
+    }
+}
+
+/// One query's fully-resolved result inside `serve_trace`'s fan-out.
+struct Row {
+    digest: u64,
+    nanos: u64,
+    stats: ExecutionStats,
+    outcome: QueryOutcome,
+    /// Attempts beyond the first.
+    retries: u64,
+    /// Panics caught across all attempts.
+    panics: u64,
+    /// Attempts that observed a tripped deadline.
+    deadline_hits: u64,
+    /// Scratch workspaces quarantined across all attempts.
+    quarantined: u64,
+}
+
+impl Row {
+    /// The admission-shed row: no work ran, nothing to account.
+    fn shed() -> Self {
+        Row {
+            digest: 0,
+            nanos: 0,
+            stats: ExecutionStats::default(),
+            outcome: QueryOutcome::Rejected,
+            retries: 0,
+            panics: 0,
+            deadline_hits: 0,
+            quarantined: 0,
+        }
+    }
+}
+
+/// Deterministic retry backoff: a short pause (< 66 µs) derived purely
+/// from the query seed and attempt index, doubling per attempt. Enough
+/// to de-synchronize a retry stampede without slowing smoke traces.
+fn retry_backoff(seed: u64, attempt: u64) -> Duration {
+    let jitter = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48; // 0..65536
+    Duration::from_nanos(jitter << attempt.min(4))
 }
 
 /// One registry entry served behind a cache and a worker pool.
@@ -206,24 +321,39 @@ impl ServingTier {
     /// single-flight preparation), runs it against its own scratch, and
     /// times the whole service. Per-query digests chain in trace order,
     /// so the report digest is independent of the worker count.
+    ///
+    /// Resilience semantics (all policy knobs on [`ServeOptions`]):
+    ///
+    /// * A query that panics is caught at this boundary
+    ///   ([`QueryOutcome::PanicIsolated`]): its scratch workspace is
+    ///   quarantined (dropped and replaced — buffers checked out at
+    ///   unwind are in unknown state), the resident instance takes a
+    ///   poison strike ([`InstanceCache::record_query_panic`]), and the
+    ///   attempt is retried up to `max_retries` times.
+    /// * A blown deadline is a typed
+    ///   [`QueryOutcome::DeadlineExceeded`], also retried.
+    /// * Over the admission limit, queries shed as
+    ///   [`QueryOutcome::Rejected`] without running.
+    ///
+    /// Failed queries contribute a fixed sentinel (0) to the digest
+    /// chain, so the trace digest stays deterministic under faults; the
+    /// happy path (no faults, generous or absent deadline) is
+    /// byte-identical to [`ServingTier::reference_digest`]. Attempt
+    /// accounting lands in the report stats under `deadline_exceeded`,
+    /// `panics_isolated`, `queries_rejected`, `retries` and
+    /// `scratch_quarantined` (always exported, zero or not).
     pub fn serve_trace(&self, trace: &QueryTrace) -> TraceReport {
         let started = Instant::now();
-        let served: Vec<(u64, u64, ExecutionStats)> = self.pool.install(|| {
+        let gate = self.options.admission_limit.map(AdmissionGate::new);
+        let served: Vec<Row> = self.pool.install(|| {
             trace
                 .queries
                 .par_iter()
                 .map_init(Scratch::new, |scratch, query| {
-                    let cfg = self.config_for(query);
-                    let key = self.cache_key_for(trace, query);
-                    let case = self.case_for(trace, query);
                     let t = Instant::now();
-                    let instance = self.cache.get_or_prepare(&key, || {
-                        self.prep_pool
-                            .install(|| self.entry.prepare_shared(&case, &cfg))
-                    });
-                    let answer = instance.query(scratch, &cfg);
-                    let nanos = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                    (answer.digest, nanos, answer.stats)
+                    let mut row = self.serve_one(trace, query, scratch, gate.as_ref());
+                    row.nanos = t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    row
                 })
                 .collect()
         });
@@ -231,23 +361,161 @@ impl ServingTier {
 
         let mut latency = LatencyHistogram::new();
         let mut stats = ExecutionStats::default();
+        let mut outcomes = Vec::with_capacity(served.len());
+        let mut deadline_exceeded = 0u64;
+        let mut panics_isolated = 0u64;
+        let mut retries = 0u64;
+        let mut quarantined = 0u64;
         let digests: Vec<u64> = served
             .into_iter()
-            .map(|(digest, nanos, query_stats)| {
-                latency.record(nanos);
-                stats.merge(&query_stats);
-                digest
+            .map(|row| {
+                latency.record(row.nanos);
+                stats.merge(&row.stats);
+                outcomes.push(row.outcome);
+                deadline_exceeded += row.deadline_hits;
+                panics_isolated += row.panics;
+                retries += row.retries;
+                quarantined += row.quarantined;
+                row.digest
             })
             .collect();
         self.cache.export_counters(&mut stats);
+        stats.set_counter("deadline_exceeded", deadline_exceeded);
+        stats.set_counter("panics_isolated", panics_isolated);
+        stats.set_counter(
+            "queries_rejected",
+            gate.as_ref().map_or(0, AdmissionGate::rejected),
+        );
+        stats.set_counter("retries", retries);
+        stats.set_counter("scratch_quarantined", quarantined);
 
         TraceReport {
             digest: digests.digest(),
             latency,
             stats,
             counters: self.cache.snapshot(),
+            outcomes,
             queries: trace.len(),
             elapsed,
+        }
+    }
+
+    /// One query, end to end: admission, then up to `1 + max_retries`
+    /// attempts, each under its own cancellation token and fault keys,
+    /// with panics caught (and the workspace quarantined) at this
+    /// boundary. Returns the final typed row; `nanos` is filled by the
+    /// caller.
+    fn serve_one(
+        &self,
+        trace: &QueryTrace,
+        query: &TraceQuery,
+        scratch: &mut Scratch,
+        gate: Option<&AdmissionGate>,
+    ) -> Row {
+        let _permit = match gate {
+            Some(gate) => match gate.try_enter() {
+                Some(permit) => Some(permit),
+                None => return Row::shed(),
+            },
+            None => None,
+        };
+
+        let key = self.cache_key_for(trace, query);
+        let case = self.case_for(trace, query);
+        let base_cfg = self.config_for(query);
+
+        let mut retries = 0u64;
+        let mut panics = 0u64;
+        let mut deadline_hits = 0u64;
+        let mut quarantined = 0u64;
+        let mut last_failure = QueryOutcome::DeadlineExceeded;
+        let mut last_stats = ExecutionStats::default();
+
+        for attempt in 0..=u64::from(self.options.max_retries) {
+            if attempt > 0 {
+                retries += 1;
+                std::thread::sleep(retry_backoff(query.seed, attempt));
+            }
+            // Every fault decision for this attempt keys off the query
+            // seed salted by the attempt index: pure-hash faults
+            // (pp_check::fault) fire identically across runs and thread
+            // counts, yet a retry rolls fresh decisions.
+            let attempt_key = query.seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut cfg = base_cfg.clone();
+            if let Some(budget) = self.options.deadline {
+                cfg = cfg.with_deadline(budget);
+            }
+            if fault::fires("serve.query.deadline", attempt_key) {
+                // Forced expiry: a pre-tripped token, so even entries
+                // whose engines never poll take the deadline path.
+                let token = CancelToken::new();
+                token.cancel();
+                cfg = cfg.with_cancel_token(token);
+            }
+            // Driver-level poll: catches pre-expired budgets and forced
+            // expiry uniformly, for polling and non-polling entries.
+            if cfg.is_cancelled() {
+                deadline_hits += 1;
+                last_failure = QueryOutcome::DeadlineExceeded;
+                last_stats = ExecutionStats::default();
+                continue;
+            }
+            // UnwindSafe assertion: on a caught panic the only state the
+            // closure could have torn — the worker's scratch — is
+            // quarantined below, and the cache's own unwind paths
+            // (FlightGuard, poison strikes) restore its invariants.
+            let attempt_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let instance = self.cache.get_or_prepare(&key, || {
+                    fault::panic_point("serve.prepare.panic", attempt_key);
+                    self.prep_pool
+                        .install(|| self.entry.prepare_shared(&case, &cfg))
+                });
+                fault::panic_point("serve.query.panic", attempt_key);
+                instance.query(scratch, &cfg)
+            }));
+            match attempt_result {
+                Ok(answer) => {
+                    if answer.outcome.is_complete() {
+                        return Row {
+                            digest: answer.digest,
+                            nanos: 0,
+                            stats: answer.stats,
+                            outcome: QueryOutcome::Completed,
+                            retries,
+                            panics,
+                            deadline_hits,
+                            quarantined,
+                        };
+                    }
+                    // The engine stopped at a cancellation poll: keep
+                    // its partial stats, retry if budget remains.
+                    deadline_hits += 1;
+                    last_failure = QueryOutcome::DeadlineExceeded;
+                    last_stats = answer.stats;
+                }
+                Err(_panic) => {
+                    panics += 1;
+                    // Quarantine: buffers checked out when the unwind
+                    // tore through are unaccounted for, so the whole
+                    // workspace is dropped rather than trusted.
+                    *scratch = Scratch::new();
+                    quarantined += 1;
+                    self.cache.record_query_panic(&key);
+                    last_failure = QueryOutcome::PanicIsolated;
+                    last_stats = ExecutionStats::default();
+                }
+            }
+        }
+
+        Row {
+            digest: 0,
+            nanos: 0,
+            stats: last_stats,
+            outcome: last_failure,
+            retries,
+            panics,
+            deadline_hits,
+            quarantined,
         }
     }
 

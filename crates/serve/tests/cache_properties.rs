@@ -131,8 +131,9 @@ fn concurrent_misses_prepare_exactly_once() {
     }
 }
 
-/// An instance larger than the entire budget is served but not
-/// retained; smaller instances survive it.
+/// An instance larger than the entire budget is a typed rejection: it
+/// is served uncached (`oversized` counter), never installed, and
+/// smaller residents are untouched — no evict-everything-then-insert.
 #[test]
 fn over_budget_instance_is_served_not_retained() {
     let cache = InstanceCache::new(100);
@@ -141,12 +142,22 @@ fn over_budget_instance_is_served_not_retained() {
     assert_eq!(big.cost_bytes(), 1000);
 
     let snap = cache.snapshot();
-    assert!(snap.resident_bytes <= 100, "{snap:?}");
-    assert!(snap.evictions >= 1, "{snap:?}");
-    // The big instance itself went; "small" was older but cheap enough
-    // that evicting the over-budget newcomer suffices... unless LRU
-    // order took it first — either way the budget holds and the caller
-    // keeps a live handle.
+    assert_eq!(snap.oversized, 1, "{snap:?}");
+    assert_eq!(
+        snap.evictions, 0,
+        "oversized insert must not evict: {snap:?}"
+    );
+    assert_eq!(snap.resident_bytes, 40, "{snap:?}");
+    assert_eq!(snap.entries, 1, "{snap:?}");
+    // The small resident survived the oversized arrival...
+    cache.get_or_prepare("small", || {
+        panic!("small was evicted by an oversized insert")
+    });
+    // ...and the oversized key is prepared afresh each time (served,
+    // never retained).
+    let again = cache.get_or_prepare("big", || stub_instance(1000));
+    assert_eq!(again.cost_bytes(), 1000);
+    assert_eq!(cache.snapshot().oversized, 2);
     assert_eq!(big.entry_name(), "lis");
 }
 
