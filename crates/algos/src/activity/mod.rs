@@ -19,9 +19,14 @@ pub mod unweighted;
 pub mod workload;
 
 pub use seq::max_weight_seq;
-pub use type1::{max_weight_type1, max_weight_type1_pam};
-pub use type2::max_weight_type2;
-pub use unweighted::{max_count_unweighted, ranks, ranks_tree_contraction};
+pub use type1::{
+    max_weight_type1, max_weight_type1_cancellable, max_weight_type1_pam,
+    max_weight_type1_pam_cancellable,
+};
+pub use type2::{max_weight_type2, max_weight_type2_cancellable};
+pub use unweighted::{
+    max_count_unweighted, max_count_unweighted_cancellable, ranks, ranks_tree_contraction,
+};
 
 /// One activity: `[start, end)` with a weight.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -17,7 +17,7 @@
 //!   flat-vs-tree ablation (DESIGN.md §5.3).
 
 use super::Activity;
-use phase_parallel::{run_type1, Report, Type1Problem};
+use phase_parallel::{run_type1_cancellable, CancelToken, Report, Type1Problem};
 use pp_pam::{AugTree, MaxAug, MinAug};
 use pp_ranges::AtomicFenwickMax;
 use rayon::prelude::*;
@@ -25,6 +25,16 @@ use rayon::prelude::*;
 /// Flat-array Type 1 algorithm. `acts` sorted by end time.
 /// The report's `stats.rounds == rank(S)`.
 pub fn max_weight_type1(acts: &[Activity]) -> Report<u64> {
+    max_weight_type1_cancellable(acts, None)
+}
+
+/// [`max_weight_type1`] under an optional deadline: the round loop
+/// polls `cancel`; a trip returns the best DP value seen so far under
+/// `RunOutcome::DeadlineExceeded`.
+pub fn max_weight_type1_cancellable(
+    acts: &[Activity],
+    cancel: Option<&CancelToken>,
+) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
@@ -97,21 +107,33 @@ pub fn max_weight_type1(acts: &[Activity]) -> Report<u64> {
         }
     }
 
-    let (best, stats) = run_type1(Problem {
-        acts,
-        by_start,
-        starts,
-        suffix_min_end,
-        ends,
-        head: 0,
-        dp: AtomicFenwickMax::new(n),
-        best: 0,
-    });
-    Report::new(best, stats)
+    let (best, stats, outcome) = run_type1_cancellable(
+        Problem {
+            acts,
+            by_start,
+            starts,
+            suffix_min_end,
+            ends,
+            head: 0,
+            dp: AtomicFenwickMax::new(n),
+            best: 0,
+        },
+        cancel,
+    );
+    Report::new(best, stats).with_outcome(outcome)
 }
 
 /// Literal Algorithm 2 on PA-BSTs. `acts` sorted by end time.
 pub fn max_weight_type1_pam(acts: &[Activity]) -> Report<u64> {
+    max_weight_type1_pam_cancellable(acts, None)
+}
+
+/// [`max_weight_type1_pam`] under an optional deadline (same poll
+/// semantics as [`max_weight_type1_cancellable`]).
+pub fn max_weight_type1_pam_cancellable(
+    acts: &[Activity],
+    cancel: Option<&CancelToken>,
+) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
@@ -178,13 +200,16 @@ pub fn max_weight_type1_pam(acts: &[Activity]) -> Report<u64> {
         }
     }
 
-    let (best, stats) = run_type1(Problem {
-        acts,
-        t_time: Some(t_time),
-        t_dp,
-        best: 0,
-    });
-    Report::new(best, stats)
+    let (best, stats, outcome) = run_type1_cancellable(
+        Problem {
+            acts,
+            t_time: Some(t_time),
+            t_dp,
+            best: 0,
+        },
+        cancel,
+    );
+    Report::new(best, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

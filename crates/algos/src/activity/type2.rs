@@ -9,13 +9,23 @@
 
 use super::pivots::latest_start_pivots;
 use super::Activity;
-use phase_parallel::{run_type2, Report, Type2Problem, WakeResult};
+use phase_parallel::{run_type2_cancellable, CancelToken, Report, Type2Problem, WakeResult};
 use pp_ranges::AtomicFenwickMax;
 
 /// Type 2 algorithm. `acts` sorted by end time.
 /// The report's `stats.failed_wakeups == 0` by Lemma 5.1 and
 /// `stats.rounds == rank(S)`.
 pub fn max_weight_type2(acts: &[Activity]) -> Report<u64> {
+    max_weight_type2_cancellable(acts, None)
+}
+
+/// [`max_weight_type2`] under an optional deadline: the wake-up round
+/// loop polls `cancel`; a trip returns the best committed DP value
+/// under `RunOutcome::DeadlineExceeded`.
+pub fn max_weight_type2_cancellable(
+    acts: &[Activity],
+    cancel: Option<&CancelToken>,
+) -> Report<u64> {
     debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
     let n = acts.len();
     if n == 0 {
@@ -75,14 +85,17 @@ pub fn max_weight_type2(acts: &[Activity]) -> Report<u64> {
         }
     }
 
-    let (best, stats) = run_type2(Problem {
-        acts,
-        ends: &ends,
-        pivots,
-        dp: AtomicFenwickMax::new(n),
-        best: 0,
-    });
-    Report::new(best, stats)
+    let (best, stats, outcome) = run_type2_cancellable(
+        Problem {
+            acts,
+            ends: &ends,
+            pivots,
+            dp: AtomicFenwickMax::new(n),
+            best: 0,
+        },
+        cancel,
+    );
+    Report::new(best, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use super::pivots::latest_start_pivots;
 use super::Activity;
+use phase_parallel::{deadline_tripped, CancelToken, Report, RunOutcome};
 use pp_parlay::list_rank::forest_depths;
 use rayon::prelude::*;
 
@@ -38,6 +39,40 @@ pub fn ranks(acts: &[Activity]) -> Vec<u32> {
 /// optimum): equals the maximum rank.
 pub fn max_count_unweighted(acts: &[Activity]) -> u32 {
     ranks(acts).into_iter().max().unwrap_or(0)
+}
+
+/// [`max_count_unweighted`] under an optional deadline. The algorithm
+/// has no round loop (it is a single pointer-jumping pass), so the
+/// poll sits at the phase boundaries: before the pivot-forest build and
+/// before the depth computation. A trip yields `0` under
+/// `RunOutcome::DeadlineExceeded`.
+pub fn max_count_unweighted_cancellable(
+    acts: &[Activity],
+    cancel: Option<&CancelToken>,
+) -> Report<u32> {
+    debug_assert!(acts.windows(2).all(|w| w[0].end <= w[1].end));
+    if deadline_tripped(cancel) {
+        return Report::plain(0).with_outcome(RunOutcome::DeadlineExceeded);
+    }
+    let n = acts.len();
+    if n == 0 {
+        return Report::plain(0);
+    }
+    let ends: Vec<u64> = acts.iter().map(|a| a.end).collect();
+    let parent: Vec<u32> = latest_start_pivots(acts, &ends)
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, p)| p.unwrap_or(i as u32))
+        .collect();
+    if deadline_tripped(cancel) {
+        return Report::plain(0).with_outcome(RunOutcome::DeadlineExceeded);
+    }
+    let best = forest_depths(&parent)
+        .into_par_iter()
+        .map(|d| d + 1)
+        .max()
+        .unwrap_or(0);
+    Report::plain(best)
 }
 
 /// Same ranks as [`ranks`], computed with the `O(n)`-work Euler-tour tree

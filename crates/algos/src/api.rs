@@ -24,7 +24,7 @@
 use crate::activity::{self, Activity};
 use crate::chain3d::{chain3d_par, chain3d_seq, Point3};
 use crate::chain4d::{chain4d_par, chain4d_seq, Point4};
-use crate::coloring::{coloring_par, coloring_seq};
+use crate::coloring::coloring_seq;
 use crate::huffman;
 use crate::knapsack::{self, Item};
 use crate::lis;
@@ -170,8 +170,8 @@ impl PhaseAlgorithm for ActivityType1 {
     fn solve_seq(&self, input: &[Activity]) -> u64 {
         activity::max_weight_seq(input)
     }
-    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
-        activity::max_weight_type1(input)
+    fn solve_par(&self, input: &[Activity], cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type1_cancellable(input, cfg.cancel.as_ref())
     }
 }
 
@@ -188,8 +188,8 @@ impl PhaseAlgorithm for ActivityType1Pam {
     fn solve_seq(&self, input: &[Activity]) -> u64 {
         activity::max_weight_seq(input)
     }
-    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
-        activity::max_weight_type1_pam(input)
+    fn solve_par(&self, input: &[Activity], cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type1_pam_cancellable(input, cfg.cancel.as_ref())
     }
 }
 
@@ -206,8 +206,8 @@ impl PhaseAlgorithm for ActivityType2 {
     fn solve_seq(&self, input: &[Activity]) -> u64 {
         activity::max_weight_seq(input)
     }
-    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u64> {
-        activity::max_weight_type2(input)
+    fn solve_par(&self, input: &[Activity], cfg: &RunConfig) -> Report<u64> {
+        activity::max_weight_type2_cancellable(input, cfg.cancel.as_ref())
     }
 }
 
@@ -234,8 +234,8 @@ impl PhaseAlgorithm for UnweightedActivity {
         }
         count
     }
-    fn solve_par(&self, input: &[Activity], _cfg: &RunConfig) -> Report<u32> {
-        Report::plain(activity::max_count_unweighted(input))
+    fn solve_par(&self, input: &[Activity], cfg: &RunConfig) -> Report<u32> {
+        activity::max_count_unweighted_cancellable(input, cfg.cancel.as_ref())
     }
 }
 
@@ -252,8 +252,8 @@ impl PhaseAlgorithm for Knapsack {
     fn solve_seq(&self, (items, capacity): &Self::Input) -> u64 {
         knapsack::max_value_seq(items, *capacity)
     }
-    fn solve_par(&self, (items, capacity): &Self::Input, _cfg: &RunConfig) -> Report<u64> {
-        knapsack::max_value_par(items, *capacity)
+    fn solve_par(&self, (items, capacity): &Self::Input, cfg: &RunConfig) -> Report<u64> {
+        knapsack::max_value_par_cancellable(items, *capacity, cfg.cancel.as_ref())
     }
 }
 
@@ -272,8 +272,9 @@ impl PhaseAlgorithm for Huffman {
     fn solve_seq(&self, freqs: &[u64]) -> u64 {
         huffman::build_seq(freqs).weighted_path_length(freqs)
     }
-    fn solve_par(&self, freqs: &[u64], _cfg: &RunConfig) -> Report<u64> {
-        huffman::build_par_with_stats(freqs).map(|t| t.weighted_path_length(freqs))
+    fn solve_par(&self, freqs: &[u64], cfg: &RunConfig) -> Report<u64> {
+        huffman::build_par_cancellable(freqs, cfg.cancel.as_ref())
+            .map(|t| t.weighted_path_length(freqs))
     }
 }
 
@@ -370,7 +371,7 @@ impl PhaseAlgorithm for PamSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        sssp::sssp_pam(&input.graph, input.source_for(cfg))
+        sssp::sssp_pam_with(&input.graph, input.source_for(cfg), cfg.cancel.as_ref())
     }
     fn solve_prepared(
         &self,
@@ -424,7 +425,9 @@ impl PhaseAlgorithm for DijkstraSssp {
         sssp::dijkstra(&input.graph, input.source)
     }
     fn solve_par(&self, input: &SsspInstance, cfg: &RunConfig) -> Report<Vec<u64>> {
-        Report::plain(sssp::dijkstra(&input.graph, input.source_for(cfg)))
+        let (dist, outcome) =
+            sssp::dijkstra_cancellable(&input.graph, input.source_for(cfg), cfg.cancel.as_ref());
+        Report::plain(dist).with_outcome(outcome)
     }
     fn solve_prepared(
         &self,
@@ -432,7 +435,8 @@ impl PhaseAlgorithm for DijkstraSssp {
         scratch: &mut Scratch,
         cfg: &RunConfig,
     ) -> Report<Vec<u64>> {
-        Report::plain(sssp::dijkstra_prepared(prepared, scratch, cfg))
+        let (dist, outcome) = sssp::dijkstra_prepared(prepared, scratch, cfg);
+        Report::plain(dist).with_outcome(outcome)
     }
 }
 
@@ -454,8 +458,16 @@ impl PhaseAlgorithm for GreedyMis {
     fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
         mis::mis_seq(&input.graph, &input.priority)
     }
-    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
-        Report::plain(mis::mis_tas(&input.graph, &input.priority))
+    fn solve_par(&self, input: &GraphPriorityInstance, cfg: &RunConfig) -> Report<Vec<bool>> {
+        let mirrors = mis::blocking_mirrors(&input.graph, &input.priority);
+        let (out, outcome) = mis::mis_tas_prepared_cancellable(
+            &input.graph,
+            &input.priority,
+            &mirrors,
+            &mut Scratch::new(),
+            cfg.cancel.as_ref(),
+        );
+        Report::plain(out).with_outcome(outcome)
     }
     fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMis<'i> {
         PreparedMis {
@@ -467,15 +479,17 @@ impl PhaseAlgorithm for GreedyMis {
         &self,
         prepared: &PreparedMis<'_>,
         scratch: &mut Scratch,
-        _cfg: &RunConfig,
+        cfg: &RunConfig,
     ) -> Report<Vec<bool>> {
         let inst = prepared.instance;
-        Report::plain(mis::mis_tas_prepared(
+        let (out, outcome) = mis::mis_tas_prepared_cancellable(
             &inst.graph,
             &inst.priority,
             &prepared.mirrors,
             scratch,
-        ))
+            cfg.cancel.as_ref(),
+        );
+        Report::plain(out).with_outcome(outcome)
     }
 }
 
@@ -493,8 +507,8 @@ impl PhaseAlgorithm for RoundsMis {
     fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
         mis::mis_seq(&input.graph, &input.priority)
     }
-    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
-        mis::mis_rounds(&input.graph, &input.priority)
+    fn solve_par(&self, input: &GraphPriorityInstance, cfg: &RunConfig) -> Report<Vec<bool>> {
+        mis::mis_rounds_cancellable(&input.graph, &input.priority, cfg.cancel.as_ref())
     }
 }
 
@@ -516,8 +530,16 @@ impl PhaseAlgorithm for Coloring {
     fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<u32> {
         coloring_seq(&input.graph, &input.priority)
     }
-    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<u32>> {
-        Report::plain(coloring_par(&input.graph, &input.priority))
+    fn solve_par(&self, input: &GraphPriorityInstance, cfg: &RunConfig) -> Report<Vec<u32>> {
+        let counts = crate::coloring::blocking_counts(&input.graph, &input.priority);
+        let (out, outcome) = crate::coloring::coloring_par_prepared_cancellable(
+            &input.graph,
+            &input.priority,
+            &counts,
+            &mut Scratch::new(),
+            cfg.cancel.as_ref(),
+        );
+        Report::plain(out).with_outcome(outcome)
     }
     fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedColoring<'i> {
         PreparedColoring {
@@ -529,15 +551,17 @@ impl PhaseAlgorithm for Coloring {
         &self,
         prepared: &PreparedColoring<'_>,
         scratch: &mut Scratch,
-        _cfg: &RunConfig,
+        cfg: &RunConfig,
     ) -> Report<Vec<u32>> {
         let inst = prepared.instance;
-        Report::plain(crate::coloring::coloring_par_prepared(
+        let (out, outcome) = crate::coloring::coloring_par_prepared_cancellable(
             &inst.graph,
             &inst.priority,
             &prepared.counts,
             scratch,
-        ))
+            cfg.cancel.as_ref(),
+        );
+        Report::plain(out).with_outcome(outcome)
     }
 }
 
@@ -560,8 +584,14 @@ impl PhaseAlgorithm for Matching {
     fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
         matching::matching_seq(&input.graph, &input.priority)
     }
-    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
-        matching::matching_par(&input.graph, &input.priority)
+    fn solve_par(&self, input: &GraphPriorityInstance, cfg: &RunConfig) -> Report<Vec<bool>> {
+        matching::matching_par_prepared_cancellable(
+            &input.graph,
+            &input.priority,
+            &matching::edge_list(&input.graph),
+            &mut Scratch::new(),
+            cfg.cancel.as_ref(),
+        )
     }
     fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMatching<'i> {
         PreparedMatching {
@@ -573,10 +603,16 @@ impl PhaseAlgorithm for Matching {
         &self,
         prepared: &PreparedMatching<'_>,
         scratch: &mut Scratch,
-        _cfg: &RunConfig,
+        cfg: &RunConfig,
     ) -> Report<Vec<bool>> {
         let inst = prepared.instance;
-        matching::matching_par_prepared(&inst.graph, &inst.priority, &prepared.edges, scratch)
+        matching::matching_par_prepared_cancellable(
+            &inst.graph,
+            &inst.priority,
+            &prepared.edges,
+            scratch,
+            cfg.cancel.as_ref(),
+        )
     }
 }
 
@@ -599,8 +635,14 @@ impl PhaseAlgorithm for MatchingReservations {
     fn solve_seq(&self, input: &GraphPriorityInstance) -> Vec<bool> {
         matching::matching_seq(&input.graph, &input.priority)
     }
-    fn solve_par(&self, input: &GraphPriorityInstance, _cfg: &RunConfig) -> Report<Vec<bool>> {
-        matching::matching_reservations(&input.graph, &input.priority)
+    fn solve_par(&self, input: &GraphPriorityInstance, cfg: &RunConfig) -> Report<Vec<bool>> {
+        matching::matching_reservations_prepared_cancellable(
+            &input.graph,
+            &input.priority,
+            &matching::edge_list(&input.graph),
+            &matching::priority_order(&input.priority),
+            cfg.cancel.as_ref(),
+        )
     }
     fn prepare<'i>(&self, input: &'i GraphPriorityInstance) -> PreparedMatchingReservations<'i> {
         PreparedMatchingReservations {
@@ -613,14 +655,15 @@ impl PhaseAlgorithm for MatchingReservations {
         &self,
         prepared: &PreparedMatchingReservations<'_>,
         _scratch: &mut Scratch,
-        _cfg: &RunConfig,
+        cfg: &RunConfig,
     ) -> Report<Vec<bool>> {
         let inst = prepared.instance;
-        matching::matching_reservations_prepared(
+        matching::matching_reservations_prepared_cancellable(
             &inst.graph,
             &inst.priority,
             &prepared.edges,
             &prepared.order,
+            cfg.cancel.as_ref(),
         )
     }
 }
@@ -712,8 +755,13 @@ impl PhaseAlgorithm for RandomPerm {
     fn solve_seq(&self, &(n, seed): &Self::Input) -> Vec<u32> {
         random_perm::knuth_shuffle_seq(n, &random_perm::swap_targets(n, seed))
     }
-    fn solve_par(&self, &(n, seed): &Self::Input, _cfg: &RunConfig) -> Report<Vec<u32>> {
-        random_perm::random_permutation_reservations(n, &RunConfig::seeded(seed))
+    fn solve_par(&self, &(n, seed): &Self::Input, cfg: &RunConfig) -> Report<Vec<u32>> {
+        // The shuffle's randomness comes from the *instance* seed, but
+        // the query's deadline must still apply: rebuild the seeded
+        // config and carry the caller's cancel token across.
+        let mut inner = RunConfig::seeded(seed);
+        inner.cancel = cfg.cancel.clone();
+        random_perm::random_permutation_reservations(n, &inner)
     }
 }
 

@@ -16,7 +16,9 @@
 //! [`pp_ranges::RangeTree3d`] — one `log` above Algorithm 3 in each
 //! bound, matching the appendix's claim.
 
-use phase_parallel::{run_type2, PivotMode, Report, RunConfig, Type2Problem, WakeResult};
+use phase_parallel::{
+    run_type2_cancellable, PivotMode, Report, RunConfig, Type2Problem, WakeResult,
+};
 use pp_parlay::rng::{hash64, Rng};
 use pp_ranges::RangeTree3d;
 use rayon::prelude::*;
@@ -209,17 +211,20 @@ pub fn chain3d_par(pts: &[Point3], cfg: &RunConfig) -> Report<u32> {
         }
     }
 
-    let ((_, best), stats) = run_type2(Problem {
-        tree,
-        qa: a_bound,
-        qb: b_bound,
-        qc: c_bound,
-        dp: vec![0; n],
-        attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
-        seed,
-        n,
-    });
-    Report::new(best, stats)
+    let ((_, best), stats, outcome) = run_type2_cancellable(
+        Problem {
+            tree,
+            qa: a_bound,
+            qb: b_bound,
+            qc: c_bound,
+            dp: vec![0; n],
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            seed,
+            n,
+        },
+        cfg.cancel.as_ref(),
+    );
+    Report::new(best, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

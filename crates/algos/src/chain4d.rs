@@ -13,7 +13,9 @@
 //! test for the 4D tree; [`crate::whac::whac2d_par`] maps moles onto it.
 
 use crate::chain3d::slots;
-use phase_parallel::{run_type2, PivotMode, Report, RunConfig, Type2Problem, WakeResult};
+use phase_parallel::{
+    run_type2_cancellable, PivotMode, Report, RunConfig, Type2Problem, WakeResult,
+};
 use pp_parlay::rng::{hash64, Rng};
 use pp_ranges::{RangeTree3d, RangeTree4d};
 use rayon::prelude::*;
@@ -187,18 +189,21 @@ pub fn chain4d_par(pts: &[Point4], cfg: &RunConfig) -> Report<u32> {
         }
     }
 
-    let ((_, best), stats) = run_type2(Problem {
-        tree,
-        qa: a_bound,
-        qb: b_bound,
-        qc: c_bound,
-        qd: d_bound,
-        dp: vec![0; n],
-        attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
-        seed,
-        n,
-    });
-    Report::new(best, stats)
+    let ((_, best), stats, outcome) = run_type2_cancellable(
+        Problem {
+            tree,
+            qa: a_bound,
+            qb: b_bound,
+            qc: c_bound,
+            qd: d_bound,
+            dp: vec![0; n],
+            attempts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            seed,
+            n,
+        },
+        cfg.cancel.as_ref(),
+    );
+    Report::new(best, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -11,10 +11,10 @@
 //! Both implementations produce the *identical* coloring (a function of
 //! the priorities alone).
 
-use phase_parallel::{Scratch, TasForest};
+use phase_parallel::{CancelToken, RunOutcome, Scratch, TasForest};
 use pp_graph::Graph;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Color sentinel for "not yet colored".
 const UNCOLORED: u32 = u32::MAX;
@@ -79,6 +79,22 @@ pub fn coloring_par_prepared(
     counts: &[u32],
     scratch: &mut Scratch,
 ) -> Vec<u32> {
+    coloring_par_prepared_cancellable(g, priority, counts, scratch, None).0
+}
+
+/// [`coloring_par_prepared`] under an optional deadline. Like the MIS
+/// cascades, the poll sits at *cascade-level* granularity: each cascade
+/// checks the token between levels and abandons its remaining frontier
+/// on a trip. Uncolored vertices keep the `u32::MAX` sentinel and the
+/// run is tagged [`RunOutcome::DeadlineExceeded`]; an untripped token
+/// leaves the output byte-identical to the plain run.
+pub fn coloring_par_prepared_cancellable(
+    g: &Graph,
+    priority: &[u32],
+    counts: &[u32],
+    scratch: &mut Scratch,
+    cancel: Option<&CancelToken>,
+) -> (Vec<u32>, RunOutcome) {
     let n = g.num_vertices();
     assert_eq!(priority.len(), n);
     assert_eq!(counts.len(), n, "counts built for another graph");
@@ -95,6 +111,22 @@ pub fn coloring_par_prepared(
         priority: &'a [u32],
         forest: TasForest,
         color: &'a [AtomicU32],
+        cancel: Option<&'a CancelToken>,
+        tripped: AtomicBool,
+    }
+
+    impl Ctx<'_> {
+        /// Cascade-level poll: latches on the first observed trip.
+        fn tripped(&self) -> bool {
+            if self.tripped.load(Ordering::Relaxed) {
+                return true;
+            }
+            if phase_parallel::deadline_tripped(self.cancel) {
+                self.tripped.store(true, Ordering::Relaxed);
+                return true;
+            }
+            false
+        }
     }
 
     /// Color `v` (all its blocking neighbors are colored) and return the
@@ -145,6 +177,9 @@ pub fn coloring_par_prepared(
         let mut frontier = vec![v0];
         let mut next: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
+            if ctx.tripped() {
+                return; // abandon the rest of this cascade
+            }
             next.clear();
             next.par_extend(frontier.par_iter().flat_map_iter(|&v| assign(ctx, v)));
             std::mem::swap(&mut frontier, &mut next);
@@ -156,15 +191,22 @@ pub fn coloring_par_prepared(
         priority,
         forest,
         color: &color,
+        cancel,
+        tripped: AtomicBool::new(false),
     };
     (0..n as u32).into_par_iter().for_each(|v| {
-        if ctx.forest.leaves_of(v as usize) == 0 {
+        if ctx.forest.leaves_of(v as usize) == 0 && !ctx.tripped() {
             cascade(&ctx, v);
         }
     });
+    let outcome = if ctx.tripped.load(Ordering::Relaxed) {
+        RunOutcome::DeadlineExceeded
+    } else {
+        RunOutcome::Completed
+    };
     let out = color.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     scratch.put_vec("coloring_color", color);
-    out
+    (out, outcome)
 }
 
 /// Check that `color` is a proper coloring of `g`.

@@ -18,7 +18,7 @@ mod par;
 mod seq;
 
 pub use codes::{BitVec, CanonicalCode};
-pub use par::{build_par, build_par_with_stats};
+pub use par::{build_par, build_par_cancellable, build_par_with_stats};
 pub use seq::{build_seq, build_seq_heap};
 
 /// A Huffman tree over `n` leaves as a parent-pointer array: nodes

@@ -10,7 +10,7 @@
 //! least leaf, so the round count stays ≤ the tree height `H`).
 
 use super::HuffmanTree;
-use phase_parallel::{run_type1, Report, Type1Problem};
+use phase_parallel::{run_type1_cancellable, CancelToken, Report, Type1Problem};
 use pp_parlay::merge::par_merge_by;
 use rayon::prelude::*;
 
@@ -21,6 +21,15 @@ pub fn build_par(freqs: &[u64]) -> HuffmanTree {
 
 /// [`build_par`] plus round statistics (`stats.rounds ≤ height`).
 pub fn build_par_with_stats(freqs: &[u64]) -> Report<HuffmanTree> {
+    build_par_cancellable(freqs, None)
+}
+
+/// [`build_par_with_stats`] under an optional deadline: the merge-round
+/// loop polls `cancel`; a trip self-parents every unmerged object (a
+/// well-formed *forest*, acyclic for depth queries) and reports
+/// `RunOutcome::DeadlineExceeded` — the partial result is not a prefix
+/// code and must only be inspected, not decoded.
+pub fn build_par_cancellable(freqs: &[u64], cancel: Option<&CancelToken>) -> Report<HuffmanTree> {
     let n = freqs.len();
     assert!(n >= 1);
     assert!(freqs.iter().all(|&f| f >= 1), "frequencies must be >= 1");
@@ -90,16 +99,30 @@ pub fn build_par_with_stats(freqs: &[u64]) -> Report<HuffmanTree> {
         }
     }
 
-    let ((mut parent, next_id), stats) = run_type1(Problem {
-        items,
-        pending: Vec::new(),
-        parent: vec![0u32; 2 * n - 1],
-        next_id: n as u32,
-    });
-    debug_assert_eq!(next_id as usize, 2 * n - 1);
-    let root = next_id - 1;
-    parent[root as usize] = root;
-    Report::new(HuffmanTree::new(parent, n), stats)
+    let ((mut parent, next_id), stats, outcome) = run_type1_cancellable(
+        Problem {
+            items,
+            pending: Vec::new(),
+            parent: vec![0u32; 2 * n - 1],
+            next_id: n as u32,
+        },
+        cancel,
+    );
+    if outcome.is_complete() {
+        debug_assert_eq!(next_id as usize, 2 * n - 1);
+        let root = next_id - 1;
+        parent[root as usize] = root;
+    } else {
+        // Early stop: every node not yet merged still holds the sentinel
+        // parent 0 — unambiguous, since real parents are internal ids
+        // ≥ n. Self-parent them so the partial forest stays acyclic.
+        for (id, p) in parent.iter_mut().enumerate() {
+            if (*p as usize) < n {
+                *p = id as u32;
+            }
+        }
+    }
+    Report::new(HuffmanTree::new(parent, n), stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 mod par;
 mod seq;
 
-pub use par::{max_value_par, max_value_par_with_dp};
+pub use par::{max_value_par, max_value_par_cancellable, max_value_par_with_dp};
 pub use seq::max_value_seq;
 
 /// Recover one optimal item multiset from the DP table: returns item

@@ -7,7 +7,7 @@
 //! parallel.
 
 use super::Item;
-use phase_parallel::{run_type1, Report, Type1Problem};
+use phase_parallel::{run_type1_cancellable, CancelToken, Report, Type1Problem};
 use rayon::prelude::*;
 
 /// Parallel unlimited knapsack. The report's `stats.rounds ==
@@ -16,9 +16,28 @@ pub fn max_value_par(items: &[Item], capacity: u64) -> Report<u64> {
     max_value_par_with_dp(items, capacity).map(|(v, _)| v)
 }
 
+/// [`max_value_par`] under an optional deadline: the window loop polls
+/// `cancel` each round; a trip stops the fill early with a partial DP
+/// table under `RunOutcome::DeadlineExceeded`.
+pub fn max_value_par_cancellable(
+    items: &[Item],
+    capacity: u64,
+    cancel: Option<&CancelToken>,
+) -> Report<u64> {
+    max_value_engine(items, capacity, cancel).map(|(v, _)| v)
+}
+
 /// [`max_value_par`] also returning the full DP table (for
 /// [`super::reconstruct`]): the output is `(max value, dp)`.
 pub fn max_value_par_with_dp(items: &[Item], capacity: u64) -> Report<(u64, Vec<u64>)> {
+    max_value_engine(items, capacity, None)
+}
+
+fn max_value_engine(
+    items: &[Item],
+    capacity: u64,
+    cancel: Option<&CancelToken>,
+) -> Report<(u64, Vec<u64>)> {
     if items.is_empty() || capacity == 0 {
         return Report::plain((0, vec![0; capacity as usize + 1]));
     }
@@ -74,16 +93,19 @@ pub fn max_value_par_with_dp(items: &[Item], capacity: u64) -> Report<(u64, Vec<
         }
     }
 
-    let (dp, stats) = run_type1(Problem {
-        items,
-        dp: vec![0u64; w + 1],
-        w,
-        w_star,
-        // State 0 has value 0 and no work; start the windows at 1 so the
-        // first frontier is [1, w*).
-        next: 1,
-    });
-    Report::new((dp[w], dp), stats)
+    let (dp, stats, outcome) = run_type1_cancellable(
+        Problem {
+            items,
+            dp: vec![0u64; w + 1],
+            w,
+            w_star,
+            // State 0 has value 0 and no work; start the windows at 1 so
+            // the first frontier is [1, w*).
+            next: 1,
+        },
+        cancel,
+    );
+    Report::new((dp[w], dp), stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //! mutually non-adjacent by construction — then discards edges with a
 //! newly matched endpoint.
 
-use phase_parallel::{ExecutionStats, Frontier, Report, Scratch};
+use phase_parallel::{
+    deadline_tripped, CancelToken, ExecutionStats, Frontier, Report, RunOutcome, Scratch,
+};
 use pp_graph::Graph;
 use pp_parlay::shuffle::random_permutation;
 use rayon::prelude::*;
@@ -73,6 +75,20 @@ pub fn matching_par_prepared(
     edges: &[(u32, u32)],
     scratch: &mut Scratch,
 ) -> Report<Vec<bool>> {
+    matching_par_prepared_cancellable(g, priority, edges, scratch, None)
+}
+
+/// [`matching_par_prepared`] under an optional deadline: the round loop
+/// polls `cancel` at its top; a trip leaves the remaining live edges
+/// unmatched under `RunOutcome::DeadlineExceeded` (the partial mask is
+/// a valid — not maximal — matching).
+pub fn matching_par_prepared_cancellable(
+    g: &Graph,
+    priority: &[u32],
+    edges: &[(u32, u32)],
+    scratch: &mut Scratch,
+    cancel: Option<&CancelToken>,
+) -> Report<Vec<bool>> {
     assert_eq!(priority.len(), edges.len());
     let n = g.num_vertices();
     let m = edges.len();
@@ -84,10 +100,15 @@ pub fn matching_par_prepared(
     live.fill_range(m);
     let mut ready = scratch.take_vec::<u32>("matching_ready");
     let mut stats = ExecutionStats::default();
+    let mut outcome = RunOutcome::Completed;
     const NONE: u32 = u32::MAX;
     let mut min_pri = scratch.take_vec::<AtomicU32>("matching_min_pri");
     min_pri.resize_with(n, || AtomicU32::new(NONE));
     while !live.is_empty() {
+        if deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         // Each endpoint learns its minimum live incident edge priority.
         {
             let min_pri = &min_pri;
@@ -142,7 +163,7 @@ pub fn matching_par_prepared(
     live.release(scratch, "matching_live_set");
     scratch.put_vec("matching_ready", ready);
     scratch.put_vec("matching_min_pri", min_pri);
-    Report::new(in_matching, stats)
+    Report::new(in_matching, stats).with_outcome(outcome)
 }
 
 /// Greedy maximal matching via deterministic reservations (the paper's
@@ -178,7 +199,20 @@ pub fn matching_reservations_prepared(
     edges: &[(u32, u32)],
     order: &[u32],
 ) -> Report<Vec<bool>> {
-    use phase_parallel::{speculative_for, ReservationProblem, ReservationTable};
+    matching_reservations_prepared_cancellable(g, priority, edges, order, None)
+}
+
+/// [`matching_reservations_prepared`] under an optional deadline: the
+/// speculative-for round loop polls `cancel`; a trip abandons the
+/// uncommitted iterates under `RunOutcome::DeadlineExceeded`.
+pub fn matching_reservations_prepared_cancellable(
+    g: &Graph,
+    priority: &[u32],
+    edges: &[(u32, u32)],
+    order: &[u32],
+    cancel: Option<&CancelToken>,
+) -> Report<Vec<bool>> {
+    use phase_parallel::{speculative_for_cancellable, ReservationProblem, ReservationTable};
     use std::sync::atomic::AtomicBool;
 
     assert_eq!(priority.len(), edges.len());
@@ -231,13 +265,13 @@ pub fn matching_reservations_prepared(
         in_matching: (0..edges.len()).map(|_| AtomicBool::new(false)).collect(),
     };
     let table = ReservationTable::new(g.num_vertices());
-    let spec = speculative_for(&p, &table, 0);
+    let (spec, outcome) = speculative_for_cancellable(&p, &table, 0, cancel);
     let mask = p
         .in_matching
         .into_iter()
         .map(AtomicBool::into_inner)
         .collect();
-    Report::new(mask, spec.into())
+    Report::new(mask, spec.into()).with_outcome(outcome)
 }
 
 /// Check that `mask` is a *maximal* matching of `g`'s [`edge_list`].

@@ -11,7 +11,7 @@
 //! order gives the same round bound *and* a sequential-equivalent
 //! output; this module exists so the benches can show both sides.
 
-use phase_parallel::{ExecutionStats, Frontier, Report, RunConfig};
+use phase_parallel::{deadline_tripped, ExecutionStats, Frontier, Report, RunConfig, RunOutcome};
 use pp_graph::Graph;
 use pp_parlay::rng::hash64;
 
@@ -35,7 +35,12 @@ pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
     let mut stats = ExecutionStats::default();
     let mut edge_checks = 0u64;
     let mut round: u64 = 0;
+    let mut outcome = RunOutcome::Completed;
     while !live.is_empty() {
+        if deadline_tripped(cfg.cancel.as_ref()) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         // Fresh random value per (round, vertex); ties broken by id so
         // the local-minimum rule never deadlocks.
         let val = |v: u32| (hash64(seed ^ round, u64::from(v)), v);
@@ -71,7 +76,7 @@ pub fn mis_luby(g: &Graph, cfg: &RunConfig) -> Report<Vec<bool>> {
     stats.set_counter("edge_checks", edge_checks);
     stats.set_counter("dense_substeps", live.dense_rounds());
     stats.set_counter("sparse_substeps", live.sparse_rounds());
-    Report::new(in_mis, stats)
+    Report::new(in_mis, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

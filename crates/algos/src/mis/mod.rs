@@ -23,9 +23,11 @@ mod seq;
 mod tas;
 
 pub use luby::mis_luby;
-pub use rounds::mis_rounds;
+pub use rounds::{mis_rounds, mis_rounds_cancellable};
 pub use seq::mis_seq;
-pub use tas::{blocking_mirrors, mis_tas, mis_tas_prepared, BlockingMirrors};
+pub use tas::{
+    blocking_mirrors, mis_tas, mis_tas_prepared, mis_tas_prepared_cancellable, BlockingMirrors,
+};
 
 use pp_graph::Graph;
 

@@ -4,7 +4,7 @@
 //! TAS-tree algorithm removes exactly this re-checking; the ablation
 //! bench compares the two.
 
-use phase_parallel::{ExecutionStats, Frontier, Report};
+use phase_parallel::{deadline_tripped, CancelToken, ExecutionStats, Frontier, Report, RunOutcome};
 use pp_graph::Graph;
 
 /// Round-synchronous greedy MIS. Same output as [`super::mis_seq`]. The
@@ -16,6 +16,17 @@ use pp_graph::Graph;
 /// representation split reported as `"dense_substeps"` /
 /// `"sparse_substeps"`.
 pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
+    mis_rounds_cancellable(g, priority, None)
+}
+
+/// [`mis_rounds`] under an optional deadline: the round loop polls
+/// `cancel` at its top; a trip leaves the remaining vertices undecided
+/// (reported `false` in the mask) under `RunOutcome::DeadlineExceeded`.
+pub fn mis_rounds_cancellable(
+    g: &Graph,
+    priority: &[u32],
+    cancel: Option<&CancelToken>,
+) -> Report<Vec<bool>> {
     const UNDECIDED: u8 = 0;
     const SELECTED: u8 = 1;
     const REMOVED: u8 = 2;
@@ -28,7 +39,12 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     let mut ready: Vec<u32> = Vec::new();
     let mut stats = ExecutionStats::default();
     let mut edge_checks = 0u64;
+    let mut outcome = RunOutcome::Completed;
     while !undecided.is_empty() {
+        if deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         edge_checks += undecided.sum_map(|v| g.degree(v) as u64);
         // Ready: every higher-priority neighbor is removed.
         ready.clear();
@@ -62,7 +78,7 @@ pub fn mis_rounds(g: &Graph, priority: &[u32]) -> Report<Vec<bool>> {
     stats.set_counter("edge_checks", edge_checks);
     stats.set_counter("dense_substeps", undecided.dense_rounds());
     stats.set_counter("sparse_substeps", undecided.sparse_rounds());
-    Report::new(status.into_iter().map(|s| s == SELECTED).collect(), stats)
+    Report::new(status.into_iter().map(|s| s == SELECTED).collect(), stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

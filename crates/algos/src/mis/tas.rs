@@ -13,10 +13,10 @@
 //! that impossible — see the argument in the module tests — but the CAS
 //! keeps the code robust under any interleaving).
 
-use phase_parallel::{Scratch, TasForest};
+use phase_parallel::{CancelToken, RunOutcome, Scratch, TasForest};
 use pp_graph::Graph;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 const UNDECIDED: u8 = 0;
 const SELECTED: u8 = 1;
@@ -113,6 +113,25 @@ struct State<'g> {
     status: &'g [AtomicU8],
     forest: TasForest,
     mirrors: &'g BlockingMirrors,
+    /// The query's deadline token, polled once per cascade level.
+    cancel: Option<&'g CancelToken>,
+    /// Set by the first cascade that observes a trip, so the driver can
+    /// report [`RunOutcome::DeadlineExceeded`] without re-polling.
+    tripped: AtomicBool,
+}
+
+impl State<'_> {
+    /// Cascade-level poll: latches `tripped` on the first observation.
+    fn tripped(&self) -> bool {
+        if self.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if phase_parallel::deadline_tripped(self.cancel) {
+            self.tripped.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
 }
 
 /// Asynchronous greedy MIS via TAS trees. Returns the same set as
@@ -135,6 +154,22 @@ pub fn mis_tas_prepared(
     mirrors: &BlockingMirrors,
     scratch: &mut Scratch,
 ) -> Vec<bool> {
+    mis_tas_prepared_cancellable(g, priority, mirrors, scratch, None).0
+}
+
+/// [`mis_tas_prepared`] under an optional deadline. The algorithm has
+/// no rounds, so the poll sits at *cascade-level* granularity: each
+/// cascade checks the token between levels and abandons its remaining
+/// frontier on a trip. The partial selection is a valid independent set
+/// (never maximal) and is tagged [`RunOutcome::DeadlineExceeded`]; with
+/// an untripped token the output is byte-identical to the plain run.
+pub fn mis_tas_prepared_cancellable(
+    g: &Graph,
+    priority: &[u32],
+    mirrors: &BlockingMirrors,
+    scratch: &mut Scratch,
+    cancel: Option<&CancelToken>,
+) -> (Vec<bool>, RunOutcome) {
     let n = g.num_vertices();
     assert_eq!(priority.len(), n);
     assert_eq!(mirrors.counts.len(), n, "mirrors built for another graph");
@@ -147,21 +182,28 @@ pub fn mis_tas_prepared(
         status: &status,
         forest: TasForest::new(&mirrors.counts),
         mirrors,
+        cancel,
+        tripped: AtomicBool::new(false),
     };
 
     // Kick off every vertex with no blocking neighbor, in parallel.
     (0..n as u32).into_par_iter().for_each(|v| {
-        if state.forest.leaves_of(v as usize) == 0 {
+        if state.forest.leaves_of(v as usize) == 0 && !state.tripped() {
             wake_cascade(&state, v);
         }
     });
 
+    let outcome = if state.tripped.load(Ordering::Relaxed) {
+        RunOutcome::DeadlineExceeded
+    } else {
+        RunOutcome::Completed
+    };
     let out = status
         .iter()
         .map(|s| s.load(Ordering::Relaxed) == SELECTED)
         .collect();
     scratch.put_vec("mis_status", status);
-    out
+    (out, outcome)
 }
 
 /// Select `v` and run the whole wake cascade it triggers (Algorithm 4's
@@ -178,6 +220,9 @@ fn wake_cascade(state: &State<'_>, v0: u32) {
     let mut claimed: Vec<u32> = Vec::new();
     let mut next: Vec<u32> = Vec::new();
     while !frontier.is_empty() {
+        if state.tripped() {
+            return; // abandon the rest of this cascade
+        }
         // Select this level. Vertices arriving here are never adjacent:
         // a TAS-tree only completes when all higher-priority neighbors
         // are removed, and a vertex being selected is not removed.

@@ -23,7 +23,9 @@
 //! "sequential iterative algorithm" reproduction, exercised by tests and
 //! the conformance suite.
 
-use phase_parallel::reservations::{speculative_for, ReservationProblem, ReservationTable};
+use phase_parallel::reservations::{
+    speculative_for_cancellable, ReservationProblem, ReservationTable,
+};
 use phase_parallel::{Report, RunConfig};
 use pp_parlay::rng::{bounded, hash64};
 use rayon::prelude::*;
@@ -107,13 +109,13 @@ pub fn random_permutation_reservations(n: usize, cfg: &RunConfig) -> Report<Vec<
         data: (0..n as u32).map(AtomicU32::new).collect(),
     };
     let table = ReservationTable::new(n);
-    let spec = speculative_for(&problem, &table, 0);
+    let (spec, outcome) = speculative_for_cancellable(&problem, &table, 0, cfg.cancel.as_ref());
     let out = problem
         .data
         .into_iter()
         .map(AtomicU32::into_inner)
         .collect();
-    Report::new(out, spec.into())
+    Report::new(out, spec.into()).with_outcome(outcome)
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ use crate::knapsack::Item;
 use crate::matching;
 use crate::whac::{Mole, Mole2d};
 use phase_parallel::{ExecutionStats, PhaseAlgorithm, RunConfig, Scratch};
-use pp_graph::{gen, Graph};
+use pp_graph::{gen, Graph, GraphError};
 use pp_parlay::rng::Rng;
 pub use pp_workloads::{ScenarioError, ScenarioKind, ScenarioSpec};
 
@@ -117,6 +117,22 @@ pub enum RegistryError {
         /// The kind the scenario materializes.
         got: ScenarioKind,
     },
+    /// A graph input failed CSR validation ([`pp_graph::GraphError`]).
+    Graph(GraphError),
+    /// The query config names a source vertex the case's instance is
+    /// not guaranteed to materialize. The bound is conservative: every
+    /// graph scenario materializes at least `case.size.max(1)` vertices,
+    /// so sources below that floor are always valid; sources at or
+    /// above it are rejected up front instead of panicking inside a
+    /// prepared instance.
+    SourceOutOfRange {
+        /// The registry key of the entry that was asked.
+        entry: &'static str,
+        /// The out-of-range source vertex.
+        source: u32,
+        /// The guaranteed vertex floor the source must stay under.
+        vertices: usize,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -135,6 +151,16 @@ impl std::fmt::Display for RegistryError {
                 f,
                 "entry {entry:?} consumes {expected:?} scenarios but {scenario:?} is {got:?}"
             ),
+            RegistryError::Graph(e) => write!(f, "invalid graph input: {e}"),
+            RegistryError::SourceOutOfRange {
+                entry,
+                source,
+                vertices,
+            } => write!(
+                f,
+                "entry {entry:?}: source vertex {source} is outside the guaranteed \
+                 {vertices}-vertex instance floor"
+            ),
         }
     }
 }
@@ -143,6 +169,7 @@ impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RegistryError::Scenario(e) => Some(e),
+            RegistryError::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -151,6 +178,12 @@ impl std::error::Error for RegistryError {
 impl From<ScenarioError> for RegistryError {
     fn from(e: ScenarioError) -> Self {
         RegistryError::Scenario(e)
+    }
+}
+
+impl From<GraphError> for RegistryError {
+    fn from(e: GraphError) -> Self {
+        RegistryError::Graph(e)
     }
 }
 
@@ -270,6 +303,31 @@ impl AlgorithmEntry {
         }
     }
 
+    /// Validate a `(case, cfg)` pair without generating anything:
+    /// scenario-kind compatibility, plus the query knobs whose bad
+    /// values would otherwise panic inside an engine. A graph-kind
+    /// entry's explicit [`RunConfig::source`] must stay under the
+    /// guaranteed vertex floor (`case.size.max(1)` — every graph
+    /// scenario materializes at least that many vertices). This is the
+    /// serve boundary's admission check: a failure here becomes a typed
+    /// `InvalidInput` row, never a worker panic or a poison strike.
+    pub fn validate_case(&self, case: &CaseSpec, cfg: &RunConfig) -> Result<(), RegistryError> {
+        self.check_case(case)?;
+        if self.kind == ScenarioKind::Graph {
+            let floor = case.size.max(1);
+            if let Some(source) = cfg.source {
+                if source as usize >= floor {
+                    return Err(RegistryError::SourceOutOfRange {
+                        entry: self.name,
+                        source,
+                        vertices: floor,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Generate the instance for `case`, run both executions under
     /// `cfg`, and digest the outputs. A scenario of the wrong kind is
     /// ignored (the default generator runs); use
@@ -280,13 +338,14 @@ impl AlgorithmEntry {
 
     /// [`AlgorithmEntry::run_case`], but a case whose scenario this
     /// entry cannot consume is a [`RegistryError::IncompatibleScenario`]
-    /// instead of a silent fallback.
+    /// instead of a silent fallback, and hostile query knobs (e.g. an
+    /// out-of-range source) are typed rejections instead of panics.
     pub fn try_run_case(
         &self,
         case: &CaseSpec,
         cfg: &RunConfig,
     ) -> Result<CaseOutcome, RegistryError> {
-        self.check_case(case)?;
+        self.validate_case(case, cfg)?;
         Ok((self.runner)(case, cfg))
     }
 
@@ -331,6 +390,19 @@ impl AlgorithmEntry {
         (self.serve_runner)(case, cfg)
     }
 
+    /// [`AlgorithmEntry::prepare_shared`] behind
+    /// [`AlgorithmEntry::validate_case`]: an incompatible scenario or a
+    /// hostile query knob is a typed [`RegistryError`] instead of a
+    /// panic inside generation or preparation.
+    pub fn try_prepare_shared(
+        &self,
+        case: &CaseSpec,
+        cfg: &RunConfig,
+    ) -> Result<crate::serving::SharedPrepared, RegistryError> {
+        self.validate_case(case, cfg)?;
+        Ok((self.serve_runner)(case, cfg))
+    }
+
     /// [`AlgorithmEntry::run_batch`] with scenario-compatibility
     /// checking.
     pub fn try_run_batch(
@@ -339,7 +411,10 @@ impl AlgorithmEntry {
         queries: &[RunConfig],
         cfg: &RunConfig,
     ) -> Result<Vec<CaseOutcome>, RegistryError> {
-        self.check_case(case)?;
+        self.validate_case(case, cfg)?;
+        for query in queries {
+            self.validate_case(case, query)?;
+        }
         Ok((self.batch_runner)(case, queries, cfg))
     }
 }

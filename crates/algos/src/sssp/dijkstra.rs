@@ -4,41 +4,80 @@
 //! parallelizes.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{RunConfig, Scratch};
+use phase_parallel::{CancelToken, RunConfig, RunOutcome, Scratch};
 use pp_graph::Graph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// How many heap pops a cancellable run settles between deadline polls:
+/// coarse enough that the poll is invisible in the profile, fine enough
+/// that a blown deadline resolves in microseconds.
+const POLL_EVERY: u32 = 1024;
+
 /// Shortest distances from `source`. Unreachable vertices get [`INF`].
 pub fn dijkstra(g: &Graph, source: u32) -> Vec<u64> {
-    dijkstra_core(g, source, &mut Scratch::new())
+    dijkstra_core(g, source, &mut Scratch::new(), None).0
 }
 
 /// Per-query prepared Dijkstra — the sequential engine for serving
 /// point queries from a prepared instance: source from
 /// [`RunConfig::source`], heap storage recycled through `scratch`.
-/// Output is identical to [`dijkstra`].
+/// Output is identical to [`dijkstra`]. The heap loop polls the
+/// query's [`RunConfig::cancel`] token every `POLL_EVERY` (1024) settled
+/// vertices; a trip returns the partial distance array (settled
+/// vertices exact, the rest upper bounds or [`INF`]) under
+/// `RunOutcome::DeadlineExceeded`.
 pub fn dijkstra_prepared(
     prepared: &PreparedSssp<'_>,
     scratch: &mut Scratch,
     cfg: &RunConfig,
-) -> Vec<u64> {
-    dijkstra_core(prepared.graph, prepared.source_for(cfg), scratch)
+) -> (Vec<u64>, RunOutcome) {
+    dijkstra_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        scratch,
+        cfg.cancel.as_ref(),
+    )
+}
+
+/// [`dijkstra`] under an optional deadline (the one-shot counterpart of
+/// [`dijkstra_prepared`]).
+pub fn dijkstra_cancellable(
+    g: &Graph,
+    source: u32,
+    cancel: Option<&CancelToken>,
+) -> (Vec<u64>, RunOutcome) {
+    dijkstra_core(g, source, &mut Scratch::new(), cancel)
 }
 
 /// Runs Dijkstra drawing the heap's backing storage from `scratch`. The
 /// distance array is *moved* into the return value: it is the query's
 /// output, so cloning it just to park a copy (as an earlier revision
 /// did) would be a redundant `O(n)` copy per query.
-fn dijkstra_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
+fn dijkstra_core(
+    g: &Graph,
+    source: u32,
+    scratch: &mut Scratch,
+    cancel: Option<&CancelToken>,
+) -> (Vec<u64>, RunOutcome) {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     // The heap's backing storage round-trips through the workspace
     // (`BinaryHeap::from` on an empty vector is free).
     let mut heap = BinaryHeap::from(scratch.take_vec::<Reverse<(u64, u32)>>("dijkstra_heap"));
+    let mut outcome = RunOutcome::Completed;
+    let mut since_poll = 0u32;
     dist[source as usize] = 0;
     heap.push(Reverse((0u64, source)));
     while let Some(Reverse((d, v))) = heap.pop() {
+        since_poll += 1;
+        if since_poll >= POLL_EVERY || since_poll == 1 {
+            since_poll = 1;
+            if super::deadline_tripped(cancel) {
+                outcome = RunOutcome::DeadlineExceeded;
+                break;
+            }
+        }
         if d > dist[v as usize] {
             continue; // stale entry
         }
@@ -51,8 +90,9 @@ fn dijkstra_core(g: &Graph, source: u32, scratch: &mut Scratch) -> Vec<u64> {
             }
         }
     }
+    heap.clear();
     scratch.put_vec("dijkstra_heap", heap.into_vec());
-    dist
+    (dist, outcome)
 }
 
 #[cfg(test)]

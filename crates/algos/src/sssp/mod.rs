@@ -27,8 +27,8 @@ mod rho_stepping;
 pub use bellman_ford::{bellman_ford, bellman_ford_prepared, bellman_ford_with};
 pub use crauser::{crauser_out, crauser_out_prepared, crauser_out_with};
 pub use delta_stepping::{delta_stepping, delta_stepping_prepared};
-pub use dijkstra::{dijkstra, dijkstra_prepared};
-pub use pam_dijkstra::{sssp_pam, sssp_pam_prepared};
+pub use dijkstra::{dijkstra, dijkstra_cancellable, dijkstra_prepared};
+pub use pam_dijkstra::{sssp_pam, sssp_pam_prepared, sssp_pam_with};
 pub use rho_stepping::{rho_stepping, rho_stepping_prepared, DEFAULT_RHO};
 
 use phase_parallel::{CancelToken, Report, RunConfig};
@@ -45,7 +45,7 @@ pub const INF: u64 = u64::MAX;
 /// are byte-identical with and without a deadline (pinned registry-wide
 /// by the serve conformance tests).
 pub(crate) fn deadline_tripped(cancel: Option<&CancelToken>) -> bool {
-    cancel.is_some_and(CancelToken::is_cancelled)
+    phase_parallel::deadline_tripped(cancel)
 }
 
 /// Relax `members` in edge-balanced packets (degree-prefix chunker,

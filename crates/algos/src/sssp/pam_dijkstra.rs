@@ -16,7 +16,7 @@
 //! flat-vs-tree contrast is measurable here too.
 
 use super::{PreparedSssp, INF};
-use phase_parallel::{ExecutionStats, Report, RunConfig, Scratch};
+use phase_parallel::{CancelToken, ExecutionStats, Report, RunConfig, RunOutcome, Scratch};
 use pp_graph::Graph;
 use pp_pam::{AugTree, NoAug};
 use rayon::prelude::*;
@@ -25,8 +25,16 @@ use rayon::prelude::*;
 /// counts settled `w*`-wide windows, with per-window frontier sizes in
 /// `frontier_sizes`. Panics on unweighted graphs with edges.
 pub fn sssp_pam(g: &Graph, source: u32) -> Report<Vec<u64>> {
+    sssp_pam_with(g, source, None)
+}
+
+/// [`sssp_pam`] under an optional deadline: the window loop polls
+/// `cancel` each round; a trip returns the partial distances (settled
+/// windows exact, the rest tentative or [`INF`]) under
+/// `RunOutcome::DeadlineExceeded`.
+pub fn sssp_pam_with(g: &Graph, source: u32, cancel: Option<&CancelToken>) -> Report<Vec<u64>> {
     let w_star = g.min_weight().unwrap_or(1).max(1);
-    sssp_pam_core(g, source, w_star)
+    sssp_pam_core(g, source, w_star, cancel)
 }
 
 /// Per-query prepared PA-BST SSSP: the window width w* comes
@@ -38,10 +46,20 @@ pub fn sssp_pam_prepared(
     _scratch: &mut Scratch,
     cfg: &RunConfig,
 ) -> Report<Vec<u64>> {
-    sssp_pam_core(prepared.graph, prepared.source_for(cfg), prepared.w_star)
+    sssp_pam_core(
+        prepared.graph,
+        prepared.source_for(cfg),
+        prepared.w_star,
+        cfg.cancel.as_ref(),
+    )
 }
 
-fn sssp_pam_core(g: &Graph, source: u32, w_star: u64) -> Report<Vec<u64>> {
+fn sssp_pam_core(
+    g: &Graph,
+    source: u32,
+    w_star: u64,
+    cancel: Option<&CancelToken>,
+) -> Report<Vec<u64>> {
     let n = g.num_vertices();
     // The distance array is the output: filled in place and moved into
     // the report (no clone-and-park round trip).
@@ -50,7 +68,12 @@ fn sssp_pam_core(g: &Graph, source: u32, w_star: u64) -> Report<Vec<u64>> {
     let mut tree: AugTree<(u64, u32), (), NoAug> = AugTree::new(NoAug);
     tree.insert((0, source), ());
     let mut stats = ExecutionStats::default();
+    let mut outcome = RunOutcome::Completed;
     while !tree.is_empty() {
+        if super::deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         let &(d0, _) = tree.first().expect("non-empty").0;
         let hi = (d0 / w_star + 1) * w_star;
         // Settle every vertex with tentative distance < hi: relaxations
@@ -99,7 +122,7 @@ fn sssp_pam_core(g: &Graph, source: u32, w_star: u64) -> Report<Vec<u64>> {
             dist[u as usize] = nd;
         }
     }
-    Report::new(dist, stats)
+    Report::new(dist, stats).with_outcome(outcome)
 }
 
 #[cfg(test)]

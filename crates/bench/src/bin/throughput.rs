@@ -208,7 +208,7 @@ fn bench_serving(
             );
         }
     }
-    // The five resilience counters are always exported by the tier
+    // The six resilience counters are always exported by the tier
     // (zero on this fault-free leg); surfacing them in every served row
     // keeps the JSON schema identical between clean and fault-injected
     // runs.
@@ -221,7 +221,7 @@ fn bench_serving(
          \"qps\": {:.2}, \"cache_hit_rate\": {:.4}, \
          \"deadline_exceeded\": {}, \"panics_isolated\": {}, \
          \"queries_rejected\": {}, \"retries\": {}, \
-         \"scratch_quarantined\": {}}}",
+         \"scratch_quarantined\": {}, \"validation_rejected\": {}}}",
         trace.len(),
         report.qps(),
         report.counters.hit_rate(),
@@ -230,6 +230,7 @@ fn bench_serving(
         resilience("queries_rejected"),
         resilience("retries"),
         resilience("scratch_quarantined"),
+        resilience("validation_rejected"),
     ));
 }
 

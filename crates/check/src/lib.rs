@@ -58,6 +58,7 @@
 pub mod audit;
 pub mod clock;
 pub mod fault;
+pub mod fuzz;
 pub mod models;
 pub mod sched;
 pub mod sync;

@@ -4,7 +4,11 @@
 //! forever, so queries carry an optional **deadline**: the driver
 //! attaches a [`CancelToken`] to the [`RunConfig`](crate::RunConfig)
 //! (via [`RunConfig::with_deadline`](crate::RunConfig::with_deadline)),
-//! and the engine loops *poll* it at packet/substep granularity. A poll
+//! and **every** engine loop in the registry *polls* it — the shared
+//! Type 1 / Type 2 / speculative-for engines at round granularity, the
+//! SSSP loops additionally at packet/substep granularity, and the
+//! asynchronous TAS cascades (MIS, coloring) at cascade-level
+//! granularity. A poll
 //! is observation-free — it never changes what the algorithm computes,
 //! only whether it keeps going — so a run whose deadline never fires is
 //! byte-identical to a run with no deadline at all (the conformance
@@ -138,6 +142,14 @@ impl Default for CancelToken {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The engine-side poll idiom: has an optional token tripped? One
+/// relaxed load when a token is present, free when not — every
+/// round/phase loop in the registry calls this at its top, so a blown
+/// deadline resolves at round granularity everywhere.
+pub fn deadline_tripped(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(CancelToken::is_cancelled)
 }
 
 /// Tokens compare by identity (shared state), not by observed value:

@@ -23,6 +23,7 @@
 //! remaining iterates each round bounds wasted work at the cost of extra
 //! rounds.
 
+use crate::cancel::{deadline_tripped, CancelToken, RunOutcome};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -161,10 +162,30 @@ pub fn speculative_for<P: ReservationProblem>(
     table: &ReservationTable,
     granularity: usize,
 ) -> SpecForStats {
+    let (stats, _) = speculative_for_cancellable(problem, table, granularity, None);
+    stats
+}
+
+/// [`speculative_for`] with a cooperative deadline: the token is polled
+/// at the top of every round, before any reserve runs, so a pre-tripped
+/// token performs zero rounds. On a trip the uncommitted iterates are
+/// simply abandoned (the framework is idempotent per round, so partial
+/// state is exactly "everything committed so far") and the outcome is
+/// [`RunOutcome::DeadlineExceeded`]. An untripped token leaves the run
+/// byte-identical to the uncancelled engine.
+pub fn speculative_for_cancellable<P: ReservationProblem>(
+    problem: &P,
+    table: &ReservationTable,
+    granularity: usize,
+    cancel: Option<&CancelToken>,
+) -> (SpecForStats, RunOutcome) {
     let n = problem.num_iterates();
     let mut pending: Vec<u32> = (0..n as u32).collect();
     let mut stats = SpecForStats::default();
     while !pending.is_empty() {
+        if deadline_tripped(cancel) {
+            return (stats, RunOutcome::DeadlineExceeded);
+        }
         let take = if granularity == 0 {
             pending.len()
         } else {
@@ -188,7 +209,7 @@ pub fn speculative_for<P: ReservationProblem>(
         next.extend_from_slice(rest);
         pending = next;
     }
-    stats
+    (stats, RunOutcome::Completed)
 }
 
 #[cfg(test)]
@@ -274,6 +295,36 @@ mod tests {
         for (k, slot) in p.order.iter().enumerate() {
             assert_eq!(slot.load(Ordering::Relaxed), k as u32);
         }
+    }
+
+    #[test]
+    fn pre_tripped_token_runs_zero_rounds() {
+        let n = 100;
+        let p = SingleSlot {
+            order: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            cursor: AtomicU32::new(0),
+        };
+        let t = ReservationTable::new(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let (stats, outcome) = speculative_for_cancellable(&p, &t, 0, Some(&token));
+        assert_eq!(outcome, RunOutcome::DeadlineExceeded);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(p.cursor.load(Ordering::Relaxed), 0, "nothing committed");
+    }
+
+    #[test]
+    fn untripped_token_is_observation_free() {
+        let n = 100;
+        let p = SingleSlot {
+            order: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            cursor: AtomicU32::new(0),
+        };
+        let t = ReservationTable::new(1);
+        let token = CancelToken::new();
+        let (stats, outcome) = speculative_for_cancellable(&p, &t, 0, Some(&token));
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(stats.rounds, n as u64);
     }
 
     #[test]

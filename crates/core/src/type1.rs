@@ -11,6 +11,7 @@
 //! recorded in [`ExecutionStats`] so round-efficiency (span ≈ rank·polylog)
 //! can be asserted by tests and reported by benches.
 
+use crate::cancel::{deadline_tripped, CancelToken, RunOutcome};
 use crate::stats::ExecutionStats;
 
 /// A problem runnable by the Type 1 engine.
@@ -32,9 +33,28 @@ pub trait Type1Problem {
 }
 
 /// Run Algorithm 1 over a Type 1 problem.
-pub fn run_type1<P: Type1Problem>(mut problem: P) -> (P::Output, ExecutionStats) {
+pub fn run_type1<P: Type1Problem>(problem: P) -> (P::Output, ExecutionStats) {
+    let (out, stats, _) = run_type1_cancellable(problem, None);
+    (out, stats)
+}
+
+/// [`run_type1`] with a cooperative deadline: the token is polled at the
+/// top of every round (before extraction, so a pre-tripped token stops
+/// the run at zero rounds). On a trip the engine stops, finishes with
+/// its partial state, and reports [`RunOutcome::DeadlineExceeded`];
+/// stats cover only the rounds actually run. A token that never fires
+/// leaves the run byte-identical to the uncancelled engine.
+pub fn run_type1_cancellable<P: Type1Problem>(
+    mut problem: P,
+    cancel: Option<&CancelToken>,
+) -> (P::Output, ExecutionStats, RunOutcome) {
     let mut stats = ExecutionStats::default();
+    let mut outcome = RunOutcome::Completed;
     loop {
+        if deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         let frontier = problem.extract_frontier();
         if frontier.is_empty() {
             break;
@@ -42,7 +62,7 @@ pub fn run_type1<P: Type1Problem>(mut problem: P) -> (P::Output, ExecutionStats)
         stats.record_round(frontier.len());
         problem.process(&frontier);
     }
-    (problem.finish(), stats)
+    (problem.finish(), stats, outcome)
 }
 
 #[cfg(test)]
@@ -89,6 +109,41 @@ mod tests {
         assert_eq!(stats.rounds, 11); // ceil(103 / 10)
         assert_eq!(stats.processed(), 103);
         assert_eq!(stats.max_frontier(), 10);
+    }
+
+    #[test]
+    fn pre_tripped_token_stops_before_any_round() {
+        let token = CancelToken::new();
+        token.cancel();
+        let (done, stats, outcome) = run_type1_cancellable(
+            Blocks {
+                n: 103,
+                width: 10,
+                next: 0,
+                processed: vec![false; 103],
+            },
+            Some(&token),
+        );
+        assert_eq!(outcome, RunOutcome::DeadlineExceeded);
+        assert_eq!(stats.rounds, 0);
+        assert!(done.iter().all(|&b| !b), "no round ran");
+    }
+
+    #[test]
+    fn untripped_token_is_observation_free() {
+        let token = CancelToken::new();
+        let (done, stats, outcome) = run_type1_cancellable(
+            Blocks {
+                n: 103,
+                width: 10,
+                next: 0,
+                processed: vec![false; 103],
+            },
+            Some(&token),
+        );
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(stats.rounds, 11);
+        assert!(done.iter().all(|&b| b));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! pivots each object is attempted `O(log |P(x)|)` times whp
 //! (Lemma 5.5), which is what makes the whole thing work-efficient.
 
+use crate::cancel::{deadline_tripped, CancelToken, RunOutcome};
 use crate::stats::ExecutionStats;
 use pp_pam::Multimap;
 use rayon::prelude::*;
@@ -57,12 +58,31 @@ pub trait Type2Problem: Sync {
 }
 
 /// Run the Type 2 wake-up loop over a problem.
-pub fn run_type2<P: Type2Problem>(mut problem: P) -> (P::Output, ExecutionStats) {
+pub fn run_type2<P: Type2Problem>(problem: P) -> (P::Output, ExecutionStats) {
+    let (out, stats, _) = run_type2_cancellable(problem, None);
+    (out, stats)
+}
+
+/// [`run_type2`] with a cooperative deadline: the token is polled at the
+/// top of every wake-up round, before the round's frontier commits, so a
+/// pre-tripped token stops the run with zero rounds. On a trip the
+/// engine finishes with partial state under
+/// [`RunOutcome::DeadlineExceeded`]; an untripped token leaves the run
+/// byte-identical to the uncancelled engine.
+pub fn run_type2_cancellable<P: Type2Problem>(
+    mut problem: P,
+    cancel: Option<&CancelToken>,
+) -> (P::Output, ExecutionStats, RunOutcome) {
     let mut stats = ExecutionStats::default();
+    let mut outcome = RunOutcome::Completed;
     let mut t_pivot: Multimap<u32, u32> = Multimap::build(problem.initial_pivots());
 
     let mut frontier: Vec<(u32, P::Info)> = problem.initial_frontier();
     while !frontier.is_empty() {
+        if deadline_tripped(cancel) {
+            outcome = RunOutcome::DeadlineExceeded;
+            break;
+        }
         stats.record_round(frontier.len());
         problem.commit(&frontier);
         // Objects whose pivot is in the frontier (T_pivot.multi_find).
@@ -86,7 +106,7 @@ pub fn run_type2<P: Type2Problem>(mut problem: P) -> (P::Output, ExecutionStats)
         t_pivot.multi_insert(new_pairs);
         frontier = next_frontier;
     }
-    (problem.finish(), stats)
+    (problem.finish(), stats, outcome)
 }
 
 #[cfg(test)]
@@ -180,6 +200,39 @@ mod tests {
         assert_eq!(stats.rounds, 3);
         assert_eq!(stats.failed_wakeups, 1);
         assert_eq!(stats.wakeup_attempts, 3); // 1,2 attempted; 2 again
+    }
+
+    #[test]
+    fn pre_tripped_token_commits_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let n = 50;
+        let (depths, stats, outcome) = run_type2_cancellable(
+            Chain {
+                n,
+                depth: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            },
+            Some(&token),
+        );
+        assert_eq!(outcome, RunOutcome::DeadlineExceeded);
+        assert_eq!(stats.rounds, 0);
+        assert!(depths.iter().all(|&d| d == 0), "no commit ran");
+    }
+
+    #[test]
+    fn untripped_token_is_observation_free() {
+        let token = CancelToken::new();
+        let n = 50;
+        let (depths, stats, outcome) = run_type2_cancellable(
+            Chain {
+                n,
+                depth: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            },
+            Some(&token),
+        );
+        assert_eq!(outcome, RunOutcome::Completed);
+        assert_eq!(depths, (0..n).collect::<Vec<_>>());
+        assert_eq!(stats.rounds, n as usize);
     }
 
     #[test]

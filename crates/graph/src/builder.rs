@@ -1,6 +1,6 @@
 //! Build CSR graphs from edge lists, in parallel.
 
-use crate::csr::Graph;
+use crate::csr::{Graph, GraphError};
 use pp_parlay::monoid::sum_monoid;
 use pp_parlay::scan::scan_exclusive;
 use pp_parlay::sort::par_sort_by_key;
@@ -58,13 +58,43 @@ impl GraphBuilder {
     /// Produce the CSR graph: removes self-loops, deduplicates parallel
     /// edges (keeping the smallest weight), symmetrizes if requested.
     /// `O(m log m)` work, polylog span.
+    ///
+    /// # Panics
+    /// Panics if the accumulated edges violate a CSR invariant (e.g. an
+    /// endpoint `>= n` slipped past the release-build debug check). Use
+    /// [`GraphBuilder::try_build`] for a typed error instead.
     pub fn build(self) -> Graph {
+        match self.try_build() {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`GraphBuilder::build`], but routes the final construction
+    /// through [`Graph::try_from_csr`] so inconsistent edges (endpoints
+    /// `>= n`, arc-count overflow) surface as a typed [`GraphError`].
+    pub fn try_build(self) -> Result<Graph, GraphError> {
         let GraphBuilder {
             n,
             mut edges,
             symmetric,
             weighted,
         } = self;
+        // An out-of-range *source* endpoint would index past the degree
+        // array below, long before `try_from_csr` could see the bad
+        // target — check both ends up front so release builds get the
+        // same typed rejection debug builds assert.
+        if let Some(arc) = edges
+            .iter()
+            .position(|&(u, v, _)| (u as usize) >= n || (v as usize) >= n)
+        {
+            let (u, v, _) = edges[arc];
+            return Err(GraphError::TargetOutOfRange {
+                arc,
+                target: if (u as usize) >= n { u } else { v },
+                vertices: n,
+            });
+        }
         if symmetric {
             let rev: Vec<(u32, u32, u64)> = edges.par_iter().map(|&(u, v, w)| (v, u, w)).collect();
             edges.extend(rev);
@@ -92,7 +122,7 @@ impl GraphBuilder {
         } else {
             Vec::new()
         };
-        Graph::from_csr(offsets, targets, weights)
+        Graph::try_from_csr(offsets, targets, weights)
     }
 }
 
@@ -134,5 +164,33 @@ mod tests {
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_endpoints() {
+        let mut b = GraphBuilder::new(2);
+        b.extend([(0, 7, 1)]); // bypasses add()'s debug assert
+        assert_eq!(
+            b.try_build().unwrap_err(),
+            GraphError::TargetOutOfRange {
+                arc: 0,
+                target: 7,
+                vertices: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_input() {
+        let mut a = GraphBuilder::new(4).symmetric();
+        a.add(0, 1);
+        a.add(2, 3);
+        let mut b = GraphBuilder::new(4).symmetric();
+        b.add(0, 1);
+        b.add(2, 3);
+        let g = a.build();
+        let h = b.try_build().unwrap();
+        assert_eq!(g.num_edges(), h.num_edges());
+        assert_eq!(g.neighbors(0), h.neighbors(0));
     }
 }

@@ -1,9 +1,91 @@
 //! Compressed sparse row (CSR) graphs.
 
+/// Why raw CSR arrays failed validation ([`Graph::try_from_csr`]).
+///
+/// Every variant names the first invariant the arrays broke; hostile or
+/// corrupted input surfaces as one of these instead of a panic, so the
+/// serve boundary can turn it into a typed `InvalidInput` row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// `offsets` is empty — a CSR needs `n + 1` entries, even for `n = 0`.
+    EmptyOffsets,
+    /// `offsets` decreases somewhere: `offsets[at + 1] < offsets[at]`.
+    NonMonotoneOffsets {
+        /// Index of the first decreasing window.
+        at: usize,
+    },
+    /// `offsets.last()` does not equal `targets.len()`.
+    OffsetTargetMismatch {
+        /// The final offset (claimed arc count).
+        last_offset: usize,
+        /// The actual number of stored targets.
+        targets: usize,
+    },
+    /// `weights` is non-empty but not parallel to `targets`.
+    WeightLengthMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of targets they should parallel.
+        targets: usize,
+    },
+    /// An arc points at a vertex `>= n`.
+    TargetOutOfRange {
+        /// Arc slot holding the bad target.
+        arc: usize,
+        /// The out-of-range target vertex.
+        target: u32,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
+    /// More arcs than the arc index space: arc slots are stored as `u32`
+    /// throughout the algorithm layer (e.g. CSR mirror slots), so a
+    /// graph may hold at most `u32::MAX` arcs.
+    ArcCountOverflow {
+        /// The claimed arc count.
+        arcs: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::EmptyOffsets => write!(f, "offsets must have n + 1 entries"),
+            GraphError::NonMonotoneOffsets { at } => {
+                write!(f, "offsets decrease at index {at}")
+            }
+            GraphError::OffsetTargetMismatch {
+                last_offset,
+                targets,
+            } => write!(
+                f,
+                "final offset {last_offset} does not match {targets} stored targets"
+            ),
+            GraphError::WeightLengthMismatch { weights, targets } => write!(
+                f,
+                "{weights} weights are not parallel to {targets} targets"
+            ),
+            GraphError::TargetOutOfRange {
+                arc,
+                target,
+                vertices,
+            } => write!(
+                f,
+                "edge target out of range: arc {arc} points at {target} in a {vertices}-vertex graph"
+            ),
+            GraphError::ArcCountOverflow { arcs } => {
+                write!(f, "{arcs} arcs overflow the u32 arc index space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A graph in CSR form. Directed in general; undirected graphs store both
 /// arc directions (built via [`crate::builder::GraphBuilder::symmetric`]).
 /// Weights are optional: `weights` is either empty or parallel to
 /// `targets`.
+#[derive(Debug)]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<u32>,
@@ -14,22 +96,37 @@ impl Graph {
     /// Construct from raw CSR arrays.
     ///
     /// # Panics
-    /// Panics if the arrays are inconsistent.
+    /// Panics if the arrays are inconsistent; the message is the
+    /// [`GraphError`] the checked constructor
+    /// ([`Graph::try_from_csr`]) would have returned.
     pub fn from_csr(offsets: Vec<usize>, targets: Vec<u32>, weights: Vec<u64>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must have n + 1 entries");
-        assert_eq!(*offsets.last().unwrap(), targets.len());
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        assert!(weights.is_empty() || weights.len() == targets.len());
-        let n = offsets.len() - 1;
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n),
-            "edge target out of range"
-        );
-        Self {
+        match Self::try_from_csr(offsets, targets, weights) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validate raw CSR arrays and construct the graph, or report the
+    /// first broken invariant as a typed [`GraphError`]. `O(n + m)`.
+    pub fn try_from_csr(
+        offsets: Vec<usize>,
+        targets: Vec<u32>,
+        weights: Vec<u64>,
+    ) -> Result<Self, GraphError> {
+        check_csr(&offsets, &targets, &weights)?;
+        Ok(Self {
             offsets,
             targets,
             weights,
-        }
+        })
+    }
+
+    /// Re-check every CSR invariant on an already-constructed graph —
+    /// the materializer-boundary hook: anything that hands a graph
+    /// across a trust boundary can re-assert well-formedness for the
+    /// cost of one `O(n + m)` scan.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        check_csr(&self.offsets, &self.targets, &self.weights)
     }
 
     /// Number of vertices.
@@ -111,6 +208,42 @@ impl Graph {
     }
 }
 
+/// The single source of CSR truth behind [`Graph::try_from_csr`] and
+/// [`Graph::validate`]: reports the first broken invariant.
+fn check_csr(offsets: &[usize], targets: &[u32], weights: &[u64]) -> Result<(), GraphError> {
+    if offsets.is_empty() {
+        return Err(GraphError::EmptyOffsets);
+    }
+    if let Some(at) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return Err(GraphError::NonMonotoneOffsets { at });
+    }
+    let last_offset = *offsets.last().unwrap();
+    if last_offset > u32::MAX as usize {
+        return Err(GraphError::ArcCountOverflow { arcs: last_offset });
+    }
+    if last_offset != targets.len() {
+        return Err(GraphError::OffsetTargetMismatch {
+            last_offset,
+            targets: targets.len(),
+        });
+    }
+    if !weights.is_empty() && weights.len() != targets.len() {
+        return Err(GraphError::WeightLengthMismatch {
+            weights: weights.len(),
+            targets: targets.len(),
+        });
+    }
+    let n = offsets.len() - 1;
+    if let Some(arc) = targets.iter().position(|&t| (t as usize) >= n) {
+        return Err(GraphError::TargetOutOfRange {
+            arc,
+            target: targets[arc],
+            vertices: n,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +284,65 @@ mod tests {
     #[should_panic(expected = "edge target out of range")]
     fn rejects_bad_target() {
         Graph::from_csr(vec![0, 1], vec![5], vec![]);
+    }
+
+    #[test]
+    fn try_from_csr_reports_each_invariant() {
+        assert_eq!(
+            Graph::try_from_csr(vec![], vec![], vec![]).unwrap_err(),
+            GraphError::EmptyOffsets
+        );
+        assert_eq!(
+            Graph::try_from_csr(vec![0, 2, 1], vec![1, 0], vec![]).unwrap_err(),
+            GraphError::NonMonotoneOffsets { at: 1 }
+        );
+        assert_eq!(
+            Graph::try_from_csr(vec![0, 3], vec![0], vec![]).unwrap_err(),
+            GraphError::OffsetTargetMismatch {
+                last_offset: 3,
+                targets: 1
+            }
+        );
+        assert_eq!(
+            Graph::try_from_csr(vec![0, 1, 2], vec![1, 0], vec![7]).unwrap_err(),
+            GraphError::WeightLengthMismatch {
+                weights: 1,
+                targets: 2
+            }
+        );
+        assert_eq!(
+            Graph::try_from_csr(vec![0, 1], vec![5], vec![]).unwrap_err(),
+            GraphError::TargetOutOfRange {
+                arc: 0,
+                target: 5,
+                vertices: 1
+            }
+        );
+        assert_eq!(
+            Graph::try_from_csr(vec![0, u32::MAX as usize + 1], vec![], vec![]).unwrap_err(),
+            GraphError::ArcCountOverflow {
+                arcs: u32::MAX as usize + 1
+            }
+        );
+    }
+
+    #[test]
+    fn validate_passes_constructed_graphs() {
+        assert_eq!(triangle().validate(), Ok(()));
+        assert_eq!(
+            Graph::from_csr(vec![0, 1, 2], vec![1, 0], vec![5, 7]).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn try_from_csr_accepts_valid_arrays() {
+        let g = Graph::try_from_csr(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+        // The n = 0 CSR is a single zero offset — valid and edgeless.
+        let empty = Graph::try_from_csr(vec![0], vec![], vec![]).unwrap();
+        assert_eq!(empty.num_vertices(), 0);
+        assert_eq!(empty.num_edges(), 0);
     }
 }

@@ -30,4 +30,4 @@ pub mod csr;
 pub mod gen;
 
 pub use builder::GraphBuilder;
-pub use csr::Graph;
+pub use csr::{Graph, GraphError};

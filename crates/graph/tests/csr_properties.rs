@@ -1,0 +1,113 @@
+//! Property tests for the CSR trust boundary: `Graph::try_from_csr`
+//! must resolve **every** input — however mutilated — to a typed
+//! verdict. Accepted arrays must form a graph whose re-validation
+//! passes and whose bytes equal the panicking constructor's; mutations
+//! that break a named invariant must come back as the matching typed
+//! [`GraphError`], never a panic.
+//!
+//! The hostile cases come from `pp_check::fuzz`'s structure-aware CSR
+//! mutators, so every case replays from `(plan seed, case index)`.
+
+#![forbid(unsafe_code)]
+
+use pp_check::fuzz::FuzzPlan;
+use pp_graph::{gen, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// A graph's CSR arrays, reassembled from the public accessors.
+fn csr_of(g: &Graph) -> (Vec<usize>, Vec<u32>, Vec<u64>) {
+    let offsets = g.offsets().to_vec();
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for v in 0..g.num_vertices() as u32 {
+        targets.extend_from_slice(g.neighbors(v));
+        if g.is_weighted() {
+            weights.extend_from_slice(g.edge_weights(v));
+        }
+    }
+    (offsets, targets, weights)
+}
+
+/// A deterministic valid base graph for a property draw.
+fn base_graph(n: usize, m: usize, seed: u64) -> Graph {
+    match seed % 4 {
+        0 => GraphBuilder::new(n).build(), // all-isolated vertices
+        1 => gen::uniform(n.max(1), m, seed),
+        2 => gen::with_uniform_weights(&gen::uniform(n.max(1), m, seed), 1, 50, seed),
+        _ => gen::with_unit_weights(&gen::cycle(n.max(3))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Round-trip: arrays lifted off any valid graph are accepted, and
+    // the fallible constructor builds the *same* graph as the
+    // panicking one — same offsets, same adjacency, same weights.
+    #[test]
+    fn valid_csr_round_trips(n in 0usize..48, m in 0usize..160, seed in 0u64..256) {
+        let g = base_graph(n, m, seed);
+        let (offsets, targets, weights) = csr_of(&g);
+        let fallible = Graph::try_from_csr(offsets.clone(), targets.clone(), weights.clone());
+        prop_assert!(fallible.is_ok(), "valid CSR rejected: {:?}", fallible.err());
+        let fallible = fallible.unwrap();
+        let infallible = Graph::from_csr(offsets, targets, weights);
+        prop_assert_eq!(fallible.offsets(), infallible.offsets());
+        prop_assert_eq!(fallible.num_edges(), infallible.num_edges());
+        prop_assert_eq!(fallible.is_weighted(), infallible.is_weighted());
+        for v in 0..fallible.num_vertices() as u32 {
+            prop_assert_eq!(fallible.neighbors(v), infallible.neighbors(v));
+            if fallible.is_weighted() {
+                prop_assert_eq!(fallible.edge_weights(v), infallible.edge_weights(v));
+            }
+        }
+        prop_assert!(fallible.validate().is_ok());
+    }
+
+    // Mutated CSR: every fuzz case resolves to a typed verdict — Ok
+    // implies re-validation passes, identity implies acceptance, and
+    // the mutations that break a named invariant outright are always
+    // rejected. Nothing panics (a panic fails the test harness).
+    #[test]
+    fn mutated_csr_is_always_typed(case in 0u64..2048, n in 0usize..32, seed in 0u64..64) {
+        let plan = FuzzPlan::new("csr-properties");
+        let g = base_graph(n, 3 * n, seed);
+        let (offsets, targets, weights) = csr_of(&g);
+        let mutated = plan.csr_case(case, &offsets, &targets, &weights);
+        match Graph::try_from_csr(
+            mutated.offsets.clone(),
+            mutated.targets.clone(),
+            mutated.weights.clone(),
+        ) {
+            Ok(accepted) => {
+                prop_assert!(
+                    accepted.validate().is_ok(),
+                    "case {} ({}) accepted but fails re-validation",
+                    case,
+                    mutated.mutation
+                );
+                // These mutations each violate a checked invariant
+                // unconditionally; acceptance would be a missed check.
+                prop_assert!(
+                    !matches!(
+                        mutated.mutation,
+                        "offsets-empty"
+                            | "offsets-decreasing"
+                            | "offsets-last-inflated"
+                            | "target-out-of-range"
+                    ),
+                    "case {} ({}) should have been rejected",
+                    case,
+                    mutated.mutation
+                );
+            }
+            Err(_) => {
+                prop_assert!(
+                    mutated.mutation != "identity",
+                    "case {}: unmutated arrays rejected",
+                    case
+                );
+            }
+        }
+    }
+}

@@ -33,7 +33,8 @@
 //! seeded retry. Every query resolves to a typed [`QueryOutcome`] row,
 //! and every fault the tier absorbs is counted in the report stats
 //! (`deadline_exceeded`, `panics_isolated`, `queries_rejected`,
-//! `retries`, `scratch_quarantined`). Faults themselves are injected —
+//! `retries`, `scratch_quarantined`, `validation_rejected`). Faults
+//! themselves are injected —
 //! deterministically, seeded — through `pp_check::fault` probes
 //! compiled in under `--cfg pp_fault`.
 //!
@@ -158,6 +159,13 @@ pub enum QueryOutcome {
     PanicIsolated,
     /// Shed by admission control before any work ran.
     Rejected,
+    /// The query failed typed input validation
+    /// ([`AlgorithmEntry::validate_case`](pp_algos::registry::AlgorithmEntry::validate_case))
+    /// before any work ran: an incompatible scenario, a hostile knob
+    /// (e.g. an out-of-range source vertex), or a graph that failed CSR
+    /// validation. Never a panic, never a poison strike against the
+    /// resident instance.
+    InvalidInput,
 }
 
 /// The result of replaying one trace through a [`ServingTier`].
@@ -225,6 +233,16 @@ impl Row {
             panics: 0,
             deadline_hits: 0,
             quarantined: 0,
+        }
+    }
+
+    /// The typed validation-rejection row: the input never reached the
+    /// cache or an engine, so nothing is retried and nothing is
+    /// poisoned.
+    fn invalid() -> Self {
+        Row {
+            outcome: QueryOutcome::InvalidInput,
+            ..Row::shed()
         }
     }
 }
@@ -340,8 +358,13 @@ impl ServingTier {
     /// happy path (no faults, generous or absent deadline) is
     /// byte-identical to [`ServingTier::reference_digest`]. Attempt
     /// accounting lands in the report stats under `deadline_exceeded`,
-    /// `panics_isolated`, `queries_rejected`, `retries` and
-    /// `scratch_quarantined` (always exported, zero or not).
+    /// `panics_isolated`, `queries_rejected`, `retries`,
+    /// `scratch_quarantined` and `validation_rejected` (always
+    /// exported, zero or not).
+    ///
+    /// * An input that fails typed validation (incompatible scenario,
+    ///   hostile knob, invalid graph) is a
+    ///   [`QueryOutcome::InvalidInput`] row before any attempt runs.
     pub fn serve_trace(&self, trace: &QueryTrace) -> TraceReport {
         let started = Instant::now();
         let gate = self.options.admission_limit.map(AdmissionGate::new);
@@ -388,6 +411,13 @@ impl ServingTier {
         );
         stats.set_counter("retries", retries);
         stats.set_counter("scratch_quarantined", quarantined);
+        stats.set_counter(
+            "validation_rejected",
+            outcomes
+                .iter()
+                .filter(|&&o| o == QueryOutcome::InvalidInput)
+                .count() as u64,
+        );
 
         TraceReport {
             digest: digests.digest(),
@@ -423,6 +453,14 @@ impl ServingTier {
         let key = self.cache_key_for(trace, query);
         let case = self.case_for(trace, query);
         let base_cfg = self.config_for(query);
+
+        // Typed validation gate: a hostile or incompatible input is
+        // rejected here — before the cache, before any attempt — as an
+        // `InvalidInput` row. It never panics a worker and never counts
+        // as a poison strike against a resident instance.
+        if self.entry.validate_case(&case, &base_cfg).is_err() {
+            return Row::invalid();
+        }
 
         let mut retries = 0u64;
         let mut panics = 0u64;

@@ -55,6 +55,38 @@ fn generous_deadline_digests_match_no_deadline_registry_wide() {
     }
 }
 
+/// Tentpole conformance: cancellation is *registry-wide*. Under an
+/// already-expired deadline every entry resolves to a typed
+/// `DeadlineExceeded` — no entry ignores the token and runs to
+/// completion, none panics or wedges — on both the prepared serve path
+/// and the one-shot path.
+#[test]
+fn zero_deadline_returns_deadline_exceeded_registry_wide() {
+    let case = CaseSpec::new(120, 13);
+    for entry in registry::registry() {
+        let shared = entry.prepare_shared(&case, &RunConfig::seeded(13));
+        let mut scratch = Scratch::new();
+        let cfg = RunConfig::seeded(5).with_deadline(Duration::ZERO);
+        let served = shared.query(&mut scratch, &cfg);
+        assert!(
+            !served.outcome.is_complete(),
+            "{}: prepared query ignored an expired deadline",
+            entry.name()
+        );
+        // The partial output still digests (no panic, no hang) and a
+        // second query on the same scratch is unaffected — an abandoned
+        // run must not corrupt the recycled workspace.
+        let clean = shared.query(&mut scratch, &RunConfig::seeded(5));
+        assert!(clean.outcome.is_complete(), "{}", entry.name());
+        assert_eq!(
+            clean.digest,
+            shared.one_shot_digest(&RunConfig::seeded(5)),
+            "{}: query after a cancelled run diverged",
+            entry.name()
+        );
+    }
+}
+
 /// The full tier under a generous deadline still replays to the fresh
 /// reference digest, and every outcome row is `Completed`.
 #[test]
@@ -79,13 +111,14 @@ fn deadlined_tier_matches_reference_on_happy_path() {
             "{threads} threads"
         );
         assert_eq!(report.outcome_count(QueryOutcome::Completed), trace.len());
-        // The five resilience counters are always exported, zero here.
+        // The six resilience counters are always exported, zero here.
         for name in [
             "deadline_exceeded",
             "panics_isolated",
             "queries_rejected",
             "retries",
             "scratch_quarantined",
+            "validation_rejected",
         ] {
             assert_eq!(report.stats.counter(name), Some(0), "{name}");
         }

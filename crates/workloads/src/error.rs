@@ -2,6 +2,7 @@
 //! mismatch surfaces as a typed [`ScenarioError`] instead of a panic.
 
 use crate::spec::ScenarioKind;
+use pp_graph::GraphError;
 
 /// Why a scenario key failed to parse or a spec failed to materialize.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +24,20 @@ pub enum ScenarioError {
         /// The kind the materializer produces.
         needed: ScenarioKind,
     },
+    /// A materialized graph failed CSR validation — every graph
+    /// materializer re-checks its output through
+    /// [`pp_graph::Graph::validate`] before handing it across the
+    /// scenario boundary.
+    Graph(GraphError),
+    /// A materializer knob has a value no scenario can use (e.g. a
+    /// zero draw span). Carries the knob name.
+    InvalidKnob(&'static str),
+}
+
+impl From<GraphError> for ScenarioError {
+    fn from(e: GraphError) -> Self {
+        ScenarioError::Graph(e)
+    }
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -45,6 +60,8 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "scenario family {family:?} cannot materialize a {needed:?} instance"
             ),
+            ScenarioError::Graph(e) => write!(f, "materialized graph failed validation: {e}"),
+            ScenarioError::InvalidKnob(knob) => write!(f, "invalid scenario knob: {knob}"),
         }
     }
 }

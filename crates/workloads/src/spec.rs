@@ -193,18 +193,28 @@ impl ScenarioSpec {
 
     /// Parse a scenario key: a family key optionally followed by
     /// `+w/dist` (graph families only), e.g. `"graph/grid2d+w/unit"`.
+    ///
+    /// Every byte must parse: an empty segment (trailing `+`, `++`), a
+    /// third segment, or a weight suffix on a sequence family is a typed
+    /// [`ScenarioError::MalformedKey`]; unknown family / weight segments
+    /// keep their own variants. Nothing is silently defaulted.
     pub fn parse(key: &str) -> Result<Self, ScenarioError> {
+        let malformed = || ScenarioError::MalformedKey(key.to_string());
         let mut parts = key.split('+');
-        let family = Family::parse(parts.next().unwrap_or_default())?;
+        let family_key = parts.next().unwrap_or_default();
+        if family_key.is_empty() && key.contains('+') {
+            return Err(malformed());
+        }
+        let family = Family::parse(family_key)?;
         let mut spec = Self::new(family);
         if let Some(w) = parts.next() {
-            if family.kind() != ScenarioKind::Graph {
-                return Err(ScenarioError::MalformedKey(key.to_string()));
+            if w.is_empty() || family.kind() != ScenarioKind::Graph {
+                return Err(malformed());
             }
             spec.weights = WeightDist::parse(w)?;
         }
         if parts.next().is_some() {
-            return Err(ScenarioError::MalformedKey(key.to_string()));
+            return Err(malformed());
         }
         Ok(spec)
     }
@@ -290,37 +300,46 @@ impl ScenarioSpec {
     /// Materialize the unweighted graph for a graph family, over at
     /// least `n.max(1)` vertices (regular shapes round up: `rmat` to the
     /// next power of two, `grid2d` to the next square). Deterministic in
-    /// `(self, n, seed)`.
+    /// `(self, n, seed)`. Every materialized graph is routed back
+    /// through CSR validation ([`Graph::validate`]) before crossing the
+    /// scenario boundary, so a generator bug surfaces as a typed
+    /// [`ScenarioError::Graph`] here instead of a panic downstream.
     pub fn graph(&self, n: usize, seed: u64) -> Result<Graph, ScenarioError> {
         let n = n.max(1);
-        match self.family {
-            Family::GraphUniform => Ok(gen::uniform(n, self.degree * n, seed)),
+        let g = match self.family {
+            Family::GraphUniform => gen::uniform(n, self.degree * n, seed),
             Family::GraphRmat => {
                 let scale = usize::BITS - (n.max(2) - 1).leading_zeros();
-                Ok(gen::rmat(scale, self.degree * n, seed))
+                gen::rmat(scale, self.degree * n, seed)
             }
             Family::GraphGrid2d => {
                 let side = (n as f64).sqrt().ceil() as usize;
-                Ok(if self.torus {
+                if self.torus {
                     gen::torus2d(side, side)
                 } else {
                     gen::grid2d(side, side)
+                }
+            }
+            Family::GraphGeometric => gen::random_geometric(n, self.degree, seed),
+            Family::GraphStarHub => gen::star_hub(n, self.hubs, seed),
+            _ => {
+                return Err(ScenarioError::WrongKind {
+                    family: self.family.key(),
+                    needed: ScenarioKind::Graph,
                 })
             }
-            Family::GraphGeometric => Ok(gen::random_geometric(n, self.degree, seed)),
-            Family::GraphStarHub => Ok(gen::star_hub(n, self.hubs, seed)),
-            _ => Err(ScenarioError::WrongKind {
-                family: self.family.key(),
-                needed: ScenarioKind::Graph,
-            }),
-        }
+        };
+        g.validate()?;
+        Ok(g)
     }
 
     /// Materialize the graph with this spec's edge-weight distribution
     /// applied (graph families only).
     pub fn weighted_graph(&self, n: usize, seed: u64) -> Result<Graph, ScenarioError> {
         let g = self.graph(n, seed)?;
-        Ok(self.weights.apply(&g, seed ^ 0x77ed))
+        let wg = self.weights.apply(&g, seed ^ 0x77ed);
+        wg.validate()?;
+        Ok(wg)
     }
 
     /// Materialize `n` draws in `[0, span)` carrying the family's
@@ -330,7 +349,9 @@ impl ScenarioSpec {
     /// `seq/adversarial-chain` is strictly increasing whenever
     /// `span ≥ n`. Deterministic in `(self, n, span, seed)`.
     pub fn draws(&self, n: usize, span: u64, seed: u64) -> Result<Vec<u64>, ScenarioError> {
-        assert!(span > 0, "draw span must be positive");
+        if span == 0 {
+            return Err(ScenarioError::InvalidKnob("draw span must be positive"));
+        }
         let uniform = |salt: u64| -> Vec<u64> {
             (0..n as u64)
                 .map(|i| bounded(hash64(seed ^ salt, i), span))
@@ -471,6 +492,49 @@ mod tests {
             ScenarioSpec::parse(""),
             Err(ScenarioError::UnknownFamily(_))
         ));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_and_empty_segments() {
+        // Every unparsed byte is a typed error — nothing defaults.
+        for key in [
+            "graph/uniform+",        // trailing '+': empty weight segment
+            "graph/uniform++",       // double '+'
+            "graph/uniform+w/unit+", // trailing '+' after valid weights
+            "seq/zipf+",             // trailing '+' on a seq family
+            "+w/unit",               // empty family segment
+            "+",                     // nothing but a separator
+        ] {
+            assert!(
+                matches!(
+                    ScenarioSpec::parse(key),
+                    Err(ScenarioError::MalformedKey(_))
+                ),
+                "{key:?} must be MalformedKey, got {:?}",
+                ScenarioSpec::parse(key)
+            );
+        }
+        for key in ["graph/uniformx", "graph/uniform x", " graph/uniform"] {
+            assert!(
+                matches!(
+                    ScenarioSpec::parse(key),
+                    Err(ScenarioError::UnknownFamily(_))
+                ),
+                "{key:?} must be UnknownFamily"
+            );
+        }
+        assert!(matches!(
+            ScenarioSpec::parse("graph/uniform+w/unitx"),
+            Err(ScenarioError::UnknownWeights(_))
+        ));
+    }
+
+    #[test]
+    fn zero_span_draws_are_typed() {
+        assert_eq!(
+            ScenarioSpec::new(Family::SeqUniform).draws(5, 0, 1),
+            Err(ScenarioError::InvalidKnob("draw span must be positive"))
+        );
     }
 
     #[test]
